@@ -1,0 +1,103 @@
+//! Microbenchmarks of the substrates: the pieces whose per-event costs
+//! determine how fast the experiment harness itself runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prophet::core::plan::{prophet_plan, PlanInput};
+use prophet::core::{detect_blocks, SchedulerKind};
+use prophet::dnn::TrainingJob;
+use prophet::net::maxmin::{allocate, FlowDemand};
+use prophet::net::{NodeId, NodeSpec, TcpModel, Topology};
+use prophet::sim::{Duration, EventQueue, SimTime};
+use std::hint::black_box;
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+
+    g.bench_function("event_queue_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0u64..10_000 {
+                q.schedule(SimTime::from_nanos(i * 37 % 100_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            black_box(acc)
+        })
+    });
+
+    g.bench_function("maxmin_64_flows", |b| {
+        let topo = Topology::uniform(9, NodeSpec::from_gbps(10.0));
+        let flows: Vec<FlowDemand> = (0..64)
+            .map(|i| FlowDemand {
+                src: NodeId(1 + i % 8),
+                dst: NodeId(0),
+                cap_bps: if i % 3 == 0 { 1e8 } else { f64::INFINITY },
+            })
+            .collect();
+        b.iter(|| black_box(allocate(&topo, &flows)))
+    });
+
+    g.bench_function("zoo_resnet50_build", |b| {
+        b.iter(|| black_box(prophet::dnn::zoo::resnet50().total_params()))
+    });
+
+    g.bench_function("job_timing_tables", |b| {
+        b.iter(|| black_box(TrainingJob::paper_setup("resnet50", 64).backward_duration()))
+    });
+
+    g.bench_function("algorithm1_plan_resnet50", |b| {
+        let job = TrainingJob::paper_setup("resnet50", 64);
+        let input = PlanInput {
+            c: job.c_offsets(),
+            s: job.sizes(),
+            bandwidth_bps: 5e8,
+            tcp: TcpModel::EC2,
+        };
+        b.iter(|| black_box(prophet_plan(&input).backward_blocks.len()))
+    });
+
+    g.bench_function("detect_blocks_161", |b| {
+        let job = TrainingJob::paper_setup("resnet50", 64);
+        let c = job.c_offsets();
+        b.iter(|| black_box(detect_blocks(&c).len()))
+    });
+
+    g.bench_function("tcp_transfer_time", |b| {
+        let m = TcpModel::EC2;
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 1..100u64 {
+                acc += m.transfer_time_s((i * 100_000) as f64, 1.25e9);
+            }
+            black_box(acc)
+        })
+    });
+
+    g.bench_function("scheduler_iteration_drive", |b| {
+        // One full iteration's worth of scheduler decisions, no network.
+        let job = TrainingJob::paper_setup("resnet50", 64);
+        let n = job.num_gradients();
+        b.iter(|| {
+            let mut sched =
+                SchedulerKind::ByteScheduler(Default::default()).build(&job);
+            let now = SimTime::ZERO + Duration::from_millis(1);
+            sched.iteration_begin(now, 0);
+            let mut moved = 0u64;
+            for gradient in (0..n).rev() {
+                sched.gradient_ready(now, gradient);
+                while let Some(t) = sched.next_task(now) {
+                    moved += t.bytes;
+                    sched.task_done(now, &t);
+                }
+            }
+            black_box(moved)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(engine, bench_engine);
+criterion_main!(engine);

@@ -1,0 +1,141 @@
+//! Criterion benches regenerating each *figure* experiment on a reduced
+//! but structurally identical configuration. The measured quantity is the
+//! wall time of the regeneration itself; the figures' data rows are
+//! produced by `cargo run -p prophet-bench --bin repro`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prophet::core::{AutoTuneConfig, ByteSchedulerConfig, ProphetConfig, SchedulerKind};
+use prophet::dnn::{GenerationModel, TrainingJob};
+use prophet::ps::sim::{run_cluster, ClusterConfig};
+use std::hint::black_box;
+
+fn cell(model: &str, batch: u32, gbps: f64, kind: SchedulerKind) -> ClusterConfig {
+    let mut cfg =
+        ClusterConfig::paper_cell(2, gbps, TrainingJob::paper_setup(model, batch), kind);
+    cfg.warmup_iters = 1;
+    cfg
+}
+
+fn prophet_kind(gbps: f64) -> SchedulerKind {
+    SchedulerKind::ProphetOracle(ProphetConfig::paper_default(gbps * 1e9 / 8.0))
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+
+    g.bench_function("fig02_baseline_util", |b| {
+        b.iter(|| {
+            let cfg = cell("resnet152", 16, 3.0, SchedulerKind::Fifo);
+            black_box(run_cluster(&cfg, 3).avg_gpu_util)
+        })
+    });
+
+    g.bench_function("fig03a_p3_partition", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for &part in &[512u64 << 10, 4 << 20] {
+                let cfg = cell(
+                    "resnet50",
+                    16,
+                    4.0,
+                    SchedulerKind::P3 {
+                        partition_bytes: part,
+                    },
+                );
+                total += run_cluster(&cfg, 3).rate;
+            }
+            black_box(total)
+        })
+    });
+
+    g.bench_function("fig03b_bytescheduler_tuning", |b| {
+        b.iter(|| {
+            let kind = SchedulerKind::ByteScheduler(ByteSchedulerConfig {
+                autotune: Some(AutoTuneConfig {
+                    interval_iters: 1,
+                    ..AutoTuneConfig::default()
+                }),
+                ..ByteSchedulerConfig::default()
+            });
+            let cfg = cell("resnet50", 16, 3.0, kind);
+            black_box(run_cluster(&cfg, 6).credit_trace.len())
+        })
+    });
+
+    g.bench_function("fig04_stepwise", |b| {
+        b.iter(|| {
+            let job = TrainingJob::paper_setup("resnet50", 64);
+            black_box(GenerationModel::blocks(job.generation_events()).len())
+        })
+    });
+
+    g.bench_function("fig05_schedule_comparison", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for kind in SchedulerKind::paper_lineup(3e9 / 8.0) {
+                let mut cfg = cell("resnet18", 16, 3.0, kind);
+                cfg.trace = true;
+                total += run_cluster(&cfg, 3).rate;
+            }
+            black_box(total)
+        })
+    });
+
+    g.bench_function("fig08_training_rate", |b| {
+        b.iter(|| {
+            let bs = run_cluster(
+                &cell("resnet18", 32, 4.0, SchedulerKind::ByteScheduler(Default::default())),
+                3,
+            )
+            .rate;
+            let pr = run_cluster(&cell("resnet18", 32, 4.0, prophet_kind(4.0)), 3).rate;
+            black_box(pr / bs)
+        })
+    });
+
+    g.bench_function("fig09_gpu_util", |b| {
+        b.iter(|| {
+            let cfg = cell("resnet50", 16, 4.0, prophet_kind(4.0));
+            black_box(run_cluster(&cfg, 3).avg_gpu_util)
+        })
+    });
+
+    g.bench_function("fig10_net_throughput", |b| {
+        b.iter(|| {
+            let cfg = cell("resnet50", 16, 4.0, prophet_kind(4.0));
+            black_box(run_cluster(&cfg, 3).avg_net_throughput)
+        })
+    });
+
+    g.bench_function("fig11_gradient_timeline", |b| {
+        b.iter(|| {
+            let cfg = cell("resnet50", 16, 4.0, prophet_kind(4.0));
+            let r = run_cluster(&cfg, 3);
+            black_box(r.mean_wait_ms(2))
+        })
+    });
+
+    g.bench_function("fig12_scalability", |b| {
+        b.iter(|| {
+            let mut cfg = cell("resnet50", 16, 10.0, prophet_kind(10.0));
+            cfg.workers = 4;
+            cfg.ps_shards = 4;
+            black_box(run_cluster(&cfg, 3).rate)
+        })
+    });
+
+    g.bench_function("fig13_overhead", |b| {
+        b.iter(|| {
+            let mut pc = ProphetConfig::paper_default(4e9 / 8.0);
+            pc.profile_iters = 2;
+            let cfg = cell("resnet50", 16, 4.0, SchedulerKind::Prophet(pc));
+            black_box(run_cluster(&cfg, 5).rate_with_warmup)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(figures, bench_figures);
+criterion_main!(figures);

@@ -1,0 +1,81 @@
+//! Criterion benches regenerating each *table* experiment (reduced
+//! configurations; the full rows come from the `repro` binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prophet::core::{ProphetConfig, SchedulerKind};
+use prophet::dnn::TrainingJob;
+use prophet::ps::sim::{run_cluster, ClusterConfig};
+use std::hint::black_box;
+
+fn rate(model: &str, batch: u32, gbps: f64, kind: SchedulerKind) -> f64 {
+    let mut cfg =
+        ClusterConfig::paper_cell(2, gbps, TrainingJob::paper_setup(model, batch), kind);
+    cfg.warmup_iters = 1;
+    run_cluster(&cfg, 3).rate
+}
+
+fn prophet_kind(gbps: f64) -> SchedulerKind {
+    SchedulerKind::ProphetOracle(ProphetConfig::paper_default(gbps * 1e9 / 8.0))
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(10);
+
+    g.bench_function("table2_bandwidth", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &gbps in &[2.0, 10.0] {
+                acc += rate("resnet50", 16, gbps, prophet_kind(gbps));
+                acc += rate(
+                    "resnet50",
+                    16,
+                    gbps,
+                    SchedulerKind::ByteScheduler(Default::default()),
+                );
+            }
+            black_box(acc)
+        })
+    });
+
+    g.bench_function("table3_batch_size", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &batch in &[16u32, 64] {
+                acc += rate("resnet18", batch, 4.0, prophet_kind(4.0));
+            }
+            black_box(acc)
+        })
+    });
+
+    g.bench_function("sec53_heterogeneous", |b| {
+        b.iter(|| {
+            let mut cfg = ClusterConfig::paper_cell(
+                3,
+                10.0,
+                TrainingJob::paper_setup("resnet50", 16),
+                prophet_kind(10.0),
+            );
+            cfg.worker_bps_overrides.push((2, 62.5e6));
+            cfg.warmup_iters = 1;
+            black_box(run_cluster(&cfg, 3).rate)
+        })
+    });
+
+    g.bench_function("sec54_profiling_cost", |b| {
+        b.iter(|| {
+            let cfg = ClusterConfig::paper_cell(
+                2,
+                10.0,
+                TrainingJob::paper_setup("inception_v3", 16),
+                SchedulerKind::Fifo,
+            );
+            black_box(run_cluster(&cfg, 3).iter_times[2])
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(tables, bench_tables);
+criterion_main!(tables);

@@ -1,0 +1,62 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro list            # show experiment ids
+//! repro all             # run everything, print markdown, write results/*.csv
+//! repro fig8 table2 ... # run specific experiments
+//! ```
+//!
+//! CSV outputs land in `results/` at the workspace root (override with
+//! `PROPHET_RESULTS_DIR`).
+
+use prophet_bench::registry;
+use std::path::PathBuf;
+
+fn results_dir() -> PathBuf {
+    std::env::var("PROPHET_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let reg = registry();
+
+    if args.is_empty() || args[0] == "list" {
+        println!("experiments ({}):", reg.len());
+        for (id, desc, _) in &reg {
+            println!("  {id:<16} {desc}");
+        }
+        println!("\nusage: repro all | repro <id> [<id> ...]");
+        return;
+    }
+
+    let selected: Vec<&(&str, &str, prophet_bench::Runner)> = if args[0] == "all" {
+        reg.iter().collect()
+    } else {
+        let mut sel = Vec::new();
+        for arg in &args {
+            match reg.iter().find(|(id, _, _)| id == arg) {
+                Some(entry) => sel.push(entry),
+                None => {
+                    eprintln!("unknown experiment `{arg}` — try `repro list`");
+                    std::process::exit(1);
+                }
+            }
+        }
+        sel
+    };
+
+    let dir = results_dir();
+    for (id, _, run) in selected {
+        eprintln!("[repro] running {id} ...");
+        let t0 = std::time::Instant::now();
+        let output = run();
+        let elapsed = t0.elapsed();
+        println!("{}", output.to_markdown());
+        match output.write_csv(&dir) {
+            Ok(path) => eprintln!("[repro] {id} done in {elapsed:.1?} → {}", path.display()),
+            Err(e) => eprintln!("[repro] {id}: could not write CSV: {e}"),
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Experiment result formatting: markdown to stdout, CSV to `results/`.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// The rows/series one experiment reproduces, plus provenance.
+#[derive(Debug, Clone)]
+pub struct ExperimentOutput {
+    /// Registry id, e.g. `"fig8"`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// What the paper reports for this experiment (for EXPERIMENTS.md).
+    pub paper_reference: String,
+    /// Column names.
+    pub header: Vec<String>,
+    /// Data rows, already formatted.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form commentary (what to look for, deviations).
+    pub notes: String,
+}
+
+impl ExperimentOutput {
+    /// Start an output with the given identity.
+    pub fn new(id: &str, title: &str, paper_reference: &str, header: &[&str]) -> Self {
+        ExperimentOutput {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            paper_reference: paper_reference.to_owned(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: String::new(),
+        }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render as a markdown table with title and notes.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {} — {}\n", self.id, self.title);
+        let _ = writeln!(out, "*paper:* {}\n", self.paper_reference);
+        let widths: Vec<usize> = self
+            .header
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                self.rows
+                    .iter()
+                    .map(|r| r[i].len())
+                    .chain(std::iter::once(h.len()))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let fmt_row = |cells: &[String]| {
+            let mut line = String::from("|");
+            for (c, w) in cells.iter().zip(&widths) {
+                let _ = write!(line, " {c:>w$} |");
+            }
+            line
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.header));
+        let mut sep = String::from("|");
+        for w in &widths {
+            let _ = write!(sep, "{}|", "-".repeat(w + 2));
+        }
+        let _ = writeln!(out, "{sep}");
+        for r in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(r));
+        }
+        if !self.notes.is_empty() {
+            let _ = writeln!(out, "\n{}", self.notes);
+        }
+        out
+    }
+
+    /// Render as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_owned()
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{}",
+            self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                r.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Write `<dir>/<id>.csv`, creating the directory if needed.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.id));
+        std::fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+}
+
+/// Render a `(x, y)` series as a compact ASCII sparkline block for notes.
+pub fn ascii_series(label: &str, series: &[(f64, f64)], width: usize) -> String {
+    if series.is_empty() {
+        return format!("{label}: (empty)\n");
+    }
+    let ymax = series.iter().map(|&(_, y)| y).fold(f64::MIN, f64::max);
+    let ymin = series.iter().map(|&(_, y)| y).fold(f64::MAX, f64::min);
+    let glyphs = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let step = series.len().max(1).div_ceil(width);
+    let mut line = String::new();
+    for chunk in series.chunks(step) {
+        let avg = chunk.iter().map(|&(_, y)| y).sum::<f64>() / chunk.len() as f64;
+        let idx = if ymax > ymin {
+            (((avg - ymin) / (ymax - ymin)) * (glyphs.len() - 1) as f64).round() as usize
+        } else {
+            0
+        };
+        line.push(glyphs[idx.min(glyphs.len() - 1)]);
+    }
+    format!("{label} [{ymin:.2}..{ymax:.2}]: {line}\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExperimentOutput {
+        let mut o = ExperimentOutput::new("t1", "title", "paper says X", &["a", "b"]);
+        o.row(vec!["1".into(), "2".into()]);
+        o.row(vec!["30".into(), "4,4".into()]);
+        o
+    }
+
+    #[test]
+    fn markdown_contains_everything() {
+        let md = sample().to_markdown();
+        assert!(md.contains("### t1 — title"));
+        assert!(md.contains("paper says X"));
+        assert!(md.contains("| 30 |"));
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let csv = sample().to_csv();
+        assert!(csv.lines().count() == 3);
+        assert!(csv.contains("\"4,4\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut o = ExperimentOutput::new("x", "t", "p", &["a", "b"]);
+        o.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn sparkline_is_bounded() {
+        let series: Vec<(f64, f64)> = (0..100).map(|i| (i as f64, (i % 10) as f64)).collect();
+        let s = ascii_series("test", &series, 20);
+        assert!(s.chars().count() < 60);
+        assert!(s.contains("test"));
+    }
+}

@@ -1,0 +1,281 @@
+//! The analytic DDNN training-time model of §3 (Eqs. 1–5).
+//!
+//! Given a transfer schedule `t(i)`, the model predicts parameter-update
+//! completions `u(i) = t(i) + 2·E(i)` (Eq. 4), chains forward-propagation
+//! completions `p(i) = max(p(i−1), u(i)) + T_fp(i)` (Eq. 3), and sums the
+//! GPU idle time `T_wait` (Eq. 2). It is the tool the paper uses to argue
+//! Prophet's schedule is the right one; here it is also the oracle our
+//! property tests check the planner against, and a fast what-if evaluator
+//! the benchmarks use for ablations.
+
+use prophet_sim::Duration;
+
+/// A schedule to evaluate: everything indexed by gradient id.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// Generation times `c(i)` (offset from backward start).
+    pub c: Vec<Duration>,
+    /// Transfer start times `t(i)`.
+    pub t: Vec<Duration>,
+    /// Estimated one-way transfer times `E(i)`.
+    pub e: Vec<Duration>,
+    /// Per-gradient forward compute `T_fp(i)`.
+    pub fwd: Vec<Duration>,
+}
+
+/// The evaluated timing of a schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluation {
+    /// `u(i)`: when gradient `i`'s parameter update completes (Eq. 4).
+    pub u: Vec<Duration>,
+    /// `p(i)`: when gradient `i`'s forward propagation completes (Eq. 3).
+    pub p: Vec<Duration>,
+    /// Total GPU wait (Eq. 2).
+    pub t_wait: Duration,
+    /// When the forward pass (and thus the iteration's compute) finishes.
+    pub finish: Duration,
+}
+
+impl Schedule {
+    /// Evaluate Eqs. 2–4 for this schedule.
+    ///
+    /// Panics if the index sets disagree or the schedule starts a transfer
+    /// before its gradient exists (Constraint 7).
+    pub fn evaluate(&self) -> Evaluation {
+        let n = self.c.len();
+        assert!(n > 0, "empty schedule");
+        assert_eq!(n, self.t.len());
+        assert_eq!(n, self.e.len());
+        assert_eq!(n, self.fwd.len());
+
+        // Eq. 4.
+        let u: Vec<Duration> = (0..n)
+            .map(|i| {
+                assert!(
+                    self.t[i] >= self.c[i],
+                    "constraint (7) violated for gradient {i}: t={:?} < c={:?}",
+                    self.t[i],
+                    self.c[i]
+                );
+                self.t[i] + self.e[i] + self.e[i]
+            })
+            .collect();
+
+        // Eq. 3, and Eq. 2 accumulated alongside.
+        let mut p = vec![Duration::ZERO; n];
+        // (u(0) - c(0)) term: the stall between backward end and the first
+        // forward step.
+        let mut t_wait = u[0].saturating_sub(self.c[0]);
+        p[0] = u[0] + self.fwd[0];
+        for i in 1..n {
+            t_wait += u[i].saturating_sub(p[i - 1]); // (u(i) − p(i−1))⁺
+            p[i] = u[i].max(p[i - 1]) + self.fwd[i];
+        }
+        let finish = p[n - 1];
+        Evaluation {
+            u,
+            p,
+            t_wait,
+            finish,
+        }
+    }
+}
+
+/// The FIFO (default MXNet) schedule under the same model: whole tensors in
+/// generation order, each starting when the previous transfer ends (or the
+/// gradient appears, whichever is later).
+pub fn fifo_starts(c: &[Duration], e: &[Duration]) -> Vec<Duration> {
+    let n = c.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    // Generation order: by c, ties by descending id (backward produces the
+    // higher id first).
+    order.sort_by(|&a, &b| c[a].cmp(&c[b]).then(b.cmp(&a)));
+    let mut t = vec![Duration::ZERO; n];
+    let mut wire_free = Duration::ZERO;
+    for &i in &order {
+        let start = c[i].max(wire_free);
+        t[i] = start;
+        wire_free = start + e[i];
+    }
+    t
+}
+
+/// A strict-priority **preemptive** idealisation of P3 under the same
+/// model: at every instant the wire serves the highest-priority generated-
+/// but-unfinished gradient, suspending anything lower the moment something
+/// better appears. This is the zero-overhead bound P3 approaches as its
+/// partitions shrink; the cluster simulation models the real per-partition
+/// cost.
+///
+/// Because a preempted transfer is not contiguous, the returned vector
+/// holds *equivalent* start times `t(i) = finish(i) − E(i)`, so that the
+/// evaluator's `u(i) = t(i) + 2·E(i) = finish(i) + E(i)` still means
+/// "push done at finish, pull takes another E".
+pub fn priority_starts(c: &[Duration], e: &[Duration]) -> Vec<Duration> {
+    let n = c.len();
+    let mut t = vec![Duration::MAX; n];
+    let mut remaining: Vec<Duration> = e.to_vec();
+    let mut done = vec![false; n];
+    let mut clock = Duration::ZERO;
+    let mut finished = 0;
+    while finished < n {
+        // Highest-priority generated, unfinished gradient.
+        let serving = (0..n).find(|&i| !done[i] && c[i] <= clock);
+        let next_gen = (0..n)
+            .filter(|&i| !done[i] && c[i] > clock)
+            .map(|i| c[i])
+            .min();
+        match serving {
+            Some(i) => {
+                // Serve until completion or until a (potentially higher-
+                // priority) generation event interrupts the decision.
+                let fin = clock + remaining[i];
+                match next_gen {
+                    Some(g) if g < fin => {
+                        remaining[i] -= g - clock;
+                        clock = g;
+                    }
+                    _ => {
+                        clock = fin;
+                        remaining[i] = Duration::ZERO;
+                        done[i] = true;
+                        finished += 1;
+                        t[i] = fin - e[i];
+                    }
+                }
+            }
+            None => {
+                clock = next_gen.expect("gradients remain but none generated");
+            }
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(x: u64) -> Duration {
+        Duration::from_millis(x)
+    }
+
+    #[test]
+    fn single_gradient_wait_is_round_trip() {
+        let s = Schedule {
+            c: vec![ms(10)],
+            t: vec![ms(10)],
+            e: vec![ms(3)],
+            fwd: vec![ms(5)],
+        };
+        let ev = s.evaluate();
+        assert_eq!(ev.u[0], ms(16)); // 10 + 2*3
+        assert_eq!(ev.t_wait, ms(6)); // u(0) - c(0)
+        assert_eq!(ev.finish, ms(21));
+    }
+
+    #[test]
+    fn overlapped_transfers_cost_nothing_extra() {
+        // Gradient 1's update lands before forward(0) ends: no extra wait.
+        let s = Schedule {
+            c: vec![ms(10), ms(0)],
+            t: vec![ms(10), ms(0)],
+            e: vec![ms(1), ms(2)],
+            fwd: vec![ms(100), ms(5)],
+        };
+        let ev = s.evaluate();
+        // u0 = 12, u1 = 4; p0 = 112; (u1 - p0)+ = 0.
+        assert_eq!(ev.t_wait, ms(2));
+        assert_eq!(ev.p[1], ms(117));
+    }
+
+    #[test]
+    fn late_update_stalls_forward() {
+        let s = Schedule {
+            c: vec![ms(10), ms(0)],
+            t: vec![ms(10), ms(30)],
+            e: vec![ms(1), ms(5)],
+            fwd: vec![ms(2), ms(2)],
+        };
+        let ev = s.evaluate();
+        // u0 = 12, p0 = 14; u1 = 40 -> wait 26; p1 = 42.
+        assert_eq!(ev.t_wait, ms(2) + ms(26));
+        assert_eq!(ev.finish, ms(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "constraint (7) violated")]
+    fn transfer_before_generation_rejected() {
+        Schedule {
+            c: vec![ms(10)],
+            t: vec![ms(5)],
+            e: vec![ms(1)],
+            fwd: vec![ms(1)],
+        }
+        .evaluate();
+    }
+
+    #[test]
+    fn fifo_serialises_in_generation_order() {
+        // Generation: 2 at 0, 1 at 0 (tie -> 2 first), 0 at 10.
+        let c = vec![ms(10), ms(0), ms(0)];
+        let e = vec![ms(2), ms(4), ms(7)];
+        let t = fifo_starts(&c, &e);
+        assert_eq!(t[2], ms(0));
+        assert_eq!(t[1], ms(7)); // after 2's 7 ms transfer
+        assert_eq!(t[0], ms(11)); // generated at 10 but wire busy until 11
+    }
+
+    #[test]
+    fn priority_schedule_prefers_low_ids_and_preempts() {
+        // 1 and 2 generated together; priority serves 1 first, starts 2,
+        // then preempts 2 the moment 0 appears at 10 ms.
+        let c = vec![ms(10), ms(0), ms(0)];
+        let e = vec![ms(2), ms(4), ms(7)];
+        let t = priority_starts(&c, &e);
+        assert_eq!(t[1], ms(0));
+        // 0 runs 10..12; 2 ran 4..10 (6 of 7 ms), finishes at 13, so its
+        // equivalent contiguous start is 13 - 7 = 6.
+        assert_eq!(t[0], ms(10));
+        assert_eq!(t[2], ms(6));
+    }
+
+    #[test]
+    fn priority_idles_until_next_generation() {
+        let c = vec![ms(20), ms(0)];
+        let e = vec![ms(1), ms(1)];
+        let t = priority_starts(&c, &e);
+        assert_eq!(t[1], ms(0));
+        assert_eq!(t[0], ms(20)); // wire free at 1, gradient 0 not yet born
+    }
+
+    #[test]
+    fn fifo_wait_dominates_when_zero_is_blocked() {
+        // The Fig. 5 story: a fat tensor 1 blocks gradient 0 under FIFO,
+        // delaying the start of forward propagation; with preemption the
+        // fat tensor's pull hides behind gradient 0's forward compute.
+        let c = vec![ms(10), ms(9)];
+        let e = vec![ms(1), ms(50)];
+        let fwd = vec![ms(60), ms(1)];
+        let fifo = Schedule {
+            c: c.clone(),
+            t: fifo_starts(&c, &e),
+            e: e.clone(),
+            fwd: fwd.clone(),
+        }
+        .evaluate();
+        let prio = Schedule {
+            c: c.clone(),
+            t: priority_starts(&c, &e),
+            e,
+            fwd,
+        }
+        .evaluate();
+        assert!(
+            fifo.t_wait > prio.t_wait,
+            "fifo {:?} <= priority {:?}",
+            fifo.t_wait,
+            prio.t_wait
+        );
+    }
+}

@@ -1,0 +1,368 @@
+//! Algorithm 1: the offline Prophet plan.
+//!
+//! Given the profiled generation times `c(i)`, gradient sizes `s(i)`, and
+//! the monitored bandwidth `B`, decide the transfer start time `t(i)` of
+//! every gradient and the *gradient blocks* to assemble, such that
+//! (Constraint 11) no transfer runs past the generation of a higher-
+//! priority gradient during backward propagation, and (line 17) gradient 0
+//! starts the instant it is generated.
+//!
+//! Two readings of the paper's `A(i) ← min |c(i) − c(j)|, j < i` are
+//! reconciled here. Taken literally over a stepwise schedule, gradients
+//! sharing a release instant would get `A(i) = 0` and nothing could ever be
+//! assembled; the quantity the algorithm *uses* (line 7) is the time window
+//! from the current block's start until the next higher-priority generation
+//! event — which equals the literal `A(i)` for the gradients of the burst
+//! that opened the block. We implement the window form, and
+//! [`expected_intervals`] exposes the per-gradient `A(i)` (distance to the
+//! next strictly-later generation among higher-priority gradients) for
+//! analysis and tests.
+
+use prophet_dnn::GradientId;
+use prophet_net::TcpModel;
+use prophet_sim::Duration;
+use std::collections::BTreeSet;
+
+/// Inputs of Algorithm 1, as produced by the job profiler and the
+/// bandwidth monitor.
+#[derive(Debug, Clone)]
+pub struct PlanInput {
+    /// Generation time of each gradient, offset from backward start.
+    pub c: Vec<Duration>,
+    /// Wire size of each gradient, bytes.
+    pub s: Vec<u64>,
+    /// Monitored available bandwidth, bytes/sec.
+    pub bandwidth_bps: f64,
+    /// Transport cost model used to estimate `E(i)` (Eq. 5 + Eq. 10).
+    pub tcp: TcpModel,
+}
+
+/// One assembled gradient block: members in ascending id (priority) order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedBlock {
+    /// Member gradients, ascending id.
+    pub grads: Vec<GradientId>,
+    /// Planned start of the block's transfer (offset from backward start).
+    pub start: Duration,
+}
+
+/// The output of Algorithm 1.
+#[derive(Debug, Clone)]
+pub struct ProphetPlan {
+    /// Planned transfer start `t(i)` per gradient.
+    pub starts: Vec<Duration>,
+    /// Estimated transfer time `E(i)` per gradient.
+    pub transfer_times: Vec<Duration>,
+    /// Blocks assembled during backward propagation, chronological.
+    pub backward_blocks: Vec<PlannedBlock>,
+    /// Gradients deferred to the forward phase (including gradient 0
+    /// first), in transfer order.
+    pub forward_order: Vec<GradientId>,
+}
+
+impl ProphetPlan {
+    /// Which gradients were assembled into backward blocks.
+    pub fn assembled(&self) -> BTreeSet<GradientId> {
+        self.backward_blocks
+            .iter()
+            .flat_map(|b| b.grads.iter().copied())
+            .collect()
+    }
+}
+
+/// The paper's `A(i)`: distance from `c(i)` to the nearest strictly-later
+/// generation among higher-priority gradients (`j < i`), or `Duration::MAX`
+/// if none exists (gradients released in the final burst).
+pub fn expected_intervals(c: &[Duration]) -> Vec<Duration> {
+    let n = c.len();
+    let mut a = vec![Duration::MAX; n];
+    for i in 0..n {
+        for j in 0..i {
+            if c[j] > c[i] {
+                let gap = c[j] - c[i];
+                if gap < a[i] {
+                    a[i] = gap;
+                }
+            }
+        }
+    }
+    a
+}
+
+/// Run Algorithm 1.
+///
+/// Panics if `c` and `s` disagree in length or are empty.
+pub fn prophet_plan(input: &PlanInput) -> ProphetPlan {
+    let n = input.c.len();
+    assert_eq!(n, input.s.len(), "c/s length mismatch");
+    assert!(n > 0, "empty gradient set");
+    assert!(
+        input.bandwidth_bps > 0.0 && input.bandwidth_bps.is_finite(),
+        "bad bandwidth"
+    );
+
+    // Line 1: E(i) from the size and the monitored bandwidth, through the
+    // transport model (Eq. 5 combined with Eq. 10's f(s, B)).
+    let e: Vec<Duration> = input
+        .s
+        .iter()
+        .map(|&s| Duration::from_secs_f64(input.tcp.transfer_time_s(s as f64, input.bandwidth_bps)))
+        .collect();
+
+    // Generation bursts: distinct release instants, chronological.
+    let mut bursts: Vec<(Duration, Vec<GradientId>)> = Vec::new();
+    {
+        let mut order: Vec<GradientId> = (0..n).collect();
+        order.sort_by_key(|&i| (input.c[i], i));
+        for i in order {
+            match bursts.last_mut() {
+                Some((t, ids)) if *t == input.c[i] => ids.push(i),
+                _ => bursts.push((input.c[i], vec![i])),
+            }
+        }
+    }
+
+    let mut starts = vec![Duration::MAX; n];
+    let mut backward_blocks = Vec::new();
+    let mut ready: BTreeSet<GradientId> = BTreeSet::new();
+    let backward_end = input.c[0]; // gradient 0's release closes backward
+
+    // Lines 2-11: walk bursts strictly before gradient 0's release,
+    // greedily assembling blocks that fit before the next burst.
+    for w in 0..bursts.len() {
+        let (tau, ids) = &bursts[w];
+        if *tau >= backward_end {
+            // Gradient 0's burst (and anything pathological after it) is
+            // handled by the forward-phase rules below.
+            ready.extend(ids.iter().copied());
+            continue;
+        }
+        ready.extend(ids.iter().copied());
+        let window = bursts[w + 1].0 - *tau; // next burst always exists: c(0) is later
+        let mut t_used = Duration::ZERO;
+        let mut block = Vec::new();
+        // Line 7: take ready gradients in priority order while each fits in
+        // the remaining window; stop at the first that does not.
+        while let Some(&q) = ready.iter().next() {
+            if t_used + e[q] <= window {
+                starts[q] = *tau + t_used;
+                t_used += e[q];
+                block.push(q);
+                ready.remove(&q);
+            } else {
+                break;
+            }
+        }
+        if !block.is_empty() {
+            backward_blocks.push(PlannedBlock {
+                grads: block,
+                start: *tau,
+            });
+        }
+    }
+
+    // Lines 12-18: forward phase. Gradient 0 first, at its generation time
+    // (line 17); the rest one by one in priority order (lines 13-14).
+    let mut forward_order = Vec::with_capacity(ready.len());
+    debug_assert!(ready.contains(&0), "gradient 0 must be unassembled");
+    ready.remove(&0);
+    starts[0] = backward_end;
+    forward_order.push(0);
+    let mut t_next = backward_end + e[0];
+    for q in ready {
+        starts[q] = t_next;
+        t_next += e[q];
+        forward_order.push(q);
+    }
+
+    ProphetPlan {
+        starts,
+        transfer_times: e,
+        backward_blocks,
+        forward_order,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(x: u64) -> Duration {
+        Duration::from_millis(x)
+    }
+
+    /// A frictionless plan input: E(i) = s(i) / B exactly.
+    fn input(c: Vec<Duration>, s: Vec<u64>, bps: f64) -> PlanInput {
+        PlanInput {
+            c,
+            s,
+            bandwidth_bps: bps,
+            tcp: TcpModel::IDEAL,
+        }
+    }
+
+    #[test]
+    fn hand_worked_two_burst_example() {
+        // Bursts: {2, 3} at 0 ms, {1} at 10 ms, {0} at 20 ms.
+        // B = 1 MB/s; sizes 4 kB -> E = 4 ms each.
+        let c = vec![ms(20), ms(10), ms(0), ms(0)];
+        let s = vec![4_000; 4];
+        let plan = prophet_plan(&input(c, s, 1e6));
+        // Burst at 0: window 10 ms fits E(2)+E(3) = 8 ms.
+        assert_eq!(plan.backward_blocks.len(), 2);
+        assert_eq!(plan.backward_blocks[0].grads, vec![2, 3]);
+        assert_eq!(plan.starts[2], ms(0));
+        assert_eq!(plan.starts[3], ms(4));
+        // Burst at 10: window 10 ms fits E(1) = 4 ms.
+        assert_eq!(plan.backward_blocks[1].grads, vec![1]);
+        assert_eq!(plan.starts[1], ms(10));
+        // Gradient 0 at its generation time.
+        assert_eq!(plan.starts[0], ms(20));
+        assert_eq!(plan.forward_order, vec![0]);
+    }
+
+    #[test]
+    fn misfit_is_deferred_to_forward_phase() {
+        // Burst {1, 2} at 0, gradient 0 at 10 ms. E = 6 ms each:
+        // gradient 1 fits (6 <= 10), gradient 2 does not (12 > 10).
+        let c = vec![ms(10), ms(0), ms(0)];
+        let s = vec![6_000; 3];
+        let plan = prophet_plan(&input(c, s, 1e6));
+        assert_eq!(plan.backward_blocks.len(), 1);
+        assert_eq!(plan.backward_blocks[0].grads, vec![1]);
+        // Forward: 0 at 10 ms, then 2 at 16 ms.
+        assert_eq!(plan.starts[0], ms(10));
+        assert_eq!(plan.starts[2], ms(16));
+        assert_eq!(plan.forward_order, vec![0, 2]);
+    }
+
+    #[test]
+    fn leftover_joins_a_later_block_when_it_fits() {
+        // Burst {2, 3} at 0 with a tight window (only 3 fits... priority
+        // order takes 2 first), burst {1} at 5 ms with a huge window.
+        // E = 4 ms each. Window 1 = 5 ms: gradient 2 fits (4 <= 5),
+        // gradient 3 does not (8 > 5) -> leftover.
+        // Window 2 = 15 ms (c(0)=20): gradient 1 fits, then leftover 3.
+        let c = vec![ms(20), ms(5), ms(0), ms(0)];
+        let s = vec![4_000; 4];
+        let plan = prophet_plan(&input(c, s, 1e6));
+        assert_eq!(plan.backward_blocks[0].grads, vec![2]);
+        assert_eq!(plan.backward_blocks[1].grads, vec![1, 3]);
+        assert_eq!(plan.starts[1], ms(5));
+        assert_eq!(plan.starts[3], ms(9));
+        assert_eq!(plan.forward_order, vec![0]);
+    }
+
+    #[test]
+    fn priority_never_inverted_within_backward() {
+        // Among gradients assembled in backward blocks, a higher-priority
+        // gradient available at block-open time is never scheduled after a
+        // lower-priority one.
+        let c = vec![ms(30), ms(20), ms(20), ms(10), ms(10), ms(0), ms(0), ms(0)];
+        let s = vec![2_000; 8];
+        let plan = prophet_plan(&input(c, s, 1e6));
+        for b in &plan.backward_blocks {
+            for w in b.grads.windows(2) {
+                assert!(w[0] < w[1], "block {:?} not priority-sorted", b.grads);
+            }
+        }
+    }
+
+    #[test]
+    fn constraint_11_holds() {
+        // Every backward transfer finishes before the next strictly-later
+        // generation event.
+        let c = vec![ms(40), ms(25), ms(25), ms(12), ms(12), ms(0), ms(0)];
+        let s = vec![3_000, 5_000, 2_000, 8_000, 1_000, 9_000, 2_500];
+        let inp = input(c.clone(), s, 1e6);
+        let plan = prophet_plan(&inp);
+        let gen_times: Vec<Duration> = {
+            let mut g: Vec<Duration> = c.clone();
+            g.sort();
+            g.dedup();
+            g
+        };
+        for b in &plan.backward_blocks {
+            for &g in &b.grads {
+                let end = plan.starts[g] + plan.transfer_times[g];
+                let next_gen = gen_times.iter().copied().find(|&t| t > plan.starts[g]);
+                if let Some(next) = next_gen {
+                    assert!(
+                        end <= next,
+                        "gradient {g} ends {end} past next generation {next}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_zero_starts_at_generation() {
+        let c = vec![ms(33), ms(12), ms(0)];
+        let s = vec![1_000_000, 2_000, 3_000];
+        let plan = prophet_plan(&input(c, s, 1e6));
+        assert_eq!(plan.starts[0], ms(33));
+        assert_eq!(plan.forward_order[0], 0);
+    }
+
+    #[test]
+    fn all_gradients_get_a_start_time() {
+        let c = vec![ms(50), ms(40), ms(30), ms(20), ms(10), ms(0)];
+        let s = vec![100_000; 6];
+        let plan = prophet_plan(&input(c, s, 1e5)); // slow: 1s per transfer
+        for (i, &t) in plan.starts.iter().enumerate() {
+            assert_ne!(t, Duration::MAX, "gradient {i} unscheduled");
+        }
+        // Slow network: nothing fits in backward, everything in forward.
+        assert!(plan.backward_blocks.is_empty());
+        assert_eq!(plan.forward_order.len(), 6);
+        assert_eq!(plan.forward_order[0], 0);
+        // Forward phase is back-to-back in priority order.
+        for w in plan.forward_order.windows(2) {
+            assert!(w[0] < w[1]);
+            assert_eq!(
+                plan.starts[w[1]],
+                plan.starts[w[0]] + plan.transfer_times[w[0]]
+            );
+        }
+    }
+
+    #[test]
+    fn expected_intervals_literal_definition() {
+        // c(0)=20, c(1)=10, c(2)=0, c(3)=0.
+        let c = vec![ms(20), ms(10), ms(0), ms(0)];
+        let a = expected_intervals(&c);
+        assert_eq!(a[0], Duration::MAX); // no higher priority exists
+        assert_eq!(a[1], ms(10)); // to c(0)
+        assert_eq!(a[2], ms(10)); // to c(1)
+        assert_eq!(a[3], ms(10)); // c(2) is simultaneous; next later is c(1)
+    }
+
+    #[test]
+    fn respects_transport_overhead_in_estimates() {
+        // With a real TCP model, E includes setup cost, so fewer gradients
+        // fit per window than the ideal model would predict.
+        let c = vec![ms(10), ms(0), ms(0), ms(0), ms(0)];
+        let s = vec![1_000; 5];
+        let ideal = prophet_plan(&input(c.clone(), s.clone(), 1e6));
+        let real = prophet_plan(&PlanInput {
+            c,
+            s,
+            bandwidth_bps: 1e6,
+            tcp: TcpModel {
+                rtt_s: 0.0,
+                setup_s: 4e-3, // 4 ms per message
+                init_cwnd_bytes: f64::INFINITY,
+            },
+        });
+        let ideal_n: usize = ideal.backward_blocks.iter().map(|b| b.grads.len()).sum();
+        let real_n: usize = real.backward_blocks.iter().map(|b| b.grads.len()).sum();
+        assert!(real_n < ideal_n, "overhead should shrink blocks: {real_n} vs {ideal_n}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty gradient set")]
+    fn rejects_empty_input() {
+        prophet_plan(&input(vec![], vec![], 1e6));
+    }
+}

@@ -1,0 +1,276 @@
+//! The Training Job Profiler (§4.2).
+//!
+//! Prophet "pre-trains the DNN model for a certain number of iterations
+//! (e.g., 50), to obtain the gradient information (the set of gradient
+//! data, the computation time and size of each gradient)". The profiler
+//! collects, for every iteration in the window, the offset of each
+//! gradient's release from the iteration's backward start; the profile is
+//! the per-gradient **median** offset (robust to jitter spikes) plus the
+//! recovered block structure of the stepwise pattern.
+
+use prophet_dnn::GradientId;
+use prophet_sim::Duration;
+
+/// The distilled result of profiling: Algorithm 1's inputs.
+#[derive(Debug, Clone)]
+pub struct JobProfile {
+    /// Median generation offset `c(i)` per gradient.
+    pub c: Vec<Duration>,
+    /// Gradient sizes `s(i)`, bytes.
+    pub s: Vec<u64>,
+    /// The recovered stepwise blocks, chronological; each block's gradient
+    /// ids ascending.
+    pub blocks: Vec<Vec<GradientId>>,
+    /// Iterations observed.
+    pub iterations: u64,
+}
+
+impl JobProfile {
+    /// Generation offsets with each gradient snapped to its block's release
+    /// instant (the **latest** member offset — a block is only actionable
+    /// once its last member has been released).
+    ///
+    /// Feeding Algorithm 1 the raw medians would fragment a jittered burst
+    /// into micro-bursts with near-zero windows, collapsing the plan to
+    /// serial priority transfers; snapping restores the staircase the
+    /// medians approximate.
+    pub fn snapped_c(&self) -> Vec<Duration> {
+        let mut out = self.c.clone();
+        for block in &self.blocks {
+            if let Some(latest) = block.iter().map(|&g| self.c[g]).max() {
+                for &g in block {
+                    out[g] = latest;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Collects per-iteration gradient release times.
+#[derive(Debug, Clone)]
+pub struct JobProfiler {
+    sizes: Vec<u64>,
+    window: u64,
+    samples: Vec<Vec<Duration>>, // samples[grad] = offsets, one per iteration
+    iterations_seen: u64,
+}
+
+impl JobProfiler {
+    /// Profile `window` iterations of a job with the given gradient sizes.
+    pub fn new(sizes: Vec<u64>, window: u64) -> Self {
+        assert!(window > 0, "zero profiling window");
+        let n = sizes.len();
+        JobProfiler {
+            sizes,
+            window,
+            samples: vec![Vec::new(); n],
+            iterations_seen: 0,
+        }
+    }
+
+    /// The paper's default 50-iteration window.
+    pub fn paper_default(sizes: Vec<u64>) -> Self {
+        Self::new(sizes, 50)
+    }
+
+    /// Record gradient `grad` released `offset` after this iteration's
+    /// backward start. Ignored once the window is full.
+    pub fn record(&mut self, grad: GradientId, offset: Duration) {
+        if !self.is_complete() {
+            self.samples[grad].push(offset);
+        }
+    }
+
+    /// Mark an iteration boundary.
+    pub fn iteration_complete(&mut self) {
+        if !self.is_complete() {
+            self.iterations_seen += 1;
+        }
+    }
+
+    /// True once the profiling window has been filled.
+    pub fn is_complete(&self) -> bool {
+        self.iterations_seen >= self.window
+    }
+
+    /// Iterations observed so far.
+    pub fn iterations_seen(&self) -> u64 {
+        self.iterations_seen
+    }
+
+    /// Distil the profile. Returns `None` until at least one complete
+    /// iteration has been observed for every gradient.
+    pub fn profile(&self) -> Option<JobProfile> {
+        if self.iterations_seen == 0 || self.samples.iter().any(|s| s.is_empty()) {
+            return None;
+        }
+        let c: Vec<Duration> = self.samples.iter().map(|s| median(s)).collect();
+        let blocks = detect_blocks(&c);
+        Some(JobProfile {
+            c,
+            s: self.sizes.clone(),
+            blocks,
+            iterations: self.iterations_seen,
+        })
+    }
+}
+
+fn median(xs: &[Duration]) -> Duration {
+    debug_assert!(!xs.is_empty());
+    let mut v = xs.to_vec();
+    v.sort_unstable();
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        // Midpoint of the central pair, in nanoseconds.
+        Duration::from_nanos((v[n / 2 - 1].as_nanos() + v[n / 2].as_nanos()) / 2)
+    }
+}
+
+/// Cluster generation offsets into stepwise blocks.
+///
+/// Gradients are sorted by release time; a new block starts wherever the
+/// gap to the previous release exceeds an adaptive threshold: twice the
+/// median gap, clamped to `[200 µs, 1 ms]`. The floor keeps measurement
+/// noise inside a burst from splitting it; the ceiling encodes the physical
+/// fact that a KVStore flush releases its gradients within well under a
+/// millisecond, so any gap beyond 1 ms separates distinct release events —
+/// even when the median is dominated by inter-burst gaps (few gradients per
+/// burst) or the release process has no bursts at all.
+pub fn detect_blocks(c: &[Duration]) -> Vec<Vec<GradientId>> {
+    if c.is_empty() {
+        return Vec::new();
+    }
+    let mut order: Vec<GradientId> = (0..c.len()).collect();
+    order.sort_by_key(|&i| (c[i], i));
+
+    // Zero gaps (exactly simultaneous releases) are kept: they drag the
+    // median down so that a noiseless staircase still splits correctly.
+    let mut gaps: Vec<u64> = order
+        .windows(2)
+        .map(|w| c[w[1]].as_nanos().saturating_sub(c[w[0]].as_nanos()))
+        .collect();
+    gaps.sort_unstable();
+    let median_gap = gaps.get(gaps.len() / 2).copied().unwrap_or(0);
+    let threshold = (2 * median_gap).clamp(200_000, 1_000_000); // 200 µs .. 1 ms
+
+    let mut blocks: Vec<Vec<GradientId>> = vec![vec![order[0]]];
+    for w in order.windows(2) {
+        let gap = c[w[1]].as_nanos().saturating_sub(c[w[0]].as_nanos());
+        if gap > threshold {
+            blocks.push(Vec::new());
+        }
+        blocks.last_mut().unwrap().push(w[1]);
+    }
+    for b in &mut blocks {
+        b.sort_unstable();
+    }
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(x: u64) -> Duration {
+        Duration::from_millis(x)
+    }
+
+    fn us(x: u64) -> Duration {
+        Duration::from_micros(x)
+    }
+
+    #[test]
+    fn profile_is_median_of_samples() {
+        let mut p = JobProfiler::new(vec![100, 100], 3);
+        for (i, offs) in [(ms(10), ms(1)), (ms(12), ms(2)), (ms(50), ms(3))].iter().enumerate() {
+            p.record(0, offs.0);
+            p.record(1, offs.1);
+            p.iteration_complete();
+            assert_eq!(p.iterations_seen(), i as u64 + 1);
+        }
+        let prof = p.profile().unwrap();
+        assert_eq!(prof.c[0], ms(12)); // median of 10, 12, 50
+        assert_eq!(prof.c[1], ms(2));
+        assert_eq!(prof.iterations, 3);
+    }
+
+    #[test]
+    fn incomplete_gradient_coverage_yields_none() {
+        let mut p = JobProfiler::new(vec![100, 100], 3);
+        p.record(0, ms(1));
+        p.iteration_complete();
+        assert!(p.profile().is_none(), "gradient 1 never observed");
+    }
+
+    #[test]
+    fn window_stops_recording() {
+        let mut p = JobProfiler::new(vec![100], 2);
+        for i in 0..5 {
+            p.record(0, ms(i));
+            p.iteration_complete();
+        }
+        assert!(p.is_complete());
+        let prof = p.profile().unwrap();
+        assert_eq!(prof.iterations, 2);
+        // Only the first two samples were kept: median of {0, 1} = 0.5 ms.
+        assert_eq!(prof.c[0], Duration::from_micros(500));
+    }
+
+    #[test]
+    fn detect_blocks_recovers_clean_staircase() {
+        // Three bursts with tiny intra-burst jitter.
+        // ids: 0 latest, 5..=3 earliest — mimic backward order.
+        let c = vec![
+            ms(30),          // 0
+            ms(20),          // 1
+            ms(20) + us(50), // 2 (same burst as 1)
+            ms(0),           // 3
+            ms(0) + us(20),  // 4
+            ms(0) + us(90),  // 5
+        ];
+        let blocks = detect_blocks(&c);
+        assert_eq!(blocks, vec![vec![3, 4, 5], vec![1, 2], vec![0]]);
+    }
+
+    #[test]
+    fn detect_blocks_single_burst() {
+        let c = vec![ms(1), ms(1), ms(1)];
+        let blocks = detect_blocks(&c);
+        assert_eq!(blocks, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn detect_blocks_empty() {
+        assert!(detect_blocks(&[]).is_empty());
+    }
+
+    #[test]
+    fn detect_blocks_conserves_gradients() {
+        let c: Vec<Duration> = (0..97).map(|i| ms((i / 13) * 17)).collect();
+        let blocks = detect_blocks(&c);
+        let mut all: Vec<usize> = blocks.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..97).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn median_even_count() {
+        assert_eq!(median(&[ms(1), ms(3)]), ms(2));
+        assert_eq!(median(&[ms(5)]), ms(5));
+    }
+
+    #[test]
+    fn snapped_c_unifies_each_block() {
+        let profile = JobProfile {
+            c: vec![ms(30), ms(20), ms(21), ms(1), ms(2), ms(3)],
+            s: vec![100; 6],
+            blocks: vec![vec![3, 4, 5], vec![1, 2], vec![0]],
+            iterations: 50,
+        };
+        let snapped = profile.snapped_c();
+        assert_eq!(snapped, vec![ms(30), ms(21), ms(21), ms(3), ms(3), ms(3)]);
+    }
+}

@@ -1,0 +1,122 @@
+//! TicTac (Hashemi et al., MLSys'19) — the second priority-based
+//! comparator the paper cites (§6.1).
+//!
+//! TicTac schedules at *operation* granularity from the model's dependency
+//! DAG: transfers are ordered by how soon the consuming computation needs
+//! them (their TIC/TAC heuristics both reduce to need-order for a chain-
+//! structured consumer). In PS terms that is whole-tensor transfers in
+//! strict priority order — like P3 without partitioning — and, like P3, it
+//! rides the framework's blocking sends ("these two prior works rely on
+//! the blocking call of TCP protocol", §6.1). Its preemption granularity
+//! is therefore a whole tensor: better amortisation than P3's slices,
+//! worse preemption latency.
+
+use crate::task::{CommScheduler, Dir, TransferTask, Transport};
+use prophet_dnn::GradientId;
+use prophet_sim::SimTime;
+use std::collections::BTreeSet;
+
+/// The TicTac baseline (one per worker).
+pub struct TicTacScheduler {
+    sizes: Vec<u64>,
+    push_ready: BTreeSet<GradientId>,
+    pull_ready: BTreeSet<GradientId>,
+    push_busy: bool,
+    pull_busy: bool,
+}
+
+impl TicTacScheduler {
+    /// `sizes[i]` = wire bytes of gradient `i`.
+    pub fn new(sizes: Vec<u64>) -> Self {
+        TicTacScheduler {
+            sizes,
+            push_ready: BTreeSet::new(),
+            pull_ready: BTreeSet::new(),
+            push_busy: false,
+            pull_busy: false,
+        }
+    }
+}
+
+impl CommScheduler for TicTacScheduler {
+    fn name(&self) -> String {
+        "tictac".into()
+    }
+
+    fn gradient_ready(&mut self, _now: SimTime, grad: GradientId) {
+        self.push_ready.insert(grad);
+    }
+
+    fn param_ready(&mut self, _now: SimTime, grad: GradientId) {
+        self.pull_ready.insert(grad);
+    }
+
+    fn next_task(&mut self, _now: SimTime) -> Option<TransferTask> {
+        if !self.push_busy {
+            if let Some(&g) = self.push_ready.iter().next() {
+                self.push_ready.remove(&g);
+                self.push_busy = true;
+                return Some(TransferTask::whole(Dir::Push, g, self.sizes[g]));
+            }
+        }
+        if !self.pull_busy {
+            if let Some(&g) = self.pull_ready.iter().next() {
+                self.pull_ready.remove(&g);
+                self.pull_busy = true;
+                return Some(TransferTask::whole(Dir::Pull, g, self.sizes[g]));
+            }
+        }
+        None
+    }
+
+    fn task_done(&mut self, _now: SimTime, task: &TransferTask) {
+        match task.dir {
+            Dir::Push => self.push_busy = false,
+            Dir::Pull => self.pull_busy = false,
+        }
+    }
+
+    fn transport(&self) -> Transport {
+        Transport::Blocking
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t0() -> SimTime {
+        SimTime::ZERO
+    }
+
+    #[test]
+    fn whole_tensor_priority_order() {
+        let mut s = TicTacScheduler::new(vec![10, 20, 30]);
+        s.gradient_ready(t0(), 2);
+        s.gradient_ready(t0(), 1);
+        let a = s.next_task(t0()).unwrap();
+        assert_eq!(a.pieces, vec![(1, 20)], "lowest id first");
+        // Gradient 0 arrives mid-transfer: preemption only at tensor
+        // boundaries.
+        s.gradient_ready(t0(), 0);
+        assert!(s.next_task(t0()).is_none());
+        s.task_done(t0(), &a);
+        assert_eq!(s.next_task(t0()).unwrap().top_priority(), 0);
+    }
+
+    #[test]
+    fn pulls_mirror_pushes() {
+        let mut s = TicTacScheduler::new(vec![10, 20]);
+        s.param_ready(t0(), 1);
+        s.param_ready(t0(), 0);
+        let t = s.next_task(t0()).unwrap();
+        assert_eq!(t.dir, Dir::Pull);
+        assert_eq!(t.top_priority(), 0);
+    }
+
+    #[test]
+    fn blocking_transport() {
+        let s = TicTacScheduler::new(vec![1]);
+        assert_eq!(s.transport(), Transport::Blocking);
+    }
+}

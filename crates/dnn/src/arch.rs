@@ -1,0 +1,288 @@
+//! A whole model: ordered layers plus the flattened tensor/gradient table.
+
+use crate::layer::{GradientId, LayerKind, LayerSpec, TensorShape, TensorSpec};
+
+/// An architecture: layers in forward-execution order, with the flattened
+/// parameter-tensor table used by the communication schedulers.
+#[derive(Debug, Clone)]
+pub struct ModelArch {
+    /// Model name, e.g. `"resnet50"`.
+    pub name: String,
+    layers: Vec<LayerSpec>,
+    tensors: Vec<TensorSpec>,
+}
+
+impl ModelArch {
+    /// Build from layers in forward order, deriving the tensor table.
+    ///
+    /// Tensor ids are assigned in forward order (layer 0's weight gets id 0),
+    /// making the id simultaneously the transfer priority — the convention
+    /// used throughout the paper.
+    pub fn new(name: impl Into<String>, layers: Vec<LayerSpec>) -> Self {
+        let mut tensors = Vec::new();
+        for (li, layer) in layers.iter().enumerate() {
+            for (pi, shape) in layer.params.iter().enumerate() {
+                let suffix = match (layer.kind, pi) {
+                    (LayerKind::BatchNorm, 0) => "gamma",
+                    (LayerKind::BatchNorm, 1) => "beta",
+                    (_, 0) => "weight",
+                    (_, 1) => "bias",
+                    _ => "param",
+                };
+                tensors.push(TensorSpec {
+                    id: tensors.len(),
+                    layer: li,
+                    name: format!("{}.{}", layer.name, suffix),
+                    elements: shape.elements,
+                    bytes: shape.bytes(),
+                });
+            }
+        }
+        ModelArch {
+            name: name.into(),
+            layers,
+            tensors,
+        }
+    }
+
+    /// Layers in forward-execution order.
+    pub fn layers(&self) -> &[LayerSpec] {
+        &self.layers
+    }
+
+    /// Parameter tensors in priority order (id order).
+    pub fn tensors(&self) -> &[TensorSpec] {
+        &self.tensors
+    }
+
+    /// Number of gradients the communication layer will schedule.
+    pub fn num_gradients(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// One tensor by id.
+    pub fn tensor(&self, id: GradientId) -> &TensorSpec {
+        &self.tensors[id]
+    }
+
+    /// Total trainable parameters.
+    pub fn total_params(&self) -> u64 {
+        self.tensors.iter().map(|t| t.elements).sum()
+    }
+
+    /// Total gradient payload per iteration, bytes (FP32).
+    pub fn total_bytes(&self) -> u64 {
+        self.tensors.iter().map(|t| t.bytes).sum()
+    }
+
+    /// Total forward FLOPs for a single sample.
+    pub fn fwd_flops_per_sample(&self) -> f64 {
+        self.layers.iter().map(|l| l.fwd_flops).sum()
+    }
+
+    /// Forward FLOPs attributed to each *tensor* for a single sample.
+    ///
+    /// The paper's performance model (Eq. 3) treats forward propagation at
+    /// per-gradient granularity: gradient `i` has a forward cost
+    /// `T_fp^(i)`. We spread each layer's forward FLOPs evenly over its
+    /// parameter tensors, and fold parameter-free layers' FLOPs into the
+    /// next parameterised layer *after* them in forward order (that compute
+    /// is gated on the same parameter arrivals either way).
+    pub fn fwd_flops_per_tensor(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.tensors.len()];
+        if self.tensors.is_empty() {
+            return out;
+        }
+        // Tensor-range per layer.
+        let mut pending_paramfree = 0.0;
+        let mut cursor = 0usize; // first tensor of the current layer
+        for (li, layer) in self.layers.iter().enumerate() {
+            let n = layer.params.len();
+            if n == 0 {
+                pending_paramfree += layer.fwd_flops;
+                continue;
+            }
+            let share = (layer.fwd_flops + pending_paramfree) / n as f64;
+            pending_paramfree = 0.0;
+            for t in &mut out[cursor..cursor + n] {
+                *t = share;
+            }
+            cursor += n;
+            debug_assert!(self.tensors[cursor - 1].layer == li);
+        }
+        // Trailing parameter-free compute (global pool, softmax) lands on
+        // the last tensor.
+        if pending_paramfree > 0.0 {
+            *out.last_mut().unwrap() += pending_paramfree;
+        }
+        out
+    }
+
+    /// Backward FLOPs per tensor for a single sample.
+    ///
+    /// Backward costs ≈ 2× forward for convolution/FC layers (grad wrt
+    /// inputs + grad wrt weights), the standard accounting.
+    pub fn bwd_flops_per_tensor(&self) -> Vec<f64> {
+        self.fwd_flops_per_tensor()
+            .into_iter()
+            .map(|f| 2.0 * f)
+            .collect()
+    }
+}
+
+/// Convenience builders used by the zoo.
+pub mod build {
+    use super::*;
+
+    /// A conv layer: `k×k`, `cin→cout` channels, output spatial `h×w`.
+    /// Bias-free (the standard arrangement when followed by BN).
+    pub fn conv(name: &str, k: u64, cin: u64, cout: u64, h: u64, w: u64) -> LayerSpec {
+        let params = k * k * cin * cout;
+        LayerSpec {
+            name: name.into(),
+            kind: LayerKind::Conv,
+            // 2 FLOPs (mul+add) per MAC, one MAC per kernel element per
+            // output position.
+            fwd_flops: (2 * params * h * w) as f64,
+            params: vec![TensorShape::new(params)],
+        }
+    }
+
+    /// A conv layer with bias (used where the reference nets have one).
+    pub fn conv_bias(name: &str, k: u64, cin: u64, cout: u64, h: u64, w: u64) -> LayerSpec {
+        let weights = k * k * cin * cout;
+        LayerSpec {
+            name: name.into(),
+            kind: LayerKind::Conv,
+            fwd_flops: (2 * weights * h * w) as f64,
+            params: vec![TensorShape::new(weights), TensorShape::new(cout)],
+        }
+    }
+
+    /// Batch normalisation over `c` channels at spatial `h×w`:
+    /// two parameter tensors (gamma, beta).
+    pub fn batchnorm(name: &str, c: u64, h: u64, w: u64) -> LayerSpec {
+        LayerSpec {
+            name: name.into(),
+            kind: LayerKind::BatchNorm,
+            // ~8 FLOPs per element forward (normalise + scale + shift).
+            fwd_flops: (8 * c * h * w) as f64,
+            params: vec![TensorShape::new(c), TensorShape::new(c)],
+        }
+    }
+
+    /// Fully connected `cin→cout` with bias.
+    pub fn fc(name: &str, cin: u64, cout: u64) -> LayerSpec {
+        LayerSpec {
+            name: name.into(),
+            kind: LayerKind::FullyConnected,
+            fwd_flops: (2 * cin * cout) as f64,
+            params: vec![TensorShape::new(cin * cout), TensorShape::new(cout)],
+        }
+    }
+
+    /// Parameter-free compute (pooling / activation / residual add) over
+    /// `elements` output values at `flops_per_element`.
+    pub fn activation(name: &str, elements: u64, flops_per_element: f64) -> LayerSpec {
+        LayerSpec {
+            name: name.into(),
+            kind: LayerKind::Activation,
+            fwd_flops: elements as f64 * flops_per_element,
+            params: vec![],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::build::*;
+    use super::*;
+
+    fn toy() -> ModelArch {
+        ModelArch::new(
+            "toy",
+            vec![
+                conv("c1", 3, 3, 8, 32, 32),
+                batchnorm("bn1", 8, 32, 32),
+                activation("relu1", 8 * 32 * 32, 1.0),
+                fc("fc", 8 * 32 * 32, 10),
+            ],
+        )
+    }
+
+    #[test]
+    fn tensor_ids_are_forward_order() {
+        let m = toy();
+        // conv weight, bn gamma, bn beta, fc weight, fc bias.
+        assert_eq!(m.num_gradients(), 5);
+        assert_eq!(m.tensor(0).name, "c1.weight");
+        assert_eq!(m.tensor(1).name, "bn1.gamma");
+        assert_eq!(m.tensor(2).name, "bn1.beta");
+        assert_eq!(m.tensor(3).name, "fc.weight");
+        assert_eq!(m.tensor(4).name, "fc.bias");
+        for (i, t) in m.tensors().iter().enumerate() {
+            assert_eq!(t.id, i);
+        }
+    }
+
+    #[test]
+    fn param_totals_add_up() {
+        let m = toy();
+        let conv_p = 3 * 3 * 3 * 8;
+        let bn_p = 8 + 8;
+        let fc_p = 8 * 32 * 32 * 10 + 10;
+        assert_eq!(m.total_params(), conv_p + bn_p + fc_p);
+        assert_eq!(m.total_bytes(), m.total_params() * 4);
+    }
+
+    #[test]
+    fn fwd_flops_per_tensor_conserves_total() {
+        let m = toy();
+        let per = m.fwd_flops_per_tensor();
+        let total: f64 = per.iter().sum();
+        assert!((total - m.fwd_flops_per_sample()).abs() < 1e-6 * total);
+    }
+
+    #[test]
+    fn paramfree_flops_attach_to_previous_param_layer() {
+        let m = toy();
+        let per = m.fwd_flops_per_tensor();
+        // relu has no params; its flops fold into the next parameterised
+        // layer (fc), split across fc's two tensors.
+        let fc_flops = (2 * 8 * 32 * 32 * 10) as f64;
+        let relu_flops = (8 * 32 * 32) as f64;
+        let fc_share = per[3] + per[4];
+        assert!((fc_share - (fc_flops + relu_flops)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bwd_is_twice_fwd() {
+        let m = toy();
+        let f: f64 = m.fwd_flops_per_tensor().iter().sum();
+        let b: f64 = m.bwd_flops_per_tensor().iter().sum();
+        assert!((b - 2.0 * f).abs() < 1e-9 * b);
+    }
+
+    #[test]
+    fn conv_flop_formula() {
+        // 3x3x16x32 conv at 8x8 output: 2*3*3*16*32*8*8 FLOPs.
+        let l = conv("c", 3, 16, 32, 8, 8);
+        assert_eq!(l.fwd_flops, (2u64 * 3 * 3 * 16 * 32 * 8 * 8) as f64);
+        assert_eq!(l.params[0].elements, 3 * 3 * 16 * 32);
+    }
+
+    #[test]
+    fn trailing_paramfree_lands_on_last_tensor() {
+        let m = ModelArch::new(
+            "t",
+            vec![
+                fc("fc", 10, 10),
+                activation("softmax", 10, 5.0),
+            ],
+        );
+        let per = m.fwd_flops_per_tensor();
+        let total: f64 = per.iter().sum();
+        assert!((total - m.fwd_flops_per_sample()).abs() < 1e-9);
+        assert!(per[1] >= 50.0); // bias tensor got the softmax flops
+    }
+}

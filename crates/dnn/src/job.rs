@@ -1,0 +1,216 @@
+//! [`TrainingJob`]: a fully-specified workload, ready for the cluster
+//! simulation and the schedulers.
+//!
+//! A job fixes the model, device, batch size, and aggregation behaviour,
+//! and precomputes the per-tensor timing tables everything downstream
+//! consumes: gradient sizes `s(i)`, generation offsets `c(i)` (the stepwise
+//! schedule), and per-tensor forward compute times `T_fp(i)`.
+
+use crate::arch::ModelArch;
+use crate::generation::{GenerationModel, GradientEvent};
+use crate::gpu::GpuSpec;
+use crate::layer::GradientId;
+use prophet_sim::Duration;
+
+/// A workload: model × device × batch size × aggregation model.
+#[derive(Debug, Clone)]
+pub struct TrainingJob {
+    /// The architecture being trained.
+    pub arch: ModelArch,
+    /// The worker's device model.
+    pub gpu: GpuSpec,
+    /// Per-worker batch size (the paper's 16/32/64).
+    pub batch: u32,
+    /// The KVStore-style aggregation behaviour.
+    pub generation: GenerationModel,
+    fwd_times: Vec<Duration>,
+    bwd_times: Vec<Duration>,
+    events: Vec<GradientEvent>,
+}
+
+impl TrainingJob {
+    /// Assemble a job and precompute its timing tables.
+    pub fn new(arch: ModelArch, gpu: GpuSpec, batch: u32, generation: GenerationModel) -> Self {
+        assert!(batch > 0, "zero batch size");
+        let layers_per_tensor = arch.layers().len() as f64 / arch.num_gradients().max(1) as f64;
+        let fwd_times = gpu.tensor_times(&arch.fwd_flops_per_tensor(), batch, layers_per_tensor);
+        let bwd_times = gpu.tensor_times(&arch.bwd_flops_per_tensor(), batch, layers_per_tensor);
+        let bytes: Vec<u64> = arch.tensors().iter().map(|t| t.bytes).collect();
+        let events = generation.schedule(&bwd_times, &bytes);
+        TrainingJob {
+            arch,
+            gpu,
+            batch,
+            generation,
+            fwd_times,
+            bwd_times,
+            events,
+        }
+    }
+
+    /// The paper's standard setup: a named zoo model on the g3.8xlarge GPU
+    /// pair with MXNet-like aggregation.
+    pub fn paper_setup(model: &str, batch: u32) -> Self {
+        let arch = crate::zoo::by_name(model)
+            .unwrap_or_else(|| panic!("unknown model {model}"));
+        let gpu = GpuSpec::m60_pair(model);
+        TrainingJob::new(arch, gpu, batch, GenerationModel::mxnet_like())
+    }
+
+    /// Number of gradients per iteration.
+    pub fn num_gradients(&self) -> usize {
+        self.arch.num_gradients()
+    }
+
+    /// Gradient sizes `s(i)` in bytes, indexed by gradient id.
+    pub fn sizes(&self) -> Vec<u64> {
+        self.arch.tensors().iter().map(|t| t.bytes).collect()
+    }
+
+    /// Wire size of gradient `i`.
+    pub fn size(&self, id: GradientId) -> u64 {
+        self.arch.tensor(id).bytes
+    }
+
+    /// Per-tensor forward compute times `T_fp(i)`.
+    pub fn fwd_times(&self) -> &[Duration] {
+        &self.fwd_times
+    }
+
+    /// Per-tensor backward compute times.
+    pub fn bwd_times(&self) -> &[Duration] {
+        &self.bwd_times
+    }
+
+    /// The generation schedule: when each gradient becomes transferable,
+    /// as offsets from backward-pass start (the stepwise pattern).
+    pub fn generation_events(&self) -> &[GradientEvent] {
+        &self.events
+    }
+
+    /// Generation offsets `c(i)` indexed by gradient id.
+    pub fn c_offsets(&self) -> Vec<Duration> {
+        let mut c = vec![Duration::ZERO; self.num_gradients()];
+        for e in &self.events {
+            c[e.id] = e.ready_at;
+        }
+        c
+    }
+
+    /// Total backward-pass duration (= when gradient 0 is released,
+    /// excluding its d2h copy the moment the staircase ends).
+    pub fn backward_duration(&self) -> Duration {
+        self.events
+            .iter()
+            .map(|e| e.ready_at)
+            .max()
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Total forward-pass compute (no communication stalls).
+    pub fn forward_duration(&self) -> Duration {
+        self.fwd_times
+            .iter()
+            .fold(Duration::ZERO, |acc, &d| acc + d)
+    }
+
+    /// Compute-only iteration time: forward + backward + fixed overhead.
+    /// The floor any scheduler can reach (Eq. 1 with `T_wait = 0`).
+    pub fn compute_iteration(&self) -> Duration {
+        self.forward_duration() + self.backward_duration() + self.gpu.iter_overhead
+    }
+
+    /// The compute-bound training rate ceiling, samples/sec.
+    pub fn compute_rate_ceiling(&self) -> f64 {
+        self.batch as f64 / self.compute_iteration().as_secs_f64()
+    }
+
+    /// Total gradient payload per iteration, bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.arch.total_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_setup_builds_every_evaluated_model() {
+        for model in ["resnet18", "resnet50", "resnet152", "inception_v3"] {
+            let job = TrainingJob::paper_setup(model, 32);
+            assert!(job.num_gradients() > 10, "{model}");
+            assert!(job.backward_duration() > Duration::ZERO);
+            assert!(job.forward_duration() > Duration::ZERO);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown model")]
+    fn unknown_model_panics() {
+        TrainingJob::paper_setup("resnet9000", 32);
+    }
+
+    #[test]
+    fn c_offsets_indexed_by_id() {
+        let job = TrainingJob::paper_setup("resnet50", 64);
+        let c = job.c_offsets();
+        assert_eq!(c.len(), job.num_gradients());
+        // Gradient 0 is released last.
+        let max = c.iter().max().unwrap();
+        assert_eq!(c[0], *max);
+    }
+
+    #[test]
+    fn larger_batch_longer_iteration() {
+        let j16 = TrainingJob::paper_setup("resnet50", 16);
+        let j64 = TrainingJob::paper_setup("resnet50", 64);
+        assert!(j64.compute_iteration() > j16.compute_iteration());
+        // But higher throughput (fixed overheads amortise).
+        assert!(j64.compute_rate_ceiling() > j16.compute_rate_ceiling());
+    }
+
+    #[test]
+    fn rate_ceiling_matches_paper_anchors() {
+        // §5.3: ResNet18 bs64 ≈ 220 samples/s when network is free.
+        let r18 = TrainingJob::paper_setup("resnet18", 64).compute_rate_ceiling();
+        assert!((200.0..280.0).contains(&r18), "resnet18 ceiling {r18:.1}");
+        // Table 2: ResNet50 bs64 ≈ 70.6 at 10 Gbps -> ceiling slightly above.
+        let r50 = TrainingJob::paper_setup("resnet50", 64).compute_rate_ceiling();
+        assert!((68.0..95.0).contains(&r50), "resnet50 ceiling {r50:.1}");
+    }
+
+    #[test]
+    fn sizes_sum_to_model_bytes() {
+        let job = TrainingJob::paper_setup("resnet50", 32);
+        let total: u64 = job.sizes().iter().sum();
+        assert_eq!(total, job.total_bytes());
+        assert_eq!(total, 4 * job.arch.total_params());
+    }
+
+    #[test]
+    fn backward_is_roughly_twice_forward() {
+        let job = TrainingJob::paper_setup("resnet50", 64);
+        let f = job.forward_duration().as_secs_f64();
+        let b = job.backward_duration().as_secs_f64();
+        let ratio = b / f;
+        assert!((1.6..2.6).contains(&ratio), "bwd/fwd ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn stepwise_blocks_present_for_paper_models() {
+        for model in ["resnet18", "resnet50", "resnet152", "inception_v3", "vgg19"] {
+            let job = TrainingJob::paper_setup(model, 64);
+            let blocks = GenerationModel::blocks(job.generation_events());
+            assert!(
+                blocks.len() >= 2,
+                "{model}: no stepwise pattern ({} blocks)",
+                blocks.len()
+            );
+            assert!(
+                blocks.len() < job.num_gradients(),
+                "{model}: no aggregation at all"
+            );
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Layers, parameter tensors, and gradient identity.
+//!
+//! A *layer* is a unit of compute (one convolution, one batch-norm, one
+//! fully-connected transform). A layer owns zero or more *parameter
+//! tensors* (weights, biases, BN scale/shift); each parameter tensor is one
+//! *gradient* in the communication sense — MXNet's KVStore keys gradients
+//! per parameter tensor, which is why the paper's Fig. 4 for VGG19 shows
+//! exactly 38 gradients (16 conv + 3 FC layers, weight + bias each).
+//!
+//! [`GradientId`] doubles as the **priority index**: gradient 0 belongs to
+//! the layer closest to the input, i.e. the tensor the *next iteration's
+//! forward pass needs first*. Backward propagation produces gradients in
+//! roughly descending id order; forward consumes them in ascending order.
+
+/// Index of a gradient/parameter tensor. Also its transfer priority:
+/// smaller = needed earlier by forward propagation = higher priority.
+pub type GradientId = usize;
+
+/// What kind of compute a layer performs — drives its FLOP accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayerKind {
+    /// 2-D convolution.
+    Conv,
+    /// Batch normalisation.
+    BatchNorm,
+    /// Fully connected (dense) layer.
+    FullyConnected,
+    /// Parameter-free compute that still takes time (pooling, activation,
+    /// elementwise residual add).
+    Activation,
+}
+
+/// One unit of compute in the model, in forward-execution order.
+#[derive(Debug, Clone)]
+pub struct LayerSpec {
+    /// Human-readable name, e.g. `"stage3.block2.conv1"`.
+    pub name: String,
+    /// What the layer computes.
+    pub kind: LayerKind,
+    /// Forward FLOPs for a *single* sample.
+    pub fwd_flops: f64,
+    /// Parameter tensors this layer owns, in declaration order
+    /// (weight before bias/scale before shift).
+    pub params: Vec<TensorShape>,
+}
+
+/// Shape of one parameter tensor, reduced to its element count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TensorShape {
+    /// Number of scalar parameters.
+    pub elements: u64,
+}
+
+impl TensorShape {
+    /// A tensor of `elements` FP32 scalars.
+    pub fn new(elements: u64) -> Self {
+        TensorShape { elements }
+    }
+
+    /// Wire size in bytes (FP32).
+    pub fn bytes(&self) -> u64 {
+        self.elements * 4
+    }
+}
+
+/// A materialised gradient/parameter tensor: what the communication layer
+/// schedules. Produced by flattening a model's layers; see
+/// [`crate::ModelArch::tensors`].
+#[derive(Debug, Clone)]
+pub struct TensorSpec {
+    /// Priority index (0 = needed first by forward propagation).
+    pub id: GradientId,
+    /// Index of the owning layer in the model's forward order.
+    pub layer: usize,
+    /// Qualified name, e.g. `"conv1.weight"`.
+    pub name: String,
+    /// Number of scalar parameters.
+    pub elements: u64,
+    /// Wire size in bytes (FP32 payload).
+    pub bytes: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tensor_shape_bytes_is_fp32() {
+        assert_eq!(TensorShape::new(1000).bytes(), 4000);
+    }
+
+    #[test]
+    fn layer_spec_holds_params_in_order() {
+        let l = LayerSpec {
+            name: "fc".into(),
+            kind: LayerKind::FullyConnected,
+            fwd_flops: 2.0 * 512.0 * 1000.0,
+            params: vec![TensorShape::new(512 * 1000), TensorShape::new(1000)],
+        };
+        assert_eq!(l.params.len(), 2);
+        assert!(l.params[0].elements > l.params[1].elements);
+    }
+}

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! # prophet-dnn — the DNN workload substrate
+//!
+//! The paper trains ResNet18/50/152 and Inception-v3 (plus VGG19 in the
+//! motivation study) on ImageNet with MXNet. For a *communication
+//! scheduling* study the only things that matter about those workloads are:
+//!
+//! 1. the **per-tensor gradient sizes** and their **priority order**
+//!    (gradient 0 = the tensor the next forward pass needs first),
+//! 2. **when** each gradient becomes available during backward propagation
+//!    (the "stepwise pattern" of §2.2), and
+//! 3. how long forward/backward **compute** takes per layer on the GPU.
+//!
+//! All three are derived here from first principles:
+//!
+//! * [`zoo`] builds each architecture layer by layer (convolution shapes,
+//!   batch-norm pairs, fully-connected heads), so parameter counts and FLOPs
+//!   match the published models — unit tests pin the totals against the
+//!   literature (e.g. ResNet50 ≈ 25.56 M parameters, VGG19's 38 parameter
+//!   tensors that make Fig. 4's four blocks add up).
+//! * [`gpu`] converts per-layer FLOPs into time on a calibrated device
+//!   model (`M60_PAIR` for the paper's g3.8xlarge workers).
+//! * [`generation`] reproduces the KVStore-style aggregation that causes
+//!   gradients to be released in bursts — the stepwise pattern is an
+//!   *output* of this model, not an input.
+//!
+//! The result of combining them is a [`TrainingJob`]: everything the
+//! schedulers in `prophet-core` and the cluster simulation in `prophet-ps`
+//! need to know about a workload.
+
+pub mod arch;
+pub mod generation;
+pub mod gpu;
+pub mod job;
+pub mod layer;
+pub mod zoo;
+
+pub use arch::ModelArch;
+pub use generation::{GenerationModel, GradientEvent};
+pub use gpu::GpuSpec;
+pub use job::TrainingJob;
+pub use layer::{GradientId, LayerKind, LayerSpec, TensorSpec};

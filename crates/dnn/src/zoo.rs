@@ -1,0 +1,447 @@
+//! The model zoo: the architectures the paper evaluates, built layer by
+//! layer so parameter counts, tensor counts, and FLOPs match the published
+//! models.
+//!
+//! Accuracy anchors (unit-tested below, MACs = our `fwd_flops / 2`):
+//!
+//! | model        | params     | MACs/sample | tensors |
+//! |--------------|-----------:|------------:|--------:|
+//! | ResNet18     |  11.69 M   |   1.82 G    |  62     |
+//! | ResNet50     |  25.56 M   |   4.1  G    | 161     |
+//! | ResNet152    |  60.19 M   |  11.5  G    | 467     |
+//! | Inception-v3 |  23.8  M   |   5.7  G    | ~290    |
+//! | VGG19        | 143.67 M   |  19.6  G    |  38     |
+//! | AlexNet      |  61.1  M   |   0.71 G    |  16     |
+//!
+//! VGG19's 38 tensors are the strongest structural check: the paper's
+//! Fig. 4 observes gradients 0–37 grouped into four blocks for exactly this
+//! model.
+
+use crate::arch::build::*;
+use crate::arch::ModelArch;
+use crate::layer::{LayerKind, LayerSpec, TensorShape};
+
+/// A conv with a non-square kernel (Inception's 1×7 / 7×1 factorisation).
+fn conv_hw(name: &str, kh: u64, kw: u64, cin: u64, cout: u64, h: u64, w: u64) -> LayerSpec {
+    let params = kh * kw * cin * cout;
+    LayerSpec {
+        name: name.into(),
+        kind: LayerKind::Conv,
+        fwd_flops: (2 * params * h * w) as f64,
+        params: vec![TensorShape::new(params)],
+    }
+}
+
+/// Conv (no bias) + BN pair — the standard modern arrangement.
+fn cb(layers: &mut Vec<LayerSpec>, name: &str, k: u64, cin: u64, cout: u64, h: u64, w: u64) {
+    layers.push(conv(&format!("{name}.conv"), k, cin, cout, h, w));
+    layers.push(batchnorm(&format!("{name}.bn"), cout, h, w));
+}
+
+#[allow(clippy::too_many_arguments)] // mirrors the conv dimensions 1:1
+fn cb_hw(
+    layers: &mut Vec<LayerSpec>,
+    name: &str,
+    kh: u64,
+    kw: u64,
+    cin: u64,
+    cout: u64,
+    h: u64,
+    w: u64,
+) {
+    layers.push(conv_hw(&format!("{name}.conv"), kh, kw, cin, cout, h, w));
+    layers.push(batchnorm(&format!("{name}.bn"), cout, h, w));
+}
+
+/// ResNet-18 (basic blocks, [2, 2, 2, 2]).
+pub fn resnet18() -> ModelArch {
+    resnet_basic("resnet18", &[2, 2, 2, 2])
+}
+
+/// ResNet-34 (basic blocks, [3, 4, 6, 3]) — not in the paper's evaluation
+/// but cheap to provide and useful for scaling studies.
+pub fn resnet34() -> ModelArch {
+    resnet_basic("resnet34", &[3, 4, 6, 3])
+}
+
+/// ResNet-50 (bottleneck blocks, [3, 4, 6, 3]).
+pub fn resnet50() -> ModelArch {
+    resnet_bottleneck("resnet50", &[3, 4, 6, 3])
+}
+
+/// ResNet-101 (bottleneck blocks, [3, 4, 23, 3]).
+pub fn resnet101() -> ModelArch {
+    resnet_bottleneck("resnet101", &[3, 4, 23, 3])
+}
+
+/// ResNet-152 (bottleneck blocks, [3, 8, 36, 3]).
+pub fn resnet152() -> ModelArch {
+    resnet_bottleneck("resnet152", &[3, 8, 36, 3])
+}
+
+fn resnet_stem(layers: &mut Vec<LayerSpec>) {
+    // 224×224 input; 7×7/2 conv to 112×112, then 3×3/2 maxpool to 56×56.
+    cb(layers, "conv1", 7, 3, 64, 112, 112);
+    layers.push(activation("maxpool", 64 * 56 * 56, 2.0));
+}
+
+fn resnet_basic(name: &str, blocks: &[usize; 4]) -> ModelArch {
+    let widths = [64u64, 128, 256, 512];
+    let spatial = [56u64, 28, 14, 7];
+    let mut layers = Vec::new();
+    resnet_stem(&mut layers);
+    let mut cin = 64u64;
+    for (s, (&n, (&w, &sp))) in blocks
+        .iter()
+        .zip(widths.iter().zip(spatial.iter()))
+        .enumerate()
+    {
+        for b in 0..n {
+            let prefix = format!("stage{}.block{}", s + 1, b);
+            let first = b == 0;
+            // First block of stages 2-4 downsamples; stage 1 keeps 56×56.
+            let needs_proj = first && (cin != w);
+            cb(&mut layers, &format!("{prefix}.conv1"), 3, cin, w, sp, sp);
+            cb(&mut layers, &format!("{prefix}.conv2"), 3, w, w, sp, sp);
+            if needs_proj {
+                cb(&mut layers, &format!("{prefix}.down"), 1, cin, w, sp, sp);
+            }
+            layers.push(activation(
+                &format!("{prefix}.add_relu"),
+                w * sp * sp,
+                2.0,
+            ));
+            cin = w;
+        }
+    }
+    layers.push(activation("avgpool", 512 * 7 * 7, 1.0));
+    layers.push(fc("fc", 512, 1000));
+    ModelArch::new(name, layers)
+}
+
+fn resnet_bottleneck(name: &str, blocks: &[usize; 4]) -> ModelArch {
+    let widths = [64u64, 128, 256, 512];
+    let spatial = [56u64, 28, 14, 7];
+    let mut layers = Vec::new();
+    resnet_stem(&mut layers);
+    let mut cin = 64u64;
+    for (s, (&n, (&w, &sp))) in blocks
+        .iter()
+        .zip(widths.iter().zip(spatial.iter()))
+        .enumerate()
+    {
+        let cout = 4 * w;
+        for b in 0..n {
+            let prefix = format!("stage{}.block{}", s + 1, b);
+            let first = b == 0;
+            // In-block spatial: the stride-2 happens on conv2 of the first
+            // block of stages 2-4 (torchvision v1.5 arrangement); conv1 of
+            // that block still runs at the previous stage's resolution.
+            let sp_in = if first && s > 0 { sp * 2 } else { sp };
+            cb(&mut layers, &format!("{prefix}.conv1"), 1, cin, w, sp_in, sp_in);
+            cb(&mut layers, &format!("{prefix}.conv2"), 3, w, w, sp, sp);
+            cb(&mut layers, &format!("{prefix}.conv3"), 1, w, cout, sp, sp);
+            if first {
+                cb(&mut layers, &format!("{prefix}.down"), 1, cin, cout, sp, sp);
+            }
+            layers.push(activation(
+                &format!("{prefix}.add_relu"),
+                cout * sp * sp,
+                2.0,
+            ));
+            cin = cout;
+        }
+    }
+    layers.push(activation("avgpool", 2048 * 7 * 7, 1.0));
+    layers.push(fc("fc", 2048, 1000));
+    ModelArch::new(name, layers)
+}
+
+/// VGG-19: 16 biased 3×3 convs + 3 FC layers = 38 parameter tensors,
+/// exactly the gradient count the paper observes for this model.
+pub fn vgg19() -> ModelArch {
+    let cfg: &[(u64, u64, u64)] = &[
+        // (cin, cout, spatial)
+        (3, 64, 224),
+        (64, 64, 224),
+        (64, 128, 112),
+        (128, 128, 112),
+        (128, 256, 56),
+        (256, 256, 56),
+        (256, 256, 56),
+        (256, 256, 56),
+        (256, 512, 28),
+        (512, 512, 28),
+        (512, 512, 28),
+        (512, 512, 28),
+        (512, 512, 14),
+        (512, 512, 14),
+        (512, 512, 14),
+        (512, 512, 14),
+    ];
+    let mut layers = Vec::new();
+    for (i, &(cin, cout, sp)) in cfg.iter().enumerate() {
+        layers.push(conv_bias(&format!("conv{}", i + 1), 3, cin, cout, sp, sp));
+        layers.push(activation(&format!("relu{}", i + 1), cout * sp * sp, 1.0));
+    }
+    layers.push(activation("flatten", 512 * 7 * 7, 1.0));
+    layers.push(fc("fc1", 512 * 7 * 7, 4096));
+    layers.push(fc("fc2", 4096, 4096));
+    layers.push(fc("fc3", 4096, 1000));
+    ModelArch::new("vgg19", layers)
+}
+
+/// AlexNet (the one-tower variant): 5 biased convs + 3 FC layers.
+pub fn alexnet() -> ModelArch {
+    let layers = vec![
+        conv_bias("conv1", 11, 3, 64, 55, 55),
+        activation("pool1", 64 * 27 * 27, 2.0),
+        conv_bias("conv2", 5, 64, 192, 27, 27),
+        activation("pool2", 192 * 13 * 13, 2.0),
+        conv_bias("conv3", 3, 192, 384, 13, 13),
+        conv_bias("conv4", 3, 384, 256, 13, 13),
+        conv_bias("conv5", 3, 256, 256, 13, 13),
+        activation("pool5", 256 * 6 * 6, 2.0),
+        fc("fc1", 256 * 6 * 6, 4096),
+        fc("fc2", 4096, 4096),
+        fc("fc3", 4096, 1000),
+    ];
+    ModelArch::new("alexnet", layers)
+}
+
+/// Inception-v3 (without the auxiliary classifier), 299×299 input.
+pub fn inception_v3() -> ModelArch {
+    let mut l = Vec::new();
+    // Stem.
+    cb(&mut l, "stem1", 3, 3, 32, 149, 149);
+    cb(&mut l, "stem2", 3, 32, 32, 147, 147);
+    cb(&mut l, "stem3", 3, 32, 64, 147, 147);
+    l.push(activation("stem.pool1", 64 * 73 * 73, 2.0));
+    cb(&mut l, "stem4", 1, 64, 80, 73, 73);
+    cb(&mut l, "stem5", 3, 80, 192, 71, 71);
+    l.push(activation("stem.pool2", 192 * 35 * 35, 2.0));
+
+    // 3× Inception-A at 35×35. Pool-branch width: 32, 64, 64.
+    let a_inputs = [192u64, 256, 288];
+    let a_pool = [32u64, 64, 64];
+    for (i, (&cin, &pw)) in a_inputs.iter().zip(a_pool.iter()).enumerate() {
+        let p = format!("mixedA{i}");
+        cb(&mut l, &format!("{p}.b1x1"), 1, cin, 64, 35, 35);
+        cb(&mut l, &format!("{p}.b5x5_1"), 1, cin, 48, 35, 35);
+        cb(&mut l, &format!("{p}.b5x5_2"), 5, 48, 64, 35, 35);
+        cb(&mut l, &format!("{p}.b3x3_1"), 1, cin, 64, 35, 35);
+        cb(&mut l, &format!("{p}.b3x3_2"), 3, 64, 96, 35, 35);
+        cb(&mut l, &format!("{p}.b3x3_3"), 3, 96, 96, 35, 35);
+        cb(&mut l, &format!("{p}.bpool"), 1, cin, pw, 35, 35);
+    }
+
+    // Reduction-A: 35 → 17, 288 → 768.
+    cb(&mut l, "redA.b3x3", 3, 288, 384, 17, 17);
+    cb(&mut l, "redA.b3x3dbl_1", 1, 288, 64, 35, 35);
+    cb(&mut l, "redA.b3x3dbl_2", 3, 64, 96, 35, 35);
+    cb(&mut l, "redA.b3x3dbl_3", 3, 96, 96, 17, 17);
+    l.push(activation("redA.pool", 288 * 17 * 17, 2.0));
+
+    // 4× Inception-B at 17×17 with factorised 7×7; c7 = 128, 160, 160, 192.
+    let c7s = [128u64, 160, 160, 192];
+    for (i, &c7) in c7s.iter().enumerate() {
+        let p = format!("mixedB{i}");
+        let cin = 768u64;
+        cb(&mut l, &format!("{p}.b1x1"), 1, cin, 192, 17, 17);
+        cb(&mut l, &format!("{p}.b7_1"), 1, cin, c7, 17, 17);
+        cb_hw(&mut l, &format!("{p}.b7_2"), 1, 7, c7, c7, 17, 17);
+        cb_hw(&mut l, &format!("{p}.b7_3"), 7, 1, c7, 192, 17, 17);
+        cb(&mut l, &format!("{p}.b7dbl_1"), 1, cin, c7, 17, 17);
+        cb_hw(&mut l, &format!("{p}.b7dbl_2"), 7, 1, c7, c7, 17, 17);
+        cb_hw(&mut l, &format!("{p}.b7dbl_3"), 1, 7, c7, c7, 17, 17);
+        cb_hw(&mut l, &format!("{p}.b7dbl_4"), 7, 1, c7, c7, 17, 17);
+        cb_hw(&mut l, &format!("{p}.b7dbl_5"), 1, 7, c7, 192, 17, 17);
+        cb(&mut l, &format!("{p}.bpool"), 1, cin, 192, 17, 17);
+    }
+
+    // Reduction-B: 17 → 8, 768 → 1280.
+    cb(&mut l, "redB.b3x3_1", 1, 768, 192, 17, 17);
+    cb(&mut l, "redB.b3x3_2", 3, 192, 320, 8, 8);
+    cb(&mut l, "redB.b7x7_1", 1, 768, 192, 17, 17);
+    cb_hw(&mut l, "redB.b7x7_2", 1, 7, 192, 192, 17, 17);
+    cb_hw(&mut l, "redB.b7x7_3", 7, 1, 192, 192, 17, 17);
+    cb(&mut l, "redB.b7x7_4", 3, 192, 192, 8, 8);
+    l.push(activation("redB.pool", 768 * 8 * 8, 2.0));
+
+    // 2× Inception-C at 8×8. Inputs 1280 then 2048.
+    for (i, &cin) in [1280u64, 2048].iter().enumerate() {
+        let p = format!("mixedC{i}");
+        cb(&mut l, &format!("{p}.b1x1"), 1, cin, 320, 8, 8);
+        cb(&mut l, &format!("{p}.b3_1"), 1, cin, 384, 8, 8);
+        cb_hw(&mut l, &format!("{p}.b3_2a"), 1, 3, 384, 384, 8, 8);
+        cb_hw(&mut l, &format!("{p}.b3_2b"), 3, 1, 384, 384, 8, 8);
+        cb(&mut l, &format!("{p}.b3dbl_1"), 1, cin, 448, 8, 8);
+        cb(&mut l, &format!("{p}.b3dbl_2"), 3, 448, 384, 8, 8);
+        cb_hw(&mut l, &format!("{p}.b3dbl_3a"), 1, 3, 384, 384, 8, 8);
+        cb_hw(&mut l, &format!("{p}.b3dbl_3b"), 3, 1, 384, 384, 8, 8);
+        cb(&mut l, &format!("{p}.bpool"), 1, cin, 192, 8, 8);
+    }
+
+    l.push(activation("avgpool", 2048, 1.0));
+    l.push(fc("fc", 2048, 1000));
+    ModelArch::new("inception_v3", l)
+}
+
+/// Look a model up by its evaluation-section name.
+pub fn by_name(name: &str) -> Option<ModelArch> {
+    match name {
+        "resnet18" => Some(resnet18()),
+        "resnet34" => Some(resnet34()),
+        "resnet50" => Some(resnet50()),
+        "resnet101" => Some(resnet101()),
+        "resnet152" => Some(resnet152()),
+        "inception_v3" => Some(inception_v3()),
+        "vgg19" => Some(vgg19()),
+        "alexnet" => Some(alexnet()),
+        _ => None,
+    }
+}
+
+/// Every model in the zoo, in a stable order.
+pub fn all_models() -> Vec<ModelArch> {
+    ["resnet18", "resnet34", "resnet50", "resnet101", "resnet152", "inception_v3", "vgg19", "alexnet"]
+        .iter()
+        .map(|n| by_name(n).unwrap())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(actual: f64, expect: f64, tol: f64, what: &str) {
+        let rel = (actual - expect).abs() / expect;
+        assert!(
+            rel <= tol,
+            "{what}: got {actual:.4e}, expected {expect:.4e} (off by {:.1}%)",
+            rel * 100.0
+        );
+    }
+
+    #[test]
+    fn resnet18_matches_published() {
+        let m = resnet18();
+        assert_close(m.total_params() as f64, 11.69e6, 0.03, "resnet18 params");
+        assert_close(
+            m.fwd_flops_per_sample() / 2.0,
+            1.82e9,
+            0.10,
+            "resnet18 MACs",
+        );
+    }
+
+    #[test]
+    fn resnet34_matches_published() {
+        let m = resnet34();
+        assert_close(m.total_params() as f64, 21.8e6, 0.03, "resnet34 params");
+    }
+
+    #[test]
+    fn resnet50_matches_published() {
+        let m = resnet50();
+        assert_close(m.total_params() as f64, 25.56e6, 0.03, "resnet50 params");
+        assert_close(m.fwd_flops_per_sample() / 2.0, 4.1e9, 0.10, "resnet50 MACs");
+        // 53 convs + 53 BNs (2 tensors) + fc (2 tensors) = 161.
+        assert_eq!(m.num_gradients(), 161);
+    }
+
+    #[test]
+    fn resnet101_matches_published() {
+        let m = resnet101();
+        assert_close(m.total_params() as f64, 44.55e6, 0.03, "resnet101 params");
+    }
+
+    #[test]
+    fn resnet152_matches_published() {
+        let m = resnet152();
+        assert_close(m.total_params() as f64, 60.19e6, 0.03, "resnet152 params");
+        assert_close(
+            m.fwd_flops_per_sample() / 2.0,
+            11.5e9,
+            0.10,
+            "resnet152 MACs",
+        );
+    }
+
+    #[test]
+    fn vgg19_matches_published_and_has_38_tensors() {
+        let m = vgg19();
+        assert_close(m.total_params() as f64, 143.67e6, 0.02, "vgg19 params");
+        assert_close(m.fwd_flops_per_sample() / 2.0, 19.6e9, 0.10, "vgg19 MACs");
+        // The Fig. 4 anchor: gradients 0..=37.
+        assert_eq!(m.num_gradients(), 38);
+    }
+
+    #[test]
+    fn inception_v3_matches_published() {
+        let m = inception_v3();
+        assert_close(
+            m.total_params() as f64,
+            23.8e6,
+            0.06,
+            "inception_v3 params",
+        );
+        assert_close(
+            m.fwd_flops_per_sample() / 2.0,
+            5.7e9,
+            0.15,
+            "inception_v3 MACs",
+        );
+    }
+
+    #[test]
+    fn alexnet_matches_published() {
+        let m = alexnet();
+        assert_close(m.total_params() as f64, 61.1e6, 0.03, "alexnet params");
+        assert_close(
+            m.fwd_flops_per_sample() / 2.0,
+            0.71e9,
+            0.15,
+            "alexnet MACs",
+        );
+    }
+
+    #[test]
+    fn by_name_roundtrip() {
+        for m in all_models() {
+            let again = by_name(&m.name).unwrap();
+            assert_eq!(again.total_params(), m.total_params());
+            assert_eq!(again.num_gradients(), m.num_gradients());
+        }
+        assert!(by_name("resnet9000").is_none());
+    }
+
+    #[test]
+    fn deeper_resnets_are_strictly_bigger() {
+        let p18 = resnet18().total_params();
+        let p34 = resnet34().total_params();
+        let p50 = resnet50().total_params();
+        let p101 = resnet101().total_params();
+        let p152 = resnet152().total_params();
+        assert!(p18 < p34 && p34 < p50 && p50 < p101 && p101 < p152);
+    }
+
+    #[test]
+    fn tensor_table_consistent_with_layers() {
+        for m in all_models() {
+            let from_layers: u64 = m
+                .layers()
+                .iter()
+                .flat_map(|l| l.params.iter())
+                .map(|p| p.elements)
+                .sum();
+            assert_eq!(from_layers, m.total_params(), "{}", m.name);
+            // Layer indices are non-decreasing across the tensor table.
+            let mut last = 0;
+            for t in m.tensors() {
+                assert!(t.layer >= last, "{}: tensor table out of order", m.name);
+                last = t.layer;
+            }
+        }
+    }
+}

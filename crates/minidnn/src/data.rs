@@ -1,0 +1,166 @@
+//! Synthetic classification data: Gaussian blobs — linearly-ish separable
+//! but with enough overlap that training has something to learn.
+
+use crate::tensor::Tensor;
+use prophet_sim::Xoshiro256StarStar;
+
+/// A labelled dataset: `x` is `samples × features`, `labels[i] < classes`.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Feature matrix.
+    pub x: Tensor,
+    /// Class labels, one per row.
+    pub labels: Vec<usize>,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl Dataset {
+    /// Gaussian blobs: `classes` centres on a scaled simplex-ish layout in
+    /// `features`-dimensional space, `samples` points round-robin across
+    /// classes, noise stddev `noise`. Deterministic per seed.
+    pub fn blobs(samples: usize, features: usize, classes: usize, noise: f64, seed: u64) -> Self {
+        assert!(classes >= 2 && features >= 1 && samples >= classes);
+        let mut rng = Xoshiro256StarStar::new(seed);
+        // Class centres: deterministic unit-ish directions.
+        let mut centres = vec![vec![0.0f64; features]; classes];
+        let mut crng = rng.substream(0xC0FFEE);
+        for centre in &mut centres {
+            for v in centre.iter_mut() {
+                *v = crng.next_gaussian();
+            }
+            let norm = centre.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-9);
+            for v in centre.iter_mut() {
+                *v = *v / norm * 3.0; // well-separated at noise ~1
+            }
+        }
+        let mut data = Vec::with_capacity(samples * features);
+        let mut labels = Vec::with_capacity(samples);
+        for i in 0..samples {
+            let class = i % classes;
+            labels.push(class);
+            for c in &centres[class] {
+                data.push((c + noise * rng.next_gaussian()) as f32);
+            }
+        }
+        Dataset {
+            x: Tensor::from_vec(samples, features, data),
+            labels,
+            classes,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True if the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Rows `[lo, hi)` as a batch `(x, labels)`.
+    pub fn batch(&self, lo: usize, hi: usize) -> (Tensor, Vec<usize>) {
+        assert!(lo < hi && hi <= self.len(), "bad batch range");
+        let cols = self.x.cols;
+        let data = self.x.data[lo * cols..hi * cols].to_vec();
+        (
+            Tensor::from_vec(hi - lo, cols, data),
+            self.labels[lo..hi].to_vec(),
+        )
+    }
+
+    /// Split the rows of batch `[lo, hi)` evenly across `shards` workers
+    /// (data parallelism); the leftover rows go to the last shard.
+    pub fn shard(&self, lo: usize, hi: usize, shards: usize) -> Vec<(Tensor, Vec<usize>)> {
+        assert!(shards >= 1);
+        let total = hi - lo;
+        let per = total / shards;
+        assert!(per >= 1, "batch smaller than worker count");
+        (0..shards)
+            .map(|s| {
+                let a = lo + s * per;
+                let b = if s == shards - 1 { hi } else { a + per };
+                self.batch(a, b)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blobs_shapes_and_labels() {
+        let d = Dataset::blobs(100, 8, 4, 1.0, 1);
+        assert_eq!(d.len(), 100);
+        assert_eq!(d.x.rows, 100);
+        assert_eq!(d.x.cols, 8);
+        assert!(d.labels.iter().all(|&l| l < 4));
+        // Round-robin labels: every class appears.
+        for c in 0..4 {
+            assert!(d.labels.contains(&c));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Dataset::blobs(50, 4, 2, 1.0, 9);
+        let b = Dataset::blobs(50, 4, 2, 1.0, 9);
+        assert_eq!(a.x, b.x);
+        let c = Dataset::blobs(50, 4, 2, 1.0, 10);
+        assert_ne!(a.x, c.x);
+    }
+
+    #[test]
+    fn classes_are_separated() {
+        // Class means should be farther apart than the noise scale.
+        let d = Dataset::blobs(400, 6, 2, 0.5, 3);
+        let mean = |class: usize| -> Vec<f32> {
+            let rows: Vec<usize> = (0..d.len()).filter(|&i| d.labels[i] == class).collect();
+            let mut m = [0.0f32; 6];
+            for &r in &rows {
+                for (mm, &v) in m.iter_mut().zip(d.x.row(r)) {
+                    *mm += v;
+                }
+            }
+            m.iter().map(|v| v / rows.len() as f32).collect()
+        };
+        let (m0, m1) = (mean(0), mean(1));
+        let dist: f32 = m0
+            .iter()
+            .zip(&m1)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            .sqrt();
+        assert!(dist > 1.0, "centres too close: {dist}");
+    }
+
+    #[test]
+    fn batch_extracts_rows() {
+        let d = Dataset::blobs(10, 3, 2, 1.0, 4);
+        let (x, labels) = d.batch(2, 5);
+        assert_eq!(x.rows, 3);
+        assert_eq!(labels, d.labels[2..5].to_vec());
+        assert_eq!(x.row(0), d.x.row(2));
+    }
+
+    #[test]
+    fn shard_covers_batch() {
+        let d = Dataset::blobs(20, 3, 2, 1.0, 4);
+        let shards = d.shard(0, 10, 3);
+        assert_eq!(shards.len(), 3);
+        let total: usize = shards.iter().map(|(x, _)| x.rows).sum();
+        assert_eq!(total, 10);
+        // Last shard takes the remainder.
+        assert_eq!(shards[2].0.rows, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad batch range")]
+    fn bad_batch_panics() {
+        Dataset::blobs(10, 3, 2, 1.0, 4).batch(5, 5);
+    }
+}

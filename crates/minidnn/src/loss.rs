@@ -1,0 +1,123 @@
+//! Loss functions with analytic gradients.
+
+use crate::tensor::Tensor;
+
+/// Softmax cross-entropy over logits.
+///
+/// Returns `(mean_loss, grad_logits)` for integer class `labels`
+/// (one per row of `logits`). The gradient is the classic
+/// `(softmax − one_hot) / batch`.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    assert_eq!(logits.rows, labels.len(), "one label per row");
+    let batch = logits.rows as f32;
+    let mut grad = Tensor::zeros(logits.rows, logits.cols);
+    let mut loss = 0.0f32;
+    for (r, &label) in labels.iter().enumerate() {
+        let row = logits.row(r);
+        assert!(label < logits.cols, "label out of range");
+        // Numerically stable softmax.
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        loss -= (exps[label] / sum).ln();
+        let grow = &mut grad.data[r * logits.cols..(r + 1) * logits.cols];
+        for (c, g) in grow.iter_mut().enumerate() {
+            let p = exps[c] / sum;
+            *g = (p - if c == label { 1.0 } else { 0.0 }) / batch;
+        }
+    }
+    (loss / batch, grad)
+}
+
+/// Mean squared error `mean((pred − target)²)`.
+///
+/// Returns `(loss, grad_pred)` with `grad = 2 (pred − target) / n`.
+pub fn mse(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(pred.rows, target.rows);
+    assert_eq!(pred.cols, target.cols);
+    let n = pred.len() as f32;
+    let mut grad = Tensor::zeros(pred.rows, pred.cols);
+    let mut loss = 0.0f32;
+    for ((g, &p), &t) in grad.data.iter_mut().zip(&pred.data).zip(&target.data) {
+        let d = p - t;
+        loss += d * d;
+        *g = 2.0 * d / n;
+    }
+    (loss / n, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_entropy_uniform_logits() {
+        // Equal logits over 4 classes: loss = ln 4, grad = (1/4 - onehot)/1.
+        let logits = Tensor::zeros(1, 4);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[2]);
+        assert!((loss - 4.0f32.ln()).abs() < 1e-6);
+        assert!((grad.at(0, 0) - 0.25).abs() < 1e-6);
+        assert!((grad.at(0, 2) + 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_confident_correct_is_cheap() {
+        let logits = Tensor::from_vec(1, 3, vec![10.0, -10.0, -10.0]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss < 1e-6, "confident correct prediction: loss {loss}");
+    }
+
+    #[test]
+    fn cross_entropy_grad_matches_finite_difference() {
+        let mut logits = Tensor::from_vec(2, 3, vec![0.5, -0.2, 0.1, 1.5, 0.0, -1.0]);
+        let labels = [1usize, 0];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3f32;
+        for k in 0..6 {
+            let orig = logits.data[k];
+            logits.data[k] = orig + eps;
+            let (up, _) = softmax_cross_entropy(&logits, &labels);
+            logits.data[k] = orig - eps;
+            let (down, _) = softmax_cross_entropy(&logits, &labels);
+            logits.data[k] = orig;
+            let numeric = (up - down) / (2.0 * eps);
+            assert!(
+                (numeric - grad.data[k]).abs() < 1e-3,
+                "logit {k}: numeric {numeric} vs analytic {}",
+                grad.data[k]
+            );
+        }
+    }
+
+    #[test]
+    fn grad_rows_sum_to_zero() {
+        // Softmax gradient rows always sum to 0 (probabilities sum to 1).
+        let logits = Tensor::from_vec(1, 5, vec![1., 2., 3., 4., 5.]);
+        let (_, grad) = softmax_cross_entropy(&logits, &[3]);
+        let sum: f32 = grad.data.iter().sum();
+        assert!(sum.abs() < 1e-6);
+    }
+
+    #[test]
+    fn mse_known_values() {
+        let pred = Tensor::from_vec(1, 2, vec![1.0, 3.0]);
+        let target = Tensor::from_vec(1, 2, vec![0.0, 1.0]);
+        let (loss, grad) = mse(&pred, &target);
+        assert!((loss - 2.5).abs() < 1e-6); // (1 + 4) / 2
+        assert_eq!(grad.data, vec![1.0, 2.0]); // 2*d/2
+    }
+
+    #[test]
+    fn mse_zero_at_perfect_fit() {
+        let pred = Tensor::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        let (loss, grad) = mse(&pred, &pred);
+        assert_eq!(loss, 0.0);
+        assert!(grad.data.iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn bad_label_panics() {
+        softmax_cross_entropy(&Tensor::zeros(1, 2), &[5]);
+    }
+}

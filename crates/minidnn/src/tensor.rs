@@ -1,0 +1,259 @@
+//! Dense row-major 2-D tensors with the handful of ops an MLP needs.
+//!
+//! Everything is `f32` (like the gradients the paper ships over the wire)
+//! and allocation-explicit: hot-loop ops offer `*_into` variants writing
+//! into caller-provided buffers so the training loop allocates nothing per
+//! step once warmed up.
+
+/// A row-major `rows × cols` matrix of `f32`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    /// Row count.
+    pub rows: usize,
+    /// Column count.
+    pub cols: usize,
+    /// Row-major storage, `rows * cols` long.
+    pub data: Vec<f32>,
+}
+
+impl Tensor {
+    /// A zero-filled tensor.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Tensor {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from existing storage. Panics on size mismatch.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape/storage mismatch");
+        Tensor { rows, cols, data }
+    }
+
+    /// Element `(r, c)`.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element `(r, c)`.
+    #[inline]
+    pub fn at_mut(&mut self, r: usize, c: usize) -> &mut f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// One row as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// `self · other` into a fresh tensor.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// `out = self · other`, reusing `out`'s storage.
+    ///
+    /// ikj loop order: the inner loop strides contiguously through both
+    /// `other` and `out`, which is the cache-friendly arrangement for
+    /// row-major data.
+    pub fn matmul_into(&self, other: &Tensor, out: &mut Tensor) {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        assert_eq!(out.rows, self.rows);
+        assert_eq!(out.cols, other.cols);
+        out.data.fill(0.0);
+        let n = other.cols;
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[k * n..(k + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+    }
+
+    /// `selfᵀ · other` (used for weight gradients: `xᵀ · dy`).
+    pub fn t_matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
+        let mut out = Tensor::zeros(self.cols, other.cols);
+        let n = other.cols;
+        for r in 0..self.rows {
+            let a_row = self.row(r);
+            let b_row = other.row(r);
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[k * n..(k + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ` (used for input gradients: `dy · wᵀ`).
+    pub fn matmul_t(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
+        let mut out = Tensor::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..other.rows {
+                let b_row = other.row(j);
+                let mut acc = 0.0f32;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                *out.at_mut(i, j) = acc;
+            }
+        }
+        out
+    }
+
+    /// Elementwise `self += alpha * other`.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(self.data.len(), other.data.len(), "axpy shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Multiply every element by `alpha`.
+    pub fn scale(&mut self, alpha: f32) {
+        for a in &mut self.data {
+            *a *= alpha;
+        }
+    }
+
+    /// Sum over rows → a `1 × cols` tensor (bias gradients).
+    pub fn sum_rows(&self) -> Tensor {
+        let mut out = Tensor::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for (o, &v) in out.data.iter_mut().zip(self.row(r)) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Max absolute elementwise difference to `other`.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.data.len(), other.data.len());
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(rows: usize, cols: usize, v: &[f32]) -> Tensor {
+        Tensor::from_vec(rows, cols, v.to_vec())
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = t(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let b = t(3, 2, &[7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data, vec![58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = t(2, 2, &[1., 2., 3., 4.]);
+        let i = t(2, 2, &[1., 0., 0., 1.]);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn t_matmul_equals_explicit_transpose() {
+        let a = t(3, 2, &[1., 2., 3., 4., 5., 6.]);
+        let b = t(3, 2, &[7., 8., 9., 10., 11., 12.]);
+        // aᵀ·b where aᵀ is 2x3.
+        let at = t(2, 3, &[1., 3., 5., 2., 4., 6.]);
+        assert_eq!(a.t_matmul(&b), at.matmul(&b));
+    }
+
+    #[test]
+    fn matmul_t_equals_explicit_transpose() {
+        let a = t(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let b = t(4, 3, &(1..=12).map(|x| x as f32).collect::<Vec<_>>());
+        let bt = {
+            let mut out = Tensor::zeros(3, 4);
+            for r in 0..4 {
+                for c in 0..3 {
+                    *out.at_mut(c, r) = b.at(r, c);
+                }
+            }
+            out
+        };
+        assert_eq!(a.matmul_t(&b), a.matmul(&bt));
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = t(1, 3, &[1., 2., 3.]);
+        let b = t(1, 3, &[10., 20., 30.]);
+        a.axpy(0.5, &b);
+        assert_eq!(a.data, vec![6., 12., 18.]);
+        a.scale(2.0);
+        assert_eq!(a.data, vec![12., 24., 36.]);
+    }
+
+    #[test]
+    fn sum_rows_collapses() {
+        let a = t(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        assert_eq!(a.sum_rows().data, vec![5., 7., 9.]);
+    }
+
+    #[test]
+    fn norm_and_diff() {
+        let a = t(1, 2, &[3., 4.]);
+        assert!((a.norm() - 5.0).abs() < 1e-6);
+        let b = t(1, 2, &[3., 7.]);
+        assert_eq!(a.max_abs_diff(&b), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn shape_mismatch_panics() {
+        let a = t(2, 3, &[0.; 6]);
+        let b = t(2, 3, &[0.; 6]);
+        a.matmul(&b);
+    }
+}

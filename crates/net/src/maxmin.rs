@@ -1,0 +1,224 @@
+//! Max-min fair rate allocation with per-flow caps.
+//!
+//! Given flows that each consume one uplink (at their source) and one
+//! downlink (at their destination), progressive filling raises every
+//! unfrozen flow's rate uniformly until some constraint saturates, freezes
+//! the flows bound by it, and repeats. Per-flow caps (our TCP slow-start
+//! state) are just another freezing condition. This is the textbook
+//! algorithm; it terminates in at most `#flows + #constraints` rounds.
+//!
+//! The allocation is the fixed point the real transport stack's AIMD
+//! dynamics approximate on shared bottlenecks, which is why flow-level
+//! simulators use it as the steady-state rate model.
+
+use crate::topology::{NodeId, Topology};
+
+/// One flow's demand as seen by the allocator.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowDemand {
+    /// Source node (consumes uplink).
+    pub src: NodeId,
+    /// Destination node (consumes downlink).
+    pub dst: NodeId,
+    /// Rate cap in bytes/sec (`f64::INFINITY` when unconstrained).
+    pub cap_bps: f64,
+}
+
+/// Compute max-min fair rates (bytes/sec) for `flows` over `topo`.
+///
+/// Returns one rate per flow, in input order. Flows with a zero cap get
+/// zero. Panics in debug builds if any node id is out of range.
+pub fn allocate(topo: &Topology, flows: &[FlowDemand]) -> Vec<f64> {
+    let n = topo.len();
+    let mut rates = vec![0.0f64; flows.len()];
+    if flows.is_empty() {
+        return rates;
+    }
+
+    // Remaining capacity per constraint: uplinks then downlinks.
+    let mut up_left: Vec<f64> = (0..n).map(|i| topo.spec(NodeId(i)).uplink_bps).collect();
+    let mut down_left: Vec<f64> = (0..n).map(|i| topo.spec(NodeId(i)).downlink_bps).collect();
+
+    let mut frozen = vec![false; flows.len()];
+    // Freeze zero-cap flows immediately.
+    for (i, f) in flows.iter().enumerate() {
+        debug_assert!(f.src.0 < n && f.dst.0 < n, "flow references missing node");
+        if f.cap_bps <= 0.0 {
+            frozen[i] = true;
+        }
+    }
+
+    loop {
+        // Count unfrozen flows per constraint.
+        let mut up_count = vec![0u32; n];
+        let mut down_count = vec![0u32; n];
+        let mut any_unfrozen = false;
+        for (i, f) in flows.iter().enumerate() {
+            if !frozen[i] {
+                any_unfrozen = true;
+                up_count[f.src.0] += 1;
+                down_count[f.dst.0] += 1;
+            }
+        }
+        if !any_unfrozen {
+            break;
+        }
+
+        // The uniform increment every unfrozen flow can still take: the
+        // tightest of (a) equal split of remaining capacity on any loaded
+        // constraint, (b) any unfrozen flow's remaining headroom to its cap.
+        let mut delta = f64::INFINITY;
+        for i in 0..n {
+            if up_count[i] > 0 {
+                delta = delta.min(up_left[i] / up_count[i] as f64);
+            }
+            if down_count[i] > 0 {
+                delta = delta.min(down_left[i] / down_count[i] as f64);
+            }
+        }
+        for (i, f) in flows.iter().enumerate() {
+            if !frozen[i] && f.cap_bps.is_finite() {
+                delta = delta.min(f.cap_bps - rates[i]);
+            }
+        }
+        debug_assert!(delta.is_finite() && delta >= 0.0, "bad increment {delta}");
+
+        // Apply the increment.
+        for (i, f) in flows.iter().enumerate() {
+            if !frozen[i] {
+                rates[i] += delta;
+                up_left[f.src.0] -= delta;
+                down_left[f.dst.0] -= delta;
+            }
+        }
+
+        // Freeze flows at their cap or on a saturated constraint.
+        const EPS: f64 = 1e-6;
+        let saturated_up: Vec<bool> = up_left.iter().map(|&c| c <= EPS).collect();
+        let saturated_down: Vec<bool> = down_left.iter().map(|&c| c <= EPS).collect();
+        let mut progress = false;
+        for (i, f) in flows.iter().enumerate() {
+            if frozen[i] {
+                continue;
+            }
+            let at_cap = f.cap_bps.is_finite() && rates[i] >= f.cap_bps - EPS;
+            if at_cap || saturated_up[f.src.0] || saturated_down[f.dst.0] {
+                frozen[i] = true;
+                progress = true;
+            }
+        }
+        // With delta > 0 something always freezes; with delta == 0 the
+        // freezing rule above must fire (a constraint is already
+        // saturated). Guard against float pathology anyway.
+        if !progress {
+            break;
+        }
+    }
+
+    rates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::NodeSpec;
+
+    fn topo(n: usize, bps: f64) -> Topology {
+        Topology::uniform(n, NodeSpec::symmetric(bps))
+    }
+
+    fn flow(src: usize, dst: usize) -> FlowDemand {
+        FlowDemand {
+            src: NodeId(src),
+            dst: NodeId(dst),
+            cap_bps: f64::INFINITY,
+        }
+    }
+
+    fn capped(src: usize, dst: usize, cap: f64) -> FlowDemand {
+        FlowDemand {
+            src: NodeId(src),
+            dst: NodeId(dst),
+            cap_bps: cap,
+        }
+    }
+
+    #[test]
+    fn single_flow_gets_full_capacity() {
+        let t = topo(2, 100.0);
+        let r = allocate(&t, &[flow(0, 1)]);
+        assert!((r[0] - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn two_flows_share_a_downlink() {
+        // Both flows converge on node 2's downlink.
+        let t = topo(3, 100.0);
+        let r = allocate(&t, &[flow(0, 2), flow(1, 2)]);
+        assert!((r[0] - 50.0).abs() < 1e-6);
+        assert!((r[1] - 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cap_frees_bandwidth_for_others() {
+        let t = topo(3, 100.0);
+        let r = allocate(&t, &[capped(0, 2, 20.0), flow(1, 2)]);
+        assert!((r[0] - 20.0).abs() < 1e-6);
+        assert!((r[1] - 80.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn uplink_bottleneck() {
+        // Node 0 fans out to two destinations: its uplink is the bottleneck.
+        let t = topo(3, 100.0);
+        let r = allocate(&t, &[flow(0, 1), flow(0, 2)]);
+        assert!((r[0] - 50.0).abs() < 1e-6);
+        assert!((r[1] - 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn heterogeneous_node_is_the_bottleneck() {
+        // §5.3: one slow worker. Flows from w1 (fast) and w2 (slow) to PS.
+        let mut t = Topology::new();
+        let _ps = t.add_node(NodeSpec::from_gbps(10.0));
+        let _w1 = t.add_node(NodeSpec::from_gbps(10.0));
+        let _w2 = t.add_node(NodeSpec::from_mbps(500.0));
+        let r = allocate(&t, &[flow(1, 0), flow(2, 0)]);
+        // w2 frozen at 62.5 MB/s, w1 takes the rest of the PS downlink.
+        assert!((r[1] - 62.5e6).abs() < 1.0, "slow worker got {}", r[1]);
+        assert!((r[0] - (1.25e9 - 62.5e6)).abs() < 1.0, "fast worker got {}", r[0]);
+    }
+
+    #[test]
+    fn zero_cap_flow_gets_nothing() {
+        let t = topo(2, 100.0);
+        let r = allocate(&t, &[capped(0, 1, 0.0), flow(0, 1)]);
+        assert_eq!(r[0], 0.0);
+        assert!((r[1] - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_flow_set() {
+        let t = topo(2, 100.0);
+        assert!(allocate(&t, &[]).is_empty());
+    }
+
+    #[test]
+    fn many_flows_fair_split() {
+        let t = topo(5, 120.0);
+        // 4 workers push to node 0.
+        let flows: Vec<_> = (1..5).map(|w| flow(w, 0)).collect();
+        let r = allocate(&t, &flows);
+        for &rate in &r {
+            assert!((rate - 30.0).abs() < 1e-6, "rate {rate}");
+        }
+    }
+
+    #[test]
+    fn self_loop_consumes_both_directions() {
+        // Loopback-style flow uses the node's own up and down links.
+        let t = topo(1, 100.0);
+        let r = allocate(&t, &[flow(0, 0)]);
+        assert!((r[0] - 100.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,169 @@
+//! The Network Bandwidth Monitor (§4.2 of the paper).
+//!
+//! Prophet "periodically (e.g., every 5 seconds) acquires the available
+//! network bandwidth B of workers". In a real deployment that is a counter
+//! read plus smoothing; here the monitor watches completed transfers and
+//! maintains two estimators:
+//!
+//! * an **EWMA** of per-transfer achieved throughput — smooth but biased low
+//!   under sharing and per-message overhead;
+//! * a **windowed peak** of achieved throughput — a classic available-
+//!   bandwidth proxy (the fastest recent transfer got close to the pipe).
+//!
+//! [`BandwidthMonitor::estimate_bps`] blends them (max of EWMA and decayed
+//! peak) which tracks both downward capacity changes (EWMA follows) and the
+//! true ceiling (peak remembers). The Prophet planner re-plans whenever the
+//! estimate moves by more than a configurable tolerance.
+
+use prophet_sim::{Duration, SimTime};
+
+/// Online estimator of a node's available bandwidth from observed transfers.
+#[derive(Debug, Clone)]
+pub struct BandwidthMonitor {
+    /// Smoothing factor for the EWMA, in (0, 1]; higher = more reactive.
+    alpha: f64,
+    /// How long a peak observation remains authoritative.
+    peak_window: Duration,
+    ewma_bps: Option<f64>,
+    peak_bps: f64,
+    peak_at: SimTime,
+    observations: u64,
+}
+
+impl BandwidthMonitor {
+    /// Monitor with smoothing `alpha` and peak memory `peak_window`.
+    pub fn new(alpha: f64, peak_window: Duration) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha out of range");
+        BandwidthMonitor {
+            alpha,
+            peak_window,
+            ewma_bps: None,
+            peak_bps: 0.0,
+            peak_at: SimTime::ZERO,
+            observations: 0,
+        }
+    }
+
+    /// The paper's defaults: 5-second monitoring period.
+    pub fn with_defaults() -> Self {
+        Self::new(0.3, Duration::from_secs(5))
+    }
+
+    /// Record a completed transfer of `bytes` that took `elapsed` of wire
+    /// time (setup included — the scheduler cares about goodput).
+    pub fn observe(&mut self, now: SimTime, bytes: u64, elapsed: Duration) {
+        if elapsed.is_zero() || bytes == 0 {
+            return;
+        }
+        let bps = bytes as f64 / elapsed.as_secs_f64();
+        self.observations += 1;
+        self.ewma_bps = Some(match self.ewma_bps {
+            None => bps,
+            Some(prev) => self.alpha * bps + (1.0 - self.alpha) * prev,
+        });
+        if bps >= self.peak_bps || now.saturating_since(self.peak_at) > self.peak_window {
+            self.peak_bps = bps;
+            self.peak_at = now;
+        }
+    }
+
+    /// Current available-bandwidth estimate in bytes/sec, or `None` before
+    /// any observation (the planner falls back to configured capacity).
+    pub fn estimate_bps(&self, now: SimTime) -> Option<f64> {
+        let ewma = self.ewma_bps?;
+        let peak_fresh = now.saturating_since(self.peak_at) <= self.peak_window;
+        Some(if peak_fresh { ewma.max(self.peak_bps) } else { ewma })
+    }
+
+    /// The smoothed *achieved* throughput (goodput), bytes/sec — the right
+    /// predictor for "how long will my next message take" under contention,
+    /// as opposed to [`BandwidthMonitor::estimate_bps`]'s available-
+    /// bandwidth blend which remembers the uncontended ceiling.
+    pub fn ewma_bps(&self) -> Option<f64> {
+        self.ewma_bps
+    }
+
+    /// How many transfers have been observed.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+}
+
+impl Default for BandwidthMonitor {
+    fn default() -> Self {
+        Self::with_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(s: u64) -> SimTime {
+        SimTime::ZERO + Duration::from_secs(s)
+    }
+
+    #[test]
+    fn no_observations_no_estimate() {
+        let m = BandwidthMonitor::with_defaults();
+        assert_eq!(m.estimate_bps(at(1)), None);
+    }
+
+    #[test]
+    fn single_observation_sets_both_estimators() {
+        let mut m = BandwidthMonitor::with_defaults();
+        m.observe(at(1), 1_000_000, Duration::from_millis(10));
+        // 1 MB / 10 ms = 1e8 B/s.
+        assert!((m.estimate_bps(at(1)).unwrap() - 1e8).abs() < 1.0);
+        assert_eq!(m.observations(), 1);
+    }
+
+    #[test]
+    fn peak_dominates_while_fresh() {
+        let mut m = BandwidthMonitor::new(0.5, Duration::from_secs(5));
+        m.observe(at(1), 1_000_000, Duration::from_millis(10)); // 1e8
+        m.observe(at(2), 100_000, Duration::from_millis(10)); // 1e7 (small msg)
+        // EWMA dropped, but the fresh peak keeps the estimate at 1e8.
+        assert!((m.estimate_bps(at(2)).unwrap() - 1e8).abs() < 1.0);
+    }
+
+    #[test]
+    fn stale_peak_expires_to_ewma() {
+        let mut m = BandwidthMonitor::new(0.5, Duration::from_secs(5));
+        m.observe(at(1), 1_000_000, Duration::from_millis(10)); // peak 1e8
+        m.observe(at(2), 100_000, Duration::from_millis(10));
+        let est = m.estimate_bps(at(20)).unwrap();
+        // Peak from t=1 has expired by t=20; EWMA = 0.5*1e7 + 0.5*1e8.
+        assert!((est - 5.5e7).abs() < 1.0, "est {est}");
+    }
+
+    #[test]
+    fn tracks_capacity_drop() {
+        let mut m = BandwidthMonitor::new(0.5, Duration::from_secs(2));
+        // Fast era.
+        for s in 0..3 {
+            m.observe(at(s), 1_000_000, Duration::from_millis(10));
+        }
+        // Throttled era: 1e7 B/s observations.
+        for s in 10..20 {
+            m.observe(at(s), 1_000_000, Duration::from_millis(100));
+        }
+        let est = m.estimate_bps(at(20)).unwrap();
+        assert!(est < 2e7, "estimate failed to track drop: {est}");
+    }
+
+    #[test]
+    fn ignores_degenerate_observations() {
+        let mut m = BandwidthMonitor::with_defaults();
+        m.observe(at(1), 0, Duration::from_millis(10));
+        m.observe(at(1), 100, Duration::ZERO);
+        assert_eq!(m.observations(), 0);
+        assert_eq!(m.estimate_bps(at(1)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha out of range")]
+    fn rejects_bad_alpha() {
+        BandwidthMonitor::new(0.0, Duration::from_secs(1));
+    }
+}

@@ -1,0 +1,570 @@
+//! The event-driven fluid flow engine.
+//!
+//! [`Network`] tracks the set of in-flight transfers and evolves them in
+//! piecewise-constant-rate segments: rates only change when a flow starts,
+//! finishes, finishes its setup handshake, doubles its slow-start window, or
+//! a node's capacity is reconfigured. Between those instants every flow
+//! moves bytes linearly, so the engine only needs to be woken at the next
+//! such instant — which it reports via [`Network::next_event_time`].
+//!
+//! The driving simulation loop is owned by the caller (the cluster model in
+//! `prophet-ps`); the contract is:
+//!
+//! ```text
+//! loop {
+//!     t = min(caller's own events, net.next_event_time());
+//!     completions = net.advance_to(t);   // always safe, also for t < next
+//!     ... handle completions, maybe net.start_flow(...) ...
+//! }
+//! ```
+//!
+//! Rate changes bump an internal [`Network::version`] so callers using
+//! pre-scheduled wake-ups can discard stale ones.
+
+use crate::maxmin::{self, FlowDemand};
+use crate::tcp::TcpModel;
+use crate::topology::{NodeId, NodeSpec, Topology};
+use prophet_sim::{Duration, SimTime};
+
+/// Identifier of a transfer, unique for the lifetime of a [`Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowId(pub u64);
+
+/// Bytes closer than this to zero count as "done" (absorbs f64 rounding).
+const EPS_BYTES: f64 = 0.5;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    /// Connection + PS synchronisation; no payload moves.
+    Setup { until: SimTime },
+    /// Slow start: rate capped at a window that doubles every RTT.
+    Ramp { cap_bps: f64, next_double: SimTime },
+    /// Window has outgrown every link; only fair sharing limits the rate.
+    Steady,
+}
+
+#[derive(Debug, Clone)]
+struct FlowState {
+    id: FlowId,
+    src: NodeId,
+    dst: NodeId,
+    remaining: f64,
+    rate: f64,
+    phase: Phase,
+    started: SimTime,
+    tag: u64,
+}
+
+/// A completed transfer, as returned by [`Network::advance_to`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowEnd {
+    /// The finished flow.
+    pub id: FlowId,
+    /// Its source node.
+    pub src: NodeId,
+    /// Its destination node.
+    pub dst: NodeId,
+    /// The caller-supplied tag from [`Network::start_flow`].
+    pub tag: u64,
+    /// When the last byte arrived.
+    pub finished: SimTime,
+}
+
+/// The fluid network engine. See the module docs for the driving contract.
+#[derive(Debug, Clone)]
+pub struct Network {
+    topo: Topology,
+    tcp: TcpModel,
+    flows: Vec<FlowState>,
+    next_id: u64,
+    clock: SimTime,
+    version: u64,
+    tx_bytes: Vec<f64>,
+    rx_bytes: Vec<f64>,
+}
+
+impl Network {
+    /// A network over `topo` with transport behaviour `tcp`.
+    pub fn new(topo: Topology, tcp: TcpModel) -> Self {
+        let n = topo.len();
+        Network {
+            topo,
+            tcp,
+            flows: Vec::new(),
+            next_id: 0,
+            clock: SimTime::ZERO,
+            version: 0,
+            tx_bytes: vec![0.0; n],
+            rx_bytes: vec![0.0; n],
+        }
+    }
+
+    /// The transport model in use.
+    pub fn tcp(&self) -> TcpModel {
+        self.tcp
+    }
+
+    /// The topology (capacities may change via [`Network::set_node_spec`]).
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Monotone counter bumped on every rate change; callers use it to
+    /// invalidate pre-scheduled wake-ups.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of in-flight transfers.
+    pub fn active_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Cumulative bytes sent by `node` (payload only; handshakes are latency,
+    /// not volume).
+    pub fn tx_bytes(&self, node: NodeId) -> f64 {
+        self.tx_bytes[node.0]
+    }
+
+    /// Cumulative bytes received by `node`.
+    pub fn rx_bytes(&self, node: NodeId) -> f64 {
+        self.rx_bytes[node.0]
+    }
+
+    /// Begin a transfer of `bytes` from `src` to `dst` at time `now`.
+    ///
+    /// `tag` is returned in the eventual [`FlowEnd`] so the caller can map
+    /// completions back to its own bookkeeping without a side table.
+    pub fn start_flow(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        tag: u64,
+    ) -> FlowId {
+        self.start_flow_with_warmth(now, src, dst, bytes, tag, false)
+    }
+
+    /// [`Network::start_flow`] with explicit connection warmth: a *warm*
+    /// message continues an established, recently-active connection — no
+    /// setup handshake and no slow-start ramp (the congestion window is
+    /// already open). Back-to-back messages on a persistent BytePS
+    /// connection are warm; the first message after an idle period, or any
+    /// message on a blocking transport that waits for per-message acks,
+    /// is cold.
+    pub fn start_flow_with_warmth(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        tag: u64,
+        warm: bool,
+    ) -> FlowId {
+        debug_assert!(now >= self.clock, "flow started in the past");
+        // Advance cannot complete anything the caller hasn't seen: callers
+        // drive advance_to() before acting, but be defensive and assert.
+        let done = self.advance_to(now);
+        debug_assert!(
+            done.is_empty(),
+            "start_flow raced past unharvested completions"
+        );
+        let id = FlowId(self.next_id);
+        self.next_id += 1;
+        let phase = if warm {
+            Phase::Steady
+        } else {
+            self.initial_phase(now)
+        };
+        self.flows.push(FlowState {
+            id,
+            src,
+            dst,
+            remaining: (bytes as f64).max(0.0),
+            rate: 0.0,
+            phase,
+            started: now,
+            tag,
+        });
+        self.reallocate();
+        id
+    }
+
+    fn initial_phase(&self, now: SimTime) -> Phase {
+        if self.tcp.setup_s > 0.0 {
+            Phase::Setup {
+                until: now + Duration::from_secs_f64(self.tcp.setup_s),
+            }
+        } else if self.tcp.rtt_s > 0.0 && self.tcp.init_cwnd_bytes.is_finite() {
+            Phase::Ramp {
+                cap_bps: self.tcp.init_cwnd_bytes / self.tcp.rtt_s,
+                next_double: now + Duration::from_secs_f64(self.tcp.rtt_s),
+            }
+        } else {
+            Phase::Steady
+        }
+    }
+
+    /// Change a node's NIC capacities at `now` (dynamic / heterogeneous
+    /// bandwidth experiments). In-flight flows are re-allocated immediately.
+    ///
+    /// Any completions that fall at exactly `now` are returned — callers
+    /// must handle them just like [`Network::advance_to`] results.
+    pub fn set_node_spec(&mut self, now: SimTime, node: NodeId, spec: NodeSpec) -> Vec<FlowEnd> {
+        let done = self.advance_to(now);
+        self.topo.set_spec(node, spec);
+        self.reallocate();
+        done
+    }
+
+    /// The next instant at which rates change or a flow completes; `None`
+    /// when nothing is in flight.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        match (self.next_phase_transition(), self.next_completion_time()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Evolve the network to `now`, returning every flow whose last byte
+    /// arrived at or before `now` (in flow-start order — deterministic).
+    ///
+    /// Safe for arbitrary jumps: the engine internally breaks `[clock, now]`
+    /// into constant-rate segments at phase transitions *and* completions,
+    /// so completion timestamps are exact even if the caller overshoots.
+    pub fn advance_to(&mut self, now: SimTime) -> Vec<FlowEnd> {
+        debug_assert!(now >= self.clock, "network advanced backwards");
+        let mut completed = Vec::new();
+        loop {
+            let mut seg_end = now;
+            if let Some(t) = self.next_phase_transition() {
+                seg_end = seg_end.min(t);
+            }
+            if let Some(t) = self.next_completion_time() {
+                seg_end = seg_end.min(t);
+            }
+            self.integrate_to(seg_end);
+            self.process_transitions(seg_end);
+            let before = completed.len();
+            self.harvest_completions(seg_end, &mut completed);
+            if completed.len() > before {
+                self.reallocate();
+            }
+            if seg_end >= now {
+                break;
+            }
+        }
+        completed
+    }
+
+    /// Earliest predicted completion among flows currently moving bytes.
+    fn next_completion_time(&self) -> Option<SimTime> {
+        self.flows
+            .iter()
+            .filter(|f| f.rate > 0.0 && !matches!(f.phase, Phase::Setup { .. }))
+            .map(|f| self.clock + Duration::for_bytes(f.remaining.ceil() as u64, f.rate))
+            .min()
+    }
+
+    fn next_phase_transition(&self) -> Option<SimTime> {
+        self.flows
+            .iter()
+            .filter_map(|f| match f.phase {
+                Phase::Setup { until } => Some(until),
+                Phase::Ramp { next_double, .. } => Some(next_double),
+                Phase::Steady => None,
+            })
+            .min()
+    }
+
+    /// Move bytes at current rates from `clock` to `t`.
+    fn integrate_to(&mut self, t: SimTime) {
+        let dt = t.saturating_since(self.clock).as_secs_f64();
+        if dt > 0.0 {
+            for f in &mut self.flows {
+                if f.rate > 0.0 {
+                    let moved = (f.rate * dt).min(f.remaining);
+                    f.remaining -= moved;
+                    self.tx_bytes[f.src.0] += moved;
+                    self.rx_bytes[f.dst.0] += moved;
+                }
+            }
+        }
+        self.clock = t;
+    }
+
+    /// Apply setup-completion and window-doubling transitions due at `t`.
+    fn process_transitions(&mut self, t: SimTime) {
+        let mut changed = false;
+        let max_cap = self
+            .topo
+            .iter()
+            .map(|(_, s)| s.uplink_bps.max(s.downlink_bps))
+            .fold(0.0f64, f64::max);
+        for f in &mut self.flows {
+            match f.phase {
+                Phase::Setup { until } if until <= t => {
+                    f.phase = if self.tcp.rtt_s > 0.0 && self.tcp.init_cwnd_bytes.is_finite() {
+                        Phase::Ramp {
+                            cap_bps: self.tcp.init_cwnd_bytes / self.tcp.rtt_s,
+                            next_double: t + Duration::from_secs_f64(self.tcp.rtt_s),
+                        }
+                    } else {
+                        Phase::Steady
+                    };
+                    changed = true;
+                }
+                Phase::Ramp {
+                    cap_bps,
+                    next_double,
+                } if next_double <= t => {
+                    let cap = cap_bps * 2.0;
+                    f.phase = if cap >= max_cap {
+                        Phase::Steady
+                    } else {
+                        Phase::Ramp {
+                            cap_bps: cap,
+                            next_double: t + Duration::from_secs_f64(self.tcp.rtt_s),
+                        }
+                    };
+                    changed = true;
+                }
+                _ => {}
+            }
+        }
+        if changed {
+            self.reallocate();
+        }
+    }
+
+    fn harvest_completions(&mut self, t: SimTime, out: &mut Vec<FlowEnd>) {
+        let mut i = 0;
+        while i < self.flows.len() {
+            let done = self.flows[i].remaining <= EPS_BYTES
+                && !matches!(self.flows[i].phase, Phase::Setup { .. });
+            if done {
+                let f = self.flows.remove(i);
+                out.push(FlowEnd {
+                    id: f.id,
+                    src: f.src,
+                    dst: f.dst,
+                    tag: f.tag,
+                    finished: t,
+                });
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Recompute max-min fair rates for the current flow set.
+    fn reallocate(&mut self) {
+        self.version += 1;
+        if self.flows.is_empty() {
+            return;
+        }
+        let demands: Vec<FlowDemand> = self
+            .flows
+            .iter()
+            .map(|f| FlowDemand {
+                src: f.src,
+                dst: f.dst,
+                cap_bps: match f.phase {
+                    Phase::Setup { .. } => 0.0,
+                    Phase::Ramp { cap_bps, .. } => cap_bps,
+                    Phase::Steady => f64::INFINITY,
+                },
+            })
+            .collect();
+        let rates = maxmin::allocate(&self.topo, &demands);
+        for (f, r) in self.flows.iter_mut().zip(rates) {
+            f.rate = r;
+        }
+    }
+
+    /// Instantaneous rate of a flow (testing/diagnostics).
+    pub fn flow_rate(&self, id: FlowId) -> Option<f64> {
+        self.flows.iter().find(|f| f.id == id).map(|f| f.rate)
+    }
+
+    /// Time the flow was started (testing/diagnostics).
+    pub fn flow_started(&self, id: FlowId) -> Option<SimTime> {
+        self.flows.iter().find(|f| f.id == id).map(|f| f.started)
+    }
+
+    /// Run the network by itself until all flows complete, returning every
+    /// completion. Only meaningful when the caller has no events of its own
+    /// (tests, closed-form validation).
+    pub fn run_to_completion(&mut self) -> Vec<FlowEnd> {
+        let mut all = Vec::new();
+        while let Some(t) = self.next_event_time() {
+            all.extend(self.advance_to(t));
+        }
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ideal_net(n: usize, bps: f64) -> Network {
+        Network::new(
+            Topology::uniform(n, NodeSpec::symmetric(bps)),
+            TcpModel::IDEAL,
+        )
+    }
+
+    #[test]
+    fn single_flow_finishes_at_bytes_over_rate() {
+        let mut net = ideal_net(2, 1000.0);
+        net.start_flow(SimTime::ZERO, NodeId(0), NodeId(1), 5000, 7);
+        let done = net.run_to_completion();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].tag, 7);
+        assert!((done[0].finished.as_secs_f64() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn two_flows_share_then_speed_up() {
+        // Two 1000-byte flows into the same sink at 1000 B/s total:
+        // both run at 500 B/s and finish together at t=2.
+        let mut net = ideal_net(3, 1000.0);
+        net.start_flow(SimTime::ZERO, NodeId(0), NodeId(2), 1000, 0);
+        net.start_flow(SimTime::ZERO, NodeId(1), NodeId(2), 1000, 1);
+        let done = net.run_to_completion();
+        assert_eq!(done.len(), 2);
+        for d in &done {
+            assert!((d.finished.as_secs_f64() - 2.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn late_flow_reallocates_early_flow() {
+        // Flow A alone for 1 s (moves 1000 B), then shares for the rest.
+        // A: 2000 B total -> 1000 left at t=1, at 500 B/s -> done t=3.
+        // B: 500 B at 500 B/s from t=1 -> done t=2, then A speeds back up!
+        // Recompute: at t=2 A has 500 left, alone at 1000 B/s -> done t=2.5.
+        let mut net = ideal_net(3, 1000.0);
+        net.start_flow(SimTime::ZERO, NodeId(0), NodeId(2), 2000, 0);
+        let mut done = Vec::new();
+        // Drive manually so we can inject B at t=1.
+        let t1 = SimTime::from_secs_f64(1.0);
+        done.extend(net.advance_to(t1));
+        net.start_flow(t1, NodeId(1), NodeId(2), 500, 1);
+        done.extend(net.run_to_completion());
+        assert_eq!(done.len(), 2);
+        let a = done.iter().find(|d| d.tag == 0).unwrap();
+        let b = done.iter().find(|d| d.tag == 1).unwrap();
+        assert!((b.finished.as_secs_f64() - 2.0).abs() < 1e-6, "{b:?}");
+        assert!((a.finished.as_secs_f64() - 2.5).abs() < 1e-6, "{a:?}");
+    }
+
+    #[test]
+    fn setup_latency_delays_first_byte() {
+        let tcp = TcpModel {
+            rtt_s: 0.0,
+            setup_s: 0.5,
+            init_cwnd_bytes: f64::INFINITY,
+        };
+        let mut net = Network::new(Topology::uniform(2, NodeSpec::symmetric(1000.0)), tcp);
+        net.start_flow(SimTime::ZERO, NodeId(0), NodeId(1), 1000, 0);
+        let done = net.run_to_completion();
+        assert!((done[0].finished.as_secs_f64() - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fluid_engine_matches_closed_form_ramp() {
+        // The fluid engine with slow-start caps must agree with
+        // TcpModel::transfer_time_s for an unshared flow.
+        let tcp = TcpModel {
+            rtt_s: 1e-3,
+            setup_s: 2e-3,
+            init_cwnd_bytes: 1000.0,
+        };
+        let bps = 8e6;
+        for bytes in [500u64, 1_500, 15_000, 1_000_000] {
+            let mut net = Network::new(Topology::uniform(2, NodeSpec::symmetric(bps)), tcp);
+            net.start_flow(SimTime::ZERO, NodeId(0), NodeId(1), bytes, 0);
+            let done = net.run_to_completion();
+            let expect = tcp.transfer_time_s(bytes as f64, bps);
+            let got = done[0].finished.as_secs_f64();
+            assert!(
+                (got - expect).abs() < 1e-5,
+                "{bytes} B: fluid {got} vs closed form {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn byte_counters_accumulate() {
+        let mut net = ideal_net(2, 1000.0);
+        net.start_flow(SimTime::ZERO, NodeId(0), NodeId(1), 4000, 0);
+        net.run_to_completion();
+        assert!((net.tx_bytes(NodeId(0)) - 4000.0).abs() < 1.0);
+        assert!((net.rx_bytes(NodeId(1)) - 4000.0).abs() < 1.0);
+        assert_eq!(net.tx_bytes(NodeId(1)), 0.0);
+    }
+
+    #[test]
+    fn version_bumps_on_changes() {
+        let mut net = ideal_net(2, 1000.0);
+        let v0 = net.version();
+        net.start_flow(SimTime::ZERO, NodeId(0), NodeId(1), 100, 0);
+        assert!(net.version() > v0);
+    }
+
+    #[test]
+    fn capacity_change_mid_flow() {
+        let mut net = ideal_net(2, 1000.0);
+        net.start_flow(SimTime::ZERO, NodeId(0), NodeId(1), 2000, 0);
+        // After 1 s (1000 B left), throttle to 100 B/s -> 10 more seconds.
+        let t1 = SimTime::from_secs_f64(1.0);
+        let done = net.set_node_spec(t1, NodeId(0), NodeSpec::symmetric(100.0));
+        assert!(done.is_empty());
+        let done = net.run_to_completion();
+        assert!((done[0].finished.as_secs_f64() - 11.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_byte_flow_completes_after_setup() {
+        let tcp = TcpModel {
+            rtt_s: 0.0,
+            setup_s: 0.25,
+            init_cwnd_bytes: f64::INFINITY,
+        };
+        let mut net = Network::new(Topology::uniform(2, NodeSpec::symmetric(1000.0)), tcp);
+        net.start_flow(SimTime::ZERO, NodeId(0), NodeId(1), 0, 9);
+        let done = net.run_to_completion();
+        assert_eq!(done.len(), 1);
+        assert!((done[0].finished.as_secs_f64() - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn many_concurrent_flows_all_complete() {
+        let mut net = Network::new(
+            Topology::uniform(9, NodeSpec::from_gbps(10.0)),
+            TcpModel::EC2,
+        );
+        for w in 1..9usize {
+            net.start_flow(SimTime::ZERO, NodeId(w), NodeId(0), 25_000_000, w as u64);
+        }
+        let done = net.run_to_completion();
+        assert_eq!(done.len(), 8);
+        // 8 x 25 MB through a 1.25 GB/s downlink: >= 160 ms + overheads.
+        let last = done.iter().map(|d| d.finished).max().unwrap();
+        assert!(last.as_secs_f64() > 0.16);
+        assert!(last.as_secs_f64() < 0.5, "took {last}");
+    }
+
+    #[test]
+    fn flow_rate_visible_while_active() {
+        let mut net = ideal_net(2, 1000.0);
+        let id = net.start_flow(SimTime::ZERO, NodeId(0), NodeId(1), 10_000, 0);
+        assert!((net.flow_rate(id).unwrap() - 1000.0).abs() < 1e-9);
+        assert_eq!(net.flow_started(id), Some(SimTime::ZERO));
+        net.run_to_completion();
+        assert_eq!(net.flow_rate(id), None);
+    }
+}

@@ -1,0 +1,144 @@
+//! Cluster topology: a flat set of nodes, each with full-duplex NIC limits.
+//!
+//! The paper's testbed is 1 PS + up to 7 workers on EC2 g3.8xlarge with
+//! "varying network bandwidth from 1 Gbps to 10 Gbps" — a star around the
+//! provider fabric, which a per-node uplink/downlink capacity pair captures.
+//! Heterogeneity (§5.3: one worker capped at 500 Mbps) is a per-node cap.
+
+/// Index of a node in the [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+/// One machine's NIC limits, in **bytes per second**.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeSpec {
+    /// Capacity for traffic leaving the node.
+    pub uplink_bps: f64,
+    /// Capacity for traffic entering the node.
+    pub downlink_bps: f64,
+}
+
+impl NodeSpec {
+    /// A symmetric full-duplex NIC.
+    pub fn symmetric(bps: f64) -> Self {
+        assert!(bps > 0.0 && bps.is_finite(), "bad NIC capacity {bps}");
+        NodeSpec {
+            uplink_bps: bps,
+            downlink_bps: bps,
+        }
+    }
+
+    /// Convert a link rate in **gigabits per second** (the unit the paper
+    /// quotes) into a symmetric [`NodeSpec`] in bytes per second.
+    pub fn from_gbps(gbps: f64) -> Self {
+        Self::symmetric(gbps * 1e9 / 8.0)
+    }
+
+    /// Convert **megabits per second** (Table 2's unit) into a symmetric
+    /// [`NodeSpec`].
+    pub fn from_mbps(mbps: f64) -> Self {
+        Self::symmetric(mbps * 1e6 / 8.0)
+    }
+}
+
+/// The set of nodes a [`crate::Network`] routes between.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    specs: Vec<NodeSpec>,
+}
+
+impl Topology {
+    /// An empty topology.
+    pub fn new() -> Self {
+        Topology { specs: Vec::new() }
+    }
+
+    /// A topology of `n` identical nodes.
+    pub fn uniform(n: usize, spec: NodeSpec) -> Self {
+        Topology {
+            specs: vec![spec; n],
+        }
+    }
+
+    /// Append a node, returning its id.
+    pub fn add_node(&mut self, spec: NodeSpec) -> NodeId {
+        self.specs.push(spec);
+        NodeId(self.specs.len() - 1)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// True if no nodes have been added.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// The NIC limits of `node`.
+    pub fn spec(&self, node: NodeId) -> NodeSpec {
+        self.specs[node.0]
+    }
+
+    /// Replace the NIC limits of `node` (dynamic-bandwidth experiments).
+    pub fn set_spec(&mut self, node: NodeId, spec: NodeSpec) {
+        self.specs[node.0] = spec;
+    }
+
+    /// Iterate `(NodeId, NodeSpec)`.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, NodeSpec)> + '_ {
+        self.specs
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (NodeId(i), s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gbps_conversion() {
+        let s = NodeSpec::from_gbps(10.0);
+        assert!((s.uplink_bps - 1.25e9).abs() < 1.0);
+        assert!((s.downlink_bps - 1.25e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn mbps_conversion() {
+        let s = NodeSpec::from_mbps(500.0);
+        assert!((s.uplink_bps - 62.5e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeSpec::from_gbps(10.0));
+        let b = t.add_node(NodeSpec::from_gbps(1.0));
+        assert_eq!(t.len(), 2);
+        assert!(t.spec(a).uplink_bps > t.spec(b).uplink_bps);
+    }
+
+    #[test]
+    fn uniform_topology() {
+        let t = Topology::uniform(4, NodeSpec::from_gbps(10.0));
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.iter().count(), 4);
+    }
+
+    #[test]
+    fn set_spec_changes_capacity() {
+        let mut t = Topology::uniform(2, NodeSpec::from_gbps(10.0));
+        t.set_spec(NodeId(1), NodeSpec::from_mbps(500.0));
+        assert!((t.spec(NodeId(1)).uplink_bps - 62.5e6).abs() < 1.0);
+        assert!((t.spec(NodeId(0)).uplink_bps - 1.25e9).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad NIC capacity")]
+    fn rejects_zero_capacity() {
+        NodeSpec::symmetric(0.0);
+    }
+}

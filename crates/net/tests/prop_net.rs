@@ -1,0 +1,130 @@
+//! Property tests for the network substrate.
+
+use prophet_net::maxmin::{allocate, FlowDemand};
+use prophet_net::{Network, NodeId, NodeSpec, TcpModel, Topology};
+use prophet_sim::SimTime;
+use proptest::prelude::*;
+
+fn arb_flows(nodes: usize) -> impl Strategy<Value = Vec<FlowDemand>> {
+    prop::collection::vec(
+        (0..nodes, 0..nodes, prop::option::of(1e3f64..1e9)),
+        1..24,
+    )
+    .prop_map(|v| {
+        v.into_iter()
+            .map(|(s, d, cap)| FlowDemand {
+                src: NodeId(s),
+                dst: NodeId(d),
+                cap_bps: cap.unwrap_or(f64::INFINITY),
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Max-min allocations are always feasible: no uplink or downlink is
+    /// oversubscribed and no flow exceeds its cap.
+    #[test]
+    fn maxmin_feasible(flows in arb_flows(6), cap in 1e6f64..1e10) {
+        let topo = Topology::uniform(6, NodeSpec::symmetric(cap));
+        let rates = allocate(&topo, &flows);
+        prop_assert_eq!(rates.len(), flows.len());
+        let mut up = [0.0; 6];
+        let mut down = [0.0; 6];
+        for (f, &r) in flows.iter().zip(&rates) {
+            prop_assert!(r >= 0.0);
+            prop_assert!(r <= f.cap_bps * (1.0 + 1e-9) + 1e-6);
+            up[f.src.0] += r;
+            down[f.dst.0] += r;
+        }
+        for i in 0..6 {
+            prop_assert!(up[i] <= cap * (1.0 + 1e-9) + 1e-3, "uplink {} oversubscribed: {}", i, up[i]);
+            prop_assert!(down[i] <= cap * (1.0 + 1e-9) + 1e-3, "downlink {} oversubscribed: {}", i, down[i]);
+        }
+    }
+
+    /// Pareto efficiency: every flow is limited by *something* — its cap,
+    /// or a saturated uplink/downlink it traverses. (If not, progressive
+    /// filling stopped early and the allocation isn't max-min.)
+    #[test]
+    fn maxmin_no_flow_starved_without_reason(flows in arb_flows(5), cap in 1e6f64..1e9) {
+        let topo = Topology::uniform(5, NodeSpec::symmetric(cap));
+        let rates = allocate(&topo, &flows);
+        let mut up = [0.0; 5];
+        let mut down = [0.0; 5];
+        for (f, &r) in flows.iter().zip(&rates) {
+            up[f.src.0] += r;
+            down[f.dst.0] += r;
+        }
+        const TOL: f64 = 1e-3;
+        for (f, &r) in flows.iter().zip(&rates) {
+            let at_cap = f.cap_bps.is_finite() && r >= f.cap_bps - TOL;
+            let up_sat = up[f.src.0] >= cap - TOL;
+            let down_sat = down[f.dst.0] >= cap - TOL;
+            prop_assert!(
+                at_cap || up_sat || down_sat,
+                "flow {:?} at rate {} limited by nothing", f, r
+            );
+        }
+    }
+
+    /// In the fluid engine every started flow eventually completes, and
+    /// completion time is at least the unshared lower bound s/B.
+    #[test]
+    fn flows_complete_and_respect_capacity(
+        sizes in prop::collection::vec(1u64..50_000_000, 1..10),
+        gbps in 1u32..11,
+    ) {
+        let n = sizes.len() + 1;
+        let topo = Topology::uniform(n, NodeSpec::from_gbps(gbps as f64));
+        let mut net = Network::new(topo, TcpModel::EC2);
+        for (w, &s) in sizes.iter().enumerate() {
+            net.start_flow(SimTime::ZERO, NodeId(w + 1), NodeId(0), s, w as u64);
+        }
+        let done = net.run_to_completion();
+        prop_assert_eq!(done.len(), sizes.len());
+        let cap = gbps as f64 * 1e9 / 8.0;
+        // Aggregate bound: total bytes through the sink's downlink.
+        let total: u64 = sizes.iter().sum();
+        let last = done.iter().map(|d| d.finished).max().unwrap();
+        prop_assert!(
+            last.as_secs_f64() >= total as f64 / cap - 1e-6,
+            "finished faster than line rate: {} < {}",
+            last.as_secs_f64(),
+            total as f64 / cap
+        );
+        // Per-flow bound.
+        for d in &done {
+            let s = sizes[d.tag as usize] as f64;
+            prop_assert!(d.finished.as_secs_f64() >= s / cap - 1e-9);
+        }
+    }
+
+    /// The closed-form TCP model and the fluid engine agree for an
+    /// unshared transfer (within a nanosecond-rounding tolerance).
+    #[test]
+    fn closed_form_matches_fluid(bytes in 1u64..100_000_000, gbps in 1u32..11) {
+        let tcp = TcpModel::EC2;
+        let bps = gbps as f64 * 1e9 / 8.0;
+        let topo = Topology::uniform(2, NodeSpec::symmetric(bps));
+        let mut net = Network::new(topo, tcp);
+        net.start_flow(SimTime::ZERO, NodeId(0), NodeId(1), bytes, 0);
+        let done = net.run_to_completion();
+        let fluid = done[0].finished.as_secs_f64();
+        let closed = tcp.transfer_time_s(bytes as f64, bps);
+        prop_assert!(
+            (fluid - closed).abs() < 1e-4 * closed.max(1e-3),
+            "fluid {} vs closed {}", fluid, closed
+        );
+    }
+
+    /// Effective bandwidth (Eq. 10) is monotone in message size.
+    #[test]
+    fn eq10_monotone(s1 in 1.0f64..1e9, s2 in 1.0f64..1e9) {
+        let m = TcpModel::EC2;
+        let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+        let b = 1.25e9;
+        prop_assert!(m.effective_bandwidth(lo, b) <= m.effective_bandwidth(hi, b) + 1e-6);
+        prop_assert!(m.effective_bandwidth(hi, b) <= b + 1e-6);
+    }
+}

@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! # prophet — predictable communication scheduling for distributed DNN training
+//!
+//! A from-scratch Rust reproduction of *"Prophet: Speeding up Distributed
+//! DNN Training with Predictable Communication Scheduling"* (Zhang, Qi,
+//! Shang, Chen, Xu — ICPP 2021), including every substrate the paper's
+//! system depends on:
+//!
+//! * [`sim`] — deterministic discrete-event simulation primitives,
+//! * [`net`] — a flow-level network with max-min fair sharing, per-message
+//!   TCP costs, serialising per-connection lanes, and bandwidth monitoring,
+//! * [`dnn`] — architecture-accurate workload models (ResNet18/50/152,
+//!   Inception-v3, VGG19, AlexNet) with a calibrated GPU timing model and
+//!   the KVStore-style aggregation that produces the paper's stepwise
+//!   gradient-release pattern,
+//! * [`minidnn`] — a real (numeric) mini training framework used to prove
+//!   the schedulers on actual gradient bytes,
+//! * [`ps`] — the parameter-server architecture, as both a simulated BSP
+//!   cluster and a real multi-threaded runtime,
+//! * [`core`] — the scheduling strategies themselves: Prophet (Algorithm 1,
+//!   the stepwise profiler, the dynamic credit) and the baselines the paper
+//!   compares against (MXNet FIFO, P3, ByteScheduler).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use prophet::core::{ProphetConfig, SchedulerKind};
+//! use prophet::dnn::TrainingJob;
+//! use prophet::ps::sim::{run_cluster, ClusterConfig};
+//!
+//! // 1 PS + 3 workers at 10 Gb/s training ResNet-18, scheduled by Prophet.
+//! let job = TrainingJob::paper_setup("resnet18", 32);
+//! let kind = SchedulerKind::ProphetOracle(ProphetConfig::paper_default(1.25e9));
+//! let cfg = ClusterConfig::paper_cell(3, 10.0, job, kind);
+//! let result = run_cluster(&cfg, 5);
+//! assert!(result.rate > 0.0);
+//! println!("{:.1} samples/sec/worker", result.rate);
+//! ```
+
+pub use prophet_core as core;
+pub use prophet_dnn as dnn;
+pub use prophet_minidnn as minidnn;
+pub use prophet_net as net;
+pub use prophet_ps as ps;
+pub use prophet_sim as sim;

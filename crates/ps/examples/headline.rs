@@ -1,0 +1,31 @@
+//! Developer diagnostic: the headline Table-2-style sweep with an extra
+//! ByteScheduler credit variant, used while calibrating the schedulers.
+//! The polished user-facing version is `examples/bandwidth_sweep.rs` at the
+//! workspace root; the curated experiment is `repro -- table2`.
+
+use prophet_core::{ProphetConfig, SchedulerKind};
+use prophet_dnn::TrainingJob;
+use prophet_ps::sim::*;
+
+fn main() {
+    let mbps_list = [1000.0, 2000.0, 3000.0, 4000.0, 4500.0, 6000.0, 10000.0];
+    println!("{:>8} {:>10} {:>10} {:>10} {:>10} {:>10}", "Mbps", "fifo", "p3", "bs-4M", "bs-8M", "prophet");
+    for &mbps in &mbps_list {
+        let bps = mbps * 1e6 / 8.0;
+        let mut row = format!("{:>8}", mbps);
+        for kind in [
+            SchedulerKind::Fifo,
+            SchedulerKind::P3 { partition_bytes: 4 << 20 },
+            SchedulerKind::ByteScheduler(prophet_core::ByteSchedulerConfig { credit_bytes: 4 << 20, ..Default::default() }),
+            SchedulerKind::ByteScheduler(Default::default()),
+            SchedulerKind::ProphetOracle(ProphetConfig::paper_default(bps)),
+        ] {
+            let job = TrainingJob::paper_setup("resnet50", 64);
+            let mut cfg = ClusterConfig::paper_cell(3, mbps / 1000.0, job, kind);
+            cfg.warmup_iters = 12;
+            let r = run_cluster(&cfg, 30);
+            row += &format!(" {:>10.2}", r.rate);
+        }
+        println!("{row}");
+    }
+}

@@ -1,0 +1,1028 @@
+//! The BSP training-cluster engine.
+//!
+//! One event queue drives everything: per-worker backward passes release
+//! gradients (the stepwise schedule from `prophet-dnn` with per-iteration
+//! jitter), the worker's `CommScheduler` turns releases into wire messages,
+//! the fluid network carries them, the PS aggregates per-gradient BSP
+//! barriers, updated parameters flow back, and the forward pass consumes
+//! them strictly in priority order (the paper's Eq. 3 gating).
+//!
+//! Everything stochastic derives from the config seed; two runs of the same
+//! config produce identical results (asserted by the integration tests).
+
+use super::config::{ClusterConfig, SyncMode};
+use super::metrics::{GradTransferLog, RunResult};
+use prophet_core::{CommScheduler, Dir, TransferTask, Transport};
+use prophet_net::{BandwidthMonitor, Network, NodeId, NodeSpec, Topology};
+use prophet_sim::{
+    Duration, EventQueue, RateSeries, SimTime, TimeWeighted, TraceRecorder, Xoshiro256StarStar,
+};
+use std::collections::{HashMap, VecDeque};
+
+#[derive(Debug)]
+enum Ev {
+    /// Worker `w` begins an iteration (backward pass starts).
+    IterBegin { w: usize },
+    /// Worker `w` releases gradient `grad` in iteration `iter`.
+    GradReady { w: usize, iter: u64, grad: usize },
+    /// Worker `w` finishes the forward compute of tensor `grad`.
+    FwdDone { w: usize, iter: u64, grad: usize },
+    /// The network predicted a state change at this instant. The handler
+    /// is empty because every event dispatch drains the network first;
+    /// this event only guarantees the loop wakes up in time.
+    NetWake,
+    /// Bandwidth-monitor publication.
+    MonitorTick,
+    /// Metrics sampling window boundary.
+    SampleTick,
+    /// Scheduled capacity change (dynamic-network experiments).
+    BandwidthChange { bps: f64 },
+}
+
+/// A scheduler-issued message in flight, possibly split across PS shards.
+struct InFlightTask {
+    worker: usize,
+    iter: u64,
+    task: TransferTask,
+    started: SimTime,
+    subflows_remaining: usize,
+}
+
+/// One message queued on a transmission lane.
+struct QueuedMsg {
+    tag: u64,
+    bytes: u64,
+    src: NodeId,
+    dst: NodeId,
+}
+
+/// A transmission lane: one persistent connection per `(worker, shard,
+/// direction)`. Messages serialise — once on the wire, a message cannot be
+/// preempted, which is the physical fact the paper's whole scheduling
+/// problem rests on ("low-priority gradients cannot preempt high-priority
+/// gradients in the network transfer"). Back-to-back messages on a
+/// recently-active lane are *warm* (no setup, no slow-start: the
+/// connection's window is already open) unless the worker's strategy uses
+/// a blocking transport (P3), which pays the full cost every message.
+struct Lane {
+    active: bool,
+    queue: VecDeque<QueuedMsg>,
+    last_end: SimTime,
+    ever_used: bool,
+}
+
+impl Lane {
+    fn new() -> Self {
+        Lane {
+            active: false,
+            queue: VecDeque::new(),
+            last_end: SimTime::ZERO,
+            ever_used: false,
+        }
+    }
+}
+
+struct WorkerRt {
+    node: NodeId,
+    sched: Box<dyn CommScheduler>,
+    rng: Xoshiro256StarStar,
+    iter: u64,
+    iters_done: u64,
+    backward_done: bool,
+    fwd_next: usize,
+    fwd_busy: bool,
+    pulled: Vec<bool>,
+    pull_bytes: Vec<u64>,
+    gpu: TimeWeighted,
+    monitor: BandwidthMonitor,
+    // Aggregate uplink goodput accounting: bytes delivered and wire-busy
+    // time since the last monitor tick. `bytes / busy` is the achieved
+    // wire rate regardless of how many messages shared it — the estimate
+    // the schedulers need for sizing (per-message goodput under self-
+    // pipelining would understate it by the concurrency factor).
+    push_active: usize,
+    busy_start: SimTime,
+    busy_accum: Duration,
+    bytes_accum: f64,
+    iter_start: SimTime,
+    // Per-gradient timing logs for the current iteration.
+    ready_at: Vec<SimTime>,
+    push_start: Vec<SimTime>,
+    push_end: Vec<SimTime>,
+    pull_start: Vec<SimTime>,
+    pull_end: Vec<SimTime>,
+}
+
+struct AggState {
+    per_worker_bytes: Vec<u64>,
+    workers_done: usize,
+}
+
+struct Cluster {
+    cfg: ClusterConfig,
+    total_iters: u64,
+    queue: EventQueue<Ev>,
+    net: Network,
+    workers: Vec<WorkerRt>,
+    /// `(iteration, gradient)` → aggregation progress.
+    agg: HashMap<(u64, usize), AggState>,
+    /// Flow tag → task id.
+    flow_task: HashMap<u64, u64>,
+    tasks: HashMap<u64, InFlightTask>,
+    /// Serialising transmission lanes, keyed by `(worker, shard, dir)`.
+    lanes: HashMap<(usize, usize, Dir), Lane>,
+    next_task_id: u64,
+    next_flow_tag: u64,
+    sizes: Vec<u64>,
+    fwd_times: Vec<Duration>,
+
+    // Metrics.
+    trace: TraceRecorder,
+    gpu_series: Vec<(SimTime, f64)>,
+    net_series: RateSeries,
+    last_net_bytes: f64,
+    iter_times: Vec<Duration>,
+    iter_starts: Vec<SimTime>,
+    transfer_logs: Vec<Vec<GradTransferLog>>,
+    credit_trace: Vec<(u64, u64)>,
+    bandwidth_estimates: Vec<(SimTime, f64)>,
+    warmup_end_time: Option<SimTime>,
+    post_warmup_gpu: TimeWeighted,
+}
+
+const UNSET: SimTime = SimTime::MAX;
+
+impl Cluster {
+    fn new(cfg: ClusterConfig, total_iters: u64) -> Self {
+        cfg.validate();
+        let shards = cfg.ps_shards;
+        let mut topo = Topology::new();
+        for _ in 0..shards {
+            topo.add_node(NodeSpec::symmetric(cfg.ps_bps));
+        }
+        for w in 0..cfg.workers {
+            topo.add_node(NodeSpec::symmetric(cfg.worker_bandwidth(w)));
+        }
+        let net = Network::new(topo, cfg.tcp);
+        let master = Xoshiro256StarStar::new(cfg.seed);
+        let n = cfg.job.num_gradients();
+        let workers: Vec<WorkerRt> = (0..cfg.workers)
+            .map(|w| WorkerRt {
+                node: NodeId(shards + w),
+                sched: cfg.scheduler.build(&cfg.job),
+                rng: master.substream(w as u64 + 1),
+                iter: 0,
+                iters_done: 0,
+                backward_done: false,
+                fwd_next: 0,
+                fwd_busy: false,
+                pulled: vec![false; n],
+                pull_bytes: vec![0; n],
+                gpu: TimeWeighted::new(SimTime::ZERO, 0.0),
+                monitor: BandwidthMonitor::new(0.3, cfg.monitor_period),
+                push_active: 0,
+                busy_start: SimTime::ZERO,
+                busy_accum: Duration::ZERO,
+                bytes_accum: 0.0,
+                iter_start: SimTime::ZERO,
+                ready_at: vec![UNSET; n],
+                push_start: vec![UNSET; n],
+                push_end: vec![UNSET; n],
+                pull_start: vec![UNSET; n],
+                pull_end: vec![UNSET; n],
+            })
+            .collect();
+        let sizes = cfg.job.sizes();
+        let fwd_times = cfg.job.fwd_times().to_vec();
+        let trace = if cfg.trace {
+            TraceRecorder::enabled()
+        } else {
+            TraceRecorder::disabled()
+        };
+        let sample_window = cfg.sample_window;
+        Cluster {
+            cfg,
+            total_iters,
+            queue: EventQueue::new(),
+            net,
+            workers,
+            agg: HashMap::new(),
+            flow_task: HashMap::new(),
+            tasks: HashMap::new(),
+            lanes: HashMap::new(),
+            next_task_id: 0,
+            next_flow_tag: 0,
+            sizes,
+            fwd_times,
+            trace,
+            gpu_series: Vec::new(),
+            net_series: RateSeries::new(SimTime::ZERO, sample_window),
+            last_net_bytes: 0.0,
+            iter_times: Vec::new(),
+            iter_starts: Vec::new(),
+            transfer_logs: Vec::new(),
+            credit_trace: Vec::new(),
+            bandwidth_estimates: Vec::new(),
+            warmup_end_time: None,
+            post_warmup_gpu: TimeWeighted::new(SimTime::ZERO, 0.0),
+        }
+    }
+
+    fn shard_of(&self, grad: usize) -> NodeId {
+        NodeId(grad % self.cfg.ps_shards)
+    }
+
+    fn num_grads(&self) -> usize {
+        self.sizes.len()
+    }
+
+    fn run(mut self) -> RunResult {
+        for w in 0..self.workers.len() {
+            self.queue.schedule(SimTime::ZERO, Ev::IterBegin { w });
+        }
+        self.queue.schedule(
+            SimTime::ZERO + self.cfg.monitor_period,
+            Ev::MonitorTick,
+        );
+        self.queue
+            .schedule(SimTime::ZERO + self.cfg.sample_window, Ev::SampleTick);
+        for &(at, bps) in &self.cfg.bandwidth_schedule.clone() {
+            self.queue
+                .schedule(SimTime::ZERO + at, Ev::BandwidthChange { bps });
+        }
+
+        while let Some((now, ev)) = self.queue.pop() {
+            // Bring the network to `now` first so every handler sees a
+            // fully-settled wire (completions are handled before anything
+            // else that happens at this instant).
+            self.drain_net(now);
+            match ev {
+                Ev::IterBegin { w } => self.on_iter_begin(now, w),
+                Ev::GradReady { w, iter, grad } => self.on_grad_ready(now, w, iter, grad),
+                Ev::FwdDone { w, iter, grad } => self.on_fwd_done(now, w, iter, grad),
+                Ev::NetWake => {} // drain_net already did the work
+                Ev::MonitorTick => self.on_monitor_tick(now),
+                Ev::SampleTick => self.on_sample_tick(now),
+                Ev::BandwidthChange { bps } => self.on_bandwidth_change(now, bps),
+            }
+            self.arm_net();
+            if self.finished() && self.net.active_flows() == 0 {
+                // Drop the periodic ticks so the loop terminates.
+                self.queue
+                    .retain(|e| !matches!(e, Ev::MonitorTick | Ev::SampleTick));
+            }
+        }
+        self.finish()
+    }
+
+    fn finished(&self) -> bool {
+        self.workers.iter().all(|w| w.iters_done >= self.total_iters)
+    }
+
+    // ---- event handlers -------------------------------------------------
+
+    fn on_iter_begin(&mut self, now: SimTime, w: usize) {
+        let iter = self.workers[w].iters_done;
+        {
+            let wk = &mut self.workers[w];
+            wk.iter = iter;
+            wk.backward_done = false;
+            wk.fwd_next = 0;
+            wk.fwd_busy = false;
+            wk.pulled.iter_mut().for_each(|p| *p = false);
+            wk.pull_bytes.iter_mut().for_each(|b| *b = 0);
+            wk.ready_at.iter_mut().for_each(|t| *t = UNSET);
+            wk.push_start.iter_mut().for_each(|t| *t = UNSET);
+            wk.push_end.iter_mut().for_each(|t| *t = UNSET);
+            wk.pull_start.iter_mut().for_each(|t| *t = UNSET);
+            wk.pull_end.iter_mut().for_each(|t| *t = UNSET);
+            wk.iter_start = now;
+            wk.gpu.set(now, 1.0); // backward compute starts immediately
+            wk.sched.iteration_begin(now, iter);
+        }
+        if w == 0 {
+            self.iter_starts.push(now);
+            if self.iter_starts.len() as u64 == self.cfg.warmup_iters + 1 {
+                self.warmup_end_time = Some(now);
+                self.post_warmup_gpu = TimeWeighted::new(now, 1.0);
+            }
+        }
+        // Schedule this iteration's gradient releases with a per-iteration
+        // multiplicative jitter (order-preserving), scaled by the worker's
+        // compute speed (straggler modelling).
+        let factor = self.workers[w].rng.jitter(self.cfg.compute_jitter, 0.7)
+            / self.cfg.compute_scale(w);
+        let events: Vec<(usize, Duration)> = self
+            .cfg
+            .job
+            .generation_events()
+            .iter()
+            .map(|e| (e.id, e.ready_at))
+            .collect();
+        for (grad, offset) in events {
+            let jittered = Duration::from_secs_f64(offset.as_secs_f64() * factor);
+            self.queue
+                .schedule(now + jittered, Ev::GradReady { w, iter, grad });
+        }
+        if w == 0 {
+            self.post_warmup_gpu_set(now, 1.0);
+        }
+    }
+
+    fn on_grad_ready(&mut self, now: SimTime, w: usize, iter: u64, grad: usize) {
+        debug_assert_eq!(self.workers[w].iter, iter, "stale GradReady");
+        self.workers[w].ready_at[grad] = now;
+        self.workers[w].sched.gradient_ready(now, grad);
+        if grad == 0 {
+            // Backward compute over; GPU idles until forward can start.
+            let iter_start = self.workers[w].iter_start;
+            self.workers[w].backward_done = true;
+            self.workers[w].gpu.set(now, 0.0);
+            if w == 0 {
+                self.post_warmup_gpu_set(now, 0.0);
+                self.trace
+                    .record("w0.gpu", "b", iter as i64, iter_start, now);
+            }
+        }
+        self.try_start_forward(now, w);
+        self.pump(now, w);
+    }
+
+    fn on_fwd_done(&mut self, now: SimTime, w: usize, iter: u64, grad: usize) {
+        debug_assert_eq!(self.workers[w].iter, iter, "stale FwdDone");
+        let n = self.num_grads();
+        let iteration_over = {
+            let wk = &mut self.workers[w];
+            wk.fwd_busy = false;
+            wk.fwd_next = grad + 1;
+            wk.gpu.set(now, 0.0);
+            wk.fwd_next >= n
+        };
+        if w == 0 {
+            self.post_warmup_gpu_set(now, 0.0);
+        }
+        if iteration_over {
+            let (iter_time, credit) = {
+                let wk = &mut self.workers[w];
+                let t = now.saturating_since(wk.iter_start);
+                wk.sched.iteration_end(now, iter, t);
+                wk.iters_done += 1;
+                (t, wk.sched.credit())
+            };
+            if w == 0 {
+                self.iter_times.push(iter_time);
+                if let Some(c) = credit {
+                    self.credit_trace.push((iter, c));
+                }
+                // Snapshot this iteration's transfer log.
+                let wk = &self.workers[0];
+                let logs: Vec<GradTransferLog> = (0..n)
+                    .map(|g| GradTransferLog {
+                        grad: g,
+                        ready: wk.ready_at[g],
+                        push_start: wk.push_start[g],
+                        push_end: wk.push_end[g],
+                        pull_start: wk.pull_start[g],
+                        pull_end: wk.pull_end[g],
+                    })
+                    .collect();
+                self.transfer_logs.push(logs);
+            }
+            if self.workers[w].iters_done < self.total_iters {
+                let next = now + self.cfg.job.gpu.iter_overhead;
+                self.queue.schedule(next, Ev::IterBegin { w });
+            }
+        } else {
+            self.try_start_forward(now, w);
+        }
+    }
+
+    fn try_start_forward(&mut self, now: SimTime, w: usize) {
+        let n = self.num_grads();
+        let (can_start, next) = {
+            let wk = &self.workers[w];
+            let next = wk.fwd_next;
+            (
+                wk.backward_done && !wk.fwd_busy && next < n && wk.pulled[next],
+                next,
+            )
+        };
+        if !can_start {
+            return;
+        }
+        let jitter = self.workers[w].rng.jitter(self.cfg.compute_jitter, 0.7)
+            / self.cfg.compute_scale(w);
+        let dur = Duration::from_secs_f64(self.fwd_times[next].as_secs_f64() * jitter);
+        let iter = self.workers[w].iter;
+        {
+            let wk = &mut self.workers[w];
+            wk.fwd_busy = true;
+            wk.gpu.set(now, 1.0);
+        }
+        if w == 0 {
+            self.post_warmup_gpu_set(now, 1.0);
+            self.trace
+                .record("w0.gpu", "f", next as i64, now, now + dur);
+        }
+        self.queue
+            .schedule(now + dur, Ev::FwdDone { w, iter, grad: next });
+    }
+
+    /// Reconfigure every NIC to `bps` (the PS shards included, so the
+    /// whole fabric shifts together, like an EC2 bandwidth-tier change).
+    fn on_bandwidth_change(&mut self, now: SimTime, bps: f64) {
+        let spec = NodeSpec::symmetric(bps);
+        let nodes = self.cfg.ps_shards + self.cfg.workers;
+        for n in 0..nodes {
+            // drain_net ran at the top of the event loop, so no completion
+            // can be pending at `now`.
+            let done = self.net.set_node_spec(now, NodeId(n), spec);
+            debug_assert!(done.is_empty());
+        }
+    }
+
+    fn on_monitor_tick(&mut self, now: SimTime) {
+        for w in 0..self.workers.len() {
+            // Aggregate achieved uplink rate since the last tick: bytes
+            // delivered over wire-busy time. Prophet sizes its blocks so
+            // transfers *complete* within generation windows, which needs
+            // the contended wire rate — neither the uncontended ceiling
+            // nor per-message goodput (depressed by self-pipelining).
+            let est = {
+                let wk = &mut self.workers[w];
+                let mut busy = wk.busy_accum;
+                if wk.push_active > 0 {
+                    busy += now.saturating_since(wk.busy_start);
+                    wk.busy_start = now;
+                }
+                let est = if busy > Duration::from_millis(5) && wk.bytes_accum > 0.0 {
+                    Some(wk.bytes_accum / busy.as_secs_f64())
+                } else {
+                    None
+                };
+                wk.busy_accum = Duration::ZERO;
+                wk.bytes_accum = 0.0;
+                est
+            }
+            .unwrap_or_else(|| self.cfg.worker_bandwidth(w));
+            self.workers[w].sched.bandwidth_update(now, est);
+            if w == 0 {
+                self.bandwidth_estimates.push((now, est));
+            }
+            self.pump(now, w);
+        }
+        self.queue
+            .schedule(now + self.cfg.monitor_period, Ev::MonitorTick);
+    }
+
+    fn on_sample_tick(&mut self, now: SimTime) {
+        let (window_start, util) = self.workers[0].gpu.sample_window(now);
+        self.gpu_series.push((window_start, util));
+        // Worker-0 NIC volume (both directions) this window.
+        let node = self.workers[0].node;
+        let total = self.net.tx_bytes(node) + self.net.rx_bytes(node);
+        let delta = total - self.last_net_bytes;
+        self.last_net_bytes = total;
+        self.net_series.record(now, delta);
+        self.queue
+            .schedule(now + self.cfg.sample_window, Ev::SampleTick);
+    }
+
+    fn post_warmup_gpu_set(&mut self, now: SimTime, v: f64) {
+        if self.warmup_end_time.is_some() {
+            self.post_warmup_gpu.set(now, v);
+        }
+    }
+
+    // ---- scheduler ↔ network glue ---------------------------------------
+
+    /// Poll worker `w`'s scheduler until it stops issuing tasks.
+    fn pump(&mut self, now: SimTime, w: usize) {
+        while let Some(task) = self.workers[w].sched.next_task(now) {
+            self.launch(now, w, task);
+        }
+    }
+
+    /// Put a scheduler task on the wire, splitting it per PS shard.
+    fn launch(&mut self, now: SimTime, w: usize, task: TransferTask) {
+        let iter = self.workers[w].iter;
+        let node = self.workers[w].node;
+        // First-byte bookkeeping for the push logs, plus wire-busy
+        // accounting for the bandwidth estimator.
+        if task.dir == Dir::Push {
+            {
+                let wk = &mut self.workers[w];
+                if wk.push_active == 0 {
+                    wk.busy_start = now;
+                }
+                wk.push_active += 1;
+            }
+            for &(g, _) in &task.pieces {
+                let wk = &mut self.workers[w];
+                if wk.push_start[g] == UNSET {
+                    wk.push_start[g] = now;
+                }
+            }
+        } else {
+            for &(g, _) in &task.pieces {
+                let wk = &mut self.workers[w];
+                if wk.pull_start[g] == UNSET {
+                    wk.pull_start[g] = now;
+                }
+            }
+        }
+        // Group pieces by destination shard.
+        let mut by_shard: Vec<(NodeId, u64)> = Vec::new();
+        for &(g, b) in &task.pieces {
+            let shard = self.shard_of(g);
+            match by_shard.iter_mut().find(|(s, _)| *s == shard) {
+                Some((_, bytes)) => *bytes += b,
+                None => by_shard.push((shard, b)),
+            }
+        }
+        if by_shard.is_empty() {
+            // A zero-piece task is a scheduler bug; fail loudly in debug.
+            debug_assert!(false, "scheduler issued an empty task");
+            return;
+        }
+        let task_id = self.next_task_id;
+        self.next_task_id += 1;
+        let nflows = by_shard.len();
+        let dir = task.dir;
+        self.tasks.insert(
+            task_id,
+            InFlightTask {
+                worker: w,
+                iter,
+                task,
+                started: now,
+                subflows_remaining: nflows,
+            },
+        );
+        for (shard, bytes) in by_shard {
+            let (src, dst) = match dir {
+                Dir::Push => (node, shard),
+                Dir::Pull => (shard, node),
+            };
+            let tag = self.next_flow_tag;
+            self.next_flow_tag += 1;
+            self.flow_task.insert(tag, task_id);
+            let key = (w, shard.0, dir);
+            self.lanes
+                .entry(key)
+                .or_insert_with(Lane::new)
+                .queue
+                .push_back(QueuedMsg {
+                    tag,
+                    bytes,
+                    src,
+                    dst,
+                });
+            self.kick_lane(now, key);
+        }
+    }
+
+    /// Start the next queued message on a lane if it is idle.
+    fn kick_lane(&mut self, now: SimTime, key: (usize, usize, Dir)) {
+        let transport = self.workers[key.0].sched.transport();
+        let warm_timeout = self.cfg.warm_timeout;
+        let lane = self.lanes.get_mut(&key).expect("lane exists");
+        if lane.active {
+            return;
+        }
+        let Some(msg) = lane.queue.pop_front() else {
+            return;
+        };
+        let warm = transport == Transport::Pipelined
+            && lane.ever_used
+            && now.saturating_since(lane.last_end) <= warm_timeout;
+        lane.active = true;
+        lane.ever_used = true;
+        self.net
+            .start_flow_with_warmth(now, msg.src, msg.dst, msg.bytes, msg.tag, warm);
+    }
+
+    /// Advance the network to `now` and process completions.
+    fn drain_net(&mut self, now: SimTime) {
+        let ends = self.net.advance_to(now);
+        for end in ends {
+            let task_id = self
+                .flow_task
+                .remove(&end.tag)
+                .expect("completion for unknown flow");
+            let (worker, dir) = {
+                let t = self.tasks.get(&task_id).expect("unknown task");
+                (t.worker, t.task.dir)
+            };
+            // Release the lane this message occupied and start the next.
+            let shard = match dir {
+                Dir::Push => end.dst.0,
+                Dir::Pull => end.src.0,
+            };
+            let key = (worker, shard, dir);
+            {
+                let lane = self.lanes.get_mut(&key).expect("lane exists");
+                lane.active = false;
+                lane.last_end = end.finished;
+            }
+            self.kick_lane(end.finished, key);
+            let done = {
+                let inflight = self.tasks.get_mut(&task_id).expect("unknown task");
+                inflight.subflows_remaining -= 1;
+                inflight.subflows_remaining == 0
+            };
+            if done {
+                let inflight = self.tasks.remove(&task_id).unwrap();
+                self.on_task_complete(end.finished, inflight);
+            }
+        }
+    }
+
+    fn on_task_complete(&mut self, now: SimTime, inflight: InFlightTask) {
+        let w = inflight.worker;
+        let iter = inflight.iter;
+        self.workers[w].sched.task_done(now, &inflight.task);
+        match inflight.task.dir {
+            Dir::Push => {
+                // Observe pure wire time: the fixed per-message setup is
+                // modelled separately by TcpModel, so leaving it in the
+                // sample would double-count it when the scheduler turns
+                // the estimate back into transfer times.
+                let elapsed = now.saturating_since(inflight.started);
+                let setup = Duration::from_secs_f64(self.cfg.tcp.setup_s);
+                let wire = elapsed.saturating_sub(setup);
+                {
+                    let wk = &mut self.workers[w];
+                    wk.monitor
+                        .observe(now, inflight.task.bytes, wire.max(Duration::from_nanos(1)));
+                    wk.bytes_accum += inflight.task.bytes as f64;
+                    wk.push_active = wk.push_active.saturating_sub(1);
+                    if wk.push_active == 0 {
+                        wk.busy_accum += now.saturating_since(wk.busy_start);
+                    }
+                }
+                if w == 0 && self.trace.is_enabled() {
+                    let label = format!("p{}", inflight.task.top_priority());
+                    self.trace.record(
+                        "w0.up",
+                        &label,
+                        inflight.task.top_priority() as i64,
+                        inflight.started,
+                        now,
+                    );
+                }
+                let pieces = inflight.task.pieces.clone();
+                for (g, b) in pieces {
+                    self.on_push_bytes(now, w, iter, g, b);
+                }
+            }
+            Dir::Pull => {
+                if w == 0 && self.trace.is_enabled() {
+                    let label = format!("q{}", inflight.task.top_priority());
+                    self.trace.record(
+                        "w0.down",
+                        &label,
+                        inflight.task.top_priority() as i64,
+                        inflight.started,
+                        now,
+                    );
+                }
+                let pieces = inflight.task.pieces.clone();
+                for (g, b) in pieces {
+                    self.on_pull_bytes(now, w, g, b);
+                }
+            }
+        }
+        self.pump(now, w);
+    }
+
+    fn on_push_bytes(&mut self, now: SimTime, w: usize, iter: u64, g: usize, b: u64) {
+        let nworkers = self.workers.len();
+        let entry = self.agg.entry((iter, g)).or_insert_with(|| AggState {
+            per_worker_bytes: vec![0; nworkers],
+            workers_done: 0,
+        });
+        entry.per_worker_bytes[w] += b;
+        debug_assert!(
+            entry.per_worker_bytes[w] <= self.sizes[g],
+            "worker {w} over-pushed gradient {g}"
+        );
+        if entry.per_worker_bytes[w] == self.sizes[g] {
+            entry.workers_done += 1;
+            if w == 0 {
+                self.workers[0].push_end[g] = now;
+            }
+            match self.cfg.sync {
+                SyncMode::Asp => {
+                    // Asynchronous: this worker's gradient is applied on
+                    // arrival; it pulls the fresh parameters immediately,
+                    // waiting for nobody.
+                    if entry.workers_done == nworkers {
+                        self.agg.remove(&(iter, g));
+                    }
+                    self.workers[w].sched.param_ready(now, g);
+                    self.pump(now, w);
+                }
+                SyncMode::Bsp => {
+                    if entry.workers_done == nworkers {
+                        // BSP barrier for (iter, g) reached: parameters
+                        // updated, everyone may pull.
+                        self.agg.remove(&(iter, g));
+                        for w2 in 0..nworkers {
+                            debug_assert_eq!(
+                                self.workers[w2].iter, iter,
+                                "update completed while worker {w2} is in another iteration"
+                            );
+                            self.workers[w2].sched.param_ready(now, g);
+                            self.pump(now, w2);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_pull_bytes(&mut self, now: SimTime, w: usize, g: usize, b: u64) {
+        let wk = &mut self.workers[w];
+        wk.pull_bytes[g] += b;
+        debug_assert!(wk.pull_bytes[g] <= self.sizes[g], "over-pulled {g}");
+        if wk.pull_bytes[g] == self.sizes[g] {
+            wk.pulled[g] = true;
+            wk.pull_end[g] = now;
+            self.try_start_forward(now, w);
+        }
+    }
+
+    fn arm_net(&mut self) {
+        if let Some(t) = self.net.next_event_time() {
+            self.queue.schedule(t, Ev::NetWake);
+        }
+    }
+
+    // ---- results ---------------------------------------------------------
+
+    fn finish(mut self) -> RunResult {
+        let end = self.queue.now();
+        let batch = self.cfg.job.batch as f64;
+        let warmup = self.cfg.warmup_iters as usize;
+        let n_iters = self.iter_times.len();
+        let rate = if n_iters > warmup {
+            let steady: Duration = self.iter_times[warmup..]
+                .iter()
+                .fold(Duration::ZERO, |a, &b| a + b);
+            (n_iters - warmup) as f64 * batch / steady.as_secs_f64()
+        } else {
+            0.0
+        };
+        let total: Duration = self
+            .iter_times
+            .iter()
+            .fold(Duration::ZERO, |a, &b| a + b);
+        let rate_with_warmup = if total.is_zero() {
+            0.0
+        } else {
+            n_iters as f64 * batch / total.as_secs_f64()
+        };
+        let avg_gpu_util = if self.warmup_end_time.is_some() {
+            self.post_warmup_gpu.average(end)
+        } else {
+            0.0
+        };
+        let net_throughput = self.net_series.samples().to_vec();
+        let post_warmup_net: Vec<f64> = net_throughput
+            .iter()
+            .filter(|(t, _)| Some(*t) >= self.warmup_end_time)
+            .map(|&(_, v)| v)
+            .collect();
+        let avg_net_throughput = if post_warmup_net.is_empty() {
+            0.0
+        } else {
+            post_warmup_net.iter().sum::<f64>() / post_warmup_net.len() as f64
+        };
+        RunResult {
+            scheduler: self.cfg.scheduler.label().to_string(),
+            iterations: self.total_iters,
+            duration: end,
+            rate,
+            rate_with_warmup,
+            iter_times: self.iter_times,
+            gpu_util: self.gpu_series,
+            avg_gpu_util,
+            net_throughput,
+            avg_net_throughput,
+            transfer_logs: self.transfer_logs,
+            iter_starts: self.iter_starts,
+            trace: self.trace,
+            credit_trace: self.credit_trace,
+            bandwidth_estimates: self.bandwidth_estimates,
+        }
+    }
+}
+
+/// Simulate `iters` BSP iterations of `cfg` and report the metrics.
+pub fn run_cluster(cfg: &ClusterConfig, iters: u64) -> RunResult {
+    assert!(iters > 0, "zero iterations");
+    Cluster::new(cfg.clone(), iters).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prophet_core::{ProphetConfig, SchedulerKind};
+    use prophet_dnn::TrainingJob;
+
+    fn base(scheduler: SchedulerKind) -> ClusterConfig {
+        ClusterConfig::paper_cell(
+            2,
+            10.0,
+            TrainingJob::paper_setup("resnet18", 16),
+            scheduler,
+        )
+    }
+
+    #[test]
+    fn fifo_cluster_completes_iterations() {
+        let r = run_cluster(&base(SchedulerKind::Fifo), 6);
+        assert_eq!(r.iterations, 6);
+        assert_eq!(r.iter_times.len(), 6);
+        assert!(r.rate > 0.0, "rate {}", r.rate);
+        assert!(r.duration > SimTime::ZERO);
+    }
+
+    #[test]
+    fn rate_below_compute_ceiling() {
+        let cfg = base(SchedulerKind::Fifo);
+        let ceiling = cfg.job.compute_rate_ceiling();
+        let r = run_cluster(&cfg, 6);
+        // (small tolerance: compute jitter can make short windows beat
+        // the nominal ceiling)
+        assert!(
+            r.rate <= ceiling * 1.08,
+            "rate {} exceeds compute ceiling {}",
+            r.rate,
+            ceiling
+        );
+    }
+
+    #[test]
+    fn all_schedulers_complete() {
+        for kind in SchedulerKind::paper_lineup(1.25e9) {
+            let label = kind.label();
+            let r = run_cluster(&base(kind), 4);
+            assert_eq!(r.iter_times.len(), 4, "{label}");
+            assert!(r.rate > 0.0, "{label}: zero rate");
+        }
+    }
+
+    #[test]
+    fn prophet_oracle_completes() {
+        let kind = SchedulerKind::ProphetOracle(ProphetConfig::paper_default(1.25e9));
+        let r = run_cluster(&base(kind), 4);
+        assert_eq!(r.iter_times.len(), 4);
+        assert!(r.rate > 0.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = base(SchedulerKind::Fifo);
+        let a = run_cluster(&cfg, 4);
+        let b = run_cluster(&cfg, 4);
+        assert_eq!(a.iter_times, b.iter_times);
+        assert_eq!(a.duration, b.duration);
+        let mut cfg2 = cfg;
+        cfg2.seed += 1;
+        let c = run_cluster(&cfg2, 4);
+        assert_ne!(a.iter_times, c.iter_times, "seed had no effect");
+    }
+
+    #[test]
+    fn transfer_logs_are_complete_and_ordered() {
+        let r = run_cluster(&base(SchedulerKind::Fifo), 3);
+        for logs in &r.transfer_logs {
+            for log in logs {
+                assert_ne!(log.ready, SimTime::MAX, "gradient {} never ready", log.grad);
+                assert_ne!(log.push_start, SimTime::MAX);
+                assert_ne!(log.push_end, SimTime::MAX);
+                assert_ne!(log.pull_end, SimTime::MAX);
+                assert!(log.ready <= log.push_start);
+                assert!(log.push_start < log.push_end);
+                assert!(log.push_end <= log.pull_end);
+            }
+        }
+    }
+
+    #[test]
+    fn gpu_utilisation_is_sampled_and_bounded() {
+        let r = run_cluster(&base(SchedulerKind::Fifo), 5);
+        assert!(!r.gpu_util.is_empty());
+        for &(_, u) in &r.gpu_util {
+            assert!((0.0..=1.0 + 1e-9).contains(&u), "util {u}");
+        }
+        assert!(r.avg_gpu_util > 0.2, "avg util {}", r.avg_gpu_util);
+    }
+
+    #[test]
+    fn net_series_sees_traffic() {
+        let r = run_cluster(&base(SchedulerKind::Fifo), 4);
+        let peak = r
+            .net_throughput
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(0.0f64, f64::max);
+        assert!(peak > 1e6, "peak throughput {peak}");
+    }
+
+    #[test]
+    fn slower_network_slower_training() {
+        let job = || TrainingJob::paper_setup("resnet50", 32);
+        let fast = ClusterConfig::paper_cell(2, 10.0, job(), SchedulerKind::Fifo);
+        let slow = ClusterConfig::paper_cell(2, 1.0, job(), SchedulerKind::Fifo);
+        let rf = run_cluster(&fast, 5);
+        let rs = run_cluster(&slow, 5);
+        assert!(
+            rf.rate > rs.rate * 1.3,
+            "10G {} vs 1G {}",
+            rf.rate,
+            rs.rate
+        );
+    }
+
+    #[test]
+    fn heterogeneous_worker_slows_everyone() {
+        let job = || TrainingJob::paper_setup("resnet50", 32);
+        let uniform = ClusterConfig::paper_cell(3, 10.0, job(), SchedulerKind::Fifo);
+        let mut hetero = uniform.clone();
+        hetero.worker_bps_overrides.push((1, 62.5e6)); // 500 Mbps
+        let ru = run_cluster(&uniform, 4);
+        let rh = run_cluster(&hetero, 4);
+        assert!(
+            rh.rate < ru.rate * 0.8,
+            "hetero {} vs uniform {}",
+            rh.rate,
+            ru.rate
+        );
+    }
+
+    #[test]
+    fn sharded_ps_speeds_up_large_clusters() {
+        // Workers pushing ResNet50-sized gradients through one under-
+        // provisioned PS NIC (3 Gb/s vs the workers' 10 Gb/s) saturate it;
+        // sharding the PS (BytePS-style co-location) relieves the
+        // bottleneck because each shard brings its own NIC. A credit-based
+        // scheduler is used so several tensors are in flight concurrently —
+        // serialized whole-tensor pushes hit one shard at a time and cannot
+        // benefit.
+        let job = || TrainingJob::paper_setup("resnet50", 64);
+        let mut single = ClusterConfig::paper_cell(
+            4,
+            10.0,
+            job(),
+            SchedulerKind::ByteScheduler(Default::default()),
+        );
+        single.ps_bps = 3e9 / 8.0;
+        single.compute_jitter = 0.0;
+        single.warmup_iters = 1;
+        let mut sharded = single.clone();
+        sharded.ps_shards = 4;
+        let r1 = run_cluster(&single, 3);
+        let r6 = run_cluster(&sharded, 3);
+        assert!(
+            r6.rate > r1.rate,
+            "sharded {} vs single {}",
+            r6.rate,
+            r1.rate
+        );
+    }
+
+    #[test]
+    fn credit_trace_only_for_autotuner() {
+        use prophet_core::{AutoTuneConfig, ByteSchedulerConfig};
+        let fixed = run_cluster(
+            &base(SchedulerKind::ByteScheduler(ByteSchedulerConfig::default())),
+            3,
+        );
+        assert!(!fixed.credit_trace.is_empty()); // fixed credit still reported
+        assert!(fixed.credit_trace.iter().all(|&(_, c)| c == 12 << 20));
+        let tuned_cfg = ByteSchedulerConfig {
+            autotune: Some(AutoTuneConfig {
+                interval_iters: 1,
+                ..AutoTuneConfig::default()
+            }),
+            ..ByteSchedulerConfig::default()
+        };
+        let tuned = run_cluster(&base(SchedulerKind::ByteScheduler(tuned_cfg)), 8);
+        let credits: Vec<u64> = tuned.credit_trace.iter().map(|&(_, c)| c).collect();
+        let distinct: std::collections::BTreeSet<u64> = credits.iter().copied().collect();
+        assert!(distinct.len() > 1, "tuner never moved: {credits:?}");
+    }
+
+    #[test]
+    fn trace_records_gpu_and_network_lanes() {
+        let mut cfg = base(SchedulerKind::Fifo);
+        cfg.trace = true;
+        let r = run_cluster(&cfg, 2);
+        assert!(r.trace.lane("w0.gpu").count() > 0);
+        assert!(r.trace.lane("w0.up").count() > 0);
+        assert!(r.trace.lane("w0.down").count() > 0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Cluster/testbed description.
+
+use prophet_core::SchedulerKind;
+use prophet_dnn::TrainingJob;
+use prophet_net::TcpModel;
+use prophet_sim::Duration;
+
+/// Parameter-synchronisation discipline.
+///
+/// The paper evaluates BSP ("Prophet mainly works in the PS architecture
+/// using BSP", §6.2) and names ASP validation as future work (§7); both
+/// are implemented here so that extension experiment can run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncMode {
+    /// Bulk Synchronous Parallel: a gradient's parameters update only
+    /// after **every** worker's push arrived; all workers pull the same
+    /// version each iteration.
+    Bsp,
+    /// Asynchronous Parallel: the PS applies each worker's gradient on
+    /// arrival and the pushing worker immediately pulls the fresh
+    /// parameters — no cross-worker barrier, workers drift apart.
+    Asp,
+}
+
+/// Everything needed to reproduce one experimental cell.
+#[derive(Clone)]
+pub struct ClusterConfig {
+    /// Number of worker nodes (the paper: up to 7).
+    pub workers: usize,
+    /// Parameter-server shards. 1 = the single dedicated PS instance of
+    /// §5.1; `workers` models BytePS-style server co-location so the PS is
+    /// never the NIC bottleneck (used for the Fig. 12 scaling study).
+    /// Gradient `g` lives on shard `g % ps_shards`.
+    pub ps_shards: usize,
+    /// The workload.
+    pub job: TrainingJob,
+    /// The communication scheduling strategy under test.
+    pub scheduler: SchedulerKind,
+    /// Transport cost model.
+    pub tcp: TcpModel,
+    /// Worker NIC capacity, bytes/sec (same up/down).
+    pub worker_bps: f64,
+    /// Per-worker overrides, `(worker_index, bytes/sec)` — §5.3's
+    /// heterogeneous experiment caps one worker at 500 Mbps.
+    pub worker_bps_overrides: Vec<(usize, f64)>,
+    /// PS-shard NIC capacity, bytes/sec.
+    pub ps_bps: f64,
+    /// Master seed: every stochastic stream derives from it.
+    pub seed: u64,
+    /// Std-dev of the per-iteration multiplicative compute jitter.
+    pub compute_jitter: f64,
+    /// Bandwidth-monitor publication period (paper: 5 s).
+    pub monitor_period: Duration,
+    /// Metrics sampling window for utilisation/throughput series.
+    pub sample_window: Duration,
+    /// How long a transmission lane stays *warm* after its last message:
+    /// within this window a pipelined transport's next message skips the
+    /// connection setup and slow-start (TCP congestion-window validation
+    /// decays on RTO-scale idles). Blocking transports (P3) never benefit.
+    pub warm_timeout: Duration,
+    /// Record a full span trace (Gantt) — costs memory, default off.
+    pub trace: bool,
+    /// Iterations to skip before steady-state rate measurement.
+    pub warmup_iters: u64,
+    /// Parameter-synchronisation discipline (paper: BSP; ASP is the §7
+    /// future-work extension).
+    pub sync: SyncMode,
+    /// Bandwidth schedule for dynamic-network experiments: at each
+    /// `(time, bytes/sec)` entry every worker NIC (and each PS shard) is
+    /// reconfigured to the new capacity. The paper motivates Prophet with
+    /// exactly such "dynamic network environments" (§1, §4.2).
+    pub bandwidth_schedule: Vec<(Duration, f64)>,
+    /// Per-worker compute-speed multipliers `(worker, factor)` — factors
+    /// below 1.0 model straggler GPUs (a heterogeneity axis the paper's
+    /// related work discusses via LBBSP).
+    pub worker_compute_scale: Vec<(usize, f64)>,
+}
+
+impl ClusterConfig {
+    /// The paper's standard cell: `workers` nodes at `gbps` Gb/s, the given
+    /// job and strategy, light jitter, 5 s monitoring.
+    pub fn paper_cell(
+        workers: usize,
+        gbps: f64,
+        job: TrainingJob,
+        scheduler: SchedulerKind,
+    ) -> Self {
+        ClusterConfig {
+            workers,
+            ps_shards: 1,
+            job,
+            scheduler,
+            tcp: TcpModel::EC2,
+            worker_bps: gbps * 1e9 / 8.0,
+            worker_bps_overrides: Vec::new(),
+            ps_bps: gbps * 1e9 / 8.0,
+            seed: 20210809, // ICPP'21 started 2021-08-09
+            compute_jitter: 0.02,
+            monitor_period: Duration::from_secs(5),
+            sample_window: Duration::from_millis(250),
+            warm_timeout: Duration::from_millis(200),
+            trace: false,
+            warmup_iters: 3,
+            sync: SyncMode::Bsp,
+            bandwidth_schedule: Vec::new(),
+            worker_compute_scale: Vec::new(),
+        }
+    }
+
+    /// NIC capacity of worker `w`, honouring overrides.
+    pub fn worker_bandwidth(&self, w: usize) -> f64 {
+        self.worker_bps_overrides
+            .iter()
+            .find(|&&(i, _)| i == w)
+            .map(|&(_, b)| b)
+            .unwrap_or(self.worker_bps)
+    }
+
+    /// Sanity-check the configuration, panicking with a message naming the
+    /// offending field.
+    pub fn validate(&self) {
+        assert!(self.workers >= 1, "need at least one worker");
+        assert!(self.ps_shards >= 1, "need at least one PS shard");
+        assert!(
+            self.worker_bps > 0.0 && self.ps_bps > 0.0,
+            "non-positive bandwidth"
+        );
+        assert!(
+            self.compute_jitter >= 0.0 && self.compute_jitter < 0.5,
+            "jitter out of range"
+        );
+        for &(w, b) in &self.worker_bps_overrides {
+            assert!(w < self.workers, "override for missing worker {w}");
+            assert!(b > 0.0, "non-positive override bandwidth");
+        }
+        for &(w, f) in &self.worker_compute_scale {
+            assert!(w < self.workers, "compute scale for missing worker {w}");
+            assert!(f > 0.0, "non-positive compute scale");
+        }
+        for &(_, b) in &self.bandwidth_schedule {
+            assert!(b > 0.0, "non-positive scheduled bandwidth");
+        }
+    }
+
+    /// Compute-speed multiplier of worker `w` (1.0 unless overridden).
+    pub fn compute_scale(&self, w: usize) -> f64 {
+        self.worker_compute_scale
+            .iter()
+            .find(|&&(i, _)| i == w)
+            .map(|&(_, f)| f)
+            .unwrap_or(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prophet_core::SchedulerKind;
+
+    fn cfg() -> ClusterConfig {
+        ClusterConfig::paper_cell(
+            3,
+            10.0,
+            TrainingJob::paper_setup("resnet18", 32),
+            SchedulerKind::Fifo,
+        )
+    }
+
+    #[test]
+    fn paper_cell_defaults() {
+        let c = cfg();
+        c.validate();
+        assert_eq!(c.workers, 3);
+        assert!((c.worker_bps - 1.25e9).abs() < 1.0);
+        assert_eq!(c.monitor_period, Duration::from_secs(5));
+    }
+
+    #[test]
+    fn overrides_apply_per_worker() {
+        let mut c = cfg();
+        c.worker_bps_overrides.push((1, 62.5e6));
+        assert_eq!(c.worker_bandwidth(0), 1.25e9);
+        assert_eq!(c.worker_bandwidth(1), 62.5e6);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "override for missing worker")]
+    fn bad_override_rejected() {
+        let mut c = cfg();
+        c.worker_bps_overrides.push((9, 1e9));
+        c.validate();
+    }
+}

@@ -1,0 +1,163 @@
+//! What a cluster run reports — the raw material of every figure.
+
+use prophet_sim::{Duration, SimTime, TraceRecorder};
+
+/// Per-gradient transfer timing for one worker/iteration (Fig. 11's rows).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GradTransferLog {
+    /// Gradient id.
+    pub grad: usize,
+    /// When the aggregation layer released it (absolute sim time).
+    pub ready: SimTime,
+    /// When its first byte was scheduled onto the wire.
+    pub push_start: SimTime,
+    /// When its push fully arrived at the PS.
+    pub push_end: SimTime,
+    /// When this worker began pulling the updated parameters.
+    pub pull_start: SimTime,
+    /// When the updated parameters finished arriving back (pull end).
+    pub pull_end: SimTime,
+}
+
+impl GradTransferLog {
+    /// Wait between release and first transmission — the paper's
+    /// per-gradient "wait time" metric (§5.2: Prophet 26 ms avg vs 67 ms).
+    pub fn wait(&self) -> Duration {
+        self.push_start.saturating_since(self.ready)
+    }
+
+    /// Push wire time — the paper's "transmission time" metric.
+    pub fn transfer(&self) -> Duration {
+        self.push_end.saturating_since(self.push_start)
+    }
+}
+
+/// The outcome of [`crate::sim::run_cluster`].
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Strategy label (from [`prophet_core::SchedulerKind::label`]).
+    pub scheduler: String,
+    /// Iterations completed by every worker.
+    pub iterations: u64,
+    /// Wall-clock (simulated) duration of the whole run.
+    pub duration: SimTime,
+    /// Steady-state training rate in **samples/sec per worker**, measured
+    /// after the configured warm-up (the paper reports per-worker rates).
+    pub rate: f64,
+    /// Training rate including warm-up/profiling (Fig. 13's early phase).
+    pub rate_with_warmup: f64,
+    /// Worker-0 iteration durations, in order.
+    pub iter_times: Vec<Duration>,
+    /// Worker-0 GPU utilisation per sample window `(window_start, 0..1)`.
+    pub gpu_util: Vec<(SimTime, f64)>,
+    /// Time-weighted average GPU utilisation across the post-warmup run.
+    pub avg_gpu_util: f64,
+    /// Worker-0 uplink+downlink throughput per window, bytes/sec.
+    pub net_throughput: Vec<(SimTime, f64)>,
+    /// Average of `net_throughput` over the post-warmup run.
+    pub avg_net_throughput: f64,
+    /// Worker-0 per-gradient transfer logs, one vec per iteration.
+    pub transfer_logs: Vec<Vec<GradTransferLog>>,
+    /// Absolute start time of each worker-0 iteration (§5.2's
+    /// forward-propagation start-time analysis).
+    pub iter_starts: Vec<SimTime>,
+    /// Span trace, when the config asked for one.
+    pub trace: TraceRecorder,
+    /// ByteScheduler credit trace `(iteration, credit_bytes)` when the
+    /// strategy auto-tunes (Fig. 3(b)).
+    pub credit_trace: Vec<(u64, u64)>,
+    /// Worker-0 bandwidth-monitor estimates `(time, bytes/sec)`, one per
+    /// monitor tick (what Prophet's planner consumed).
+    pub bandwidth_estimates: Vec<(SimTime, f64)>,
+}
+
+impl RunResult {
+    /// Mean per-gradient wait over the logs of iteration `iter`.
+    pub fn mean_wait_ms(&self, iter: usize) -> f64 {
+        let logs = &self.transfer_logs[iter];
+        if logs.is_empty() {
+            return 0.0;
+        }
+        logs.iter().map(|l| l.wait().as_millis_f64()).sum::<f64>() / logs.len() as f64
+    }
+
+    /// Mean push wire time over the logs of iteration `iter`.
+    pub fn mean_transfer_ms(&self, iter: usize) -> f64 {
+        let logs = &self.transfer_logs[iter];
+        if logs.is_empty() {
+            return 0.0;
+        }
+        logs.iter()
+            .map(|l| l.transfer().as_millis_f64())
+            .sum::<f64>()
+            / logs.len() as f64
+    }
+
+    /// Iterations completed within `span` of the start of iteration
+    /// `from` (§5.2: "in the first 15 seconds Prophet completes 60–74").
+    pub fn iterations_within(&self, from: usize, span: Duration) -> usize {
+        let t0 = self.iter_starts[from];
+        self.iter_starts[from..]
+            .iter()
+            .take_while(|&&t| t.saturating_since(t0) <= span)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::ZERO + Duration::from_millis(ms)
+    }
+
+    #[test]
+    fn log_derives_wait_and_transfer() {
+        let log = GradTransferLog {
+            grad: 30,
+            ready: at(10),
+            push_start: at(13),
+            push_end: at(36),
+            pull_start: at(40),
+            pull_end: at(60),
+        };
+        assert_eq!(log.wait(), Duration::from_millis(3));
+        assert_eq!(log.transfer(), Duration::from_millis(23));
+    }
+
+    fn result_with(iter_starts: Vec<SimTime>) -> RunResult {
+        RunResult {
+            scheduler: "test".into(),
+            iterations: iter_starts.len() as u64,
+            duration: *iter_starts.last().unwrap(),
+            rate: 0.0,
+            rate_with_warmup: 0.0,
+            iter_times: vec![],
+            gpu_util: vec![],
+            avg_gpu_util: 0.0,
+            net_throughput: vec![],
+            avg_net_throughput: 0.0,
+            transfer_logs: vec![vec![]],
+            iter_starts,
+            trace: TraceRecorder::disabled(),
+            credit_trace: vec![],
+            bandwidth_estimates: vec![],
+        }
+    }
+
+    #[test]
+    fn iterations_within_counts_window() {
+        let r = result_with(vec![at(0), at(900), at(1800), at(16_000)]);
+        assert_eq!(r.iterations_within(0, Duration::from_secs(15)), 3);
+        assert_eq!(r.iterations_within(0, Duration::from_secs(20)), 4);
+        assert_eq!(r.iterations_within(2, Duration::from_secs(1)), 1);
+    }
+
+    #[test]
+    fn empty_logs_mean_zero() {
+        let r = result_with(vec![at(0)]);
+        assert_eq!(r.mean_wait_ms(0), 0.0);
+        assert_eq!(r.mean_transfer_ms(0), 0.0);
+    }
+}

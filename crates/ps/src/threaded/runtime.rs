@@ -1,0 +1,510 @@
+//! The threaded BSP runtime: worker threads + PS thread + link emulation.
+
+use super::wire::{decode_f32, encode_f32, ToPs, ToWorker};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use prophet_core::{CommScheduler, Dir, SchedulerKind};
+use prophet_minidnn::{Adam, Dataset, Mlp, Sgd};
+use prophet_sim::SimTime;
+use std::time::Instant;
+
+/// Which optimiser the PS thread runs (it owns the optimiser state, like
+/// MXNet's KVStore).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PsOptimizer {
+    /// SGD with classical momentum.
+    Sgd {
+        /// Momentum coefficient μ (0 = plain SGD).
+        momentum: f32,
+    },
+    /// Adam with canonical β/ε defaults.
+    Adam,
+}
+
+enum OptState {
+    Sgd(Sgd),
+    Adam(Adam),
+}
+
+impl OptState {
+    fn step(&mut self, id: usize, params: &mut [f32], grad: &[f32]) {
+        match self {
+            OptState::Sgd(o) => o.step(id, params, grad),
+            OptState::Adam(o) => o.step(id, params, grad),
+        }
+    }
+}
+
+/// Configuration of a threaded training run.
+#[derive(Clone)]
+pub struct ThreadedConfig {
+    /// Worker threads.
+    pub workers: usize,
+    /// MLP layer widths, input first, classes last.
+    pub widths: Vec<usize>,
+    /// Dataset: `(samples, noise, seed)`; features/classes come from
+    /// `widths`.
+    pub samples: usize,
+    /// Gaussian blob noise.
+    pub noise: f64,
+    /// Dataset/model seed (single seed keeps runs reproducible).
+    pub seed: u64,
+    /// Global batch per iteration, split evenly across workers. Must be a
+    /// multiple of `workers` (keeps shard means exactly averageable).
+    pub global_batch: usize,
+    /// BSP iterations to run.
+    pub iterations: u64,
+    /// Learning rate.
+    pub lr: f32,
+    /// PS-side optimiser (lives on the PS, like MXNet's KVStore optimiser).
+    pub optimizer: PsOptimizer,
+    /// The communication strategy each worker runs.
+    pub scheduler: SchedulerKind,
+    /// Emulated per-worker link bandwidth, bytes/sec (`None` = unlimited).
+    pub link_bps: Option<f64>,
+}
+
+impl ThreadedConfig {
+    /// A small default problem that trains in well under a second.
+    pub fn small(workers: usize, scheduler: SchedulerKind) -> Self {
+        ThreadedConfig {
+            workers,
+            widths: vec![8, 24, 4],
+            samples: 256,
+            noise: 0.8,
+            seed: 77,
+            global_batch: 64,
+            iterations: 20,
+            lr: 0.1,
+            optimizer: PsOptimizer::Sgd { momentum: 0.9 },
+            scheduler,
+            link_bps: None,
+        }
+    }
+}
+
+/// What a threaded run produces.
+#[derive(Debug, Clone)]
+pub struct ThreadedResult {
+    /// Mean worker loss per iteration.
+    pub losses: Vec<f32>,
+    /// Final parameters, one vec per tensor (PS copy).
+    pub final_params: Vec<Vec<f32>>,
+    /// Training-set accuracy of the final model.
+    pub accuracy: f64,
+    /// Total gradient payload pushed by all workers, bytes.
+    pub bytes_pushed: u64,
+    /// Real wall-clock time of the run.
+    pub wall: std::time::Duration,
+}
+
+/// A crude token-bucket link emulator: sending `bytes` blocks the sender
+/// until the link would have drained them.
+struct RateLimiter {
+    bps: Option<f64>,
+    debt_ns: u64,
+    last: Instant,
+}
+
+impl RateLimiter {
+    fn new(bps: Option<f64>) -> Self {
+        RateLimiter {
+            bps,
+            debt_ns: 0,
+            last: Instant::now(),
+        }
+    }
+
+    fn acquire(&mut self, bytes: u64) {
+        let Some(bps) = self.bps else { return };
+        let now = Instant::now();
+        let elapsed = now.duration_since(self.last).as_nanos() as u64;
+        self.last = now;
+        self.debt_ns = self.debt_ns.saturating_sub(elapsed);
+        self.debt_ns += (bytes as f64 / bps * 1e9) as u64;
+        // Sleep off any debt beyond a small burst allowance.
+        const BURST_NS: u64 = 200_000;
+        if self.debt_ns > BURST_NS {
+            std::thread::sleep(std::time::Duration::from_nanos(self.debt_ns - BURST_NS));
+        }
+    }
+}
+
+fn now_since(epoch: Instant) -> SimTime {
+    SimTime::from_nanos(epoch.elapsed().as_nanos() as u64)
+}
+
+/// Run BSP data-parallel training per `cfg` and return the outcome.
+///
+/// Panics if `global_batch` is not a multiple of `workers` (unequal shards
+/// would break the shard-mean ≡ batch-mean identity the PS relies on).
+pub fn run_threaded_training(cfg: &ThreadedConfig) -> ThreadedResult {
+    assert!(cfg.workers >= 1);
+    assert!(
+        cfg.global_batch % cfg.workers == 0,
+        "global batch {} not divisible by {} workers",
+        cfg.global_batch,
+        cfg.workers
+    );
+    let features = *cfg.widths.first().expect("empty widths");
+    let classes = *cfg.widths.last().expect("empty widths");
+    let start = Instant::now();
+
+    let dataset = Dataset::blobs(cfg.samples, features, classes, cfg.noise, cfg.seed);
+    let template = Mlp::new(&cfg.widths, cfg.seed ^ 0xABCD);
+    let tensor_elems: Vec<usize> = template.tensor_sizes();
+    let sizes_bytes: Vec<u64> = tensor_elems.iter().map(|&n| n as u64 * 4).collect();
+    let n_tensors = tensor_elems.len();
+
+    // Channels: one shared worker→PS channel, one PS→worker each.
+    let (to_ps, ps_rx) = unbounded::<ToPs>();
+    let mut worker_txs: Vec<Sender<ToWorker>> = Vec::new();
+    let mut worker_rxs: Vec<Option<Receiver<ToWorker>>> = Vec::new();
+    for _ in 0..cfg.workers {
+        let (tx, rx) = unbounded::<ToWorker>();
+        worker_txs.push(tx);
+        worker_rxs.push(Some(rx));
+    }
+
+    // ---- PS thread -------------------------------------------------------
+    let ps_cfg = cfg.clone();
+    let ps_sizes = tensor_elems.clone();
+    let ps_init: Vec<Vec<f32>> = template.param_slices().iter().map(|p| p.to_vec()).collect();
+    let ps_handle = std::thread::spawn(move || {
+        ps_thread(ps_cfg, ps_sizes, ps_init, ps_rx, worker_txs)
+    });
+
+    // ---- worker threads ---------------------------------------------------
+    let mut handles = Vec::new();
+    for (w, rx_slot) in worker_rxs.iter_mut().enumerate() {
+        let cfg = cfg.clone();
+        let dataset = dataset.clone();
+        let rx = rx_slot.take().unwrap();
+        let tx = to_ps.clone();
+        let sizes_bytes = sizes_bytes.clone();
+        let tensor_elems = tensor_elems.clone();
+        handles.push(std::thread::spawn(move || {
+            worker_thread(w, cfg, dataset, tensor_elems, sizes_bytes, tx, rx, start)
+        }));
+    }
+    drop(to_ps); // PS sees disconnect once every worker is done
+
+    let mut losses_acc = vec![0.0f32; cfg.iterations as usize];
+    let mut bytes_pushed = 0u64;
+    for h in handles {
+        let (losses, bytes) = h.join().expect("worker panicked");
+        for (acc, l) in losses_acc.iter_mut().zip(losses) {
+            *acc += l / cfg.workers as f32;
+        }
+        bytes_pushed += bytes;
+    }
+    let final_params = ps_handle.join().expect("ps panicked");
+
+    // Evaluate the final model on the training set.
+    let mut model = Mlp::new(&cfg.widths, cfg.seed ^ 0xABCD);
+    for (id, p) in final_params.iter().enumerate() {
+        model.set_param(id, p);
+    }
+    let (x, labels) = dataset.batch(0, dataset.len());
+    let accuracy = model.accuracy(&x, &labels);
+    debug_assert_eq!(n_tensors, final_params.len());
+
+    ThreadedResult {
+        losses: losses_acc,
+        final_params,
+        accuracy,
+        bytes_pushed,
+        wall: start.elapsed(),
+    }
+}
+
+/// The parameter-server thread: aggregation barriers, SGD, pull service.
+fn ps_thread(
+    cfg: ThreadedConfig,
+    tensor_elems: Vec<usize>,
+    mut params: Vec<Vec<f32>>,
+    rx: Receiver<ToPs>,
+    worker_txs: Vec<Sender<ToWorker>>,
+) -> Vec<Vec<f32>> {
+    let n = tensor_elems.len();
+    let mut opt = match cfg.optimizer {
+        PsOptimizer::Sgd { momentum } => OptState::Sgd(Sgd::new(cfg.lr, momentum, &tensor_elems)),
+        PsOptimizer::Adam => OptState::Adam(Adam::new(cfg.lr, &tensor_elems)),
+    };
+    // Aggregation state per (iter, grad): per-worker partial buffers.
+    use std::collections::HashMap;
+    struct Agg {
+        per_worker: Vec<Vec<f32>>,
+        received_elems: Vec<usize>,
+        complete: usize,
+    }
+    let mut agg: HashMap<(u64, usize), Agg> = HashMap::new();
+
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ToPs::Push {
+                worker,
+                iter,
+                grad,
+                offset_elems,
+                data,
+            } => {
+                let entry = agg.entry((iter, grad)).or_insert_with(|| Agg {
+                    per_worker: vec![vec![0.0; tensor_elems[grad]]; cfg.workers],
+                    received_elems: vec![0; cfg.workers],
+                    complete: 0,
+                });
+                let values = decode_f32(&data);
+                entry.per_worker[worker][offset_elems..offset_elems + values.len()]
+                    .copy_from_slice(&values);
+                entry.received_elems[worker] += values.len();
+                assert!(
+                    entry.received_elems[worker] <= tensor_elems[grad],
+                    "worker {worker} over-pushed tensor {grad}"
+                );
+                if entry.received_elems[worker] == tensor_elems[grad] {
+                    entry.complete += 1;
+                    if entry.complete == cfg.workers {
+                        // BSP barrier reached: average in fixed worker
+                        // order (determinism), step, notify.
+                        let agg_state = agg.remove(&(iter, grad)).unwrap();
+                        let mut mean = vec![0.0f32; tensor_elems[grad]];
+                        for wbuf in &agg_state.per_worker {
+                            for (m, &v) in mean.iter_mut().zip(wbuf) {
+                                *m += v;
+                            }
+                        }
+                        let inv = 1.0 / cfg.workers as f32;
+                        for m in &mut mean {
+                            *m *= inv;
+                        }
+                        opt.step(grad, &mut params[grad], &mean);
+                        for tx in &worker_txs {
+                            // A worker that already exited is a bug — every
+                            // worker needs every update.
+                            tx.send(ToWorker::ParamReady { grad })
+                                .expect("worker hung up before barrier");
+                        }
+                    }
+                }
+            }
+            ToPs::PullReq {
+                worker,
+                grad,
+                offset_elems,
+                len_elems,
+            } => {
+                let slice = &params[grad][offset_elems..offset_elems + len_elems];
+                worker_txs[worker]
+                    .send(ToWorker::PullData {
+                        grad,
+                        offset_elems,
+                        data: encode_f32(slice),
+                    })
+                    .expect("worker hung up mid-pull");
+            }
+        }
+    }
+    debug_assert_eq!(params.len(), n);
+    params
+}
+
+/// Borrowed context threaded through [`drive`].
+struct DriveCtx<'a> {
+    w: usize,
+    iter: u64,
+    epoch: Instant,
+    grads: &'a [Vec<f32>],
+    tx: &'a Sender<ToPs>,
+}
+
+/// Issue tasks until the scheduler pauses. Pushes complete synchronously
+/// (blocking send, like P3's transport); at most one pull task is awaited
+/// at a time.
+#[allow(clippy::too_many_arguments)]
+fn drive(
+    ctx: &DriveCtx<'_>,
+    sched: &mut Box<dyn CommScheduler>,
+    push_sent: &mut [usize],
+    pull_recv: &mut [usize],
+    inflight_pull: &mut Option<(prophet_core::TransferTask, usize)>,
+    limiter: &mut RateLimiter,
+    bytes_pushed: &mut u64,
+) {
+    while inflight_pull.is_none() {
+        let Some(task) = sched.next_task(now_since(ctx.epoch)) else {
+            break;
+        };
+        match task.dir {
+            Dir::Push => {
+                for &(g, b) in &task.pieces {
+                    let elems = (b / 4) as usize;
+                    let off = push_sent[g];
+                    push_sent[g] += elems;
+                    limiter.acquire(b);
+                    *bytes_pushed += b;
+                    ctx.tx
+                        .send(ToPs::Push {
+                            worker: ctx.w,
+                            iter: ctx.iter,
+                            grad: g,
+                            offset_elems: off,
+                            data: encode_f32(&ctx.grads[g][off..off + elems]),
+                        })
+                        .expect("ps hung up");
+                }
+                sched.task_done(now_since(ctx.epoch), &task);
+            }
+            Dir::Pull => {
+                let mut awaiting = 0usize;
+                for &(g, b) in &task.pieces {
+                    let elems = (b / 4) as usize;
+                    ctx.tx
+                        .send(ToPs::PullReq {
+                            worker: ctx.w,
+                            grad: g,
+                            offset_elems: pull_recv[g],
+                            len_elems: elems,
+                        })
+                        .expect("ps hung up");
+                    pull_recv[g] += elems;
+                    awaiting += 1;
+                }
+                *inflight_pull = Some((task, awaiting));
+            }
+        }
+    }
+}
+
+/// One worker: compute shard gradients, release them backward-first to the
+/// scheduler, move bytes as the scheduler dictates, pull updates, repeat.
+#[allow(clippy::too_many_arguments)]
+fn worker_thread(
+    w: usize,
+    cfg: ThreadedConfig,
+    dataset: Dataset,
+    tensor_elems: Vec<usize>,
+    sizes_bytes: Vec<u64>,
+    tx: Sender<ToPs>,
+    rx: Receiver<ToWorker>,
+    epoch: Instant,
+) -> (Vec<f32>, u64) {
+    let n = tensor_elems.len();
+    let mut model = Mlp::new(&cfg.widths, cfg.seed ^ 0xABCD);
+    let mut sched: Box<dyn CommScheduler> = cfg.scheduler.build_from_sizes(sizes_bytes.clone());
+    let mut limiter = RateLimiter::new(cfg.link_bps);
+    let mut losses = Vec::with_capacity(cfg.iterations as usize);
+    let mut bytes_pushed = 0u64;
+
+    let per_worker = cfg.global_batch / cfg.workers;
+    for iter in 0..cfg.iterations {
+        let t_begin = now_since(epoch);
+        sched.iteration_begin(t_begin, iter);
+
+        // This iteration's shard: a rotating window over the dataset.
+        let lo = ((iter as usize * cfg.global_batch) + w * per_worker) % dataset.len();
+        let hi = (lo + per_worker).min(dataset.len());
+        let (x, labels) = dataset.batch(lo, hi.max(lo + 1));
+        model.zero_grads();
+        let loss = model.forward_backward(&x, &labels);
+        losses.push(loss);
+
+        // Snapshot gradients; release to the scheduler in backward order.
+        let grads: Vec<Vec<f32>> = model.grad_slices().iter().map(|g| g.to_vec()).collect();
+        let mut push_sent = vec![0usize; n]; // elements already pushed
+        let mut pull_recv = vec![0usize; n];
+        let mut pulled = vec![false; n];
+        let mut pull_buf: Vec<Vec<f32>> = tensor_elems.iter().map(|&e| vec![0.0; e]).collect();
+        let mut inflight_pull: Option<(prophet_core::TransferTask, usize)> = None;
+
+        let ctx = DriveCtx {
+            w,
+            iter,
+            epoch,
+            grads: &grads,
+            tx: &tx,
+        };
+
+        for g in (0..n).rev() {
+            sched.gradient_ready(now_since(epoch), g);
+            drive(
+                &ctx,
+                &mut sched,
+                &mut push_sent,
+                &mut pull_recv,
+                &mut inflight_pull,
+                &mut limiter,
+                &mut bytes_pushed,
+            );
+        }
+
+        // Communication loop: receive PS messages until every tensor has
+        // been pulled and applied.
+        while !pulled.iter().all(|&p| p) {
+            let msg = rx.recv().expect("ps hung up mid-iteration");
+            match msg {
+                ToWorker::ParamReady { grad } => {
+                    sched.param_ready(now_since(epoch), grad);
+                }
+                ToWorker::PullData {
+                    grad,
+                    offset_elems,
+                    data,
+                } => {
+                    let values = decode_f32(&data);
+                    limiter.acquire((values.len() * 4) as u64);
+                    pull_buf[grad][offset_elems..offset_elems + values.len()]
+                        .copy_from_slice(&values);
+                    let (task, awaiting) =
+                        inflight_pull.take().expect("pull data without request");
+                    if awaiting > 1 {
+                        inflight_pull = Some((task, awaiting - 1));
+                    } else {
+                        sched.task_done(now_since(epoch), &task);
+                        // Mark any tensor whose bytes are now complete.
+                        for &(g, _) in &task.pieces {
+                            if pull_recv[g] == tensor_elems[g] && !pulled[g] {
+                                pulled[g] = true;
+                                model.set_param(g, &pull_buf[g]);
+                            }
+                        }
+                    }
+                }
+            }
+            drive(
+                &ctx,
+                &mut sched,
+                &mut push_sent,
+                &mut pull_recv,
+                &mut inflight_pull,
+                &mut limiter,
+                &mut bytes_pushed,
+            );
+        }
+        let t_end = now_since(epoch);
+        sched.iteration_end(t_end, iter, t_end.saturating_since(t_begin));
+    }
+    (losses, bytes_pushed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_limiter_unlimited_is_instant() {
+        let mut l = RateLimiter::new(None);
+        let t0 = Instant::now();
+        l.acquire(100_000_000);
+        assert!(t0.elapsed().as_millis() < 50);
+    }
+
+    #[test]
+    fn rate_limiter_throttles() {
+        // 1 MB at 10 MB/s should take ~100 ms.
+        let mut l = RateLimiter::new(Some(10e6));
+        let t0 = Instant::now();
+        l.acquire(1_000_000);
+        let ms = t0.elapsed().as_millis();
+        assert!(ms >= 80, "only {ms} ms");
+    }
+}

@@ -1,0 +1,101 @@
+//! The wire protocol between workers and the PS: `f32` tensors (and slices
+//! of them) serialised little-endian into [`bytes::Bytes`].
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Serialise an `f32` slice (little-endian, like the real BytePS payloads).
+pub fn encode_f32(values: &[f32]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(values.len() * 4);
+    for &v in values {
+        buf.put_f32_le(v);
+    }
+    buf.freeze()
+}
+
+/// Deserialise bytes produced by [`encode_f32`]. Panics on a length that
+/// is not a multiple of 4.
+pub fn decode_f32(bytes: &Bytes) -> Vec<f32> {
+    assert!(bytes.len() % 4 == 0, "payload not f32-aligned");
+    bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
+}
+
+/// Worker → PS messages.
+#[derive(Debug, Clone)]
+pub enum ToPs {
+    /// A slice of gradient `grad` for iteration `iter` from `worker`,
+    /// starting at element `offset_elems`.
+    Push {
+        /// Sending worker index.
+        worker: usize,
+        /// BSP iteration the gradient belongs to.
+        iter: u64,
+        /// Gradient id.
+        grad: usize,
+        /// First element of the slice within the tensor.
+        offset_elems: usize,
+        /// The payload.
+        data: Bytes,
+    },
+    /// Request `len_elems` of parameter tensor `grad` from `offset_elems`.
+    PullReq {
+        /// Requesting worker index.
+        worker: usize,
+        /// Gradient/parameter id.
+        grad: usize,
+        /// First element requested.
+        offset_elems: usize,
+        /// Number of elements requested.
+        len_elems: usize,
+    },
+}
+
+/// PS → worker messages.
+#[derive(Debug, Clone)]
+pub enum ToWorker {
+    /// The BSP barrier for `grad` was reached; updated parameters may be
+    /// pulled.
+    ParamReady {
+        /// Gradient/parameter id.
+        grad: usize,
+    },
+    /// Reply to a [`ToPs::PullReq`].
+    PullData {
+        /// Gradient/parameter id.
+        grad: usize,
+        /// First element of the slice.
+        offset_elems: usize,
+        /// The payload.
+        data: Bytes,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_bits() {
+        let values = vec![0.0f32, -1.5, f32::MAX, f32::MIN_POSITIVE, std::f32::consts::PI];
+        let encoded = encode_f32(&values);
+        assert_eq!(encoded.len(), 20);
+        let decoded = decode_f32(&encoded);
+        for (a, b) in values.iter().zip(&decoded) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_slice_roundtrip() {
+        let encoded = encode_f32(&[]);
+        assert!(decode_f32(&encoded).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not f32-aligned")]
+    fn misaligned_payload_rejected() {
+        decode_f32(&Bytes::from_static(&[1, 2, 3]));
+    }
+}

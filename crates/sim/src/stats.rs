@@ -1,0 +1,421 @@
+//! Measurement accumulators used by the cluster simulation's metrics.
+//!
+//! * [`TimeWeighted`] — time-weighted average of a piecewise-constant signal;
+//!   this is exactly what "GPU utilisation over an interval" means (Figs. 2,
+//!   9, 13 of the paper plot the busy fraction sampled over windows).
+//! * [`OnlineStats`] — Welford mean/variance for per-gradient wait times and
+//!   per-iteration rates.
+//! * [`Histogram`] — fixed-bin histogram for wait-time distributions.
+//! * [`RateSeries`] — windowed event-rate series (bytes per window), used for
+//!   the network-throughput-over-time plots (Figs. 2, 10).
+
+use crate::time::{Duration, SimTime};
+
+/// Time-weighted average of a piecewise-constant `f64` signal.
+///
+/// Feed it `set(t, v)` whenever the signal changes; query the average over
+/// everything observed with [`TimeWeighted::average`], or close out windows
+/// with [`TimeWeighted::sample_window`] to build a utilisation time series.
+#[derive(Debug, Clone)]
+pub struct TimeWeighted {
+    last_time: SimTime,
+    last_value: f64,
+    weighted_sum: f64, // integral of the signal
+    total_time: f64,   // seconds observed
+    window_start: SimTime,
+    window_sum: f64,
+    window_time: f64,
+}
+
+impl TimeWeighted {
+    /// Start observing at `start` with initial signal value `value`.
+    pub fn new(start: SimTime, value: f64) -> Self {
+        TimeWeighted {
+            last_time: start,
+            last_value: value,
+            weighted_sum: 0.0,
+            total_time: 0.0,
+            window_start: start,
+            window_sum: 0.0,
+            window_time: 0.0,
+        }
+    }
+
+    fn advance(&mut self, now: SimTime) {
+        debug_assert!(now >= self.last_time, "TimeWeighted fed out of order");
+        let dt = now.saturating_since(self.last_time).as_secs_f64();
+        self.weighted_sum += self.last_value * dt;
+        self.total_time += dt;
+        self.window_sum += self.last_value * dt;
+        self.window_time += dt;
+        self.last_time = now;
+    }
+
+    /// Record that the signal takes value `value` from time `now` on.
+    pub fn set(&mut self, now: SimTime, value: f64) {
+        self.advance(now);
+        self.last_value = value;
+    }
+
+    /// Current signal value.
+    pub fn value(&self) -> f64 {
+        self.last_value
+    }
+
+    /// Time-weighted average over everything observed up to `now`.
+    pub fn average(&mut self, now: SimTime) -> f64 {
+        self.advance(now);
+        if self.total_time == 0.0 {
+            self.last_value
+        } else {
+            self.weighted_sum / self.total_time
+        }
+    }
+
+    /// Close the current window at `now`, returning `(window_start, avg)`
+    /// and starting a fresh window.
+    pub fn sample_window(&mut self, now: SimTime) -> (SimTime, f64) {
+        self.advance(now);
+        let avg = if self.window_time == 0.0 {
+            self.last_value
+        } else {
+            self.window_sum / self.window_time
+        };
+        let start = self.window_start;
+        self.window_start = now;
+        self.window_sum = 0.0;
+        self.window_time = 0.0;
+        (start, avg)
+    }
+}
+
+/// Welford's online mean/variance with min/max tracking.
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (+inf if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (-inf if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// Fixed-width-bin histogram over `[lo, hi)` with overflow/underflow bins.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// `nbins` equal-width bins spanning `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, nbins: usize) -> Self {
+        assert!(hi > lo && nbins > 0, "bad histogram bounds");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; nbins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let idx = ((x - self.lo) / (self.hi - self.lo) * self.bins.len() as f64) as usize;
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Count in bin `i`.
+    pub fn bin(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// Number of bins.
+    pub fn nbins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Total observations including under/overflow.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Observations below `lo`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above `hi`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Approximate `q`-quantile (0 ≤ q ≤ 1) from the binned data, using the
+    /// lower edge of the bin containing the target rank.
+    pub fn quantile(&self, q: f64) -> f64 {
+        debug_assert!((0.0..=1.0).contains(&q));
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q * self.count as f64).ceil() as u64;
+        let mut seen = self.underflow;
+        if seen >= target {
+            return self.lo;
+        }
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        for (i, &b) in self.bins.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return self.lo + i as f64 * width;
+            }
+        }
+        self.hi
+    }
+}
+
+/// Windowed rate series: accumulates a quantity (e.g. bytes transferred) and
+/// emits `(window_start, quantity / window)` samples — the "network
+/// throughput over time" curves of Figs. 2 and 10.
+#[derive(Debug, Clone)]
+pub struct RateSeries {
+    window: Duration,
+    window_start: SimTime,
+    acc: f64,
+    samples: Vec<(SimTime, f64)>,
+}
+
+impl RateSeries {
+    /// A series with the given sampling window, starting at `start`.
+    pub fn new(start: SimTime, window: Duration) -> Self {
+        assert!(!window.is_zero(), "zero sampling window");
+        RateSeries {
+            window,
+            window_start: start,
+            acc: 0.0,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Record `amount` units occurring at time `now`, closing any windows
+    /// that `now` has passed.
+    pub fn record(&mut self, now: SimTime, amount: f64) {
+        self.roll_to(now);
+        self.acc += amount;
+    }
+
+    /// Close every window ending at or before `now` (emitting zero-rate
+    /// samples for idle windows — gaps matter in a throughput plot).
+    pub fn roll_to(&mut self, now: SimTime) {
+        while now >= self.window_start + self.window {
+            let rate = self.acc / self.window.as_secs_f64();
+            self.samples.push((self.window_start, rate));
+            self.window_start += self.window;
+            self.acc = 0.0;
+        }
+    }
+
+    /// Finish at `now` (closing the final partial window) and return the
+    /// samples as `(window_start, rate_per_sec)`.
+    pub fn finish(mut self, now: SimTime) -> Vec<(SimTime, f64)> {
+        self.roll_to(now);
+        let tail = now.saturating_since(self.window_start).as_secs_f64();
+        if tail > 0.0 && self.acc > 0.0 {
+            self.samples.push((self.window_start, self.acc / tail));
+        }
+        self.samples
+    }
+
+    /// Samples emitted so far (closed windows only).
+    pub fn samples(&self) -> &[(SimTime, f64)] {
+        &self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::ZERO + Duration::from_millis(ms)
+    }
+
+    #[test]
+    fn time_weighted_constant_signal() {
+        let mut tw = TimeWeighted::new(at(0), 0.75);
+        assert!((tw.average(at(100)) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_weighted_square_wave() {
+        // 1.0 for 10ms, 0.0 for 30ms -> average 0.25.
+        let mut tw = TimeWeighted::new(at(0), 1.0);
+        tw.set(at(10), 0.0);
+        assert!((tw.average(at(40)) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_weighted_windows_reset() {
+        let mut tw = TimeWeighted::new(at(0), 1.0);
+        tw.set(at(5), 0.0);
+        let (s0, w0) = tw.sample_window(at(10)); // 5ms busy of 10 -> 0.5
+        assert_eq!(s0, at(0));
+        assert!((w0 - 0.5).abs() < 1e-12);
+        let (s1, w1) = tw.sample_window(at(20)); // idle window -> 0.0
+        assert_eq!(s1, at(10));
+        assert!(w1.abs() < 1e-12);
+        // Overall average still integrates everything.
+        assert!((tw.average(at(20)) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn online_stats_known_values() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Population variance is 4.0; sample variance = 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn online_stats_empty_is_benign() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn histogram_bins_and_edges() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.push(-1.0); // underflow
+        h.push(0.0); // bin 0
+        h.push(9.999); // bin 9
+        h.push(10.0); // overflow
+        h.push(5.0); // bin 5
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.bin(0), 1);
+        assert_eq!(h.bin(9), 1);
+        assert_eq!(h.bin(5), 1);
+        assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn histogram_quantiles_monotone() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..100 {
+            h.push(i as f64);
+        }
+        let q50 = h.quantile(0.5);
+        let q90 = h.quantile(0.9);
+        assert!(q50 <= q90);
+        assert!((q50 - 49.0).abs() <= 1.0, "q50 {q50}");
+        assert!((q90 - 89.0).abs() <= 1.0, "q90 {q90}");
+    }
+
+    #[test]
+    fn rate_series_counts_per_window() {
+        let mut rs = RateSeries::new(at(0), Duration::from_millis(100));
+        rs.record(at(10), 50.0);
+        rs.record(at(90), 50.0);
+        rs.record(at(150), 200.0);
+        let samples = rs.finish(at(200));
+        assert_eq!(samples.len(), 2);
+        // Window 0: 100 units / 0.1 s = 1000/s.
+        assert!((samples[0].1 - 1000.0).abs() < 1e-9);
+        // Window 1: 200 units / 0.1 s = 2000/s.
+        assert!((samples[1].1 - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rate_series_emits_idle_windows() {
+        let mut rs = RateSeries::new(at(0), Duration::from_millis(10));
+        rs.record(at(35), 1.0);
+        let samples = rs.finish(at(40));
+        // Windows [0,10), [10,20), [20,30) idle; [30,40) has the unit.
+        assert_eq!(samples.len(), 4);
+        assert_eq!(samples[0].1, 0.0);
+        assert_eq!(samples[1].1, 0.0);
+        assert_eq!(samples[2].1, 0.0);
+        assert!(samples[3].1 > 0.0);
+    }
+}

@@ -1,0 +1,231 @@
+//! Span/timeline tracing.
+//!
+//! The paper's most information-dense figures are timelines: gradient
+//! generation staircases (Fig. 4), per-gradient transfer start/end bars
+//! (Fig. 11), and the illustrative Gantt chart of the four strategies
+//! (Fig. 5). [`TraceRecorder`] collects named spans on named lanes; the
+//! bench harness renders them as CSV rows and ASCII Gantt charts.
+
+use crate::time::SimTime;
+use std::fmt::Write as _;
+
+/// One completed interval on a lane: e.g. "push gradient 30 on worker-0/net".
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Lane name, e.g. `"w0.gpu"` or `"w0.uplink"`.
+    pub lane: String,
+    /// Span label, e.g. `"bp:143"`, `"push:30"`.
+    pub label: String,
+    /// Inclusive start.
+    pub start: SimTime,
+    /// Exclusive end.
+    pub end: SimTime,
+    /// Free-form numeric key (gradient index, iteration, ...) so consumers
+    /// can filter without parsing labels.
+    pub key: i64,
+}
+
+/// Collects spans; cheap to clone snapshots of, cheap to filter.
+#[derive(Debug, Clone, Default)]
+pub struct TraceRecorder {
+    spans: Vec<Span>,
+    enabled: bool,
+}
+
+impl TraceRecorder {
+    /// A recorder that keeps everything.
+    pub fn enabled() -> Self {
+        TraceRecorder {
+            spans: Vec::new(),
+            enabled: true,
+        }
+    }
+
+    /// A recorder that drops everything (zero overhead in big sweeps).
+    pub fn disabled() -> Self {
+        TraceRecorder {
+            spans: Vec::new(),
+            enabled: false,
+        }
+    }
+
+    /// True if spans are being kept.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record a completed span.
+    pub fn record(&mut self, lane: &str, label: &str, key: i64, start: SimTime, end: SimTime) {
+        if !self.enabled {
+            return;
+        }
+        debug_assert!(end >= start, "span ends before it starts");
+        self.spans.push(Span {
+            lane: lane.to_owned(),
+            label: label.to_owned(),
+            start,
+            end,
+            key,
+        });
+    }
+
+    /// All spans, in recording order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Spans on one lane, in recording order.
+    pub fn lane<'a>(&'a self, lane: &'a str) -> impl Iterator<Item = &'a Span> + 'a {
+        self.spans.iter().filter(move |s| s.lane == lane)
+    }
+
+    /// Spans whose label starts with `prefix` (e.g. `"push:"`).
+    pub fn with_label_prefix<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a Span> {
+        self.spans.iter().filter(move |s| s.label.starts_with(prefix))
+    }
+
+    /// Render as CSV: `lane,label,key,start_ms,end_ms`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("lane,label,key,start_ms,end_ms\n");
+        for s in &self.spans {
+            let _ = writeln!(
+                out,
+                "{},{},{},{:.6},{:.6}",
+                s.lane,
+                s.label,
+                s.key,
+                s.start.as_millis_f64(),
+                s.end.as_millis_f64()
+            );
+        }
+        out
+    }
+
+    /// Render an ASCII Gantt chart, `width` characters across the observed
+    /// time range, one row per lane (lanes in first-appearance order).
+    pub fn to_ascii_gantt(&self, width: usize) -> String {
+        if self.spans.is_empty() {
+            return String::from("(empty trace)\n");
+        }
+        let t0 = self.spans.iter().map(|s| s.start).min().unwrap();
+        let t1 = self.spans.iter().map(|s| s.end).max().unwrap();
+        let range = (t1.saturating_since(t0)).as_secs_f64().max(1e-12);
+
+        let mut lanes: Vec<&str> = Vec::new();
+        for s in &self.spans {
+            if !lanes.contains(&s.lane.as_str()) {
+                lanes.push(&s.lane);
+            }
+        }
+        let name_w = lanes.iter().map(|l| l.len()).max().unwrap_or(0).max(4);
+
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:name_w$} |{}| {:.3}ms..{:.3}ms",
+            "lane",
+            "-".repeat(width),
+            t0.as_millis_f64(),
+            t1.as_millis_f64()
+        );
+        for lane in lanes {
+            let mut row = vec![b' '; width];
+            for s in self.spans.iter().filter(|s| s.lane == lane) {
+                let a = ((s.start.saturating_since(t0)).as_secs_f64() / range * width as f64)
+                    as usize;
+                let b = ((s.end.saturating_since(t0)).as_secs_f64() / range * width as f64)
+                    .ceil() as usize;
+                let b = b.clamp(a + 1, width);
+                let ch = s.label.bytes().next().unwrap_or(b'#');
+                for c in &mut row[a.min(width - 1)..b] {
+                    *c = ch;
+                }
+            }
+            let _ = writeln!(
+                out,
+                "{:name_w$} |{}|",
+                lane,
+                String::from_utf8_lossy(&row)
+            );
+        }
+        out
+    }
+
+    /// Number of recorded spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::ZERO + Duration::from_millis(ms)
+    }
+
+    #[test]
+    fn records_and_filters_by_lane() {
+        let mut tr = TraceRecorder::enabled();
+        tr.record("w0.gpu", "bp:5", 5, at(0), at(10));
+        tr.record("w0.net", "push:5", 5, at(10), at(30));
+        tr.record("w0.gpu", "fp:0", 0, at(30), at(35));
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.lane("w0.gpu").count(), 2);
+        assert_eq!(tr.lane("w0.net").count(), 1);
+    }
+
+    #[test]
+    fn disabled_recorder_drops_everything() {
+        let mut tr = TraceRecorder::disabled();
+        tr.record("x", "y", 0, at(0), at(1));
+        assert!(tr.is_empty());
+        assert!(!tr.is_enabled());
+    }
+
+    #[test]
+    fn label_prefix_filter() {
+        let mut tr = TraceRecorder::enabled();
+        tr.record("n", "push:1", 1, at(0), at(1));
+        tr.record("n", "pull:1", 1, at(1), at(2));
+        tr.record("n", "push:2", 2, at(2), at(3));
+        assert_eq!(tr.with_label_prefix("push:").count(), 2);
+        assert_eq!(tr.with_label_prefix("pull:").count(), 1);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut tr = TraceRecorder::enabled();
+        tr.record("a", "x", 7, at(1), at(2));
+        let csv = tr.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "lane,label,key,start_ms,end_ms");
+        let row = lines.next().unwrap();
+        assert!(row.starts_with("a,x,7,1.000000,2.000000"), "{row}");
+    }
+
+    #[test]
+    fn gantt_renders_every_lane() {
+        let mut tr = TraceRecorder::enabled();
+        tr.record("gpu", "b", 0, at(0), at(50));
+        tr.record("net", "p", 0, at(50), at(100));
+        let g = tr.to_ascii_gantt(20);
+        assert!(g.contains("gpu"));
+        assert!(g.contains("net"));
+        assert!(g.contains('b'));
+        assert!(g.contains('p'));
+    }
+
+    #[test]
+    fn gantt_empty_trace() {
+        let tr = TraceRecorder::enabled();
+        assert_eq!(tr.to_ascii_gantt(10), "(empty trace)\n");
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests for the simulation substrate.
+
+use prophet_sim::{Duration, EventQueue, Histogram, OnlineStats, SimTime, TimeWeighted};
+use proptest::prelude::*;
+
+proptest! {
+    /// Popping the event queue yields a non-decreasing time sequence, and
+    /// events scheduled at equal times come out in insertion order.
+    #[test]
+    fn event_queue_total_order(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(t), (t, i));
+        }
+        let mut last_time = 0u64;
+        let mut last_seq_at_time: Option<usize> = None;
+        while let Some((at, (t, i))) = q.pop() {
+            prop_assert_eq!(at.as_nanos(), t);
+            prop_assert!(t >= last_time);
+            if t == last_time {
+                if let Some(prev) = last_seq_at_time {
+                    prop_assert!(i > prev, "tie not broken by insertion order");
+                }
+            }
+            last_time = t;
+            last_seq_at_time = Some(i);
+        }
+    }
+
+    /// The queue pops exactly the multiset it was given.
+    #[test]
+    fn event_queue_conserves_events(times in prop::collection::vec(0u64..10_000, 0..100)) {
+        let mut q = EventQueue::new();
+        for &t in &times {
+            q.schedule(SimTime::from_nanos(t), t);
+        }
+        let mut out = Vec::new();
+        while let Some((_, e)) = q.pop() {
+            out.push(e);
+        }
+        let mut expect = times.clone();
+        expect.sort_unstable();
+        prop_assert_eq!(out, expect);
+    }
+
+    /// Time-weighted average always lies within [min, max] of the fed values.
+    #[test]
+    fn time_weighted_average_bounded(
+        steps in prop::collection::vec((1u64..1_000_000, 0.0f64..1.0), 1..50)
+    ) {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, steps[0].1);
+        let mut now = SimTime::ZERO;
+        let mut lo = steps[0].1;
+        let mut hi = steps[0].1;
+        for &(dt, v) in &steps {
+            now += Duration::from_nanos(dt);
+            tw.set(now, v);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        now += Duration::from_nanos(1);
+        let avg = tw.average(now);
+        prop_assert!(avg >= lo - 1e-9 && avg <= hi + 1e-9, "avg {} not in [{}, {}]", avg, lo, hi);
+    }
+
+    /// OnlineStats mean matches the naive sum within float tolerance, and
+    /// min <= mean <= max.
+    #[test]
+    fn online_stats_matches_naive(xs in prop::collection::vec(-1e6f64..1e6, 1..500)) {
+        let mut s = OnlineStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        let naive = xs.iter().sum::<f64>() / xs.len() as f64;
+        prop_assert!((s.mean() - naive).abs() < 1e-6 * (1.0 + naive.abs()));
+        prop_assert!(s.min() <= s.mean() + 1e-9);
+        prop_assert!(s.max() >= s.mean() - 1e-9);
+    }
+
+    /// Histogram conserves counts: bins + under + over == pushed.
+    #[test]
+    fn histogram_conserves_counts(xs in prop::collection::vec(-10.0f64..110.0, 0..300)) {
+        let mut h = Histogram::new(0.0, 100.0, 20);
+        for &x in &xs {
+            h.push(x);
+        }
+        let total: u64 = (0..h.nbins()).map(|i| h.bin(i)).sum::<u64>()
+            + h.underflow() + h.overflow();
+        prop_assert_eq!(total, xs.len() as u64);
+        prop_assert_eq!(h.count(), xs.len() as u64);
+    }
+
+    /// Duration::for_bytes is monotone in bytes and antitone in rate.
+    #[test]
+    fn transfer_time_monotone(bytes in 1u64..1_000_000_000, rate in 1.0f64..1e10) {
+        let d = Duration::for_bytes(bytes, rate);
+        let d_more = Duration::for_bytes(bytes * 2, rate);
+        let d_faster = Duration::for_bytes(bytes, rate * 2.0);
+        prop_assert!(d_more >= d);
+        prop_assert!(d_faster <= d);
+    }
+}

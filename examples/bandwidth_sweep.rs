@@ -1,0 +1,44 @@
+//! The Table 2 experiment: ResNet-50 (batch 64) training rate as worker
+//! bandwidth sweeps from 1 to 10 Gb/s, for every strategy.
+//!
+//! ```text
+//! cargo run --release --example bandwidth_sweep [model] [batch]
+//! ```
+
+use prophet::core::SchedulerKind;
+use prophet::dnn::TrainingJob;
+use prophet::ps::sim::{run_cluster, ClusterConfig};
+
+fn main() {
+    let model = std::env::args().nth(1).unwrap_or_else(|| "resnet50".into());
+    let batch: u32 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
+
+    let mbps_list = [1000.0, 2000.0, 3000.0, 4000.0, 4500.0, 6000.0, 10000.0];
+    println!("== bandwidth sweep: {model}, batch {batch}, 1 PS + 3 workers ==");
+    println!("rates in samples/s/worker (Table 2's layout)\n");
+    print!("{:>12}", "Mbps");
+    let kinds = SchedulerKind::paper_lineup(1e9);
+    for kind in &kinds {
+        print!(" {:>14}", kind.label());
+    }
+    println!();
+
+    for &mbps in &mbps_list {
+        print!("{mbps:>12}");
+        for kind in SchedulerKind::paper_lineup(mbps * 1e6 / 8.0) {
+            let job = TrainingJob::paper_setup(&model, batch);
+            let mut cfg = ClusterConfig::paper_cell(3, mbps / 1000.0, job, kind);
+            cfg.warmup_iters = 5;
+            let result = run_cluster(&cfg, 15);
+            print!(" {:>14.2}", result.rate);
+        }
+        println!();
+    }
+
+    println!("\nShapes to expect (paper, Table 2): every strategy converges at");
+    println!("10 Gb/s where compute dominates; P3 and FIFO fall away as the");
+    println!("network tightens; Prophet tracks the best of them throughout.");
+}

@@ -1,0 +1,47 @@
+//! The Fig. 5 story, live: run the four strategies on the same small
+//! workload with a full span trace and render ASCII Gantt charts of worker
+//! 0's GPU, uplink, and downlink — the illustrative comparison the paper
+//! uses to motivate Prophet.
+//!
+//! ```text
+//! cargo run --release --example compare_schedulers
+//! ```
+
+use prophet::core::SchedulerKind;
+use prophet::dnn::TrainingJob;
+use prophet::ps::sim::{run_cluster, ClusterConfig};
+use prophet::sim::TraceRecorder;
+
+fn main() {
+    let gbps = 3.0;
+    for kind in SchedulerKind::paper_lineup(gbps * 1e9 / 8.0) {
+        let label = kind.label();
+        let job = TrainingJob::paper_setup("resnet18", 64);
+        let mut cfg = ClusterConfig::paper_cell(2, gbps, job, kind);
+        cfg.trace = true;
+        cfg.warmup_iters = 2;
+        cfg.compute_jitter = 0.0;
+        let result = run_cluster(&cfg, 6);
+
+        // Clip the trace to one steady iteration for a readable chart.
+        let t0 = result.iter_starts[4];
+        let t1 = result.iter_starts[5];
+        let mut clipped = TraceRecorder::enabled();
+        for span in result.trace.spans() {
+            if span.start >= t0 && span.end <= t1 {
+                clipped.record(&span.lane, &span.label, span.key, span.start, span.end);
+            }
+        }
+        println!(
+            "== {label}: {:.1} samples/s/worker, iteration {:.0} ms ==",
+            result.rate,
+            result.iter_times[4].as_millis_f64()
+        );
+        println!("legend: b=backward f=forward, p<g>=push q<g>=pull (g = top gradient)");
+        print!("{}", clipped.to_ascii_gantt(100));
+        println!();
+    }
+    println!("Watch the w0.gpu lane: the gap between the end of `b` and the");
+    println!("first `f` is the wait the paper's Eq. (2) charges — Prophet's");
+    println!("should be the shortest, FIFO's the longest.");
+}

@@ -1,0 +1,221 @@
+//! Shape-level assertions for the paper's headline claims. These are the
+//! load-bearing statements EXPERIMENTS.md reports numbers for; each test
+//! checks the *direction and rough magnitude*, not EC2-exact values.
+
+use prophet::core::{detect_blocks, ProphetConfig, SchedulerKind};
+use prophet::dnn::{GenerationModel, TrainingJob};
+use prophet::net::TcpModel;
+use prophet::ps::sim::{run_cluster, ClusterConfig};
+
+/// Debug builds run the simulator ~20x slower than release; scale the
+/// iteration counts down so `cargo test` stays pleasant while `cargo test
+/// --release` exercises the full configurations. Assertions are
+/// qualitative (orderings with margins), so fewer iterations only widen
+/// the noise, never the semantics.
+fn iters(n: u64) -> u64 {
+    if cfg!(debug_assertions) {
+        (n * 2 / 3).max(6)
+    } else {
+        n
+    }
+}
+
+fn rate(model: &str, batch: u32, gbps: f64, kind: SchedulerKind, n: u64) -> f64 {
+    let mut cfg =
+        ClusterConfig::paper_cell(3, gbps, TrainingJob::paper_setup(model, batch), kind);
+    cfg.warmup_iters = 4;
+    run_cluster(&cfg, iters(n).max(cfg.warmup_iters + 2)).rate
+}
+
+fn prophet(gbps: f64) -> SchedulerKind {
+    SchedulerKind::ProphetOracle(ProphetConfig::paper_default(gbps * 1e9 / 8.0))
+}
+
+/// §2.2 / Fig. 4: the stepwise pattern exists for every evaluated model
+/// and is independent of the model (the paper: "independent of the DDNN
+/// training frameworks, DNN models, datasets and hardware").
+#[test]
+fn stepwise_pattern_for_every_model() {
+    for model in ["resnet18", "resnet50", "resnet152", "inception_v3"] {
+        let job = TrainingJob::paper_setup(model, 64);
+        let blocks = GenerationModel::blocks(job.generation_events());
+        assert!(
+            blocks.len() >= 3,
+            "{model}: no staircase ({} blocks)",
+            blocks.len()
+        );
+        assert!(
+            blocks.len() * 2 < job.num_gradients(),
+            "{model}: no aggregation visible"
+        );
+        // And the profiler recovers it from the offsets alone.
+        let recovered = detect_blocks(&job.c_offsets());
+        assert_eq!(recovered.len(), blocks.len(), "{model}: profiler mismatch");
+    }
+    // VGG19 is the paper's TensorFlow observation (Fig. 4 right): its 38
+    // gradients group into a handful of coarse blocks under TF-style
+    // bucketing. (VGG's per-layer backward is so long that MXNet-style
+    // 40 ms flushing would release almost every tensor individually.)
+    let vgg = TrainingJob::new(
+        prophet::dnn::zoo::vgg19(),
+        prophet::dnn::GpuSpec::m60_pair("vgg19"),
+        64,
+        GenerationModel::tensorflow_like(),
+    );
+    let blocks = GenerationModel::blocks(vgg.generation_events());
+    assert!(
+        (3..=10).contains(&blocks.len()),
+        "vgg19/TF: expected a coarse staircase, got {} blocks",
+        blocks.len()
+    );
+    // The final block ends at gradient 0, like the paper's {0, 1} block.
+    assert!(blocks.last().unwrap().contains(&0));
+}
+
+/// Fig. 3(a): P3's training rate degrades as partitions shrink (the
+/// per-partition blocking overhead).
+#[test]
+fn fig3a_small_partitions_hurt_p3() {
+    let r_4m = rate("resnet50", 64, 4.0, SchedulerKind::P3 { partition_bytes: 4 << 20 }, 8);
+    let r_512k = rate("resnet50", 64, 4.0, SchedulerKind::P3 { partition_bytes: 512 << 10 }, 8);
+    assert!(
+        r_512k < r_4m,
+        "partition overhead not monotone: 4M {r_4m:.1}, 512k {r_512k:.1}"
+    );
+    // The really fine partitions explode the event count; keep that cell
+    // for release runs (and `repro fig3a` covers the full sweep).
+    if !cfg!(debug_assertions) {
+        let r_128k =
+            rate("resnet50", 64, 4.0, SchedulerKind::P3 { partition_bytes: 128 << 10 }, 8);
+        assert!(r_128k < r_512k, "128k {r_128k:.1} vs 512k {r_512k:.1}");
+        assert!(
+            r_128k < r_4m * 0.7,
+            "tiny partitions should hurt badly: {r_128k:.1} vs {r_4m:.1}"
+        );
+    }
+}
+
+/// Fig. 3(b): the ByteScheduler credit auto-tuner makes the rate fluctuate
+/// and the credit wander over a wide range.
+#[test]
+fn fig3b_autotuner_fluctuates() {
+    use prophet::core::{AutoTuneConfig, ByteSchedulerConfig};
+    let kind = SchedulerKind::ByteScheduler(ByteSchedulerConfig {
+        autotune: Some(AutoTuneConfig {
+            interval_iters: 2,
+            ..AutoTuneConfig::default()
+        }),
+        ..ByteSchedulerConfig::default()
+    });
+    let mut cfg =
+        ClusterConfig::paper_cell(3, 3.0, TrainingJob::paper_setup("resnet50", 64), kind);
+    cfg.warmup_iters = 1;
+    // Not debug-scaled: the tuner needs enough measurement intervals for
+    // its exploration to be visible.
+    let r = run_cluster(&cfg, 24);
+    let credits: Vec<u64> = r.credit_trace.iter().map(|&(_, c)| c).collect();
+    let cmin = *credits.iter().min().unwrap();
+    let cmax = *credits.iter().max().unwrap();
+    assert!(cmax > cmin * 2, "credit barely moved: {cmin}..{cmax}");
+    let times: Vec<f64> = r.iter_times.iter().map(|t| t.as_secs_f64()).collect();
+    let tmin = times[2..].iter().cloned().fold(f64::INFINITY, f64::min);
+    let tmax = times[2..].iter().cloned().fold(0.0, f64::max);
+    assert!(
+        tmax > tmin * 1.05,
+        "auto-tuning should make iteration times fluctuate: {tmin:.3}..{tmax:.3}"
+    );
+}
+
+/// Table 2's two endpoints: at 10 Gb/s everything converges; in the
+/// constrained mid-band Prophet leads FIFO by a double-digit margin and
+/// never trails P3.
+#[test]
+fn table2_shape() {
+    // Mid-band.
+    let fifo = rate("resnet50", 64, 4.0, SchedulerKind::Fifo, 10);
+    let p3 = rate("resnet50", 64, 4.0, SchedulerKind::P3 { partition_bytes: 4 << 20 }, 10);
+    let pr = rate("resnet50", 64, 4.0, prophet(4.0), 10);
+    assert!(pr > fifo * 1.08, "prophet {pr:.1} vs fifo {fifo:.1}");
+    assert!(pr >= p3 * 0.98, "prophet {pr:.1} vs p3 {p3:.1}");
+    // Fast end: within a few percent of each other.
+    let fifo10 = rate("resnet50", 64, 10.0, SchedulerKind::Fifo, 8);
+    let pr10 = rate("resnet50", 64, 10.0, prophet(10.0), 8);
+    assert!(
+        (pr10 - fifo10).abs() / pr10 < 0.06,
+        "no convergence at 10G: {pr10:.1} vs {fifo10:.1}"
+    );
+}
+
+/// Table 3's trend: Prophet's edge over the baselines grows with batch
+/// size (larger batches stretch the stepwise intervals).
+#[test]
+fn table3_batch_size_trend() {
+    // Not debug-scaled: the trend between two close ratios needs the full
+    // measurement window to be stable.
+    let edge = |batch: u32| {
+        let run = |kind: SchedulerKind| {
+            let mut cfg =
+                ClusterConfig::paper_cell(3, 4.0, TrainingJob::paper_setup("resnet50", batch), kind);
+            cfg.warmup_iters = 4;
+            run_cluster(&cfg, 12).rate
+        };
+        run(prophet(4.0)) / run(SchedulerKind::Fifo)
+    };
+    let e16 = edge(16);
+    let e64 = edge(64);
+    assert!(
+        e64 > e16,
+        "edge should grow with batch size: x{e16:.3} at 16 vs x{e64:.3} at 64"
+    );
+}
+
+/// §5.2: Prophet lifts GPU utilisation substantially over FIFO in the
+/// constrained regime (the paper reports 91.15% vs 67.85% against
+/// ByteScheduler; we assert the conservative FIFO comparison).
+#[test]
+fn gpu_utilisation_gap() {
+    let util = |kind: SchedulerKind| {
+        let mut cfg =
+            ClusterConfig::paper_cell(3, 4.0, TrainingJob::paper_setup("resnet50", 64), kind);
+        cfg.warmup_iters = 2;
+        run_cluster(&cfg, iters(12)).avg_gpu_util
+    };
+    let fifo = util(SchedulerKind::Fifo);
+    let pr = util(prophet(4.0));
+    assert!(
+        pr > fifo + 0.05,
+        "GPU util gap too small: prophet {:.1}% vs fifo {:.1}%",
+        pr * 100.0,
+        fifo * 100.0
+    );
+    assert!(pr > 0.85, "prophet util {:.1}% below the paper's ballpark", pr * 100.0);
+}
+
+/// Eq. (10)'s shape, end to end: effective bandwidth vanishes for tiny
+/// messages and saturates for huge ones.
+#[test]
+fn eq10_effective_bandwidth_shape() {
+    let m = TcpModel::EC2;
+    let b = 1.25e9;
+    assert!(m.effective_bandwidth(1e3, b) < 0.01 * b);
+    assert!(m.effective_bandwidth(1e9, b) > 0.98 * b);
+}
+
+/// Fig. 12: with a sharded PS (BytePS-style co-location), per-worker rate
+/// stays roughly flat from 2 to 8 workers.
+#[test]
+fn fig12_scaling_roughly_flat() {
+    let per_worker = |workers: usize| {
+        let job = TrainingJob::paper_setup("resnet50", 64);
+        let mut cfg = ClusterConfig::paper_cell(workers, 10.0, job, prophet(10.0));
+        cfg.ps_shards = workers;
+        cfg.warmup_iters = 2;
+        run_cluster(&cfg, iters(6)).rate
+    };
+    let r2 = per_worker(2);
+    let r8 = per_worker(8);
+    assert!(
+        r8 > r2 * 0.93,
+        "per-worker rate collapsed with scale: {r2:.1} -> {r8:.1}"
+    );
+}

@@ -1,0 +1,161 @@
+//! The threaded PS runtime's two load-bearing guarantees, across every
+//! scheduling strategy: (1) distributed training computes the same model
+//! as single-process training; (2) runs are deterministic despite real
+//! threads.
+
+use prophet::core::SchedulerKind;
+use prophet::minidnn::{Adam, Dataset, Mlp, Sgd};
+use prophet::ps::threaded::{run_threaded_training, PsOptimizer, ThreadedConfig};
+
+/// Single-process reference: whole-batch training with the same PS-side
+/// optimiser placement (gradients averaged, SGD with momentum applied to a
+/// central copy).
+fn reference_params(cfg: &ThreadedConfig) -> Vec<Vec<f32>> {
+    let features = cfg.widths[0];
+    let classes = *cfg.widths.last().unwrap();
+    let data = Dataset::blobs(cfg.samples, features, classes, cfg.noise, cfg.seed);
+    let model = Mlp::new(&cfg.widths, cfg.seed ^ 0xABCD);
+    enum Opt {
+        Sgd(Sgd),
+        Adam(Adam),
+    }
+    let mut opt = match cfg.optimizer {
+        PsOptimizer::Sgd { momentum } => Opt::Sgd(Sgd::new(cfg.lr, momentum, &model.tensor_sizes())),
+        PsOptimizer::Adam => Opt::Adam(Adam::new(cfg.lr, &model.tensor_sizes())),
+    };
+    let mut params: Vec<Vec<f32>> = model.param_slices().iter().map(|p| p.to_vec()).collect();
+    for iter in 0..cfg.iterations {
+        // The threaded runtime averages per-shard mean gradients; with
+        // equal shards that is NOT identical in f32 to the whole-batch
+        // mean, so the reference replicates the sharded computation.
+        let per = cfg.global_batch / cfg.workers;
+        let mut acc: Vec<Vec<f32>> = model
+            .tensor_sizes()
+            .iter()
+            .map(|&n| vec![0.0; n])
+            .collect();
+        for w in 0..cfg.workers {
+            let lo = ((iter as usize * cfg.global_batch) + w * per) % data.len();
+            let hi = (lo + per).min(data.len()).max(lo + 1);
+            let (x, labels) = data.batch(lo, hi);
+            let mut shard_model = Mlp::new(&cfg.widths, cfg.seed ^ 0xABCD);
+            for (id, p) in params.iter().enumerate() {
+                shard_model.set_param(id, p);
+            }
+            shard_model.zero_grads();
+            let _ = shard_model.forward_backward(&x, &labels);
+            for (a, g) in acc.iter_mut().zip(shard_model.grad_slices()) {
+                for (av, &gv) in a.iter_mut().zip(g) {
+                    *av += gv;
+                }
+            }
+        }
+        let inv = 1.0 / cfg.workers as f32;
+        for (id, a) in acc.iter_mut().enumerate() {
+            for v in a.iter_mut() {
+                *v *= inv;
+            }
+            match &mut opt {
+                Opt::Sgd(o) => o.step(id, &mut params[id], a),
+                Opt::Adam(o) => o.step(id, &mut params[id], a),
+            }
+        }
+    }
+    params
+}
+
+#[test]
+fn threaded_training_matches_single_process_bitwise() {
+    for kind in SchedulerKind::paper_lineup(100e6) {
+        let label = kind.label();
+        let mut cfg = ThreadedConfig::small(3, kind);
+        cfg.global_batch = 48;
+        cfg.iterations = 8;
+        let result = run_threaded_training(&cfg);
+        let reference = reference_params(&cfg);
+        assert_eq!(
+            result.final_params, reference,
+            "{label}: distributed result diverged from single-process"
+        );
+    }
+}
+
+#[test]
+fn threaded_runs_are_deterministic() {
+    for kind in SchedulerKind::paper_lineup(100e6) {
+        let label = kind.label();
+        let cfg = ThreadedConfig::small(4, kind);
+        let a = run_threaded_training(&cfg);
+        let b = run_threaded_training(&cfg);
+        assert_eq!(a.final_params, b.final_params, "{label}: nondeterministic");
+        assert_eq!(a.losses, b.losses, "{label}: loss traces differ");
+    }
+}
+
+#[test]
+fn adam_on_the_ps_matches_reference_and_learns() {
+    let mut cfg = ThreadedConfig::small(3, SchedulerKind::Fifo);
+    cfg.global_batch = 48;
+    cfg.iterations = 25;
+    cfg.lr = 0.02;
+    cfg.optimizer = PsOptimizer::Adam;
+    let result = run_threaded_training(&cfg);
+    assert_eq!(
+        result.final_params,
+        reference_params(&cfg),
+        "Adam-on-PS diverged from single-process Adam"
+    );
+    assert!(
+        result.losses.last().unwrap() < &(result.losses[0] * 0.5),
+        "Adam failed to learn: {:?}",
+        result.losses
+    );
+}
+
+#[test]
+fn threaded_training_learns() {
+    let mut cfg = ThreadedConfig::small(4, SchedulerKind::Fifo);
+    cfg.iterations = 40;
+    let r = run_threaded_training(&cfg);
+    assert!(
+        r.accuracy > 0.9,
+        "distributed training failed to learn: accuracy {:.3}",
+        r.accuracy
+    );
+    assert!(r.losses.last().unwrap() < &(r.losses[0] * 0.3));
+}
+
+#[test]
+fn rate_limited_link_slows_wall_clock_not_results() {
+    let kind = || SchedulerKind::P3 {
+        partition_bytes: 1 << 10, // many small partitions: stress the wire
+    };
+    let fast = run_threaded_training(&ThreadedConfig::small(2, kind()));
+    let mut slow_cfg = ThreadedConfig::small(2, kind());
+    slow_cfg.link_bps = Some(2e6); // 2 MB/s emulated links
+    let slow = run_threaded_training(&slow_cfg);
+    assert_eq!(
+        fast.final_params, slow.final_params,
+        "bandwidth emulation changed the computation"
+    );
+    assert!(
+        slow.wall > fast.wall,
+        "throttled run should take longer: {:?} vs {:?}",
+        slow.wall,
+        fast.wall
+    );
+}
+
+#[test]
+fn pushed_bytes_match_model_volume() {
+    let mut cfg = ThreadedConfig::small(3, SchedulerKind::Fifo);
+    cfg.global_batch = 48; // divisible by 3 workers
+    let model = Mlp::new(&cfg.widths, 0);
+    let per_iter: u64 = model.tensor_sizes().iter().map(|&n| n as u64 * 4).sum();
+    let r = run_threaded_training(&cfg);
+    assert_eq!(
+        r.bytes_pushed,
+        per_iter * cfg.iterations * cfg.workers as u64,
+        "gradient bytes on the wire do not match the model"
+    );
+}
