@@ -80,8 +80,7 @@ fn bench_engine(c: &mut Criterion) {
         let job = TrainingJob::paper_setup("resnet50", 64);
         let n = job.num_gradients();
         b.iter(|| {
-            let mut sched =
-                SchedulerKind::ByteScheduler(Default::default()).build(&job);
+            let mut sched = SchedulerKind::ByteScheduler(Default::default()).build(&job);
             let now = SimTime::ZERO + Duration::from_millis(1);
             sched.iteration_begin(now, 0);
             let mut moved = 0u64;

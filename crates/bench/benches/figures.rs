@@ -10,8 +10,7 @@ use prophet::ps::sim::{run_cluster, ClusterConfig};
 use std::hint::black_box;
 
 fn cell(model: &str, batch: u32, gbps: f64, kind: SchedulerKind) -> ClusterConfig {
-    let mut cfg =
-        ClusterConfig::paper_cell(2, gbps, TrainingJob::paper_setup(model, batch), kind);
+    let mut cfg = ClusterConfig::paper_cell(2, gbps, TrainingJob::paper_setup(model, batch), kind);
     cfg.warmup_iters = 1;
     cfg
 }
@@ -85,7 +84,12 @@ fn bench_figures(c: &mut Criterion) {
     g.bench_function("fig08_training_rate", |b| {
         b.iter(|| {
             let bs = run_cluster(
-                &cell("resnet18", 32, 4.0, SchedulerKind::ByteScheduler(Default::default())),
+                &cell(
+                    "resnet18",
+                    32,
+                    4.0,
+                    SchedulerKind::ByteScheduler(Default::default()),
+                ),
                 3,
             )
             .rate;

@@ -8,8 +8,7 @@ use prophet::ps::sim::{run_cluster, ClusterConfig};
 use std::hint::black_box;
 
 fn rate(model: &str, batch: u32, gbps: f64, kind: SchedulerKind) -> f64 {
-    let mut cfg =
-        ClusterConfig::paper_cell(2, gbps, TrainingJob::paper_setup(model, batch), kind);
+    let mut cfg = ClusterConfig::paper_cell(2, gbps, TrainingJob::paper_setup(model, batch), kind);
     cfg.warmup_iters = 1;
     run_cluster(&cfg, 3).rate
 }

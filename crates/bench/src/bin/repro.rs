@@ -4,6 +4,9 @@
 //! repro list            # show experiment ids
 //! repro all             # run everything, print markdown, write results/*.csv
 //! repro fig8 table2 ... # run specific experiments
+//! repro trace <sched> [gbps] [batch] [seed]
+//!                       # run one cell with the typed span trace on and
+//!                       # write per-gradient spans to results/trace_*.csv
 //! ```
 //!
 //! CSV outputs land in `results/` at the workspace root (override with
@@ -18,6 +21,100 @@ fn results_dir() -> PathBuf {
         .unwrap_or_else(|_| PathBuf::from("results"))
 }
 
+/// `repro trace <sched> [gbps] [batch] [seed]` — simulate one experimental
+/// cell with the typed event stream enabled (invariant checker included) and
+/// export the per-`(worker, gradient, iteration)` spans as CSV. Defaults to
+/// the cell pinned by `tests/regression_pinned_cell.rs`, so a failing
+/// regression can be replayed into an inspectable trace verbatim.
+fn run_trace(args: &[String]) {
+    use prophet::core::{ProphetConfig, SchedulerKind};
+    use prophet::dnn::TrainingJob;
+    use prophet::ps::sim::{run_cluster, ClusterConfig};
+    use prophet::sim::{spans_to_csv, SpanKind};
+
+    let sched = args.first().map(String::as_str).unwrap_or("fifo");
+    let parse = |i: usize, name: &str, default: f64| -> f64 {
+        args.get(i).map_or(default, |s| {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("bad {name} `{s}`");
+                std::process::exit(1);
+            })
+        })
+    };
+    let gbps = parse(1, "gbps", 6.626115377326036);
+    let batch = parse(2, "batch", 64.0) as u32;
+    let seed = parse(3, "seed", 0.0) as u64;
+    let bps = gbps * 1e9 / 8.0;
+    let kind = match sched {
+        "fifo" => SchedulerKind::Fifo,
+        "p3" => SchedulerKind::P3 {
+            partition_bytes: 4 << 20,
+        },
+        "bytescheduler" => SchedulerKind::ByteScheduler(Default::default()),
+        "prophet" => SchedulerKind::ProphetOracle(ProphetConfig::paper_default(bps)),
+        other => {
+            eprintln!("unknown scheduler `{other}` — want fifo | p3 | bytescheduler | prophet");
+            std::process::exit(1);
+        }
+    };
+
+    let mut cfg =
+        ClusterConfig::paper_cell(2, gbps, TrainingJob::paper_setup("resnet18", batch), kind);
+    cfg.seed = seed;
+    cfg.warmup_iters = 1;
+    cfg.typed_trace = true;
+    cfg.check_invariants = true;
+    eprintln!("[repro] tracing {sched} @ {gbps} Gb/s, batch {batch}, seed {seed} ...");
+    let r = run_cluster(&cfg, 3);
+
+    // Per-kind summary over worker 0 (mean duration in ms).
+    println!(
+        "spans: {} ({} iterations, rate {:.1} samples/s)",
+        r.grad_spans.len(),
+        r.iterations,
+        r.rate
+    );
+    for kind in [
+        SpanKind::QueueWait,
+        SpanKind::Push,
+        SpanKind::Aggregate,
+        SpanKind::Pull,
+        SpanKind::Compute,
+    ] {
+        let ms: Vec<f64> = r
+            .grad_spans
+            .iter()
+            .filter(|s| s.worker == 0 && s.kind == kind)
+            .map(|s| s.end.saturating_since(s.start).as_millis_f64())
+            .collect();
+        let mean = if ms.is_empty() {
+            0.0
+        } else {
+            ms.iter().sum::<f64>() / ms.len() as f64
+        };
+        println!(
+            "  {:<10} n={:<4} mean {:.3} ms",
+            kind.as_str(),
+            ms.len(),
+            mean
+        );
+    }
+
+    let dir = results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("[repro] cannot create {}: {e}", dir.display());
+        std::process::exit(1);
+    }
+    let path = dir.join(format!("trace_{sched}_{gbps}gbps_b{batch}_s{seed}.csv"));
+    match std::fs::write(&path, spans_to_csv(&r.grad_spans)) {
+        Ok(()) => eprintln!("[repro] trace → {}", path.display()),
+        Err(e) => {
+            eprintln!("[repro] could not write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let reg = registry();
@@ -27,7 +124,12 @@ fn main() {
         for (id, desc, _) in &reg {
             println!("  {id:<16} {desc}");
         }
-        println!("\nusage: repro all | repro <id> [<id> ...]");
+        println!("\nusage: repro all | repro <id> [<id> ...] | repro trace <sched> [gbps] [batch] [seed]");
+        return;
+    }
+
+    if args[0] == "trace" {
+        run_trace(&args[1..]);
         return;
     }
 

@@ -22,7 +22,14 @@ pub fn fig8() -> ExperimentOutput {
         "Training rate: Prophet vs ByteScheduler (balance-point bandwidth, 3 workers)",
         "Fig. 8: Prophet improves the training rate by 10-40% over \
          ByteScheduler across models and batch sizes.",
-        &["model", "batch", "gbps", "bytescheduler", "prophet", "improvement"],
+        &[
+            "model",
+            "batch",
+            "gbps",
+            "bytescheduler",
+            "prophet",
+            "improvement",
+        ],
     );
     let cells: &[(&str, &[u32])] = &[
         ("resnet18", &[16, 32, 64]),
@@ -33,8 +40,8 @@ pub fn fig8() -> ExperimentOutput {
     for &(model, batches) in cells {
         for &batch in batches {
             let job = prophet::dnn::TrainingJob::paper_setup(model, batch);
-            let shared_bps = job.total_bytes() as f64
-                / (1.05 * job.backward_duration().as_secs_f64());
+            let shared_bps =
+                job.total_bytes() as f64 / (1.05 * job.backward_duration().as_secs_f64());
             let gbps = (3.0 * shared_bps * 8.0 / 1e9).clamp(1.0, 10.0);
             let rate = |kind: SchedulerKind| {
                 let mut cfg = cell(model, batch, 3, gbps, kind);
@@ -195,11 +202,7 @@ pub fn sec52_fpstart() -> ExperimentOutput {
         "Iteration pipelining: next-iteration start and iterations per 15 s",
         "§5.2: Prophet starts iteration 61 at 856.796 ms vs ByteScheduler's \
          1416 ms, and completes iterations 60-74 in 15 s vs 60-71.",
-        &[
-            "strategy",
-            "next_iter_start_ms",
-            "iterations_in_15s",
-        ],
+        &["strategy", "next_iter_start_ms", "iterations_in_15s"],
     );
     for kind in [bytescheduler(), prophet(4.0)] {
         let label = kind.label();
@@ -212,7 +215,8 @@ pub fn sec52_fpstart() -> ExperimentOutput {
         out.row(vec![
             label.to_string(),
             format!("{:.1}", next_start.as_millis_f64()),
-            r.iterations_within(anchor, Duration::from_secs(15)).to_string(),
+            r.iterations_within(anchor, Duration::from_secs(15))
+                .to_string(),
         ]);
     }
     out.notes = "The anchor iteration plays the paper's iteration 60; both \

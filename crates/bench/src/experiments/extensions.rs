@@ -34,12 +34,7 @@ pub fn ext_asp() -> ExperimentOutput {
         }
         let fifo = rates[0].1;
         for (label, rate) in rates {
-            out.row(vec![
-                format!("{sync:?}"),
-                label,
-                r1(rate),
-                pct(rate, fifo),
-            ]);
+            out.row(vec![format!("{sync:?}"), label, r1(rate), pct(rate, fifo)]);
         }
     }
     out.notes = "Finding: every ASP rate exceeds its BSP counterpart (no \
@@ -64,7 +59,14 @@ pub fn ext_gpus() -> ExperimentOutput {
          faster the GPU, the more communication-bound the job, the larger \
          the scheduling effect — at M60 speed 10 Gb/s is compute-bound and \
          everyone ties.",
-        &["gpu", "ceiling", "fifo", "bytescheduler", "prophet", "prophet_vs_fifo"],
+        &[
+            "gpu",
+            "ceiling",
+            "fifo",
+            "bytescheduler",
+            "prophet",
+            "prophet_vs_fifo",
+        ],
     );
     type GpuCtor = fn(&str) -> GpuSpec;
     let gpus: &[(&str, GpuCtor)] = &[
@@ -110,7 +112,12 @@ pub fn ext_dynamic_bw() -> ExperimentOutput {
         "§1/§4.2: static partition/credit configurations 'can hardly adapt \
          to the dynamic network environments'; Prophet re-plans whenever \
          the monitored bandwidth moves beyond tolerance.",
-        &["strategy", "rate_overall", "rate_during_dip", "estimates_seen"],
+        &[
+            "strategy",
+            "rate_overall",
+            "rate_during_dip",
+            "estimates_seen",
+        ],
     );
     for kind in [bytescheduler(), prophet(4.0)] {
         let label = kind.label();
@@ -169,7 +176,15 @@ pub fn ext_related_work() -> ExperimentOutput {
         "§6 positions Prophet against P3/TicTac (priority, blocking sends) \
          and MG-WFBP/ByteScheduler (overhead amortisation). The paper \
          measures three of them; this runs all six.",
-        &["gbps", "mxnet_fifo", "tictac", "p3", "mg_wfbp", "bytescheduler", "prophet"],
+        &[
+            "gbps",
+            "mxnet_fifo",
+            "tictac",
+            "p3",
+            "mg_wfbp",
+            "bytescheduler",
+            "prophet",
+        ],
     );
     for &gbps in &[2.0, 4.0, 10.0] {
         let rate = |kind: SchedulerKind| {
@@ -180,8 +195,12 @@ pub fn ext_related_work() -> ExperimentOutput {
             format!("{gbps}"),
             r1(rate(SchedulerKind::Fifo)),
             r1(rate(SchedulerKind::TicTac)),
-            r1(rate(SchedulerKind::P3 { partition_bytes: 4 << 20 })),
-            r1(rate(SchedulerKind::MgWfbp { merge_bytes: 16 << 20 })),
+            r1(rate(SchedulerKind::P3 {
+                partition_bytes: 4 << 20,
+            })),
+            r1(rate(SchedulerKind::MgWfbp {
+                merge_bytes: 16 << 20,
+            })),
             r1(rate(bytescheduler())),
             r1(rate(prophet(gbps))),
         ]);

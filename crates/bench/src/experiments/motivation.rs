@@ -47,10 +47,7 @@ pub fn fig2() -> ExperimentOutput {
 }
 
 fn to_xy(series: &[(prophet::sim::SimTime, f64)]) -> Vec<(f64, f64)> {
-    series
-        .iter()
-        .map(|&(t, v)| (t.as_secs_f64(), v))
-        .collect()
+    series.iter().map(|&(t, v)| (t.as_secs_f64(), v)).collect()
 }
 
 /// Fig. 3(a): P3's training rate vs partition size.
@@ -97,8 +94,7 @@ pub fn fig3b() -> ExperimentOutput {
          credit is tuned from ~3 MB to over 13 MB.",
         &["iteration", "rate_samples_per_s", "credit_MB"],
     );
-    let credits: std::collections::BTreeMap<u64, u64> =
-        r.credit_trace.iter().copied().collect();
+    let credits: std::collections::BTreeMap<u64, u64> = r.credit_trace.iter().copied().collect();
     for (i, t) in r.iter_times.iter().enumerate() {
         let rate = 64.0 / t.as_secs_f64();
         let credit = credits
@@ -126,7 +122,14 @@ pub fn fig4() -> ExperimentOutput {
         "Fig. 4: ResNet50/MXNet releases gradients in bursts (e.g. 144-156 \
          together, then 134-143); VGG19/TensorFlow shows four coarse blocks \
          over gradients 0-37.",
-        &["model", "block", "time_ms", "gradients", "count", "bytes_MB"],
+        &[
+            "model",
+            "block",
+            "time_ms",
+            "gradients",
+            "count",
+            "bytes_MB",
+        ],
     );
     let jobs = [
         ("resnet50/mxnet", TrainingJob::paper_setup("resnet50", 64)),
@@ -203,8 +206,14 @@ pub fn fig5() -> ExperimentOutput {
             r1(r.rate),
             format!("{:.0}", r.iter_times[it].as_millis_f64()),
             format!("{:.1}", g0.wait().as_millis_f64()),
-            format!("{:.1}", g0.pull_end.saturating_since(g0.ready).as_millis_f64()),
-            format!("{:.1}", g0.pull_end.saturating_since(g0.ready).as_millis_f64()),
+            format!(
+                "{:.1}",
+                g0.pull_end.saturating_since(g0.ready).as_millis_f64()
+            ),
+            format!(
+                "{:.1}",
+                g0.pull_end.saturating_since(g0.ready).as_millis_f64()
+            ),
         ]);
         // Clip one iteration's trace into a small Gantt chart.
         let (t0, t1) = (r.iter_starts[it], r.iter_starts[it + 1]);

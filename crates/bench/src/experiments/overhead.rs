@@ -82,11 +82,7 @@ pub fn sec54_profiling() -> ExperimentOutput {
          training iterations.",
         &["model", "batch", "profiling_seconds"],
     );
-    for &(model, batch) in &[
-        ("inception_v3", 32u32),
-        ("resnet50", 64),
-        ("resnet152", 32),
-    ] {
+    for &(model, batch) in &[("inception_v3", 32u32), ("resnet50", 64), ("resnet152", 32)] {
         // Profiling runs under stock FIFO behaviour; its wall time is 50
         // simulated iterations of that.
         let mut cfg = cell(model, batch, 3, 10.0, SchedulerKind::Fifo);

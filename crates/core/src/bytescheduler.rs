@@ -130,8 +130,8 @@ impl CreditAutoTuner {
             // Exploit: Gaussian perturbation around the best known credit.
             let sigma = (self.cfg.max_credit - self.cfg.min_credit) as f64 * 0.15;
             let prop = self.best_credit as f64 + sigma * self.rng.next_gaussian();
-            (prop.round() as i64)
-                .clamp(self.cfg.min_credit as i64, self.cfg.max_credit as i64) as u64
+            (prop.round() as i64).clamp(self.cfg.min_credit as i64, self.cfg.max_credit as i64)
+                as u64
         };
         self.current_credit = next;
         Some(next)
@@ -164,7 +164,10 @@ impl ByteSchedulerScheduler {
     /// Build from gradient sizes and a configuration.
     pub fn new(sizes: Vec<u64>, cfg: ByteSchedulerConfig) -> Self {
         assert!(cfg.partition_bytes > 0, "zero partition size");
-        assert!(cfg.credit_bytes >= cfg.partition_bytes, "credit below partition size");
+        assert!(
+            cfg.credit_bytes >= cfg.partition_bytes,
+            "credit below partition size"
+        );
         let tuner = cfg
             .autotune
             .clone()

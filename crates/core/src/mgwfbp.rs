@@ -65,7 +65,11 @@ impl MgWfbpScheduler {
             pieces.push((next, self.sizes[next]));
             total += self.sizes[next];
         }
-        Some(TransferTask { dir, bytes: total, pieces })
+        Some(TransferTask {
+            dir,
+            bytes: total,
+            pieces,
+        })
     }
 }
 

@@ -357,7 +357,10 @@ mod tests {
         });
         let ideal_n: usize = ideal.backward_blocks.iter().map(|b| b.grads.len()).sum();
         let real_n: usize = real.backward_blocks.iter().map(|b| b.grads.len()).sum();
-        assert!(real_n < ideal_n, "overhead should shrink blocks: {real_n} vs {ideal_n}");
+        assert!(
+            real_n < ideal_n,
+            "overhead should shrink blocks: {real_n} vs {ideal_n}"
+        );
     }
 
     #[test]

@@ -185,7 +185,10 @@ mod tests {
     #[test]
     fn profile_is_median_of_samples() {
         let mut p = JobProfiler::new(vec![100, 100], 3);
-        for (i, offs) in [(ms(10), ms(1)), (ms(12), ms(2)), (ms(50), ms(3))].iter().enumerate() {
+        for (i, offs) in [(ms(10), ms(1)), (ms(12), ms(2)), (ms(50), ms(3))]
+            .iter()
+            .enumerate()
+        {
             p.record(0, offs.0);
             p.record(1, offs.1);
             p.iteration_complete();

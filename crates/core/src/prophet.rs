@@ -245,9 +245,9 @@ impl ProphetScheduler {
                     return steady;
                 }
                 let offset = now.saturating_since(self.iter_start);
-                let deadline = bursts
-                    .last()
-                    .map(|&c0| Duration::from_secs_f64(c0.as_secs_f64() * (1.0 - self.cfg.deadline_safety)));
+                let deadline = bursts.last().map(|&c0| {
+                    Duration::from_secs_f64(c0.as_secs_f64() * (1.0 - self.cfg.deadline_safety))
+                });
                 let window = match deadline {
                     Some(c0) if c0 > offset => c0 - offset,
                     // Jitter has us past the predicted end of backward,
@@ -530,8 +530,7 @@ mod tests {
     fn message_cap_slices_fat_tensors() {
         let mut prof = profile();
         prof.s = vec![4_000, 30_000, 4_000, 4_000];
-        let mut s =
-            ProphetScheduler::with_profile(vec![4_000, 30_000, 4_000, 4_000], prof, cfg());
+        let mut s = ProphetScheduler::with_profile(vec![4_000, 30_000, 4_000, 4_000], prof, cfg());
         s.iteration_begin(at(0), 0);
         s.gradient_ready(at(20), 0); // forward phase directly
         s.gradient_ready(at(20), 1);

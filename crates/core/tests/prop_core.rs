@@ -13,12 +13,7 @@ use proptest::prelude::*;
 /// A stepwise generation schedule: `nblocks` bursts, each with a handful of
 /// gradients; gradient 0 always alone in the final burst. Returns `(c, s)`
 /// indexed by gradient id.
-fn stepwise(
-    nblocks: usize,
-    per_block: usize,
-    gap_ms: u64,
-    size: u64,
-) -> (Vec<Duration>, Vec<u64>) {
+fn stepwise(nblocks: usize, per_block: usize, gap_ms: u64, size: u64) -> (Vec<Duration>, Vec<u64>) {
     let n = nblocks * per_block + 1;
     let mut c = vec![Duration::ZERO; n];
     // Highest ids released first; bursts every `gap_ms`.

@@ -273,13 +273,7 @@ mod tests {
 
     #[test]
     fn trailing_paramfree_lands_on_last_tensor() {
-        let m = ModelArch::new(
-            "t",
-            vec![
-                fc("fc", 10, 10),
-                activation("softmax", 10, 5.0),
-            ],
-        );
+        let m = ModelArch::new("t", vec![fc("fc", 10, 10), activation("softmax", 10, 5.0)]);
         let per = m.fwd_flops_per_tensor();
         let total: f64 = per.iter().sum();
         assert!((total - m.fwd_flops_per_sample()).abs() < 1e-9);

@@ -94,27 +94,29 @@ impl GenerationModel {
         let mut buf_bytes = 0u64;
         let mut buf_compute = Duration::ZERO;
 
-        let flush =
-            |clock: Duration, buf: &mut Vec<GradientId>, buf_bytes: &mut u64, events: &mut Vec<GradientEvent>| {
-                if buf.is_empty() {
-                    return;
-                }
-                let copy = if self.d2h_bps.is_finite() {
-                    Duration::from_secs_f64(*buf_bytes as f64 / self.d2h_bps)
-                } else {
-                    Duration::ZERO
-                };
-                let ready = clock + copy;
-                for &id in buf.iter() {
-                    events.push(GradientEvent {
-                        id,
-                        ready_at: ready,
-                        bytes: bytes[id],
-                    });
-                }
-                buf.clear();
-                *buf_bytes = 0;
+        let flush = |clock: Duration,
+                     buf: &mut Vec<GradientId>,
+                     buf_bytes: &mut u64,
+                     events: &mut Vec<GradientEvent>| {
+            if buf.is_empty() {
+                return;
+            }
+            let copy = if self.d2h_bps.is_finite() {
+                Duration::from_secs_f64(*buf_bytes as f64 / self.d2h_bps)
+            } else {
+                Duration::ZERO
             };
+            let ready = clock + copy;
+            for &id in buf.iter() {
+                events.push(GradientEvent {
+                    id,
+                    ready_at: ready,
+                    bytes: bytes[id],
+                });
+            }
+            buf.clear();
+            *buf_bytes = 0;
+        };
 
         // Backward: highest id first.
         for id in (0..n).rev() {
@@ -189,7 +191,11 @@ mod tests {
         let bytes = vec![1000u64; 20];
         let ev = g.schedule(&times, &bytes);
         let blocks = GenerationModel::blocks(&ev);
-        assert!(blocks.len() >= 4 && blocks.len() <= 6, "{} blocks", blocks.len());
+        assert!(
+            blocks.len() >= 4 && blocks.len() <= 6,
+            "{} blocks",
+            blocks.len()
+        );
         // Every gradient appears exactly once.
         let mut all: Vec<_> = blocks.iter().flatten().copied().collect();
         all.sort_unstable();
@@ -234,7 +240,11 @@ mod tests {
         let ev = g.schedule(&times, &bytes);
         let ready0 = ev.iter().find(|e| e.id == 0).unwrap().ready_at;
         for e in &ev {
-            assert!(e.ready_at <= ready0, "gradient {} ready after gradient 0", e.id);
+            assert!(
+                e.ready_at <= ready0,
+                "gradient {} ready after gradient 0",
+                e.id
+            );
         }
     }
 
@@ -264,7 +274,9 @@ mod tests {
     #[test]
     fn schedule_conserves_gradients_and_bytes() {
         let g = GenerationModel::mxnet_like();
-        let times: Vec<Duration> = (0..37).map(|i| Duration::from_micros(100 + i * 37)).collect();
+        let times: Vec<Duration> = (0..37)
+            .map(|i| Duration::from_micros(100 + i * 37))
+            .collect();
         let bytes: Vec<u64> = (0..37).map(|i| 1000 + i as u64 * 997).collect();
         let ev = g.schedule(&times, &bytes);
         assert_eq!(ev.len(), 37);

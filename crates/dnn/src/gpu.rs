@@ -53,7 +53,7 @@ impl GpuSpec {
             "resnet101" => 1.8e12,
             "resnet152" => 1.75e12,
             "inception_v3" => 1.9e12,
-            "vgg19" => 2.6e12,  // large dense convs run near peak
+            "vgg19" => 2.6e12,   // large dense convs run near peak
             "alexnet" => 1.6e12, // tiny net, launch-bound
             _ => 1.8e12,
         };
@@ -148,9 +148,7 @@ impl GpuSpec {
 
     /// Convenience: total time across tensors `lo..hi`.
     pub fn span_time(times: &[Duration], lo: GradientId, hi: GradientId) -> Duration {
-        times[lo..hi]
-            .iter()
-            .fold(Duration::ZERO, |acc, &d| acc + d)
+        times[lo..hi].iter().fold(Duration::ZERO, |acc, &d| acc + d)
     }
 }
 

@@ -51,8 +51,7 @@ impl TrainingJob {
     /// The paper's standard setup: a named zoo model on the g3.8xlarge GPU
     /// pair with MXNet-like aggregation.
     pub fn paper_setup(model: &str, batch: u32) -> Self {
-        let arch = crate::zoo::by_name(model)
-            .unwrap_or_else(|| panic!("unknown model {model}"));
+        let arch = crate::zoo::by_name(model).unwrap_or_else(|| panic!("unknown model {model}"));
         let gpu = GpuSpec::m60_pair(model);
         TrainingJob::new(arch, gpu, batch, GenerationModel::mxnet_like())
     }

@@ -106,11 +106,7 @@ fn resnet_basic(name: &str, blocks: &[usize; 4]) -> ModelArch {
             if needs_proj {
                 cb(&mut layers, &format!("{prefix}.down"), 1, cin, w, sp, sp);
             }
-            layers.push(activation(
-                &format!("{prefix}.add_relu"),
-                w * sp * sp,
-                2.0,
-            ));
+            layers.push(activation(&format!("{prefix}.add_relu"), w * sp * sp, 2.0));
             cin = w;
         }
     }
@@ -138,7 +134,15 @@ fn resnet_bottleneck(name: &str, blocks: &[usize; 4]) -> ModelArch {
             // block of stages 2-4 (torchvision v1.5 arrangement); conv1 of
             // that block still runs at the previous stage's resolution.
             let sp_in = if first && s > 0 { sp * 2 } else { sp };
-            cb(&mut layers, &format!("{prefix}.conv1"), 1, cin, w, sp_in, sp_in);
+            cb(
+                &mut layers,
+                &format!("{prefix}.conv1"),
+                1,
+                cin,
+                w,
+                sp_in,
+                sp_in,
+            );
             cb(&mut layers, &format!("{prefix}.conv2"), 3, w, w, sp, sp);
             cb(&mut layers, &format!("{prefix}.conv3"), 1, w, cout, sp, sp);
             if first {
@@ -304,10 +308,19 @@ pub fn by_name(name: &str) -> Option<ModelArch> {
 
 /// Every model in the zoo, in a stable order.
 pub fn all_models() -> Vec<ModelArch> {
-    ["resnet18", "resnet34", "resnet50", "resnet101", "resnet152", "inception_v3", "vgg19", "alexnet"]
-        .iter()
-        .map(|n| by_name(n).unwrap())
-        .collect()
+    [
+        "resnet18",
+        "resnet34",
+        "resnet50",
+        "resnet101",
+        "resnet152",
+        "inception_v3",
+        "vgg19",
+        "alexnet",
+    ]
+    .iter()
+    .map(|n| by_name(n).unwrap())
+    .collect()
 }
 
 #[cfg(test)]
@@ -380,12 +393,7 @@ mod tests {
     #[test]
     fn inception_v3_matches_published() {
         let m = inception_v3();
-        assert_close(
-            m.total_params() as f64,
-            23.8e6,
-            0.06,
-            "inception_v3 params",
-        );
+        assert_close(m.total_params() as f64, 23.8e6, 0.06, "inception_v3 params");
         assert_close(
             m.fwd_flops_per_sample() / 2.0,
             5.7e9,
@@ -398,12 +406,7 @@ mod tests {
     fn alexnet_matches_published() {
         let m = alexnet();
         assert_close(m.total_params() as f64, 61.1e6, 0.03, "alexnet params");
-        assert_close(
-            m.fwd_flops_per_sample() / 2.0,
-            0.71e9,
-            0.15,
-            "alexnet MACs",
-        );
+        assert_close(m.fwd_flops_per_sample() / 2.0, 0.71e9, 0.15, "alexnet MACs");
     }
 
     #[test]

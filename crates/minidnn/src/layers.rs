@@ -27,10 +27,10 @@ pub trait Layer: Send {
 
 /// Fully connected layer `y = x · w + b`.
 pub struct Dense {
-    w: Tensor,       // in × out
-    b: Tensor,       // 1 × out
-    dw: Tensor,      // gradient wrt w
-    db: Tensor,      // gradient wrt b
+    w: Tensor,        // in × out
+    b: Tensor,        // 1 × out
+    dw: Tensor,       // gradient wrt w
+    db: Tensor,       // gradient wrt b
     cached_x: Tensor, // input saved by forward for the backward pass
 }
 

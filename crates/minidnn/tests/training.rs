@@ -19,16 +19,9 @@ fn train_single(
             last_loss = model.forward_backward(&x, &labels);
             // Scale the summed gradient to a mean over the batch: the loss
             // already divides by batch, so grads are means. Apply directly.
-            let grads: Vec<Vec<f32>> = model
-                .grad_slices()
-                .iter()
-                .map(|g| g.to_vec())
-                .collect();
-            let mut params: Vec<Vec<f32>> = model
-                .param_slices()
-                .iter()
-                .map(|p| p.to_vec())
-                .collect();
+            let grads: Vec<Vec<f32>> = model.grad_slices().iter().map(|g| g.to_vec()).collect();
+            let mut params: Vec<Vec<f32>> =
+                model.param_slices().iter().map(|p| p.to_vec()).collect();
             for (id, (p, g)) in params.iter_mut().zip(&grads).enumerate() {
                 opt.step(id, p, g);
                 model.set_param(id, p);

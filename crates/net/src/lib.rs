@@ -37,6 +37,6 @@ pub mod tcp;
 pub mod topology;
 
 pub use monitor::BandwidthMonitor;
-pub use network::{FlowEnd, FlowId, Network};
+pub use network::{FlowEnd, FlowId, NetEvent, Network};
 pub use tcp::TcpModel;
 pub use topology::{NodeId, NodeSpec, Topology};

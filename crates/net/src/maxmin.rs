@@ -35,9 +35,16 @@ pub fn allocate(topo: &Topology, flows: &[FlowDemand]) -> Vec<f64> {
         return rates;
     }
 
-    // Remaining capacity per constraint: uplinks then downlinks.
-    let mut up_left: Vec<f64> = (0..n).map(|i| topo.spec(NodeId(i)).uplink_bps).collect();
-    let mut down_left: Vec<f64> = (0..n).map(|i| topo.spec(NodeId(i)).downlink_bps).collect();
+    // Remaining capacity per constraint: uplinks then downlinks. The
+    // original capacities are kept so saturation can be tested with an
+    // epsilon *relative* to each link's scale: capacities here are bytes/sec
+    // (~1e9 for a 10 GbE NIC), where one f64 ulp is ~1e-7 — an absolute
+    // threshold is either meaninglessly tight at that scale or sloppily
+    // loose for small test capacities.
+    let up_cap: Vec<f64> = (0..n).map(|i| topo.spec(NodeId(i)).uplink_bps).collect();
+    let down_cap: Vec<f64> = (0..n).map(|i| topo.spec(NodeId(i)).downlink_bps).collect();
+    let mut up_left = up_cap.clone();
+    let mut down_left = down_cap.clone();
 
     let mut frozen = vec![false; flows.len()];
     // Freeze zero-cap flows immediately.
@@ -81,27 +88,49 @@ pub fn allocate(topo: &Topology, flows: &[FlowDemand]) -> Vec<f64> {
                 delta = delta.min(f.cap_bps - rates[i]);
             }
         }
-        debug_assert!(delta.is_finite() && delta >= 0.0, "bad increment {delta}");
+        // Accumulated rounding can leave a residual (or cap headroom) a few
+        // ulps below zero; clamp instead of handing a negative increment to
+        // every flow.
+        let delta = delta.max(0.0);
+        debug_assert!(delta.is_finite(), "bad increment {delta}");
 
-        // Apply the increment.
+        // Apply the increment. Residuals are clamped at zero: a constraint
+        // can end up an ulp negative after repeated subtraction, and a
+        // negative residual must read as "saturated", never as headroom.
         for (i, f) in flows.iter().enumerate() {
             if !frozen[i] {
                 rates[i] += delta;
-                up_left[f.src.0] -= delta;
-                down_left[f.dst.0] -= delta;
+                up_left[f.src.0] = (up_left[f.src.0] - delta).max(0.0);
+                down_left[f.dst.0] = (down_left[f.dst.0] - delta).max(0.0);
             }
         }
 
-        // Freeze flows at their cap or on a saturated constraint.
-        const EPS: f64 = 1e-6;
-        let saturated_up: Vec<bool> = up_left.iter().map(|&c| c <= EPS).collect();
-        let saturated_down: Vec<bool> = down_left.iter().map(|&c| c <= EPS).collect();
+        // Freeze flows at their cap or on a saturated constraint. The
+        // saturation epsilon is relative to each constraint's own capacity
+        // (with a tiny absolute floor for zero/denormal capacities).
+        const REL_EPS: f64 = 1e-9;
+        let sat = |left: f64, cap: f64| left <= cap * REL_EPS + f64::MIN_POSITIVE;
+        let saturated_up: Vec<bool> = up_left
+            .iter()
+            .zip(&up_cap)
+            .map(|(&l, &c)| sat(l, c))
+            .collect();
+        let saturated_down: Vec<bool> = down_left
+            .iter()
+            .zip(&down_cap)
+            .map(|(&l, &c)| sat(l, c))
+            .collect();
         let mut progress = false;
         for (i, f) in flows.iter().enumerate() {
             if frozen[i] {
                 continue;
             }
-            let at_cap = f.cap_bps.is_finite() && rates[i] >= f.cap_bps - EPS;
+            let at_cap = f.cap_bps.is_finite() && rates[i] >= f.cap_bps * (1.0 - REL_EPS);
+            if at_cap {
+                // Pin exactly to the cap so rounding never reports a rate
+                // above what the transport window allows.
+                rates[i] = f.cap_bps;
+            }
             if at_cap || saturated_up[f.src.0] || saturated_down[f.dst.0] {
                 frozen[i] = true;
                 progress = true;
@@ -186,7 +215,11 @@ mod tests {
         let r = allocate(&t, &[flow(1, 0), flow(2, 0)]);
         // w2 frozen at 62.5 MB/s, w1 takes the rest of the PS downlink.
         assert!((r[1] - 62.5e6).abs() < 1.0, "slow worker got {}", r[1]);
-        assert!((r[0] - (1.25e9 - 62.5e6)).abs() < 1.0, "fast worker got {}", r[0]);
+        assert!(
+            (r[0] - (1.25e9 - 62.5e6)).abs() < 1.0,
+            "fast worker got {}",
+            r[0]
+        );
     }
 
     #[test]
@@ -212,6 +245,44 @@ mod tests {
         for &rate in &r {
             assert!((rate - 30.0).abs() < 1e-6, "rate {rate}");
         }
+    }
+
+    #[test]
+    fn high_capacity_split_is_exact() {
+        // 8 Tb/s in bytes/sec: one ulp here is ~1e-4, far above any
+        // absolute epsilon. Three-way splits of such capacities are not
+        // exactly representable, so this exercises the relative-epsilon
+        // saturation path.
+        let cap = 1e12;
+        let t = topo(4, cap);
+        let flows: Vec<_> = (1..4).map(|w| flow(w, 0)).collect();
+        let r = allocate(&t, &flows);
+        let share = cap / 3.0;
+        let total: f64 = r.iter().sum();
+        for &rate in &r {
+            assert!((rate - share).abs() <= share * 1e-9, "rate {rate}");
+        }
+        assert!(total <= cap * (1.0 + 1e-9), "oversubscribed: {total}");
+    }
+
+    #[test]
+    fn awkward_caps_never_exceed_capacity() {
+        // Caps engineered to leave ulp-scale residuals after each round.
+        let cap = 6.626115377326036e9;
+        let t = topo(5, cap);
+        let flows = [
+            capped(1, 0, cap / 7.0),
+            capped(2, 0, cap / 3.0),
+            flow(3, 0),
+            flow(4, 0),
+        ];
+        let r = allocate(&t, &flows);
+        let total: f64 = r.iter().sum();
+        assert!(total <= cap * (1.0 + 1e-9), "oversubscribed: {total}");
+        assert!(r[0] <= cap / 7.0, "capped flow exceeds its cap: {}", r[0]);
+        assert!(r[1] <= cap / 3.0, "capped flow exceeds its cap: {}", r[1]);
+        // Work conservation: the sink downlink is the only bottleneck.
+        assert!(total >= cap * (1.0 - 1e-9), "idle capacity: {total}");
     }
 
     #[test]

@@ -72,7 +72,11 @@ impl BandwidthMonitor {
     pub fn estimate_bps(&self, now: SimTime) -> Option<f64> {
         let ewma = self.ewma_bps?;
         let peak_fresh = now.saturating_since(self.peak_at) <= self.peak_window;
-        Some(if peak_fresh { ewma.max(self.peak_bps) } else { ewma })
+        Some(if peak_fresh {
+            ewma.max(self.peak_bps)
+        } else {
+            ewma
+        })
     }
 
     /// The smoothed *achieved* throughput (goodput), bytes/sec — the right
@@ -123,7 +127,7 @@ mod tests {
         let mut m = BandwidthMonitor::new(0.5, Duration::from_secs(5));
         m.observe(at(1), 1_000_000, Duration::from_millis(10)); // 1e8
         m.observe(at(2), 100_000, Duration::from_millis(10)); // 1e7 (small msg)
-        // EWMA dropped, but the fresh peak keeps the estimate at 1e8.
+                                                              // EWMA dropped, but the fresh peak keeps the estimate at 1e8.
         assert!((m.estimate_bps(at(2)).unwrap() - 1e8).abs() < 1.0);
     }
 

@@ -48,11 +48,42 @@ struct FlowState {
     id: FlowId,
     src: NodeId,
     dst: NodeId,
+    total: f64,
     remaining: f64,
     rate: f64,
     phase: Phase,
     started: SimTime,
     tag: u64,
+}
+
+/// An entry in the network's optional event ledger (see
+/// [`Network::record_events`]): the raw material for the cross-stack
+/// trace/invariant layer's flow-level checks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NetEvent {
+    /// A flow was accepted at this instant.
+    FlowStart {
+        /// Caller-supplied tag.
+        tag: u64,
+        /// Source node.
+        src: NodeId,
+        /// Destination node.
+        dst: NodeId,
+        /// Requested payload size.
+        bytes: u64,
+    },
+    /// A flow's last byte arrived at this instant.
+    FlowEnd {
+        /// Caller-supplied tag.
+        tag: u64,
+        /// Source node.
+        src: NodeId,
+        /// Destination node.
+        dst: NodeId,
+        /// Bytes the fluid integrator actually moved (equals the request
+        /// up to the completion epsilon).
+        delivered: f64,
+    },
 }
 
 /// A completed transfer, as returned by [`Network::advance_to`].
@@ -81,6 +112,8 @@ pub struct Network {
     version: u64,
     tx_bytes: Vec<f64>,
     rx_bytes: Vec<f64>,
+    record_events: bool,
+    events: Vec<(SimTime, NetEvent)>,
 }
 
 impl Network {
@@ -96,7 +129,23 @@ impl Network {
             version: 0,
             tx_bytes: vec![0.0; n],
             rx_bytes: vec![0.0; n],
+            record_events: false,
+            events: Vec::new(),
         }
+    }
+
+    /// Turn the event ledger on or off. While on, every flow start and
+    /// completion is appended as a [`NetEvent`] for the caller to drain
+    /// with [`Network::drain_events`] — the hook the cross-stack
+    /// trace/invariant layer consumes. Off (the default) costs nothing.
+    pub fn record_events(&mut self, on: bool) {
+        self.record_events = on;
+    }
+
+    /// Take every ledger entry accumulated since the last drain, in
+    /// chronological order.
+    pub fn drain_events(&mut self) -> Vec<(SimTime, NetEvent)> {
+        std::mem::take(&mut self.events)
     }
 
     /// The transport model in use.
@@ -181,12 +230,24 @@ impl Network {
             id,
             src,
             dst,
+            total: bytes as f64,
             remaining: (bytes as f64).max(0.0),
             rate: 0.0,
             phase,
             started: now,
             tag,
         });
+        if self.record_events {
+            self.events.push((
+                now,
+                NetEvent::FlowStart {
+                    tag,
+                    src,
+                    dst,
+                    bytes,
+                },
+            ));
+        }
         self.reallocate();
         id
     }
@@ -345,6 +406,17 @@ impl Network {
                 && !matches!(self.flows[i].phase, Phase::Setup { .. });
             if done {
                 let f = self.flows.remove(i);
+                if self.record_events {
+                    self.events.push((
+                        t,
+                        NetEvent::FlowEnd {
+                            tag: f.tag,
+                            src: f.src,
+                            dst: f.dst,
+                            delivered: f.total - f.remaining,
+                        },
+                    ));
+                }
                 out.push(FlowEnd {
                     id: f.id,
                     src: f.src,

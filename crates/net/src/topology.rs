@@ -88,10 +88,7 @@ impl Topology {
 
     /// Iterate `(NodeId, NodeSpec)`.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, NodeSpec)> + '_ {
-        self.specs
-            .iter()
-            .enumerate()
-            .map(|(i, &s)| (NodeId(i), s))
+        self.specs.iter().enumerate().map(|(i, &s)| (NodeId(i), s))
     }
 }
 

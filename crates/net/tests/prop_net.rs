@@ -6,19 +6,17 @@ use prophet_sim::SimTime;
 use proptest::prelude::*;
 
 fn arb_flows(nodes: usize) -> impl Strategy<Value = Vec<FlowDemand>> {
-    prop::collection::vec(
-        (0..nodes, 0..nodes, prop::option::of(1e3f64..1e9)),
-        1..24,
+    prop::collection::vec((0..nodes, 0..nodes, prop::option::of(1e3f64..1e9)), 1..24).prop_map(
+        |v| {
+            v.into_iter()
+                .map(|(s, d, cap)| FlowDemand {
+                    src: NodeId(s),
+                    dst: NodeId(d),
+                    cap_bps: cap.unwrap_or(f64::INFINITY),
+                })
+                .collect()
+        },
     )
-    .prop_map(|v| {
-        v.into_iter()
-            .map(|(s, d, cap)| FlowDemand {
-                src: NodeId(s),
-                dst: NodeId(d),
-                cap_bps: cap.unwrap_or(f64::INFINITY),
-            })
-            .collect()
-    })
 }
 
 proptest! {
@@ -65,6 +63,48 @@ proptest! {
                 at_cap || up_sat || down_sat,
                 "flow {:?} at rate {} limited by nothing", f, r
             );
+        }
+    }
+
+    /// At datacenter-scale capacities (10 Gb/s .. 8 Tb/s in bytes/sec) one
+    /// f64 ulp is far above any absolute epsilon, so saturation tests must
+    /// be relative. Uncapped flows fanning into one sink must split its
+    /// downlink exactly evenly, the allocation must stay feasible, and
+    /// capped flows must be pinned to (never above) their cap.
+    #[test]
+    fn maxmin_high_capacity_fairness(
+        cap in 1.25e9f64..1e12,
+        n_flows in 2usize..8,
+        capped in prop::option::of(0.01f64..0.45),
+    ) {
+        let topo = Topology::uniform(n_flows + 1, NodeSpec::symmetric(cap));
+        let mut flows: Vec<FlowDemand> = (1..=n_flows)
+            .map(|w| FlowDemand { src: NodeId(w), dst: NodeId(0), cap_bps: f64::INFINITY })
+            .collect();
+        if let Some(frac) = capped {
+            // Cap the first flow below its fair share; the rest must absorb
+            // exactly the freed bandwidth.
+            flows[0].cap_bps = cap * frac / n_flows as f64;
+        }
+        let rates = allocate(&topo, &flows);
+        let total: f64 = rates.iter().sum();
+        prop_assert!(total <= cap * (1.0 + 1e-9), "sink oversubscribed: {total} > {cap}");
+        prop_assert!(total >= cap * (1.0 - 1e-9), "sink left idle: {total} < {cap}");
+        match capped {
+            None => {
+                let share = cap / n_flows as f64;
+                for &r in &rates {
+                    prop_assert!((r - share).abs() <= share * 1e-9, "rate {r} != share {share}");
+                }
+            }
+            Some(_) => {
+                prop_assert!(rates[0] <= flows[0].cap_bps, "capped flow above cap");
+                prop_assert!(rates[0] >= flows[0].cap_bps * (1.0 - 1e-9));
+                let rest = (cap - rates[0]) / (n_flows - 1) as f64;
+                for &r in &rates[1..] {
+                    prop_assert!((r - rest).abs() <= rest * 1e-9, "rate {r} != {rest}");
+                }
+            }
         }
     }
 

@@ -14,70 +14,146 @@ fn analyze(label: &str, kind: SchedulerKind) {
     cfg.warmup_iters = 10;
     cfg.trace = true;
     let r = run_cluster(&cfg, 16);
-    println!("== {label}: rate {:.2}, gpu {:.1}%", r.rate, r.avg_gpu_util*100.0);
+    println!(
+        "== {label}: rate {:.2}, gpu {:.1}%",
+        r.rate,
+        r.avg_gpu_util * 100.0
+    );
     // Analyze iteration 12 (steady).
     let it = 12;
     let t0 = r.iter_starts[it];
-    let t1 = r.iter_starts[it+1];
+    let t1 = r.iter_starts[it + 1];
     let iter_s = (t1 - t0).as_secs_f64();
     let lane_stats = |lane: &str| {
-        let mut spans: Vec<(SimTime, SimTime)> = r.trace.lane(lane)
+        let mut spans: Vec<(SimTime, SimTime)> = r
+            .trace
+            .lane(lane)
             .filter(|s| s.start >= t0 && s.end <= t1)
-            .map(|s| (s.start, s.end)).collect();
+            .map(|s| (s.start, s.end))
+            .collect();
         spans.sort();
         let n = spans.len();
-        let busy: f64 = spans.iter().map(|(a,b)| (*b - *a).as_secs_f64()).sum();
+        let busy: f64 = spans.iter().map(|(a, b)| (*b - *a).as_secs_f64()).sum();
         let bytes_proxy = busy;
         (n, busy, bytes_proxy)
     };
     let (nu, busy_u, _) = lane_stats("w0.up");
     let (nd, busy_d, _) = lane_stats("w0.down");
-    println!("  iter {:.3}s | up: {} msgs busy {:.3}s | down: {} msgs busy {:.3}s", iter_s, nu, busy_u, nd, busy_d);
+    println!(
+        "  iter {:.3}s | up: {} msgs busy {:.3}s | down: {} msgs busy {:.3}s",
+        iter_s, nu, busy_u, nd, busy_d
+    );
     // grad0 log
     let log = &r.transfer_logs[it];
     let g0 = log.iter().find(|l| l.grad == 0).unwrap();
-    println!("  g0: ready +{:.1}ms pushstart +{:.1}ms pushend +{:.1}ms pullend +{:.1}ms",
-        (g0.ready - t0).as_millis_f64(), (g0.push_start - t0).as_millis_f64(),
-        (g0.push_end - t0).as_millis_f64(), (g0.pull_end - t0).as_millis_f64());
+    println!(
+        "  g0: ready +{:.1}ms pushstart +{:.1}ms pushend +{:.1}ms pullend +{:.1}ms",
+        (g0.ready - t0).as_millis_f64(),
+        (g0.push_start - t0).as_millis_f64(),
+        (g0.push_end - t0).as_millis_f64(),
+        (g0.pull_end - t0).as_millis_f64()
+    );
     let last_pull = log.iter().map(|l| l.pull_end).max().unwrap();
     let job2 = TrainingJob::paper_setup("resnet50", 64);
     let sizes = job2.sizes();
     let bwd_end = g0.ready;
-    let pushed_during_bwd: u64 = log.iter().filter(|l| l.push_end <= bwd_end).map(|l| sizes[l.grad]).sum();
-    let pulled_during_bwd: u64 = log.iter().filter(|l| l.pull_end <= bwd_end).map(|l| sizes[l.grad]).sum();
-    println!("  pushed during bwd: {:.1} MB, pulled during bwd: {:.1} MB of {:.1} MB",
-        pushed_during_bwd as f64/1e6, pulled_during_bwd as f64/1e6, sizes.iter().sum::<u64>() as f64/1e6);
-    println!("  mean wait {:.1}ms mean transfer {:.1}ms last pull +{:.1}ms",
-        r.mean_wait_ms(it), r.mean_transfer_ms(it), (last_pull - t0).as_millis_f64());
+    let pushed_during_bwd: u64 = log
+        .iter()
+        .filter(|l| l.push_end <= bwd_end)
+        .map(|l| sizes[l.grad])
+        .sum();
+    let pulled_during_bwd: u64 = log
+        .iter()
+        .filter(|l| l.pull_end <= bwd_end)
+        .map(|l| sizes[l.grad])
+        .sum();
+    println!(
+        "  pushed during bwd: {:.1} MB, pulled during bwd: {:.1} MB of {:.1} MB",
+        pushed_during_bwd as f64 / 1e6,
+        pulled_during_bwd as f64 / 1e6,
+        sizes.iter().sum::<u64>() as f64 / 1e6
+    );
+    println!(
+        "  mean wait {:.1}ms mean transfer {:.1}ms last pull +{:.1}ms",
+        r.mean_wait_ms(it),
+        r.mean_transfer_ms(it),
+        (last_pull - t0).as_millis_f64()
+    );
     // uplink busy-union during backward
     let bwd_end_t = g0.ready;
-    let mut iv: Vec<(f64,f64)> = r.trace.lane("w0.up")
+    let mut iv: Vec<(f64, f64)> = r
+        .trace
+        .lane("w0.up")
         .filter(|sp| sp.end > t0 && sp.start < bwd_end_t)
-        .map(|sp| (sp.start.as_secs_f64().max(t0.as_secs_f64()), sp.end.as_secs_f64().min(bwd_end_t.as_secs_f64())))
+        .map(|sp| {
+            (
+                sp.start.as_secs_f64().max(t0.as_secs_f64()),
+                sp.end.as_secs_f64().min(bwd_end_t.as_secs_f64()),
+            )
+        })
         .collect();
-    iv.sort_by(|a,b| a.0.partial_cmp(&b.0).unwrap());
-    let mut busy_u = 0.0; let mut cur: Option<(f64,f64)> = None;
-    for (a,b) in iv {
+    iv.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    let mut busy_u = 0.0;
+    let mut cur: Option<(f64, f64)> = None;
+    for (a, b) in iv {
         match cur {
-            None => cur = Some((a,b)),
-            Some((ca,cb)) => { if a <= cb { cur = Some((ca, cb.max(b))); } else { busy_u += cb-ca; cur = Some((a,b)); } }
+            None => cur = Some((a, b)),
+            Some((ca, cb)) => {
+                if a <= cb {
+                    cur = Some((ca, cb.max(b)));
+                } else {
+                    busy_u += cb - ca;
+                    cur = Some((a, b));
+                }
+            }
         }
     }
-    if let Some((ca,cb)) = cur { busy_u += cb-ca; }
-    println!("  uplink busy-union during bwd: {:.0}ms of {:.0}ms", busy_u*1e3, (bwd_end_t - t0).as_secs_f64()*1e3);
-    let stat = |v: &mut Vec<f64>| (v[v.len()/2], v[v.len()*9/10]);
-    let mut agg: Vec<f64> = log.iter().map(|l| (l.pull_start.saturating_since(l.push_end)).as_millis_f64()).collect();
-    agg.sort_by(|a,b| a.partial_cmp(b).unwrap());
-    let mut wheel: Vec<f64> = log.iter().map(|l| (l.pull_end.saturating_since(l.pull_start)).as_millis_f64()).collect();
-    wheel.sort_by(|a,b| a.partial_cmp(b).unwrap());
-    let (a50,a90)=stat(&mut agg); let (w50,w90)=stat(&mut wheel);
-    println!("  pushend->pullstart lag ms: p50 {:.1} p90 {:.1}; pull wire ms: p50 {:.1} p90 {:.1}", a50,a90,w50,w90);
-    let ests: Vec<String> = r.bandwidth_estimates.iter().map(|(t,b)| format!("{:.0}s:{:.0}MB/s", t.as_secs_f64(), b/1e6)).collect();
+    if let Some((ca, cb)) = cur {
+        busy_u += cb - ca;
+    }
+    println!(
+        "  uplink busy-union during bwd: {:.0}ms of {:.0}ms",
+        busy_u * 1e3,
+        (bwd_end_t - t0).as_secs_f64() * 1e3
+    );
+    let stat = |v: &mut Vec<f64>| (v[v.len() / 2], v[v.len() * 9 / 10]);
+    let mut agg: Vec<f64> = log
+        .iter()
+        .map(|l| (l.pull_start.saturating_since(l.push_end)).as_millis_f64())
+        .collect();
+    agg.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mut wheel: Vec<f64> = log
+        .iter()
+        .map(|l| (l.pull_end.saturating_since(l.pull_start)).as_millis_f64())
+        .collect();
+    wheel.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let (a50, a90) = stat(&mut agg);
+    let (w50, w90) = stat(&mut wheel);
+    println!(
+        "  pushend->pullstart lag ms: p50 {:.1} p90 {:.1}; pull wire ms: p50 {:.1} p90 {:.1}",
+        a50, a90, w50, w90
+    );
+    let ests: Vec<String> = r
+        .bandwidth_estimates
+        .iter()
+        .map(|(t, b)| format!("{:.0}s:{:.0}MB/s", t.as_secs_f64(), b / 1e6))
+        .collect();
     println!("  estimates: {}", ests.join(" "));
     // message-size histogram on uplink during iteration `it`
-    let mut durs: Vec<f64> = r.trace.lane("w0.up").filter(|sp| sp.start >= t0 && sp.end <= t1).map(|sp| (sp.end-sp.start).as_millis_f64()).collect();
-    durs.sort_by(|a,b| a.partial_cmp(b).unwrap());
-    println!("  up msg durations ms: min {:.2} med {:.2} max {:.2} n {}", durs.first().unwrap_or(&0.0), durs.get(durs.len()/2).unwrap_or(&0.0), durs.last().unwrap_or(&0.0), durs.len());
+    let mut durs: Vec<f64> = r
+        .trace
+        .lane("w0.up")
+        .filter(|sp| sp.start >= t0 && sp.end <= t1)
+        .map(|sp| (sp.end - sp.start).as_millis_f64())
+        .collect();
+    durs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    println!(
+        "  up msg durations ms: min {:.2} med {:.2} max {:.2} n {}",
+        durs.first().unwrap_or(&0.0),
+        durs.get(durs.len() / 2).unwrap_or(&0.0),
+        durs.last().unwrap_or(&0.0),
+        durs.len()
+    );
 }
 
 fn main() {
@@ -88,11 +164,22 @@ fn main() {
     print!("generated MB by t:");
     for frac in [0.2, 0.4, 0.6, 0.8, 1.0] {
         let t = bwd * frac;
-        let gen: u64 = c.iter().zip(&sizes).filter(|(cc, _)| cc.as_millis_f64() <= t).map(|(_, s)| *s).sum();
+        let gen: u64 = c
+            .iter()
+            .zip(&sizes)
+            .filter(|(cc, _)| cc.as_millis_f64() <= t)
+            .map(|(_, s)| *s)
+            .sum();
         print!(" {:.0}ms:{:.1}", t, gen as f64 / 1e6);
     }
     println!();
-    analyze("bytescheduler", SchedulerKind::ByteScheduler(Default::default()));
-    analyze("prophet", SchedulerKind::ProphetOracle(ProphetConfig::paper_default(3e9/8.0)));
+    analyze(
+        "bytescheduler",
+        SchedulerKind::ByteScheduler(Default::default()),
+    );
+    analyze(
+        "prophet",
+        SchedulerKind::ProphetOracle(ProphetConfig::paper_default(3e9 / 8.0)),
+    );
 }
 // (appended) print generation pacing for the job

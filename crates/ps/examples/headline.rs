@@ -9,14 +9,22 @@ use prophet_ps::sim::*;
 
 fn main() {
     let mbps_list = [1000.0, 2000.0, 3000.0, 4000.0, 4500.0, 6000.0, 10000.0];
-    println!("{:>8} {:>10} {:>10} {:>10} {:>10} {:>10}", "Mbps", "fifo", "p3", "bs-4M", "bs-8M", "prophet");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "Mbps", "fifo", "p3", "bs-4M", "bs-8M", "prophet"
+    );
     for &mbps in &mbps_list {
         let bps = mbps * 1e6 / 8.0;
         let mut row = format!("{:>8}", mbps);
         for kind in [
             SchedulerKind::Fifo,
-            SchedulerKind::P3 { partition_bytes: 4 << 20 },
-            SchedulerKind::ByteScheduler(prophet_core::ByteSchedulerConfig { credit_bytes: 4 << 20, ..Default::default() }),
+            SchedulerKind::P3 {
+                partition_bytes: 4 << 20,
+            },
+            SchedulerKind::ByteScheduler(prophet_core::ByteSchedulerConfig {
+                credit_bytes: 4 << 20,
+                ..Default::default()
+            }),
             SchedulerKind::ByteScheduler(Default::default()),
             SchedulerKind::ProphetOracle(ProphetConfig::paper_default(bps)),
         ] {

@@ -13,9 +13,10 @@
 use super::config::{ClusterConfig, SyncMode};
 use super::metrics::{GradTransferLog, RunResult};
 use prophet_core::{CommScheduler, Dir, TransferTask, Transport};
-use prophet_net::{BandwidthMonitor, Network, NodeId, NodeSpec, Topology};
+use prophet_net::{BandwidthMonitor, FlowEnd, NetEvent, Network, NodeId, NodeSpec, Topology};
 use prophet_sim::{
-    Duration, EventQueue, RateSeries, SimTime, TimeWeighted, TraceRecorder, Xoshiro256StarStar,
+    Duration, EventQueue, InvariantChecker, RateSeries, SimTime, SpanCollector, TimeWeighted,
+    TraceEvent, TraceRecorder, TraceSink, Xoshiro256StarStar,
 };
 use std::collections::{HashMap, VecDeque};
 
@@ -136,6 +137,13 @@ struct Cluster {
     sizes: Vec<u64>,
     fwd_times: Vec<Duration>,
 
+    // Typed event stream sinks (the cross-stack trace/invariant layer).
+    checker: Option<InvariantChecker>,
+    span_sink: Option<SpanCollector>,
+    /// Net-ledger entries drained but not yet forwarded to the sinks
+    /// (kept so flow events interleave with cluster events in time order).
+    pending_net: VecDeque<(SimTime, NetEvent)>,
+
     // Metrics.
     trace: TraceRecorder,
     gpu_series: Vec<(SimTime, f64)>,
@@ -163,7 +171,14 @@ impl Cluster {
         for w in 0..cfg.workers {
             topo.add_node(NodeSpec::symmetric(cfg.worker_bandwidth(w)));
         }
-        let net = Network::new(topo, cfg.tcp);
+        let mut net = Network::new(topo, cfg.tcp);
+        let checker = cfg
+            .check_invariants
+            .then(|| InvariantChecker::new(cfg.workers, cfg.sync == SyncMode::Bsp));
+        let span_sink = cfg.typed_trace.then(SpanCollector::new);
+        if checker.is_some() || span_sink.is_some() {
+            net.record_events(true);
+        }
         let master = Xoshiro256StarStar::new(cfg.seed);
         let n = cfg.job.num_gradients();
         let workers: Vec<WorkerRt> = (0..cfg.workers)
@@ -214,6 +229,9 @@ impl Cluster {
             next_flow_tag: 0,
             sizes,
             fwd_times,
+            checker,
+            span_sink,
+            pending_net: VecDeque::new(),
             trace,
             gpu_series: Vec::new(),
             net_series: RateSeries::new(SimTime::ZERO, sample_window),
@@ -236,14 +254,73 @@ impl Cluster {
         self.sizes.len()
     }
 
+    // ---- typed event stream ---------------------------------------------
+
+    fn sinks_active(&self) -> bool {
+        self.checker.is_some() || self.span_sink.is_some()
+    }
+
+    /// Feed one typed event to every attached sink.
+    fn emit(&mut self, at: SimTime, ev: TraceEvent) {
+        if let Some(c) = self.checker.as_mut() {
+            c.on_event(at, &ev);
+        }
+        if let Some(s) = self.span_sink.as_mut() {
+            s.on_event(at, &ev);
+        }
+    }
+
+    /// Forward net-ledger entries with timestamps `<= t` to the sinks. The
+    /// ledger is chronological, so holding back later entries keeps flow
+    /// events interleaved with cluster events in global time order (a
+    /// completion handled at `t1` must see its PushEnd emitted before a
+    /// FlowEnd that happened at `t2 > t1` is forwarded).
+    fn forward_net_events_up_to(&mut self, t: SimTime) {
+        if !self.sinks_active() {
+            return;
+        }
+        for e in self.net.drain_events() {
+            self.pending_net.push_back(e);
+        }
+        while let Some(&(at, _)) = self.pending_net.front() {
+            if at > t {
+                break;
+            }
+            let (at, ev) = self.pending_net.pop_front().expect("non-empty");
+            let typed = match ev {
+                NetEvent::FlowStart {
+                    tag,
+                    src,
+                    dst,
+                    bytes,
+                } => TraceEvent::FlowStart {
+                    tag,
+                    src: src.0,
+                    dst: dst.0,
+                    bytes,
+                },
+                NetEvent::FlowEnd {
+                    tag,
+                    src,
+                    dst,
+                    delivered,
+                } => TraceEvent::FlowEnd {
+                    tag,
+                    src: src.0,
+                    dst: dst.0,
+                    delivered,
+                },
+            };
+            self.emit(at, typed);
+        }
+    }
+
     fn run(mut self) -> RunResult {
         for w in 0..self.workers.len() {
             self.queue.schedule(SimTime::ZERO, Ev::IterBegin { w });
         }
-        self.queue.schedule(
-            SimTime::ZERO + self.cfg.monitor_period,
-            Ev::MonitorTick,
-        );
+        self.queue
+            .schedule(SimTime::ZERO + self.cfg.monitor_period, Ev::MonitorTick);
         self.queue
             .schedule(SimTime::ZERO + self.cfg.sample_window, Ev::SampleTick);
         for &(at, bps) in &self.cfg.bandwidth_schedule.clone() {
@@ -272,11 +349,20 @@ impl Cluster {
                     .retain(|e| !matches!(e, Ev::MonitorTick | Ev::SampleTick));
             }
         }
+        // Flush any net-ledger stragglers, then run the end-of-run audit
+        // (dangling flows) before the results are assembled.
+        let end = self.queue.now();
+        self.forward_net_events_up_to(end);
+        if let Some(c) = self.checker.as_ref() {
+            c.finish();
+        }
         self.finish()
     }
 
     fn finished(&self) -> bool {
-        self.workers.iter().all(|w| w.iters_done >= self.total_iters)
+        self.workers
+            .iter()
+            .all(|w| w.iters_done >= self.total_iters)
     }
 
     // ---- event handlers -------------------------------------------------
@@ -300,6 +386,7 @@ impl Cluster {
             wk.gpu.set(now, 1.0); // backward compute starts immediately
             wk.sched.iteration_begin(now, iter);
         }
+        self.emit(now, TraceEvent::IterBegin { worker: w, iter });
         if w == 0 {
             self.iter_starts.push(now);
             if self.iter_starts.len() as u64 == self.cfg.warmup_iters + 1 {
@@ -310,8 +397,8 @@ impl Cluster {
         // Schedule this iteration's gradient releases with a per-iteration
         // multiplicative jitter (order-preserving), scaled by the worker's
         // compute speed (straggler modelling).
-        let factor = self.workers[w].rng.jitter(self.cfg.compute_jitter, 0.7)
-            / self.cfg.compute_scale(w);
+        let factor =
+            self.workers[w].rng.jitter(self.cfg.compute_jitter, 0.7) / self.cfg.compute_scale(w);
         let events: Vec<(usize, Duration)> = self
             .cfg
             .job
@@ -332,6 +419,14 @@ impl Cluster {
     fn on_grad_ready(&mut self, now: SimTime, w: usize, iter: u64, grad: usize) {
         debug_assert_eq!(self.workers[w].iter, iter, "stale GradReady");
         self.workers[w].ready_at[grad] = now;
+        self.emit(
+            now,
+            TraceEvent::GradReady {
+                worker: w,
+                iter,
+                grad,
+            },
+        );
         self.workers[w].sched.gradient_ready(now, grad);
         if grad == 0 {
             // Backward compute over; GPU idles until forward can start.
@@ -358,6 +453,14 @@ impl Cluster {
             wk.gpu.set(now, 0.0);
             wk.fwd_next >= n
         };
+        self.emit(
+            now,
+            TraceEvent::FwdEnd {
+                worker: w,
+                iter,
+                grad,
+            },
+        );
         if w == 0 {
             self.post_warmup_gpu_set(now, 0.0);
         }
@@ -369,21 +472,40 @@ impl Cluster {
                 wk.iters_done += 1;
                 (t, wk.sched.credit())
             };
+            self.emit(now, TraceEvent::IterEnd { worker: w, iter });
             if w == 0 {
                 self.iter_times.push(iter_time);
                 if let Some(c) = credit {
                     self.credit_trace.push((iter, c));
                 }
-                // Snapshot this iteration's transfer log.
+                // Snapshot this iteration's transfer log. The forward pass
+                // only ran because every gradient was pulled, so a surviving
+                // UNSET sentinel here means a bookkeeping path was skipped —
+                // fail at collection time rather than poisoning the logs.
                 let wk = &self.workers[0];
                 let logs: Vec<GradTransferLog> = (0..n)
-                    .map(|g| GradTransferLog {
-                        grad: g,
-                        ready: wk.ready_at[g],
-                        push_start: wk.push_start[g],
-                        push_end: wk.push_end[g],
-                        pull_start: wk.pull_start[g],
-                        pull_end: wk.pull_end[g],
+                    .map(|g| {
+                        for (field, t) in [
+                            ("ready", wk.ready_at[g]),
+                            ("push_start", wk.push_start[g]),
+                            ("push_end", wk.push_end[g]),
+                            ("pull_start", wk.pull_start[g]),
+                            ("pull_end", wk.pull_end[g]),
+                        ] {
+                            assert_ne!(
+                                t, UNSET,
+                                "iteration {iter}: gradient {g} has UNSET `{field}` \
+                                 at transfer-log collection"
+                            );
+                        }
+                        GradTransferLog {
+                            grad: g,
+                            ready: wk.ready_at[g],
+                            push_start: wk.push_start[g],
+                            push_end: wk.push_end[g],
+                            pull_start: wk.pull_start[g],
+                            pull_end: wk.pull_end[g],
+                        }
                     })
                     .collect();
                 self.transfer_logs.push(logs);
@@ -410,8 +532,8 @@ impl Cluster {
         if !can_start {
             return;
         }
-        let jitter = self.workers[w].rng.jitter(self.cfg.compute_jitter, 0.7)
-            / self.cfg.compute_scale(w);
+        let jitter =
+            self.workers[w].rng.jitter(self.cfg.compute_jitter, 0.7) / self.cfg.compute_scale(w);
         let dur = Duration::from_secs_f64(self.fwd_times[next].as_secs_f64() * jitter);
         let iter = self.workers[w].iter;
         {
@@ -419,13 +541,27 @@ impl Cluster {
             wk.fwd_busy = true;
             wk.gpu.set(now, 1.0);
         }
+        self.emit(
+            now,
+            TraceEvent::FwdStart {
+                worker: w,
+                iter,
+                grad: next,
+            },
+        );
         if w == 0 {
             self.post_warmup_gpu_set(now, 1.0);
             self.trace
                 .record("w0.gpu", "f", next as i64, now, now + dur);
         }
-        self.queue
-            .schedule(now + dur, Ev::FwdDone { w, iter, grad: next });
+        self.queue.schedule(
+            now + dur,
+            Ev::FwdDone {
+                w,
+                iter,
+                grad: next,
+            },
+        );
     }
 
     /// Reconfigure every NIC to `bps` (the PS shards included, so the
@@ -509,6 +645,7 @@ impl Cluster {
         let node = self.workers[w].node;
         // First-byte bookkeeping for the push logs, plus wire-busy
         // accounting for the bandwidth estimator.
+        let mut first_touch: Vec<usize> = Vec::new();
         if task.dir == Dir::Push {
             {
                 let wk = &mut self.workers[w];
@@ -521,14 +658,36 @@ impl Cluster {
                 let wk = &mut self.workers[w];
                 if wk.push_start[g] == UNSET {
                     wk.push_start[g] = now;
+                    first_touch.push(g);
                 }
+            }
+            for g in first_touch {
+                self.emit(
+                    now,
+                    TraceEvent::PushStart {
+                        worker: w,
+                        iter,
+                        grad: g,
+                    },
+                );
             }
         } else {
             for &(g, _) in &task.pieces {
                 let wk = &mut self.workers[w];
                 if wk.pull_start[g] == UNSET {
                     wk.pull_start[g] = now;
+                    first_touch.push(g);
                 }
+            }
+            for g in first_touch {
+                self.emit(
+                    now,
+                    TraceEvent::PullStart {
+                        worker: w,
+                        iter,
+                        grad: g,
+                    },
+                );
             }
         }
         // Group pieces by destination shard.
@@ -580,6 +739,9 @@ impl Cluster {
                 });
             self.kick_lane(now, key);
         }
+        // Flows started on idle lanes appended to the net ledger at `now`;
+        // hand them to the sinks while the instant is still current.
+        self.forward_net_events_up_to(now);
     }
 
     /// Start the next queued message on a lane if it is idle.
@@ -606,35 +768,46 @@ impl Cluster {
     fn drain_net(&mut self, now: SimTime) {
         let ends = self.net.advance_to(now);
         for end in ends {
-            let task_id = self
-                .flow_task
-                .remove(&end.tag)
-                .expect("completion for unknown flow");
-            let (worker, dir) = {
-                let t = self.tasks.get(&task_id).expect("unknown task");
-                (t.worker, t.task.dir)
-            };
-            // Release the lane this message occupied and start the next.
-            let shard = match dir {
-                Dir::Push => end.dst.0,
-                Dir::Pull => end.src.0,
-            };
-            let key = (worker, shard, dir);
-            {
-                let lane = self.lanes.get_mut(&key).expect("lane exists");
-                lane.active = false;
-                lane.last_end = end.finished;
-            }
-            self.kick_lane(end.finished, key);
-            let done = {
-                let inflight = self.tasks.get_mut(&task_id).expect("unknown task");
-                inflight.subflows_remaining -= 1;
-                inflight.subflows_remaining == 0
-            };
-            if done {
-                let inflight = self.tasks.remove(&task_id).unwrap();
-                self.on_task_complete(end.finished, inflight);
-            }
+            // Forward flow events up to this completion's instant first, so
+            // the sinks see FlowEnd before the PushEnd/PullEnd it causes.
+            self.forward_net_events_up_to(end.finished);
+            self.handle_flow_end(end);
+            // Lanes kicked while handling may have started new flows at
+            // exactly this instant; flush those before moving on.
+            self.forward_net_events_up_to(end.finished);
+        }
+        self.forward_net_events_up_to(now);
+    }
+
+    fn handle_flow_end(&mut self, end: FlowEnd) {
+        let task_id = self
+            .flow_task
+            .remove(&end.tag)
+            .expect("completion for unknown flow");
+        let (worker, dir) = {
+            let t = self.tasks.get(&task_id).expect("unknown task");
+            (t.worker, t.task.dir)
+        };
+        // Release the lane this message occupied and start the next.
+        let shard = match dir {
+            Dir::Push => end.dst.0,
+            Dir::Pull => end.src.0,
+        };
+        let key = (worker, shard, dir);
+        {
+            let lane = self.lanes.get_mut(&key).expect("lane exists");
+            lane.active = false;
+            lane.last_end = end.finished;
+        }
+        self.kick_lane(end.finished, key);
+        let done = {
+            let inflight = self.tasks.get_mut(&task_id).expect("unknown task");
+            inflight.subflows_remaining -= 1;
+            inflight.subflows_remaining == 0
+        };
+        if done {
+            let inflight = self.tasks.remove(&task_id).unwrap();
+            self.on_task_complete(end.finished, inflight);
         }
     }
 
@@ -709,25 +882,35 @@ impl Cluster {
         );
         if entry.per_worker_bytes[w] == self.sizes[g] {
             entry.workers_done += 1;
+            let all_arrived = entry.workers_done == nworkers;
             if w == 0 {
                 self.workers[0].push_end[g] = now;
             }
+            self.emit(
+                now,
+                TraceEvent::PushEnd {
+                    worker: w,
+                    iter,
+                    grad: g,
+                },
+            );
             match self.cfg.sync {
                 SyncMode::Asp => {
                     // Asynchronous: this worker's gradient is applied on
                     // arrival; it pulls the fresh parameters immediately,
                     // waiting for nobody.
-                    if entry.workers_done == nworkers {
+                    if all_arrived {
                         self.agg.remove(&(iter, g));
                     }
                     self.workers[w].sched.param_ready(now, g);
                     self.pump(now, w);
                 }
                 SyncMode::Bsp => {
-                    if entry.workers_done == nworkers {
+                    if all_arrived {
                         // BSP barrier for (iter, g) reached: parameters
                         // updated, everyone may pull.
                         self.agg.remove(&(iter, g));
+                        self.emit(now, TraceEvent::Barrier { iter, grad: g });
                         for w2 in 0..nworkers {
                             debug_assert_eq!(
                                 self.workers[w2].iter, iter,
@@ -743,12 +926,27 @@ impl Cluster {
     }
 
     fn on_pull_bytes(&mut self, now: SimTime, w: usize, g: usize, b: u64) {
-        let wk = &mut self.workers[w];
-        wk.pull_bytes[g] += b;
-        debug_assert!(wk.pull_bytes[g] <= self.sizes[g], "over-pulled {g}");
-        if wk.pull_bytes[g] == self.sizes[g] {
-            wk.pulled[g] = true;
-            wk.pull_end[g] = now;
+        let complete = {
+            let wk = &mut self.workers[w];
+            wk.pull_bytes[g] += b;
+            debug_assert!(wk.pull_bytes[g] <= self.sizes[g], "over-pulled {g}");
+            wk.pull_bytes[g] == self.sizes[g]
+        };
+        if complete {
+            let iter = {
+                let wk = &mut self.workers[w];
+                wk.pulled[g] = true;
+                wk.pull_end[g] = now;
+                wk.iter
+            };
+            self.emit(
+                now,
+                TraceEvent::PullEnd {
+                    worker: w,
+                    iter,
+                    grad: g,
+                },
+            );
             self.try_start_forward(now, w);
         }
     }
@@ -774,10 +972,7 @@ impl Cluster {
         } else {
             0.0
         };
-        let total: Duration = self
-            .iter_times
-            .iter()
-            .fold(Duration::ZERO, |a, &b| a + b);
+        let total: Duration = self.iter_times.iter().fold(Duration::ZERO, |a, &b| a + b);
         let rate_with_warmup = if total.is_zero() {
             0.0
         } else {
@@ -799,6 +994,11 @@ impl Cluster {
         } else {
             post_warmup_net.iter().sum::<f64>() / post_warmup_net.len() as f64
         };
+        let grad_spans = self
+            .span_sink
+            .take()
+            .map(SpanCollector::into_spans)
+            .unwrap_or_default();
         RunResult {
             scheduler: self.cfg.scheduler.label().to_string(),
             iterations: self.total_iters,
@@ -815,6 +1015,7 @@ impl Cluster {
             trace: self.trace,
             credit_trace: self.credit_trace,
             bandwidth_estimates: self.bandwidth_estimates,
+            grad_spans,
         }
     }
 }
@@ -832,12 +1033,7 @@ mod tests {
     use prophet_dnn::TrainingJob;
 
     fn base(scheduler: SchedulerKind) -> ClusterConfig {
-        ClusterConfig::paper_cell(
-            2,
-            10.0,
-            TrainingJob::paper_setup("resnet18", 16),
-            scheduler,
-        )
+        ClusterConfig::paper_cell(2, 10.0, TrainingJob::paper_setup("resnet18", 16), scheduler)
     }
 
     #[test]
@@ -939,12 +1135,7 @@ mod tests {
         let slow = ClusterConfig::paper_cell(2, 1.0, job(), SchedulerKind::Fifo);
         let rf = run_cluster(&fast, 5);
         let rs = run_cluster(&slow, 5);
-        assert!(
-            rf.rate > rs.rate * 1.3,
-            "10G {} vs 1G {}",
-            rf.rate,
-            rs.rate
-        );
+        assert!(rf.rate > rs.rate * 1.3, "10G {} vs 1G {}", rf.rate, rs.rate);
     }
 
     #[test]

@@ -60,6 +60,17 @@ pub struct ClusterConfig {
     pub warm_timeout: Duration,
     /// Record a full span trace (Gantt) — costs memory, default off.
     pub trace: bool,
+    /// Run the cross-stack [`prophet_sim::InvariantChecker`] over the typed
+    /// event stream: timeline ordering per gradient, BSP barrier sanity,
+    /// per-flow byte conservation, clock monotonicity. A violation panics at
+    /// the first bad event with the recent event history attached. Defaults
+    /// to on in debug builds (so every test runs checked) and off in
+    /// release (so benches and sweeps pay nothing).
+    pub check_invariants: bool,
+    /// Collect typed per-`(worker, gradient, iteration)` spans
+    /// ([`prophet_sim::GradSpan`]) into `RunResult::grad_spans` — the
+    /// `repro trace` exporter's data source. Default off.
+    pub typed_trace: bool,
     /// Iterations to skip before steady-state rate measurement.
     pub warmup_iters: u64,
     /// Parameter-synchronisation discipline (paper: BSP; ASP is the §7
@@ -100,6 +111,8 @@ impl ClusterConfig {
             sample_window: Duration::from_millis(250),
             warm_timeout: Duration::from_millis(200),
             trace: false,
+            check_invariants: cfg!(debug_assertions),
+            typed_trace: false,
             warmup_iters: 3,
             sync: SyncMode::Bsp,
             bandwidth_schedule: Vec::new(),

@@ -1,6 +1,6 @@
 //! What a cluster run reports — the raw material of every figure.
 
-use prophet_sim::{Duration, SimTime, TraceRecorder};
+use prophet_sim::{Duration, GradSpan, SimTime, TraceRecorder};
 
 /// Per-gradient transfer timing for one worker/iteration (Fig. 11's rows).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -69,6 +69,10 @@ pub struct RunResult {
     /// Worker-0 bandwidth-monitor estimates `(time, bytes/sec)`, one per
     /// monitor tick (what Prophet's planner consumed).
     pub bandwidth_estimates: Vec<(SimTime, f64)>,
+    /// Typed per-`(worker, gradient, iteration)` spans from the event-stream
+    /// collector, when [`crate::sim::ClusterConfig::typed_trace`] asked for
+    /// them (the `repro trace` exporter's data). Empty otherwise.
+    pub grad_spans: Vec<GradSpan>,
 }
 
 impl RunResult {
@@ -143,6 +147,7 @@ mod tests {
             trace: TraceRecorder::disabled(),
             credit_trace: vec![],
             bandwidth_estimates: vec![],
+            grad_spans: vec![],
         }
     }
 

@@ -169,9 +169,8 @@ pub fn run_threaded_training(cfg: &ThreadedConfig) -> ThreadedResult {
     let ps_cfg = cfg.clone();
     let ps_sizes = tensor_elems.clone();
     let ps_init: Vec<Vec<f32>> = template.param_slices().iter().map(|p| p.to_vec()).collect();
-    let ps_handle = std::thread::spawn(move || {
-        ps_thread(ps_cfg, ps_sizes, ps_init, ps_rx, worker_txs)
-    });
+    let ps_handle =
+        std::thread::spawn(move || ps_thread(ps_cfg, ps_sizes, ps_init, ps_rx, worker_txs));
 
     // ---- worker threads ---------------------------------------------------
     let mut handles = Vec::new();
@@ -454,8 +453,7 @@ fn worker_thread(
                     limiter.acquire((values.len() * 4) as u64);
                     pull_buf[grad][offset_elems..offset_elems + values.len()]
                         .copy_from_slice(&values);
-                    let (task, awaiting) =
-                        inflight_pull.take().expect("pull data without request");
+                    let (task, awaiting) = inflight_pull.take().expect("pull data without request");
                     if awaiting > 1 {
                         inflight_pull = Some((task, awaiting - 1));
                     } else {

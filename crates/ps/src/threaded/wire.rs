@@ -78,7 +78,13 @@ mod tests {
 
     #[test]
     fn roundtrip_preserves_bits() {
-        let values = vec![0.0f32, -1.5, f32::MAX, f32::MIN_POSITIVE, std::f32::consts::PI];
+        let values = vec![
+            0.0f32,
+            -1.5,
+            f32::MAX,
+            f32::MIN_POSITIVE,
+            std::f32::consts::PI,
+        ];
         let encoded = encode_f32(&values);
         assert_eq!(encoded.len(), 20);
         let decoded = decode_f32(&encoded);

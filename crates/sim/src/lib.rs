@@ -48,4 +48,7 @@ pub use queue::EventQueue;
 pub use rng::{SplitMix64, Xoshiro256StarStar};
 pub use stats::{Histogram, OnlineStats, RateSeries, TimeWeighted};
 pub use time::{Duration, SimTime};
-pub use trace::{Span, TraceRecorder};
+pub use trace::{
+    spans_to_csv, GradSpan, InvariantChecker, Span, SpanCollector, SpanKind, TraceEvent,
+    TraceRecorder, TraceSink,
+};

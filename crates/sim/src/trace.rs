@@ -1,12 +1,22 @@
-//! Span/timeline tracing.
+//! Span/timeline tracing and cross-stack invariant checking.
 //!
-//! The paper's most information-dense figures are timelines: gradient
-//! generation staircases (Fig. 4), per-gradient transfer start/end bars
-//! (Fig. 11), and the illustrative Gantt chart of the four strategies
-//! (Fig. 5). [`TraceRecorder`] collects named spans on named lanes; the
-//! bench harness renders them as CSV rows and ASCII Gantt charts.
+//! Two layers live here:
+//!
+//! 1. **Free-form spans** — [`TraceRecorder`] collects named spans on named
+//!    lanes; the bench harness renders them as CSV rows and ASCII Gantt
+//!    charts (the paper's timeline figures: Figs. 4, 5, 11).
+//! 2. **Typed events** — the cluster engine and the network layer emit a
+//!    single ordered stream of [`TraceEvent`]s into any number of
+//!    [`TraceSink`]s. Two sinks ship here: [`InvariantChecker`] validates
+//!    the stream *as it happens* (timeline ordering per gradient, BSP
+//!    barrier sanity, per-flow byte conservation, clock monotonicity,
+//!    sentinel-timestamp leaks) and panics at the first bad event with the
+//!    recent event history attached; [`SpanCollector`] folds the stream
+//!    into per-`(worker, gradient, iteration)` [`GradSpan`]s (compute,
+//!    queue-wait, push, aggregate, pull) for CSV/Gantt export.
 
 use crate::time::SimTime;
+use std::collections::{HashMap, VecDeque};
 use std::fmt::Write as _;
 
 /// One completed interval on a lane: e.g. "push gradient 30 on worker-0/net".
@@ -81,7 +91,9 @@ impl TraceRecorder {
 
     /// Spans whose label starts with `prefix` (e.g. `"push:"`).
     pub fn with_label_prefix<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a Span> {
-        self.spans.iter().filter(move |s| s.label.starts_with(prefix))
+        self.spans
+            .iter()
+            .filter(move |s| s.label.starts_with(prefix))
     }
 
     /// Render as CSV: `lane,label,key,start_ms,end_ms`.
@@ -131,22 +143,17 @@ impl TraceRecorder {
         for lane in lanes {
             let mut row = vec![b' '; width];
             for s in self.spans.iter().filter(|s| s.lane == lane) {
-                let a = ((s.start.saturating_since(t0)).as_secs_f64() / range * width as f64)
+                let a =
+                    ((s.start.saturating_since(t0)).as_secs_f64() / range * width as f64) as usize;
+                let b = ((s.end.saturating_since(t0)).as_secs_f64() / range * width as f64).ceil()
                     as usize;
-                let b = ((s.end.saturating_since(t0)).as_secs_f64() / range * width as f64)
-                    .ceil() as usize;
                 let b = b.clamp(a + 1, width);
                 let ch = s.label.bytes().next().unwrap_or(b'#');
                 for c in &mut row[a.min(width - 1)..b] {
                     *c = ch;
                 }
             }
-            let _ = writeln!(
-                out,
-                "{:name_w$} |{}|",
-                lane,
-                String::from_utf8_lossy(&row)
-            );
+            let _ = writeln!(out, "{:name_w$} |{}|", lane, String::from_utf8_lossy(&row));
         }
         out
     }
@@ -160,6 +167,603 @@ impl TraceRecorder {
     pub fn is_empty(&self) -> bool {
         self.spans.is_empty()
     }
+}
+
+// ---------------------------------------------------------------------------
+// Typed event stream
+// ---------------------------------------------------------------------------
+
+/// One typed simulation event, emitted by the cluster engine and the
+/// network layer in event-loop order. Timestamps travel alongside in
+/// [`TraceSink::on_event`] so the enum stays `Copy`-cheap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// Worker `worker` begins iteration `iter` (backward pass starts).
+    IterBegin {
+        /// Worker index.
+        worker: usize,
+        /// Iteration number.
+        iter: u64,
+    },
+    /// Worker `worker` finished every forward tensor of iteration `iter`.
+    IterEnd {
+        /// Worker index.
+        worker: usize,
+        /// Iteration number.
+        iter: u64,
+    },
+    /// The backward pass released gradient `grad`.
+    GradReady {
+        /// Worker index.
+        worker: usize,
+        /// Iteration number.
+        iter: u64,
+        /// Gradient id.
+        grad: usize,
+    },
+    /// First byte of `grad`'s push was scheduled onto the wire.
+    PushStart {
+        /// Worker index.
+        worker: usize,
+        /// Iteration number.
+        iter: u64,
+        /// Gradient id.
+        grad: usize,
+    },
+    /// `grad`'s push fully arrived at the PS from this worker.
+    PushEnd {
+        /// Worker index.
+        worker: usize,
+        /// Iteration number.
+        iter: u64,
+        /// Gradient id.
+        grad: usize,
+    },
+    /// BSP barrier for `(iter, grad)`: every worker's push has arrived and
+    /// the parameters updated. Emitted once per `(iter, grad)`, BSP only.
+    Barrier {
+        /// Iteration number.
+        iter: u64,
+        /// Gradient id.
+        grad: usize,
+    },
+    /// Worker began pulling `grad`'s updated parameters.
+    PullStart {
+        /// Worker index.
+        worker: usize,
+        /// Iteration number.
+        iter: u64,
+        /// Gradient id.
+        grad: usize,
+    },
+    /// Updated parameters for `grad` finished arriving back at the worker.
+    PullEnd {
+        /// Worker index.
+        worker: usize,
+        /// Iteration number.
+        iter: u64,
+        /// Gradient id.
+        grad: usize,
+    },
+    /// Forward compute of tensor `grad` started (Eq. 3 gating passed).
+    FwdStart {
+        /// Worker index.
+        worker: usize,
+        /// Iteration number.
+        iter: u64,
+        /// Gradient id.
+        grad: usize,
+    },
+    /// Forward compute of tensor `grad` finished.
+    FwdEnd {
+        /// Worker index.
+        worker: usize,
+        /// Iteration number.
+        iter: u64,
+        /// Gradient id.
+        grad: usize,
+    },
+    /// The network accepted a flow of `bytes` from node `src` to `dst`.
+    FlowStart {
+        /// Caller-assigned flow tag.
+        tag: u64,
+        /// Source node index.
+        src: usize,
+        /// Destination node index.
+        dst: usize,
+        /// Requested payload size.
+        bytes: u64,
+    },
+    /// A flow's last byte arrived; `delivered` is what the fluid
+    /// integrator actually moved (must equal the request up to rounding).
+    FlowEnd {
+        /// Caller-assigned flow tag.
+        tag: u64,
+        /// Source node index.
+        src: usize,
+        /// Destination node index.
+        dst: usize,
+        /// Bytes the integrator delivered.
+        delivered: f64,
+    },
+}
+
+/// A consumer of the typed event stream. Sinks are driven strictly in
+/// event order; `at` is the simulated instant the event happened.
+pub trait TraceSink {
+    /// Observe one event.
+    fn on_event(&mut self, at: SimTime, ev: &TraceEvent);
+}
+
+/// Per-`(worker, iter, grad)` timestamp cell shared by the checker and the
+/// span collector.
+#[derive(Debug, Clone, Copy, Default)]
+struct GradTimes {
+    ready: Option<SimTime>,
+    push_start: Option<SimTime>,
+    push_end: Option<SimTime>,
+    pull_start: Option<SimTime>,
+    pull_end: Option<SimTime>,
+    fwd_start: Option<SimTime>,
+    fwd_end: Option<SimTime>,
+}
+
+/// How many recent events the checker keeps for post-mortem context.
+const RING: usize = 24;
+
+/// Validates the event stream as it happens; panics at the first bad event
+/// with the recent event history attached, so a broken run dies *at the
+/// moment the model goes wrong* instead of at an assertion several
+/// simulated seconds later.
+///
+/// Checks:
+/// * clock monotonicity — events may not move backwards in time;
+/// * no sentinel timestamps — `SimTime::MAX` (the cluster's `UNSET`
+///   marker) must never appear in the stream;
+/// * per-gradient timeline ordering — `ready ≤ push_start < push_end ≤
+///   pull_start ≤ pull_end ≤ fwd_start`, each stamped exactly once per
+///   `(worker, iter, grad)`;
+/// * BSP barrier sanity — a barrier fires exactly once per `(iter, grad)`,
+///   only after all `workers` pushes arrived, while every worker is in
+///   that iteration; pulls may not start before their barrier;
+/// * per-flow byte conservation — every `FlowEnd` matches a `FlowStart`
+///   and delivered what was requested (±1 byte of fluid rounding), and no
+///   flow is left dangling at [`InvariantChecker::finish`].
+#[derive(Debug, Default)]
+pub struct InvariantChecker {
+    workers: usize,
+    bsp: bool,
+    last_at: Option<SimTime>,
+    events_seen: u64,
+    ring: VecDeque<String>,
+    grads: HashMap<(usize, u64, usize), GradTimes>,
+    /// `(iter, grad)` → number of workers whose push fully arrived.
+    push_arrivals: HashMap<(u64, usize), usize>,
+    /// `(iter, grad)` → barrier instant.
+    barriers: HashMap<(u64, usize), SimTime>,
+    /// Current iteration of each worker (None before its first IterBegin).
+    worker_iter: Vec<Option<u64>>,
+    /// Flow tag → requested bytes.
+    open_flows: HashMap<u64, u64>,
+}
+
+impl InvariantChecker {
+    /// A checker for a cluster of `workers` workers; `bsp` selects whether
+    /// barrier events are expected (BSP) or absent (ASP).
+    pub fn new(workers: usize, bsp: bool) -> Self {
+        InvariantChecker {
+            workers,
+            bsp,
+            worker_iter: vec![None; workers],
+            ..Default::default()
+        }
+    }
+
+    /// Number of events observed so far (lets tests assert the checker was
+    /// actually wired in, not silently disabled).
+    pub fn events_seen(&self) -> u64 {
+        self.events_seen
+    }
+
+    /// End-of-run check: every flow that started must have ended.
+    pub fn finish(&self) {
+        if !self.open_flows.is_empty() {
+            let mut tags: Vec<&u64> = self.open_flows.keys().collect();
+            tags.sort();
+            self.fail(format!(
+                "{} flow(s) never completed: tags {tags:?}",
+                self.open_flows.len()
+            ));
+        }
+    }
+
+    fn fail(&self, msg: String) -> ! {
+        let mut ctx = String::new();
+        for line in &self.ring {
+            let _ = writeln!(ctx, "  {line}");
+        }
+        panic!(
+            "invariant violated after {} events: {msg}\nrecent events (oldest first):\n{ctx}",
+            self.events_seen
+        );
+    }
+
+    fn cell(&mut self, worker: usize, iter: u64, grad: usize) -> &mut GradTimes {
+        self.grads.entry((worker, iter, grad)).or_default()
+    }
+}
+
+impl TraceSink for InvariantChecker {
+    fn on_event(&mut self, at: SimTime, ev: &TraceEvent) {
+        self.events_seen += 1;
+        if self.ring.len() == RING {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(format!("t={at} {ev:?}"));
+
+        if at == SimTime::MAX {
+            self.fail(format!(
+                "sentinel (UNSET) timestamp reached the event stream: {ev:?}"
+            ));
+        }
+        if let Some(last) = self.last_at {
+            if at < last {
+                self.fail(format!(
+                    "clock moved backwards: {at} after {last} on {ev:?}"
+                ));
+            }
+        }
+        self.last_at = Some(at);
+
+        match *ev {
+            TraceEvent::IterBegin { worker, iter } => {
+                let prev = self.worker_iter[worker];
+                let ok = match prev {
+                    None => iter == 0,
+                    Some(p) => iter == p + 1,
+                };
+                if !ok {
+                    self.fail(format!("worker {worker} began iter {iter} after {prev:?}"));
+                }
+                self.worker_iter[worker] = Some(iter);
+            }
+            TraceEvent::IterEnd { worker, iter } => {
+                if self.worker_iter[worker] != Some(iter) {
+                    self.fail(format!(
+                        "worker {worker} ended iter {iter} while in {:?}",
+                        self.worker_iter[worker]
+                    ));
+                }
+                // This worker's per-gradient cells for the finished
+                // iteration are complete; drop them to bound memory.
+                self.grads
+                    .retain(|&(w, i, _), _| !(w == worker && i == iter));
+                if iter > 0 {
+                    // Barrier/arrival records two iterations back can no
+                    // longer be referenced by anyone.
+                    let horizon = iter - 1;
+                    self.push_arrivals.retain(|&(i, _), _| i >= horizon);
+                    self.barriers.retain(|&(i, _), _| i >= horizon);
+                }
+            }
+            TraceEvent::GradReady { worker, iter, grad } => {
+                let c = self.cell(worker, iter, grad);
+                if c.ready.is_some() {
+                    self.fail(format!(
+                        "gradient {grad} ready twice (w{worker} iter {iter})"
+                    ));
+                }
+                self.cell(worker, iter, grad).ready = Some(at);
+            }
+            TraceEvent::PushStart { worker, iter, grad } => {
+                let c = *self.cell(worker, iter, grad);
+                match c.ready {
+                    None => self.fail(format!(
+                        "push of unreleased gradient {grad} (w{worker} iter {iter})"
+                    )),
+                    Some(r) if at < r => self.fail(format!(
+                        "push_start {at} before ready {r} for gradient {grad} (w{worker})"
+                    )),
+                    _ => {}
+                }
+                if c.push_start.is_some() {
+                    self.fail(format!(
+                        "gradient {grad} push started twice (w{worker} iter {iter})"
+                    ));
+                }
+                self.cell(worker, iter, grad).push_start = Some(at);
+            }
+            TraceEvent::PushEnd { worker, iter, grad } => {
+                let c = *self.cell(worker, iter, grad);
+                match c.push_start {
+                    None => self.fail(format!(
+                        "push_end without push_start for gradient {grad} (w{worker})"
+                    )),
+                    Some(s) if at <= s => self.fail(format!(
+                        "push of gradient {grad} took no wire time: start {s}, end {at} (w{worker})"
+                    )),
+                    _ => {}
+                }
+                if c.push_end.is_some() {
+                    self.fail(format!(
+                        "gradient {grad} push ended twice (w{worker} iter {iter})"
+                    ));
+                }
+                self.cell(worker, iter, grad).push_end = Some(at);
+                *self.push_arrivals.entry((iter, grad)).or_insert(0) += 1;
+                if self.push_arrivals[&(iter, grad)] > self.workers {
+                    self.fail(format!(
+                        "more push arrivals than workers for (iter {iter}, grad {grad})"
+                    ));
+                }
+            }
+            TraceEvent::Barrier { iter, grad } => {
+                if !self.bsp {
+                    self.fail(format!(
+                        "barrier event in ASP mode (iter {iter}, grad {grad})"
+                    ));
+                }
+                if self.barriers.contains_key(&(iter, grad)) {
+                    self.fail(format!("duplicate barrier for (iter {iter}, grad {grad})"));
+                }
+                let arrived = self.push_arrivals.get(&(iter, grad)).copied().unwrap_or(0);
+                if arrived != self.workers {
+                    self.fail(format!(
+                        "barrier for (iter {iter}, grad {grad}) after {arrived}/{} pushes",
+                        self.workers
+                    ));
+                }
+                for (w, wi) in self.worker_iter.iter().enumerate() {
+                    if *wi != Some(iter) {
+                        self.fail(format!(
+                            "barrier for iter {iter} while worker {w} is in {wi:?}"
+                        ));
+                    }
+                }
+                self.barriers.insert((iter, grad), at);
+            }
+            TraceEvent::PullStart { worker, iter, grad } => {
+                let c = *self.cell(worker, iter, grad);
+                if let Some(e) = c.push_end {
+                    if at < e {
+                        self.fail(format!(
+                            "pull of gradient {grad} started {at}, before its push_end {e} (w{worker})"
+                        ));
+                    }
+                }
+                if self.bsp {
+                    match self.barriers.get(&(iter, grad)) {
+                        None => self.fail(format!(
+                            "pull of gradient {grad} before its barrier (w{worker} iter {iter})"
+                        )),
+                        Some(&b) if at < b => self.fail(format!(
+                            "pull of gradient {grad} at {at}, before barrier {b} (w{worker})"
+                        )),
+                        _ => {}
+                    }
+                }
+                if c.pull_start.is_some() {
+                    self.fail(format!(
+                        "gradient {grad} pull started twice (w{worker} iter {iter})"
+                    ));
+                }
+                self.cell(worker, iter, grad).pull_start = Some(at);
+            }
+            TraceEvent::PullEnd { worker, iter, grad } => {
+                let c = *self.cell(worker, iter, grad);
+                match c.pull_start {
+                    None => self.fail(format!(
+                        "pull_end without pull_start for gradient {grad} (w{worker})"
+                    )),
+                    Some(s) if at < s => self.fail(format!(
+                        "pull_end {at} before pull_start {s} for gradient {grad}"
+                    )),
+                    _ => {}
+                }
+                if c.pull_end.is_some() {
+                    self.fail(format!(
+                        "gradient {grad} pull ended twice (w{worker} iter {iter})"
+                    ));
+                }
+                self.cell(worker, iter, grad).pull_end = Some(at);
+            }
+            TraceEvent::FwdStart { worker, iter, grad } => {
+                let c = *self.cell(worker, iter, grad);
+                match c.pull_end {
+                    None => self.fail(format!(
+                        "forward of tensor {grad} started before its pull completed (w{worker} iter {iter})"
+                    )),
+                    Some(p) if at < p => self.fail(format!(
+                        "forward of tensor {grad} at {at}, before pull_end {p} (w{worker})"
+                    )),
+                    _ => {}
+                }
+                self.cell(worker, iter, grad).fwd_start = Some(at);
+            }
+            TraceEvent::FwdEnd { worker, iter, grad } => {
+                let c = *self.cell(worker, iter, grad);
+                match c.fwd_start {
+                    None => self.fail(format!(
+                        "fwd_end without fwd_start for tensor {grad} (w{worker})"
+                    )),
+                    Some(s) if at < s => self.fail(format!(
+                        "fwd_end {at} before fwd_start {s} for tensor {grad}"
+                    )),
+                    _ => {}
+                }
+                self.cell(worker, iter, grad).fwd_end = Some(at);
+            }
+            TraceEvent::FlowStart { tag, bytes, .. } => {
+                if self.open_flows.insert(tag, bytes).is_some() {
+                    self.fail(format!("flow tag {tag} started twice"));
+                }
+            }
+            TraceEvent::FlowEnd { tag, delivered, .. } => {
+                match self.open_flows.remove(&tag) {
+                    None => self.fail(format!("completion for unknown flow tag {tag}")),
+                    Some(bytes) => {
+                        // The fluid engine declares a flow done within
+                        // EPS_BYTES (0.5) of zero remaining; allow that
+                        // plus integration rounding.
+                        if (delivered - bytes as f64).abs() > 1.0 {
+                            self.fail(format!(
+                                "flow {tag} delivered {delivered} of {bytes} requested bytes"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Typed span collection
+// ---------------------------------------------------------------------------
+
+/// What a [`GradSpan`] measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SpanKind {
+    /// Release → first byte on the wire (the paper's "wait time").
+    QueueWait,
+    /// First byte → last byte of the push at the PS ("transmission time").
+    Push,
+    /// Push arrival → barrier (BSP) or → pull start (ASP): aggregation and
+    /// synchronisation delay at the PS.
+    Aggregate,
+    /// Pull start → parameters fully back at the worker.
+    Pull,
+    /// Forward compute of the tensor.
+    Compute,
+}
+
+impl SpanKind {
+    /// Stable lower-case name used in CSV exports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SpanKind::QueueWait => "queue-wait",
+            SpanKind::Push => "push",
+            SpanKind::Aggregate => "aggregate",
+            SpanKind::Pull => "pull",
+            SpanKind::Compute => "compute",
+        }
+    }
+}
+
+/// One typed interval in the life of gradient `grad` of `(worker, iter)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GradSpan {
+    /// Worker index.
+    pub worker: usize,
+    /// Iteration number.
+    pub iter: u64,
+    /// Gradient id.
+    pub grad: usize,
+    /// What the interval measures.
+    pub kind: SpanKind,
+    /// Inclusive start.
+    pub start: SimTime,
+    /// Exclusive end.
+    pub end: SimTime,
+}
+
+/// Folds the typed event stream into [`GradSpan`]s — one span stream per
+/// `(worker, gradient, iteration)` — for the trace exporter.
+#[derive(Debug, Default)]
+pub struct SpanCollector {
+    grads: HashMap<(usize, u64, usize), GradTimes>,
+    barriers: HashMap<(u64, usize), SimTime>,
+}
+
+impl SpanCollector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Assemble the spans observed so far, ordered by
+    /// `(worker, iter, grad, kind)`. Intervals whose endpoints were never
+    /// both observed are skipped.
+    pub fn into_spans(self) -> Vec<GradSpan> {
+        let mut out = Vec::new();
+        for (&(worker, iter, grad), t) in &self.grads {
+            let mut push = |kind, start: Option<SimTime>, end: Option<SimTime>| {
+                if let (Some(start), Some(end)) = (start, end) {
+                    out.push(GradSpan {
+                        worker,
+                        iter,
+                        grad,
+                        kind,
+                        start,
+                        end,
+                    });
+                }
+            };
+            push(SpanKind::QueueWait, t.ready, t.push_start);
+            push(SpanKind::Push, t.push_start, t.push_end);
+            let agg_end = self.barriers.get(&(iter, grad)).copied().or(t.pull_start);
+            push(SpanKind::Aggregate, t.push_end, agg_end);
+            push(SpanKind::Pull, t.pull_start, t.pull_end);
+            push(SpanKind::Compute, t.fwd_start, t.fwd_end);
+        }
+        out.sort_by_key(|s| (s.worker, s.iter, s.grad, s.kind));
+        out
+    }
+}
+
+impl TraceSink for SpanCollector {
+    fn on_event(&mut self, at: SimTime, ev: &TraceEvent) {
+        let mut set =
+            |w: usize, i: u64, g: usize, f: fn(&mut GradTimes) -> &mut Option<SimTime>| {
+                let cell = self.grads.entry((w, i, g)).or_default();
+                *f(cell) = Some(at);
+            };
+        match *ev {
+            TraceEvent::GradReady { worker, iter, grad } => {
+                set(worker, iter, grad, |c| &mut c.ready)
+            }
+            TraceEvent::PushStart { worker, iter, grad } => {
+                set(worker, iter, grad, |c| &mut c.push_start)
+            }
+            TraceEvent::PushEnd { worker, iter, grad } => {
+                set(worker, iter, grad, |c| &mut c.push_end)
+            }
+            TraceEvent::PullStart { worker, iter, grad } => {
+                set(worker, iter, grad, |c| &mut c.pull_start)
+            }
+            TraceEvent::PullEnd { worker, iter, grad } => {
+                set(worker, iter, grad, |c| &mut c.pull_end)
+            }
+            TraceEvent::FwdStart { worker, iter, grad } => {
+                set(worker, iter, grad, |c| &mut c.fwd_start)
+            }
+            TraceEvent::FwdEnd { worker, iter, grad } => {
+                set(worker, iter, grad, |c| &mut c.fwd_end)
+            }
+            TraceEvent::Barrier { iter, grad } => {
+                self.barriers.insert((iter, grad), at);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Render typed spans as CSV: `worker,iter,grad,kind,start_ms,end_ms`.
+pub fn spans_to_csv(spans: &[GradSpan]) -> String {
+    let mut out = String::from("worker,iter,grad,kind,start_ms,end_ms\n");
+    for s in spans {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{:.6},{:.6}",
+            s.worker,
+            s.iter,
+            s.grad,
+            s.kind.as_str(),
+            s.start.as_millis_f64(),
+            s.end.as_millis_f64()
+        );
+    }
+    out
 }
 
 #[cfg(test)]
@@ -227,5 +831,385 @@ mod tests {
     fn gantt_empty_trace() {
         let tr = TraceRecorder::enabled();
         assert_eq!(tr.to_ascii_gantt(10), "(empty trace)\n");
+    }
+
+    // ---- typed event stream ---------------------------------------------
+
+    /// A well-formed single-worker, single-gradient BSP lifecycle.
+    fn lifecycle() -> Vec<(SimTime, TraceEvent)> {
+        use TraceEvent::*;
+        vec![
+            (at(0), IterBegin { worker: 0, iter: 0 }),
+            (
+                at(1),
+                GradReady {
+                    worker: 0,
+                    iter: 0,
+                    grad: 0,
+                },
+            ),
+            (
+                at(2),
+                PushStart {
+                    worker: 0,
+                    iter: 0,
+                    grad: 0,
+                },
+            ),
+            (
+                at(2),
+                FlowStart {
+                    tag: 7,
+                    src: 1,
+                    dst: 0,
+                    bytes: 1000,
+                },
+            ),
+            (
+                at(5),
+                FlowEnd {
+                    tag: 7,
+                    src: 1,
+                    dst: 0,
+                    delivered: 1000.0,
+                },
+            ),
+            (
+                at(5),
+                PushEnd {
+                    worker: 0,
+                    iter: 0,
+                    grad: 0,
+                },
+            ),
+            (at(5), Barrier { iter: 0, grad: 0 }),
+            (
+                at(6),
+                PullStart {
+                    worker: 0,
+                    iter: 0,
+                    grad: 0,
+                },
+            ),
+            (
+                at(9),
+                PullEnd {
+                    worker: 0,
+                    iter: 0,
+                    grad: 0,
+                },
+            ),
+            (
+                at(10),
+                FwdStart {
+                    worker: 0,
+                    iter: 0,
+                    grad: 0,
+                },
+            ),
+            (
+                at(12),
+                FwdEnd {
+                    worker: 0,
+                    iter: 0,
+                    grad: 0,
+                },
+            ),
+            (at(12), IterEnd { worker: 0, iter: 0 }),
+        ]
+    }
+
+    fn feed(checker: &mut InvariantChecker, evs: &[(SimTime, TraceEvent)]) {
+        for &(t, ev) in evs {
+            checker.on_event(t, &ev);
+        }
+    }
+
+    #[test]
+    fn checker_accepts_well_formed_stream() {
+        let mut c = InvariantChecker::new(1, true);
+        feed(&mut c, &lifecycle());
+        assert_eq!(c.events_seen(), 12);
+        c.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "clock moved backwards")]
+    fn checker_rejects_time_reversal() {
+        let mut c = InvariantChecker::new(1, true);
+        c.on_event(at(5), &TraceEvent::IterBegin { worker: 0, iter: 0 });
+        c.on_event(
+            at(3),
+            &TraceEvent::GradReady {
+                worker: 0,
+                iter: 0,
+                grad: 0,
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sentinel")]
+    fn checker_rejects_sentinel_timestamp() {
+        let mut c = InvariantChecker::new(1, true);
+        c.on_event(SimTime::MAX, &TraceEvent::IterBegin { worker: 0, iter: 0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "push of unreleased gradient")]
+    fn checker_rejects_push_before_ready() {
+        let mut c = InvariantChecker::new(1, true);
+        c.on_event(at(0), &TraceEvent::IterBegin { worker: 0, iter: 0 });
+        c.on_event(
+            at(1),
+            &TraceEvent::PushStart {
+                worker: 0,
+                iter: 0,
+                grad: 3,
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "took no wire time")]
+    fn checker_rejects_zero_width_push() {
+        let mut c = InvariantChecker::new(1, true);
+        use TraceEvent::*;
+        c.on_event(at(0), &IterBegin { worker: 0, iter: 0 });
+        c.on_event(
+            at(1),
+            &GradReady {
+                worker: 0,
+                iter: 0,
+                grad: 0,
+            },
+        );
+        c.on_event(
+            at(2),
+            &PushStart {
+                worker: 0,
+                iter: 0,
+                grad: 0,
+            },
+        );
+        c.on_event(
+            at(2),
+            &PushEnd {
+                worker: 0,
+                iter: 0,
+                grad: 0,
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "before its barrier")]
+    fn checker_rejects_pull_before_barrier_in_bsp() {
+        let mut c = InvariantChecker::new(2, true);
+        use TraceEvent::*;
+        c.on_event(at(0), &IterBegin { worker: 0, iter: 0 });
+        c.on_event(at(0), &IterBegin { worker: 1, iter: 0 });
+        c.on_event(
+            at(1),
+            &GradReady {
+                worker: 0,
+                iter: 0,
+                grad: 0,
+            },
+        );
+        c.on_event(
+            at(2),
+            &PushStart {
+                worker: 0,
+                iter: 0,
+                grad: 0,
+            },
+        );
+        c.on_event(
+            at(4),
+            &PushEnd {
+                worker: 0,
+                iter: 0,
+                grad: 0,
+            },
+        );
+        // Worker 1's push never arrived, so no barrier: this pull is illegal.
+        c.on_event(
+            at(5),
+            &PullStart {
+                worker: 0,
+                iter: 0,
+                grad: 0,
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "after 1/2 pushes")]
+    fn checker_rejects_early_barrier() {
+        let mut c = InvariantChecker::new(2, true);
+        use TraceEvent::*;
+        c.on_event(at(0), &IterBegin { worker: 0, iter: 0 });
+        c.on_event(at(0), &IterBegin { worker: 1, iter: 0 });
+        c.on_event(
+            at(1),
+            &GradReady {
+                worker: 0,
+                iter: 0,
+                grad: 0,
+            },
+        );
+        c.on_event(
+            at(2),
+            &PushStart {
+                worker: 0,
+                iter: 0,
+                grad: 0,
+            },
+        );
+        c.on_event(
+            at(4),
+            &PushEnd {
+                worker: 0,
+                iter: 0,
+                grad: 0,
+            },
+        );
+        c.on_event(at(4), &Barrier { iter: 0, grad: 0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "barrier event in ASP mode")]
+    fn checker_rejects_barrier_in_asp() {
+        let mut c = InvariantChecker::new(1, false);
+        c.on_event(at(0), &TraceEvent::IterBegin { worker: 0, iter: 0 });
+        c.on_event(at(1), &TraceEvent::Barrier { iter: 0, grad: 0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "delivered")]
+    fn checker_rejects_byte_loss() {
+        let mut c = InvariantChecker::new(1, true);
+        use TraceEvent::*;
+        c.on_event(
+            at(0),
+            &FlowStart {
+                tag: 1,
+                src: 1,
+                dst: 0,
+                bytes: 1000,
+            },
+        );
+        c.on_event(
+            at(3),
+            &FlowEnd {
+                tag: 1,
+                src: 1,
+                dst: 0,
+                delivered: 990.0,
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "never completed")]
+    fn checker_finish_flags_dangling_flow() {
+        let mut c = InvariantChecker::new(1, true);
+        c.on_event(
+            at(0),
+            &TraceEvent::FlowStart {
+                tag: 9,
+                src: 1,
+                dst: 0,
+                bytes: 10,
+            },
+        );
+        c.finish();
+    }
+
+    #[test]
+    fn checker_prunes_completed_iterations() {
+        let mut c = InvariantChecker::new(1, true);
+        feed(&mut c, &lifecycle());
+        assert!(
+            c.grads.is_empty(),
+            "per-gradient cells not pruned at IterEnd"
+        );
+    }
+
+    #[test]
+    fn span_collector_folds_lifecycle_into_five_kinds() {
+        let mut sc = SpanCollector::new();
+        for (t, ev) in lifecycle() {
+            sc.on_event(t, &ev);
+        }
+        let spans = sc.into_spans();
+        let kinds: Vec<SpanKind> = spans.iter().map(|s| s.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                SpanKind::QueueWait,
+                SpanKind::Push,
+                SpanKind::Aggregate,
+                SpanKind::Pull,
+                SpanKind::Compute
+            ]
+        );
+        for s in &spans {
+            assert!(s.end >= s.start, "{:?} ends before it starts", s.kind);
+            assert_eq!((s.worker, s.iter, s.grad), (0, 0, 0));
+        }
+        // Aggregate runs push arrival → barrier (both at t=5 here).
+        let agg = spans
+            .iter()
+            .find(|s| s.kind == SpanKind::Aggregate)
+            .unwrap();
+        assert_eq!((agg.start, agg.end), (at(5), at(5)));
+    }
+
+    #[test]
+    fn span_collector_skips_incomplete_intervals() {
+        let mut sc = SpanCollector::new();
+        use TraceEvent::*;
+        sc.on_event(
+            at(1),
+            &GradReady {
+                worker: 0,
+                iter: 0,
+                grad: 0,
+            },
+        );
+        sc.on_event(
+            at(2),
+            &PushStart {
+                worker: 0,
+                iter: 0,
+                grad: 0,
+            },
+        );
+        // No push_end: only QueueWait is complete.
+        let spans = sc.into_spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].kind, SpanKind::QueueWait);
+    }
+
+    #[test]
+    fn typed_spans_csv_shape() {
+        let spans = vec![GradSpan {
+            worker: 1,
+            iter: 2,
+            grad: 30,
+            kind: SpanKind::Push,
+            start: at(4),
+            end: at(9),
+        }];
+        let csv = spans_to_csv(&spans);
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "worker,iter,grad,kind,start_ms,end_ms"
+        );
+        assert_eq!(lines.next().unwrap(), "1,2,30,push,4.000000,9.000000");
+        assert!(lines.next().is_none());
     }
 }

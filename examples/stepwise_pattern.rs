@@ -36,7 +36,11 @@ fn main() {
             .map(|e| e.ready_at.as_millis_f64())
             .unwrap_or(0.0);
         let bytes: u64 = block.iter().map(|&g| job.size(g)).sum();
-        let ids = format!("{}..{}", block.iter().min().unwrap(), block.iter().max().unwrap());
+        let ids = format!(
+            "{}..{}",
+            block.iter().min().unwrap(),
+            block.iter().max().unwrap()
+        );
         println!(
             "{:>10.2} {:>18} {:>8} {:>10.2}",
             t,
@@ -54,7 +58,11 @@ fn main() {
         recovered.len(),
         blocks.len()
     );
-    assert_eq!(recovered.len(), blocks.len(), "profiler missed the staircase");
+    assert_eq!(
+        recovered.len(),
+        blocks.len(),
+        "profiler missed the staircase"
+    );
 
     // VGG19 is the paper's sharpest anchor: 38 gradients in 4-ish blocks.
     if model == "vgg19" {

@@ -48,5 +48,8 @@ fn main() {
             reference.0
         );
     }
-    println!("\nall {} strategies produced bit-identical final models ✓", finals.len());
+    println!(
+        "\nall {} strategies produced bit-identical final models ✓",
+        finals.len()
+    );
 }

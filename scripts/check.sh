@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# The tier-1 gate, exactly as CI runs it. Everything is offline: external
+# dependencies are vendored under vendor/ as path crates, so no registry
+# access is needed (or attempted).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (-D warnings)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --offline --release
+
+echo "==> cargo test"
+cargo test --offline -q
+
+echo "==> OK"

@@ -47,7 +47,11 @@ fn zero_jitter_makes_workers_symmetric() {
     let t1 = r.iter_times[1];
     for &t in &r.iter_times[2..] {
         let rel = (t.as_secs_f64() - t1.as_secs_f64()).abs() / t1.as_secs_f64();
-        assert!(rel < 1e-6, "jitter-free run not periodic: {:?}", r.iter_times);
+        assert!(
+            rel < 1e-6,
+            "jitter-free run not periodic: {:?}",
+            r.iter_times
+        );
     }
 }
 

@@ -21,8 +21,7 @@ fn iters(n: u64) -> u64 {
 }
 
 fn rate(model: &str, batch: u32, gbps: f64, kind: SchedulerKind, n: u64) -> f64 {
-    let mut cfg =
-        ClusterConfig::paper_cell(3, gbps, TrainingJob::paper_setup(model, batch), kind);
+    let mut cfg = ClusterConfig::paper_cell(3, gbps, TrainingJob::paper_setup(model, batch), kind);
     cfg.warmup_iters = 4;
     run_cluster(&cfg, iters(n).max(cfg.warmup_iters + 2)).rate
 }
@@ -76,8 +75,24 @@ fn stepwise_pattern_for_every_model() {
 /// per-partition blocking overhead).
 #[test]
 fn fig3a_small_partitions_hurt_p3() {
-    let r_4m = rate("resnet50", 64, 4.0, SchedulerKind::P3 { partition_bytes: 4 << 20 }, 8);
-    let r_512k = rate("resnet50", 64, 4.0, SchedulerKind::P3 { partition_bytes: 512 << 10 }, 8);
+    let r_4m = rate(
+        "resnet50",
+        64,
+        4.0,
+        SchedulerKind::P3 {
+            partition_bytes: 4 << 20,
+        },
+        8,
+    );
+    let r_512k = rate(
+        "resnet50",
+        64,
+        4.0,
+        SchedulerKind::P3 {
+            partition_bytes: 512 << 10,
+        },
+        8,
+    );
     assert!(
         r_512k < r_4m,
         "partition overhead not monotone: 4M {r_4m:.1}, 512k {r_512k:.1}"
@@ -85,8 +100,15 @@ fn fig3a_small_partitions_hurt_p3() {
     // The really fine partitions explode the event count; keep that cell
     // for release runs (and `repro fig3a` covers the full sweep).
     if !cfg!(debug_assertions) {
-        let r_128k =
-            rate("resnet50", 64, 4.0, SchedulerKind::P3 { partition_bytes: 128 << 10 }, 8);
+        let r_128k = rate(
+            "resnet50",
+            64,
+            4.0,
+            SchedulerKind::P3 {
+                partition_bytes: 128 << 10,
+            },
+            8,
+        );
         assert!(r_128k < r_512k, "128k {r_128k:.1} vs 512k {r_512k:.1}");
         assert!(
             r_128k < r_4m * 0.7,
@@ -107,8 +129,7 @@ fn fig3b_autotuner_fluctuates() {
         }),
         ..ByteSchedulerConfig::default()
     });
-    let mut cfg =
-        ClusterConfig::paper_cell(3, 3.0, TrainingJob::paper_setup("resnet50", 64), kind);
+    let mut cfg = ClusterConfig::paper_cell(3, 3.0, TrainingJob::paper_setup("resnet50", 64), kind);
     cfg.warmup_iters = 1;
     // Not debug-scaled: the tuner needs enough measurement intervals for
     // its exploration to be visible.
@@ -133,7 +154,15 @@ fn fig3b_autotuner_fluctuates() {
 fn table2_shape() {
     // Mid-band.
     let fifo = rate("resnet50", 64, 4.0, SchedulerKind::Fifo, 10);
-    let p3 = rate("resnet50", 64, 4.0, SchedulerKind::P3 { partition_bytes: 4 << 20 }, 10);
+    let p3 = rate(
+        "resnet50",
+        64,
+        4.0,
+        SchedulerKind::P3 {
+            partition_bytes: 4 << 20,
+        },
+        10,
+    );
     let pr = rate("resnet50", 64, 4.0, prophet(4.0), 10);
     assert!(pr > fifo * 1.08, "prophet {pr:.1} vs fifo {fifo:.1}");
     assert!(pr >= p3 * 0.98, "prophet {pr:.1} vs p3 {p3:.1}");
@@ -154,8 +183,12 @@ fn table3_batch_size_trend() {
     // measurement window to be stable.
     let edge = |batch: u32| {
         let run = |kind: SchedulerKind| {
-            let mut cfg =
-                ClusterConfig::paper_cell(3, 4.0, TrainingJob::paper_setup("resnet50", batch), kind);
+            let mut cfg = ClusterConfig::paper_cell(
+                3,
+                4.0,
+                TrainingJob::paper_setup("resnet50", batch),
+                kind,
+            );
             cfg.warmup_iters = 4;
             run_cluster(&cfg, 12).rate
         };
@@ -188,7 +221,11 @@ fn gpu_utilisation_gap() {
         pr * 100.0,
         fifo * 100.0
     );
-    assert!(pr > 0.85, "prophet util {:.1}% below the paper's ballpark", pr * 100.0);
+    assert!(
+        pr > 0.85,
+        "prophet util {:.1}% below the paper's ballpark",
+        pr * 100.0
+    );
 }
 
 /// Eq. (10)'s shape, end to end: effective bandwidth vanishes for tiny

@@ -20,7 +20,9 @@ fn reference_params(cfg: &ThreadedConfig) -> Vec<Vec<f32>> {
         Adam(Adam),
     }
     let mut opt = match cfg.optimizer {
-        PsOptimizer::Sgd { momentum } => Opt::Sgd(Sgd::new(cfg.lr, momentum, &model.tensor_sizes())),
+        PsOptimizer::Sgd { momentum } => {
+            Opt::Sgd(Sgd::new(cfg.lr, momentum, &model.tensor_sizes()))
+        }
         PsOptimizer::Adam => Opt::Adam(Adam::new(cfg.lr, &model.tensor_sizes())),
     };
     let mut params: Vec<Vec<f32>> = model.param_slices().iter().map(|p| p.to_vec()).collect();
@@ -29,11 +31,7 @@ fn reference_params(cfg: &ThreadedConfig) -> Vec<Vec<f32>> {
         // equal shards that is NOT identical in f32 to the whole-batch
         // mean, so the reference replicates the sharded computation.
         let per = cfg.global_batch / cfg.workers;
-        let mut acc: Vec<Vec<f32>> = model
-            .tensor_sizes()
-            .iter()
-            .map(|&n| vec![0.0; n])
-            .collect();
+        let mut acc: Vec<Vec<f32>> = model.tensor_sizes().iter().map(|&n| vec![0.0; n]).collect();
         for w in 0..cfg.workers {
             let lo = ((iter as usize * cfg.global_batch) + w * per) % data.len();
             let hi = (lo + per).min(data.len()).max(lo + 1);

@@ -1,0 +1,75 @@
+//! Deterministic regression test for the proptest counterexample recorded in
+//! `tests/prop_cross_crate.proptest-regressions`:
+//!
+//! ```text
+//! cc 7e1919dd... # shrinks to kind_idx = 0, gbps = 6.626115377326036, batch_idx = 2, seed = 0
+//! ```
+//!
+//! The property-based suite samples the cell space, so the exact failing cell
+//! depends on the runner's seeding. This test pins the historical
+//! counterexample directly — Fifo scheduler, 6.626 Gbps, batch 64, seed 0 —
+//! and re-checks every assertion from `any_cell_is_well_formed` on it.
+
+use prophet::core::SchedulerKind;
+use prophet::dnn::TrainingJob;
+use prophet::ps::sim::{run_cluster, ClusterConfig};
+
+#[test]
+fn pinned_fifo_cell_is_well_formed() {
+    let gbps = 6.626115377326036_f64;
+    let batch = 64u32;
+    let seed = 0u64;
+
+    let job = TrainingJob::paper_setup("resnet18", batch);
+    let ceiling = job.compute_rate_ceiling();
+    let n = job.num_gradients();
+    let kind = SchedulerKind::paper_lineup(1e9)[0].clone();
+    assert!(matches!(kind, SchedulerKind::Fifo));
+
+    let mut cfg = ClusterConfig::paper_cell(2, gbps, job, kind);
+    cfg.seed = seed;
+    cfg.warmup_iters = 1;
+    let r = run_cluster(&cfg, 3);
+
+    assert_eq!(r.iter_times.len(), 3);
+    assert!(r.rate > 0.0);
+    assert!(
+        r.rate <= ceiling * 1.10,
+        "rate {} > ceiling {}",
+        r.rate,
+        ceiling
+    );
+    for logs in &r.transfer_logs {
+        assert_eq!(logs.len(), n);
+        for log in logs {
+            assert!(
+                log.ready <= log.push_start,
+                "grad {}: ready {:?} > push_start {:?}",
+                log.grad,
+                log.ready,
+                log.push_start
+            );
+            assert!(
+                log.push_start < log.push_end,
+                "grad {}: push_start {:?} >= push_end {:?}",
+                log.grad,
+                log.push_start,
+                log.push_end
+            );
+            assert!(
+                log.push_end <= log.pull_end,
+                "grad {}: push_end {:?} > pull_end {:?}",
+                log.grad,
+                log.push_end,
+                log.pull_end
+            );
+            assert!(
+                log.pull_start <= log.pull_end,
+                "grad {}: pull_start {:?} > pull_end {:?}",
+                log.grad,
+                log.pull_start,
+                log.pull_end
+            );
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements the subset the PS wire protocol uses: an immutable,
+//! cheaply-cloneable [`Bytes`] (shared `Arc<[u8]>`), a growable
+//! [`BytesMut`] builder, and the [`BufMut`] little-endian put methods.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Immutable shared byte buffer. Clones share the allocation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Bytes(Arc<[u8]>);
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes(Arc::from(&[][..]))
+    }
+
+    /// Wrap a static slice (copied here; the real crate borrows, but the
+    /// observable behaviour is identical for readers).
+    pub fn from_static(slice: &'static [u8]) -> Self {
+        Bytes(Arc::from(slice))
+    }
+
+    /// Copy from a slice.
+    pub fn copy_from_slice(slice: &[u8]) -> Self {
+        Bytes(Arc::from(slice))
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(Arc::from(v.into_boxed_slice()))
+    }
+}
+
+/// Growable byte buffer that freezes into [`Bytes`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut(Vec::new())
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut(Vec::with_capacity(cap))
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Convert into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.0)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Write-side trait: the little-endian put methods the wire format uses.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append an `f32`, little-endian.
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u32`, little-endian.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u64`, little-endian.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a single byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.0.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_and_freeze_roundtrip() {
+        let mut b = BytesMut::with_capacity(8);
+        b.put_f32_le(1.5);
+        b.put_u32_le(7);
+        let frozen = b.freeze();
+        assert_eq!(frozen.len(), 8);
+        assert_eq!(
+            f32::from_le_bytes([frozen[0], frozen[1], frozen[2], frozen[3]]),
+            1.5
+        );
+        assert_eq!(
+            u32::from_le_bytes([frozen[4], frozen[5], frozen[6], frozen[7]]),
+            7
+        );
+    }
+
+    #[test]
+    fn clones_share_and_compare() {
+        let a = Bytes::from(vec![1, 2, 3]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(&*b, &[1, 2, 3]);
+    }
+
+    #[test]
+    fn from_static_reads_back() {
+        let s = Bytes::from_static(&[9, 8]);
+        assert_eq!(s.chunks_exact(2).count(), 1);
+    }
+}

@@ -1,0 +1,145 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The workspace's registry mirror is unreachable from the build
+//! environment. This crate keeps the `benches/` targets compiling and
+//! *useful* — each `bench_function` runs a short warm-up, then measures
+//! `sample_size` samples and prints min/mean/max wall-clock time — without
+//! criterion's statistics machinery, plotting, or baselines.
+
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("group {name}");
+        BenchmarkGroup {
+            name: name.to_owned(),
+            sample_size: 20,
+        }
+    }
+}
+
+/// A named group; holds per-group settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Advisory measurement budget; accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Measure one closure-driven benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            budget: self.sample_size,
+        };
+        f(&mut b);
+        let (min, mean, max) = b.summary();
+        println!(
+            "  {}/{id}: min {min:?}  mean {mean:?}  max {max:?}  ({} samples)",
+            self.name,
+            b.samples.len()
+        );
+        self
+    }
+
+    /// End the group (formatting no-op here).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the payload.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: usize,
+}
+
+impl Bencher {
+    /// Time `routine`, once as warm-up and then `sample_size` measured runs.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std::hint::black_box(routine()); // warm-up, result discarded
+        for _ in 0..self.budget {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    fn summary(&self) -> (Duration, Duration, Duration) {
+        if self.samples.is_empty() {
+            return (Duration::ZERO, Duration::ZERO, Duration::ZERO);
+        }
+        let min = *self.samples.iter().min().unwrap();
+        let max = *self.samples.iter().max().unwrap();
+        let total: Duration = self.samples.iter().sum();
+        (min, total / self.samples.len() as u32, max)
+    }
+}
+
+/// Re-export matching `criterion::black_box` (deprecated upstream in favour
+/// of `std::hint::black_box`, which the benches already use directly).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collect benchmark functions under one entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generate `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3);
+        let mut runs = 0u32;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        g.finish();
+        assert_eq!(runs, 4, "warm-up + 3 samples");
+    }
+}

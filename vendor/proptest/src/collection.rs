@@ -1,0 +1,49 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// Strategy for `Vec<S::Value>` with a length drawn from a range.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+/// A vector whose length is uniform in `len` (half-open, like the real
+/// crate's `SizeRange` from a `Range`) and whose elements come from
+/// `element`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "empty vec length range");
+    VecStrategy { element, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.len.end - self.len.start) as u64;
+        let n = self.len.start + rng.below(span.max(1)) as usize;
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_and_elements_in_range() {
+        let mut rng = TestRng::from_seed(11);
+        let s = vec(1u64..4, 0..5);
+        let mut max_len = 0;
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!(v.len() < 5);
+            assert!(v.iter().all(|&x| (1..4).contains(&x)));
+            max_len = max_len.max(v.len());
+        }
+        assert_eq!(max_len, 4, "length range never reached its top");
+    }
+}

@@ -1,0 +1,226 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! This workspace pins its registry to an internal mirror that is not
+//! reachable from the build environment, so the real `proptest` cannot be
+//! fetched. This crate reimplements exactly the API surface the workspace's
+//! property tests use — `proptest!`, `prop_assert*!`, range/tuple/vec/option
+//! strategies, `prop_map`, and `ProptestConfig::with_cases` — on top of a
+//! deterministic splitmix64 generator.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case panics immediately with the fully
+//!   rendered inputs; minimal counterexamples are pinned as ordinary
+//!   deterministic tests instead (see `tests/regression_cell.rs` at the
+//!   workspace root).
+//! * **No persistence.** `*.proptest-regressions` seed files are kept in
+//!   the tree as documentation of historical counterexamples, but the seeds
+//!   are implementation-specific to the real crate and are not replayed;
+//!   every historical counterexample must therefore also exist as a
+//!   deterministic test.
+//! * **Deterministic by construction.** Case `i` of test `t` always sees
+//!   the same inputs (seeded from `module_path!::t` and `i`), so CI failures
+//!   reproduce locally without seed plumbing.
+
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+/// Prelude mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Define property tests. Mirrors `proptest::proptest!`:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(12))]
+///     #[test]
+///     fn my_prop(x in 0u64..100, ys in prop::collection::vec(0f64..1.0, 1..10)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let __strategies = ($($strat,)*);
+                for __case in 0..__cfg.cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    let ($($arg,)*) = {
+                        let ($(ref $arg,)*) = __strategies;
+                        ($($crate::strategy::Strategy::generate($arg, &mut __rng),)*)
+                    };
+                    let __inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}; ",)*),
+                        $(&$arg),*
+                    );
+                    let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(__e) = __result {
+                        panic!(
+                            "proptest {}: case {}/{} failed: {}\n  inputs: {}",
+                            stringify!($name),
+                            __case + 1,
+                            __cfg.cases,
+                            __e,
+                            __inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", args...)`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `prop_assert_eq!(a, b)` / `prop_assert_eq!(a, b, "fmt", args...)`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__l, __r) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$a, &$b);
+        $crate::prop_assert!(*__l == *__r, $($fmt)+);
+    }};
+}
+
+/// `prop_assert_ne!(a, b)` / `prop_assert_ne!(a, b, "fmt", args...)`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__l, __r) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            __l
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$a, &$b);
+        $crate::prop_assert!(*__l != *__r, $($fmt)+);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(
+            x in 3usize..17,
+            y in -5i64..5,
+            f in 0.25f64..0.75,
+        ) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size_range(
+            xs in prop::collection::vec(0u64..10, 2..6),
+        ) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 6);
+            prop_assert!(xs.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn tuples_and_map_compose(
+            pair in (0u32..4, 10u32..14),
+            mapped in (0u64..100).prop_map(|v| v * 2),
+        ) {
+            prop_assert!(pair.0 < 4 && (10..14).contains(&pair.1));
+            prop_assert_eq!(mapped % 2, 0);
+        }
+
+        #[test]
+        fn option_of_produces_both_variants(
+            opts in prop::collection::vec(prop::option::of(0u64..5), 32..33),
+        ) {
+            // With 32 draws at p=0.5, both variants appear with overwhelming
+            // probability; determinism makes this a fixed fact per seed.
+            prop_assert!(opts.iter().any(|o| o.is_some()));
+            prop_assert!(opts.iter().any(|o| o.is_none()));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = TestRng::for_case("t", 0);
+        let mut b = TestRng::for_case("t", 0);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_case("t", 1);
+        assert_ne!(TestRng::for_case("t", 0).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "inputs:")]
+    fn failing_case_reports_inputs() {
+        // No inner #[test] attribute: nested test items can't be collected
+        // by the harness, so the generated fn is called directly instead.
+        proptest! {
+            fn always_fails(x in 0u64..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}
