@@ -33,17 +33,33 @@ fn run_trace(args: &[String]) {
     use prophet::sim::{spans_to_csv, SpanKind};
 
     let sched = args.first().map(String::as_str).unwrap_or("fifo");
-    let parse = |i: usize, name: &str, default: f64| -> f64 {
+    // Strict positional parsing: a malformed `[gbps] [batch] [seed]` must
+    // exit non-zero rather than silently truncate (`64.5` is not a batch).
+    fn parse_arg<T: std::str::FromStr>(args: &[String], i: usize, name: &str, default: T) -> T {
         args.get(i).map_or(default, |s| {
             s.parse().unwrap_or_else(|_| {
-                eprintln!("bad {name} `{s}`");
+                eprintln!("bad {name} `{s}` — usage: repro trace <sched> [gbps] [batch] [seed]");
                 std::process::exit(1);
             })
         })
-    };
-    let gbps = parse(1, "gbps", 6.626115377326036);
-    let batch = parse(2, "batch", 64.0) as u32;
-    let seed = parse(3, "seed", 0.0) as u64;
+    }
+    let gbps: f64 = parse_arg(args, 1, "gbps", 6.626115377326036);
+    if !(gbps.is_finite() && gbps > 0.0) {
+        eprintln!("bad gbps `{gbps}` — must be a finite positive bandwidth");
+        std::process::exit(1);
+    }
+    let batch: u32 = parse_arg(args, 2, "batch", 64);
+    if batch == 0 {
+        eprintln!("bad batch `0` — must be at least 1");
+        std::process::exit(1);
+    }
+    let seed: u64 = parse_arg(args, 3, "seed", 0);
+    if let Some(extra) = args.get(4) {
+        eprintln!(
+            "unexpected argument `{extra}` — usage: repro trace <sched> [gbps] [batch] [seed]"
+        );
+        std::process::exit(1);
+    }
     let bps = gbps * 1e9 / 8.0;
     let kind = match sched {
         "fifo" => SchedulerKind::Fifo,
@@ -141,7 +157,12 @@ fn main() {
             match reg.iter().find(|(id, _, _)| id == arg) {
                 Some(entry) => sel.push(entry),
                 None => {
-                    eprintln!("unknown experiment `{arg}` — try `repro list`");
+                    let ids: Vec<&str> = reg.iter().map(|(id, _, _)| *id).collect();
+                    eprintln!("unknown experiment `{arg}`");
+                    eprintln!("valid ids: {}", ids.join(" "));
+                    eprintln!(
+                        "usage: repro all | repro <id> [<id> ...] | repro trace <sched> [gbps] [batch] [seed]"
+                    );
                     std::process::exit(1);
                 }
             }

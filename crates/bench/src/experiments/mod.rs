@@ -2,6 +2,7 @@
 
 pub mod effectiveness;
 pub mod extensions;
+pub mod faults;
 pub mod motivation;
 pub mod overhead;
 pub mod robustness;

@@ -140,6 +140,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
             "[extension] all six strategies incl. TicTac and MG-WFBP",
             extensions::ext_related_work,
         ),
+        (
+            "ext_faults",
+            "[extension] fault injection: link/shard/worker failures, degradation and recovery",
+            faults::ext_faults,
+        ),
     ]
 }
 
@@ -150,7 +155,7 @@ mod tests {
     #[test]
     fn registry_ids_unique_and_nonempty() {
         let reg = registry();
-        assert!(reg.len() >= 22);
+        assert!(reg.len() >= 24);
         let mut ids: Vec<&str> = reg.iter().map(|(id, _, _)| *id).collect();
         ids.sort_unstable();
         let n = ids.len();

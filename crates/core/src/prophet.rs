@@ -83,6 +83,17 @@ pub struct ProphetConfig {
     /// compute jitter so the wire is free even when backward finishes a
     /// little early. Costs a short idle when backward runs late.
     pub deadline_safety: f64,
+    /// How long the scheduler trusts a bandwidth estimate. If the monitor
+    /// goes silent for longer than this (its reports ride the data path, so
+    /// a dead link starves them too), the plan's deadlines are anchored to
+    /// a world that no longer exists and the scheduler degrades to its
+    /// conservative mode until a fresh estimate arrives.
+    pub estimate_staleness: Duration,
+    /// Consecutive monitor estimates within `replan_tolerance` of each
+    /// other required to leave degraded mode: one clean report may just be
+    /// a quiet window mid-fault, two in a row means the profile's regime
+    /// is back.
+    pub recover_updates: u32,
 }
 
 impl ProphetConfig {
@@ -100,6 +111,8 @@ impl ProphetConfig {
             max_message_bytes: 4 << 20,
             forward_horizon: Duration::from_millis(20),
             deadline_safety: 0.04,
+            estimate_staleness: Duration::from_secs(12),
+            recover_updates: 2,
         }
     }
 }
@@ -134,6 +147,15 @@ pub struct ProphetScheduler {
     // Pull side.
     pull_ready: BTreeMap<GradientId, u64>,
     pull_inflight_bytes: u64,
+
+    // Fault awareness. The plan is only as good as the bandwidth estimate
+    // and the profile behind it; when transfers start failing or the
+    // monitor goes quiet, predicted deadlines are fiction and the safe
+    // fallback is a FIFO-equivalent trickle (ISSUE: graceful degradation).
+    degraded: bool,
+    stable_updates: u32,
+    failures_since_update: u32,
+    last_bandwidth_update: Option<SimTime>,
 }
 
 impl ProphetScheduler {
@@ -156,6 +178,10 @@ impl ProphetScheduler {
             push_inflight_bytes: 0,
             pull_ready: BTreeMap::new(),
             pull_inflight_bytes: 0,
+            degraded: false,
+            stable_updates: 0,
+            failures_since_update: 0,
+            last_bandwidth_update: None,
         }
     }
 
@@ -185,6 +211,30 @@ impl ProphetScheduler {
     /// Whether the scheduler has left the profiling phase.
     pub fn is_planned(&self) -> bool {
         matches!(self.mode, Mode::Planned { .. })
+    }
+
+    /// Whether the scheduler is running in its degraded, conservatively-
+    /// credited mode (transfers failing, or the bandwidth estimate stale).
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Enter degraded mode when the bandwidth estimate in force has gone
+    /// stale: the monitor's reports ride the same network as the payload,
+    /// so a regime break that kills transfers also starves the estimate.
+    /// `None` (no report yet) never counts as stale — runtimes without a
+    /// monitor keep full Prophet behaviour.
+    fn check_staleness(&mut self, now: SimTime) {
+        if self.degraded || !self.is_planned() {
+            return;
+        }
+        let Some(at) = self.last_bandwidth_update else {
+            return;
+        };
+        if now.saturating_since(at) > self.cfg.estimate_staleness {
+            self.degraded = true;
+            self.stable_updates = 0;
+        }
     }
 
     /// The literal offline Algorithm 1 plan for the adopted profile and
@@ -304,6 +354,19 @@ impl ProphetScheduler {
                 self.push_inflight_bytes += bytes;
                 Some(TransferTask::whole(Dir::Push, g, bytes))
             }
+            Mode::Planned { .. } if self.degraded => {
+                // Degraded: the plan's deadlines are untrustworthy, so fall
+                // back to a FIFO-equivalent conservative credit — one capped
+                // message in flight at a time, still in priority order. No
+                // prediction is consulted, so nothing mispredicts.
+                if self.push_inflight_bytes > 0 {
+                    return None;
+                }
+                let avail = self.cfg.max_message_bytes.max(4);
+                let task = Self::admit(&self.cfg, &mut self.ready, avail, Dir::Push)?;
+                self.push_inflight_bytes += task.bytes;
+                Some(task)
+            }
             Mode::Planned { .. } => {
                 let credit = self.dynamic_credit(now);
                 let avail = credit.saturating_sub(self.push_inflight_bytes);
@@ -360,6 +423,7 @@ impl CommScheduler for ProphetScheduler {
     }
 
     fn next_task(&mut self, now: SimTime) -> Option<TransferTask> {
+        self.check_staleness(now);
         if let Some(t) = self.next_push(now) {
             return Some(t);
         }
@@ -388,16 +452,57 @@ impl CommScheduler for ProphetScheduler {
         }
     }
 
-    fn bandwidth_update(&mut self, _now: SimTime, bps: f64) {
+    fn bandwidth_update(&mut self, now: SimTime, bps: f64) {
         if !(bps.is_finite() && bps > 0.0) {
             return;
         }
+        let prev = self.bandwidth_bps;
         self.bandwidth_bps = bps;
+        self.last_bandwidth_update = Some(now);
+        if self.failures_since_update > 0 {
+            // The estimate's window saw lost or killed transfers: the
+            // measured goodput is loss-inflated noise, not a regime. Adopt
+            // it as a rough number but do not trust it enough to plan.
+            self.failures_since_update = 0;
+            self.stable_updates = 0;
+            if self.is_planned() {
+                self.degraded = true;
+            }
+            return;
+        }
+        if self.degraded {
+            // Leave degraded mode only once the monitor settles: two
+            // consecutive clean estimates agreeing within the re-plan
+            // tolerance mean the profile's regime is back in force.
+            let rel = (bps - prev).abs() / prev;
+            if rel <= self.cfg.replan_tolerance {
+                self.stable_updates += 1;
+                if self.stable_updates >= self.cfg.recover_updates {
+                    self.degraded = false;
+                    self.stable_updates = 0;
+                    self.replan();
+                }
+            } else {
+                self.stable_updates = 0;
+            }
+            return;
+        }
         if self.is_planned() {
             let rel = (bps - self.planned_bandwidth_bps).abs() / self.planned_bandwidth_bps;
             if rel > self.cfg.replan_tolerance {
                 self.replan();
             }
+        }
+    }
+
+    fn transfer_failed(&mut self, _now: SimTime, _task: &TransferTask) {
+        // A killed or lost message means the network has left the regime
+        // the plan assumed. The profiling phase is already a blocking FIFO,
+        // so there is nothing more conservative to fall back to there.
+        self.failures_since_update += 1;
+        self.stable_updates = 0;
+        if self.is_planned() {
+            self.degraded = true;
         }
     }
 }
@@ -427,6 +532,8 @@ mod tests {
             max_message_bytes: 8_000,
             forward_horizon: ms(2),
             deadline_safety: 0.0,
+            estimate_staleness: ms(100),
+            recover_updates: 2,
         }
     }
 
@@ -652,6 +759,96 @@ mod tests {
         s.bandwidth_update(at(0), f64::NAN);
         assert!(s.is_planned());
         assert_eq!(s.bandwidth(), 1e6);
+    }
+
+    #[test]
+    fn transfer_failure_degrades_to_blocking_sends() {
+        let mut s = planned();
+        assert!(!s.is_degraded());
+        s.iteration_begin(at(0), 0);
+        s.gradient_ready(at(0), 3);
+        s.gradient_ready(at(0), 2);
+        let a = s.next_task(at(0)).unwrap();
+        s.transfer_failed(at(1), &a);
+        assert!(s.is_degraded());
+        // Degraded: nothing new while `a` is still in flight...
+        assert!(s.next_task(at(1)).is_none());
+        s.task_done(at(2), &a);
+        // ...then exactly one capped message at a time, priority order.
+        let b = s.next_task(at(2)).unwrap();
+        assert_eq!(b.pieces, vec![(3, 4_000)]);
+        assert!(s.next_task(at(2)).is_none(), "one in flight at a time");
+    }
+
+    #[test]
+    fn degraded_mode_recovers_after_stable_estimates() {
+        let mut s = planned();
+        let t = TransferTask::whole(Dir::Push, 2, 4_000);
+        s.transfer_failed(at(0), &t);
+        assert!(s.is_degraded());
+        // First estimate after a failure window is distrusted outright.
+        s.bandwidth_update(at(10), 1e6);
+        assert!(s.is_degraded());
+        // Two consecutive agreeing clean estimates restore planned mode.
+        s.bandwidth_update(at(20), 1.02e6);
+        assert!(s.is_degraded(), "one stable update is not enough");
+        s.bandwidth_update(at(30), 1.01e6);
+        assert!(!s.is_degraded());
+        assert_eq!(s.planned_bandwidth(), 1.01e6, "recovery re-plans");
+    }
+
+    #[test]
+    fn unstable_estimates_keep_the_scheduler_degraded() {
+        let mut s = planned();
+        let t = TransferTask::whole(Dir::Push, 2, 4_000);
+        s.transfer_failed(at(0), &t);
+        s.bandwidth_update(at(10), 1e6); // clears the failure window
+        s.bandwidth_update(at(20), 1.05e6); // stable #1
+        s.bandwidth_update(at(30), 0.5e6); // swing: resets the streak
+        assert!(s.is_degraded());
+        s.bandwidth_update(at(40), 0.51e6); // stable #1 again
+        assert!(s.is_degraded());
+        s.bandwidth_update(at(50), 0.52e6); // stable #2 -> recovered
+        assert!(!s.is_degraded());
+    }
+
+    #[test]
+    fn stale_estimate_degrades_and_fresh_reports_recover() {
+        let mut s = planned();
+        s.bandwidth_update(at(0), 1e6);
+        s.iteration_begin(at(0), 0);
+        s.gradient_ready(at(0), 2);
+        // cfg() staleness is 100 ms: at 50 ms the estimate is fresh.
+        assert!(s.next_task(at(50)).is_some());
+        assert!(!s.is_degraded());
+        // At 200 ms the monitor has gone silent past the staleness bound.
+        s.gradient_ready(at(200), 3);
+        let _ = s.next_task(at(200));
+        assert!(s.is_degraded());
+        // Two fresh agreeing estimates bring it back.
+        s.bandwidth_update(at(210), 1e6);
+        s.bandwidth_update(at(220), 1e6);
+        assert!(!s.is_degraded());
+    }
+
+    #[test]
+    fn no_monitor_means_never_stale() {
+        let mut s = planned();
+        s.iteration_begin(at(0), 0);
+        s.gradient_ready(at(0), 2);
+        // No bandwidth_update ever delivered: even far in the future the
+        // scheduler keeps full planned behaviour (threaded runtime has no
+        // monitor wired up).
+        assert!(s.next_task(at(1_000_000)).is_some());
+        assert!(!s.is_degraded());
+    }
+
+    #[test]
+    fn failure_during_profiling_does_not_degrade() {
+        let mut s = ProphetScheduler::online(vec![4_000; 4], cfg());
+        let t = TransferTask::whole(Dir::Push, 2, 4_000);
+        s.transfer_failed(at(0), &t);
+        assert!(!s.is_degraded(), "profiling FIFO is already conservative");
     }
 
     #[test]

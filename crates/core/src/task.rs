@@ -130,6 +130,13 @@ pub trait CommScheduler: Send {
     /// The bandwidth monitor published a fresh estimate.
     fn bandwidth_update(&mut self, _now: SimTime, _bps: f64) {}
 
+    /// A message carrying (part of) `task` was lost or killed and the
+    /// engine's transport layer is retrying it. `task_done` still fires
+    /// exactly once, when the eventual attempt delivers — this hook only
+    /// tells strategies that the network has stopped behaving as predicted
+    /// (Prophet drops into its degraded, conservatively-credited mode).
+    fn transfer_failed(&mut self, _now: SimTime, _task: &TransferTask) {}
+
     /// Current credit size, for strategies that have one (telemetry for
     /// the Fig. 3(b) credit-trace plot). `None` for credit-less strategies.
     fn credit(&self) -> Option<u64> {

@@ -28,15 +28,20 @@
 //! * [`maxmin`] — progressive-filling max-min fair allocation with caps,
 //! * [`network`] — the event-driven flow engine ([`Network`]),
 //! * [`monitor`] — the bandwidth estimator Prophet's planner consumes
-//!   (§4.2's "Network Bandwidth Monitor", 5 s period by default).
+//!   (§4.2's "Network Bandwidth Monitor", 5 s period by default),
+//! * [`retry`] — capped-exponential-backoff retry policy for fault
+//!   injection (messages killed by a [`fault plan`](prophet_sim::FaultPlan)
+//!   are re-sent under this policy).
 
 pub mod maxmin;
 pub mod monitor;
 pub mod network;
+pub mod retry;
 pub mod tcp;
 pub mod topology;
 
 pub use monitor::BandwidthMonitor;
-pub use network::{FlowEnd, FlowId, NetEvent, Network};
+pub use network::{FlowEnd, FlowId, KilledFlow, NetEvent, Network};
+pub use retry::RetryPolicy;
 pub use tcp::TcpModel;
 pub use topology::{NodeId, NodeSpec, Topology};

@@ -84,6 +84,31 @@ pub enum NetEvent {
         /// up to the completion epsilon).
         delivered: f64,
     },
+    /// A flow was killed by [`Network::kill_flow`] /
+    /// [`Network::kill_flows_touching`] before completing.
+    FlowKilled {
+        /// Caller-supplied tag.
+        tag: u64,
+        /// Source node.
+        src: NodeId,
+        /// Destination node.
+        dst: NodeId,
+        /// Bytes moved before the kill (the receiver discards them).
+        delivered: f64,
+    },
+}
+
+/// A transfer removed by a kill, with the partial byte count it had moved.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KilledFlow {
+    /// The caller-supplied tag of the killed flow.
+    pub tag: u64,
+    /// Its source node.
+    pub src: NodeId,
+    /// Its destination node.
+    pub dst: NodeId,
+    /// Bytes the integrator had moved before the kill.
+    pub delivered: f64,
 }
 
 /// A completed transfer, as returned by [`Network::advance_to`].
@@ -277,6 +302,64 @@ impl Network {
         self.topo.set_spec(node, spec);
         self.reallocate();
         done
+    }
+
+    /// Kill the in-flight flow carrying `tag` at `now` (a downed link or a
+    /// lost message). The bytes it had moved stay in the tx/rx counters —
+    /// they *were* on the wire — but the receiver never assembles the
+    /// message, so the caller must not credit them to any gradient.
+    /// Returns `None` if no in-flight flow carries `tag` (it may have
+    /// completed at exactly `now`; drain completions first).
+    pub fn kill_flow(&mut self, now: SimTime, tag: u64) -> Option<KilledFlow> {
+        let done = self.advance_to(now);
+        debug_assert!(
+            done.is_empty(),
+            "kill_flow raced past unharvested completions"
+        );
+        let idx = self.flows.iter().position(|f| f.tag == tag)?;
+        Some(self.remove_killed(now, idx))
+    }
+
+    /// Kill every in-flight flow with `node` as source or destination (a
+    /// node whose links dropped or whose PS shard crashed), returning the
+    /// killed flows in flow-start order. See [`Network::kill_flow`] for the
+    /// byte-accounting contract.
+    pub fn kill_flows_touching(&mut self, now: SimTime, node: NodeId) -> Vec<KilledFlow> {
+        let done = self.advance_to(now);
+        debug_assert!(done.is_empty(), "kill raced past unharvested completions");
+        let mut killed = Vec::new();
+        let mut i = 0;
+        while i < self.flows.len() {
+            if self.flows[i].src == node || self.flows[i].dst == node {
+                killed.push(self.remove_killed(now, i));
+            } else {
+                i += 1;
+            }
+        }
+        killed
+    }
+
+    fn remove_killed(&mut self, now: SimTime, idx: usize) -> KilledFlow {
+        let f = self.flows.remove(idx);
+        let delivered = f.total - f.remaining;
+        if self.record_events {
+            self.events.push((
+                now,
+                NetEvent::FlowKilled {
+                    tag: f.tag,
+                    src: f.src,
+                    dst: f.dst,
+                    delivered,
+                },
+            ));
+        }
+        self.reallocate();
+        KilledFlow {
+            tag: f.tag,
+            src: f.src,
+            dst: f.dst,
+            delivered,
+        }
     }
 
     /// The next instant at which rates change or a flow completes; `None`
@@ -628,6 +711,63 @@ mod tests {
         let last = done.iter().map(|d| d.finished).max().unwrap();
         assert!(last.as_secs_f64() > 0.16);
         assert!(last.as_secs_f64() < 0.5, "took {last}");
+    }
+
+    #[test]
+    fn killed_flow_keeps_partial_bytes_in_counters() {
+        let mut net = ideal_net(2, 1000.0);
+        net.start_flow(SimTime::ZERO, NodeId(0), NodeId(1), 2000, 5);
+        let t1 = SimTime::from_secs_f64(1.0);
+        let killed = net.kill_flow(t1, 5).expect("flow should be in flight");
+        assert_eq!(killed.tag, 5);
+        assert!((killed.delivered - 1000.0).abs() < 1.0, "{killed:?}");
+        assert_eq!(net.active_flows(), 0);
+        // The wire carried those bytes even though the message died.
+        assert!((net.tx_bytes(NodeId(0)) - 1000.0).abs() < 1.0);
+        assert!(net.kill_flow(t1, 5).is_none(), "double kill");
+    }
+
+    #[test]
+    fn kill_flows_touching_takes_both_directions() {
+        let mut net = ideal_net(3, 1000.0);
+        net.start_flow(SimTime::ZERO, NodeId(1), NodeId(0), 5000, 1);
+        net.start_flow(SimTime::ZERO, NodeId(0), NodeId(2), 5000, 2);
+        net.start_flow(SimTime::ZERO, NodeId(1), NodeId(2), 5000, 3);
+        let killed = net.kill_flows_touching(SimTime::from_secs_f64(0.5), NodeId(0));
+        let tags: Vec<u64> = killed.iter().map(|k| k.tag).collect();
+        assert_eq!(tags, vec![1, 2]);
+        assert_eq!(net.active_flows(), 1);
+    }
+
+    #[test]
+    fn kill_frees_capacity_for_survivors() {
+        // Two flows share a 1000 B/s sink; killing one at t=1 lets the
+        // survivor finish at full rate.
+        let mut net = ideal_net(3, 1000.0);
+        net.start_flow(SimTime::ZERO, NodeId(0), NodeId(2), 2000, 0);
+        net.start_flow(SimTime::ZERO, NodeId(1), NodeId(2), 2000, 1);
+        let t1 = SimTime::from_secs_f64(1.0);
+        net.kill_flow(t1, 1).unwrap();
+        // Survivor: 1500 B left at 1000 B/s -> done at t=2.5.
+        let done = net.run_to_completion();
+        assert_eq!(done.len(), 1);
+        assert!(
+            (done[0].finished.as_secs_f64() - 2.5).abs() < 1e-6,
+            "{done:?}"
+        );
+    }
+
+    #[test]
+    fn killed_flow_appears_in_event_ledger() {
+        let mut net = ideal_net(2, 1000.0);
+        net.record_events(true);
+        net.start_flow(SimTime::ZERO, NodeId(0), NodeId(1), 2000, 9);
+        net.kill_flow(SimTime::from_secs_f64(1.0), 9);
+        let events = net.drain_events();
+        assert!(matches!(
+            events.last(),
+            Some((_, NetEvent::FlowKilled { tag: 9, .. }))
+        ));
     }
 
     #[test]

@@ -1,0 +1,82 @@
+//! Retry policy: capped exponential backoff plus a per-message timeout.
+//!
+//! The policy is *pure data* — `delay(attempt)` is a deterministic function
+//! of the attempt number, with no RNG and no clock — so a retried trace is
+//! reproducible bit-for-bit from the fault plan alone. Jittered backoff
+//! (what production TCP stacks do to avoid thundering herds) would buy
+//! nothing here: the simulator's senders already desynchronise through the
+//! fluid sharing model, and determinism is worth more than realism in the
+//! third decimal.
+
+use prophet_sim::Duration;
+
+/// Capped exponential backoff: attempt `k` (1-based) waits
+/// `min(base · 2^(k-1), cap)` before re-sending, and every in-flight
+/// message is abandoned (and counted as a failed attempt) after `timeout`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Delay before the first retry.
+    pub base: Duration,
+    /// Upper bound on any single backoff delay.
+    pub cap: Duration,
+    /// Per-message ack timeout; a message still in flight this long after
+    /// its last (re)send is treated as lost.
+    pub timeout: Duration,
+}
+
+impl RetryPolicy {
+    /// Defaults sized for the simulated clusters: 25 ms base (a few RTTs
+    /// past the EC2 setup latency), 1.6 s cap, 5 s ack timeout (longer
+    /// than any healthy whole-tensor transfer in the paper's cells).
+    pub fn paper_default() -> Self {
+        RetryPolicy {
+            base: Duration::from_millis(25),
+            cap: Duration::from_millis(1_600),
+            timeout: Duration::from_secs(5),
+        }
+    }
+
+    /// Backoff before retry `attempt` (1-based). Attempt 0 — the original
+    /// send — has no delay.
+    pub fn delay(&self, attempt: u32) -> Duration {
+        if attempt == 0 {
+            return Duration::ZERO;
+        }
+        let shift = (attempt - 1).min(63);
+        let ns = self.base.as_nanos().saturating_mul(1u64 << shift);
+        Duration::from_nanos(ns.min(self.cap.as_nanos()))
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_double_then_cap() {
+        let p = RetryPolicy {
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(75),
+            timeout: Duration::from_secs(1),
+        };
+        assert_eq!(p.delay(0), Duration::ZERO);
+        assert_eq!(p.delay(1), Duration::from_millis(10));
+        assert_eq!(p.delay(2), Duration::from_millis(20));
+        assert_eq!(p.delay(3), Duration::from_millis(40));
+        assert_eq!(p.delay(4), Duration::from_millis(75));
+        assert_eq!(p.delay(5), Duration::from_millis(75));
+    }
+
+    #[test]
+    fn huge_attempt_numbers_do_not_overflow() {
+        let p = RetryPolicy::paper_default();
+        assert_eq!(p.delay(u32::MAX), p.cap);
+        assert_eq!(p.delay(64), p.cap);
+    }
+}

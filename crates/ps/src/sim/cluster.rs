@@ -11,14 +11,16 @@
 //! config produce identical results (asserted by the integration tests).
 
 use super::config::{ClusterConfig, SyncMode};
-use super::metrics::{GradTransferLog, RunResult};
+use super::metrics::{FaultStats, GradTransferLog, RunResult};
 use prophet_core::{CommScheduler, Dir, TransferTask, Transport};
-use prophet_net::{BandwidthMonitor, FlowEnd, NetEvent, Network, NodeId, NodeSpec, Topology};
-use prophet_sim::{
-    Duration, EventQueue, InvariantChecker, RateSeries, SimTime, SpanCollector, TimeWeighted,
-    TraceEvent, TraceRecorder, TraceSink, Xoshiro256StarStar,
+use prophet_net::{
+    BandwidthMonitor, FlowEnd, KilledFlow, NetEvent, Network, NodeId, NodeSpec, Topology,
 };
-use std::collections::{HashMap, VecDeque};
+use prophet_sim::{
+    Duration, EventQueue, FaultKind, FaultSpec, InvariantChecker, RateSeries, SimTime,
+    SpanCollector, TimeWeighted, TraceEvent, TraceRecorder, TraceSink, Xoshiro256StarStar,
+};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 #[derive(Debug)]
 enum Ev {
@@ -38,6 +40,14 @@ enum Ev {
     SampleTick,
     /// Scheduled capacity change (dynamic-network experiments).
     BandwidthChange { bps: f64 },
+    /// Fault `idx` of the plan becomes active.
+    FaultBegin { idx: usize },
+    /// Fault `idx` of the plan clears (link restored, shard restarted).
+    FaultFinish { idx: usize },
+    /// A lane's retry backoff expired; try to start its next message.
+    LaneKick { key: (usize, usize, Dir) },
+    /// Ack timeout for the message last sent as flow `tag`.
+    MsgTimeout { tag: u64 },
 }
 
 /// A scheduler-issued message in flight, possibly split across PS shards.
@@ -47,6 +57,9 @@ struct InFlightTask {
     task: TransferTask,
     started: SimTime,
     subflows_remaining: usize,
+    /// A shard-crash replay: re-pushes aggregation bytes the crash wiped,
+    /// bypassing the scheduler (which already saw `task_done` for them).
+    replay: bool,
 }
 
 /// One message queued on a transmission lane.
@@ -55,6 +68,14 @@ struct QueuedMsg {
     bytes: u64,
     src: NodeId,
     dst: NodeId,
+    /// Owning scheduler task.
+    task_id: u64,
+    /// The `(gradient, bytes)` pieces this message carries on its shard.
+    pieces: Vec<(usize, u64)>,
+    /// Failed sends so far; drives the backoff (0 = original send).
+    attempt: u32,
+    /// Marked lost by `MsgLoss`: completes on the wire, delivery discarded.
+    doomed: bool,
 }
 
 /// A transmission lane: one persistent connection per `(worker, shard,
@@ -70,6 +91,10 @@ struct Lane {
     queue: VecDeque<QueuedMsg>,
     last_end: SimTime,
     ever_used: bool,
+    /// The message currently on the wire (`Some` iff `active`).
+    current: Option<QueuedMsg>,
+    /// Retry backoff: no new message may start before this instant.
+    blocked_until: SimTime,
 }
 
 impl Lane {
@@ -79,6 +104,8 @@ impl Lane {
             queue: VecDeque::new(),
             last_end: SimTime::ZERO,
             ever_used: false,
+            current: None,
+            blocked_until: SimTime::ZERO,
         }
     }
 }
@@ -105,6 +132,10 @@ struct WorkerRt {
     busy_start: SimTime,
     busy_accum: Duration,
     bytes_accum: f64,
+    /// Transfer failures since the last monitor tick (fault plans only):
+    /// with failures and no measured goodput the monitor publishes
+    /// nothing, so schedulers can see the estimate go stale.
+    failures_since_tick: u32,
     iter_start: SimTime,
     // Per-gradient timing logs for the current iteration.
     ready_at: Vec<SimTime>,
@@ -136,6 +167,24 @@ struct Cluster {
     next_flow_tag: u64,
     sizes: Vec<u64>,
     fwd_times: Vec<Duration>,
+
+    // Fault-injection state. All of it is inert when the plan is empty:
+    // no fault event is enqueued, no RNG drawn, no timeout scheduled —
+    // the run is bit-identical to a build without this layer.
+    node_down: Vec<bool>,
+    node_degrade: Vec<f64>,
+    node_base_bps: Vec<f64>,
+    stall_until: Vec<SimTime>,
+    loss_rate: f64,
+    loss_until: SimTime,
+    fault_rng: Xoshiro256StarStar,
+    /// Retries so far per `(worker, iter, grad)` episode; an entry is
+    /// closed (removed) when the gradient finally delivers (`Recovered`).
+    retry_counts: HashMap<(usize, u64, usize), u32>,
+    /// `(worker, grad, dir)` whose PushStart/PullStart was voided by a
+    /// retry and must be re-stamped when the re-send hits the wire.
+    needs_stamp: HashSet<(usize, usize, Dir)>,
+    fault_stats: FaultStats,
 
     // Typed event stream sinks (the cross-stack trace/invariant layer).
     checker: Option<InvariantChecker>,
@@ -172,9 +221,9 @@ impl Cluster {
             topo.add_node(NodeSpec::symmetric(cfg.worker_bandwidth(w)));
         }
         let mut net = Network::new(topo, cfg.tcp);
-        let checker = cfg
-            .check_invariants
-            .then(|| InvariantChecker::new(cfg.workers, cfg.sync == SyncMode::Bsp));
+        let checker = cfg.check_invariants.then(|| {
+            InvariantChecker::new(cfg.workers, cfg.sync == SyncMode::Bsp).with_shards(shards)
+        });
         let span_sink = cfg.typed_trace.then(SpanCollector::new);
         if checker.is_some() || span_sink.is_some() {
             net.record_events(true);
@@ -199,6 +248,7 @@ impl Cluster {
                 busy_start: SimTime::ZERO,
                 busy_accum: Duration::ZERO,
                 bytes_accum: 0.0,
+                failures_since_tick: 0,
                 iter_start: SimTime::ZERO,
                 ready_at: vec![UNSET; n],
                 push_start: vec![UNSET; n],
@@ -215,7 +265,31 @@ impl Cluster {
             TraceRecorder::disabled()
         };
         let sample_window = cfg.sample_window;
+        let nodes = shards + cfg.workers;
+        let node_base_bps: Vec<f64> = (0..nodes)
+            .map(|n| {
+                if n < shards {
+                    cfg.ps_bps
+                } else {
+                    cfg.worker_bandwidth(n - shards)
+                }
+            })
+            .collect();
+        // Fault-local randomness (MsgLoss Bernoulli draws) comes from its
+        // own substream so adding faults never perturbs compute jitter.
+        let fault_rng = master.substream(u64::MAX ^ cfg.fault_plan.seed);
+        let stall_until = vec![SimTime::ZERO; cfg.workers];
         Cluster {
+            node_down: vec![false; nodes],
+            node_degrade: vec![1.0; nodes],
+            node_base_bps,
+            stall_until,
+            loss_rate: 0.0,
+            loss_until: SimTime::ZERO,
+            fault_rng,
+            retry_counts: HashMap::new(),
+            needs_stamp: HashSet::new(),
+            fault_stats: FaultStats::default(),
             cfg,
             total_iters,
             queue: EventQueue::new(),
@@ -310,6 +384,17 @@ impl Cluster {
                     dst: dst.0,
                     delivered,
                 },
+                NetEvent::FlowKilled {
+                    tag,
+                    src,
+                    dst,
+                    delivered,
+                } => TraceEvent::FlowKilled {
+                    tag,
+                    src: src.0,
+                    dst: dst.0,
+                    delivered,
+                },
             };
             self.emit(at, typed);
         }
@@ -327,6 +412,12 @@ impl Cluster {
             self.queue
                 .schedule(SimTime::ZERO + at, Ev::BandwidthChange { bps });
         }
+        if self.has_faults() {
+            for (idx, f) in self.cfg.fault_plan.faults.clone().iter().enumerate() {
+                self.queue.schedule(f.at(), Ev::FaultBegin { idx });
+                self.queue.schedule(f.until(), Ev::FaultFinish { idx });
+            }
+        }
 
         while let Some((now, ev)) = self.queue.pop() {
             // Bring the network to `now` first so every handler sees a
@@ -334,6 +425,20 @@ impl Cluster {
             // else that happens at this instant).
             self.drain_net(now);
             match ev {
+                // A stalled worker's compute events are deferred to the end
+                // of the stall window (fault plans only).
+                Ev::IterBegin { w } if self.stalled(now, w) => {
+                    let t = self.stall_until[w];
+                    self.queue.schedule(t, Ev::IterBegin { w });
+                }
+                Ev::GradReady { w, iter, grad } if self.stalled(now, w) => {
+                    let t = self.stall_until[w];
+                    self.queue.schedule(t, Ev::GradReady { w, iter, grad });
+                }
+                Ev::FwdDone { w, iter, grad } if self.stalled(now, w) => {
+                    let t = self.stall_until[w];
+                    self.queue.schedule(t, Ev::FwdDone { w, iter, grad });
+                }
                 Ev::IterBegin { w } => self.on_iter_begin(now, w),
                 Ev::GradReady { w, iter, grad } => self.on_grad_ready(now, w, iter, grad),
                 Ev::FwdDone { w, iter, grad } => self.on_fwd_done(now, w, iter, grad),
@@ -341,12 +446,30 @@ impl Cluster {
                 Ev::MonitorTick => self.on_monitor_tick(now),
                 Ev::SampleTick => self.on_sample_tick(now),
                 Ev::BandwidthChange { bps } => self.on_bandwidth_change(now, bps),
+                Ev::FaultBegin { idx } => self.on_fault_begin(now, idx),
+                Ev::FaultFinish { idx } => self.on_fault_finish(now, idx),
+                Ev::LaneKick { key } => {
+                    self.kick_lane(now, key);
+                    self.forward_net_events_up_to(now);
+                }
+                Ev::MsgTimeout { tag } => self.on_msg_timeout(now, tag),
             }
             self.arm_net();
             if self.finished() && self.net.active_flows() == 0 {
-                // Drop the periodic ticks so the loop terminates.
-                self.queue
-                    .retain(|e| !matches!(e, Ev::MonitorTick | Ev::SampleTick));
+                // Drop the periodic ticks (and any leftover fault-layer
+                // timers — they would only spin the clock) so the loop
+                // terminates.
+                self.queue.retain(|e| {
+                    !matches!(
+                        e,
+                        Ev::MonitorTick
+                            | Ev::SampleTick
+                            | Ev::MsgTimeout { .. }
+                            | Ev::LaneKick { .. }
+                            | Ev::FaultBegin { .. }
+                            | Ev::FaultFinish { .. }
+                    )
+                });
             }
         }
         // Flush any net-ledger stragglers, then run the end-of-run audit
@@ -385,6 +508,11 @@ impl Cluster {
             wk.iter_start = now;
             wk.gpu.set(now, 1.0); // backward compute starts immediately
             wk.sched.iteration_begin(now, iter);
+        }
+        if self.has_faults() {
+            // Episode hygiene: drop retry state from completed iterations.
+            self.retry_counts
+                .retain(|&(w2, i, _), _| w2 != w || i >= iter);
         }
         self.emit(now, TraceEvent::IterBegin { worker: w, iter });
         if w == 0 {
@@ -567,9 +695,12 @@ impl Cluster {
     /// Reconfigure every NIC to `bps` (the PS shards included, so the
     /// whole fabric shifts together, like an EC2 bandwidth-tier change).
     fn on_bandwidth_change(&mut self, now: SimTime, bps: f64) {
-        let spec = NodeSpec::symmetric(bps);
         let nodes = self.cfg.ps_shards + self.cfg.workers;
         for n in 0..nodes {
+            // Any active degradation multiplies the new base capacity
+            // (×1.0 fault-free, which is bit-identical to the plain value).
+            self.node_base_bps[n] = bps;
+            let spec = NodeSpec::symmetric(bps * self.node_degrade[n]);
             // drain_net ran at the top of the event loop, so no completion
             // can be pending at `now`.
             let done = self.net.set_node_spec(now, NodeId(n), spec);
@@ -599,8 +730,17 @@ impl Cluster {
                 wk.busy_accum = Duration::ZERO;
                 wk.bytes_accum = 0.0;
                 est
+            };
+            let fails = std::mem::take(&mut self.workers[w].failures_since_tick);
+            // With transfer failures this period and no measured goodput
+            // there is nothing honest to publish: stay silent so Prophet's
+            // staleness detector sees the gap. Fault-free, `fails` is
+            // always 0 and this branch never taken.
+            if est.is_none() && fails > 0 {
+                self.pump(now, w);
+                continue;
             }
-            .unwrap_or_else(|| self.cfg.worker_bandwidth(w));
+            let est = est.unwrap_or_else(|| self.cfg.worker_bandwidth(w));
             self.workers[w].sched.bandwidth_update(now, est);
             if w == 0 {
                 self.bandwidth_estimates.push((now, est));
@@ -662,6 +802,7 @@ impl Cluster {
                 }
             }
             for g in first_touch {
+                self.needs_stamp.remove(&(w, g, Dir::Push));
                 self.emit(
                     now,
                     TraceEvent::PushStart {
@@ -680,6 +821,7 @@ impl Cluster {
                 }
             }
             for g in first_touch {
+                self.needs_stamp.remove(&(w, g, Dir::Pull));
                 self.emit(
                     now,
                     TraceEvent::PullStart {
@@ -690,13 +832,17 @@ impl Cluster {
                 );
             }
         }
-        // Group pieces by destination shard.
-        let mut by_shard: Vec<(NodeId, u64)> = Vec::new();
+        // Group pieces by destination shard: (shard, total bytes, pieces).
+        type ShardGroup = (NodeId, u64, Vec<(usize, u64)>);
+        let mut by_shard: Vec<ShardGroup> = Vec::new();
         for &(g, b) in &task.pieces {
             let shard = self.shard_of(g);
-            match by_shard.iter_mut().find(|(s, _)| *s == shard) {
-                Some((_, bytes)) => *bytes += b,
-                None => by_shard.push((shard, b)),
+            match by_shard.iter_mut().find(|(s, _, _)| *s == shard) {
+                Some((_, bytes, pieces)) => {
+                    *bytes += b;
+                    pieces.push((g, b));
+                }
+                None => by_shard.push((shard, b, vec![(g, b)])),
             }
         }
         if by_shard.is_empty() {
@@ -716,9 +862,10 @@ impl Cluster {
                 task,
                 started: now,
                 subflows_remaining: nflows,
+                replay: false,
             },
         );
-        for (shard, bytes) in by_shard {
+        for (shard, bytes, pieces) in by_shard {
             let (src, dst) = match dir {
                 Dir::Push => (node, shard),
                 Dir::Pull => (shard, node),
@@ -736,6 +883,10 @@ impl Cluster {
                     bytes,
                     src,
                     dst,
+                    task_id,
+                    pieces,
+                    attempt: 0,
+                    doomed: false,
                 });
             self.kick_lane(now, key);
         }
@@ -744,24 +895,89 @@ impl Cluster {
         self.forward_net_events_up_to(now);
     }
 
-    /// Start the next queued message on a lane if it is idle.
+    /// Start the next queued message on a lane if it is idle, past any
+    /// retry backoff, and both endpoints are up.
     fn kick_lane(&mut self, now: SimTime, key: (usize, usize, Dir)) {
         let transport = self.workers[key.0].sched.transport();
         let warm_timeout = self.cfg.warm_timeout;
-        let lane = self.lanes.get_mut(&key).expect("lane exists");
-        if lane.active {
-            return;
-        }
-        let Some(msg) = lane.queue.pop_front() else {
-            return;
+        let faults = self.has_faults();
+        let (mut msg, warm) = {
+            let lane = self.lanes.get_mut(&key).expect("lane exists");
+            if lane.active {
+                return;
+            }
+            if faults {
+                if now < lane.blocked_until {
+                    return; // backing off; a LaneKick is already scheduled
+                }
+                let wnode = self.cfg.ps_shards + key.0;
+                if self.node_down[wnode] || self.node_down[key.1] {
+                    return; // endpoint down; kicked again on restore
+                }
+            }
+            let Some(msg) = lane.queue.pop_front() else {
+                return;
+            };
+            let warm = transport == Transport::Pipelined
+                && lane.ever_used
+                && now.saturating_since(lane.last_end) <= warm_timeout;
+            lane.active = true;
+            lane.ever_used = true;
+            (msg, warm)
         };
-        let warm = transport == Transport::Pipelined
-            && lane.ever_used
-            && now.saturating_since(lane.last_end) <= warm_timeout;
-        lane.active = true;
-        lane.ever_used = true;
+        if faults {
+            // During a loss window every (re)send is lost with the plan's
+            // probability: the bytes cross the wire but the receiver never
+            // acknowledges them.
+            if now < self.loss_until
+                && self.loss_rate > 0.0
+                && self.fault_rng.next_f64() < self.loss_rate
+            {
+                msg.doomed = true;
+                self.fault_stats.messages_lost += 1;
+            }
+            // Re-stamp pieces whose start a failed attempt voided.
+            if msg.attempt > 0 {
+                let iter = self.tasks.get(&msg.task_id).expect("unknown task").iter;
+                for &(g, _) in &msg.pieces.clone() {
+                    if self.needs_stamp.remove(&(key.0, g, key.2)) {
+                        let wk = &mut self.workers[key.0];
+                        let ev = match key.2 {
+                            Dir::Push => {
+                                if wk.push_start[g] == UNSET {
+                                    wk.push_start[g] = now;
+                                }
+                                TraceEvent::PushStart {
+                                    worker: key.0,
+                                    iter,
+                                    grad: g,
+                                }
+                            }
+                            Dir::Pull => {
+                                if wk.pull_start[g] == UNSET {
+                                    wk.pull_start[g] = now;
+                                }
+                                TraceEvent::PullStart {
+                                    worker: key.0,
+                                    iter,
+                                    grad: g,
+                                }
+                            }
+                        };
+                        self.emit(now, ev);
+                    }
+                }
+            }
+            // Every send is covered by an ack timeout; a stale timeout
+            // (the message delivered or was re-tagged) is a no-op.
+            self.queue.schedule(
+                now + self.cfg.retry.timeout,
+                Ev::MsgTimeout { tag: msg.tag },
+            );
+        }
         self.net
             .start_flow_with_warmth(now, msg.src, msg.dst, msg.bytes, msg.tag, warm);
+        self.lanes.get_mut(&key).expect("lane exists").current = Some(msg);
     }
 
     /// Advance the network to `now` and process completions.
@@ -780,9 +996,9 @@ impl Cluster {
     }
 
     fn handle_flow_end(&mut self, end: FlowEnd) {
-        let task_id = self
+        let task_id = *self
             .flow_task
-            .remove(&end.tag)
+            .get(&end.tag)
             .expect("completion for unknown flow");
         let (worker, dir) = {
             let t = self.tasks.get(&task_id).expect("unknown task");
@@ -794,11 +1010,22 @@ impl Cluster {
             Dir::Pull => end.src.0,
         };
         let key = (worker, shard, dir);
-        {
+        let msg = {
             let lane = self.lanes.get_mut(&key).expect("lane exists");
             lane.active = false;
             lane.last_end = end.finished;
+            lane.current.take()
+        };
+        if let Some(m) = msg {
+            if m.doomed {
+                // The bytes crossed the wire but the loss window ate the
+                // message: deliver nothing and retry the send.
+                self.fault_stats.wasted_bytes += m.bytes as f64;
+                self.fail_message(end.finished, key, m);
+                return;
+            }
         }
+        self.flow_task.remove(&end.tag);
         self.kick_lane(end.finished, key);
         let done = {
             let inflight = self.tasks.get_mut(&task_id).expect("unknown task");
@@ -814,6 +1041,16 @@ impl Cluster {
     fn on_task_complete(&mut self, now: SimTime, inflight: InFlightTask) {
         let w = inflight.worker;
         let iter = inflight.iter;
+        if inflight.replay {
+            // A crash replay bypasses the scheduler: the strategy already
+            // got `task_done` when the original delivery completed — only
+            // the PS-side aggregation state is being reconstructed.
+            for (g, b) in inflight.task.pieces.clone() {
+                self.on_push_bytes(now, w, iter, g, b);
+            }
+            self.pump(now, w);
+            return;
+        }
         self.workers[w].sched.task_done(now, &inflight.task);
         match inflight.task.dir {
             Dir::Push => {
@@ -886,6 +1123,18 @@ impl Cluster {
             if w == 0 {
                 self.workers[0].push_end[g] = now;
             }
+            if let Some(c) = self.retry_counts.remove(&(w, iter, g)) {
+                self.fault_stats.recoveries += 1;
+                self.emit(
+                    now,
+                    TraceEvent::Recovered {
+                        worker: w,
+                        iter,
+                        grad: g,
+                        attempts: c,
+                    },
+                );
+            }
             self.emit(
                 now,
                 TraceEvent::PushEnd {
@@ -939,6 +1188,18 @@ impl Cluster {
                 wk.pull_end[g] = now;
                 wk.iter
             };
+            if let Some(c) = self.retry_counts.remove(&(w, iter, g)) {
+                self.fault_stats.recoveries += 1;
+                self.emit(
+                    now,
+                    TraceEvent::Recovered {
+                        worker: w,
+                        iter,
+                        grad: g,
+                        attempts: c,
+                    },
+                );
+            }
             self.emit(
                 now,
                 TraceEvent::PullEnd {
@@ -954,6 +1215,343 @@ impl Cluster {
     fn arm_net(&mut self) {
         if let Some(t) = self.net.next_event_time() {
             self.queue.schedule(t, Ev::NetWake);
+        }
+    }
+
+    // ---- fault injection -------------------------------------------------
+
+    fn has_faults(&self) -> bool {
+        !self.cfg.fault_plan.is_empty()
+    }
+
+    /// Is worker `w`'s compute inside an active `WorkerStall` window?
+    fn stalled(&self, now: SimTime, w: usize) -> bool {
+        self.has_faults() && now < self.stall_until[w]
+    }
+
+    fn on_fault_begin(&mut self, now: SimTime, idx: usize) {
+        let spec = self.cfg.fault_plan.faults[idx];
+        match spec {
+            FaultSpec::LinkDown { node, .. } => {
+                self.emit(
+                    now,
+                    TraceEvent::FaultStart {
+                        kind: FaultKind::LinkDown,
+                        node,
+                    },
+                );
+                self.node_down[node] = true;
+                let kills = self.net.kill_flows_touching(now, NodeId(node));
+                self.fail_flows(now, kills);
+            }
+            FaultSpec::LinkDegrade { node, factor, .. } => {
+                self.emit(
+                    now,
+                    TraceEvent::FaultStart {
+                        kind: FaultKind::LinkDegrade,
+                        node,
+                    },
+                );
+                self.node_degrade[node] = factor;
+                self.apply_node_cap(now, node);
+            }
+            FaultSpec::MsgLoss { rate, .. } => {
+                self.emit(
+                    now,
+                    TraceEvent::FaultStart {
+                        kind: FaultKind::MsgLoss,
+                        node: usize::MAX,
+                    },
+                );
+                self.loss_rate = rate;
+                self.loss_until = spec.until();
+            }
+            FaultSpec::ShardCrash { shard, .. } => {
+                self.emit(
+                    now,
+                    TraceEvent::FaultStart {
+                        kind: FaultKind::ShardCrash,
+                        node: shard,
+                    },
+                );
+                self.node_down[shard] = true;
+                let kills = self.net.kill_flows_touching(now, NodeId(shard));
+                self.fail_flows(now, kills);
+                self.wipe_shard_state(now, shard);
+            }
+            FaultSpec::WorkerStall { worker, .. } => {
+                self.emit(
+                    now,
+                    TraceEvent::FaultStart {
+                        kind: FaultKind::WorkerStall,
+                        node: self.cfg.ps_shards + worker,
+                    },
+                );
+                self.stall_until[worker] = spec.until();
+            }
+        }
+    }
+
+    fn on_fault_finish(&mut self, now: SimTime, idx: usize) {
+        let spec = self.cfg.fault_plan.faults[idx];
+        match spec {
+            FaultSpec::LinkDown { node, .. } => {
+                self.node_down[node] = false;
+                self.cold_restart_lanes(node);
+                self.emit(
+                    now,
+                    TraceEvent::FaultEnd {
+                        kind: FaultKind::LinkDown,
+                        node,
+                    },
+                );
+                self.kick_lanes_touching(now, node);
+            }
+            FaultSpec::LinkDegrade { node, .. } => {
+                self.node_degrade[node] = 1.0;
+                self.apply_node_cap(now, node);
+                self.emit(
+                    now,
+                    TraceEvent::FaultEnd {
+                        kind: FaultKind::LinkDegrade,
+                        node,
+                    },
+                );
+            }
+            FaultSpec::MsgLoss { .. } => {
+                self.loss_rate = 0.0;
+                self.loss_until = SimTime::ZERO;
+                self.emit(
+                    now,
+                    TraceEvent::FaultEnd {
+                        kind: FaultKind::MsgLoss,
+                        node: usize::MAX,
+                    },
+                );
+            }
+            FaultSpec::ShardCrash { shard, .. } => {
+                self.node_down[shard] = false;
+                self.cold_restart_lanes(shard);
+                self.emit(
+                    now,
+                    TraceEvent::FaultEnd {
+                        kind: FaultKind::ShardCrash,
+                        node: shard,
+                    },
+                );
+                self.kick_lanes_touching(now, shard);
+            }
+            FaultSpec::WorkerStall { worker, .. } => {
+                self.emit(
+                    now,
+                    TraceEvent::FaultEnd {
+                        kind: FaultKind::WorkerStall,
+                        node: self.cfg.ps_shards + worker,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Re-apply a node's capacity (base × degradation factor).
+    fn apply_node_cap(&mut self, now: SimTime, node: usize) {
+        let spec = NodeSpec::symmetric(self.node_base_bps[node] * self.node_degrade[node]);
+        let done = self.net.set_node_spec(now, NodeId(node), spec);
+        debug_assert!(done.is_empty());
+    }
+
+    /// Connections do not survive an outage: every lane touching `node`
+    /// comes back *cold* (full setup + slow-start on the next message).
+    fn cold_restart_lanes(&mut self, node: usize) {
+        let shards = self.cfg.ps_shards;
+        for (&(w, shard, _), lane) in self.lanes.iter_mut() {
+            if shard == node || shards + w == node {
+                lane.ever_used = false;
+            }
+        }
+    }
+
+    /// Kick every lane touching `node`, in deterministic key order.
+    fn kick_lanes_touching(&mut self, now: SimTime, node: usize) {
+        let shards = self.cfg.ps_shards;
+        let mut keys: Vec<(usize, usize, Dir)> = self
+            .lanes
+            .keys()
+            .filter(|&&(w, shard, _)| shard == node || shards + w == node)
+            .copied()
+            .collect();
+        keys.sort_by_key(|&(w, s, d)| (w, s, matches!(d, Dir::Pull) as u8));
+        for key in keys {
+            self.kick_lane(now, key);
+        }
+        self.forward_net_events_up_to(now);
+    }
+
+    fn on_msg_timeout(&mut self, now: SimTime, tag: u64) {
+        if !self.flow_task.contains_key(&tag) {
+            return; // delivered, or already retried under a fresh tag
+        }
+        if let Some(kf) = self.net.kill_flow(now, tag) {
+            self.fail_flows(now, vec![kf]);
+        }
+    }
+
+    /// Handle flows the network just killed: close their lanes, void the
+    /// affected gradients' stamps, and queue the messages for re-send.
+    fn fail_flows(&mut self, now: SimTime, kills: Vec<KilledFlow>) {
+        // Ledger first: sinks must see each FlowKilled before the
+        // RetryAttempt it causes.
+        self.forward_net_events_up_to(now);
+        for kf in kills {
+            self.fault_stats.flows_killed += 1;
+            self.fault_stats.wasted_bytes += kf.delivered;
+            let key = self.flow_key(&kf);
+            let msg = {
+                let lane = self.lanes.get_mut(&key).expect("lane exists");
+                lane.active = false;
+                lane.last_end = now;
+                lane.current
+                    .take()
+                    .expect("killed flow had no current message")
+            };
+            debug_assert_eq!(msg.tag, kf.tag);
+            self.fail_message(now, key, msg);
+        }
+    }
+
+    /// Derive the lane key of a killed flow from its endpoints (shards
+    /// occupy the low node indices, workers follow).
+    fn flow_key(&self, kf: &KilledFlow) -> (usize, usize, Dir) {
+        let shards = self.cfg.ps_shards;
+        if kf.src.0 < shards {
+            (kf.dst.0 - shards, kf.src.0, Dir::Pull)
+        } else {
+            (kf.src.0 - shards, kf.dst.0, Dir::Push)
+        }
+    }
+
+    /// Re-queue a failed message under a fresh tag with one more attempt,
+    /// back its lane off, and void the stamps of the gradients it carried.
+    fn fail_message(&mut self, now: SimTime, key: (usize, usize, Dir), mut msg: QueuedMsg) {
+        let (w, _, dir) = key;
+        self.flow_task.remove(&msg.tag);
+        let tag = self.next_flow_tag;
+        self.next_flow_tag += 1;
+        self.flow_task.insert(tag, msg.task_id);
+        msg.tag = tag;
+        msg.attempt += 1;
+        msg.doomed = false;
+        self.fault_stats.retried_bytes += msg.bytes;
+        self.workers[w].failures_since_tick += 1;
+        let (iter, task) = {
+            let t = self.tasks.get(&msg.task_id).expect("unknown task");
+            (t.iter, t.task.clone())
+        };
+        self.workers[w].sched.transfer_failed(now, &task);
+        for &(g, _) in &msg.pieces.clone() {
+            self.note_retry(now, w, iter, g, dir);
+        }
+        let delay = self.cfg.retry.delay(msg.attempt);
+        let until = now + delay;
+        let lane = self.lanes.get_mut(&key).expect("lane exists");
+        lane.queue.push_front(msg);
+        if until > lane.blocked_until {
+            lane.blocked_until = until;
+        }
+        self.queue.schedule(until, Ev::LaneKick { key });
+    }
+
+    /// Record one retry step for `(w, iter, g)` and void its stamps so the
+    /// re-send re-stamps them. Coalesced: while the gradient is already
+    /// awaiting a re-stamp, further failures join the episode silently.
+    fn note_retry(&mut self, now: SimTime, w: usize, iter: u64, g: usize, dir: Dir) {
+        if !self.needs_stamp.insert((w, g, dir)) {
+            return;
+        }
+        {
+            let wk = &mut self.workers[w];
+            match dir {
+                Dir::Push => {
+                    wk.push_start[g] = UNSET;
+                    wk.push_end[g] = UNSET;
+                }
+                Dir::Pull => wk.pull_start[g] = UNSET,
+            }
+        }
+        let c = self.retry_counts.entry((w, iter, g)).or_insert(0);
+        *c += 1;
+        let attempt = *c;
+        self.fault_stats.retries += 1;
+        self.emit(
+            now,
+            TraceEvent::RetryAttempt {
+                worker: w,
+                iter,
+                grad: g,
+                attempt,
+            },
+        );
+    }
+
+    /// A crashed shard loses its in-memory aggregation state: every
+    /// worker's already-delivered bytes for gradients on that shard must
+    /// be pushed again. Completed pushes are voided (the checker un-counts
+    /// their barrier arrivals) and replay messages are synthesised outside
+    /// the schedulers, which already saw `task_done` for those bytes.
+    fn wipe_shard_state(&mut self, now: SimTime, shard: usize) {
+        let mut wiped: Vec<((u64, usize), Vec<u64>)> = self
+            .agg
+            .iter()
+            .filter(|((_, g), _)| self.shard_of(*g).0 == shard)
+            .map(|(&k, st)| (k, st.per_worker_bytes.clone()))
+            .collect();
+        wiped.sort_by_key(|&(k, _)| k);
+        for ((iter, g), per_worker) in wiped {
+            self.agg.remove(&(iter, g));
+            for (w, &b) in per_worker.iter().enumerate() {
+                if b == 0 {
+                    continue;
+                }
+                self.fault_stats.replays += 1;
+                self.fault_stats.retried_bytes += b;
+                self.workers[w].failures_since_tick += 1;
+                let task = TransferTask::slice(Dir::Push, g, b);
+                self.workers[w].sched.transfer_failed(now, &task);
+                self.note_retry(now, w, iter, g, Dir::Push);
+                let task_id = self.next_task_id;
+                self.next_task_id += 1;
+                self.tasks.insert(
+                    task_id,
+                    InFlightTask {
+                        worker: w,
+                        iter,
+                        task,
+                        started: now,
+                        subflows_remaining: 1,
+                        replay: true,
+                    },
+                );
+                let tag = self.next_flow_tag;
+                self.next_flow_tag += 1;
+                self.flow_task.insert(tag, task_id);
+                let key = (w, shard, Dir::Push);
+                let node = self.workers[w].node;
+                self.lanes
+                    .entry(key)
+                    .or_insert_with(Lane::new)
+                    .queue
+                    .push_back(QueuedMsg {
+                        tag,
+                        bytes: b,
+                        src: node,
+                        dst: NodeId(shard),
+                        task_id,
+                        pieces: vec![(g, b)],
+                        attempt: 1,
+                        doomed: false,
+                    });
+                // No kick — the shard is down; restart kicks the lanes.
+            }
         }
     }
 
@@ -999,6 +1597,17 @@ impl Cluster {
             .take()
             .map(SpanCollector::into_spans)
             .unwrap_or_default();
+        // Every retry episode must have closed with a delivery; a leftover
+        // entry means a gradient was dropped on the floor.
+        debug_assert!(
+            self.retry_counts.is_empty(),
+            "unrecovered retry episodes at end of run: {:?}",
+            self.retry_counts
+        );
+        let mut fault_stats = self.fault_stats.clone();
+        fault_stats.wire_bytes = (0..self.cfg.ps_shards + self.cfg.workers)
+            .map(|n| self.net.tx_bytes(NodeId(n)))
+            .sum();
         RunResult {
             scheduler: self.cfg.scheduler.label().to_string(),
             iterations: self.total_iters,
@@ -1016,6 +1625,7 @@ impl Cluster {
             credit_trace: self.credit_trace,
             bandwidth_estimates: self.bandwidth_estimates,
             grad_spans,
+            fault_stats,
         }
     }
 }
@@ -1215,5 +1825,201 @@ mod tests {
         assert!(r.trace.lane("w0.gpu").count() > 0);
         assert!(r.trace.lane("w0.up").count() > 0);
         assert!(r.trace.lane("w0.down").count() > 0);
+    }
+
+    // ---- fault injection -------------------------------------------------
+
+    use prophet_sim::{FaultPlan, FaultSpec};
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::ZERO + Duration::from_millis(v)
+    }
+
+    #[test]
+    fn fault_free_run_has_zero_fault_stats() {
+        let r = run_cluster(&base(SchedulerKind::Fifo), 3);
+        assert_eq!(r.fault_stats.retries, 0);
+        assert_eq!(r.fault_stats.flows_killed, 0);
+        assert_eq!(r.fault_stats.messages_lost, 0);
+        assert_eq!(r.fault_stats.replays, 0);
+        assert_eq!(r.fault_stats.recoveries, 0);
+        assert!(r.fault_stats.wire_bytes > 0.0);
+    }
+
+    #[test]
+    fn link_down_kills_retries_and_recovers() {
+        let mut cfg = base(SchedulerKind::Fifo);
+        // Worker 1's node (shards=1, so node index 2) loses its links in
+        // the middle of iteration 0's push phase.
+        cfg.fault_plan = FaultPlan::new(vec![FaultSpec::LinkDown {
+            node: 2,
+            at: ms(30),
+            dur: Duration::from_millis(60),
+        }]);
+        let r = run_cluster(&cfg, 3);
+        assert_eq!(r.iter_times.len(), 3, "run did not complete");
+        assert!(r.fault_stats.flows_killed > 0, "{:?}", r.fault_stats);
+        assert!(r.fault_stats.retries > 0, "{:?}", r.fault_stats);
+        assert!(
+            r.fault_stats.recoveries > 0 && r.fault_stats.recoveries <= r.fault_stats.retries,
+            "every retried gradient must eventually deliver: {:?}",
+            r.fault_stats
+        );
+        // Same plan, same seed: bit-identical outcome.
+        let r2 = run_cluster(&cfg, 3);
+        assert_eq!(r.iter_times, r2.iter_times);
+        assert_eq!(r.duration, r2.duration);
+        assert_eq!(r.fault_stats, r2.fault_stats);
+    }
+
+    #[test]
+    fn link_degrade_slows_training_but_completes() {
+        let mut healthy = base(SchedulerKind::Fifo);
+        healthy.compute_jitter = 0.0;
+        let mut degraded = healthy.clone();
+        degraded.fault_plan = FaultPlan::new(vec![FaultSpec::LinkDegrade {
+            node: 0, // the PS NIC: every transfer shares the pain
+            at: ms(10),
+            factor: 0.15,
+            dur: Duration::from_millis(400),
+        }]);
+        let rh = run_cluster(&healthy, 3);
+        let rd = run_cluster(&degraded, 3);
+        assert_eq!(rd.iter_times.len(), 3);
+        assert!(
+            rd.duration > rh.duration,
+            "degraded {:?} should be slower than healthy {:?}",
+            rd.duration,
+            rh.duration
+        );
+    }
+
+    #[test]
+    fn msg_loss_dooms_messages_deterministically() {
+        let mut cfg = base(SchedulerKind::Fifo);
+        cfg.fault_plan = FaultPlan::new(vec![FaultSpec::MsgLoss {
+            rate: 0.25,
+            at: ms(0),
+            dur: Duration::from_millis(250),
+        }]);
+        let r = run_cluster(&cfg, 3);
+        assert_eq!(r.iter_times.len(), 3);
+        assert!(r.fault_stats.messages_lost > 0, "{:?}", r.fault_stats);
+        assert!(
+            r.fault_stats.recoveries > 0 && r.fault_stats.recoveries <= r.fault_stats.retries,
+            "{:?}",
+            r.fault_stats
+        );
+        let r2 = run_cluster(&cfg, 3);
+        assert_eq!(r.fault_stats, r2.fault_stats);
+        assert_eq!(r.duration, r2.duration);
+        // A different plan seed redraws the losses.
+        let mut cfg3 = cfg.clone();
+        cfg3.fault_plan.seed ^= 0xDEAD;
+        let r3 = run_cluster(&cfg3, 3);
+        assert_ne!(
+            (r.duration, r.fault_stats.messages_lost),
+            (r3.duration, r3.fault_stats.messages_lost),
+            "plan seed had no effect"
+        );
+    }
+
+    #[test]
+    fn shard_crash_replays_wiped_aggregation_state() {
+        let mut cfg = base(SchedulerKind::Fifo);
+        cfg.fault_plan = FaultPlan::new(vec![FaultSpec::ShardCrash {
+            shard: 0,
+            at: ms(40),
+            restart_after: Duration::from_millis(50),
+        }]);
+        let r = run_cluster(&cfg, 3);
+        assert_eq!(r.iter_times.len(), 3, "run did not complete");
+        assert!(
+            r.fault_stats.replays > 0 || r.fault_stats.flows_killed > 0,
+            "crash mid-push neither killed nor wiped anything: {:?}",
+            r.fault_stats
+        );
+        assert!(
+            r.fault_stats.recoveries > 0 && r.fault_stats.recoveries <= r.fault_stats.retries,
+            "{:?}",
+            r.fault_stats
+        );
+        let r2 = run_cluster(&cfg, 3);
+        assert_eq!(r.iter_times, r2.iter_times);
+        assert_eq!(r.fault_stats, r2.fault_stats);
+    }
+
+    #[test]
+    fn worker_stall_delays_the_bsp_barrier() {
+        let mut healthy = base(SchedulerKind::Fifo);
+        healthy.compute_jitter = 0.0;
+        let mut stalled = healthy.clone();
+        stalled.fault_plan = FaultPlan::new(vec![FaultSpec::WorkerStall {
+            worker: 1,
+            at: ms(20),
+            dur: Duration::from_millis(150),
+        }]);
+        let rh = run_cluster(&healthy, 3);
+        let rs = run_cluster(&stalled, 3);
+        assert_eq!(rs.iter_times.len(), 3);
+        assert!(
+            rs.duration > rh.duration,
+            "stall {:?} vs healthy {:?}",
+            rs.duration,
+            rh.duration
+        );
+    }
+
+    #[test]
+    fn faults_hold_across_the_scheduler_lineup() {
+        // Every strategy must survive a kill-retry cycle plus a shard
+        // crash with the invariant checker attached (debug builds).
+        for kind in SchedulerKind::paper_lineup(1.25e9) {
+            let label = kind.label();
+            let mut cfg = base(kind);
+            cfg.fault_plan = FaultPlan::new(vec![
+                FaultSpec::LinkDown {
+                    node: 2,
+                    at: ms(25),
+                    dur: Duration::from_millis(40),
+                },
+                FaultSpec::ShardCrash {
+                    shard: 0,
+                    at: ms(160),
+                    restart_after: Duration::from_millis(40),
+                },
+            ]);
+            let r = run_cluster(&cfg, 3);
+            assert_eq!(r.iter_times.len(), 3, "{label}: incomplete run");
+            assert!(
+                r.fault_stats.recoveries <= r.fault_stats.retries,
+                "{label}: dropped gradient: {:?}",
+                r.fault_stats
+            );
+            assert!(
+                r.fault_stats.retries == 0 || r.fault_stats.recoveries > 0,
+                "{label}: retried but never recovered: {:?}",
+                r.fault_stats
+            );
+        }
+    }
+
+    #[test]
+    fn prophet_degrades_and_recovers_under_faults() {
+        let mut cfg = base(SchedulerKind::Prophet(ProphetConfig::paper_default(1.25e9)));
+        cfg.fault_plan = FaultPlan::new(vec![FaultSpec::LinkDown {
+            node: 2,
+            at: ms(400),
+            dur: Duration::from_millis(80),
+        }]);
+        // Enough iterations that profiling finishes before the fault and
+        // training continues long after it.
+        let r = run_cluster(&cfg, 8);
+        assert_eq!(r.iter_times.len(), 8);
+        assert!(
+            r.fault_stats.recoveries > 0 && r.fault_stats.recoveries <= r.fault_stats.retries,
+            "{:?}",
+            r.fault_stats
+        );
     }
 }

@@ -2,8 +2,8 @@
 
 use prophet_core::SchedulerKind;
 use prophet_dnn::TrainingJob;
-use prophet_net::TcpModel;
-use prophet_sim::Duration;
+use prophet_net::{RetryPolicy, TcpModel};
+use prophet_sim::{Duration, FaultPlan};
 
 /// Parameter-synchronisation discipline.
 ///
@@ -85,6 +85,13 @@ pub struct ClusterConfig {
     /// below 1.0 model straggler GPUs (a heterogeneity axis the paper's
     /// related work discusses via LBBSP).
     pub worker_compute_scale: Vec<(usize, f64)>,
+    /// Deterministic fault schedule. An **empty** plan is inert by
+    /// construction: no fault event is ever enqueued, so the run is
+    /// bit-identical to a build without the fault layer.
+    pub fault_plan: FaultPlan,
+    /// Backoff/timeout policy applied to messages killed or lost by the
+    /// fault plan. Irrelevant (never consulted) when the plan is empty.
+    pub retry: RetryPolicy,
 }
 
 impl ClusterConfig {
@@ -117,6 +124,8 @@ impl ClusterConfig {
             sync: SyncMode::Bsp,
             bandwidth_schedule: Vec::new(),
             worker_compute_scale: Vec::new(),
+            fault_plan: FaultPlan::empty(),
+            retry: RetryPolicy::paper_default(),
         }
     }
 
@@ -153,6 +162,11 @@ impl ClusterConfig {
         for &(_, b) in &self.bandwidth_schedule {
             assert!(b > 0.0, "non-positive scheduled bandwidth");
         }
+        self.fault_plan.validate(self.workers, self.ps_shards);
+        assert!(
+            self.fault_plan.is_empty() || self.sync == SyncMode::Bsp,
+            "fault injection requires BSP synchronisation"
+        );
     }
 
     /// Compute-speed multiplier of worker `w` (1.0 unless overridden).

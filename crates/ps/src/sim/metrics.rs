@@ -32,6 +32,35 @@ impl GradTransferLog {
     }
 }
 
+/// Counters the fault-injection layer accumulates during a run. All zero
+/// when the [`crate::sim::ClusterConfig::fault_plan`] is empty.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultStats {
+    /// `RetryAttempt` trace events emitted (one per retried gradient
+    /// episode step, coalesced across the slices of one message).
+    pub retries: u64,
+    /// In-flight flows killed by link failures, shard crashes, or ack
+    /// timeouts.
+    pub flows_killed: u64,
+    /// Messages that completed on the wire but were discarded undelivered
+    /// (the `MsgLoss` doomed-tag model).
+    pub messages_lost: u64,
+    /// Payload bytes re-queued for re-transmission (retries + replays).
+    pub retried_bytes: u64,
+    /// Bytes that crossed the wire but were thrown away: partial bytes of
+    /// killed flows plus full payloads of lost messages.
+    pub wasted_bytes: f64,
+    /// Replay messages synthesised after a shard crash to re-push
+    /// aggregation state the crash wiped.
+    pub replays: u64,
+    /// `Recovered` trace events emitted (retried gradients that eventually
+    /// delivered).
+    pub recoveries: u64,
+    /// Total bytes transmitted across all nodes, including waste — compare
+    /// with a fault-free run to see the retransmission overhead.
+    pub wire_bytes: f64,
+}
+
 /// The outcome of [`crate::sim::run_cluster`].
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -73,6 +102,8 @@ pub struct RunResult {
     /// collector, when [`crate::sim::ClusterConfig::typed_trace`] asked for
     /// them (the `repro trace` exporter's data). Empty otherwise.
     pub grad_spans: Vec<GradSpan>,
+    /// Fault-injection counters; all zero for a fault-free run.
+    pub fault_stats: FaultStats,
 }
 
 impl RunResult {
@@ -148,6 +179,7 @@ mod tests {
             credit_trace: vec![],
             bandwidth_estimates: vec![],
             grad_spans: vec![],
+            fault_stats: FaultStats::default(),
         }
     }
 

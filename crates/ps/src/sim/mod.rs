@@ -13,4 +13,4 @@ mod metrics;
 
 pub use cluster::run_cluster;
 pub use config::{ClusterConfig, SyncMode};
-pub use metrics::{GradTransferLog, RunResult};
+pub use metrics::{FaultStats, GradTransferLog, RunResult};

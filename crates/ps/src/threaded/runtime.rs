@@ -4,7 +4,11 @@ use super::wire::{decode_f32, encode_f32, ToPs, ToWorker};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use prophet_core::{CommScheduler, Dir, SchedulerKind};
 use prophet_minidnn::{Adam, Dataset, Mlp, Sgd};
-use prophet_sim::SimTime;
+use prophet_sim::{
+    Duration as SimDuration, FaultKind, InvariantChecker, SimTime, TraceEvent, TraceSink,
+};
+use std::cell::Cell;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Which optimiser the PS thread runs (it owns the optimiser state, like
@@ -61,6 +65,14 @@ pub struct ThreadedConfig {
     pub scheduler: SchedulerKind,
     /// Emulated per-worker link bandwidth, bytes/sec (`None` = unlimited).
     pub link_bps: Option<f64>,
+    /// Collect the typed event stream and run the cross-stack
+    /// [`InvariantChecker`] over it after the run (panics on violation).
+    pub check_invariants: bool,
+    /// Crash-restart the PS the moment the first push of this iteration
+    /// arrives: all in-flight aggregation state is wiped (parameters and
+    /// optimiser state persist), the PS epoch bumps, and every worker
+    /// re-pushes its unacknowledged gradients.
+    pub ps_restart_at_iter: Option<u64>,
 }
 
 impl ThreadedConfig {
@@ -78,6 +90,8 @@ impl ThreadedConfig {
             optimizer: PsOptimizer::Sgd { momentum: 0.9 },
             scheduler,
             link_bps: None,
+            check_invariants: true,
+            ps_restart_at_iter: None,
         }
     }
 }
@@ -91,10 +105,17 @@ pub struct ThreadedResult {
     pub final_params: Vec<Vec<f32>>,
     /// Training-set accuracy of the final model.
     pub accuracy: f64,
-    /// Total gradient payload pushed by all workers, bytes.
+    /// Total gradient payload pushed by all workers, bytes (including any
+    /// crash-recovery retransmissions).
     pub bytes_pushed: u64,
     /// Real wall-clock time of the run.
     pub wall: std::time::Duration,
+    /// Typed events validated by the invariant checker (0 when
+    /// [`ThreadedConfig::check_invariants`] is off).
+    pub events_checked: u64,
+    /// `RetryAttempt` events in the run's event log — gradients re-pushed
+    /// after an injected PS restart.
+    pub retries: u64,
 }
 
 /// A crude token-bucket link emulator: sending `bytes` blocks the sender
@@ -133,6 +154,59 @@ fn now_since(epoch: Instant) -> SimTime {
     SimTime::from_nanos(epoch.elapsed().as_nanos() as u64)
 }
 
+type TimedEvents = Arc<Mutex<Vec<(SimTime, TraceEvent)>>>;
+
+/// Shared typed-event log. Threads append under one mutex, and the clock is
+/// read *inside* the lock, so append order is a total order consistent with
+/// causality and timestamps are nondecreasing up to same-instant ties.
+#[derive(Clone)]
+struct EventLog {
+    inner: Option<TimedEvents>,
+    epoch: Instant,
+}
+
+impl EventLog {
+    fn new(enabled: bool, epoch: Instant) -> Self {
+        EventLog {
+            inner: enabled.then(|| Arc::new(Mutex::new(Vec::new()))),
+            epoch,
+        }
+    }
+
+    fn emit(&self, ev: TraceEvent) {
+        if let Some(log) = &self.inner {
+            let mut v = log.lock().expect("event log poisoned");
+            v.push((now_since(self.epoch), ev));
+        }
+    }
+
+    /// Drain the log, replay it through the invariant checker, and return
+    /// `(events_checked, retries)`. Same-instant ties are broken by append
+    /// order (each timestamp is bumped to strictly exceed its predecessor),
+    /// which the mutex made causally consistent.
+    fn check(self, workers: usize) -> (u64, u64) {
+        let Some(log) = self.inner else { return (0, 0) };
+        let events = std::mem::take(&mut *log.lock().expect("event log poisoned"));
+        let mut checker = InvariantChecker::new(workers, true).with_shards(1);
+        let mut last = SimTime::ZERO;
+        let mut retries = 0u64;
+        for (t, ev) in &events {
+            let at = if *t <= last {
+                last + SimDuration::from_nanos(1)
+            } else {
+                *t
+            };
+            last = at;
+            if matches!(ev, TraceEvent::RetryAttempt { .. }) {
+                retries += 1;
+            }
+            checker.on_event(at, ev);
+        }
+        checker.finish();
+        (checker.events_seen(), retries)
+    }
+}
+
 /// Run BSP data-parallel training per `cfg` and return the outcome.
 ///
 /// Panics if `global_batch` is not a multiple of `workers` (unequal shards
@@ -165,12 +239,15 @@ pub fn run_threaded_training(cfg: &ThreadedConfig) -> ThreadedResult {
         worker_rxs.push(Some(rx));
     }
 
+    let log = EventLog::new(cfg.check_invariants, start);
+
     // ---- PS thread -------------------------------------------------------
     let ps_cfg = cfg.clone();
     let ps_sizes = tensor_elems.clone();
     let ps_init: Vec<Vec<f32>> = template.param_slices().iter().map(|p| p.to_vec()).collect();
+    let ps_log = log.clone();
     let ps_handle =
-        std::thread::spawn(move || ps_thread(ps_cfg, ps_sizes, ps_init, ps_rx, worker_txs));
+        std::thread::spawn(move || ps_thread(ps_cfg, ps_sizes, ps_init, ps_rx, worker_txs, ps_log));
 
     // ---- worker threads ---------------------------------------------------
     let mut handles = Vec::new();
@@ -181,8 +258,19 @@ pub fn run_threaded_training(cfg: &ThreadedConfig) -> ThreadedResult {
         let tx = to_ps.clone();
         let sizes_bytes = sizes_bytes.clone();
         let tensor_elems = tensor_elems.clone();
+        let log = log.clone();
         handles.push(std::thread::spawn(move || {
-            worker_thread(w, cfg, dataset, tensor_elems, sizes_bytes, tx, rx, start)
+            worker_thread(
+                w,
+                cfg,
+                dataset,
+                tensor_elems,
+                sizes_bytes,
+                tx,
+                rx,
+                start,
+                log,
+            )
         }));
     }
     drop(to_ps); // PS sees disconnect once every worker is done
@@ -207,12 +295,16 @@ pub fn run_threaded_training(cfg: &ThreadedConfig) -> ThreadedResult {
     let accuracy = model.accuracy(&x, &labels);
     debug_assert_eq!(n_tensors, final_params.len());
 
+    let (events_checked, retries) = log.check(cfg.workers);
+
     ThreadedResult {
         losses: losses_acc,
         final_params,
         accuracy,
         bytes_pushed,
         wall: start.elapsed(),
+        events_checked,
+        retries,
     }
 }
 
@@ -223,6 +315,7 @@ fn ps_thread(
     mut params: Vec<Vec<f32>>,
     rx: Receiver<ToPs>,
     worker_txs: Vec<Sender<ToWorker>>,
+    log: EventLog,
 ) -> Vec<Vec<f32>> {
     let n = tensor_elems.len();
     let mut opt = match cfg.optimizer {
@@ -237,6 +330,8 @@ fn ps_thread(
         complete: usize,
     }
     let mut agg: HashMap<(u64, usize), Agg> = HashMap::new();
+    let mut cur_epoch = 0u64;
+    let mut restart_pending = cfg.ps_restart_at_iter;
 
     while let Ok(msg) = rx.recv() {
         match msg {
@@ -246,7 +341,36 @@ fn ps_thread(
                 grad,
                 offset_elems,
                 data,
+                epoch,
             } => {
+                if restart_pending.is_some_and(|k| iter >= k) {
+                    // Injected crash-restart: the process loses its
+                    // aggregation RAM (params/optimiser live in the
+                    // durable store and survive), comes back with a new
+                    // epoch, and tells every worker to re-push anything
+                    // unacknowledged. The triggering push dies with the
+                    // old incarnation.
+                    restart_pending = None;
+                    cur_epoch += 1;
+                    log.emit(TraceEvent::FaultStart {
+                        kind: FaultKind::ShardCrash,
+                        node: 0,
+                    });
+                    agg.clear();
+                    log.emit(TraceEvent::FaultEnd {
+                        kind: FaultKind::ShardCrash,
+                        node: 0,
+                    });
+                    for tx in &worker_txs {
+                        tx.send(ToWorker::ShardRestarted { epoch: cur_epoch })
+                            .expect("worker hung up at restart");
+                    }
+                    continue;
+                }
+                if epoch != cur_epoch {
+                    // A pre-crash push that raced the restart broadcast.
+                    continue;
+                }
                 let entry = agg.entry((iter, grad)).or_insert_with(|| Agg {
                     per_worker: vec![vec![0.0; tensor_elems[grad]]; cfg.workers],
                     received_elems: vec![0; cfg.workers],
@@ -262,6 +386,7 @@ fn ps_thread(
                 );
                 if entry.received_elems[worker] == tensor_elems[grad] {
                     entry.complete += 1;
+                    log.emit(TraceEvent::PushEnd { worker, iter, grad });
                     if entry.complete == cfg.workers {
                         // BSP barrier reached: average in fixed worker
                         // order (determinism), step, notify.
@@ -277,6 +402,7 @@ fn ps_thread(
                             *m *= inv;
                         }
                         opt.step(grad, &mut params[grad], &mean);
+                        log.emit(TraceEvent::Barrier { iter, grad });
                         for tx in &worker_txs {
                             // A worker that already exited is a bug — every
                             // worker needs every update.
@@ -314,6 +440,10 @@ struct DriveCtx<'a> {
     epoch: Instant,
     grads: &'a [Vec<f32>],
     tx: &'a Sender<ToPs>,
+    log: &'a EventLog,
+    /// Current PS incarnation; updated mid-iteration when a
+    /// [`ToWorker::ShardRestarted`] arrives.
+    ps_epoch: &'a Cell<u64>,
 }
 
 /// Issue tasks until the scheduler pauses. Pushes complete synchronously
@@ -339,6 +469,13 @@ fn drive(
                     let elems = (b / 4) as usize;
                     let off = push_sent[g];
                     push_sent[g] += elems;
+                    if off == 0 {
+                        ctx.log.emit(TraceEvent::PushStart {
+                            worker: ctx.w,
+                            iter: ctx.iter,
+                            grad: g,
+                        });
+                    }
                     limiter.acquire(b);
                     *bytes_pushed += b;
                     ctx.tx
@@ -348,6 +485,7 @@ fn drive(
                             grad: g,
                             offset_elems: off,
                             data: encode_f32(&ctx.grads[g][off..off + elems]),
+                            epoch: ctx.ps_epoch.get(),
                         })
                         .expect("ps hung up");
                 }
@@ -357,6 +495,13 @@ fn drive(
                 let mut awaiting = 0usize;
                 for &(g, b) in &task.pieces {
                     let elems = (b / 4) as usize;
+                    if pull_recv[g] == 0 {
+                        ctx.log.emit(TraceEvent::PullStart {
+                            worker: ctx.w,
+                            iter: ctx.iter,
+                            grad: g,
+                        });
+                    }
                     ctx.tx
                         .send(ToPs::PullReq {
                             worker: ctx.w,
@@ -386,6 +531,7 @@ fn worker_thread(
     tx: Sender<ToPs>,
     rx: Receiver<ToWorker>,
     epoch: Instant,
+    log: EventLog,
 ) -> (Vec<f32>, u64) {
     let n = tensor_elems.len();
     let mut model = Mlp::new(&cfg.widths, cfg.seed ^ 0xABCD);
@@ -393,10 +539,12 @@ fn worker_thread(
     let mut limiter = RateLimiter::new(cfg.link_bps);
     let mut losses = Vec::with_capacity(cfg.iterations as usize);
     let mut bytes_pushed = 0u64;
+    let ps_epoch = Cell::new(0u64);
 
     let per_worker = cfg.global_batch / cfg.workers;
     for iter in 0..cfg.iterations {
         let t_begin = now_since(epoch);
+        log.emit(TraceEvent::IterBegin { worker: w, iter });
         sched.iteration_begin(t_begin, iter);
 
         // This iteration's shard: a rotating window over the dataset.
@@ -415,15 +563,25 @@ fn worker_thread(
         let mut pull_buf: Vec<Vec<f32>> = tensor_elems.iter().map(|&e| vec![0.0; e]).collect();
         let mut inflight_pull: Option<(prophet_core::TransferTask, usize)> = None;
 
+        let mut param_ready_seen = vec![false; n];
+        let mut attempts = vec![0u32; n];
+
         let ctx = DriveCtx {
             w,
             iter,
             epoch,
             grads: &grads,
             tx: &tx,
+            log: &log,
+            ps_epoch: &ps_epoch,
         };
 
         for g in (0..n).rev() {
+            log.emit(TraceEvent::GradReady {
+                worker: w,
+                iter,
+                grad: g,
+            });
             sched.gradient_ready(now_since(epoch), g);
             drive(
                 &ctx,
@@ -442,6 +600,16 @@ fn worker_thread(
             let msg = rx.recv().expect("ps hung up mid-iteration");
             match msg {
                 ToWorker::ParamReady { grad } => {
+                    param_ready_seen[grad] = true;
+                    if attempts[grad] > 0 {
+                        log.emit(TraceEvent::Recovered {
+                            worker: w,
+                            iter,
+                            grad,
+                            attempts: attempts[grad],
+                        });
+                        attempts[grad] = 0;
+                    }
                     sched.param_ready(now_since(epoch), grad);
                 }
                 ToWorker::PullData {
@@ -462,9 +630,53 @@ fn worker_thread(
                         for &(g, _) in &task.pieces {
                             if pull_recv[g] == tensor_elems[g] && !pulled[g] {
                                 pulled[g] = true;
+                                log.emit(TraceEvent::PullEnd {
+                                    worker: w,
+                                    iter,
+                                    grad: g,
+                                });
                                 model.set_param(g, &pull_buf[g]);
                             }
                         }
+                    }
+                }
+                ToWorker::ShardRestarted { epoch: e } => {
+                    // The PS lost its aggregation state. Re-push every
+                    // gradient we started pushing that was never
+                    // barrier-acknowledged, addressed to the new
+                    // incarnation. The scheduler is NOT consulted — it
+                    // already accounted for these bytes; this is
+                    // transport-level recovery.
+                    ps_epoch.set(e);
+                    for g in 0..n {
+                        if push_sent[g] == 0 || param_ready_seen[g] {
+                            continue;
+                        }
+                        attempts[g] += 1;
+                        log.emit(TraceEvent::RetryAttempt {
+                            worker: w,
+                            iter,
+                            grad: g,
+                            attempt: attempts[g],
+                        });
+                        log.emit(TraceEvent::PushStart {
+                            worker: w,
+                            iter,
+                            grad: g,
+                        });
+                        let elems = push_sent[g];
+                        let bytes = (elems * 4) as u64;
+                        limiter.acquire(bytes);
+                        bytes_pushed += bytes;
+                        tx.send(ToPs::Push {
+                            worker: w,
+                            iter,
+                            grad: g,
+                            offset_elems: 0,
+                            data: encode_f32(&grads[g][..elems]),
+                            epoch: e,
+                        })
+                        .expect("ps hung up mid-recovery");
                     }
                 }
             }
@@ -479,6 +691,7 @@ fn worker_thread(
             );
         }
         let t_end = now_since(epoch);
+        log.emit(TraceEvent::IterEnd { worker: w, iter });
         sched.iteration_end(t_end, iter, t_end.saturating_since(t_begin));
     }
     (losses, bytes_pushed)

@@ -38,6 +38,10 @@ pub enum ToPs {
         offset_elems: usize,
         /// The payload.
         data: Bytes,
+        /// PS incarnation this push is addressed to. A push carrying a
+        /// stale epoch raced a crash-restart and is discarded — the
+        /// sender re-pushes after [`ToWorker::ShardRestarted`].
+        epoch: u64,
     },
     /// Request `len_elems` of parameter tensor `grad` from `offset_elems`.
     PullReq {
@@ -69,6 +73,14 @@ pub enum ToWorker {
         offset_elems: usize,
         /// The payload.
         data: Bytes,
+    },
+    /// The PS crash-restarted: aggregation state for in-flight barriers was
+    /// lost (parameters and optimiser state persist). On receipt a worker
+    /// must re-push every gradient it has started pushing but not yet seen
+    /// a [`ToWorker::ParamReady`] for, stamping the new epoch.
+    ShardRestarted {
+        /// The PS's new incarnation number.
+        epoch: u64,
     },
 }
 

@@ -1,0 +1,285 @@
+//! Deterministic fault injection plans.
+//!
+//! A [`FaultPlan`] is a *seeded schedule* of typed [`FaultSpec`]s that a
+//! runtime (the discrete-event cluster simulator, or the threaded PS
+//! runtime) replays at fixed simulated times. Faults are data, not
+//! callbacks: the same plan plus the same seed must reproduce the same
+//! trace bit-for-bit, which is what makes failure scenarios testable at
+//! all. An **empty plan is inert by construction** — runtimes are required
+//! to skip every fault code path (extra events, RNG draws, timeouts) when
+//! `FaultPlan::is_empty()` holds, so a fault-free run stays bit-identical
+//! to a build without this module.
+//!
+//! The taxonomy mirrors the failure classes that break Prophet's
+//! predictability assumption (PAPER.md §3–4): transport loss
+//! ([`FaultSpec::LinkDown`], [`FaultSpec::LinkDegrade`],
+//! [`FaultSpec::MsgLoss`]), server loss ([`FaultSpec::ShardCrash`]) and
+//! compute loss ([`FaultSpec::WorkerStall`]).
+
+use crate::time::{Duration, SimTime};
+
+/// The class of an injected fault, carried on [`FaultStart`]/[`FaultEnd`]
+/// trace events so the invariant checker can reason about active faults.
+///
+/// [`FaultStart`]: crate::trace::TraceEvent::FaultStart
+/// [`FaultEnd`]: crate::trace::TraceEvent::FaultEnd
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A node's links are fully down.
+    LinkDown,
+    /// A node's links run at a fraction of nominal capacity.
+    LinkDegrade,
+    /// Messages are dropped at random within a window.
+    MsgLoss,
+    /// A PS shard lost its in-memory aggregation state.
+    ShardCrash,
+    /// A worker's compute makes no progress.
+    WorkerStall,
+}
+
+/// One scheduled fault. All times are absolute simulated instants
+/// (`at`) plus a duration; `for` is a Rust keyword, so durations are
+/// named `dur` / `restart_after`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultSpec {
+    /// Node `node`'s links drop every in-flight message at `at` and accept
+    /// nothing for `dur`; reconnected lanes come back *cold*.
+    LinkDown {
+        /// Topology node whose links go down (shards first, then workers).
+        node: usize,
+        /// When the outage starts.
+        at: SimTime,
+        /// How long the outage lasts.
+        dur: Duration,
+    },
+    /// Node `node`'s link capacity is multiplied by `factor` during the
+    /// window; in-flight messages survive but slow down.
+    LinkDegrade {
+        /// Topology node whose links degrade.
+        node: usize,
+        /// When the degradation starts.
+        at: SimTime,
+        /// Capacity multiplier in `(0, 1)`.
+        factor: f64,
+        /// How long the degradation lasts.
+        dur: Duration,
+    },
+    /// During the window each message send is lost (delivered on the wire
+    /// but never acknowledged) with probability `rate`, drawn from the
+    /// plan's fault RNG.
+    MsgLoss {
+        /// Per-message loss probability in `[0, 1]`.
+        rate: f64,
+        /// When the lossy window opens.
+        at: SimTime,
+        /// How long the lossy window lasts.
+        dur: Duration,
+    },
+    /// PS shard `shard` crashes at `at`, losing its in-memory aggregation
+    /// state (parameters are durable), and restarts `restart_after` later.
+    ShardCrash {
+        /// Shard index in `0..ps_shards`.
+        shard: usize,
+        /// When the crash happens.
+        at: SimTime,
+        /// Downtime before the shard accepts traffic again.
+        restart_after: Duration,
+    },
+    /// Worker `worker`'s compute events stall (no gradient becomes ready,
+    /// no forward completes) from `at` until `at + dur`.
+    WorkerStall {
+        /// Worker index in `0..workers`.
+        worker: usize,
+        /// When the stall starts.
+        at: SimTime,
+        /// How long the stall lasts.
+        dur: Duration,
+    },
+}
+
+impl FaultSpec {
+    /// The fault's class, as carried on trace events.
+    pub fn kind(&self) -> FaultKind {
+        match self {
+            FaultSpec::LinkDown { .. } => FaultKind::LinkDown,
+            FaultSpec::LinkDegrade { .. } => FaultKind::LinkDegrade,
+            FaultSpec::MsgLoss { .. } => FaultKind::MsgLoss,
+            FaultSpec::ShardCrash { .. } => FaultKind::ShardCrash,
+            FaultSpec::WorkerStall { .. } => FaultKind::WorkerStall,
+        }
+    }
+
+    /// When the fault begins.
+    pub fn at(&self) -> SimTime {
+        match *self {
+            FaultSpec::LinkDown { at, .. }
+            | FaultSpec::LinkDegrade { at, .. }
+            | FaultSpec::MsgLoss { at, .. }
+            | FaultSpec::ShardCrash { at, .. }
+            | FaultSpec::WorkerStall { at, .. } => at,
+        }
+    }
+
+    /// When the fault ends (start plus duration, saturating).
+    pub fn until(&self) -> SimTime {
+        match *self {
+            FaultSpec::LinkDown { at, dur, .. }
+            | FaultSpec::LinkDegrade { at, dur, .. }
+            | FaultSpec::MsgLoss { at, dur, .. }
+            | FaultSpec::WorkerStall { at, dur, .. } => at + dur,
+            FaultSpec::ShardCrash {
+                at, restart_after, ..
+            } => at + restart_after,
+        }
+    }
+}
+
+/// A seeded schedule of faults.
+///
+/// The `seed` drives only fault-local randomness (currently the per-message
+/// Bernoulli draws of [`FaultSpec::MsgLoss`]); it is deliberately separate
+/// from the simulation's own RNG streams so that adding a fault never
+/// perturbs compute jitter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for fault-local randomness, independent of the sim seed.
+    pub seed: u64,
+    /// The scheduled faults, in any order.
+    pub faults: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// The inert plan: no faults, and runtimes must skip all fault paths.
+    pub fn empty() -> Self {
+        FaultPlan {
+            seed: 0,
+            faults: Vec::new(),
+        }
+    }
+
+    /// A plan with the given faults under the default fault seed.
+    pub fn new(faults: Vec<FaultSpec>) -> Self {
+        FaultPlan { seed: 7, faults }
+    }
+
+    /// True when the plan schedules nothing (the bit-identity fast path).
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Panic if any fault is internally inconsistent or refers to a node
+    /// outside the given cluster shape. Called from config validation.
+    pub fn validate(&self, workers: usize, ps_shards: usize) {
+        let nodes = workers + ps_shards;
+        for f in &self.faults {
+            match *f {
+                FaultSpec::LinkDown { node, .. } | FaultSpec::LinkDegrade { node, .. } => {
+                    assert!(node < nodes, "fault references missing node {node}");
+                }
+                FaultSpec::MsgLoss { rate, .. } => {
+                    assert!(
+                        (0.0..=1.0).contains(&rate),
+                        "message loss rate {rate} outside [0, 1]"
+                    );
+                }
+                FaultSpec::ShardCrash { shard, .. } => {
+                    assert!(shard < ps_shards, "fault references missing shard {shard}");
+                }
+                FaultSpec::WorkerStall { worker, .. } => {
+                    assert!(worker < workers, "fault references missing worker {worker}");
+                }
+            }
+            if let FaultSpec::LinkDegrade { factor, .. } = *f {
+                assert!(
+                    factor > 0.0 && factor < 1.0,
+                    "degrade factor {factor} outside (0, 1)"
+                );
+            }
+        }
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_inert() {
+        assert!(FaultPlan::empty().is_empty());
+        assert!(FaultPlan::default().is_empty());
+        assert!(!FaultPlan::new(vec![FaultSpec::LinkDown {
+            node: 0,
+            at: SimTime::ZERO,
+            dur: Duration::from_secs(1),
+        }])
+        .is_empty());
+    }
+
+    #[test]
+    fn spec_window_accessors() {
+        let f = FaultSpec::ShardCrash {
+            shard: 1,
+            at: SimTime::from_secs_f64(2.0),
+            restart_after: Duration::from_secs(3),
+        };
+        assert_eq!(f.kind(), FaultKind::ShardCrash);
+        assert_eq!(f.at(), SimTime::from_secs_f64(2.0));
+        assert_eq!(f.until(), SimTime::from_secs_f64(5.0));
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_plans() {
+        FaultPlan::new(vec![
+            FaultSpec::LinkDown {
+                node: 2,
+                at: SimTime::ZERO,
+                dur: Duration::from_millis(50),
+            },
+            FaultSpec::MsgLoss {
+                rate: 0.3,
+                at: SimTime::ZERO,
+                dur: Duration::from_secs(1),
+            },
+            FaultSpec::ShardCrash {
+                shard: 0,
+                at: SimTime::from_secs_f64(0.1),
+                restart_after: Duration::from_millis(80),
+            },
+            FaultSpec::WorkerStall {
+                worker: 1,
+                at: SimTime::ZERO,
+                dur: Duration::from_millis(10),
+            },
+        ])
+        .validate(2, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing shard")]
+    fn validate_rejects_out_of_range_shard() {
+        FaultPlan::new(vec![FaultSpec::ShardCrash {
+            shard: 3,
+            at: SimTime::ZERO,
+            restart_after: Duration::from_millis(1),
+        }])
+        .validate(2, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1)")]
+    fn validate_rejects_bad_degrade_factor() {
+        FaultPlan::new(vec![FaultSpec::LinkDegrade {
+            node: 0,
+            at: SimTime::ZERO,
+            factor: 1.5,
+            dur: Duration::from_millis(1),
+        }])
+        .validate(2, 1);
+    }
+}

@@ -38,12 +38,14 @@
 //! assert_eq!(e, Ev::Tick(1));
 //! ```
 
+pub mod fault;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use fault::{FaultKind, FaultPlan, FaultSpec};
 pub use queue::EventQueue;
 pub use rng::{SplitMix64, Xoshiro256StarStar};
 pub use stats::{Histogram, OnlineStats, RateSeries, TimeWeighted};

@@ -15,8 +15,9 @@
 //!    into per-`(worker, gradient, iteration)` [`GradSpan`]s (compute,
 //!    queue-wait, push, aggregate, pull) for CSV/Gantt export.
 
+use crate::fault::FaultKind;
 use crate::time::SimTime;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt::Write as _;
 
 /// One completed interval on a lane: e.g. "push gradient 30 on worker-0/net".
@@ -286,6 +287,57 @@ pub enum TraceEvent {
         /// Bytes the integrator delivered.
         delivered: f64,
     },
+    /// A flow was killed by a fault before completing; `delivered` is the
+    /// partial byte count the integrator had moved (those bytes are *not*
+    /// counted towards any gradient — only the delivered attempt counts).
+    FlowKilled {
+        /// Caller-assigned flow tag.
+        tag: u64,
+        /// Source node index.
+        src: usize,
+        /// Destination node index.
+        dst: usize,
+        /// Bytes moved before the kill (discarded by the receiver).
+        delivered: f64,
+    },
+    /// An injected fault became active.
+    FaultStart {
+        /// The fault class.
+        kind: FaultKind,
+        /// Affected topology node (shard or worker node index), or
+        /// `usize::MAX` for plan-wide faults such as message loss.
+        node: usize,
+    },
+    /// An injected fault cleared (link back up, shard restarted, ...).
+    FaultEnd {
+        /// The fault class.
+        kind: FaultKind,
+        /// Affected topology node, matching the [`TraceEvent::FaultStart`].
+        node: usize,
+    },
+    /// A failed transfer of gradient `grad` is being retried; the sender
+    /// will re-stamp `PushStart` (or `PullStart`) for the new attempt.
+    RetryAttempt {
+        /// Worker index.
+        worker: usize,
+        /// Iteration number.
+        iter: u64,
+        /// Gradient id.
+        grad: usize,
+        /// 1-based retry number for this `(worker, iter, grad)`.
+        attempt: u32,
+    },
+    /// A previously retried transfer of `grad` finally delivered.
+    Recovered {
+        /// Worker index.
+        worker: usize,
+        /// Iteration number.
+        iter: u64,
+        /// Gradient id.
+        grad: usize,
+        /// Total retries it took (matches the last `RetryAttempt`).
+        attempts: u32,
+    },
 }
 
 /// A consumer of the typed event stream. Sinks are driven strictly in
@@ -328,11 +380,21 @@ const RING: usize = 24;
 ///   that iteration; pulls may not start before their barrier;
 /// * per-flow byte conservation — every `FlowEnd` matches a `FlowStart`
 ///   and delivered what was requested (±1 byte of fluid rounding), and no
-///   flow is left dangling at [`InvariantChecker::finish`].
+///   flow is left dangling at [`InvariantChecker::finish`];
+/// * fault/retry sanity — retries number consecutively from 1 per
+///   `(worker, iter, grad)` and un-stamp the failed attempt (so the next
+///   `PushStart`/`PullStart` re-stamps exactly once per attempt), a
+///   `Recovered` event must match the retry count, a killed flow closes
+///   its `FlowStart` without the byte-conservation check (the partial
+///   bytes were discarded), and no BSP barrier may fire for a gradient
+///   whose PS shard is down.
 #[derive(Debug, Default)]
 pub struct InvariantChecker {
     workers: usize,
     bsp: bool,
+    /// Number of PS shards (gradient `g` lives on shard `g % shards`);
+    /// `None` disables the shard-down barrier check.
+    shards: Option<usize>,
     last_at: Option<SimTime>,
     events_seen: u64,
     ring: VecDeque<String>,
@@ -345,6 +407,12 @@ pub struct InvariantChecker {
     worker_iter: Vec<Option<u64>>,
     /// Flow tag → requested bytes.
     open_flows: HashMap<u64, u64>,
+    /// `(worker, iter, grad)` → retries observed so far.
+    retries: HashMap<(usize, u64, usize), u32>,
+    /// Faults currently active, keyed by `(kind, node)`.
+    active_faults: HashSet<(FaultKind, usize)>,
+    /// PS shards currently crashed.
+    down_shards: HashSet<usize>,
 }
 
 impl InvariantChecker {
@@ -357,6 +425,13 @@ impl InvariantChecker {
             worker_iter: vec![None; workers],
             ..Default::default()
         }
+    }
+
+    /// Tell the checker the PS shard count so it can refuse barriers for
+    /// gradients whose shard is currently down.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards);
+        self
     }
 
     /// Number of events observed so far (lets tests assert the checker was
@@ -438,6 +513,8 @@ impl TraceSink for InvariantChecker {
                 // iteration are complete; drop them to bound memory.
                 self.grads
                     .retain(|&(w, i, _), _| !(w == worker && i == iter));
+                self.retries
+                    .retain(|&(w, i, _), _| !(w == worker && i == iter));
                 if iter > 0 {
                     // Barrier/arrival records two iterations back can no
                     // longer be referenced by anyone.
@@ -512,6 +589,14 @@ impl TraceSink for InvariantChecker {
                         "barrier for (iter {iter}, grad {grad}) after {arrived}/{} pushes",
                         self.workers
                     ));
+                }
+                if let Some(shards) = self.shards {
+                    if self.down_shards.contains(&(grad % shards)) {
+                        self.fail(format!(
+                            "barrier for (iter {iter}, grad {grad}) while shard {} is down",
+                            grad % shards
+                        ));
+                    }
                 }
                 for (w, wi) in self.worker_iter.iter().enumerate() {
                     if *wi != Some(iter) {
@@ -612,6 +697,110 @@ impl TraceSink for InvariantChecker {
                         }
                     }
                 }
+            }
+            TraceEvent::FlowKilled { tag, delivered, .. } => {
+                // A killed flow closes its FlowStart, but the partial
+                // delivery is discarded — no byte-conservation check.
+                match self.open_flows.remove(&tag) {
+                    None => self.fail(format!("kill for unknown flow tag {tag}")),
+                    Some(bytes) => {
+                        if delivered > bytes as f64 + 1.0 {
+                            self.fail(format!(
+                                "killed flow {tag} had moved {delivered} of only {bytes} bytes"
+                            ));
+                        }
+                    }
+                }
+            }
+            TraceEvent::FaultStart { kind, node } => {
+                if !self.active_faults.insert((kind, node)) {
+                    self.fail(format!("fault {kind:?} on node {node} started twice"));
+                }
+                if kind == FaultKind::ShardCrash {
+                    self.down_shards.insert(node);
+                }
+            }
+            TraceEvent::FaultEnd { kind, node } => {
+                if !self.active_faults.remove(&(kind, node)) {
+                    self.fail(format!(
+                        "fault {kind:?} on node {node} ended without starting"
+                    ));
+                }
+                if kind == FaultKind::ShardCrash {
+                    self.down_shards.remove(&node);
+                }
+            }
+            TraceEvent::RetryAttempt {
+                worker,
+                iter,
+                grad,
+                attempt,
+            } => {
+                let seen = self
+                    .retries
+                    .get(&(worker, iter, grad))
+                    .copied()
+                    .unwrap_or(0);
+                if attempt != seen + 1 {
+                    self.fail(format!(
+                        "retry {attempt} of gradient {grad} after {seen} retries (w{worker} iter {iter})"
+                    ));
+                }
+                self.retries.insert((worker, iter, grad), attempt);
+                // Un-stamp the failed attempt so the re-send stamps
+                // PushStart/PullStart exactly once per attempt. A pull
+                // retry is one whose pull had started but not finished;
+                // anything else is a push retry.
+                let mut c = *self.cell(worker, iter, grad);
+                let mut void_arrival = false;
+                if c.pull_start.is_some() && c.pull_end.is_none() {
+                    c.pull_start = None;
+                } else if c.push_start.is_some() && c.pull_end.is_none() {
+                    void_arrival = c.push_end.take().is_some();
+                    c.push_start = None;
+                } else {
+                    self.fail(format!(
+                        "retry of gradient {grad} with no transfer in flight (w{worker} iter {iter})"
+                    ));
+                }
+                *self.cell(worker, iter, grad) = c;
+                if void_arrival {
+                    // The arrival this worker contributed is void; the
+                    // replay must bring the count back to `workers`
+                    // before any barrier fires.
+                    let voided = match self.push_arrivals.get_mut(&(iter, grad)) {
+                        Some(n) if *n > 0 => {
+                            *n -= 1;
+                            true
+                        }
+                        _ => false,
+                    };
+                    if !voided {
+                        self.fail(format!(
+                            "retry voids an arrival that was never counted (iter {iter}, grad {grad})"
+                        ));
+                    }
+                }
+            }
+            TraceEvent::Recovered {
+                worker,
+                iter,
+                grad,
+                attempts,
+            } => {
+                let seen = self
+                    .retries
+                    .get(&(worker, iter, grad))
+                    .copied()
+                    .unwrap_or(0);
+                if seen == 0 || attempts != seen {
+                    self.fail(format!(
+                        "recovery of gradient {grad} reports {attempts} attempts, saw {seen} (w{worker} iter {iter})"
+                    ));
+                }
+                // Recovery closes the episode: a later, independent failure
+                // of the same gradient numbers its retries from 1 again.
+                self.retries.remove(&(worker, iter, grad));
             }
         }
     }
@@ -1191,6 +1380,357 @@ mod tests {
         let spans = sc.into_spans();
         assert_eq!(spans.len(), 1);
         assert_eq!(spans[0].kind, SpanKind::QueueWait);
+    }
+
+    // ---- fault/retry extensions -----------------------------------------
+
+    /// Push of grad 0 fails once mid-flight, retries, then recovers: the
+    /// canonical lost-message lifecycle the cluster engine emits.
+    fn retry_lifecycle() -> Vec<(SimTime, TraceEvent)> {
+        use TraceEvent::*;
+        vec![
+            (at(0), IterBegin { worker: 0, iter: 0 }),
+            (
+                at(1),
+                GradReady {
+                    worker: 0,
+                    iter: 0,
+                    grad: 0,
+                },
+            ),
+            (
+                at(2),
+                PushStart {
+                    worker: 0,
+                    iter: 0,
+                    grad: 0,
+                },
+            ),
+            (
+                at(2),
+                FlowStart {
+                    tag: 1,
+                    src: 1,
+                    dst: 0,
+                    bytes: 1000,
+                },
+            ),
+            (
+                at(3),
+                FaultStart {
+                    kind: FaultKind::LinkDown,
+                    node: 1,
+                },
+            ),
+            (
+                at(3),
+                FlowKilled {
+                    tag: 1,
+                    src: 1,
+                    dst: 0,
+                    delivered: 400.0,
+                },
+            ),
+            (
+                at(3),
+                RetryAttempt {
+                    worker: 0,
+                    iter: 0,
+                    grad: 0,
+                    attempt: 1,
+                },
+            ),
+            (
+                at(8),
+                FaultEnd {
+                    kind: FaultKind::LinkDown,
+                    node: 1,
+                },
+            ),
+            (
+                at(9),
+                PushStart {
+                    worker: 0,
+                    iter: 0,
+                    grad: 0,
+                },
+            ),
+            (
+                at(9),
+                FlowStart {
+                    tag: 2,
+                    src: 1,
+                    dst: 0,
+                    bytes: 1000,
+                },
+            ),
+            (
+                at(12),
+                FlowEnd {
+                    tag: 2,
+                    src: 1,
+                    dst: 0,
+                    delivered: 1000.0,
+                },
+            ),
+            (
+                at(12),
+                Recovered {
+                    worker: 0,
+                    iter: 0,
+                    grad: 0,
+                    attempts: 1,
+                },
+            ),
+            (
+                at(12),
+                PushEnd {
+                    worker: 0,
+                    iter: 0,
+                    grad: 0,
+                },
+            ),
+            (at(12), Barrier { iter: 0, grad: 0 }),
+        ]
+    }
+
+    #[test]
+    fn checker_accepts_retry_lifecycle() {
+        let mut c = InvariantChecker::new(1, true).with_shards(1);
+        feed(&mut c, &retry_lifecycle());
+        c.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "after 0 retries")]
+    fn checker_rejects_nonconsecutive_retry_numbers() {
+        let mut c = InvariantChecker::new(1, true);
+        use TraceEvent::*;
+        c.on_event(at(0), &IterBegin { worker: 0, iter: 0 });
+        c.on_event(
+            at(1),
+            &GradReady {
+                worker: 0,
+                iter: 0,
+                grad: 0,
+            },
+        );
+        c.on_event(
+            at(2),
+            &PushStart {
+                worker: 0,
+                iter: 0,
+                grad: 0,
+            },
+        );
+        c.on_event(
+            at(3),
+            &RetryAttempt {
+                worker: 0,
+                iter: 0,
+                grad: 0,
+                attempt: 2,
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no transfer in flight")]
+    fn checker_rejects_retry_of_unstarted_transfer() {
+        let mut c = InvariantChecker::new(1, true);
+        use TraceEvent::*;
+        c.on_event(at(0), &IterBegin { worker: 0, iter: 0 });
+        c.on_event(
+            at(3),
+            &RetryAttempt {
+                worker: 0,
+                iter: 0,
+                grad: 0,
+                attempt: 1,
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "while shard 0 is down")]
+    fn checker_rejects_barrier_while_shard_down() {
+        let mut c = InvariantChecker::new(1, true).with_shards(1);
+        use TraceEvent::*;
+        c.on_event(at(0), &IterBegin { worker: 0, iter: 0 });
+        c.on_event(
+            at(1),
+            &GradReady {
+                worker: 0,
+                iter: 0,
+                grad: 0,
+            },
+        );
+        c.on_event(
+            at(2),
+            &PushStart {
+                worker: 0,
+                iter: 0,
+                grad: 0,
+            },
+        );
+        c.on_event(
+            at(4),
+            &PushEnd {
+                worker: 0,
+                iter: 0,
+                grad: 0,
+            },
+        );
+        c.on_event(
+            at(5),
+            &FaultStart {
+                kind: FaultKind::ShardCrash,
+                node: 0,
+            },
+        );
+        c.on_event(at(6), &Barrier { iter: 0, grad: 0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "reports 2 attempts, saw 1")]
+    fn checker_rejects_recovery_with_wrong_attempt_count() {
+        let mut c = InvariantChecker::new(1, true);
+        use TraceEvent::*;
+        c.on_event(at(0), &IterBegin { worker: 0, iter: 0 });
+        c.on_event(
+            at(1),
+            &GradReady {
+                worker: 0,
+                iter: 0,
+                grad: 0,
+            },
+        );
+        c.on_event(
+            at(2),
+            &PushStart {
+                worker: 0,
+                iter: 0,
+                grad: 0,
+            },
+        );
+        c.on_event(
+            at(3),
+            &RetryAttempt {
+                worker: 0,
+                iter: 0,
+                grad: 0,
+                attempt: 1,
+            },
+        );
+        c.on_event(
+            at(4),
+            &Recovered {
+                worker: 0,
+                iter: 0,
+                grad: 0,
+                attempts: 2,
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "fault LinkDown on node 1 started twice")]
+    fn checker_rejects_duplicate_fault_start() {
+        let mut c = InvariantChecker::new(1, true);
+        let ev = TraceEvent::FaultStart {
+            kind: FaultKind::LinkDown,
+            node: 1,
+        };
+        c.on_event(at(0), &ev);
+        c.on_event(at(1), &ev);
+    }
+
+    #[test]
+    fn retry_voids_push_arrival_so_barrier_waits_for_replay() {
+        // A push that fully arrived, then was invalidated by a shard crash
+        // and replayed: the barrier must only fire after the replay lands.
+        let mut c = InvariantChecker::new(1, true).with_shards(1);
+        use TraceEvent::*;
+        feed(
+            &mut c,
+            &[
+                (at(0), IterBegin { worker: 0, iter: 0 }),
+                (
+                    at(1),
+                    GradReady {
+                        worker: 0,
+                        iter: 0,
+                        grad: 0,
+                    },
+                ),
+                (
+                    at(2),
+                    PushStart {
+                        worker: 0,
+                        iter: 0,
+                        grad: 0,
+                    },
+                ),
+                (
+                    at(4),
+                    PushEnd {
+                        worker: 0,
+                        iter: 0,
+                        grad: 0,
+                    },
+                ),
+                (
+                    at(5),
+                    FaultStart {
+                        kind: FaultKind::ShardCrash,
+                        node: 0,
+                    },
+                ),
+                (
+                    at(5),
+                    RetryAttempt {
+                        worker: 0,
+                        iter: 0,
+                        grad: 0,
+                        attempt: 1,
+                    },
+                ),
+                (
+                    at(9),
+                    FaultEnd {
+                        kind: FaultKind::ShardCrash,
+                        node: 0,
+                    },
+                ),
+                (
+                    at(10),
+                    PushStart {
+                        worker: 0,
+                        iter: 0,
+                        grad: 0,
+                    },
+                ),
+                (
+                    at(12),
+                    PushEnd {
+                        worker: 0,
+                        iter: 0,
+                        grad: 0,
+                    },
+                ),
+                (
+                    at(12),
+                    Recovered {
+                        worker: 0,
+                        iter: 0,
+                        grad: 0,
+                        attempts: 1,
+                    },
+                ),
+                (at(12), Barrier { iter: 0, grad: 0 }),
+            ],
+        );
+        c.finish();
     }
 
     #[test]

@@ -2,19 +2,39 @@
 # The tier-1 gate, exactly as CI runs it. Everything is offline: external
 # dependencies are vendored under vendor/ as path crates, so no registry
 # access is needed (or attempted).
+#
+# Usage: check.sh [all|debug|release]
+#   debug    fmt + clippy + debug-profile tests (invariant checking on; the
+#            slowest simulation suites are `#[cfg_attr(debug_assertions,
+#            ignore)]` so this tier stays fast)
+#   release  release build + release-profile tests with `--include-ignored`
+#            (the trimmed suites at full iteration counts)
+#   all      both tiers (default)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo fmt --check"
-cargo fmt --all -- --check
+tier="${1:-all}"
 
-echo "==> cargo clippy (-D warnings)"
-cargo clippy --offline --workspace --all-targets -- -D warnings
+if [[ "$tier" == "all" || "$tier" == "debug" ]]; then
+    echo "==> cargo fmt --check"
+    cargo fmt --all -- --check
 
-echo "==> cargo build --release"
-cargo build --offline --release
+    echo "==> cargo clippy (-D warnings)"
+    cargo clippy --offline --workspace --all-targets -- -D warnings
 
-echo "==> cargo test"
-cargo test --offline -q
+    echo "==> cargo test (debug tier)"
+    cargo test --offline -q
+fi
 
-echo "==> OK"
+if [[ "$tier" == "all" || "$tier" == "release" ]]; then
+    echo "==> cargo build --release"
+    cargo build --offline --release
+
+    echo "==> cargo test --release (full tier)"
+    # --lib/--bins/--tests: `--include-ignored` must not reach doctests
+    # (vendored crates mark non-compiling examples `ignore`); doctests
+    # already ran in the debug tier.
+    cargo test --offline --release -q --lib --bins --tests -- --include-ignored
+fi
+
+echo "==> OK ($tier)"

@@ -74,6 +74,10 @@ fn stepwise_pattern_for_every_model() {
 /// Fig. 3(a): P3's training rate degrades as partitions shrink (the
 /// per-partition blocking overhead).
 #[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow under the debug profile; the release tier runs it"
+)]
 fn fig3a_small_partitions_hurt_p3() {
     let r_4m = rate(
         "resnet50",
@@ -151,6 +155,10 @@ fn fig3b_autotuner_fluctuates() {
 /// constrained mid-band Prophet leads FIFO by a double-digit margin and
 /// never trails P3.
 #[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow under the debug profile; the release tier runs it"
+)]
 fn table2_shape() {
     // Mid-band.
     let fifo = rate("resnet50", 64, 4.0, SchedulerKind::Fifo, 10);
@@ -178,6 +186,10 @@ fn table2_shape() {
 /// Table 3's trend: Prophet's edge over the baselines grows with batch
 /// size (larger batches stretch the stepwise intervals).
 #[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow under the debug profile; the release tier runs it"
+)]
 fn table3_batch_size_trend() {
     // Not debug-scaled: the trend between two close ratios needs the full
     // measurement window to be stable.
@@ -241,6 +253,10 @@ fn eq10_effective_bandwidth_shape() {
 /// Fig. 12: with a sharded PS (BytePS-style co-location), per-worker rate
 /// stays roughly flat from 2 to 8 workers.
 #[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow under the debug profile; the release tier runs it"
+)]
 fn fig12_scaling_roughly_flat() {
     let per_worker = |workers: usize| {
         let job = TrainingJob::paper_setup("resnet50", 64);

@@ -21,6 +21,10 @@ fn iters(n: u64) -> u64 {
 }
 
 #[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow under the debug profile; the release tier runs it"
+)]
 fn every_strategy_completes_every_evaluated_model() {
     for model in ["resnet18", "resnet50", "inception_v3"] {
         for kind in SchedulerKind::paper_lineup(1.25e9) {
@@ -107,6 +111,10 @@ fn online_prophet_switches_out_of_profiling() {
 }
 
 #[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow under the debug profile; the release tier runs it"
+)]
 fn prophet_beats_fifo_and_p3_in_paper_regime() {
     // The paper's headline ordering at a mid-band bandwidth.
     let gbps = 4.0;
@@ -152,6 +160,10 @@ fn all_strategies_converge_on_fast_networks() {
 }
 
 #[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow under the debug profile; the release tier runs it"
+)]
 fn gpu_idle_dip_visible_under_fifo() {
     // Fig. 2: under default MXNet the GPU goes fully idle while waiting
     // for pulls at least once per iteration on a constrained network.

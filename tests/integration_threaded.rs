@@ -145,6 +145,49 @@ fn rate_limited_link_slows_wall_clock_not_results() {
 }
 
 #[test]
+fn invariant_checker_is_wired_into_threaded_runs() {
+    let cfg = ThreadedConfig::small(2, SchedulerKind::Fifo);
+    assert!(cfg.check_invariants, "checking should be on by default");
+    let r = run_threaded_training(&cfg);
+    assert!(
+        r.events_checked > 0,
+        "no typed events reached the invariant checker"
+    );
+    assert_eq!(r.retries, 0, "retries without any injected fault");
+}
+
+#[test]
+fn injected_ps_restart_recovers_without_corrupting_training() {
+    // A PS crash-restart mid-run wipes in-flight aggregation state; the
+    // epoch protocol must re-deliver every lost gradient, and because the
+    // replayed bytes are identical, the final model must be bit-identical
+    // to an undisturbed run.
+    for kind in [
+        SchedulerKind::Fifo,
+        SchedulerKind::P3 {
+            partition_bytes: 1 << 10, // many partitions: crash lands mid-tensor
+        },
+    ] {
+        let label = kind.label();
+        let mut cfg = ThreadedConfig::small(3, kind);
+        cfg.global_batch = 48;
+        cfg.iterations = 8;
+        cfg.ps_restart_at_iter = Some(3);
+        let crashed = run_threaded_training(&cfg);
+        assert!(
+            crashed.retries > 0,
+            "{label}: restart at iteration 3 caused no re-pushes"
+        );
+        assert!(crashed.events_checked > 0, "{label}: checker not wired");
+        assert_eq!(
+            crashed.final_params,
+            reference_params(&cfg),
+            "{label}: crash recovery changed the computed model"
+        );
+    }
+}
+
+#[test]
 fn pushed_bytes_match_model_volume() {
     let mut cfg = ThreadedConfig::small(3, SchedulerKind::Fifo);
     cfg.global_batch = 48; // divisible by 3 workers
