@@ -6,7 +6,11 @@
 //! repro fig8 table2 ... # run specific experiments
 //! repro trace <sched> [gbps] [batch] [seed]
 //!                       # run one cell with the typed span trace on and
-//!                       # write per-gradient spans to results/trace_*.csv
+//!                       # write per-gradient spans to results/trace_*.csv,
+//!                       # printing an ASCII Gantt of worker 0's spans
+//! repro ext_chaos <seed> [budget]
+//!                       # chaos search at any scale: <budget> generated
+//!                       # fault plans per scheduler vs the oracles
 //! ```
 //!
 //! CSV outputs land in `results/` at the workspace root (override with
@@ -30,7 +34,7 @@ fn run_trace(args: &[String]) {
     use prophet::core::{ProphetConfig, SchedulerKind};
     use prophet::dnn::TrainingJob;
     use prophet::ps::sim::{run_cluster, ClusterConfig};
-    use prophet::sim::{spans_to_csv, SpanKind};
+    use prophet::sim::{grad_spans_to_ascii_gantt, spans_to_csv, SpanKind};
 
     let sched = args.first().map(String::as_str).unwrap_or("fifo");
     // Strict positional parsing: a malformed `[gbps] [batch] [seed]` must
@@ -116,6 +120,17 @@ fn run_trace(args: &[String]) {
         );
     }
 
+    // Worker 0's lanes as an ASCII Gantt: `.` queue-wait, `#` push,
+    // `=` aggregate, `<` pull, `F` compute.
+    let w0: Vec<_> = r
+        .grad_spans
+        .iter()
+        .filter(|s| s.worker == 0)
+        .cloned()
+        .collect();
+    println!("\nworker 0 gantt (.queue #push =agg <pull Fcompute):");
+    print!("{}", grad_spans_to_ascii_gantt(&w0, 100));
+
     let dir = results_dir();
     if let Err(e) = std::fs::create_dir_all(&dir) {
         eprintln!("[repro] cannot create {}: {e}", dir.display());
@@ -146,6 +161,39 @@ fn main() {
 
     if args[0] == "trace" {
         run_trace(&args[1..]);
+        return;
+    }
+
+    // `repro ext_chaos <seed> [budget]` — the parameterized search. A bare
+    // `repro ext_chaos` (no numeric args) falls through to the registry's
+    // small fixed-seed entry.
+    if args[0] == "ext_chaos" && args.len() > 1 {
+        let parse = |i: usize, name: &str, default: u64| -> u64 {
+            args.get(i).map_or(default, |s| {
+                s.parse().unwrap_or_else(|_| {
+                    eprintln!("bad {name} `{s}` — usage: repro ext_chaos <seed> [budget]");
+                    std::process::exit(1);
+                })
+            })
+        };
+        let seed = parse(1, "seed", 42);
+        let budget = parse(2, "budget", 200) as usize;
+        if let Some(extra) = args.get(3) {
+            eprintln!("unexpected argument `{extra}` — usage: repro ext_chaos <seed> [budget]");
+            std::process::exit(1);
+        }
+        eprintln!("[repro] chaos search: seed {seed}, {budget} plans per scheduler ...");
+        let t0 = std::time::Instant::now();
+        let output = prophet_bench::experiments::chaos::run_chaos(seed, budget);
+        println!("{}", output.to_markdown());
+        match output.write_csv(&results_dir()) {
+            Ok(path) => eprintln!(
+                "[repro] ext_chaos done in {:.1?} → {}",
+                t0.elapsed(),
+                path.display()
+            ),
+            Err(e) => eprintln!("[repro] ext_chaos: could not write CSV: {e}"),
+        }
         return;
     }
 

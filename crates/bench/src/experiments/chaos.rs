@@ -1,0 +1,180 @@
+//! [extension] Chaos search: randomized fault plans judged by the
+//! safety/liveness oracles, with automatic shrinking of any failure and a
+//! threaded-runtime parity leg.
+
+use super::cell;
+use crate::output::ExperimentOutput;
+use prophet::core::SchedulerKind;
+use prophet::net::RetryPolicy;
+use prophet::ps::sim::run_cluster;
+use prophet::ps::threaded::{run_threaded_training, ThreadedConfig};
+use prophet::ps::{check_plan, run_sim_checked, OracleBudget};
+use prophet::sim::{plan_to_rust, shrink, ChaosGen, ChaosProfile, Duration};
+
+/// Iterations per simulated chaos run (plus one warm-up), matching the
+/// pinned golden cell so fault-free durations are known-good.
+const SIM_ITERS: u64 = 3;
+
+/// Plans replayed on the threaded runtime per scheduler: enough to exercise
+/// every fault kind across the lineup without dominating wall clock.
+const THREADED_REPLAYS: usize = 3;
+
+/// Registry entry: a small fixed-seed search so `repro all` stays fast.
+/// `repro ext_chaos <seed> [budget]` runs the same search at any scale.
+pub fn ext_chaos() -> ExperimentOutput {
+    run_chaos(42, 8)
+}
+
+/// The chaos search: per scheduler in the paper lineup, run `budget`
+/// generated plans through the simulator and judge each against the
+/// fault-free golden with [`check_plan`]; then replay a fixed sample of
+/// generated plans on the threaded runtime and require bit-identical final
+/// parameters. Oracle violations are shrunk to minimal reproducers and
+/// printed as copy-pasteable pinned tests.
+pub fn run_chaos(seed: u64, budget: usize) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new(
+        "ext_chaos",
+        "Chaos search: ResNet18 bs16, 2 workers, 10 Gb/s",
+        "The paper argues robustness qualitatively (§5.3 varies bandwidth by \
+         hand). This samples whole fault schedules from a seeded generator \
+         and checks every run against safety (no invariant panic), liveness \
+         (bounded slowdown, all iterations complete), the wire-byte ledger, \
+         and Prophet's degraded-mode recovery — then replays plans on the \
+         real threaded PS and requires a bit-identical model.",
+        &[
+            "strategy",
+            "plans",
+            "violations",
+            "slowdown_min",
+            "slowdown_med",
+            "slowdown_max",
+            "threaded_replays",
+            "threaded_bit_identical",
+        ],
+    );
+
+    let oracle = OracleBudget::paper_default();
+    for kind in SchedulerKind::paper_lineup(1.25e9) {
+        let label = kind.label().to_string();
+        let mut base = cell("resnet18", 16, 2, 10.0, kind);
+        base.warmup_iters = 1;
+        base.check_invariants = true;
+        let golden = run_cluster(&base, SIM_ITERS);
+        // Horizon = the fault-free duration: every plan can land mid-run.
+        let horizon = Duration::from_nanos(golden.duration.as_nanos());
+        let profile = ChaosProfile::for_cluster(base.workers, base.ps_shards, horizon);
+        let mut gen = ChaosGen::new(seed);
+
+        let mut violations = 0usize;
+        let mut slowdowns: Vec<f64> = Vec::with_capacity(budget);
+        for _ in 0..budget {
+            let plan = gen.next_plan(&profile);
+            let mut faulted = base.clone();
+            faulted.fault_plan = plan.clone();
+            let outcome = run_sim_checked(&faulted, SIM_ITERS);
+            let verdict = check_plan(&golden, &outcome, &plan, &oracle);
+            slowdowns.push(verdict.slowdown);
+            if !verdict.ok() {
+                violations += 1;
+                eprintln!(
+                    "[ext_chaos] {label}: oracle violation: {:?}",
+                    verdict.violations
+                );
+                // Shrink while the oracle still fires, then emit the minimal
+                // plan as a pinned test body.
+                let small = shrink(&plan, |cand| {
+                    let mut c = base.clone();
+                    c.fault_plan = cand.clone();
+                    let o = run_sim_checked(&c, SIM_ITERS);
+                    !check_plan(&golden, &o, cand, &oracle).ok()
+                });
+                eprintln!(
+                    "[ext_chaos] {label}: shrunk reproducer \
+                     ({} of {} specs survive):\n{}",
+                    small.faults.len(),
+                    plan.faults.len(),
+                    plan_to_rust(&small)
+                );
+            }
+        }
+
+        // Threaded parity leg: the same seeded generator (scaled to the
+        // threaded run's wall clock) must not change what is computed.
+        let (replayed, identical) = threaded_parity(seed, base.scheduler.clone());
+
+        let finite: Vec<f64> = slowdowns
+            .iter()
+            .copied()
+            .filter(|s| s.is_finite())
+            .collect();
+        let mut sorted = finite.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite slowdowns"));
+        let fmt = |x: Option<&f64>| x.map_or("-".to_string(), |v| format!("{v:.2}"));
+        out.row(vec![
+            label,
+            budget.to_string(),
+            violations.to_string(),
+            fmt(sorted.first()),
+            fmt(sorted.get(sorted.len() / 2)),
+            fmt(sorted.last()),
+            replayed.to_string(),
+            identical.to_string(),
+        ]);
+    }
+    out.notes = format!(
+        "Seed {seed}, {budget} plans per strategy, oracle budget: {:.1}x \
+         liveness, {:?} degraded grace. `slowdown` is faulted over fault-free \
+         simulated duration. The threaded column counts replayed plans whose \
+         final parameters were bit-identical to a fault-free threaded run — \
+         loss, crash, stall and link faults may cost time, never correctness. \
+         Violations (if any) are shrunk to minimal plans and printed as \
+         pinned-test source on stderr.",
+        oracle.liveness_multiple, oracle.degraded_grace
+    );
+    out
+}
+
+/// Replay [`THREADED_REPLAYS`] generated plans on the threaded runtime and
+/// count how many produced a model bit-identical to the fault-free run.
+fn threaded_parity(seed: u64, kind: SchedulerKind) -> (usize, usize) {
+    let mk = |plan| {
+        let mut cfg = ThreadedConfig::small(2, kind.clone());
+        cfg.iterations = 8;
+        // Losses must be detected in milliseconds, not the production 5 s.
+        cfg.retry = RetryPolicy {
+            base: Duration::from_millis(2),
+            cap: Duration::from_millis(10),
+            timeout: Duration::from_millis(40),
+        };
+        cfg.fault_plan = plan;
+        cfg
+    };
+    let clean = run_threaded_training(&mk(Default::default()));
+    // Horizon sized to the threaded run's wall clock so windows land mid-run.
+    let profile = ChaosProfile::for_cluster(2, 1, Duration::from_millis(60));
+    let mut gen = ChaosGen::new(seed);
+    let mut identical = 0;
+    for _ in 0..THREADED_REPLAYS {
+        let faulted = run_threaded_training(&mk(gen.next_plan(&profile)));
+        if faulted.final_params == clean.final_params {
+            identical += 1;
+        }
+    }
+    (THREADED_REPLAYS, identical)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "release-tier: runs many simulations")]
+    fn small_search_is_violation_free() {
+        let out = run_chaos(42, 4);
+        assert_eq!(out.rows.len(), 4, "one row per lineup strategy");
+        for row in &out.rows {
+            assert_eq!(row[2], "0", "{}: oracle violations in {row:?}", row[0]);
+            assert_eq!(row[6], row[7], "{}: threaded replay diverged", row[0]);
+        }
+    }
+}

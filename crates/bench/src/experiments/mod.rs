@@ -1,5 +1,6 @@
 //! One module per section of the paper's evaluation.
 
+pub mod chaos;
 pub mod effectiveness;
 pub mod extensions;
 pub mod faults;

@@ -145,6 +145,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
             "[extension] fault injection: link/shard/worker failures, degradation and recovery",
             faults::ext_faults,
         ),
+        (
+            "ext_chaos",
+            "[extension] chaos search: random fault plans vs safety/liveness oracles",
+            chaos::ext_chaos,
+        ),
     ]
 }
 

@@ -505,6 +505,10 @@ impl CommScheduler for ProphetScheduler {
             self.degraded = true;
         }
     }
+
+    fn is_degraded(&self) -> bool {
+        ProphetScheduler::is_degraded(self)
+    }
 }
 
 #[cfg(test)]

@@ -143,6 +143,15 @@ pub trait CommScheduler: Send {
         None
     }
 
+    /// True while the strategy has fallen back to a conservative mode
+    /// because the network left its predicted regime. Only Prophet has such
+    /// a mode; everything else is never degraded. The engine samples this
+    /// each monitor tick so the chaos oracle can assert degraded mode both
+    /// enters under sustained faults and exits afterwards.
+    fn is_degraded(&self) -> bool {
+        false
+    }
+
     /// How this strategy's transport behaves (see [`Transport`]).
     fn transport(&self) -> Transport {
         Transport::Pipelined

@@ -46,6 +46,36 @@ impl RetryPolicy {
         let ns = self.base.as_nanos().saturating_mul(1u64 << shift);
         Duration::from_nanos(ns.min(self.cap.as_nanos()))
     }
+
+    /// Raise `timeout` so the worst-case whole-message transfer the caller
+    /// can configure still completes before the ack deadline.
+    ///
+    /// The flat default timeout holds only while `bytes / (bps · factor)`
+    /// stays under it; a deep [`LinkDegrade`] (factor 0.02 in the regression
+    /// cell) pushes a large tensor's transfer past the deadline, and every
+    /// send then thrashes through spurious timeout → kill → retry cycles
+    /// without the link ever being at fault. This derives the deadline from
+    /// the worst case instead: `margin ×` the time `max_message_bytes`
+    /// takes on the slowest configured link (`bps` scaled by the smallest
+    /// degrade factor), never *lowering* the flat timeout. A `margin` of 2
+    /// leaves room for queueing behind one equally slow message.
+    ///
+    /// [`LinkDegrade`]: prophet_sim::FaultSpec::LinkDegrade
+    pub fn adapted_to_link(
+        &self,
+        max_message_bytes: u64,
+        bytes_per_sec: f64,
+        min_degrade_factor: f64,
+        margin: f64,
+    ) -> Self {
+        let worst_bps = bytes_per_sec * min_degrade_factor.clamp(f64::MIN_POSITIVE, 1.0);
+        let worst = Duration::for_bytes(max_message_bytes, worst_bps);
+        let ns = (worst.as_nanos() as f64 * margin.max(1.0)).min(u64::MAX as f64) as u64;
+        RetryPolicy {
+            timeout: self.timeout.max(Duration::from_nanos(ns)),
+            ..*self
+        }
+    }
 }
 
 impl Default for RetryPolicy {
@@ -78,5 +108,36 @@ mod tests {
         let p = RetryPolicy::paper_default();
         assert_eq!(p.delay(u32::MAX), p.cap);
         assert_eq!(p.delay(64), p.cap);
+    }
+
+    #[test]
+    fn adapted_timeout_never_shrinks() {
+        // A small message on a fast, healthy link: the flat default wins.
+        let p = RetryPolicy::paper_default();
+        let a = p.adapted_to_link(1 << 20, 1.25e9, 1.0, 2.0);
+        assert_eq!(a, p);
+    }
+
+    #[test]
+    fn adapted_timeout_covers_a_degraded_whole_tensor() {
+        // 400 MB at 1.25 GB/s x 0.02 takes 16 s; the 5 s flat default would
+        // thrash. The derived deadline must cover margin x that transfer.
+        let p = RetryPolicy::paper_default();
+        let a = p.adapted_to_link(400 << 20, 1.25e9, 0.02, 2.0);
+        let worst = Duration::for_bytes(400 << 20, 1.25e9 * 0.02);
+        assert!(a.timeout >= worst * 2, "{:?} < 2x{worst:?}", a.timeout);
+        // Backoff knobs are untouched.
+        assert_eq!(a.base, p.base);
+        assert_eq!(a.cap, p.cap);
+    }
+
+    #[test]
+    fn adapted_timeout_survives_zero_factor() {
+        // A zero factor would divide by zero; the clamp keeps the result
+        // finite (saturating at Duration::MAX is acceptable — a fully dead
+        // link is LinkDown's job, not LinkDegrade's).
+        let p = RetryPolicy::paper_default();
+        let a = p.adapted_to_link(1 << 20, 1.25e9, 0.0, 2.0);
+        assert!(a.timeout >= p.timeout);
     }
 }

@@ -19,8 +19,10 @@
 //! gradient once every worker's push for the iteration has arrived, and a
 //! worker's forward pass consumes parameters strictly in priority order.
 
+pub mod chaos;
 pub mod sim;
 pub mod threaded;
 
+pub use chaos::{check_plan, run_sim_checked, OracleBudget, PlanVerdict};
 pub use sim::{run_cluster, ClusterConfig, GradTransferLog, RunResult, SyncMode};
 pub use threaded::{run_threaded_training, PsOptimizer, ThreadedConfig, ThreadedResult};

@@ -177,6 +177,11 @@ struct Cluster {
     stall_until: Vec<SimTime>,
     loss_rate: f64,
     loss_until: SimTime,
+    /// Active windows per `(kind, trace node)`. Chaos plans overlap windows
+    /// of the same kind on the same node (bursts, repeated crashes); the
+    /// trace contract is one `FaultStart`/`FaultEnd` pair per episode, so
+    /// starts are emitted on 0→1 and ends on 1→0 of this count.
+    fault_active: HashMap<(FaultKind, usize), u32>,
     fault_rng: Xoshiro256StarStar,
     /// Retries so far per `(worker, iter, grad)` episode; an entry is
     /// closed (removed) when the gradient finally delivers (`Recovered`).
@@ -203,15 +208,28 @@ struct Cluster {
     transfer_logs: Vec<Vec<GradTransferLog>>,
     credit_trace: Vec<(u64, u64)>,
     bandwidth_estimates: Vec<(SimTime, f64)>,
+    /// Worker 0's scheduler degraded-mode flips, sampled each monitor tick
+    /// (`(when, entered)`); empty for strategies without a degraded mode.
+    degraded_transitions: Vec<(SimTime, bool)>,
     warmup_end_time: Option<SimTime>,
     post_warmup_gpu: TimeWeighted,
 }
 
 const UNSET: SimTime = SimTime::MAX;
 
+/// Is a fault window active at `now`? Half-open `[at, until)`: a window is
+/// live at its begin event and already over at its finish event.
+fn window_active(f: &FaultSpec, now: SimTime) -> bool {
+    f.at() <= now && now < f.until()
+}
+
 impl Cluster {
-    fn new(cfg: ClusterConfig, total_iters: u64) -> Self {
+    fn new(mut cfg: ClusterConfig, total_iters: u64) -> Self {
         cfg.validate();
+        // Bake the link-adapted ack timeout in once so every consultation
+        // of `cfg.retry` below sees the same deadline (no-op when the plan
+        // is empty or adaptation is off).
+        cfg.retry = cfg.effective_retry();
         let shards = cfg.ps_shards;
         let mut topo = Topology::new();
         for _ in 0..shards {
@@ -286,6 +304,7 @@ impl Cluster {
             stall_until,
             loss_rate: 0.0,
             loss_until: SimTime::ZERO,
+            fault_active: HashMap::new(),
             fault_rng,
             retry_counts: HashMap::new(),
             needs_stamp: HashSet::new(),
@@ -315,6 +334,7 @@ impl Cluster {
             transfer_logs: Vec::new(),
             credit_trace: Vec::new(),
             bandwidth_estimates: Vec::new(),
+            degraded_transitions: Vec::new(),
             warmup_end_time: None,
             post_warmup_gpu: TimeWeighted::new(SimTime::ZERO, 0.0),
         }
@@ -746,6 +766,20 @@ impl Cluster {
                 self.bandwidth_estimates.push((now, est));
             }
             self.pump(now, w);
+        }
+        // Sample worker 0's degraded flag after the updates above so the
+        // transition log reflects what this tick's estimate caused. Only
+        // flips are recorded; strategies without a degraded mode (the
+        // default `is_degraded` is `false`) log nothing.
+        let degraded = self.workers[0].sched.is_degraded();
+        if degraded
+            != self
+                .degraded_transitions
+                .last()
+                .map(|&(_, d)| d)
+                .unwrap_or(false)
+        {
+            self.degraded_transitions.push((now, degraded));
         }
         self.queue
             .schedule(now + self.cfg.monitor_period, Ev::MonitorTick);
@@ -1229,126 +1263,175 @@ impl Cluster {
         self.has_faults() && now < self.stall_until[w]
     }
 
+    /// The node a spec's trace events are attributed to (`usize::MAX` for
+    /// the global `MsgLoss`; stalls use the worker's topology node).
+    fn fault_trace_node(&self, spec: &FaultSpec) -> usize {
+        match *spec {
+            FaultSpec::LinkDown { node, .. } | FaultSpec::LinkDegrade { node, .. } => node,
+            FaultSpec::MsgLoss { .. } => usize::MAX,
+            FaultSpec::ShardCrash { shard, .. } => shard,
+            FaultSpec::WorkerStall { worker, .. } => self.cfg.ps_shards + worker,
+        }
+    }
+
+    /// Is any `LinkDown`/`ShardCrash` window covering `node` active at
+    /// `now`? Windows are half-open `[at, until)`, so a finish event at
+    /// `until` sees its own window as inactive.
+    fn any_down_window(&self, now: SimTime, node: usize) -> bool {
+        self.cfg.fault_plan.faults.iter().any(|f| {
+            window_active(f, now)
+                && match *f {
+                    FaultSpec::LinkDown { node: n, .. } => n == node,
+                    FaultSpec::ShardCrash { shard, .. } => shard == node,
+                    _ => false,
+                }
+        })
+    }
+
+    /// Effective degrade factor on `node`: the minimum over active
+    /// `LinkDegrade` windows (overlaps stack as "worst wins"), 1.0 if none.
+    fn active_degrade(&self, now: SimTime, node: usize) -> f64 {
+        self.cfg
+            .fault_plan
+            .faults
+            .iter()
+            .fold(1.0f64, |acc, f| match *f {
+                FaultSpec::LinkDegrade {
+                    node: n, factor, ..
+                } if n == node && window_active(f, now) => acc.min(factor),
+                _ => acc,
+            })
+    }
+
+    /// Effective loss `(rate, until)` over active `MsgLoss` windows: the
+    /// worst rate, covering until the last window closes.
+    fn active_loss(&self, now: SimTime) -> (f64, SimTime) {
+        self.cfg
+            .fault_plan
+            .faults
+            .iter()
+            .fold((0.0f64, SimTime::ZERO), |(rate, until), f| match *f {
+                FaultSpec::MsgLoss { rate: r, .. } if window_active(f, now) => {
+                    (rate.max(r), until.max(f.until()))
+                }
+                _ => (rate, until),
+            })
+    }
+
     fn on_fault_begin(&mut self, now: SimTime, idx: usize) {
         let spec = self.cfg.fault_plan.faults[idx];
+        let key = (spec.kind(), self.fault_trace_node(&spec));
+        let count = self.fault_active.entry(key).or_insert(0);
+        *count += 1;
+        if *count == 1 {
+            self.emit(
+                now,
+                TraceEvent::FaultStart {
+                    kind: key.0,
+                    node: key.1,
+                },
+            );
+        }
         match spec {
             FaultSpec::LinkDown { node, .. } => {
-                self.emit(
-                    now,
-                    TraceEvent::FaultStart {
-                        kind: FaultKind::LinkDown,
-                        node,
-                    },
-                );
                 self.node_down[node] = true;
                 let kills = self.net.kill_flows_touching(now, NodeId(node));
                 self.fail_flows(now, kills);
             }
             FaultSpec::LinkDegrade { node, factor, .. } => {
-                self.emit(
-                    now,
-                    TraceEvent::FaultStart {
-                        kind: FaultKind::LinkDegrade,
-                        node,
-                    },
-                );
-                self.node_degrade[node] = factor;
+                // Overlapping degrades stack as "worst wins".
+                self.node_degrade[node] = self.node_degrade[node].min(factor);
                 self.apply_node_cap(now, node);
             }
             FaultSpec::MsgLoss { rate, .. } => {
-                self.emit(
-                    now,
-                    TraceEvent::FaultStart {
-                        kind: FaultKind::MsgLoss,
-                        node: usize::MAX,
-                    },
-                );
-                self.loss_rate = rate;
-                self.loss_until = spec.until();
+                self.loss_rate = self.loss_rate.max(rate);
+                self.loss_until = self.loss_until.max(spec.until());
             }
             FaultSpec::ShardCrash { shard, .. } => {
-                self.emit(
-                    now,
-                    TraceEvent::FaultStart {
-                        kind: FaultKind::ShardCrash,
-                        node: shard,
-                    },
-                );
                 self.node_down[shard] = true;
                 let kills = self.net.kill_flows_touching(now, NodeId(shard));
                 self.fail_flows(now, kills);
                 self.wipe_shard_state(now, shard);
             }
             FaultSpec::WorkerStall { worker, .. } => {
-                self.emit(
-                    now,
-                    TraceEvent::FaultStart {
-                        kind: FaultKind::WorkerStall,
-                        node: self.cfg.ps_shards + worker,
-                    },
-                );
-                self.stall_until[worker] = spec.until();
+                // A shorter overlapping stall must not cut a longer one off.
+                self.stall_until[worker] = self.stall_until[worker].max(spec.until());
             }
         }
     }
 
     fn on_fault_finish(&mut self, now: SimTime, idx: usize) {
         let spec = self.cfg.fault_plan.faults[idx];
+        let key = (spec.kind(), self.fault_trace_node(&spec));
+        let count = self
+            .fault_active
+            .get_mut(&key)
+            .expect("fault finished without starting");
+        *count -= 1;
+        // The trace pair closes when the last same-(kind, node) window does;
+        // node state restores only once *no* window (of any kind) still
+        // holds it down — both recomputed from the plan, not toggled, so
+        // overlapping windows cannot un-fault a still-faulted node.
+        let last = *count == 0;
         match spec {
-            FaultSpec::LinkDown { node, .. } => {
-                self.node_down[node] = false;
-                self.cold_restart_lanes(node);
-                self.emit(
-                    now,
-                    TraceEvent::FaultEnd {
-                        kind: FaultKind::LinkDown,
-                        node,
-                    },
-                );
-                self.kick_lanes_touching(now, node);
+            FaultSpec::LinkDown { node, .. } | FaultSpec::ShardCrash { shard: node, .. } => {
+                let up = !self.any_down_window(now, node);
+                if up {
+                    self.node_down[node] = false;
+                    self.cold_restart_lanes(node);
+                }
+                if last {
+                    self.emit(
+                        now,
+                        TraceEvent::FaultEnd {
+                            kind: key.0,
+                            node: key.1,
+                        },
+                    );
+                }
+                if up {
+                    self.kick_lanes_touching(now, node);
+                }
             }
             FaultSpec::LinkDegrade { node, .. } => {
-                self.node_degrade[node] = 1.0;
+                self.node_degrade[node] = self.active_degrade(now, node);
                 self.apply_node_cap(now, node);
-                self.emit(
-                    now,
-                    TraceEvent::FaultEnd {
-                        kind: FaultKind::LinkDegrade,
-                        node,
-                    },
-                );
+                if last {
+                    self.emit(
+                        now,
+                        TraceEvent::FaultEnd {
+                            kind: key.0,
+                            node: key.1,
+                        },
+                    );
+                }
             }
             FaultSpec::MsgLoss { .. } => {
-                self.loss_rate = 0.0;
-                self.loss_until = SimTime::ZERO;
-                self.emit(
-                    now,
-                    TraceEvent::FaultEnd {
-                        kind: FaultKind::MsgLoss,
-                        node: usize::MAX,
-                    },
-                );
+                let (rate, until) = self.active_loss(now);
+                self.loss_rate = rate;
+                self.loss_until = until;
+                if last {
+                    self.emit(
+                        now,
+                        TraceEvent::FaultEnd {
+                            kind: key.0,
+                            node: key.1,
+                        },
+                    );
+                }
             }
-            FaultSpec::ShardCrash { shard, .. } => {
-                self.node_down[shard] = false;
-                self.cold_restart_lanes(shard);
-                self.emit(
-                    now,
-                    TraceEvent::FaultEnd {
-                        kind: FaultKind::ShardCrash,
-                        node: shard,
-                    },
-                );
-                self.kick_lanes_touching(now, shard);
-            }
-            FaultSpec::WorkerStall { worker, .. } => {
-                self.emit(
-                    now,
-                    TraceEvent::FaultEnd {
-                        kind: FaultKind::WorkerStall,
-                        node: self.cfg.ps_shards + worker,
-                    },
-                );
+            FaultSpec::WorkerStall { .. } => {
+                // `stall_until` is the max over windows already; nothing to
+                // restore.
+                if last {
+                    self.emit(
+                        now,
+                        TraceEvent::FaultEnd {
+                            kind: key.0,
+                            node: key.1,
+                        },
+                    );
+                }
             }
         }
     }
@@ -1608,6 +1691,18 @@ impl Cluster {
         fault_stats.wire_bytes = (0..self.cfg.ps_shards + self.cfg.workers)
             .map(|n| self.net.tx_bytes(NodeId(n)))
             .sum();
+        // Close the degraded-mode log with the end-of-run state so short
+        // runs (fewer than one monitor period) still report it and the
+        // oracle's stuck-degraded check sees the final word.
+        let final_degraded = self.workers[0].sched.is_degraded();
+        let last_logged = self
+            .degraded_transitions
+            .last()
+            .map(|&(_, d)| d)
+            .unwrap_or(false);
+        if final_degraded != last_logged {
+            self.degraded_transitions.push((end, final_degraded));
+        }
         RunResult {
             scheduler: self.cfg.scheduler.label().to_string(),
             iterations: self.total_iters,
@@ -1624,6 +1719,7 @@ impl Cluster {
             trace: self.trace,
             credit_trace: self.credit_trace,
             bandwidth_estimates: self.bandwidth_estimates,
+            degraded_transitions: self.degraded_transitions,
             grad_spans,
             fault_stats,
         }
@@ -1891,6 +1987,81 @@ mod tests {
             "degraded {:?} should be slower than healthy {:?}",
             rd.duration,
             rh.duration
+        );
+    }
+
+    #[test]
+    fn overlapping_same_kind_windows_pair_their_trace_events() {
+        // Chaos-search reproducer (seed 42, shrunk): a burst piles a second
+        // WorkerStall onto an active one, and a shard crashes again inside
+        // its own restart window. Each used to emit a second `FaultStart`
+        // for an already-open (kind, node) pair — an instant checker panic —
+        // and the first window's end un-faulted the node while the second
+        // window still held it.
+        let mut cfg = base(SchedulerKind::Fifo);
+        cfg.check_invariants = true;
+        cfg.fault_plan = FaultPlan::new(vec![
+            FaultSpec::WorkerStall {
+                worker: 1,
+                at: SimTime::from_nanos(119_362_926),
+                dur: Duration::from_nanos(13_154_060),
+            },
+            FaultSpec::WorkerStall {
+                worker: 1,
+                at: SimTime::from_nanos(130_681_165),
+                dur: Duration::from_nanos(1_693_936),
+            },
+            FaultSpec::ShardCrash {
+                shard: 0,
+                at: ms(150),
+                restart_after: Duration::from_millis(60),
+            },
+            FaultSpec::ShardCrash {
+                shard: 0,
+                at: ms(170),
+                restart_after: Duration::from_millis(10),
+            },
+        ]);
+        let r = run_cluster(&cfg, 3);
+        assert_eq!(r.iter_times.len(), 3, "run did not complete");
+    }
+
+    #[test]
+    fn overlapping_degrades_stack_worst_wins_and_unwind() {
+        // Two overlapping degrade windows on the PS: while both are active
+        // the deeper factor applies; when the deep one ends first, the link
+        // must restore to the shallow factor, not to full bandwidth.
+        let mut shallow = base(SchedulerKind::Fifo);
+        shallow.compute_jitter = 0.0;
+        let mut both = shallow.clone();
+        shallow.fault_plan = FaultPlan::new(vec![FaultSpec::LinkDegrade {
+            node: 0,
+            at: ms(10),
+            factor: 0.5,
+            dur: Duration::from_millis(400),
+        }]);
+        both.fault_plan = FaultPlan::new(vec![
+            FaultSpec::LinkDegrade {
+                node: 0,
+                at: ms(10),
+                factor: 0.5,
+                dur: Duration::from_millis(400),
+            },
+            FaultSpec::LinkDegrade {
+                node: 0,
+                at: ms(20),
+                factor: 0.1,
+                dur: Duration::from_millis(100),
+            },
+        ]);
+        let rs = run_cluster(&shallow, 3);
+        let rb = run_cluster(&both, 3);
+        assert_eq!(rb.iter_times.len(), 3);
+        assert!(
+            rb.duration > rs.duration,
+            "the nested deep window must cost extra time: {:?} vs {:?}",
+            rb.duration,
+            rs.duration
         );
     }
 

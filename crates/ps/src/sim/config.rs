@@ -92,6 +92,14 @@ pub struct ClusterConfig {
     /// Backoff/timeout policy applied to messages killed or lost by the
     /// fault plan. Irrelevant (never consulted) when the plan is empty.
     pub retry: RetryPolicy,
+    /// Derive the retry ack timeout from the worst-case whole-tensor time
+    /// on the most-degraded link the fault plan configures (DESIGN §9's
+    /// hazard: a flat timeout below that thrashes through spurious
+    /// timeout → kill → retry cycles on a deeply degraded but live link).
+    /// The timeout is only ever raised, never lowered, so cells the flat
+    /// default already covers are bit-identical either way. Off restores
+    /// the hazardous flat behaviour (kept for the regression test).
+    pub adapt_retry_timeout: bool,
 }
 
 impl ClusterConfig {
@@ -126,7 +134,33 @@ impl ClusterConfig {
             worker_compute_scale: Vec::new(),
             fault_plan: FaultPlan::empty(),
             retry: RetryPolicy::paper_default(),
+            adapt_retry_timeout: true,
         }
+    }
+
+    /// The retry policy the engine actually runs: [`ClusterConfig::retry`],
+    /// with its timeout raised (when [`ClusterConfig::adapt_retry_timeout`]
+    /// is on) to cover the largest tensor crossing the slowest configured
+    /// link at the plan's deepest `LinkDegrade` factor.
+    pub fn effective_retry(&self) -> RetryPolicy {
+        if !self.adapt_retry_timeout || self.fault_plan.is_empty() {
+            return self.retry;
+        }
+        let min_factor = self
+            .fault_plan
+            .faults
+            .iter()
+            .filter_map(|f| match *f {
+                prophet_sim::FaultSpec::LinkDegrade { factor, .. } => Some(factor),
+                _ => None,
+            })
+            .fold(1.0_f64, f64::min);
+        let max_bytes = self.job.sizes().iter().copied().max().unwrap_or(0);
+        let min_bps = (0..self.workers)
+            .map(|w| self.worker_bandwidth(w))
+            .fold(self.ps_bps, f64::min);
+        self.retry
+            .adapted_to_link(max_bytes, min_bps, min_factor, 2.0)
     }
 
     /// NIC capacity of worker `w`, honouring overrides.

@@ -98,6 +98,11 @@ pub struct RunResult {
     /// Worker-0 bandwidth-monitor estimates `(time, bytes/sec)`, one per
     /// monitor tick (what Prophet's planner consumed).
     pub bandwidth_estimates: Vec<(SimTime, f64)>,
+    /// Worker-0 scheduler degraded-mode flips `(when, entered)`, sampled at
+    /// each monitor tick plus once at end of run. Empty for strategies with
+    /// no degraded mode; for Prophet the chaos oracle asserts the log ends
+    /// `false` (no stuck-degraded) once faults have cleared.
+    pub degraded_transitions: Vec<(SimTime, bool)>,
     /// Typed per-`(worker, gradient, iteration)` spans from the event-stream
     /// collector, when [`crate::sim::ClusterConfig::typed_trace`] asked for
     /// them (the `repro trace` exporter's data). Empty otherwise.
@@ -178,6 +183,7 @@ mod tests {
             trace: TraceRecorder::disabled(),
             credit_trace: vec![],
             bandwidth_estimates: vec![],
+            degraded_transitions: vec![],
             grad_spans: vec![],
             fault_stats: FaultStats::default(),
         }

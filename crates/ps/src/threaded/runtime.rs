@@ -1,15 +1,49 @@
 //! The threaded BSP runtime: worker threads + PS thread + link emulation.
+//!
+//! # Fault parity with the discrete-event cluster
+//!
+//! The same [`FaultPlan`] type that drives the simulator's fault layer
+//! drives this runtime, with fault times interpreted as **real-time offsets
+//! from run start**:
+//!
+//! * `ShardCrash` — the PS wipes its aggregation state at the scheduled
+//!   instant (parameters and optimiser state persist, like a durable
+//!   store), sleeps out `restart_after`, bumps its epoch, and broadcasts
+//!   [`ToWorker::ShardRestarted`] so workers re-push unacknowledged
+//!   gradients.
+//! * `MsgLoss` — each worker draws a Bernoulli doom per push message sent
+//!   inside a loss window (from a per-worker substream of the plan seed);
+//!   a doomed message pays the link but never reaches the PS. Recovery is
+//!   end-to-end: the PS acks every accepted slice ([`ToWorker::PushAck`]),
+//!   and a sender retransmits slices whose ack missed the
+//!   [`RetryPolicy`] timeout, with exponential backoff.
+//! * `WorkerStall` — the worker sleeps through the scheduled window before
+//!   its compute phase.
+//! * `LinkDegrade` — the token-bucket link emulator scales its drain rate
+//!   by the window's factor (no-op when `link_bps` is `None`: an unlimited
+//!   link stays unlimited).
+//! * `LinkDown` — the link emulator freezes senders until the outage window
+//!   closes. (The simulator instead kills in-flight flows and replays them;
+//!   freezing is the threaded approximation — same bytes, no mid-message
+//!   kill.)
+//!
+//! Only `ShardCrash` and `WorkerStall` emit `FaultStart`/`FaultEnd` trace
+//! events here (they have one unambiguous owner thread); link and loss
+//! windows act silently through the limiter and the doom draws.
 
 use super::wire::{decode_f32, encode_f32, ToPs, ToWorker};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use prophet_core::{CommScheduler, Dir, SchedulerKind};
 use prophet_minidnn::{Adam, Dataset, Mlp, Sgd};
+use prophet_net::RetryPolicy;
 use prophet_sim::{
-    Duration as SimDuration, FaultKind, InvariantChecker, SimTime, TraceEvent, TraceSink,
+    Duration as SimDuration, FaultKind, FaultPlan, FaultSpec, InvariantChecker, SimTime,
+    TraceEvent, TraceSink, Xoshiro256StarStar,
 };
 use std::cell::Cell;
+use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration as StdDuration, Instant};
 
 /// Which optimiser the PS thread runs (it owns the optimiser state, like
 /// MXNet's KVStore).
@@ -73,6 +107,14 @@ pub struct ThreadedConfig {
     /// optimiser state persist), the PS epoch bumps, and every worker
     /// re-pushes its unacknowledged gradients.
     pub ps_restart_at_iter: Option<u64>,
+    /// Fault schedule, sharing the simulator's [`FaultPlan`] type. Times
+    /// are real-time offsets from run start; node 0 is the PS, node `1+w`
+    /// is worker `w`. An empty plan leaves every fault path dormant.
+    pub fault_plan: FaultPlan,
+    /// Ack-timeout/backoff policy for push slices whose
+    /// [`ToWorker::PushAck`] never arrives (only consulted when the plan
+    /// is non-empty).
+    pub retry: RetryPolicy,
 }
 
 impl ThreadedConfig {
@@ -92,6 +134,8 @@ impl ThreadedConfig {
             link_bps: None,
             check_invariants: true,
             ps_restart_at_iter: None,
+            fault_plan: FaultPlan::empty(),
+            retry: RetryPolicy::paper_default(),
         }
     }
 }
@@ -106,7 +150,7 @@ pub struct ThreadedResult {
     /// Training-set accuracy of the final model.
     pub accuracy: f64,
     /// Total gradient payload pushed by all workers, bytes (including any
-    /// crash-recovery retransmissions).
+    /// crash-recovery or loss-recovery retransmissions).
     pub bytes_pushed: u64,
     /// Real wall-clock time of the run.
     pub wall: std::time::Duration,
@@ -114,44 +158,116 @@ pub struct ThreadedResult {
     /// [`ThreadedConfig::check_invariants`] is off).
     pub events_checked: u64,
     /// `RetryAttempt` events in the run's event log — gradients re-pushed
-    /// after an injected PS restart.
+    /// after an injected PS restart or a lost-message ack timeout.
     pub retries: u64,
+    /// Push messages eaten by `MsgLoss` windows (they paid the link but
+    /// never reached the PS).
+    pub messages_lost: u64,
+}
+
+/// One scheduled link fault window, in nanoseconds since run start.
+#[derive(Debug, Clone, Copy)]
+struct LinkWindow {
+    start_ns: u64,
+    end_ns: u64,
+    /// `None` = outage (`LinkDown`), `Some(f)` = `LinkDegrade` by `f`.
+    factor: Option<f64>,
 }
 
 /// A crude token-bucket link emulator: sending `bytes` blocks the sender
-/// until the link would have drained them.
+/// until the link would have drained them. Fault windows freeze it
+/// (`LinkDown`) or scale its drain rate (`LinkDegrade`).
 struct RateLimiter {
     bps: Option<f64>,
     debt_ns: u64,
     last: Instant,
+    /// Run-start instant the fault windows are relative to.
+    start: Instant,
+    windows: Vec<LinkWindow>,
 }
 
 impl RateLimiter {
-    fn new(bps: Option<f64>) -> Self {
+    fn new(bps: Option<f64>, start: Instant, windows: Vec<LinkWindow>) -> Self {
         RateLimiter {
             bps,
             debt_ns: 0,
             last: Instant::now(),
+            start,
+            windows,
         }
     }
 
+    /// Link fault windows relevant to worker `w`: its own node (`1 + w`)
+    /// plus the PS node 0, whose link every worker shares.
+    fn windows_for(plan: &FaultPlan, w: usize) -> Vec<LinkWindow> {
+        plan.faults
+            .iter()
+            .filter_map(|f| match *f {
+                FaultSpec::LinkDown { node, at, dur } if node == 0 || node == 1 + w => {
+                    Some(LinkWindow {
+                        start_ns: at.as_nanos(),
+                        end_ns: (at + dur).as_nanos(),
+                        factor: None,
+                    })
+                }
+                FaultSpec::LinkDegrade {
+                    node,
+                    at,
+                    factor,
+                    dur,
+                } if node == 0 || node == 1 + w => Some(LinkWindow {
+                    start_ns: at.as_nanos(),
+                    end_ns: (at + dur).as_nanos(),
+                    factor: Some(factor),
+                }),
+                _ => None,
+            })
+            .collect()
+    }
+
     fn acquire(&mut self, bytes: u64) {
+        // Freeze through any active outage window, even on an unlimited
+        // link (an outage is absolute).
+        loop {
+            let now_ns = self.start.elapsed().as_nanos() as u64;
+            let frozen_until = self
+                .windows
+                .iter()
+                .filter(|win| win.factor.is_none() && win.start_ns <= now_ns && now_ns < win.end_ns)
+                .map(|win| win.end_ns)
+                .max();
+            let Some(end_ns) = frozen_until else { break };
+            std::thread::sleep(StdDuration::from_nanos(end_ns - now_ns));
+        }
         let Some(bps) = self.bps else { return };
         let now = Instant::now();
         let elapsed = now.duration_since(self.last).as_nanos() as u64;
         self.last = now;
         self.debt_ns = self.debt_ns.saturating_sub(elapsed);
-        self.debt_ns += (bytes as f64 / bps * 1e9) as u64;
+        // Degrade windows scale the drain rate; the factor at send time
+        // prices the whole message (windows are not integrated across).
+        let now_ns = self.start.elapsed().as_nanos() as u64;
+        let factor = self
+            .windows
+            .iter()
+            .filter(|win| win.start_ns <= now_ns && now_ns < win.end_ns)
+            .filter_map(|win| win.factor)
+            .fold(1.0_f64, f64::min);
+        self.debt_ns += (bytes as f64 / (bps * factor) * 1e9) as u64;
         // Sleep off any debt beyond a small burst allowance.
         const BURST_NS: u64 = 200_000;
         if self.debt_ns > BURST_NS {
-            std::thread::sleep(std::time::Duration::from_nanos(self.debt_ns - BURST_NS));
+            std::thread::sleep(StdDuration::from_nanos(self.debt_ns - BURST_NS));
         }
     }
 }
 
 fn now_since(epoch: Instant) -> SimTime {
     SimTime::from_nanos(epoch.elapsed().as_nanos() as u64)
+}
+
+fn to_std(d: SimDuration) -> StdDuration {
+    StdDuration::from_nanos(d.as_nanos())
 }
 
 type TimedEvents = Arc<Mutex<Vec<(SimTime, TraceEvent)>>>;
@@ -207,10 +323,148 @@ impl EventLog {
     }
 }
 
+/// One push slice awaiting its [`ToWorker::PushAck`].
+struct Unacked {
+    iter: u64,
+    grad: usize,
+    offset_elems: usize,
+    len_elems: usize,
+    epoch: u64,
+    deadline: Instant,
+}
+
+/// Per-worker view of the fault plan: loss/stall windows, the doom RNG,
+/// and the in-flight ack ledger that drives timeout retransmissions.
+struct WorkerFaults {
+    /// Whether any fault machinery is live (empty plan = all paths dormant,
+    /// and the worker blocks on `recv` exactly as the fault-free build).
+    active: bool,
+    /// `MsgLoss` windows `(start_ns, end_ns, rate)`.
+    loss: Vec<(u64, u64, f64)>,
+    /// `WorkerStall` windows `(start_ns, end_ns)` for this worker.
+    stalls: Vec<(u64, u64)>,
+    rng: Xoshiro256StarStar,
+    retry: RetryPolicy,
+    unacked: Vec<Unacked>,
+    messages_lost: u64,
+}
+
+impl WorkerFaults {
+    fn new(w: usize, plan: &FaultPlan, retry: RetryPolicy) -> Self {
+        let loss = plan
+            .faults
+            .iter()
+            .filter_map(|f| match *f {
+                FaultSpec::MsgLoss { rate, at, dur } => {
+                    Some((at.as_nanos(), (at + dur).as_nanos(), rate))
+                }
+                _ => None,
+            })
+            .collect();
+        let stalls = plan
+            .faults
+            .iter()
+            .filter_map(|f| match *f {
+                FaultSpec::WorkerStall { worker, at, dur } if worker == w => {
+                    Some((at.as_nanos(), (at + dur).as_nanos()))
+                }
+                _ => None,
+            })
+            .collect();
+        WorkerFaults {
+            active: !plan.is_empty(),
+            loss,
+            stalls,
+            // Loss draws come from a per-worker substream of the *plan*
+            // seed, so two workers never share a doom sequence.
+            rng: Xoshiro256StarStar::new(plan.seed ^ 0x7EA1_FA17).substream(w as u64),
+            retry,
+            unacked: Vec::new(),
+            messages_lost: 0,
+        }
+    }
+
+    /// Bernoulli doom draw for a push message sent now. The *set* of doomed
+    /// messages depends on real-time scheduling (windows are wall-clock);
+    /// what is computed stays bit-identical because every loss is retried
+    /// and aggregation is order-independent per worker buffer.
+    fn doomed(&mut self, start: Instant) -> bool {
+        if self.loss.is_empty() {
+            return false;
+        }
+        let now_ns = start.elapsed().as_nanos() as u64;
+        let rate = self
+            .loss
+            .iter()
+            .filter(|&&(s, e, _)| s <= now_ns && now_ns < e)
+            .map(|&(_, _, r)| r)
+            .fold(0.0_f64, f64::max);
+        rate > 0.0 && self.rng.next_f64() < rate
+    }
+
+    fn track(&mut self, iter: u64, grad: usize, offset_elems: usize, len_elems: usize, epoch: u64) {
+        if !self.active {
+            return;
+        }
+        self.unacked.push(Unacked {
+            iter,
+            grad,
+            offset_elems,
+            len_elems,
+            epoch,
+            deadline: Instant::now() + to_std(self.retry.timeout),
+        });
+    }
+
+    fn ack(&mut self, iter: u64, grad: usize, offset_elems: usize, len_elems: usize, epoch: u64) {
+        self.unacked.retain(|u| {
+            !(u.iter == iter
+                && u.grad == grad
+                && u.offset_elems == offset_elems
+                && u.len_elems == len_elems
+                && u.epoch == epoch)
+        });
+    }
+
+    /// Sleep out any `WorkerStall` window covering this instant (chained:
+    /// sleeping into an overlapping later window extends the stall).
+    fn stall_if_scheduled(&self, w: usize, start: Instant, log: &EventLog) {
+        let mut stalled = false;
+        loop {
+            let now_ns = start.elapsed().as_nanos() as u64;
+            let Some(end_ns) = self
+                .stalls
+                .iter()
+                .filter(|&&(s, e)| s <= now_ns && now_ns < e)
+                .map(|&(_, e)| e)
+                .max()
+            else {
+                break;
+            };
+            if !stalled {
+                stalled = true;
+                log.emit(TraceEvent::FaultStart {
+                    kind: FaultKind::WorkerStall,
+                    node: 1 + w,
+                });
+            }
+            std::thread::sleep(StdDuration::from_nanos(end_ns - now_ns));
+        }
+        if stalled {
+            log.emit(TraceEvent::FaultEnd {
+                kind: FaultKind::WorkerStall,
+                node: 1 + w,
+            });
+        }
+    }
+}
+
 /// Run BSP data-parallel training per `cfg` and return the outcome.
 ///
 /// Panics if `global_batch` is not a multiple of `workers` (unequal shards
-/// would break the shard-mean ≡ batch-mean identity the PS relies on).
+/// would break the shard-mean ≡ batch-mean identity the PS relies on), or
+/// if the fault plan references nodes outside the 1-shard/`workers`
+/// topology.
 pub fn run_threaded_training(cfg: &ThreadedConfig) -> ThreadedResult {
     assert!(cfg.workers >= 1);
     assert!(
@@ -219,6 +473,7 @@ pub fn run_threaded_training(cfg: &ThreadedConfig) -> ThreadedResult {
         cfg.global_batch,
         cfg.workers
     );
+    cfg.fault_plan.validate(cfg.workers, 1);
     let features = *cfg.widths.first().expect("empty widths");
     let classes = *cfg.widths.last().expect("empty widths");
     let start = Instant::now();
@@ -246,8 +501,9 @@ pub fn run_threaded_training(cfg: &ThreadedConfig) -> ThreadedResult {
     let ps_sizes = tensor_elems.clone();
     let ps_init: Vec<Vec<f32>> = template.param_slices().iter().map(|p| p.to_vec()).collect();
     let ps_log = log.clone();
-    let ps_handle =
-        std::thread::spawn(move || ps_thread(ps_cfg, ps_sizes, ps_init, ps_rx, worker_txs, ps_log));
+    let ps_handle = std::thread::spawn(move || {
+        ps_thread(ps_cfg, ps_sizes, ps_init, ps_rx, worker_txs, start, ps_log)
+    });
 
     // ---- worker threads ---------------------------------------------------
     let mut handles = Vec::new();
@@ -277,12 +533,14 @@ pub fn run_threaded_training(cfg: &ThreadedConfig) -> ThreadedResult {
 
     let mut losses_acc = vec![0.0f32; cfg.iterations as usize];
     let mut bytes_pushed = 0u64;
+    let mut messages_lost = 0u64;
     for h in handles {
-        let (losses, bytes) = h.join().expect("worker panicked");
+        let (losses, bytes, lost) = h.join().expect("worker panicked");
         for (acc, l) in losses_acc.iter_mut().zip(losses) {
             *acc += l / cfg.workers as f32;
         }
         bytes_pushed += bytes;
+        messages_lost += lost;
     }
     let final_params = ps_handle.join().expect("ps panicked");
 
@@ -305,7 +563,19 @@ pub fn run_threaded_training(cfg: &ThreadedConfig) -> ThreadedResult {
         wall: start.elapsed(),
         events_checked,
         retries,
+        messages_lost,
     }
+}
+
+/// Per-`(iter, grad)` aggregation state on the PS.
+struct Agg {
+    per_worker: Vec<Vec<f32>>,
+    received_elems: Vec<usize>,
+    /// Slice offsets already accepted per worker — a retransmitted slice
+    /// whose original survived (the ack raced the timeout) is acked again
+    /// and skipped, never double-aggregated.
+    seen_offsets: Vec<HashSet<usize>>,
+    complete: usize,
 }
 
 /// The parameter-server thread: aggregation barriers, SGD, pull service.
@@ -315,6 +585,7 @@ fn ps_thread(
     mut params: Vec<Vec<f32>>,
     rx: Receiver<ToPs>,
     worker_txs: Vec<Sender<ToWorker>>,
+    start: Instant,
     log: EventLog,
 ) -> Vec<Vec<f32>> {
     let n = tensor_elems.len();
@@ -322,18 +593,84 @@ fn ps_thread(
         PsOptimizer::Sgd { momentum } => OptState::Sgd(Sgd::new(cfg.lr, momentum, &tensor_elems)),
         PsOptimizer::Adam => OptState::Adam(Adam::new(cfg.lr, &tensor_elems)),
     };
-    // Aggregation state per (iter, grad): per-worker partial buffers.
-    use std::collections::HashMap;
-    struct Agg {
-        per_worker: Vec<Vec<f32>>,
-        received_elems: Vec<usize>,
-        complete: usize,
-    }
     let mut agg: HashMap<(u64, usize), Agg> = HashMap::new();
+    // Barriers already completed — a duplicate slice arriving after its
+    // barrier must be acked and dropped, not re-aggregated (the update was
+    // applied; re-opening the entry would corrupt the parameters).
+    let mut done: HashSet<(u64, usize)> = HashSet::new();
     let mut cur_epoch = 0u64;
     let mut restart_pending = cfg.ps_restart_at_iter;
 
-    while let Ok(msg) = rx.recv() {
+    // Time-triggered crash schedule from the fault plan (node 0 is the only
+    // shard in this runtime), earliest first.
+    let mut crashes: Vec<(u64, StdDuration)> = cfg
+        .fault_plan
+        .faults
+        .iter()
+        .filter_map(|f| match *f {
+            FaultSpec::ShardCrash {
+                at, restart_after, ..
+            } => Some((at.as_nanos(), to_std(restart_after))),
+            _ => None,
+        })
+        .collect();
+    crashes.sort_unstable();
+    let mut next_crash = 0usize;
+
+    let crash_restart = |cur_epoch: &mut u64,
+                         agg: &mut HashMap<(u64, usize), Agg>,
+                         downtime: StdDuration,
+                         log: &EventLog,
+                         worker_txs: &[Sender<ToWorker>]| {
+        // Injected crash-restart: the process loses its aggregation RAM
+        // (params/optimiser live in the durable store and survive), stays
+        // down for `downtime`, comes back with a new epoch, and tells every
+        // worker to re-push anything unacknowledged.
+        *cur_epoch += 1;
+        log.emit(TraceEvent::FaultStart {
+            kind: FaultKind::ShardCrash,
+            node: 0,
+        });
+        agg.clear();
+        if !downtime.is_zero() {
+            std::thread::sleep(downtime);
+        }
+        log.emit(TraceEvent::FaultEnd {
+            kind: FaultKind::ShardCrash,
+            node: 0,
+        });
+        log.emit(TraceEvent::EpochAdvance {
+            shard: 0,
+            epoch: *cur_epoch,
+        });
+        for tx in worker_txs {
+            tx.send(ToWorker::ShardRestarted { epoch: *cur_epoch })
+                .expect("worker hung up at restart");
+        }
+    };
+
+    loop {
+        // Poll (instead of block) only while a scheduled crash is still
+        // pending, so an idle channel cannot postpone it.
+        let msg = if next_crash < crashes.len() {
+            match rx.recv_timeout(StdDuration::from_millis(1)) {
+                Ok(m) => Some(m),
+                Err(RecvTimeoutError::Timeout) => None,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        } else {
+            match rx.recv() {
+                Ok(m) => Some(m),
+                Err(_) => break,
+            }
+        };
+        if next_crash < crashes.len() && start.elapsed().as_nanos() as u64 >= crashes[next_crash].0
+        {
+            let downtime = crashes[next_crash].1;
+            next_crash += 1;
+            crash_restart(&mut cur_epoch, &mut agg, downtime, &log, &worker_txs);
+        }
+        let Some(msg) = msg else { continue };
         match msg {
             ToPs::Push {
                 worker,
@@ -344,38 +681,46 @@ fn ps_thread(
                 epoch,
             } => {
                 if restart_pending.is_some_and(|k| iter >= k) {
-                    // Injected crash-restart: the process loses its
-                    // aggregation RAM (params/optimiser live in the
-                    // durable store and survive), comes back with a new
-                    // epoch, and tells every worker to re-push anything
-                    // unacknowledged. The triggering push dies with the
-                    // old incarnation.
+                    // Legacy iteration-triggered restart: instant comeback.
+                    // The triggering push dies with the old incarnation.
                     restart_pending = None;
-                    cur_epoch += 1;
-                    log.emit(TraceEvent::FaultStart {
-                        kind: FaultKind::ShardCrash,
-                        node: 0,
-                    });
-                    agg.clear();
-                    log.emit(TraceEvent::FaultEnd {
-                        kind: FaultKind::ShardCrash,
-                        node: 0,
-                    });
-                    for tx in &worker_txs {
-                        tx.send(ToWorker::ShardRestarted { epoch: cur_epoch })
-                            .expect("worker hung up at restart");
-                    }
+                    crash_restart(
+                        &mut cur_epoch,
+                        &mut agg,
+                        StdDuration::ZERO,
+                        &log,
+                        &worker_txs,
+                    );
                     continue;
                 }
                 if epoch != cur_epoch {
                     // A pre-crash push that raced the restart broadcast.
                     continue;
                 }
+                let len_elems = data.len() / 4;
+                let ack = ToWorker::PushAck {
+                    iter,
+                    grad,
+                    offset_elems,
+                    len_elems,
+                    epoch,
+                };
+                if done.contains(&(iter, grad)) {
+                    // Late duplicate of a completed barrier: re-ack only.
+                    worker_txs[worker].send(ack).expect("worker hung up at ack");
+                    continue;
+                }
                 let entry = agg.entry((iter, grad)).or_insert_with(|| Agg {
                     per_worker: vec![vec![0.0; tensor_elems[grad]]; cfg.workers],
                     received_elems: vec![0; cfg.workers],
+                    seen_offsets: vec![HashSet::new(); cfg.workers],
                     complete: 0,
                 });
+                if !entry.seen_offsets[worker].insert(offset_elems) {
+                    // Duplicate slice (a retransmission raced the ack).
+                    worker_txs[worker].send(ack).expect("worker hung up at ack");
+                    continue;
+                }
                 let values = decode_f32(&data);
                 entry.per_worker[worker][offset_elems..offset_elems + values.len()]
                     .copy_from_slice(&values);
@@ -384,6 +729,7 @@ fn ps_thread(
                     entry.received_elems[worker] <= tensor_elems[grad],
                     "worker {worker} over-pushed tensor {grad}"
                 );
+                worker_txs[worker].send(ack).expect("worker hung up at ack");
                 if entry.received_elems[worker] == tensor_elems[grad] {
                     entry.complete += 1;
                     log.emit(TraceEvent::PushEnd { worker, iter, grad });
@@ -391,6 +737,7 @@ fn ps_thread(
                         // BSP barrier reached: average in fixed worker
                         // order (determinism), step, notify.
                         let agg_state = agg.remove(&(iter, grad)).unwrap();
+                        done.insert((iter, grad));
                         let mut mean = vec![0.0f32; tensor_elems[grad]];
                         for wbuf in &agg_state.per_worker {
                             for (m, &v) in mean.iter_mut().zip(wbuf) {
@@ -406,8 +753,11 @@ fn ps_thread(
                         for tx in &worker_txs {
                             // A worker that already exited is a bug — every
                             // worker needs every update.
-                            tx.send(ToWorker::ParamReady { grad })
-                                .expect("worker hung up before barrier");
+                            tx.send(ToWorker::ParamReady {
+                                grad,
+                                epoch: cur_epoch,
+                            })
+                            .expect("worker hung up before barrier");
                         }
                     }
                 }
@@ -446,6 +796,38 @@ struct DriveCtx<'a> {
     ps_epoch: &'a Cell<u64>,
 }
 
+/// Send one push slice: pay the link, doom-draw against the loss windows,
+/// transmit (unless doomed), and register the slice in the ack ledger.
+fn send_push_slice(
+    ctx: &DriveCtx<'_>,
+    faults: &mut WorkerFaults,
+    limiter: &mut RateLimiter,
+    bytes_pushed: &mut u64,
+    grad: usize,
+    offset_elems: usize,
+    len_elems: usize,
+) {
+    let bytes = (len_elems * 4) as u64;
+    limiter.acquire(bytes);
+    *bytes_pushed += bytes;
+    let epoch = ctx.ps_epoch.get();
+    if faults.doomed(ctx.epoch) {
+        faults.messages_lost += 1;
+    } else {
+        ctx.tx
+            .send(ToPs::Push {
+                worker: ctx.w,
+                iter: ctx.iter,
+                grad,
+                offset_elems,
+                data: encode_f32(&ctx.grads[grad][offset_elems..offset_elems + len_elems]),
+                epoch,
+            })
+            .expect("ps hung up");
+    }
+    faults.track(ctx.iter, grad, offset_elems, len_elems, epoch);
+}
+
 /// Issue tasks until the scheduler pauses. Pushes complete synchronously
 /// (blocking send, like P3's transport); at most one pull task is awaited
 /// at a time.
@@ -458,6 +840,7 @@ fn drive(
     inflight_pull: &mut Option<(prophet_core::TransferTask, usize)>,
     limiter: &mut RateLimiter,
     bytes_pushed: &mut u64,
+    faults: &mut WorkerFaults,
 ) {
     while inflight_pull.is_none() {
         let Some(task) = sched.next_task(now_since(ctx.epoch)) else {
@@ -476,18 +859,7 @@ fn drive(
                             grad: g,
                         });
                     }
-                    limiter.acquire(b);
-                    *bytes_pushed += b;
-                    ctx.tx
-                        .send(ToPs::Push {
-                            worker: ctx.w,
-                            iter: ctx.iter,
-                            grad: g,
-                            offset_elems: off,
-                            data: encode_f32(&ctx.grads[g][off..off + elems]),
-                            epoch: ctx.ps_epoch.get(),
-                        })
-                        .expect("ps hung up");
+                    send_push_slice(ctx, faults, limiter, bytes_pushed, g, off, elems);
                 }
                 sched.task_done(now_since(ctx.epoch), &task);
             }
@@ -519,6 +891,76 @@ fn drive(
     }
 }
 
+/// Retransmit every tracked slice whose ack deadline has passed, one
+/// [`TraceEvent::RetryAttempt`] per affected gradient per sweep (slices of
+/// one gradient coalesce, as the simulator's message retries do). The next
+/// deadline stretches by the policy's exponential backoff.
+fn resend_expired(
+    ctx: &DriveCtx<'_>,
+    faults: &mut WorkerFaults,
+    attempts: &mut [u32],
+    limiter: &mut RateLimiter,
+    bytes_pushed: &mut u64,
+) {
+    let now = Instant::now();
+    let due: Vec<usize> = (0..faults.unacked.len())
+        .filter(|&i| faults.unacked[i].deadline <= now)
+        .collect();
+    if due.is_empty() {
+        return;
+    }
+    let mut grads_hit: Vec<usize> = Vec::new();
+    for &i in &due {
+        let g = faults.unacked[i].grad;
+        if !grads_hit.contains(&g) {
+            grads_hit.push(g);
+        }
+    }
+    for &g in &grads_hit {
+        attempts[g] += 1;
+        ctx.log.emit(TraceEvent::RetryAttempt {
+            worker: ctx.w,
+            iter: ctx.iter,
+            grad: g,
+            attempt: attempts[g],
+        });
+        ctx.log.emit(TraceEvent::PushStart {
+            worker: ctx.w,
+            iter: ctx.iter,
+            grad: g,
+        });
+        let backoff = to_std(faults.retry.delay(attempts[g]));
+        let timeout = to_std(faults.retry.timeout);
+        for &i in &due {
+            if faults.unacked[i].grad != g {
+                continue;
+            }
+            let (off, len) = (faults.unacked[i].offset_elems, faults.unacked[i].len_elems);
+            let bytes = (len * 4) as u64;
+            limiter.acquire(bytes);
+            *bytes_pushed += bytes;
+            let epoch = ctx.ps_epoch.get();
+            if faults.doomed(ctx.epoch) {
+                faults.messages_lost += 1;
+            } else {
+                ctx.tx
+                    .send(ToPs::Push {
+                        worker: ctx.w,
+                        iter: ctx.iter,
+                        grad: g,
+                        offset_elems: off,
+                        data: encode_f32(&ctx.grads[g][off..off + len]),
+                        epoch,
+                    })
+                    .expect("ps hung up mid-retry");
+            }
+            let u = &mut faults.unacked[i];
+            u.epoch = epoch;
+            u.deadline = now + timeout + backoff;
+        }
+    }
+}
+
 /// One worker: compute shard gradients, release them backward-first to the
 /// scheduler, move bytes as the scheduler dictates, pull updates, repeat.
 #[allow(clippy::too_many_arguments)]
@@ -532,11 +974,16 @@ fn worker_thread(
     rx: Receiver<ToWorker>,
     epoch: Instant,
     log: EventLog,
-) -> (Vec<f32>, u64) {
+) -> (Vec<f32>, u64, u64) {
     let n = tensor_elems.len();
     let mut model = Mlp::new(&cfg.widths, cfg.seed ^ 0xABCD);
     let mut sched: Box<dyn CommScheduler> = cfg.scheduler.build_from_sizes(sizes_bytes.clone());
-    let mut limiter = RateLimiter::new(cfg.link_bps);
+    let mut limiter = RateLimiter::new(
+        cfg.link_bps,
+        epoch,
+        RateLimiter::windows_for(&cfg.fault_plan, w),
+    );
+    let mut faults = WorkerFaults::new(w, &cfg.fault_plan, cfg.retry);
     let mut losses = Vec::with_capacity(cfg.iterations as usize);
     let mut bytes_pushed = 0u64;
     let ps_epoch = Cell::new(0u64);
@@ -546,6 +993,12 @@ fn worker_thread(
         let t_begin = now_since(epoch);
         log.emit(TraceEvent::IterBegin { worker: w, iter });
         sched.iteration_begin(t_begin, iter);
+        if faults.active {
+            faults.stall_if_scheduled(w, epoch, &log);
+            // Any straggler entries are long-acked by the BSP barrier that
+            // let the previous iteration finish.
+            faults.unacked.clear();
+        }
 
         // This iteration's shard: a rotating window over the dataset.
         let lo = ((iter as usize * cfg.global_batch) + w * per_worker) % dataset.len();
@@ -591,16 +1044,37 @@ fn worker_thread(
                 &mut inflight_pull,
                 &mut limiter,
                 &mut bytes_pushed,
+                &mut faults,
             );
         }
 
         // Communication loop: receive PS messages until every tensor has
-        // been pulled and applied.
+        // been pulled and applied. With live fault machinery the receive
+        // polls, so ack-timeout retransmissions fire even when the PS has
+        // gone quiet (the very situation a lost message creates).
         while !pulled.iter().all(|&p| p) {
-            let msg = rx.recv().expect("ps hung up mid-iteration");
+            let msg = if faults.active {
+                match rx.recv_timeout(StdDuration::from_millis(2)) {
+                    Ok(m) => Some(m),
+                    Err(RecvTimeoutError::Timeout) => None,
+                    Err(RecvTimeoutError::Disconnected) => panic!("ps hung up mid-iteration"),
+                }
+            } else {
+                Some(rx.recv().expect("ps hung up mid-iteration"))
+            };
             match msg {
-                ToWorker::ParamReady { grad } => {
+                None => {}
+                Some(ToWorker::ParamReady { grad, epoch: pe }) => {
+                    log.emit(TraceEvent::ParamReady {
+                        worker: w,
+                        grad,
+                        epoch: pe,
+                    });
                     param_ready_seen[grad] = true;
+                    // The barrier proves every slice arrived; drop any
+                    // still-tracked ones (their acks may be behind this
+                    // message in the channel).
+                    faults.unacked.retain(|u| u.grad != grad);
                     if attempts[grad] > 0 {
                         log.emit(TraceEvent::Recovered {
                             worker: w,
@@ -612,11 +1086,20 @@ fn worker_thread(
                     }
                     sched.param_ready(now_since(epoch), grad);
                 }
-                ToWorker::PullData {
+                Some(ToWorker::PushAck {
+                    iter: ai,
+                    grad,
+                    offset_elems,
+                    len_elems,
+                    epoch: ae,
+                }) => {
+                    faults.ack(ai, grad, offset_elems, len_elems, ae);
+                }
+                Some(ToWorker::PullData {
                     grad,
                     offset_elems,
                     data,
-                } => {
+                }) => {
                     let values = decode_f32(&data);
                     limiter.acquire((values.len() * 4) as u64);
                     pull_buf[grad][offset_elems..offset_elems + values.len()]
@@ -640,7 +1123,7 @@ fn worker_thread(
                         }
                     }
                 }
-                ToWorker::ShardRestarted { epoch: e } => {
+                Some(ToWorker::ShardRestarted { epoch: e }) => {
                     // The PS lost its aggregation state. Re-push every
                     // gradient we started pushing that was never
                     // barrier-acknowledged, addressed to the new
@@ -648,6 +1131,13 @@ fn worker_thread(
                     // already accounted for these bytes; this is
                     // transport-level recovery.
                     ps_epoch.set(e);
+                    log.emit(TraceEvent::EpochAck {
+                        worker: w,
+                        epoch: e,
+                    });
+                    // Slices addressed to the dead incarnation will never
+                    // be acked; the whole-prefix re-push replaces them.
+                    faults.unacked.clear();
                     for g in 0..n {
                         if push_sent[g] == 0 || param_ready_seen[g] {
                             continue;
@@ -664,21 +1154,26 @@ fn worker_thread(
                             iter,
                             grad: g,
                         });
-                        let elems = push_sent[g];
-                        let bytes = (elems * 4) as u64;
-                        limiter.acquire(bytes);
-                        bytes_pushed += bytes;
-                        tx.send(ToPs::Push {
-                            worker: w,
-                            iter,
-                            grad: g,
-                            offset_elems: 0,
-                            data: encode_f32(&grads[g][..elems]),
-                            epoch: e,
-                        })
-                        .expect("ps hung up mid-recovery");
+                        send_push_slice(
+                            &ctx,
+                            &mut faults,
+                            &mut limiter,
+                            &mut bytes_pushed,
+                            g,
+                            0,
+                            push_sent[g],
+                        );
                     }
                 }
+            }
+            if faults.active {
+                resend_expired(
+                    &ctx,
+                    &mut faults,
+                    &mut attempts,
+                    &mut limiter,
+                    &mut bytes_pushed,
+                );
             }
             drive(
                 &ctx,
@@ -688,22 +1183,24 @@ fn worker_thread(
                 &mut inflight_pull,
                 &mut limiter,
                 &mut bytes_pushed,
+                &mut faults,
             );
         }
         let t_end = now_since(epoch);
         log.emit(TraceEvent::IterEnd { worker: w, iter });
         sched.iteration_end(t_end, iter, t_end.saturating_since(t_begin));
     }
-    (losses, bytes_pushed)
+    (losses, bytes_pushed, faults.messages_lost)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use prophet_sim::Duration;
 
     #[test]
     fn rate_limiter_unlimited_is_instant() {
-        let mut l = RateLimiter::new(None);
+        let mut l = RateLimiter::new(None, Instant::now(), Vec::new());
         let t0 = Instant::now();
         l.acquire(100_000_000);
         assert!(t0.elapsed().as_millis() < 50);
@@ -712,10 +1209,95 @@ mod tests {
     #[test]
     fn rate_limiter_throttles() {
         // 1 MB at 10 MB/s should take ~100 ms.
-        let mut l = RateLimiter::new(Some(10e6));
+        let mut l = RateLimiter::new(Some(10e6), Instant::now(), Vec::new());
         let t0 = Instant::now();
         l.acquire(1_000_000);
         let ms = t0.elapsed().as_millis();
         assert!(ms >= 80, "only {ms} ms");
+    }
+
+    #[test]
+    fn rate_limiter_degrade_window_scales_rate() {
+        // 500 KB at 10 MB/s is ~50 ms clean; a 0.25 factor window makes it
+        // ~200 ms while active.
+        let start = Instant::now();
+        let windows = vec![LinkWindow {
+            start_ns: 0,
+            end_ns: u64::MAX,
+            factor: Some(0.25),
+        }];
+        let mut l = RateLimiter::new(Some(10e6), start, windows);
+        let t0 = Instant::now();
+        l.acquire(500_000);
+        let ms = t0.elapsed().as_millis();
+        assert!(ms >= 150, "only {ms} ms — degrade factor not applied");
+    }
+
+    #[test]
+    fn rate_limiter_outage_window_freezes_sender() {
+        let start = Instant::now();
+        let windows = vec![LinkWindow {
+            start_ns: 0,
+            end_ns: 60_000_000, // down for the first 60 ms
+            factor: None,
+        }];
+        let mut l = RateLimiter::new(None, start, windows);
+        let t0 = Instant::now();
+        l.acquire(4);
+        let ms = t0.elapsed().as_millis();
+        assert!(ms >= 50, "only {ms} ms — outage did not freeze the send");
+    }
+
+    #[test]
+    fn windows_for_maps_topology_nodes() {
+        let at = SimTime::ZERO + Duration::from_millis(10);
+        let plan = FaultPlan::new(vec![
+            FaultSpec::LinkDown {
+                node: 0, // PS: hits every worker
+                at,
+                dur: Duration::from_millis(5),
+            },
+            FaultSpec::LinkDegrade {
+                node: 2, // worker 1 only
+                at,
+                factor: 0.5,
+                dur: Duration::from_millis(5),
+            },
+        ]);
+        assert_eq!(RateLimiter::windows_for(&plan, 0).len(), 1);
+        assert_eq!(RateLimiter::windows_for(&plan, 1).len(), 2);
+    }
+
+    #[test]
+    fn worker_faults_collects_per_worker_windows() {
+        let at = SimTime::ZERO + Duration::from_millis(1);
+        let plan = FaultPlan::new(vec![
+            FaultSpec::MsgLoss {
+                rate: 0.5,
+                at,
+                dur: Duration::from_millis(2),
+            },
+            FaultSpec::WorkerStall {
+                worker: 1,
+                at,
+                dur: Duration::from_millis(2),
+            },
+        ]);
+        let f0 = WorkerFaults::new(0, &plan, RetryPolicy::paper_default());
+        let f1 = WorkerFaults::new(1, &plan, RetryPolicy::paper_default());
+        assert!(f0.active && f1.active);
+        assert_eq!(f0.loss.len(), 1);
+        assert!(f0.stalls.is_empty());
+        assert_eq!(f1.stalls.len(), 1);
+    }
+
+    #[test]
+    fn empty_plan_leaves_fault_machinery_dormant() {
+        let mut f = WorkerFaults::new(0, &FaultPlan::empty(), RetryPolicy::paper_default());
+        assert!(!f.active);
+        let start = Instant::now();
+        assert!(!f.doomed(start));
+        f.track(0, 0, 0, 16, 0);
+        assert!(f.unacked.is_empty(), "inactive faults must not track");
     }
 }

@@ -64,6 +64,26 @@ pub enum ToWorker {
     ParamReady {
         /// Gradient/parameter id.
         grad: usize,
+        /// PS incarnation whose barrier completed. Workers stamp this onto
+        /// their `ParamReady` trace events so the invariant checker can
+        /// catch stale (pre-crash) deliveries.
+        epoch: u64,
+    },
+    /// The PS accepted one push slice. Sent immediately per slice (not
+    /// barrier-gated), so a sender's ack timeout measures the wire, never
+    /// other workers' progress. A slice whose ack never arrives was lost
+    /// (or addressed to a dead incarnation) and must be retransmitted.
+    PushAck {
+        /// BSP iteration of the acknowledged slice.
+        iter: u64,
+        /// Gradient id.
+        grad: usize,
+        /// First element of the acknowledged slice.
+        offset_elems: usize,
+        /// Element count of the acknowledged slice.
+        len_elems: usize,
+        /// PS incarnation that accepted it.
+        epoch: u64,
     },
     /// Reply to a [`ToPs::PullReq`].
     PullData {

@@ -38,6 +38,7 @@
 //! assert_eq!(e, Ev::Tick(1));
 //! ```
 
+pub mod chaos;
 pub mod fault;
 pub mod queue;
 pub mod rng;
@@ -45,12 +46,13 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use chaos::{plan_to_rust, shrink, ChaosGen, ChaosProfile, KindMask};
 pub use fault::{FaultKind, FaultPlan, FaultSpec};
 pub use queue::EventQueue;
 pub use rng::{SplitMix64, Xoshiro256StarStar};
 pub use stats::{Histogram, OnlineStats, RateSeries, TimeWeighted};
 pub use time::{Duration, SimTime};
 pub use trace::{
-    spans_to_csv, GradSpan, InvariantChecker, Span, SpanCollector, SpanKind, TraceEvent,
-    TraceRecorder, TraceSink,
+    grad_spans_to_ascii_gantt, spans_to_csv, GradSpan, InvariantChecker, Span, SpanCollector,
+    SpanKind, TraceEvent, TraceRecorder, TraceSink,
 };

@@ -338,6 +338,36 @@ pub enum TraceEvent {
         /// Total retries it took (matches the last `RetryAttempt`).
         attempts: u32,
     },
+    /// A PS shard restarted and advanced its aggregation epoch (threaded
+    /// runtime). Epochs must be strictly increasing per shard.
+    EpochAdvance {
+        /// Shard index.
+        shard: usize,
+        /// The new epoch, strictly greater than the shard's previous one.
+        epoch: u64,
+    },
+    /// A worker processed the shard-restart notice and adopted `epoch`
+    /// (threaded runtime). Must move the worker's epoch strictly forward,
+    /// and never past the newest announced epoch.
+    EpochAck {
+        /// Worker index.
+        worker: usize,
+        /// The epoch the worker switched to.
+        epoch: u64,
+    },
+    /// A worker received the barrier notification for `grad` stamped with
+    /// the PS epoch it was aggregated under (threaded runtime). The stamp
+    /// must match the worker's current epoch: a smaller one is a stale
+    /// `ParamReady` surviving a crash, a larger one raced past the restart
+    /// notice on a supposedly FIFO channel.
+    ParamReady {
+        /// Worker index.
+        worker: usize,
+        /// Gradient id.
+        grad: usize,
+        /// PS epoch the aggregation completed under.
+        epoch: u64,
+    },
 }
 
 /// A consumer of the typed event stream. Sinks are driven strictly in
@@ -387,7 +417,12 @@ const RING: usize = 24;
 ///   `Recovered` event must match the retry count, a killed flow closes
 ///   its `FlowStart` without the byte-conservation check (the partial
 ///   bytes were discarded), and no BSP barrier may fire for a gradient
-///   whose PS shard is down.
+///   whose PS shard is down;
+/// * epoch protocol (threaded runtime) — shard epochs advance strictly,
+///   a worker's `EpochAck` moves its epoch strictly forward and never past
+///   the newest announced epoch, and every `ParamReady` stamp equals the
+///   receiving worker's current epoch (stale deliveries from before a
+///   crash, or deliveries racing past the restart notice, both fail).
 #[derive(Debug, Default)]
 pub struct InvariantChecker {
     workers: usize,
@@ -413,6 +448,12 @@ pub struct InvariantChecker {
     active_faults: HashSet<(FaultKind, usize)>,
     /// PS shards currently crashed.
     down_shards: HashSet<usize>,
+    /// Per-shard aggregation epoch (threaded runtime; absent = epoch 0).
+    shard_epoch: HashMap<usize, u64>,
+    /// Per-worker acked epoch (threaded runtime; starts at 0).
+    worker_epoch: Vec<u64>,
+    /// Newest epoch any shard has announced.
+    max_epoch: u64,
 }
 
 impl InvariantChecker {
@@ -423,6 +464,7 @@ impl InvariantChecker {
             workers,
             bsp,
             worker_iter: vec![None; workers],
+            worker_epoch: vec![0; workers],
             ..Default::default()
         }
     }
@@ -802,6 +844,44 @@ impl TraceSink for InvariantChecker {
                 // of the same gradient numbers its retries from 1 again.
                 self.retries.remove(&(worker, iter, grad));
             }
+            TraceEvent::EpochAdvance { shard, epoch } => {
+                let prev = self.shard_epoch.get(&shard).copied().unwrap_or(0);
+                if epoch <= prev {
+                    self.fail(format!(
+                        "shard {shard} advanced to epoch {epoch}, not past {prev}"
+                    ));
+                }
+                self.shard_epoch.insert(shard, epoch);
+                self.max_epoch = self.max_epoch.max(epoch);
+            }
+            TraceEvent::EpochAck { worker, epoch } => {
+                let prev = self.worker_epoch[worker];
+                if epoch <= prev {
+                    self.fail(format!(
+                        "worker {worker} acked epoch {epoch}, not past {prev}"
+                    ));
+                }
+                if epoch > self.max_epoch {
+                    self.fail(format!(
+                        "worker {worker} acked epoch {epoch}, never announced (max {})",
+                        self.max_epoch
+                    ));
+                }
+                self.worker_epoch[worker] = epoch;
+            }
+            TraceEvent::ParamReady {
+                worker,
+                grad,
+                epoch,
+            } => {
+                let cur = self.worker_epoch[worker];
+                if epoch != cur {
+                    self.fail(format!(
+                        "param-ready for gradient {grad} stamped epoch {epoch}, \
+                         worker {worker} is in epoch {cur}"
+                    ));
+                }
+            }
         }
     }
 }
@@ -935,6 +1015,74 @@ impl TraceSink for SpanCollector {
             _ => {}
         }
     }
+}
+
+/// The fill glyph a [`SpanKind`] draws with in the ASCII Gantt.
+fn span_glyph(kind: SpanKind) -> u8 {
+    match kind {
+        SpanKind::QueueWait => b'.',
+        SpanKind::Push => b'#',
+        SpanKind::Aggregate => b'=',
+        SpanKind::Pull => b'<',
+        SpanKind::Compute => b'F',
+    }
+}
+
+/// Render typed [`GradSpan`]s as an ASCII Gantt chart, `width` characters
+/// across the observed time range, one row per `(worker, gradient)` lane
+/// (lanes in first-appearance order, iterations overlaid left to right).
+///
+/// This is the per-gradient companion of [`TraceRecorder::to_ascii_gantt`]:
+/// where the recorder shows coarse GPU/NIC lanes, this shows each tensor's
+/// queue-wait/push/aggregate/pull/compute phases — which is what makes a
+/// shrunk chaos reproducer diagnosable at a glance (a retry storm shows up
+/// as a lane whose push glyphs restart mid-row).
+pub fn grad_spans_to_ascii_gantt(spans: &[GradSpan], width: usize) -> String {
+    if spans.is_empty() {
+        return String::from("(no spans)\n");
+    }
+    let t0 = spans.iter().map(|s| s.start).min().unwrap();
+    let t1 = spans.iter().map(|s| s.end).max().unwrap();
+    let range = (t1.saturating_since(t0)).as_secs_f64().max(1e-12);
+
+    let mut lanes: Vec<(usize, usize)> = Vec::new();
+    for s in spans {
+        if !lanes.contains(&(s.worker, s.grad)) {
+            lanes.push((s.worker, s.grad));
+        }
+    }
+    let names: Vec<String> = lanes.iter().map(|&(w, g)| format!("w{w}.g{g}")).collect();
+    let name_w = names.iter().map(|n| n.len()).max().unwrap_or(0).max(4);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:name_w$} |{}| {:.3}ms..{:.3}ms",
+        "lane",
+        "-".repeat(width),
+        t0.as_millis_f64(),
+        t1.as_millis_f64()
+    );
+    for (&(w, g), name) in lanes.iter().zip(&names) {
+        let mut row = vec![b' '; width];
+        for s in spans.iter().filter(|s| s.worker == w && s.grad == g) {
+            let a = ((s.start.saturating_since(t0)).as_secs_f64() / range * width as f64) as usize;
+            let b =
+                ((s.end.saturating_since(t0)).as_secs_f64() / range * width as f64).ceil() as usize;
+            let b = b.clamp(a + 1, width);
+            let ch = span_glyph(s.kind);
+            for c in &mut row[a.min(width - 1)..b] {
+                *c = ch;
+            }
+        }
+        let _ = writeln!(out, "{:name_w$} |{}|", name, String::from_utf8_lossy(&row));
+    }
+    let _ = writeln!(
+        out,
+        "{:name_w$}  legend: .=queue-wait #=push ==aggregate <=pull F=compute",
+        ""
+    );
+    out
 }
 
 /// Render typed spans as CSV: `worker,iter,grad,kind,start_ms,end_ms`.
@@ -1751,5 +1899,169 @@ mod tests {
         );
         assert_eq!(lines.next().unwrap(), "1,2,30,push,4.000000,9.000000");
         assert!(lines.next().is_none());
+    }
+
+    // ---- epoch protocol (threaded runtime) ------------------------------
+
+    #[test]
+    fn checker_accepts_epoch_protocol() {
+        let mut c = InvariantChecker::new(2, true).with_shards(1);
+        use TraceEvent::*;
+        feed(
+            &mut c,
+            &[
+                // Pre-crash delivery under the initial epoch.
+                (
+                    at(0),
+                    ParamReady {
+                        worker: 0,
+                        grad: 0,
+                        epoch: 0,
+                    },
+                ),
+                (at(1), EpochAdvance { shard: 0, epoch: 1 }),
+                // Worker 1 still processes an epoch-0 delivery that was
+                // queued before the crash — legal until it acks.
+                (
+                    at(2),
+                    ParamReady {
+                        worker: 1,
+                        grad: 0,
+                        epoch: 0,
+                    },
+                ),
+                (
+                    at(3),
+                    EpochAck {
+                        worker: 0,
+                        epoch: 1,
+                    },
+                ),
+                (
+                    at(3),
+                    EpochAck {
+                        worker: 1,
+                        epoch: 1,
+                    },
+                ),
+                (
+                    at(4),
+                    ParamReady {
+                        worker: 0,
+                        grad: 1,
+                        epoch: 1,
+                    },
+                ),
+            ],
+        );
+        c.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "stamped epoch 0")]
+    fn checker_rejects_stale_param_ready() {
+        let mut c = InvariantChecker::new(1, true).with_shards(1);
+        use TraceEvent::*;
+        c.on_event(at(0), &EpochAdvance { shard: 0, epoch: 1 });
+        c.on_event(
+            at(1),
+            &EpochAck {
+                worker: 0,
+                epoch: 1,
+            },
+        );
+        c.on_event(
+            at(2),
+            &ParamReady {
+                worker: 0,
+                grad: 3,
+                epoch: 0,
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "advanced to epoch 1, not past 1")]
+    fn checker_rejects_nonmonotone_epoch_advance() {
+        let mut c = InvariantChecker::new(1, true).with_shards(1);
+        let ev = TraceEvent::EpochAdvance { shard: 0, epoch: 1 };
+        c.on_event(at(0), &ev);
+        c.on_event(at(1), &ev);
+    }
+
+    #[test]
+    #[should_panic(expected = "never announced")]
+    fn checker_rejects_ack_of_unannounced_epoch() {
+        let mut c = InvariantChecker::new(1, true).with_shards(1);
+        c.on_event(
+            at(0),
+            &TraceEvent::EpochAck {
+                worker: 0,
+                epoch: 1,
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "stamped epoch 1")]
+    fn checker_rejects_param_ready_from_the_future() {
+        // A ParamReady stamped with an epoch the worker has not acked yet
+        // means it overtook the ShardRestarted notice on a FIFO channel.
+        let mut c = InvariantChecker::new(1, true).with_shards(1);
+        c.on_event(at(0), &TraceEvent::EpochAdvance { shard: 0, epoch: 1 });
+        c.on_event(
+            at(1),
+            &TraceEvent::ParamReady {
+                worker: 0,
+                grad: 0,
+                epoch: 1,
+            },
+        );
+    }
+
+    // ---- per-gradient Gantt ---------------------------------------------
+
+    #[test]
+    fn grad_gantt_renders_lanes_and_glyphs() {
+        let spans = vec![
+            GradSpan {
+                worker: 0,
+                iter: 0,
+                grad: 0,
+                kind: SpanKind::Push,
+                start: at(0),
+                end: at(50),
+            },
+            GradSpan {
+                worker: 0,
+                iter: 0,
+                grad: 1,
+                kind: SpanKind::Pull,
+                start: at(50),
+                end: at(100),
+            },
+            GradSpan {
+                worker: 1,
+                iter: 0,
+                grad: 0,
+                kind: SpanKind::Compute,
+                start: at(25),
+                end: at(75),
+            },
+        ];
+        let g = grad_spans_to_ascii_gantt(&spans, 20);
+        assert!(g.contains("w0.g0"), "{g}");
+        assert!(g.contains("w0.g1"), "{g}");
+        assert!(g.contains("w1.g0"), "{g}");
+        assert!(g.contains('#'), "{g}");
+        assert!(g.contains('<'), "{g}");
+        assert!(g.contains('F'), "{g}");
+        assert!(g.contains("legend"), "{g}");
+        assert!(g.contains("0.000ms..100.000ms"), "{g}");
+    }
+
+    #[test]
+    fn grad_gantt_empty() {
+        assert_eq!(grad_spans_to_ascii_gantt(&[], 10), "(no spans)\n");
     }
 }

@@ -24,6 +24,11 @@ if [[ "$tier" == "all" || "$tier" == "debug" ]]; then
 
     echo "==> cargo test (debug tier)"
     cargo test --offline -q
+
+    echo "==> chaos smoke (seed 42, 2 plans per strategy)"
+    # PROPHET_RESULTS_DIR: don't clobber the committed 200-plan artifact.
+    PROPHET_RESULTS_DIR="$(mktemp -d)" \
+        cargo run --offline -q -p prophet-bench --bin repro -- ext_chaos 42 2 > /dev/null
 fi
 
 if [[ "$tier" == "all" || "$tier" == "release" ]]; then
@@ -33,8 +38,14 @@ if [[ "$tier" == "all" || "$tier" == "release" ]]; then
     echo "==> cargo test --release (full tier)"
     # --lib/--bins/--tests: `--include-ignored` must not reach doctests
     # (vendored crates mark non-compiling examples `ignore`); doctests
-    # already ran in the debug tier.
+    # already ran in the debug tier. This tier also picks up the fuller
+    # chaos sweep (full scheduler lineup x 25 plans) behind its
+    # `#[cfg_attr(debug_assertions, ignore)]` gates.
     cargo test --offline --release -q --lib --bins --tests -- --include-ignored
+
+    echo "==> chaos sweep (seed 42, 50 plans per strategy)"
+    PROPHET_RESULTS_DIR="$(mktemp -d)" \
+        cargo run --offline --release -q -p prophet-bench --bin repro -- ext_chaos 42 50 > /dev/null
 fi
 
 echo "==> OK ($tier)"

@@ -65,6 +65,33 @@ fn empty_fault_plan_reproduces_pre_fault_layer_goldens() {
     }
 }
 
+#[test]
+fn intensity_zero_chaos_profile_is_provably_inert() {
+    // An intensity-0 profile generates `FaultPlan::empty()` without a single
+    // RNG draw, so a chaos run configured with it must hit the engine's
+    // fault-free fast path and reproduce the pre-fault-layer goldens to the
+    // nanosecond — not merely "be statistically similar".
+    use prophet::sim::{ChaosGen, ChaosProfile};
+    let mut profile = ChaosProfile::for_cluster(2, 1, Duration::from_millis(500));
+    profile.intensity = 0.0;
+    let plan = ChaosGen::new(42).next_plan(&profile);
+    assert_eq!(plan, FaultPlan::empty());
+    for kind in SchedulerKind::paper_lineup(1.25e9) {
+        let label = kind.label().to_string();
+        let Some(&(_, duration, _)) = GOLDEN.iter().find(|(l, _, _)| *l == label) else {
+            panic!("no golden for scheduler {label}");
+        };
+        let mut cfg = cell(kind);
+        cfg.fault_plan = plan.clone();
+        let r = run_cluster(&cfg, 3);
+        assert_eq!(
+            r.duration,
+            SimTime::ZERO + Duration::from_nanos(duration),
+            "{label}: an intensity-0 chaos plan perturbed the simulation"
+        );
+    }
+}
+
 fn storm() -> FaultPlan {
     FaultPlan::new(vec![
         FaultSpec::LinkDown {

@@ -5,7 +5,9 @@
 
 use prophet::core::SchedulerKind;
 use prophet::minidnn::{Adam, Dataset, Mlp, Sgd};
+use prophet::net::RetryPolicy;
 use prophet::ps::threaded::{run_threaded_training, PsOptimizer, ThreadedConfig};
+use prophet::sim::{Duration, FaultPlan, FaultSpec, SimTime};
 
 /// Single-process reference: whole-batch training with the same PS-side
 /// optimiser placement (gradients averaged, SGD with momentum applied to a
@@ -185,6 +187,119 @@ fn injected_ps_restart_recovers_without_corrupting_training() {
             "{label}: crash recovery changed the computed model"
         );
     }
+}
+
+/// A retry policy tuned for test wall-clock: losses are detected in tens of
+/// milliseconds instead of the production 5 s ack timeout.
+fn fast_retry() -> RetryPolicy {
+    RetryPolicy {
+        base: Duration::from_millis(2),
+        cap: Duration::from_millis(10),
+        timeout: Duration::from_millis(40),
+    }
+}
+
+#[test]
+fn message_loss_is_retried_until_params_match() {
+    // A lossy wire for the entire run: every dropped push must be detected
+    // by the ack timeout and retransmitted until the PS has the full
+    // gradient. Because the replayed bytes are identical and aggregation is
+    // order-independent within a barrier, the model must come out
+    // bit-identical to a loss-free run.
+    for kind in [
+        SchedulerKind::Fifo,
+        SchedulerKind::P3 {
+            partition_bytes: 1 << 9, // many small slices: more doom draws
+        },
+    ] {
+        let label = kind.label();
+        let mut cfg = ThreadedConfig::small(2, kind);
+        cfg.iterations = 8;
+        cfg.retry = fast_retry();
+        cfg.fault_plan = FaultPlan::new(vec![FaultSpec::MsgLoss {
+            rate: 0.3,
+            at: SimTime::ZERO,
+            dur: Duration::from_secs(60),
+        }]);
+        let lossy = run_threaded_training(&cfg);
+        assert!(lossy.messages_lost > 0, "{label}: no pushes were dropped");
+        assert!(lossy.retries > 0, "{label}: losses never retried");
+        assert!(lossy.events_checked > 0, "{label}: checker not wired");
+        assert_eq!(
+            lossy.final_params,
+            reference_params(&cfg),
+            "{label}: message loss corrupted the computed model"
+        );
+    }
+}
+
+#[test]
+fn timed_shard_crash_recovers_bit_identically() {
+    // A wall-clock-triggered PS crash (the plan-driven flavour, as opposed
+    // to the iteration-triggered `ps_restart_at_iter`): the link is slowed
+    // so the run is long enough for the crash to land mid-training.
+    let mut cfg = ThreadedConfig::small(2, SchedulerKind::Fifo);
+    cfg.link_bps = Some(5e5); // ~5 ms of wire per iteration
+    cfg.retry = fast_retry();
+    let restart_after = Duration::from_millis(15);
+    cfg.fault_plan = FaultPlan::new(vec![FaultSpec::ShardCrash {
+        shard: 0,
+        at: SimTime::ZERO + Duration::from_millis(10),
+        restart_after,
+    }]);
+    let crashed = run_threaded_training(&cfg);
+    assert!(
+        crashed.wall >= std::time::Duration::from_millis(25),
+        "crash downtime should show up in wall clock: {:?}",
+        crashed.wall
+    );
+    assert!(crashed.events_checked > 0, "checker not wired");
+    assert_eq!(
+        crashed.final_params,
+        reference_params(&cfg),
+        "timed crash recovery changed the computed model"
+    );
+}
+
+#[test]
+fn stalls_and_link_faults_slow_the_run_not_the_result() {
+    // The remaining fault kinds in one storm: a worker pause, a degraded
+    // window on the other worker's link, and a full outage on the PS link.
+    // None of them may change what is computed.
+    let mut cfg = ThreadedConfig::small(2, SchedulerKind::Fifo);
+    cfg.iterations = 12;
+    cfg.link_bps = Some(2e6);
+    cfg.retry = fast_retry();
+    cfg.fault_plan = FaultPlan::new(vec![
+        FaultSpec::WorkerStall {
+            worker: 0,
+            at: SimTime::ZERO + Duration::from_millis(5),
+            dur: Duration::from_millis(40),
+        },
+        FaultSpec::LinkDegrade {
+            node: 2, // worker 1's link
+            at: SimTime::ZERO + Duration::from_millis(10),
+            factor: 0.3,
+            dur: Duration::from_millis(50),
+        },
+        FaultSpec::LinkDown {
+            node: 0, // the PS link freezes every sender
+            at: SimTime::ZERO + Duration::from_millis(70),
+            dur: Duration::from_millis(20),
+        },
+    ]);
+    let faulted = run_threaded_training(&cfg);
+    assert!(
+        faulted.wall >= std::time::Duration::from_millis(45),
+        "a 40 ms stall must show up in wall clock: {:?}",
+        faulted.wall
+    );
+    assert!(faulted.events_checked > 0, "checker not wired");
+    assert_eq!(
+        faulted.final_params,
+        reference_params(&cfg),
+        "stall/link faults changed the computed model"
+    );
 }
 
 #[test]

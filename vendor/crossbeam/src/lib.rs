@@ -13,7 +13,7 @@ pub mod channel {
 
     use std::sync::mpsc;
 
-    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
 
     /// Cloneable sending half.
     #[derive(Debug)]
@@ -45,6 +45,12 @@ pub mod channel {
         /// Non-blocking receive.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             self.0.try_recv()
+        }
+
+        /// Block until a message arrives, all senders are dropped, or
+        /// `timeout` elapses — whichever comes first.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
         }
 
         /// Iterate until all senders are dropped.
