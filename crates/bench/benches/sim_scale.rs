@@ -1,0 +1,60 @@
+//! End-to-end simulator scaling: wall-clock cost of whole cluster
+//! iterations as the worker count grows, with BytePS-style co-located
+//! shards (`ps_shards = workers`) so the PS NIC never caps the cluster
+//! and the flow graph stays many-component — the shape the incremental
+//! allocator and the indexed event queue are built for.
+//!
+//! Writes `BENCH_sim_scale.json` at the repo root (skipped under
+//! `-- --test`, which also trims the scale grid to its first point).
+
+use criterion::{criterion_group, criterion_main, stats_to_json, Criterion};
+use prophet::core::SchedulerKind;
+use prophet::dnn::TrainingJob;
+use prophet::ps::sim::{run_cluster, ClusterConfig};
+use std::hint::black_box;
+
+const SCALES: &[usize] = &[64, 256, 512, 1024];
+
+fn cell(workers: usize, kind: SchedulerKind) -> ClusterConfig {
+    let mut c = ClusterConfig::paper_cell(
+        workers,
+        10.0,
+        TrainingJob::paper_setup("resnet18", 16),
+        kind,
+    );
+    c.ps_shards = workers;
+    c.warmup_iters = 1;
+    c
+}
+
+fn bench_sim_scale(c: &mut Criterion) {
+    let quick = c.is_quick();
+    let scales = if quick { &SCALES[..1] } else { SCALES };
+
+    let mut g = c.benchmark_group("iteration");
+    g.sample_size(3);
+    for &w in scales {
+        for kind in [
+            SchedulerKind::Fifo,
+            SchedulerKind::ProphetOracle(prophet::core::ProphetConfig::paper_default(1.25e9)),
+        ] {
+            let label = kind.label().to_string();
+            let cfg = cell(w, kind.clone());
+            g.bench_function(&format!("{label}_{w}"), |b| {
+                b.iter(|| black_box(run_cluster(&cfg, 2).duration))
+            });
+        }
+    }
+    g.finish();
+
+    if quick {
+        return;
+    }
+    let json = stats_to_json(c.stats(), &[]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim_scale.json");
+    std::fs::write(path, json).expect("write BENCH_sim_scale.json");
+    println!("wrote {path}");
+}
+
+criterion_group!(sim_scale, bench_sim_scale);
+criterion_main!(sim_scale);

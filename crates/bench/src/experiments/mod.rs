@@ -7,6 +7,7 @@ pub mod faults;
 pub mod motivation;
 pub mod overhead;
 pub mod robustness;
+pub mod scale;
 
 use prophet::core::{ProphetConfig, SchedulerKind};
 use prophet::dnn::TrainingJob;

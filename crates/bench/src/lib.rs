@@ -150,6 +150,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
             "[extension] chaos search: random fault plans vs safety/liveness oracles",
             chaos::ext_chaos,
         ),
+        (
+            "ext_scale",
+            "[extension] scaling frontier: 64-1024 workers, iteration time + simulator wall-clock",
+            scale::ext_scale,
+        ),
     ]
 }
 

@@ -10,6 +10,25 @@
 //! The allocation is the fixed point the real transport stack's AIMD
 //! dynamics approximate on shared bottlenecks, which is why flow-level
 //! simulators use it as the steady-state rate model.
+//!
+//! Two things depart from the textbook formulation, both for the sake of
+//! the thousand-worker scaling studies:
+//!
+//! * **Component decomposition.** [`allocate`] partitions the flows into
+//!   connected components (union-find over the nodes they touch) and runs
+//!   the filling loop per component via [`fill_component`]. Progressive
+//!   filling never couples disjoint components — a constraint only freezes
+//!   flows that share it — so the split changes nothing semantically, but
+//!   it lets the network engine re-solve *only* the components a flow
+//!   arrival/departure touches. Within a component the arithmetic (node
+//!   visit order ascending by global id, flows in input order, uniform
+//!   increments accumulated identically) is exactly the classic global loop
+//!   restricted to that component, which is what makes the incremental
+//!   engine bit-identical to a full resolve.
+//! * **Scratch hoisting.** The filling loop used to allocate four `Vec`s
+//!   per round (`up_count`, `down_count`, `saturated_up`,
+//!   `saturated_down`); all working state now lives in a reusable
+//!   [`Scratch`], so steady-state churn performs no per-round allocation.
 
 use crate::topology::{NodeId, Topology};
 
@@ -24,68 +43,298 @@ pub struct FlowDemand {
     pub cap_bps: f64,
 }
 
+/// Saturation epsilon, *relative* to each link's own capacity: capacities
+/// are bytes/sec (~1e9 for a 10 GbE NIC), where one f64 ulp is ~1e-7 — an
+/// absolute threshold is either meaninglessly tight at that scale or
+/// sloppily loose for small test capacities.
+const REL_EPS: f64 = 1e-9;
+
+/// Reusable working state for [`fill_component`] / [`allocate_with`].
+///
+/// Holding one of these across calls (the network engine keeps one per
+/// [`crate::Network`]) eliminates every per-call and per-round allocation
+/// once the buffers have grown to the working-set size. A `Scratch` carries
+/// no results between calls — only capacity — so reuse can never change an
+/// allocation.
+#[derive(Debug, Clone, Default)]
+pub struct Scratch {
+    // fill_component state
+    /// Global ids of the nodes the current component touches, ascending.
+    nodes: Vec<u32>,
+    /// Global node id -> local constraint index; only entries written for
+    /// the current component's nodes are ever read back.
+    node_local: Vec<u32>,
+    up_cap: Vec<f64>,
+    down_cap: Vec<f64>,
+    up_left: Vec<f64>,
+    down_left: Vec<f64>,
+    up_count: Vec<u32>,
+    down_count: Vec<u32>,
+    frozen: Vec<bool>,
+    src_local: Vec<u32>,
+    dst_local: Vec<u32>,
+    /// Indices of still-unfrozen flows, ascending; shrinks as flows freeze
+    /// so late rounds stop re-scanning the (majority) frozen population.
+    unfrozen: Vec<u32>,
+    /// Local indices of nodes that still carry unfrozen flows.
+    active_nodes: Vec<u32>,
+    /// Epoch marker per global node id for the sort-free node dedup.
+    node_epoch: Vec<u64>,
+    node_round: u64,
+    // partition state (allocate_with)
+    uf_parent: Vec<u32>,
+    uf_epoch: Vec<u64>,
+    uf_round: u64,
+    comp_map: Vec<u32>,
+    comp_map_epoch: Vec<u64>,
+    comp_idx: Vec<u32>,
+    comp_offsets: Vec<u32>,
+    grouped: Vec<u32>,
+    demand_buf: Vec<FlowDemand>,
+    rate_buf: Vec<f64>,
+}
+
+/// Path-compressing find over an epoch-initialised parent array.
+fn uf_find(parent: &mut [u32], x: u32) -> u32 {
+    let mut root = x;
+    while parent[root as usize] != root {
+        root = parent[root as usize];
+    }
+    let mut cur = x;
+    while parent[cur as usize] != root {
+        let next = parent[cur as usize];
+        parent[cur as usize] = root;
+        cur = next;
+    }
+    root
+}
+
 /// Compute max-min fair rates (bytes/sec) for `flows` over `topo`.
 ///
 /// Returns one rate per flow, in input order. Flows with a zero cap get
 /// zero. Panics in debug builds if any node id is out of range.
 pub fn allocate(topo: &Topology, flows: &[FlowDemand]) -> Vec<f64> {
-    let n = topo.len();
+    allocate_with(topo, flows, &mut Scratch::default())
+}
+
+/// [`allocate`] with caller-provided scratch buffers (no allocation once
+/// the buffers are warm).
+pub fn allocate_with(topo: &Topology, flows: &[FlowDemand], s: &mut Scratch) -> Vec<f64> {
     let mut rates = vec![0.0f64; flows.len()];
     if flows.is_empty() {
         return rates;
     }
+    let n = topo.len();
+    if s.uf_parent.len() < n {
+        s.uf_parent.resize(n, 0);
+        s.uf_epoch.resize(n, 0);
+        s.comp_map.resize(n, 0);
+        s.comp_map_epoch.resize(n, 0);
+    }
+    s.uf_round += 1;
+    let round = s.uf_round;
 
-    // Remaining capacity per constraint: uplinks then downlinks. The
-    // original capacities are kept so saturation can be tested with an
-    // epsilon *relative* to each link's scale: capacities here are bytes/sec
-    // (~1e9 for a 10 GbE NIC), where one f64 ulp is ~1e-7 — an absolute
-    // threshold is either meaninglessly tight at that scale or sloppily
-    // loose for small test capacities.
-    let up_cap: Vec<f64> = (0..n).map(|i| topo.spec(NodeId(i)).uplink_bps).collect();
-    let down_cap: Vec<f64> = (0..n).map(|i| topo.spec(NodeId(i)).downlink_bps).collect();
-    let mut up_left = up_cap.clone();
-    let mut down_left = down_cap.clone();
-
-    let mut frozen = vec![false; flows.len()];
-    // Freeze zero-cap flows immediately.
-    for (i, f) in flows.iter().enumerate() {
+    // Union the nodes of every flow. Zero-cap (Setup-phase) flows union
+    // too: they are real component members that will carry bytes once
+    // their handshake completes, and the incremental engine must agree
+    // with this grouping.
+    for f in flows {
         debug_assert!(f.src.0 < n && f.dst.0 < n, "flow references missing node");
-        if f.cap_bps <= 0.0 {
-            frozen[i] = true;
+        for g in [f.src.0, f.dst.0] {
+            if s.uf_epoch[g] != round {
+                s.uf_parent[g] = g as u32;
+                s.uf_epoch[g] = round;
+            }
+        }
+        let ra = uf_find(&mut s.uf_parent, f.src.0 as u32);
+        let rb = uf_find(&mut s.uf_parent, f.dst.0 as u32);
+        if ra != rb {
+            s.uf_parent[ra as usize] = rb;
         }
     }
 
-    loop {
-        // Count unfrozen flows per constraint.
-        let mut up_count = vec![0u32; n];
-        let mut down_count = vec![0u32; n];
-        let mut any_unfrozen = false;
-        for (i, f) in flows.iter().enumerate() {
-            if !frozen[i] {
-                any_unfrozen = true;
-                up_count[f.src.0] += 1;
-                down_count[f.dst.0] += 1;
+    // Component indices in first-seen flow order (deterministic).
+    s.comp_idx.clear();
+    let mut comp_count: u32 = 0;
+    for f in flows {
+        let root = uf_find(&mut s.uf_parent, f.src.0 as u32) as usize;
+        if s.comp_map_epoch[root] != round {
+            s.comp_map_epoch[root] = round;
+            s.comp_map[root] = comp_count;
+            comp_count += 1;
+        }
+        s.comp_idx.push(s.comp_map[root]);
+    }
+
+    if comp_count == 1 {
+        // The common case for the paper's star-shaped cells: everything is
+        // one component, so fill straight into the output.
+        fill_component(topo, flows, &mut rates, s);
+        return rates;
+    }
+
+    // Group flow indices by component; the counting sort keeps input order
+    // within each component.
+    s.comp_offsets.clear();
+    s.comp_offsets.resize(comp_count as usize + 1, 0);
+    for &c in &s.comp_idx {
+        s.comp_offsets[c as usize + 1] += 1;
+    }
+    for c in 0..comp_count as usize {
+        s.comp_offsets[c + 1] += s.comp_offsets[c];
+    }
+    s.grouped.clear();
+    s.grouped.resize(flows.len(), 0);
+    // comp_offsets[c] doubles as the write cursor for component c; after
+    // the scatter it holds the component's END offset.
+    for (i, &c) in s.comp_idx.iter().enumerate() {
+        let slot = s.comp_offsets[c as usize] as usize;
+        s.grouped[slot] = i as u32;
+        s.comp_offsets[c as usize] += 1;
+    }
+
+    let mut demands = std::mem::take(&mut s.demand_buf);
+    let mut comp_rates = std::mem::take(&mut s.rate_buf);
+    let mut start = 0usize;
+    for c in 0..comp_count as usize {
+        let end = s.comp_offsets[c] as usize;
+        demands.clear();
+        for &fi in &s.grouped[start..end] {
+            demands.push(flows[fi as usize]);
+        }
+        comp_rates.clear();
+        comp_rates.resize(demands.len(), 0.0);
+        fill_component(topo, &demands, &mut comp_rates, s);
+        for (j, &fi) in s.grouped[start..end].iter().enumerate() {
+            rates[fi as usize] = comp_rates[j];
+        }
+        start = end;
+    }
+    s.demand_buf = demands;
+    s.rate_buf = comp_rates;
+    rates
+}
+
+/// Progressive filling over one connected component.
+///
+/// `flows` must all belong to a single connected component (callers that
+/// can't guarantee this use [`allocate`], which partitions first); passing
+/// a disconnected set still yields a valid max-min allocation, but one
+/// whose floating-point rounding couples the groups. Rates are written to
+/// `rates` (same length as `flows`, input order).
+///
+/// Invariants the incremental engine relies on (see `network.rs`):
+/// the result is a pure function of `(topo restricted to touched nodes,
+/// flows in order)`; cross-node reductions are all minima, so constraint
+/// visit order never reaches the output; flows accumulate the identical
+/// uniform increments in input order. Restricted to a single component
+/// this reproduces the pre-decomposition global loop bit for bit.
+pub fn fill_component(topo: &Topology, flows: &[FlowDemand], rates: &mut [f64], s: &mut Scratch) {
+    debug_assert_eq!(flows.len(), rates.len());
+    rates.fill(0.0);
+    if flows.is_empty() {
+        return;
+    }
+    let n = topo.len();
+
+    // Touched nodes in first-seen order, plus the local remap. The local
+    // numbering is pure bookkeeping — capacities, residuals, and counts are
+    // keyed by it but every cross-node reduction is a min, so the order
+    // nodes are discovered in cannot steer a single float bit (the old
+    // sort-by-global-id pass bought determinism it turned out nothing
+    // consumed, at O(F log F) per fill).
+    s.nodes.clear();
+    if s.node_local.len() < n {
+        s.node_local.resize(n, 0);
+        s.node_epoch.resize(n, 0);
+    }
+    s.node_round += 1;
+    let node_round = s.node_round;
+    for f in flows {
+        debug_assert!(f.src.0 < n && f.dst.0 < n, "flow references missing node");
+        for g in [f.src.0, f.dst.0] {
+            if s.node_epoch[g] != node_round {
+                s.node_epoch[g] = node_round;
+                s.node_local[g] = s.nodes.len() as u32;
+                s.nodes.push(g as u32);
             }
         }
-        if !any_unfrozen {
-            break;
-        }
+    }
+    let k = s.nodes.len();
 
+    // Remaining capacity per constraint: uplinks then downlinks. The
+    // original capacities are kept so saturation can be tested with an
+    // epsilon relative to each link's scale (see [`REL_EPS`]).
+    s.up_cap.clear();
+    s.down_cap.clear();
+    for &g in &s.nodes {
+        let spec = topo.spec(NodeId(g as usize));
+        s.up_cap.push(spec.uplink_bps);
+        s.down_cap.push(spec.downlink_bps);
+    }
+    s.up_left.clear();
+    s.up_left.extend_from_slice(&s.up_cap);
+    s.down_left.clear();
+    s.down_left.extend_from_slice(&s.down_cap);
+    s.up_count.clear();
+    s.up_count.resize(k, 0);
+    s.down_count.clear();
+    s.down_count.resize(k, 0);
+
+    s.frozen.clear();
+    s.frozen.resize(flows.len(), false);
+    s.src_local.clear();
+    s.dst_local.clear();
+    for (i, f) in flows.iter().enumerate() {
+        s.src_local.push(s.node_local[f.src.0]);
+        s.dst_local.push(s.node_local[f.dst.0]);
+        // Freeze zero-cap flows immediately.
+        if f.cap_bps <= 0.0 {
+            s.frozen[i] = true;
+        }
+    }
+
+    // Compacted iteration state. Every float operation below is the same
+    // op, on the same values, as the original scan-everything loop — the
+    // compaction only skips flows and nodes whose contribution to a round
+    // was provably nothing (frozen flows add no counts, no cap terms, no
+    // increments; nodes without unfrozen flows contribute no delta terms
+    // and their saturation state is never read). Per-round additions and
+    // subtractions apply the identical `delta` the same number of times to
+    // the same cells, so every output bit survives the rewrite.
+    s.unfrozen.clear();
+    for i in 0..flows.len() {
+        if !s.frozen[i] {
+            s.unfrozen.push(i as u32);
+            s.up_count[s.src_local[i] as usize] += 1;
+            s.down_count[s.dst_local[i] as usize] += 1;
+        }
+    }
+    s.active_nodes.clear();
+    for li in 0..k as u32 {
+        if s.up_count[li as usize] > 0 || s.down_count[li as usize] > 0 {
+            s.active_nodes.push(li);
+        }
+    }
+
+    while !s.unfrozen.is_empty() {
         // The uniform increment every unfrozen flow can still take: the
         // tightest of (a) equal split of remaining capacity on any loaded
         // constraint, (b) any unfrozen flow's remaining headroom to its cap.
         let mut delta = f64::INFINITY;
-        for i in 0..n {
-            if up_count[i] > 0 {
-                delta = delta.min(up_left[i] / up_count[i] as f64);
+        for &li in &s.active_nodes {
+            let li = li as usize;
+            if s.up_count[li] > 0 {
+                delta = delta.min(s.up_left[li] / s.up_count[li] as f64);
             }
-            if down_count[i] > 0 {
-                delta = delta.min(down_left[i] / down_count[i] as f64);
+            if s.down_count[li] > 0 {
+                delta = delta.min(s.down_left[li] / s.down_count[li] as f64);
             }
         }
-        for (i, f) in flows.iter().enumerate() {
-            if !frozen[i] && f.cap_bps.is_finite() {
-                delta = delta.min(f.cap_bps - rates[i]);
+        for &i in &s.unfrozen {
+            let f = &flows[i as usize];
+            if f.cap_bps.is_finite() {
+                delta = delta.min(f.cap_bps - rates[i as usize]);
             }
         }
         // Accumulated rounding can leave a residual (or cap headroom) a few
@@ -97,54 +346,52 @@ pub fn allocate(topo: &Topology, flows: &[FlowDemand]) -> Vec<f64> {
         // Apply the increment. Residuals are clamped at zero: a constraint
         // can end up an ulp negative after repeated subtraction, and a
         // negative residual must read as "saturated", never as headroom.
-        for (i, f) in flows.iter().enumerate() {
-            if !frozen[i] {
-                rates[i] += delta;
-                up_left[f.src.0] = (up_left[f.src.0] - delta).max(0.0);
-                down_left[f.dst.0] = (down_left[f.dst.0] - delta).max(0.0);
-            }
+        for &i in &s.unfrozen {
+            let i = i as usize;
+            rates[i] += delta;
+            let u = s.src_local[i] as usize;
+            let d = s.dst_local[i] as usize;
+            s.up_left[u] = (s.up_left[u] - delta).max(0.0);
+            s.down_left[d] = (s.down_left[d] - delta).max(0.0);
         }
 
-        // Freeze flows at their cap or on a saturated constraint. The
-        // saturation epsilon is relative to each constraint's own capacity
-        // (with a tiny absolute floor for zero/denormal capacities).
-        const REL_EPS: f64 = 1e-9;
+        // Freeze flows at their cap or on a saturated constraint, dropping
+        // them from the compacted index (and their nodes' counts).
         let sat = |left: f64, cap: f64| left <= cap * REL_EPS + f64::MIN_POSITIVE;
-        let saturated_up: Vec<bool> = up_left
-            .iter()
-            .zip(&up_cap)
-            .map(|(&l, &c)| sat(l, c))
-            .collect();
-        let saturated_down: Vec<bool> = down_left
-            .iter()
-            .zip(&down_cap)
-            .map(|(&l, &c)| sat(l, c))
-            .collect();
         let mut progress = false;
-        for (i, f) in flows.iter().enumerate() {
-            if frozen[i] {
-                continue;
-            }
+        let (up_count, down_count) = (&mut s.up_count, &mut s.down_count);
+        let (up_left, up_cap) = (&s.up_left, &s.up_cap);
+        let (down_left, down_cap) = (&s.down_left, &s.down_cap);
+        let (src_local, dst_local) = (&s.src_local, &s.dst_local);
+        s.unfrozen.retain(|&i| {
+            let i = i as usize;
+            let f = &flows[i];
+            let u = src_local[i] as usize;
+            let d = dst_local[i] as usize;
             let at_cap = f.cap_bps.is_finite() && rates[i] >= f.cap_bps * (1.0 - REL_EPS);
             if at_cap {
                 // Pin exactly to the cap so rounding never reports a rate
                 // above what the transport window allows.
                 rates[i] = f.cap_bps;
             }
-            if at_cap || saturated_up[f.src.0] || saturated_down[f.dst.0] {
-                frozen[i] = true;
+            if at_cap || sat(up_left[u], up_cap[u]) || sat(down_left[d], down_cap[d]) {
+                up_count[u] -= 1;
+                down_count[d] -= 1;
                 progress = true;
+                false
+            } else {
+                true
             }
-        }
+        });
         // With delta > 0 something always freezes; with delta == 0 the
         // freezing rule above must fire (a constraint is already
         // saturated). Guard against float pathology anyway.
         if !progress {
             break;
         }
+        s.active_nodes
+            .retain(|&li| up_count[li as usize] > 0 || down_count[li as usize] > 0);
     }
-
-    rates
 }
 
 #[cfg(test)]
@@ -291,5 +538,58 @@ mod tests {
         let t = topo(1, 100.0);
         let r = allocate(&t, &[flow(0, 0)]);
         assert!((r[0] - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn disjoint_components_allocate_independently() {
+        // Two islands: {0,1,2} and {3,4,5}. The joint allocation must be
+        // bitwise what each island gets when allocated alone.
+        let t = topo(6, 1000.0);
+        let island_a = [flow(1, 0), capped(2, 0, 100.0)];
+        let island_b = [flow(4, 3), flow(5, 3), capped(4, 5, 700.0)];
+        let joint: Vec<FlowDemand> = island_a.iter().chain(&island_b).copied().collect();
+        let joint_rates = allocate(&t, &joint);
+        let a = allocate(&t, &island_a);
+        let b = allocate(&t, &island_b);
+        let expect: Vec<f64> = a.into_iter().chain(b).collect();
+        for (i, (&got, &want)) in joint_rates.iter().zip(&expect).enumerate() {
+            assert_eq!(got.to_bits(), want.to_bits(), "flow {i}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn interleaved_components_keep_input_order() {
+        // Flows alternate between islands; rates must still come back in
+        // input order.
+        let t = topo(4, 100.0);
+        let r = allocate(&t, &[flow(0, 1), flow(2, 3), flow(0, 1), flow(2, 3)]);
+        for &rate in &r {
+            assert!((rate - 50.0).abs() < 1e-6, "rate {rate}");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_stateless() {
+        // The same Scratch across different inputs must give the same
+        // answers as fresh scratch each time.
+        let mut s = Scratch::default();
+        let t1 = topo(3, 100.0);
+        let t2 = topo(6, 1000.0);
+        let f1 = [flow(0, 2), flow(1, 2)];
+        let f2 = [flow(1, 0), capped(2, 0, 100.0), flow(4, 3), flow(5, 3)];
+        for _ in 0..3 {
+            let r1 = allocate_with(&t1, &f1, &mut s);
+            let r2 = allocate_with(&t2, &f2, &mut s);
+            let fresh1 = allocate(&t1, &f1);
+            let fresh2 = allocate(&t2, &f2);
+            assert_eq!(
+                r1.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                fresh1.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+            );
+            assert_eq!(
+                r2.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                fresh2.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+            );
+        }
     }
 }

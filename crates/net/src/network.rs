@@ -20,11 +20,44 @@
 //!
 //! Rate changes bump an internal [`Network::version`] so callers using
 //! pre-scheduled wake-ups can discard stale ones.
+//!
+//! # Scaling architecture
+//!
+//! The engine is built to stay cheap at thousand-worker clusters:
+//!
+//! * **Component-incremental re-allocation.** Flows are grouped into
+//!   connected components (flows sharing no node never couple). A flow
+//!   arrival eagerly merges the components its endpoints belong to; a
+//!   departure marks its component *dirty*, and the next re-allocation
+//!   re-partitions only dirty components (lazy split) and re-fills only
+//!   them via [`maxmin::fill_component`]. Untouched components keep their
+//!   rates — which is sound because a component's allocation is a pure
+//!   function of its own flows and node capacities. The full-resolve
+//!   oracle ([`Network::set_full_resolve`]) marks *every* component dirty
+//!   on every re-allocation and flows through the identical code path, so
+//!   the incremental engine is bit-identical by construction; the golden
+//!   suite exists to catch dirty-tracking omissions.
+//! * **Indexed event lookup.** Completion and phase-transition instants
+//!   live in lazy-invalidation binary heaps keyed `(time, flow id, slot)`
+//!   instead of being recomputed by O(#flows) scans. An entry is stale
+//!   when its flow is gone or its stored time no longer matches the flow's
+//!   current prediction; stale entries are discarded on pop. The `(time,
+//!   id)` ordering hands completions back in flow-start order for free.
+//! * **Slab storage + lazy integration.** Flows live in a slab (stable
+//!   slot indices, O(1) removal via a free list, no `Vec::remove`
+//!   shifting), and each flow's byte position is integrated lazily — only
+//!   when its rate changes, it completes, or it is killed — from a
+//!   per-flow `last_sync` watermark. Completion instants are *predicted*
+//!   once per rate change from the fractional residual
+//!   ([`Duration::for_bytes_f64`]), so a sub-byte remainder never delays
+//!   or duplicates a completion.
 
-use crate::maxmin::{self, FlowDemand};
+use crate::maxmin::{self, FlowDemand, Scratch};
 use crate::tcp::TcpModel;
 use crate::topology::{NodeId, NodeSpec, Topology};
 use prophet_sim::{Duration, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Identifier of a transfer, unique for the lifetime of a [`Network`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -32,6 +65,9 @@ pub struct FlowId(pub u64);
 
 /// Bytes closer than this to zero count as "done" (absorbs f64 rounding).
 const EPS_BYTES: f64 = 0.5;
+
+/// Sentinel for "no component".
+const NO_COMP: u32 = u32::MAX;
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Phase {
@@ -54,6 +90,37 @@ struct FlowState {
     phase: Phase,
     started: SimTime,
     tag: u64,
+    /// Byte-integration watermark: `remaining` is exact as of this instant.
+    last_sync: SimTime,
+    /// Predicted completion under the current rate (`SimTime::MAX` while
+    /// the flow isn't moving payload). Recomputed only when the rate
+    /// actually changes, which keeps the full/incremental engines in
+    /// lockstep.
+    pred_end: SimTime,
+    /// Connected component this flow belongs to.
+    comp: u32,
+}
+
+/// One connected component of the flow graph.
+#[derive(Debug, Clone, Default)]
+struct Comp {
+    /// Member slots, ascending by [`FlowId`] (= flow-start order).
+    flows: Vec<u32>,
+    live: bool,
+    /// Queued for re-fill at the next [`Network::reallocate`].
+    dirty: bool,
+    /// A member departed since the last connectivity check, so the re-fill
+    /// must re-partition before filling. Attaches and phase transitions
+    /// never disconnect anything, so their re-fills skip the union-find.
+    maybe_split: bool,
+}
+
+fn transition_time(f: &FlowState) -> Option<SimTime> {
+    match f.phase {
+        Phase::Setup { until } => Some(until),
+        Phase::Ramp { next_double, .. } => Some(next_double),
+        Phase::Steady => None,
+    }
 }
 
 /// An entry in the network's optional event ledger (see
@@ -126,37 +193,126 @@ pub struct FlowEnd {
     pub finished: SimTime,
 }
 
+/// Lazy-invalidation heap entry: `(instant, flow id, slot)`. Ordered by
+/// `(instant, id)` so simultaneous events resolve in flow-start order.
+type EventEntry = Reverse<(SimTime, u64, u32)>;
+
 /// The fluid network engine. See the module docs for the driving contract.
 #[derive(Debug, Clone)]
 pub struct Network {
     topo: Topology,
     tcp: TcpModel,
-    flows: Vec<FlowState>,
+    slots: Vec<Option<FlowState>>,
+    free_slots: Vec<u32>,
+    n_active: usize,
     next_id: u64,
     clock: SimTime,
     version: u64,
-    tx_bytes: Vec<f64>,
-    rx_bytes: Vec<f64>,
+    /// Cached `max(uplink, downlink)` over all nodes: the Ramp → Steady
+    /// threshold. Recomputed when a node spec changes.
+    max_cap: f64,
+    // Component bookkeeping.
+    comps: Vec<Comp>,
+    free_comps: Vec<u32>,
+    /// Component owning each node (`NO_COMP` when the node has no flows).
+    node_comp: Vec<u32>,
+    /// Active flow endpoints per node (self-loops count twice).
+    node_flows: Vec<u32>,
+    /// Components queued for re-fill.
+    dirty: Vec<u32>,
+    full_resolve: bool,
+    // Event index.
+    completions: BinaryHeap<EventEntry>,
+    transitions: BinaryHeap<EventEntry>,
+    // Byte accounting: integrated-up-to-`last_sync` base per node; the
+    // in-flight accrual since then is reconstructed on read.
+    tx_base: Vec<f64>,
+    rx_base: Vec<f64>,
     record_events: bool,
     events: Vec<(SimTime, NetEvent)>,
+    // Reusable buffers (never carry results between calls).
+    scratch: Scratch,
+    demand_buf: Vec<FlowDemand>,
+    rate_buf: Vec<f64>,
+    part_idx: Vec<u32>,
+    uf_parent: Vec<u32>,
+    uf_epoch: Vec<u64>,
+    uf_round: u64,
+    part_map: Vec<u32>,
+    part_map_epoch: Vec<u64>,
+}
+
+fn uf_find(parent: &mut [u32], x: u32) -> u32 {
+    let mut root = x;
+    while parent[root as usize] != root {
+        root = parent[root as usize];
+    }
+    let mut cur = x;
+    while parent[cur as usize] != root {
+        let next = parent[cur as usize];
+        parent[cur as usize] = root;
+        cur = next;
+    }
+    root
 }
 
 impl Network {
     /// A network over `topo` with transport behaviour `tcp`.
     pub fn new(topo: Topology, tcp: TcpModel) -> Self {
         let n = topo.len();
+        let max_cap = topo
+            .iter()
+            .map(|(_, s)| s.uplink_bps.max(s.downlink_bps))
+            .fold(0.0f64, f64::max);
         Network {
             topo,
             tcp,
-            flows: Vec::new(),
+            slots: Vec::new(),
+            free_slots: Vec::new(),
+            n_active: 0,
             next_id: 0,
             clock: SimTime::ZERO,
             version: 0,
-            tx_bytes: vec![0.0; n],
-            rx_bytes: vec![0.0; n],
+            max_cap,
+            comps: Vec::new(),
+            free_comps: Vec::new(),
+            node_comp: vec![NO_COMP; n],
+            node_flows: vec![0; n],
+            dirty: Vec::new(),
+            full_resolve: false,
+            completions: BinaryHeap::new(),
+            transitions: BinaryHeap::new(),
+            tx_base: vec![0.0; n],
+            rx_base: vec![0.0; n],
             record_events: false,
             events: Vec::new(),
+            scratch: Scratch::default(),
+            demand_buf: Vec::new(),
+            rate_buf: Vec::new(),
+            part_idx: Vec::new(),
+            uf_parent: vec![0; n],
+            uf_epoch: vec![0; n],
+            uf_round: 0,
+            part_map: vec![0; n],
+            part_map_epoch: vec![0; n],
         }
+    }
+
+    /// Switch between incremental (default) and full-resolve re-allocation.
+    ///
+    /// Full-resolve marks every live component dirty on every
+    /// [`Network::reallocate`], so each rate is recomputed from scratch each
+    /// time — the oracle the incremental engine is golden-tested against.
+    /// Both modes share the identical fill path, so their `FlowEnd`
+    /// timestamps and rates are bit-identical unless incremental dirty
+    /// tracking misses an invalidation.
+    pub fn set_full_resolve(&mut self, on: bool) {
+        self.full_resolve = on;
+    }
+
+    /// True when every re-allocation re-solves every component.
+    pub fn full_resolve(&self) -> bool {
+        self.full_resolve
     }
 
     /// Turn the event ledger on or off. While on, every flow start and
@@ -191,18 +347,30 @@ impl Network {
 
     /// Number of in-flight transfers.
     pub fn active_flows(&self) -> usize {
-        self.flows.len()
+        self.n_active
     }
 
-    /// Cumulative bytes sent by `node` (payload only; handshakes are latency,
-    /// not volume).
+    /// Cumulative bytes sent by `node` up to the engine clock (payload
+    /// only; handshakes are latency, not volume).
     pub fn tx_bytes(&self, node: NodeId) -> f64 {
-        self.tx_bytes[node.0]
+        let mut total = self.tx_base[node.0];
+        for f in self.slots.iter().flatten() {
+            if f.src == node && f.rate > 0.0 {
+                total += f.rate * self.clock.saturating_since(f.last_sync).as_secs_f64();
+            }
+        }
+        total
     }
 
-    /// Cumulative bytes received by `node`.
+    /// Cumulative bytes received by `node` up to the engine clock.
     pub fn rx_bytes(&self, node: NodeId) -> f64 {
-        self.rx_bytes[node.0]
+        let mut total = self.rx_base[node.0];
+        for f in self.slots.iter().flatten() {
+            if f.dst == node && f.rate > 0.0 {
+                total += f.rate * self.clock.saturating_since(f.last_sync).as_secs_f64();
+            }
+        }
+        total
     }
 
     /// Begin a transfer of `bytes` from `src` to `dst` at time `now`.
@@ -251,7 +419,8 @@ impl Network {
         } else {
             self.initial_phase(now)
         };
-        self.flows.push(FlowState {
+        let slot = self.alloc_slot();
+        self.slots[slot as usize] = Some(FlowState {
             id,
             src,
             dst,
@@ -261,7 +430,15 @@ impl Network {
             phase,
             started: now,
             tag,
+            last_sync: now,
+            pred_end: SimTime::MAX,
+            comp: NO_COMP,
         });
+        self.n_active += 1;
+        self.attach_flow(slot);
+        if let Some(t) = transition_time(self.slots[slot as usize].as_ref().unwrap()) {
+            self.transitions.push(Reverse((t, id.0, slot)));
+        }
         if self.record_events {
             self.events.push((
                 now,
@@ -273,7 +450,17 @@ impl Network {
                 },
             ));
         }
-        self.reallocate();
+        // Deliberately NOT re-allocating here: the component is only marked
+        // dirty, and the re-fill is deferred to the next rate consumer
+        // ([`Network::next_event_time`] or a time-advancing
+        // [`Network::advance_to`]). Progressive filling is memoryless — the
+        // rates it produces depend only on the topology and the live demand
+        // set — so collapsing a burst of same-instant starts into one fill
+        // yields bit-identical rates to filling after every start, while
+        // turning an O(flows²) wave into a single O(flows) resolve. No time
+        // can pass and no prediction can be consumed before the deferred
+        // fill runs, so no output of the simulation can observe the
+        // difference.
         id
     }
 
@@ -300,6 +487,17 @@ impl Network {
     pub fn set_node_spec(&mut self, now: SimTime, node: NodeId, spec: NodeSpec) -> Vec<FlowEnd> {
         let done = self.advance_to(now);
         self.topo.set_spec(node, spec);
+        self.max_cap = self
+            .topo
+            .iter()
+            .map(|(_, s)| s.uplink_bps.max(s.downlink_bps))
+            .fold(0.0f64, f64::max);
+        // Only the component touching this node sees different capacities;
+        // every other component's allocation is unchanged by construction.
+        let c = self.node_comp[node.0];
+        if c != NO_COMP {
+            self.mark_dirty(c);
+        }
         self.reallocate();
         done
     }
@@ -316,8 +514,17 @@ impl Network {
             done.is_empty(),
             "kill_flow raced past unharvested completions"
         );
-        let idx = self.flows.iter().position(|f| f.tag == tag)?;
-        Some(self.remove_killed(now, idx))
+        // Earliest-started match, as before the slab rewrite.
+        let mut best: Option<(u64, u32)> = None;
+        for (s, f) in self.slots.iter().enumerate() {
+            if let Some(f) = f {
+                if f.tag == tag && best.is_none_or(|(id, _)| f.id.0 < id) {
+                    best = Some((f.id.0, s as u32));
+                }
+            }
+        }
+        let (_, slot) = best?;
+        Some(self.remove_killed(now, slot))
     }
 
     /// Kill every in-flight flow with `node` as source or destination (a
@@ -327,47 +534,58 @@ impl Network {
     pub fn kill_flows_touching(&mut self, now: SimTime, node: NodeId) -> Vec<KilledFlow> {
         let done = self.advance_to(now);
         debug_assert!(done.is_empty(), "kill raced past unharvested completions");
-        let mut killed = Vec::new();
-        let mut i = 0;
-        while i < self.flows.len() {
-            if self.flows[i].src == node || self.flows[i].dst == node {
-                killed.push(self.remove_killed(now, i));
-            } else {
-                i += 1;
-            }
-        }
-        killed
+        let mut victims: Vec<(u64, u32)> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(s, f)| {
+                f.as_ref()
+                    .and_then(|f| (f.src == node || f.dst == node).then_some((f.id.0, s as u32)))
+            })
+            .collect();
+        victims.sort_unstable();
+        victims
+            .into_iter()
+            .map(|(_, s)| self.remove_killed(now, s))
+            .collect()
     }
 
-    fn remove_killed(&mut self, now: SimTime, idx: usize) -> KilledFlow {
-        let f = self.flows.remove(idx);
-        let delivered = f.total - f.remaining;
+    fn remove_killed(&mut self, now: SimTime, slot: u32) -> KilledFlow {
+        self.integrate_flow(slot);
+        let f = self.slots[slot as usize].as_ref().unwrap();
+        let killed = KilledFlow {
+            tag: f.tag,
+            src: f.src,
+            dst: f.dst,
+            delivered: f.total - f.remaining,
+        };
+        self.detach_flow(slot);
+        self.free_slot(slot);
         if self.record_events {
             self.events.push((
                 now,
                 NetEvent::FlowKilled {
-                    tag: f.tag,
-                    src: f.src,
-                    dst: f.dst,
-                    delivered,
+                    tag: killed.tag,
+                    src: killed.src,
+                    dst: killed.dst,
+                    delivered: killed.delivered,
                 },
             ));
         }
         self.reallocate();
-        KilledFlow {
-            tag: f.tag,
-            src: f.src,
-            dst: f.dst,
-            delivered,
-        }
+        killed
     }
 
     /// The next instant at which rates change or a flow completes; `None`
-    /// when nothing is in flight.
-    pub fn next_event_time(&self) -> Option<SimTime> {
-        match (self.next_phase_transition(), self.next_completion_time()) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
+    /// when nothing is in flight. (`&mut self`: peeking resolves deferred
+    /// re-fills and prunes stale entries from the lazy event index.)
+    pub fn next_event_time(&mut self) -> Option<SimTime> {
+        self.reallocate();
+        let a = self.peek_transition();
+        let b = self.peek_completion();
+        match (a, b) {
+            (Some(x), Some(y)) => Some(x.min(y)),
+            (x, y) => x.or(y),
         }
     }
 
@@ -379,173 +597,562 @@ impl Network {
     /// so completion timestamps are exact even if the caller overshoots.
     pub fn advance_to(&mut self, now: SimTime) -> Vec<FlowEnd> {
         debug_assert!(now >= self.clock, "network advanced backwards");
+        // Time is about to pass: any deferred re-fills must land first so
+        // the completion predictions segmenting `[clock, now]` are current.
+        // At `now == clock` the deferral can keep riding — deferred dirt
+        // only comes from same-instant starts, which push every completion
+        // *later*, so nothing can become due at `now` that the index does
+        // not already know about.
+        if now > self.clock {
+            self.reallocate();
+        }
         let mut completed = Vec::new();
         loop {
             let mut seg_end = now;
-            if let Some(t) = self.next_phase_transition() {
+            if let Some(t) = self.peek_transition() {
                 seg_end = seg_end.min(t);
             }
-            if let Some(t) = self.next_completion_time() {
+            if let Some(t) = self.peek_completion() {
                 seg_end = seg_end.min(t);
             }
-            self.integrate_to(seg_end);
-            self.process_transitions(seg_end);
-            let before = completed.len();
-            self.harvest_completions(seg_end, &mut completed);
-            if completed.len() > before {
+            debug_assert!(seg_end >= self.clock, "event index went backwards");
+            self.clock = seg_end;
+            let mut processed = false;
+            while let Some(slot) = self.pop_transition_due(seg_end) {
+                self.apply_transition(slot, seg_end);
+                processed = true;
+            }
+            if processed {
                 self.reallocate();
             }
-            if seg_end >= now {
+            let before = completed.len();
+            while let Some(slot) = self.pop_completion_due(seg_end) {
+                self.harvest(slot, seg_end, &mut completed);
+            }
+            if completed.len() > before {
+                self.reallocate();
+                processed = true;
+            }
+            if seg_end >= now && !processed {
                 break;
             }
         }
         completed
     }
 
-    /// Earliest predicted completion among flows currently moving bytes.
-    fn next_completion_time(&self) -> Option<SimTime> {
-        self.flows
-            .iter()
-            .filter(|f| f.rate > 0.0 && !matches!(f.phase, Phase::Setup { .. }))
-            .map(|f| self.clock + Duration::for_bytes(f.remaining.ceil() as u64, f.rate))
-            .min()
-    }
-
-    fn next_phase_transition(&self) -> Option<SimTime> {
-        self.flows
-            .iter()
-            .filter_map(|f| match f.phase {
-                Phase::Setup { until } => Some(until),
-                Phase::Ramp { next_double, .. } => Some(next_double),
-                Phase::Steady => None,
-            })
-            .min()
-    }
-
-    /// Move bytes at current rates from `clock` to `t`.
-    fn integrate_to(&mut self, t: SimTime) {
-        let dt = t.saturating_since(self.clock).as_secs_f64();
-        if dt > 0.0 {
-            for f in &mut self.flows {
-                if f.rate > 0.0 {
-                    let moved = (f.rate * dt).min(f.remaining);
-                    f.remaining -= moved;
-                    self.tx_bytes[f.src.0] += moved;
-                    self.rx_bytes[f.dst.0] += moved;
-                }
+    /// Earliest valid transition entry, pruning stale ones.
+    fn peek_transition(&mut self) -> Option<SimTime> {
+        while let Some(&Reverse((t, id, slot))) = self.transitions.peek() {
+            if self.transition_entry_valid(t, id, slot) {
+                return Some(t);
             }
+            self.transitions.pop();
         }
-        self.clock = t;
+        None
     }
 
-    /// Apply setup-completion and window-doubling transitions due at `t`.
-    fn process_transitions(&mut self, t: SimTime) {
-        let mut changed = false;
-        let max_cap = self
-            .topo
-            .iter()
-            .map(|(_, s)| s.uplink_bps.max(s.downlink_bps))
-            .fold(0.0f64, f64::max);
-        for f in &mut self.flows {
-            match f.phase {
-                Phase::Setup { until } if until <= t => {
-                    f.phase = if self.tcp.rtt_s > 0.0 && self.tcp.init_cwnd_bytes.is_finite() {
-                        Phase::Ramp {
-                            cap_bps: self.tcp.init_cwnd_bytes / self.tcp.rtt_s,
-                            next_double: t + Duration::from_secs_f64(self.tcp.rtt_s),
-                        }
-                    } else {
-                        Phase::Steady
-                    };
-                    changed = true;
-                }
-                Phase::Ramp {
-                    cap_bps,
-                    next_double,
-                } if next_double <= t => {
-                    let cap = cap_bps * 2.0;
-                    f.phase = if cap >= max_cap {
-                        Phase::Steady
-                    } else {
-                        Phase::Ramp {
-                            cap_bps: cap,
-                            next_double: t + Duration::from_secs_f64(self.tcp.rtt_s),
-                        }
-                    };
-                    changed = true;
-                }
-                _ => {}
+    /// Earliest valid completion entry, pruning stale ones.
+    fn peek_completion(&mut self) -> Option<SimTime> {
+        while let Some(&Reverse((t, id, slot))) = self.completions.peek() {
+            if self.completion_entry_valid(t, id, slot) {
+                return Some(t);
             }
+            self.completions.pop();
         }
-        if changed {
-            self.reallocate();
+        None
+    }
+
+    fn transition_entry_valid(&self, t: SimTime, id: u64, slot: u32) -> bool {
+        match self.slots[slot as usize].as_ref() {
+            Some(f) if f.id.0 == id => transition_time(f) == Some(t),
+            _ => false,
         }
     }
 
-    fn harvest_completions(&mut self, t: SimTime, out: &mut Vec<FlowEnd>) {
-        let mut i = 0;
-        while i < self.flows.len() {
-            let done = self.flows[i].remaining <= EPS_BYTES
-                && !matches!(self.flows[i].phase, Phase::Setup { .. });
-            if done {
-                let f = self.flows.remove(i);
-                if self.record_events {
-                    self.events.push((
-                        t,
-                        NetEvent::FlowEnd {
-                            tag: f.tag,
-                            src: f.src,
-                            dst: f.dst,
-                            delivered: f.total - f.remaining,
-                        },
-                    ));
-                }
-                out.push(FlowEnd {
-                    id: f.id,
-                    src: f.src,
-                    dst: f.dst,
-                    tag: f.tag,
-                    finished: t,
-                });
+    fn completion_entry_valid(&self, t: SimTime, id: u64, slot: u32) -> bool {
+        match self.slots[slot as usize].as_ref() {
+            Some(f) if f.id.0 == id => f.pred_end == t,
+            _ => false,
+        }
+    }
+
+    fn pop_transition_due(&mut self, t: SimTime) -> Option<u32> {
+        match self.peek_transition() {
+            Some(et) if et <= t => {
+                let Reverse((_, _, slot)) = self.transitions.pop().unwrap();
+                Some(slot)
+            }
+            _ => None,
+        }
+    }
+
+    fn pop_completion_due(&mut self, t: SimTime) -> Option<u32> {
+        match self.peek_completion() {
+            Some(et) if et <= t => {
+                let Reverse((_, _, slot)) = self.completions.pop().unwrap();
+                Some(slot)
+            }
+            _ => None,
+        }
+    }
+
+    /// Apply one setup-completion or window-doubling transition due at `t`.
+    fn apply_transition(&mut self, slot: u32, t: SimTime) {
+        let rtt = self.tcp.rtt_s;
+        let cwnd = self.tcp.init_cwnd_bytes;
+        let max_cap = self.max_cap;
+        let f = self.slots[slot as usize].as_mut().unwrap();
+        // Was the outgoing phase cap actually binding? A Ramp doubling (or
+        // Ramp→Steady) only ever *raises* the flow's demand cap. In the
+        // fill, a non-binding cap's residual is never the round minimum, so
+        // raising it further cannot perturb a single arithmetic step — the
+        // re-fill would reproduce every rate bit for bit. Cap-limited flows
+        // are pinned to exactly `cap_bps`, so `rate >= cap` is a precise
+        // binding test, and skipping the no-op re-fill is what keeps large
+        // fan-in components from being re-solved once per flow per RTT.
+        let binding = match f.phase {
+            Phase::Setup { .. } => true, // demand goes 0 → positive: real change
+            Phase::Ramp { cap_bps, .. } => f.rate >= cap_bps,
+            Phase::Steady => true,
+        };
+        match f.phase {
+            Phase::Setup { until } => {
+                debug_assert!(until == t, "setup transition fired at the wrong time");
+                f.phase = if rtt > 0.0 && cwnd.is_finite() {
+                    Phase::Ramp {
+                        cap_bps: cwnd / rtt,
+                        next_double: t + Duration::from_secs_f64(rtt),
+                    }
+                } else {
+                    Phase::Steady
+                };
+            }
+            Phase::Ramp { cap_bps, .. } => {
+                let cap = cap_bps * 2.0;
+                f.phase = if cap >= max_cap {
+                    Phase::Steady
+                } else {
+                    Phase::Ramp {
+                        cap_bps: cap,
+                        next_double: t + Duration::from_secs_f64(rtt),
+                    }
+                };
+            }
+            Phase::Steady => unreachable!("transition entry for a Steady flow survived"),
+        }
+        let id = f.id.0;
+        let comp = f.comp;
+        let next = transition_time(f);
+        if let Some(nt) = next {
+            self.transitions.push(Reverse((nt, id, slot)));
+        }
+        // Setup→Ramp releases the flow (demand 0 → positive) and a binding
+        // Ramp cap that doubles genuinely frees rate: both need a re-fill.
+        // A non-binding cap that rises leaves the fill arithmetic — and so
+        // every allocated rate — untouched, bit for bit; skip the re-fill.
+        if binding {
+            self.mark_dirty(comp);
+        }
+    }
+
+    /// Complete the flow in `slot` at instant `t`.
+    fn harvest(&mut self, slot: u32, t: SimTime, out: &mut Vec<FlowEnd>) {
+        self.integrate_flow(slot);
+        let f = self.slots[slot as usize].as_ref().unwrap();
+        debug_assert!(
+            f.remaining <= EPS_BYTES,
+            "harvested flow still holds {} bytes",
+            f.remaining
+        );
+        debug_assert!(!matches!(f.phase, Phase::Setup { .. }));
+        let end = FlowEnd {
+            id: f.id,
+            src: f.src,
+            dst: f.dst,
+            tag: f.tag,
+            finished: t,
+        };
+        let delivered = f.total - f.remaining;
+        self.detach_flow(slot);
+        self.free_slot(slot);
+        if self.record_events {
+            self.events.push((
+                t,
+                NetEvent::FlowEnd {
+                    tag: end.tag,
+                    src: end.src,
+                    dst: end.dst,
+                    delivered,
+                },
+            ));
+        }
+        out.push(end);
+    }
+
+    /// Bring one flow's byte position up to the engine clock.
+    fn integrate_flow(&mut self, slot: u32) {
+        let clock = self.clock;
+        let (moved, src, dst) = {
+            let f = self.slots[slot as usize].as_mut().unwrap();
+            let dt = clock.saturating_since(f.last_sync).as_secs_f64();
+            f.last_sync = clock;
+            if dt > 0.0 && f.rate > 0.0 {
+                let moved = (f.rate * dt).min(f.remaining);
+                f.remaining -= moved;
+                (moved, f.src.0, f.dst.0)
             } else {
-                i += 1;
+                return;
             }
+        };
+        self.tx_base[src] += moved;
+        self.rx_base[dst] += moved;
+    }
+
+    /// Set a flow's rate and refresh its completion prediction.
+    fn set_rate(&mut self, slot: u32, rate: f64) {
+        let clock = self.clock;
+        let (pred, id) = {
+            let f = self.slots[slot as usize].as_mut().unwrap();
+            f.rate = rate;
+            f.pred_end = if rate > 0.0 && !matches!(f.phase, Phase::Setup { .. }) {
+                clock + Duration::for_bytes_f64(f.remaining, rate)
+            } else {
+                SimTime::MAX
+            };
+            (f.pred_end, f.id.0)
+        };
+        if pred != SimTime::MAX {
+            self.completions.push(Reverse((pred, id, slot)));
         }
     }
 
-    /// Recompute max-min fair rates for the current flow set.
+    // ------------------------------------------------------------------
+    // Component bookkeeping.
+    // ------------------------------------------------------------------
+
+    fn alloc_slot(&mut self) -> u32 {
+        if let Some(s) = self.free_slots.pop() {
+            s
+        } else {
+            self.slots.push(None);
+            (self.slots.len() - 1) as u32
+        }
+    }
+
+    fn free_slot(&mut self, slot: u32) {
+        self.slots[slot as usize] = None;
+        self.free_slots.push(slot);
+        self.n_active -= 1;
+    }
+
+    fn alloc_comp(&mut self) -> u32 {
+        if let Some(c) = self.free_comps.pop() {
+            let comp = &mut self.comps[c as usize];
+            comp.flows.clear();
+            comp.live = true;
+            comp.dirty = false;
+            comp.maybe_split = false;
+            c
+        } else {
+            self.comps.push(Comp {
+                flows: Vec::new(),
+                live: true,
+                dirty: false,
+                maybe_split: false,
+            });
+            (self.comps.len() - 1) as u32
+        }
+    }
+
+    fn mark_dirty(&mut self, c: u32) {
+        let comp = &mut self.comps[c as usize];
+        if comp.live && !comp.dirty {
+            comp.dirty = true;
+            self.dirty.push(c);
+        }
+    }
+
+    /// Insert a freshly started flow into the component structure,
+    /// merging the components of its endpoints if they differ.
+    fn attach_flow(&mut self, slot: u32) {
+        let (src, dst, in_setup) = {
+            let f = self.slots[slot as usize].as_ref().unwrap();
+            (f.src.0, f.dst.0, matches!(f.phase, Phase::Setup { .. }))
+        };
+        let ca = self.node_comp[src];
+        let cb = self.node_comp[dst];
+        let mut merged = false;
+        let comp = match (ca != NO_COMP, cb != NO_COMP) {
+            (false, false) => self.alloc_comp(),
+            (true, false) => ca,
+            (false, true) => cb,
+            (true, true) if ca == cb => ca,
+            (true, true) => {
+                merged = true;
+                self.merge_comps(ca, cb)
+            }
+        };
+        // The new flow has the largest id so far, so pushing keeps the
+        // member list id-sorted.
+        self.comps[comp as usize].flows.push(slot);
+        self.slots[slot as usize].as_mut().unwrap().comp = comp;
+        self.node_comp[src] = comp;
+        self.node_comp[dst] = comp;
+        self.node_flows[src] += 1;
+        self.node_flows[dst] += 1;
+        // A flow still in TCP setup has a zero demand cap: the fill freezes
+        // it at rate 0 immediately, and a frozen zero contributes nothing —
+        // no counts, no cap terms, no increments — so adding it leaves
+        // every other rate bit-identical and the re-fill can be skipped.
+        // Its own rate field is already the 0.0 the fill would write. The
+        // exception is a start that *bridges* two components: the oracle
+        // groups by connectivity regardless of caps, so the merged
+        // population must be re-filled as one to keep its delta sequence —
+        // and therefore its bits — identical to the oracle's.
+        if merged || !in_setup {
+            self.mark_dirty(comp);
+        }
+    }
+
+    /// Merge two components, keeping the larger; returns the survivor.
+    fn merge_comps(&mut self, a: u32, b: u32) -> u32 {
+        let (keep, gone) =
+            if self.comps[a as usize].flows.len() >= self.comps[b as usize].flows.len() {
+                (a, b)
+            } else {
+                (b, a)
+            };
+        let gone_flows = std::mem::take(&mut self.comps[gone as usize].flows);
+        let kept_flows = std::mem::take(&mut self.comps[keep as usize].flows);
+        // Two-pointer merge keeps the member list id-sorted.
+        let mut merged = Vec::with_capacity(kept_flows.len() + gone_flows.len());
+        {
+            let slots = &self.slots;
+            let fid = |s: u32| slots[s as usize].as_ref().unwrap().id.0;
+            let (mut i, mut j) = (0, 0);
+            while i < kept_flows.len() && j < gone_flows.len() {
+                if fid(kept_flows[i]) < fid(gone_flows[j]) {
+                    merged.push(kept_flows[i]);
+                    i += 1;
+                } else {
+                    merged.push(gone_flows[j]);
+                    j += 1;
+                }
+            }
+            merged.extend_from_slice(&kept_flows[i..]);
+            merged.extend_from_slice(&gone_flows[j..]);
+        }
+        self.comps[keep as usize].flows = merged;
+        for &s in &gone_flows {
+            let (src, dst) = {
+                let f = self.slots[s as usize].as_mut().unwrap();
+                f.comp = keep;
+                (f.src.0, f.dst.0)
+            };
+            self.node_comp[src] = keep;
+            self.node_comp[dst] = keep;
+        }
+        let gone_comp = &mut self.comps[gone as usize];
+        gone_comp.live = false;
+        gone_comp.dirty = false;
+        let gone_split = std::mem::replace(&mut gone_comp.maybe_split, false);
+        self.comps[keep as usize].maybe_split |= gone_split;
+        self.free_comps.push(gone);
+        keep
+    }
+
+    /// Remove a flow from its component and the node bookkeeping.
+    fn detach_flow(&mut self, slot: u32) {
+        let (id, src, dst, comp) = {
+            let f = self.slots[slot as usize].as_ref().unwrap();
+            (f.id.0, f.src.0, f.dst.0, f.comp)
+        };
+        let pos = {
+            let slots = &self.slots;
+            self.comps[comp as usize]
+                .flows
+                .binary_search_by(|&s| slots[s as usize].as_ref().unwrap().id.0.cmp(&id))
+                .expect("flow missing from its component")
+        };
+        self.comps[comp as usize].flows.remove(pos);
+        for node in [src, dst] {
+            self.node_flows[node] -= 1;
+            if self.node_flows[node] == 0 {
+                self.node_comp[node] = NO_COMP;
+            }
+        }
+        if self.comps[comp as usize].flows.is_empty() {
+            let c = &mut self.comps[comp as usize];
+            c.live = false;
+            c.dirty = false;
+            c.maybe_split = false;
+            self.free_comps.push(comp);
+        } else {
+            // The survivors' rates change (they may also have split into
+            // disconnected parts — resolved lazily at the next refill).
+            self.comps[comp as usize].maybe_split = true;
+            self.mark_dirty(comp);
+        }
+    }
+
+    /// Recompute rates for every dirty component (all components in
+    /// full-resolve mode).
     fn reallocate(&mut self) {
         self.version += 1;
-        if self.flows.is_empty() {
+        if self.full_resolve {
+            for c in 0..self.comps.len() {
+                if self.comps[c].live {
+                    self.mark_dirty(c as u32);
+                }
+            }
+        }
+        if self.dirty.is_empty() {
             return;
         }
-        let demands: Vec<FlowDemand> = self
-            .flows
-            .iter()
-            .map(|f| FlowDemand {
-                src: f.src,
-                dst: f.dst,
-                cap_bps: match f.phase {
-                    Phase::Setup { .. } => 0.0,
-                    Phase::Ramp { cap_bps, .. } => cap_bps,
-                    Phase::Steady => f64::INFINITY,
-                },
-            })
-            .collect();
-        let rates = maxmin::allocate(&self.topo, &demands);
-        for (f, r) in self.flows.iter_mut().zip(rates) {
-            f.rate = r;
+        let mut queue = std::mem::take(&mut self.dirty);
+        for &c in &queue {
+            if !self.comps[c as usize].live || !self.comps[c as usize].dirty {
+                continue;
+            }
+            self.comps[c as usize].dirty = false;
+            self.refill(c);
+        }
+        queue.clear();
+        self.dirty = queue;
+    }
+
+    /// Re-partition one dirty component (splitting if a departure
+    /// disconnected it) and re-fill each resulting part.
+    fn refill(&mut self, c: u32) {
+        // Only a departure can disconnect a component: attaches and phase
+        // transitions never remove an edge. If no member left since the
+        // last connectivity check, the component is still connected and
+        // the union-find pass would just rediscover a single part.
+        if !self.comps[c as usize].maybe_split {
+            self.fill_comp(c);
+            return;
+        }
+        self.comps[c as usize].maybe_split = false;
+        let list = std::mem::take(&mut self.comps[c as usize].flows);
+        self.uf_round += 1;
+        let round = self.uf_round;
+        for &s in &list {
+            let (src, dst) = {
+                let f = self.slots[s as usize].as_ref().unwrap();
+                (f.src.0, f.dst.0)
+            };
+            for g in [src, dst] {
+                if self.uf_epoch[g] != round {
+                    self.uf_parent[g] = g as u32;
+                    self.uf_epoch[g] = round;
+                }
+            }
+            let ra = uf_find(&mut self.uf_parent, src as u32);
+            let rb = uf_find(&mut self.uf_parent, dst as u32);
+            if ra != rb {
+                self.uf_parent[ra as usize] = rb;
+            }
+        }
+        self.part_idx.clear();
+        let mut nparts: u32 = 0;
+        for &s in &list {
+            let src = self.slots[s as usize].as_ref().unwrap().src.0;
+            let root = uf_find(&mut self.uf_parent, src as u32) as usize;
+            if self.part_map_epoch[root] != round {
+                self.part_map_epoch[root] = round;
+                self.part_map[root] = nparts;
+                nparts += 1;
+            }
+            self.part_idx.push(self.part_map[root]);
+        }
+        if nparts <= 1 {
+            self.comps[c as usize].flows = list;
+            self.fill_comp(c);
+            return;
+        }
+        // Split: part 0 stays in `c`, the rest get fresh components. The
+        // id-sorted order is preserved because each part takes its members
+        // in list order.
+        let mut part_comp: Vec<u32> = Vec::with_capacity(nparts as usize);
+        part_comp.push(c);
+        for _ in 1..nparts {
+            part_comp.push(self.alloc_comp());
+        }
+        for (k, &s) in list.iter().enumerate() {
+            let pc = part_comp[self.part_idx[k] as usize];
+            self.comps[pc as usize].flows.push(s);
+            let (src, dst) = {
+                let f = self.slots[s as usize].as_mut().unwrap();
+                f.comp = pc;
+                (f.src.0, f.dst.0)
+            };
+            self.node_comp[src] = pc;
+            self.node_comp[dst] = pc;
+        }
+        for &pc in &part_comp.clone() {
+            self.fill_comp(pc);
         }
     }
 
-    /// Instantaneous rate of a flow (testing/diagnostics).
-    pub fn flow_rate(&self, id: FlowId) -> Option<f64> {
-        self.flows.iter().find(|f| f.id == id).map(|f| f.rate)
+    /// Run progressive filling over one component and apply the resulting
+    /// rates, re-predicting completions only for flows whose rate actually
+    /// changed (bitwise).
+    fn fill_comp(&mut self, c: u32) {
+        if self.comps[c as usize].flows.is_empty() {
+            return;
+        }
+        let mut demands = std::mem::take(&mut self.demand_buf);
+        let mut rates = std::mem::take(&mut self.rate_buf);
+        demands.clear();
+        {
+            let slots = &self.slots;
+            for &s in &self.comps[c as usize].flows {
+                let f = slots[s as usize].as_ref().unwrap();
+                demands.push(FlowDemand {
+                    src: f.src,
+                    dst: f.dst,
+                    cap_bps: match f.phase {
+                        Phase::Setup { .. } => 0.0,
+                        Phase::Ramp { cap_bps, .. } => cap_bps,
+                        Phase::Steady => f64::INFINITY,
+                    },
+                });
+            }
+        }
+        rates.clear();
+        rates.resize(demands.len(), 0.0);
+        maxmin::fill_component(&self.topo, &demands, &mut rates, &mut self.scratch);
+        for (k, &new_rate) in rates.iter().enumerate() {
+            let s = self.comps[c as usize].flows[k];
+            let cur = self.slots[s as usize].as_ref().unwrap().rate;
+            if new_rate.to_bits() != cur.to_bits() {
+                // Integrate at the old rate up to now, then switch.
+                self.integrate_flow(s);
+                self.set_rate(s, new_rate);
+            }
+        }
+        self.demand_buf = demands;
+        self.rate_buf = rates;
+    }
+
+    /// Instantaneous rate of a flow (testing/diagnostics). `&mut self`:
+    /// observing a rate resolves any deferred re-fills first.
+    pub fn flow_rate(&mut self, id: FlowId) -> Option<f64> {
+        self.reallocate();
+        self.slots
+            .iter()
+            .flatten()
+            .find(|f| f.id == id)
+            .map(|f| f.rate)
     }
 
     /// Time the flow was started (testing/diagnostics).
     pub fn flow_started(&self, id: FlowId) -> Option<SimTime> {
-        self.flows.iter().find(|f| f.id == id).map(|f| f.started)
+        self.slots
+            .iter()
+            .flatten()
+            .find(|f| f.id == id)
+            .map(|f| f.started)
     }
 
     /// Run the network by itself until all flows complete, returning every
@@ -663,10 +1270,24 @@ mod tests {
     }
 
     #[test]
+    fn byte_counters_include_in_flight_accrual() {
+        // Reading mid-flow must include the bytes accrued since the flow's
+        // last lazy integration, not just the integrated base.
+        let mut net = ideal_net(2, 1000.0);
+        net.start_flow(SimTime::ZERO, NodeId(0), NodeId(1), 4000, 0);
+        net.advance_to(SimTime::from_secs_f64(1.5));
+        assert!((net.tx_bytes(NodeId(0)) - 1500.0).abs() < 1.0);
+        assert!((net.rx_bytes(NodeId(1)) - 1500.0).abs() < 1.0);
+    }
+
+    #[test]
     fn version_bumps_on_changes() {
         let mut net = ideal_net(2, 1000.0);
         let v0 = net.version();
         net.start_flow(SimTime::ZERO, NodeId(0), NodeId(1), 100, 0);
+        // The re-fill is deferred; the version ticks once a rate consumer
+        // (here the event-time peek) forces it to land.
+        net.next_event_time();
         assert!(net.version() > v0);
     }
 
@@ -778,5 +1399,151 @@ mod tests {
         assert_eq!(net.flow_started(id), Some(SimTime::ZERO));
         net.run_to_completion();
         assert_eq!(net.flow_rate(id), None);
+    }
+
+    // ------------------------------------------------------------------
+    // Regressions added with the incremental/indexed engine.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn setup_to_ramp_transition_reallocates_rates() {
+        // While in Setup the flow's cap is zero; the instant Setup ends the
+        // Ramp cap (cwnd/rtt) must be applied — a stale zero rate would
+        // stall the flow forever.
+        let tcp = TcpModel {
+            rtt_s: 0.1,
+            setup_s: 0.05,
+            init_cwnd_bytes: 100.0,
+        };
+        let mut net = Network::new(Topology::uniform(2, NodeSpec::symmetric(1e6)), tcp);
+        let id = net.start_flow(SimTime::ZERO, NodeId(0), NodeId(1), 1_000_000, 0);
+        net.advance_to(SimTime::from_secs_f64(0.01));
+        assert_eq!(net.flow_rate(id), Some(0.0), "no payload during setup");
+        net.advance_to(SimTime::from_secs_f64(0.06));
+        let r = net.flow_rate(id).unwrap();
+        assert!(
+            (r - 1000.0).abs() < 1e-9,
+            "rate after Setup→Ramp should be cwnd/rtt = 1000, got {r}"
+        );
+    }
+
+    #[test]
+    fn ramp_doubling_and_steady_transition_reallocate_rates() {
+        // The window cap doubles every RTT and the rate must follow at each
+        // doubling instant, then hit line rate once the cap clears the
+        // bottleneck (Ramp → Steady).
+        let tcp = TcpModel {
+            rtt_s: 0.1,
+            setup_s: 0.0,
+            init_cwnd_bytes: 100.0,
+        };
+        let bps = 3000.0;
+        let mut net = Network::new(Topology::uniform(2, NodeSpec::symmetric(bps)), tcp);
+        let id = net.start_flow(SimTime::ZERO, NodeId(0), NodeId(1), 1_000_000, 0);
+        // Ramp caps: 1000, 2000 (t=0.1), 4000 >= 3000 -> Steady (t=0.2).
+        assert!((net.flow_rate(id).unwrap() - 1000.0).abs() < 1e-9);
+        net.advance_to(SimTime::from_secs_f64(0.15));
+        assert!(
+            (net.flow_rate(id).unwrap() - 2000.0).abs() < 1e-9,
+            "rate stale after window doubling: {:?}",
+            net.flow_rate(id)
+        );
+        net.advance_to(SimTime::from_secs_f64(0.25));
+        assert!(
+            (net.flow_rate(id).unwrap() - bps).abs() < 1e-9,
+            "rate stale after Ramp→Steady: {:?}",
+            net.flow_rate(id)
+        );
+    }
+
+    #[test]
+    fn fractional_residual_completes_on_time_without_duplicates() {
+        // A mid-flight rate change leaves a fractional residual; the old
+        // engine predicted completion from remaining.ceil(), which at a
+        // tiny rate lands seconds late. The prediction must use the
+        // fractional residue and fire exactly once.
+        let mut net = ideal_net(2, 10.0);
+        net.start_flow(SimTime::ZERO, NodeId(0), NodeId(1), 5, 3);
+        let t1 = SimTime::from_secs_f64(0.33);
+        // delivered 3.3 B -> remaining 1.7 B; throttle to 0.5 B/s.
+        let done = net.set_node_spec(t1, NodeId(0), NodeSpec::symmetric(0.5));
+        assert!(done.is_empty());
+        let done = net.run_to_completion();
+        assert_eq!(done.len(), 1, "exactly one completion");
+        let finished = done[0].finished.as_secs_f64();
+        let expect = 0.33 + 1.7 / 0.5; // 3.73 s
+        assert!(
+            (finished - expect).abs() < 1e-6,
+            "finished {finished}, want {expect}"
+        );
+        // ceil(1.7) = 2 B would have predicted 0.33 + 4.0 = 4.33 s.
+        assert!(finished < 4.0, "late completion from ceil()ed residual");
+        assert_eq!(net.active_flows(), 0);
+    }
+
+    #[test]
+    fn incremental_matches_full_resolve_bitwise() {
+        // The same churn on an incremental and a full-resolve engine must
+        // produce identical completions (nanosecond timestamps) and rates.
+        let run = |full: bool| -> (Vec<(u64, u64)>, Vec<Option<f64>>) {
+            let mut net = Network::new(
+                Topology::uniform(7, NodeSpec::symmetric(1e9)),
+                TcpModel::EC2,
+            );
+            net.set_full_resolve(full);
+            let mut ids = Vec::new();
+            for w in 1..7usize {
+                ids.push(net.start_flow(
+                    SimTime::ZERO,
+                    NodeId(w),
+                    NodeId(0),
+                    1_000_000 * w as u64,
+                    w as u64,
+                ));
+            }
+            let mut ends = Vec::new();
+            let t1 = SimTime::from_secs_f64(0.001);
+            ends.extend(net.advance_to(t1));
+            net.kill_flow(t1, 3);
+            ids.push(net.start_flow(t1, NodeId(2), NodeId(5), 500_000, 9));
+            let t2 = SimTime::from_secs_f64(0.002);
+            ends.extend(net.advance_to(t2));
+            net.kill_flows_touching(t2, NodeId(4));
+            ends.extend(net.run_to_completion());
+            let rates = ids.iter().map(|&id| net.flow_rate(id)).collect();
+            (ends.iter().map(|e| (e.tag, e.finished.0)).collect(), rates)
+        };
+        let (ends_inc, rates_inc) = run(false);
+        let (ends_full, rates_full) = run(true);
+        assert_eq!(ends_inc, ends_full, "FlowEnd timestamps diverged");
+        assert_eq!(
+            rates_inc
+                .iter()
+                .map(|r| r.map(f64::to_bits))
+                .collect::<Vec<_>>(),
+            rates_full
+                .iter()
+                .map(|r| r.map(f64::to_bits))
+                .collect::<Vec<_>>(),
+            "rates diverged"
+        );
+    }
+
+    #[test]
+    fn disjoint_flows_do_not_disturb_each_other() {
+        // A start/kill in one island must not change the rate (or the
+        // prediction) of a flow in another island.
+        let mut net = ideal_net(4, 1000.0);
+        let a = net.start_flow(SimTime::ZERO, NodeId(0), NodeId(1), 100_000, 0);
+        let ra = net.flow_rate(a).unwrap();
+        let t1 = SimTime::from_secs_f64(1.0);
+        net.advance_to(t1);
+        let b = net.start_flow(t1, NodeId(2), NodeId(3), 50_000, 1);
+        assert_eq!(net.flow_rate(a).unwrap().to_bits(), ra.to_bits());
+        net.kill_flow(SimTime::from_secs_f64(2.0), 1);
+        assert!(net.flow_rate(b).is_none());
+        let done = net.run_to_completion();
+        assert_eq!(done.len(), 1);
+        assert!((done[0].finished.as_secs_f64() - 100.0).abs() < 1e-6);
     }
 }

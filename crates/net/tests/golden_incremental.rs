@@ -1,0 +1,258 @@
+//! Golden equality for the incremental re-allocation engine.
+//!
+//! Two contracts, property-tested over random topologies and churn:
+//!
+//! 1. **Incremental ≡ full resolve.** A [`Network`] in its default
+//!    dirty-component mode and a twin in [`Network::set_full_resolve`]
+//!    mode, driven by the identical script of starts, kills, advances and
+//!    capacity changes, must agree *bitwise*: same `FlowEnd` timestamps in
+//!    the same order, same instantaneous rates, same per-node byte
+//!    counters. Both modes share one fill path, so any divergence is a
+//!    dirty-tracking bug, not float noise — exact equality is the right
+//!    assertion.
+//! 2. **Engine ≡ `maxmin::allocate` oracle.** Under [`TcpModel::IDEAL`]
+//!    (every flow Steady from birth) the engine's standing rates after
+//!    any prefix of the script must be bit-identical to a from-scratch
+//!    [`allocate`] over the live flows in flow-id order.
+//!
+//! Zero-capacity demands (Setup-phase flows under [`TcpModel::EC2`]) are
+//! exercised by contract 1: EC2's setup window keeps newborn flows at
+//! demand 0 while older flows churn around them.
+
+use prophet_net::maxmin::{allocate, FlowDemand};
+use prophet_net::{FlowId, Network, NodeId, NodeSpec, TcpModel, Topology};
+use prophet_sim::{Duration, SimTime};
+use proptest::prelude::*;
+
+/// One step of a churn script. Node/victim indices are reduced modulo the
+/// live population at interpretation time so every generated script is
+/// valid for every topology size.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Start a `bytes`-byte flow `src → dst` (self-loops excluded).
+    Start { src: usize, dst: usize, bytes: u64 },
+    /// Kill the `victim % started`-th flow ever started (no-op if it
+    /// already finished or died — identically on both engines).
+    Kill { victim: usize },
+    /// Advance the clock by `dt_ns`, harvesting completions.
+    Advance { dt_ns: u64 },
+    /// Reconfigure one node's NIC to `mbps` (dynamic-bandwidth churn).
+    Degrade { node: usize, mbps: u32 },
+}
+
+/// Weighted op mix, encoded as a selector (the vendored proptest has no
+/// `prop_oneof!`): 4/9 starts, 1/9 kills, 3/9 advances, 1/9 degrades.
+fn arb_ops(nodes: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        (
+            0usize..9,
+            (0..nodes, 0..nodes - 1, 1u64..20_000_000),
+            0usize..64,
+            1u64..50_000_000,
+            (0..nodes, 100u32..10_000),
+        ),
+        1..40,
+    )
+    .prop_map(|v| {
+        v.into_iter()
+            .map(
+                |(sel, (src, d, bytes), victim, dt_ns, (node, mbps))| match sel {
+                    0..=3 => Op::Start {
+                        src,
+                        // Skip over `src` so the flow never self-loops.
+                        dst: if d >= src { d + 1 } else { d },
+                        bytes,
+                    },
+                    4 => Op::Kill { victim },
+                    5..=7 => Op::Advance { dt_ns },
+                    _ => Op::Degrade { node, mbps },
+                },
+            )
+            .collect()
+    })
+}
+
+/// Drives one [`Network`] through a script, recording everything the
+/// golden comparison needs.
+struct Harness {
+    net: Network,
+    now: SimTime,
+    /// Completions in harvest order, as `(tag, finish ns)`.
+    ends: Vec<(u64, u64)>,
+    /// Kills in script order, as `(tag, delivered bits)`.
+    kills: Vec<(u64, u64)>,
+    /// Every tag ever started (kill targets index into this).
+    started: Vec<u64>,
+    next_tag: u64,
+}
+
+impl Harness {
+    fn new(nodes: usize, cap_bps: f64, tcp: TcpModel) -> Self {
+        Harness {
+            net: Network::new(Topology::uniform(nodes, NodeSpec::symmetric(cap_bps)), tcp),
+            now: SimTime::ZERO,
+            ends: Vec::new(),
+            kills: Vec::new(),
+            started: Vec::new(),
+            next_tag: 0,
+        }
+    }
+
+    fn apply(&mut self, op: &Op) {
+        match *op {
+            Op::Start { src, dst, bytes } => {
+                let ends = self.net.advance_to(self.now);
+                self.harvest(ends);
+                let tag = self.next_tag;
+                self.next_tag += 1;
+                self.started.push(tag);
+                self.net
+                    .start_flow(self.now, NodeId(src), NodeId(dst), bytes, tag);
+            }
+            Op::Kill { victim } => {
+                if self.started.is_empty() {
+                    return;
+                }
+                let ends = self.net.advance_to(self.now);
+                self.harvest(ends);
+                let tag = self.started[victim % self.started.len()];
+                if let Some(k) = self.net.kill_flow(self.now, tag) {
+                    self.kills.push((k.tag, k.delivered.to_bits()));
+                }
+            }
+            Op::Advance { dt_ns } => {
+                self.now += Duration::from_nanos(dt_ns);
+                let ends = self.net.advance_to(self.now);
+                self.harvest(ends);
+            }
+            Op::Degrade { node, mbps } => {
+                let ends = self.net.set_node_spec(
+                    self.now,
+                    NodeId(node),
+                    NodeSpec::from_mbps(mbps as f64),
+                );
+                self.harvest(ends);
+            }
+        }
+    }
+
+    fn harvest(&mut self, ends: Vec<prophet_net::FlowEnd>) {
+        for e in ends {
+            self.ends.push((e.tag, e.finished.as_nanos()));
+        }
+    }
+
+    fn finish(&mut self) {
+        let ends = self.net.run_to_completion();
+        self.harvest(ends);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Contract 1: the incremental engine and the full-resolve oracle are
+    /// bit-identical under arbitrary churn, including Setup-phase
+    /// (zero-demand) flows, kills of half-done flows, and mid-flight
+    /// capacity changes.
+    #[test]
+    fn incremental_matches_full_resolve(
+        nodes in 3usize..9,
+        cap in 1e6f64..1e10,
+        ops in arb_ops(8),
+    ) {
+        let mut inc = Harness::new(nodes, cap, TcpModel::EC2);
+        let mut full = Harness::new(nodes, cap, TcpModel::EC2);
+        full.net.set_full_resolve(true);
+        for op in &ops {
+            // Ops referencing nodes beyond this topology are reduced here,
+            // identically for both engines.
+            let op = match *op {
+                Op::Start { src, dst, bytes } => {
+                    let src = src % nodes;
+                    let mut dst = dst % nodes;
+                    if dst == src {
+                        dst = (dst + 1) % nodes;
+                    }
+                    Op::Start { src, dst, bytes }
+                }
+                Op::Degrade { node, mbps } => Op::Degrade { node: node % nodes, mbps },
+                ref other => other.clone(),
+            };
+            inc.apply(&op);
+            full.apply(&op);
+            // Rates must agree bitwise after every step, not just at the end.
+            prop_assert_eq!(inc.net.active_flows(), full.net.active_flows());
+            for id in 0..inc.next_tag {
+                let a = inc.net.flow_rate(FlowId(id)).map(f64::to_bits);
+                let b = full.net.flow_rate(FlowId(id)).map(f64::to_bits);
+                prop_assert_eq!(a, b, "rate of flow {} diverged mid-script", id);
+            }
+        }
+        inc.finish();
+        full.finish();
+        prop_assert_eq!(&inc.ends, &full.ends, "FlowEnd sequences diverged");
+        prop_assert_eq!(&inc.kills, &full.kills, "kill ledgers diverged");
+        for n in 0..nodes {
+            prop_assert_eq!(
+                inc.net.tx_bytes(NodeId(n)).to_bits(),
+                full.net.tx_bytes(NodeId(n)).to_bits(),
+                "tx counter of node {} diverged", n
+            );
+            prop_assert_eq!(
+                inc.net.rx_bytes(NodeId(n)).to_bits(),
+                full.net.rx_bytes(NodeId(n)).to_bits(),
+                "rx counter of node {} diverged", n
+            );
+        }
+    }
+
+    /// Contract 2: under an ideal transport (no Setup, no Ramp) the
+    /// engine's standing rates equal a from-scratch `maxmin::allocate`
+    /// over the live flows in flow-id order, bit for bit, after every
+    /// script step.
+    #[test]
+    fn incremental_matches_allocate_oracle(
+        nodes in 3usize..9,
+        cap in 1e6f64..1e10,
+        ops in arb_ops(8),
+    ) {
+        let mut h = Harness::new(nodes, cap, TcpModel::IDEAL);
+        // (id, src, dst) of every flow ever started, for oracle demands.
+        let mut flows: Vec<(u64, NodeId, NodeId)> = Vec::new();
+        for op in &ops {
+            let op = match *op {
+                Op::Start { src, dst, bytes } => {
+                    let src = src % nodes;
+                    let mut dst = dst % nodes;
+                    if dst == src {
+                        dst = (dst + 1) % nodes;
+                    }
+                    flows.push((h.next_tag, NodeId(src), NodeId(dst)));
+                    Op::Start { src, dst, bytes }
+                }
+                Op::Degrade { node, mbps } => Op::Degrade { node: node % nodes, mbps },
+                ref other => other.clone(),
+            };
+            h.apply(&op);
+            // Oracle: allocate over the still-live flows, in id order.
+            let live: Vec<&(u64, NodeId, NodeId)> = flows
+                .iter()
+                .filter(|(id, _, _)| h.net.flow_rate(FlowId(*id)).is_some())
+                .collect();
+            let demands: Vec<FlowDemand> = live
+                .iter()
+                .map(|&&(_, src, dst)| FlowDemand { src, dst, cap_bps: f64::INFINITY })
+                .collect();
+            let oracle = allocate(h.net.topology(), &demands);
+            for (&&(id, _, _), want) in live.iter().zip(&oracle) {
+                let got = h.net.flow_rate(FlowId(id)).unwrap();
+                prop_assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "flow {}: engine rate {} != oracle {}", id, got, want
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Exact-equality pins for `maxmin::allocate`.
+//!
+//! The expected bit patterns were captured from the pre-scratch,
+//! pre-decomposition allocator (the straight transcription of global
+//! progressive filling). The scratch-hoisted, component-decomposed
+//! rewrite must reproduce them bit for bit:
+//!
+//! * single-component cells are guaranteed identical — the per-component
+//!   loop is the global loop restricted to the touched nodes;
+//! * the multi-component cells here happened to be bitwise stable under
+//!   decomposition too (round capacities / cap pinning), so they are
+//!   pinned at the same values. If a future change shifts one of these at
+//!   ulp scale, that is a semantic change to investigate, not a tolerance
+//!   to widen.
+
+use prophet_net::maxmin::{allocate, allocate_with, FlowDemand, Scratch};
+use prophet_net::{NodeId, NodeSpec, Topology};
+
+fn f(src: usize, dst: usize, cap: f64) -> FlowDemand {
+    FlowDemand {
+        src: NodeId(src),
+        dst: NodeId(dst),
+        cap_bps: cap,
+    }
+}
+
+fn cells() -> Vec<(&'static str, Topology, Vec<FlowDemand>, Vec<u64>)> {
+    let inf = f64::INFINITY;
+    vec![
+        // Single-component cells.
+        (
+            "hetero",
+            {
+                let mut t = Topology::new();
+                t.add_node(NodeSpec::from_gbps(10.0));
+                t.add_node(NodeSpec::from_gbps(10.0));
+                t.add_node(NodeSpec::from_mbps(500.0));
+                t
+            },
+            vec![f(1, 0, inf), f(2, 0, inf)],
+            vec![0x41d1b1f3f8000000, 0x418dcd6500000000],
+        ),
+        (
+            "awkward_caps",
+            Topology::uniform(5, NodeSpec::symmetric(6.626115377326036e9)),
+            vec![
+                f(1, 0, 6.626115377326036e9 / 7.0),
+                f(2, 0, 6.626115377326036e9 / 3.0),
+                f(3, 0, inf),
+                f(4, 0, inf),
+            ],
+            vec![
+                0x41cc35e48385f639,
+                0x41dc35e48385f63a,
+                0x41dc35e48385f63a,
+                0x41dc35e48385f63a,
+            ],
+        ),
+        (
+            "three_way_terabit",
+            Topology::uniform(4, NodeSpec::symmetric(1e12)),
+            vec![f(1, 0, inf), f(2, 0, inf), f(3, 0, inf)],
+            vec![0x4253670dc1555555, 0x4253670dc1555555, 0x4253670dc1555555],
+        ),
+        (
+            "fan_in_fan_out",
+            Topology::uniform(6, NodeSpec::symmetric(1.25e9)),
+            vec![
+                f(1, 0, inf),
+                f(2, 0, inf),
+                f(0, 3, 3e8),
+                f(0, 4, inf),
+                f(5, 0, 0.0),
+                f(2, 1, inf),
+            ],
+            vec![
+                0x41c2a05f20000000,
+                0x41c2a05f20000000,
+                0x41b1e1a300000000,
+                0x41cc4fecc0000000,
+                0x0000000000000000,
+                0x41c2a05f20000000,
+            ],
+        ),
+        // Multi-component cells (two disjoint islands each).
+        (
+            "two_islands",
+            Topology::uniform(6, NodeSpec::symmetric(1e9)),
+            vec![
+                f(1, 0, inf),
+                f(2, 0, 1e8),
+                f(4, 3, inf),
+                f(5, 3, inf),
+                f(4, 5, 7e8),
+            ],
+            vec![
+                0x41cad27480000000,
+                0x4197d78400000000,
+                0x41bdcd6500000000,
+                0x41bdcd6500000000,
+                0x41bdcd6500000000,
+            ],
+        ),
+        (
+            "islands_capped",
+            {
+                let mut t = Topology::uniform(4, NodeSpec::symmetric(6.626115377326036e9));
+                t.set_spec(NodeId(2), NodeSpec::from_mbps(500.0));
+                t
+            },
+            vec![f(0, 1, 6.626115377326036e9 / 7.0), f(2, 3, inf)],
+            vec![0x41cc35e48385f639, 0x418dcd6500000000],
+        ),
+    ]
+}
+
+#[test]
+fn allocator_outputs_are_pinned_bitwise() {
+    for (name, topo, flows, expect_bits) in cells() {
+        let r = allocate(&topo, &flows);
+        let got: Vec<u64> = r.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(
+            got, expect_bits,
+            "cell {name}: rates {r:?} drifted from the pinned bit patterns"
+        );
+    }
+}
+
+#[test]
+fn pinned_outputs_survive_scratch_reuse() {
+    // One Scratch threaded through the whole battery, twice: leaked state
+    // from any earlier cell would shift a later one.
+    let mut s = Scratch::default();
+    for _ in 0..2 {
+        for (name, topo, flows, expect_bits) in cells() {
+            let r = allocate_with(&topo, &flows, &mut s);
+            let got: Vec<u64> = r.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(got, expect_bits, "cell {name} under scratch reuse");
+        }
+    }
+}

@@ -167,6 +167,12 @@ struct Cluster {
     next_flow_tag: u64,
     sizes: Vec<u64>,
     fwd_times: Vec<Duration>,
+    /// Instants with an outstanding `Ev::NetWake`, ascending. `arm_net`
+    /// schedules a wake only when the network's next event moves *earlier*
+    /// than every outstanding wake; without this, every handled event
+    /// spawns a fresh no-op wake chain and the queue drowns in duplicates
+    /// (tens of millions of `NetWake`s for a few thousand flows at scale).
+    net_wakes: VecDeque<SimTime>,
 
     // Fault-injection state. All of it is inert when the plan is empty:
     // no fault event is enqueued, no RNG drawn, no timeout scheduled —
@@ -239,6 +245,7 @@ impl Cluster {
             topo.add_node(NodeSpec::symmetric(cfg.worker_bandwidth(w)));
         }
         let mut net = Network::new(topo, cfg.tcp);
+        net.set_full_resolve(cfg.net_full_resolve);
         let checker = cfg.check_invariants.then(|| {
             InvariantChecker::new(cfg.workers, cfg.sync == SyncMode::Bsp).with_shards(shards)
         });
@@ -322,6 +329,7 @@ impl Cluster {
             next_flow_tag: 0,
             sizes,
             fwd_times,
+            net_wakes: VecDeque::new(),
             checker,
             span_sink,
             pending_net: VecDeque::new(),
@@ -462,7 +470,12 @@ impl Cluster {
                 Ev::IterBegin { w } => self.on_iter_begin(now, w),
                 Ev::GradReady { w, iter, grad } => self.on_grad_ready(now, w, iter, grad),
                 Ev::FwdDone { w, iter, grad } => self.on_fwd_done(now, w, iter, grad),
-                Ev::NetWake => {} // drain_net already did the work
+                // drain_net already did the work; retire the wake so
+                // arm_net knows this instant is no longer covered.
+                Ev::NetWake => {
+                    debug_assert_eq!(self.net_wakes.front(), Some(&now), "wake ledger drifted");
+                    self.net_wakes.pop_front();
+                }
                 Ev::MonitorTick => self.on_monitor_tick(now),
                 Ev::SampleTick => self.on_sample_tick(now),
                 Ev::BandwidthChange { bps } => self.on_bandwidth_change(now, bps),
@@ -474,11 +487,24 @@ impl Cluster {
                 }
                 Ev::MsgTimeout { tag } => self.on_msg_timeout(now, tag),
             }
-            self.arm_net();
+            // Re-arm only once this instant's event burst is exhausted.
+            // While more events sit at `now`, the network's next-event time
+            // is still in flux (each handler may start or finish flows), and
+            // asking for it would force the engine to resolve its deferred
+            // re-fills once per event instead of once per instant. The last
+            // event at `now` always falls through to `arm_net`, so the wake
+            // for the true next network event is never missed.
+            if self.queue.peek_time().is_none_or(|t| t > now) {
+                self.arm_net();
+            }
             if self.finished() && self.net.active_flows() == 0 {
                 // Drop the periodic ticks (and any leftover fault-layer
                 // timers — they would only spin the clock) so the loop
-                // terminates.
+                // terminates. Pending NetWakes go too: with no flow in
+                // flight they are by definition stale (armed for
+                // predictions that kills or rate changes superseded), and
+                // popping them would inflate the run's reported duration
+                // past the last real event.
                 self.queue.retain(|e| {
                     !matches!(
                         e,
@@ -488,8 +514,10 @@ impl Cluster {
                             | Ev::LaneKick { .. }
                             | Ev::FaultBegin { .. }
                             | Ev::FaultFinish { .. }
+                            | Ev::NetWake
                     )
                 });
+                self.net_wakes.clear();
             }
         }
         // Flush any net-ledger stragglers, then run the end-of-run audit
@@ -1246,9 +1274,22 @@ impl Cluster {
         }
     }
 
+    /// Make sure a wake-up is queued for the network's next event.
+    ///
+    /// A wake is scheduled only when that instant moves *earlier* than
+    /// every outstanding wake (`net_wakes` is ascending, so the front is
+    /// the earliest). Any later outstanding wake still fires, drains
+    /// nothing, and re-arms — wakes are pure no-ops for simulation state,
+    /// so deduplication cannot change a run, it only stops every handled
+    /// event from spawning one more wake chain (which used to bury the
+    /// queue in tens of millions of duplicates at high worker counts).
     fn arm_net(&mut self) {
         if let Some(t) = self.net.next_event_time() {
-            self.queue.schedule(t, Ev::NetWake);
+            if self.net_wakes.front().is_none_or(|&f| t < f) {
+                debug_assert!(t >= self.queue.now(), "armed a wake in the past");
+                self.queue.schedule(t, Ev::NetWake);
+                self.net_wakes.push_front(t);
+            }
         }
     }
 

@@ -100,6 +100,13 @@ pub struct ClusterConfig {
     /// default already covers are bit-identical either way. Off restores
     /// the hazardous flat behaviour (kept for the regression test).
     pub adapt_retry_timeout: bool,
+    /// Run the fluid network in full-resolve mode: every re-allocation
+    /// re-solves every connected component instead of only the dirty ones.
+    /// This is the oracle the incremental engine is golden-tested against —
+    /// both modes share the identical fill path, so `FlowEnd` timestamps
+    /// and rates must be bit-identical. Default off (incremental); only
+    /// the golden-equality suite turns it on.
+    pub net_full_resolve: bool,
 }
 
 impl ClusterConfig {
@@ -135,6 +142,7 @@ impl ClusterConfig {
             fault_plan: FaultPlan::empty(),
             retry: RetryPolicy::paper_default(),
             adapt_retry_timeout: true,
+            net_full_resolve: false,
         }
     }
 

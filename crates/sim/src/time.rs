@@ -165,10 +165,25 @@ impl Duration {
     /// `Duration::MAX` (the transfer never completes on a dead link).
     #[inline]
     pub fn for_bytes(bytes: u64, bytes_per_sec: f64) -> Duration {
+        Self::for_bytes_f64(bytes as f64, bytes_per_sec)
+    }
+
+    /// [`Duration::for_bytes`] for a fractional byte count.
+    ///
+    /// The fluid network engine tracks residual bytes as `f64`, and a flow
+    /// can legitimately hold a sub-byte remainder after a rate change.
+    /// Predicting its completion from `remaining.ceil()` makes the flow
+    /// *late* by up to `1/rate` seconds — unbounded at low rates — so
+    /// completion predictions use the fractional residue directly. The
+    /// round-up-to-the-next-nanosecond rule still guarantees the predicted
+    /// instant is never before the last byte has left the wire.
+    #[inline]
+    pub fn for_bytes_f64(bytes: f64, bytes_per_sec: f64) -> Duration {
+        debug_assert!(bytes >= 0.0 && bytes.is_finite(), "bad byte count {bytes}");
         if !(bytes_per_sec.is_finite()) || bytes_per_sec <= 0.0 {
             return Duration::MAX;
         }
-        let secs = bytes as f64 / bytes_per_sec;
+        let secs = bytes / bytes_per_sec;
         let nanos = (secs * NANOS_PER_SEC as f64).ceil();
         if nanos >= u64::MAX as f64 {
             Duration::MAX

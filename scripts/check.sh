@@ -29,6 +29,12 @@ if [[ "$tier" == "all" || "$tier" == "debug" ]]; then
     # PROPHET_RESULTS_DIR: don't clobber the committed 200-plan artifact.
     PROPHET_RESULTS_DIR="$(mktemp -d)" \
         cargo run --offline -q -p prophet-bench --bin repro -- ext_chaos 42 2 > /dev/null
+
+    echo "==> bench smoke (criterion --test mode, no artifacts)"
+    # Single-sample pass over the first scale point: compiles the bench
+    # harnesses and exercises both engines without touching BENCH_*.json.
+    cargo bench --offline -q -p prophet-bench --bench maxmin_scale -- --test > /dev/null
+    cargo bench --offline -q -p prophet-bench --bench sim_scale -- --test > /dev/null
 fi
 
 if [[ "$tier" == "all" || "$tier" == "release" ]]; then

@@ -23,25 +23,34 @@ fn ms(v: u64) -> SimTime {
     SimTime::ZERO + Duration::from_millis(v)
 }
 
-/// `(label, total duration ns, per-iteration ns)` captured before the
-/// fault layer existed. Floats in the simulator are IEEE-deterministic
-/// across debug and release, so exact equality is the right assertion.
+/// `(label, total duration ns, per-iteration ns)` captured on a
+/// fault-free engine build. Floats in the simulator are
+/// IEEE-deterministic across debug and release, so exact equality is the
+/// right assertion.
+///
+/// Provenance: originally captured on the commit before the fault layer
+/// landed; re-captured (shifts of tens of ns per iteration) when the fluid
+/// engine moved to fractional-residual completion predictions — the old
+/// `remaining.ceil()` rounding quantised completions up to a whole byte.
+/// The inertness contract is unchanged: both tests below compare
+/// plan-free, empty-plan, and intensity-0 runs against this same table,
+/// so they must all agree with each other to the nanosecond.
 const GOLDEN: &[(&str, u64, [u64; 3])] = &[
     (
         "mxnet-fifo",
-        426_122_161,
-        [132_616_299, 131_769_021, 131_736_841],
+        426_122_152,
+        [132_616_298, 131_769_018, 131_736_836],
     ),
-    ("p3", 635_785_214, [201_428_978, 201_863_275, 202_492_564]),
+    ("p3", 635_785_127, [201_428_944, 201_863_257, 202_492_529]),
     (
         "bytescheduler",
-        361_216_441,
-        [111_092_515, 109_969_967, 110_153_959],
+        361_216_402,
+        [111_092_508, 109_969_958, 110_153_936],
     ),
     (
         "prophet-oracle",
-        366_815_384,
-        [112_979_947, 111_832_542, 112_002_895],
+        366_815_320,
+        [112_979_927, 111_832_524, 112_002_869],
     ),
 ];
 

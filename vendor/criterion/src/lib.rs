@@ -5,34 +5,121 @@
 //! *useful* — each `bench_function` runs a short warm-up, then measures
 //! `sample_size` samples and prints min/mean/max wall-clock time — without
 //! criterion's statistics machinery, plotting, or baselines.
+//!
+//! Two extensions beyond the bare stub:
+//!
+//! * **`--test` mode** — like real criterion, a bench binary invoked with
+//!   `--test` on its command line (what `cargo test --benches` passes, and
+//!   what the CI smoke tier passes explicitly) runs every benchmark exactly
+//!   once with no sampling. [`Criterion::is_quick`] lets bench code also
+//!   shrink its parameter grid and skip artifact emission in that mode.
+//! * **Programmatic stats** — every measurement is recorded as a
+//!   [`BenchStats`] retrievable via [`Criterion::stats`], so bench targets
+//!   can emit machine-readable `BENCH_*.json` trajectories themselves
+//!   ([`stats_to_json`] formats them without a serde dependency).
 
 use std::time::{Duration, Instant};
 
+/// Summary of one `bench_function` measurement, in nanoseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchStats {
+    /// Group name (first path component of criterion's `group/id`).
+    pub group: String,
+    /// Benchmark id within the group.
+    pub id: String,
+    /// Measured samples (warm-up excluded).
+    pub samples: usize,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Arithmetic mean.
+    pub mean_ns: f64,
+    /// Median (midpoint mean for even sample counts).
+    pub median_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+}
+
+/// Render stats as a JSON array (plus caller-supplied derived scalars),
+/// matching the `BENCH_*.json` layout the repro tooling consumes:
+/// `{"benchmarks": [...], "derived": {...}}`.
+pub fn stats_to_json(stats: &[BenchStats], derived: &[(&str, f64)]) -> String {
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, s) in stats.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"group\": \"{}\", \"id\": \"{}\", \"samples\": {}, \
+             \"min_ns\": {:.1}, \"mean_ns\": {:.1}, \"median_ns\": {:.1}, \"max_ns\": {:.1}}}{}\n",
+            s.group,
+            s.id,
+            s.samples,
+            s.min_ns,
+            s.mean_ns,
+            s.median_ns,
+            s.max_ns,
+            if i + 1 < stats.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"derived\": {");
+    for (i, (k, v)) in derived.iter().enumerate() {
+        out.push_str(&format!(
+            "{}\"{}\": {:.3}",
+            if i == 0 { "" } else { ", " },
+            k,
+            v
+        ));
+    }
+    out.push_str("}\n}\n");
+    out
+}
+
 /// Top-level harness handle.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Criterion {
-    _private: (),
+    quick: bool,
+    stats: Vec<BenchStats>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::args().any(|a| a == "--test")
+            || std::env::var_os("PROPHET_BENCH_QUICK").is_some();
+        Criterion {
+            quick,
+            stats: Vec::new(),
+        }
+    }
 }
 
 impl Criterion {
+    /// `--test` / smoke mode: benchmarks run once, artifacts are skipped.
+    pub fn is_quick(&self) -> bool {
+        self.quick
+    }
+
+    /// Every measurement recorded so far, in execution order.
+    pub fn stats(&self) -> &[BenchStats] {
+        &self.stats
+    }
+
     /// Start a named group of benchmarks.
-    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         println!("group {name}");
         BenchmarkGroup {
             name: name.to_owned(),
             sample_size: 20,
+            c: self,
         }
     }
 }
 
 /// A named group; holds per-group settings.
 #[derive(Debug)]
-pub struct BenchmarkGroup {
+pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
+    c: &'a mut Criterion,
 }
 
-impl BenchmarkGroup {
+impl BenchmarkGroup<'_> {
     /// Number of measured samples per benchmark.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.sample_size = n.max(1);
@@ -49,9 +136,10 @@ impl BenchmarkGroup {
     where
         F: FnMut(&mut Bencher),
     {
+        let budget = if self.c.quick { 1 } else { self.sample_size };
         let mut b = Bencher {
-            samples: Vec::with_capacity(self.sample_size),
-            budget: self.sample_size,
+            samples: Vec::with_capacity(budget),
+            budget,
         };
         f(&mut b);
         let (min, mean, max) = b.summary();
@@ -60,6 +148,24 @@ impl BenchmarkGroup {
             self.name,
             b.samples.len()
         );
+        let mut ns: Vec<f64> = b.samples.iter().map(|d| d.as_nanos() as f64).collect();
+        ns.sort_by(f64::total_cmp);
+        let median_ns = if ns.is_empty() {
+            0.0
+        } else if ns.len() % 2 == 1 {
+            ns[ns.len() / 2]
+        } else {
+            (ns[ns.len() / 2 - 1] + ns[ns.len() / 2]) / 2.0
+        };
+        self.c.stats.push(BenchStats {
+            group: self.name.clone(),
+            id: id.to_owned(),
+            samples: b.samples.len(),
+            min_ns: min.as_nanos() as f64,
+            mean_ns: mean.as_nanos() as f64,
+            median_ns,
+            max_ns: max.as_nanos() as f64,
+        });
         self
     }
 
@@ -127,9 +233,16 @@ macro_rules! criterion_main {
 mod tests {
     use super::*;
 
+    fn harness(quick: bool) -> Criterion {
+        Criterion {
+            quick,
+            stats: Vec::new(),
+        }
+    }
+
     #[test]
     fn bench_function_collects_samples() {
-        let mut c = Criterion::default();
+        let mut c = harness(false);
         let mut g = c.benchmark_group("t");
         g.sample_size(3);
         let mut runs = 0u32;
@@ -141,5 +254,46 @@ mod tests {
         });
         g.finish();
         assert_eq!(runs, 4, "warm-up + 3 samples");
+        let s = &c.stats()[0];
+        assert_eq!(
+            (s.group.as_str(), s.id.as_str(), s.samples),
+            ("t", "count", 3)
+        );
+        assert!(s.min_ns <= s.median_ns && s.median_ns <= s.max_ns);
+    }
+
+    #[test]
+    fn quick_mode_runs_each_bench_once() {
+        let mut c = harness(true);
+        assert!(c.is_quick());
+        let mut g = c.benchmark_group("t");
+        g.sample_size(50);
+        let mut runs = 0u32;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        g.finish();
+        assert_eq!(runs, 2, "warm-up + 1 sample in --test mode");
+        assert_eq!(c.stats()[0].samples, 1);
+    }
+
+    #[test]
+    fn json_layout_is_stable() {
+        let stats = vec![BenchStats {
+            group: "g".into(),
+            id: "b".into(),
+            samples: 2,
+            min_ns: 1.0,
+            mean_ns: 2.0,
+            median_ns: 2.0,
+            max_ns: 3.0,
+        }];
+        let j = stats_to_json(&stats, &[("speedup", 12.5)]);
+        assert!(j.contains("\"benchmarks\""));
+        assert!(j.contains("\"group\": \"g\""));
+        assert!(j.contains("\"speedup\": 12.500"));
     }
 }
