@@ -1,0 +1,173 @@
+//! Threaded PS runtime throughput: steady-state iterations/sec across
+//! shard count × worker count × model, written to `BENCH_threaded.json`.
+//!
+//! Methodology: every cell runs the full runtime twice, at `LO` and `HI`
+//! iteration counts, and the steady-state per-iteration time is the
+//! difference quotient `(wall(HI) - wall(LO)) / (HI - LO)` — thread
+//! spawn, dataset/model construction, and first-iteration cache warm-up
+//! cancel out. The median over `sample_size` run pairs is reported, so
+//! one scheduler hiccup cannot swing a cell.
+//!
+//! The headline acceptance scalar is `speedup_8w_4s_vgg`: measured
+//! steady-state iterations/sec at 8 workers / 4 shards on the VGG-class
+//! model divided by [`SEED_BASELINE_8W_VGG_ITERS_PER_SEC`] — the
+//! single-shard, single-PS-thread runtime as it stood at the seed of
+//! this PR, measured on the same box with the same methodology and
+//! pinned below so the refactor is judged against a fixed bar, not a
+//! moving target.
+//!
+//! Run `cargo bench --bench threaded` for the real sweep; `-- --test`
+//! runs a single-sample smoke on the small model with no artifact.
+
+use criterion::{criterion_group, criterion_main, stats_to_json, Criterion};
+use prophet::core::SchedulerKind;
+use prophet::ps::threaded::{run_threaded_training, PsOptimizer, ThreadedConfig};
+use std::time::Instant;
+
+/// Steady-state iterations/sec of the single-shard seed runtime at
+/// 8 workers on the VGG-class model (FIFO, unlimited link, invariants
+/// off), measured at commit 299db6d ("Incremental max-min re-allocation
+/// with an indexed event queue") with the difference-quotient methodology
+/// above, median of 3 pairs on the 1-core CI box. The sharded zero-copy
+/// runtime is accepted only if it beats 3x this number.
+pub const SEED_BASELINE_8W_VGG_ITERS_PER_SEC: f64 = 0.798;
+
+/// Iteration counts for the difference quotient.
+const LO: u64 = 2;
+const HI: u64 = 8;
+
+/// A VGG-proportioned dense stack: a few multi-megabyte tensors plus
+/// their small biases (~6.3 M parameters, 25 MB). With one sample per
+/// worker the gradient exchange dominates compute — the
+/// communication-bound regime of the paper's VGG experiments, scaled to
+/// a 1-core CI box.
+fn vgg_cfg(workers: usize, shards: usize) -> ThreadedConfig {
+    ThreadedConfig {
+        workers,
+        ps_shards: shards,
+        widths: vec![512, 2048, 2048, 512, 10],
+        samples: 64,
+        noise: 0.8,
+        seed: 77,
+        global_batch: workers, // one sample per worker: comm-dominated
+        iterations: HI,
+        lr: 0.05,
+        optimizer: PsOptimizer::Sgd { momentum: 0.9 },
+        scheduler: SchedulerKind::Fifo,
+        link_bps: None,
+        check_invariants: false,
+        ps_restart_at_iter: None,
+        fault_plan: Default::default(),
+        retry: prophet::net::RetryPolicy::paper_default(),
+    }
+}
+
+/// The `ThreadedConfig::small` problem at bench settings (invariants off).
+fn small_cfg(workers: usize) -> ThreadedConfig {
+    let mut cfg = ThreadedConfig::small(workers, SchedulerKind::Fifo);
+    cfg.check_invariants = false;
+    cfg.global_batch = workers * 8;
+    cfg.iterations = HI;
+    cfg
+}
+
+/// One steady-state sample: wall-clock difference quotient over LO/HI runs.
+fn steady_iters_per_sec(cfg: &ThreadedConfig) -> f64 {
+    let mut lo = cfg.clone();
+    lo.iterations = LO;
+    let mut hi = cfg.clone();
+    hi.iterations = HI;
+    let t0 = Instant::now();
+    let _ = run_threaded_training(&lo);
+    let t_lo = t0.elapsed();
+    let t1 = Instant::now();
+    let _ = run_threaded_training(&hi);
+    let t_hi = t1.elapsed();
+    let dt = t_hi.saturating_sub(t_lo).as_secs_f64().max(1e-9);
+    (HI - LO) as f64 / dt
+}
+
+fn bench_threaded(c: &mut Criterion) {
+    let quick = c.is_quick();
+
+    // Each (group, id) cell times one LO+HI run pair; the derived
+    // iterations/sec below recomputes the difference quotient from the
+    // same runs it just timed.
+    let mut rates: Vec<(String, f64)> = Vec::new();
+    let mut g = c.benchmark_group("threaded");
+    g.sample_size(if quick { 1 } else { 3 });
+    let cells: Vec<(String, ThreadedConfig)> = if quick {
+        vec![("small_2w".into(), small_cfg(2))]
+    } else {
+        vec![
+            ("small_4w".into(), small_cfg(4)),
+            ("small_8w".into(), small_cfg(8)),
+            ("vgg_4w_1s".into(), vgg_cfg(4, 1)),
+            ("vgg_8w_1s".into(), vgg_cfg(8, 1)),
+            ("vgg_8w_2s".into(), vgg_cfg(8, 2)),
+            ("vgg_8w_4s".into(), vgg_cfg(8, 4)),
+        ]
+    };
+    for (id, cfg) in &cells {
+        let mut samples: Vec<f64> = Vec::new();
+        g.bench_function(id, |b| {
+            b.iter(|| {
+                let r = steady_iters_per_sec(cfg);
+                samples.push(r);
+                r
+            })
+        });
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        println!(
+            "  {id}: steady-state {median:.3} iters/sec (median of {})",
+            samples.len()
+        );
+        rates.push((id.clone(), median));
+    }
+    g.finish();
+
+    if quick {
+        return;
+    }
+    let rate = |id: &str| {
+        rates
+            .iter()
+            .find(|(i, _)| i == id)
+            .map(|&(_, r)| r)
+            .unwrap_or(f64::NAN)
+    };
+    let derived: Vec<(&str, f64)> = rates
+        .iter()
+        .map(|(id, r)| (id.as_str(), *r))
+        .map(|(id, r)| {
+            (
+                Box::leak(format!("iters_per_sec_{id}").into_boxed_str()) as &str,
+                r,
+            )
+        })
+        .chain([
+            ("seed_baseline_8w_vgg", SEED_BASELINE_8W_VGG_ITERS_PER_SEC),
+            (
+                "speedup_8w_4s_vgg",
+                rate("vgg_8w_4s") / SEED_BASELINE_8W_VGG_ITERS_PER_SEC,
+            ),
+            (
+                "shard_scaling_8w_4s_over_1s",
+                rate("vgg_8w_4s") / rate("vgg_8w_1s"),
+            ),
+        ])
+        .collect();
+    let json = stats_to_json(c.stats(), &derived);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_threaded.json");
+    std::fs::write(path, json).expect("write BENCH_threaded.json");
+    println!(
+        "8-worker 4-shard VGG steady state: {:.3} iters/sec (seed baseline {:.3}, speedup {:.2}x) -> {path}",
+        rate("vgg_8w_4s"),
+        SEED_BASELINE_8W_VGG_ITERS_PER_SEC,
+        rate("vgg_8w_4s") / SEED_BASELINE_8W_VGG_ITERS_PER_SEC
+    );
+}
+
+criterion_group!(threaded, bench_threaded);
+criterion_main!(threaded);

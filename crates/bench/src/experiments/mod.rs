@@ -8,6 +8,7 @@ pub mod motivation;
 pub mod overhead;
 pub mod robustness;
 pub mod scale;
+pub mod threaded;
 
 use prophet::core::{ProphetConfig, SchedulerKind};
 use prophet::dnn::TrainingJob;

@@ -1,0 +1,113 @@
+//! [extension] Threaded-runtime throughput: steady-state iterations/sec of
+//! the real (non-simulated) sharded PS across worker and shard counts,
+//! with the buffer-pool counters that certify the zero-copy data path.
+
+use crate::output::ExperimentOutput;
+use prophet::core::SchedulerKind;
+use prophet::ps::threaded::{run_threaded_training, PsOptimizer, ThreadedConfig};
+use std::time::Instant;
+
+/// Iteration counts for the difference quotient (matches the criterion
+/// bench methodology: `(wall(HI) - wall(LO)) / (HI - LO)` cancels thread
+/// spawn and warm-up).
+const LO: u64 = 2;
+const HI: u64 = 8;
+
+/// A quarter-scale cousin of the bench's VGG-proportioned stack (~0.4 M
+/// parameters): communication-heavy enough to exercise the wire, small
+/// enough that `repro all` stays interactive. The full-size headline
+/// (8 workers / 4 shards, 6.3 M parameters, vs the pinned seed baseline)
+/// lives in `cargo bench --bench threaded` → `BENCH_threaded.json`.
+fn lite_cfg(workers: usize, shards: usize) -> ThreadedConfig {
+    ThreadedConfig {
+        workers,
+        ps_shards: shards,
+        widths: vec![128, 512, 512, 128, 10],
+        samples: 64,
+        noise: 0.8,
+        seed: 77,
+        global_batch: workers, // one sample per worker: comm-dominated
+        iterations: HI,
+        lr: 0.05,
+        optimizer: PsOptimizer::Sgd { momentum: 0.9 },
+        scheduler: SchedulerKind::Fifo,
+        link_bps: None,
+        check_invariants: false,
+        ps_restart_at_iter: None,
+        fault_plan: Default::default(),
+        retry: prophet::net::RetryPolicy::paper_default(),
+    }
+}
+
+/// One steady-state sample plus the pool counters of the HI run.
+fn measure(cfg: &ThreadedConfig) -> (f64, u64, u64) {
+    let mut lo = cfg.clone();
+    lo.iterations = LO;
+    let mut hi = cfg.clone();
+    hi.iterations = HI;
+    let t0 = Instant::now();
+    let _ = run_threaded_training(&lo);
+    let t_lo = t0.elapsed();
+    let t1 = Instant::now();
+    let r = run_threaded_training(&hi);
+    let t_hi = t1.elapsed();
+    let dt = t_hi.saturating_sub(t_lo).as_secs_f64().max(1e-9);
+    ((HI - LO) as f64 / dt, r.arena_allocs, r.arena_recycles)
+}
+
+/// Registry entry: `repro ext_threaded`.
+pub fn ext_threaded() -> ExperimentOutput {
+    let mut out = ExperimentOutput::new(
+        "ext_threaded",
+        "Threaded PS steady state: MLP(128-512-512-128-10), FIFO, unlimited link",
+        "The simulator argues scheduling; this measures the real runtime. \
+         Steady-state iterations/sec by the LO/HI difference quotient \
+         (spawn and warm-up cancel), across shard counts at fixed worker \
+         counts. `allocs` counts wire buffers served by fresh heap \
+         allocations over a whole run — flat in the iteration count because \
+         pushes slice pooled per-worker arenas and pulls slice per-update \
+         encode caches; `recycles` counts pool-served checkouts and scales \
+         with iterations.",
+        &[
+            "workers",
+            "shards",
+            "iters_per_sec",
+            "vs_1_shard",
+            "allocs",
+            "recycles",
+        ],
+    );
+    for workers in [4usize, 8] {
+        let mut base_rate = f64::NAN;
+        for shards in [1usize, 2, 4] {
+            let cfg = lite_cfg(workers, shards);
+            // Median of 3: one scheduler hiccup cannot swing a cell.
+            let mut samples: Vec<(f64, u64, u64)> = (0..3).map(|_| measure(&cfg)).collect();
+            samples.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let (rate, allocs, recycles) = samples[1];
+            if shards == 1 {
+                base_rate = rate;
+            }
+            out.row(vec![
+                workers.to_string(),
+                shards.to_string(),
+                format!("{rate:.1}"),
+                format!("{:.2}x", rate / base_rate),
+                allocs.to_string(),
+                recycles.to_string(),
+            ]);
+        }
+    }
+    out.notes = "Finding: on a single-core box extra shards buy little wall \
+                 clock (threads time-slice one CPU) — the speedup over the \
+                 seed runtime comes from the zero-copy data path: pooled \
+                 arenas instead of per-message Vec copies, in-place \
+                 aggregation straight from wire bytes, one encode per \
+                 parameter update shared by every pull, and batched acks. \
+                 `allocs` stays at workers + tensors regardless of \
+                 iteration count; the full-size headline vs the pinned \
+                 seed baseline is produced by `cargo bench --bench \
+                 threaded` into BENCH_threaded.json."
+        .into();
+    out
+}

@@ -155,6 +155,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
             "[extension] scaling frontier: 64-1024 workers, iteration time + simulator wall-clock",
             scale::ext_scale,
         ),
+        (
+            "ext_threaded",
+            "[extension] threaded PS steady-state throughput across shard counts (zero-copy counters)",
+            threaded::ext_threaded,
+        ),
     ]
 }
 

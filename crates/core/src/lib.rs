@@ -29,6 +29,7 @@ pub mod perfmodel;
 pub mod plan;
 pub mod profiler;
 pub mod prophet;
+pub mod shard;
 pub mod task;
 pub mod tictac;
 
@@ -41,6 +42,7 @@ pub use p3::P3Scheduler;
 pub use plan::{prophet_plan, PlanInput, PlannedBlock, ProphetPlan};
 pub use profiler::{detect_blocks, JobProfile, JobProfiler};
 pub use prophet::{ProphetConfig, ProphetScheduler};
+pub use shard::ShardMap;
 pub use task::{CommScheduler, Dir, TransferTask, Transport};
 pub use tictac::TicTacScheduler;
 

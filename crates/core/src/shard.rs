@@ -1,0 +1,233 @@
+//! Tensor → PS-shard placement: the contiguous, size-balanced partition
+//! the sharded threaded runtime serves gradients from.
+//!
+//! Contiguity matters for two reasons. Priority order is preserved —
+//! gradient ids are forward (priority) order, so each shard owns one
+//! priority band and a scheduler's per-tensor ordering maps onto shards
+//! without interleaving. And the partition is describable by `shards + 1`
+//! cut points, so a worker routes a push with one binary-search-free table
+//! lookup.
+//!
+//! The balance guarantee is the classic one for contiguous partitions:
+//! no contiguous partition can beat `LB = max(total/shards, max_size)`,
+//! and the greedy cut rule here never exceeds `2 × LB` (each chunk closes
+//! strictly before it exceeds `LB` unless a single oversized tensor
+//! forces it, and a forced chunk is a single tensor of size ≤ LB + its
+//! predecessors < LB). The partition property tests pin this bound for
+//! arbitrary size vectors.
+
+/// A contiguous, size-balanced assignment of gradient tensors to PS
+/// shards. Built once per run from the model's tensor sizes; lookups are
+/// a table index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    /// `owner[g]` = shard holding gradient `g`.
+    owner: Vec<usize>,
+    /// `cuts[s]..cuts[s+1]` = the gradient range of shard `s`.
+    cuts: Vec<usize>,
+    /// Total parameter bytes (or elements — the unit of `sizes`) per shard.
+    loads: Vec<u64>,
+}
+
+impl ShardMap {
+    /// Partition `sizes` (per-tensor weights, any unit) into at most
+    /// `shards` contiguous chunks, greedily closing a chunk once its load
+    /// reaches the balanced target. Shard count is clamped to the tensor
+    /// count (every shard owns at least one tensor), so `shards(self)`
+    /// may be smaller than requested for tiny models.
+    ///
+    /// Panics when `sizes` is empty or `shards` is zero.
+    pub fn balanced(sizes: &[u64], shards: usize) -> Self {
+        assert!(!sizes.is_empty(), "cannot shard an empty model");
+        assert!(shards >= 1, "need at least one shard");
+        let shards = shards.min(sizes.len());
+        let total: u64 = sizes.iter().sum();
+        // Per-chunk target: the balanced share. Sizes of zero are legal
+        // (empty tensors still need an owner), hence the max(1).
+        let target = (total / shards as u64).max(1);
+
+        let mut cuts = vec![0usize];
+        let mut loads = Vec::new();
+        let mut acc = 0u64;
+        for (g, &sz) in sizes.iter().enumerate() {
+            acc += sz;
+            let chunks_done = cuts.len() - 1;
+            let remaining_tensors = sizes.len() - (g + 1);
+            let remaining_chunks = shards - chunks_done - 1;
+            // Close the chunk when it met its share — or when the tail
+            // must be rationed one tensor per remaining shard.
+            if (acc >= target || remaining_tensors == remaining_chunks)
+                && chunks_done + 1 < shards
+                && remaining_tensors >= remaining_chunks
+            {
+                cuts.push(g + 1);
+                loads.push(acc);
+                acc = 0;
+            }
+        }
+        cuts.push(sizes.len());
+        loads.push(acc);
+
+        let mut owner = vec![0usize; sizes.len()];
+        for s in 0..loads.len() {
+            for o in &mut owner[cuts[s]..cuts[s + 1]] {
+                *o = s;
+            }
+        }
+        ShardMap { owner, cuts, loads }
+    }
+
+    /// Number of shards actually used (≤ the requested count).
+    pub fn shards(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// Number of tensors partitioned.
+    pub fn tensors(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// The shard owning gradient `g`.
+    pub fn shard_of(&self, g: usize) -> usize {
+        self.owner[g]
+    }
+
+    /// The contiguous gradient range shard `s` owns.
+    pub fn range(&self, s: usize) -> std::ops::Range<usize> {
+        self.cuts[s]..self.cuts[s + 1]
+    }
+
+    /// Total load (in the unit of the input sizes) on shard `s`.
+    pub fn load(&self, s: usize) -> u64 {
+        self.loads[s]
+    }
+
+    /// The full `owner` table, `tensors()` long — the shape the invariant
+    /// checker consumes.
+    pub fn owner_table(&self) -> &[usize] {
+        &self.owner
+    }
+
+    /// The balance lower bound no contiguous partition can beat:
+    /// `max(ceil(total / shards), max_size)`.
+    pub fn balance_lower_bound(sizes: &[u64], shards: usize) -> u64 {
+        let shards = shards.min(sizes.len()).max(1) as u64;
+        let total: u64 = sizes.iter().sum();
+        let max_size = sizes.iter().copied().max().unwrap_or(0);
+        total.div_ceil(shards).max(max_size).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_cover_and_balance(sizes: &[u64], shards: usize) -> ShardMap {
+        let map = ShardMap::balanced(sizes, shards);
+        // Every tensor exactly once, contiguously, in order.
+        let mut seen = 0usize;
+        for s in 0..map.shards() {
+            let r = map.range(s);
+            assert_eq!(r.start, seen, "gap or overlap before shard {s}");
+            assert!(!r.is_empty(), "shard {s} owns no tensors");
+            for g in r.clone() {
+                assert_eq!(map.shard_of(g), s);
+            }
+            seen = r.end;
+        }
+        assert_eq!(seen, sizes.len(), "tensors dropped off the tail");
+        // Loads within 2x of the contiguous balance lower bound.
+        let lb = ShardMap::balance_lower_bound(sizes, shards);
+        for s in 0..map.shards() {
+            assert!(
+                map.load(s) <= 2 * lb,
+                "shard {s} load {} exceeds 2x lower bound {lb} (sizes {sizes:?}, {shards} shards)",
+                map.load(s)
+            );
+        }
+        map
+    }
+
+    #[test]
+    fn uniform_sizes_split_evenly() {
+        let map = check_cover_and_balance(&[4; 12], 4);
+        assert_eq!(map.shards(), 4);
+        for s in 0..4 {
+            assert_eq!(map.load(s), 12);
+            assert_eq!(map.range(s).len(), 3);
+        }
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let map = check_cover_and_balance(&[7, 3, 9], 1);
+        assert_eq!(map.shards(), 1);
+        assert_eq!(map.range(0), 0..3);
+        assert_eq!(map.load(0), 19);
+    }
+
+    #[test]
+    fn more_shards_than_tensors_clamps() {
+        let map = check_cover_and_balance(&[5, 5], 8);
+        assert_eq!(map.shards(), 2);
+    }
+
+    #[test]
+    fn one_giant_tensor_does_not_starve_the_tail() {
+        // VGG-like: one fc tensor dwarfs everything; the tail must still
+        // be spread, not crammed onto the last shard.
+        let sizes = [1000, 4, 4, 4, 4, 4, 4];
+        let map = check_cover_and_balance(&sizes, 4);
+        assert_eq!(map.shards(), 4);
+        assert_eq!(map.range(0), 0..1, "the giant owns a shard alone");
+    }
+
+    #[test]
+    fn zero_sized_tensors_are_owned() {
+        check_cover_and_balance(&[0, 0, 0, 0], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty model")]
+    fn empty_model_rejected() {
+        ShardMap::balanced(&[], 2);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            /// For arbitrary size vectors and shard counts: the partition
+            /// covers every tensor exactly once, contiguously and in
+            /// order, every shard is non-empty, and no shard's load
+            /// exceeds twice the contiguous-partition lower bound.
+            #[test]
+            fn arbitrary_partitions_cover_and_balance(
+                sizes in prop::collection::vec(0u64..100_000, 1..64),
+                shards in 1usize..12,
+            ) {
+                check_cover_and_balance(&sizes, shards);
+            }
+
+            /// Skewed, VGG-like spectra (a few giants among many small
+            /// tensors) — the regime the greedy cut rule is hardest on.
+            #[test]
+            fn skewed_partitions_cover_and_balance(
+                small in prop::collection::vec(1u64..50, 1..32),
+                giants in prop::collection::vec(10_000u64..1_000_000, 1..4),
+                giant_at in 0usize..32,
+                shards in 1usize..8,
+            ) {
+                let mut sizes = small;
+                for (i, g) in giants.into_iter().enumerate() {
+                    let at = (giant_at + i * 7) % (sizes.len() + 1);
+                    sizes.insert(at, g);
+                }
+                check_cover_and_balance(&sizes, shards);
+            }
+        }
+    }
+}

@@ -102,6 +102,30 @@ impl Mlp {
         panic!("parameter tensor {id} out of range");
     }
 
+    /// Overwrite a slice of parameter tensor `id` from a little-endian
+    /// `f32` byte payload, starting at element `offset_elems` — the
+    /// zero-staging pull path of the threaded PS runtime (wire bytes land
+    /// in the tensor with no intermediate `Vec<f32>`).
+    pub fn set_param_slice_le(&mut self, id: usize, offset_elems: usize, bytes: &[u8]) {
+        assert!(bytes.len() % 4 == 0, "payload not f32-aligned");
+        let mut idx = 0;
+        for layer in &mut self.layers {
+            for p in layer.params_mut() {
+                if idx == id {
+                    let dst = &mut p[offset_elems..offset_elems + bytes.len() / 4];
+                    for (d, c) in dst.iter_mut().zip(bytes.chunks_exact(4)) {
+                        // `try_into` compiles to a single 4-byte load and
+                        // lets the loop vectorise.
+                        *d = f32::from_le_bytes(c.try_into().unwrap());
+                    }
+                    return;
+                }
+                idx += 1;
+            }
+        }
+        panic!("parameter tensor {id} out of range");
+    }
+
     /// Classification accuracy on `(x, labels)`.
     pub fn accuracy(&mut self, x: &Tensor, labels: &[usize]) -> f64 {
         let logits = self.forward(x);

@@ -1,22 +1,44 @@
-//! The threaded BSP runtime: worker threads + PS thread + link emulation.
+//! The threaded BSP runtime: worker threads + sharded PS + link emulation.
+//!
+//! # Sharded, zero-copy data path
+//!
+//! The parameter tensors are partitioned across `ps_shards` PS threads by a
+//! contiguous, size-balanced [`ShardMap`]; each shard owns its own
+//! aggregation state, optimiser slice, crash schedule, and epoch, and every
+//! worker holds one channel per shard. The hot path allocates nothing in
+//! steady state:
+//!
+//! * a worker serialises all of an iteration's gradients into **one pooled
+//!   arena** and every push payload — original or retransmission — is a
+//!   zero-copy [`Bytes`] slice into it, recycled next iteration
+//!   ([`super::pool`]);
+//! * a shard stages incoming slices **as the wire bytes themselves** and
+//!   accumulates them straight into a persistent per-shard accumulator at
+//!   the barrier, in fixed worker order (so results stay bit-identical to
+//!   the single-shard and single-process runs);
+//! * push acks coalesce into one [`ToWorker::PushAcks`] batch per
+//!   (worker, inbox drain);
+//! * pull replies are encoded once per parameter update and served as
+//!   shared slices of that one buffer to every worker.
 //!
 //! # Fault parity with the discrete-event cluster
 //!
 //! The same [`FaultPlan`] type that drives the simulator's fault layer
 //! drives this runtime, with fault times interpreted as **real-time offsets
-//! from run start**:
+//! from run start** and node `s < ps_shards` meaning PS shard `s`, node
+//! `ps_shards + w` meaning worker `w`:
 //!
-//! * `ShardCrash` — the PS wipes its aggregation state at the scheduled
-//!   instant (parameters and optimiser state persist, like a durable
-//!   store), sleeps out `restart_after`, bumps its epoch, and broadcasts
-//!   [`ToWorker::ShardRestarted`] so workers re-push unacknowledged
-//!   gradients.
+//! * `ShardCrash` — the named shard wipes its aggregation state at the
+//!   scheduled instant (parameters and optimiser state persist, like a
+//!   durable store), sleeps out `restart_after`, bumps its epoch, and
+//!   broadcasts [`ToWorker::ShardRestarted`] so workers re-push that
+//!   shard's unacknowledged gradients. Other shards keep serving.
 //! * `MsgLoss` — each worker draws a Bernoulli doom per push message sent
 //!   inside a loss window (from a per-worker substream of the plan seed);
-//!   a doomed message pays the link but never reaches the PS. Recovery is
-//!   end-to-end: the PS acks every accepted slice ([`ToWorker::PushAck`]),
-//!   and a sender retransmits slices whose ack missed the
-//!   [`RetryPolicy`] timeout, with exponential backoff.
+//!   a doomed message pays the link but never reaches its shard. Recovery
+//!   is end-to-end: shards ack every accepted slice (batched into
+//!   [`ToWorker::PushAcks`]), and a sender retransmits slices whose ack
+//!   missed the [`RetryPolicy`] timeout, with exponential backoff.
 //! * `WorkerStall` — the worker sleeps through the scheduled window before
 //!   its compute phase.
 //! * `LinkDegrade` — the token-bucket link emulator scales its drain rate
@@ -30,10 +52,21 @@
 //! Only `ShardCrash` and `WorkerStall` emit `FaultStart`/`FaultEnd` trace
 //! events here (they have one unambiguous owner thread); link and loss
 //! windows act silently through the limiter and the doom draws.
+//!
+//! # Tracing without a global lock
+//!
+//! Each thread appends trace events to its **own** buffer, stamped with a
+//! ticket from one shared atomic counter. Causality flows through channel
+//! sends, and atomic read-modify-writes on one counter are totally ordered
+//! consistently with happens-before, so sorting the merged buffers by
+//! ticket at join reproduces exactly the causal total order the old
+//! single-mutex log produced — with zero lock traffic on the hot path.
 
-use super::wire::{decode_f32, encode_f32, ToPs, ToWorker};
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use prophet_core::{CommScheduler, Dir, SchedulerKind};
+use super::pool::ArenaPool;
+use super::wire::{accumulate_f32_le, encode_f32_into, Ack, ToPs, ToWorker};
+use bytes::{Bytes, BytesMut};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use prophet_core::{CommScheduler, Dir, SchedulerKind, ShardMap};
 use prophet_minidnn::{Adam, Dataset, Mlp, Sgd};
 use prophet_net::RetryPolicy;
 use prophet_sim::{
@@ -41,12 +74,13 @@ use prophet_sim::{
     TraceEvent, TraceSink, Xoshiro256StarStar,
 };
 use std::cell::Cell;
-use std::collections::{HashMap, HashSet};
-use std::sync::{Arc, Mutex};
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration as StdDuration, Instant};
 
-/// Which optimiser the PS thread runs (it owns the optimiser state, like
-/// MXNet's KVStore).
+/// Which optimiser the PS runs (each shard owns the optimiser state for
+/// its tensors, like MXNet's KVStore).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum PsOptimizer {
     /// SGD with classical momentum.
@@ -77,6 +111,10 @@ impl OptState {
 pub struct ThreadedConfig {
     /// Worker threads.
     pub workers: usize,
+    /// PS shard threads the parameter tensors are partitioned across
+    /// (contiguous, size-balanced; clamped to the tensor count for tiny
+    /// models). `1` reproduces the classic single-PS topology.
+    pub ps_shards: usize,
     /// MLP layer widths, input first, classes last.
     pub widths: Vec<usize>,
     /// Dataset: `(samples, noise, seed)`; features/classes come from
@@ -102,18 +140,18 @@ pub struct ThreadedConfig {
     /// Collect the typed event stream and run the cross-stack
     /// [`InvariantChecker`] over it after the run (panics on violation).
     pub check_invariants: bool,
-    /// Crash-restart the PS the moment the first push of this iteration
-    /// arrives: all in-flight aggregation state is wiped (parameters and
-    /// optimiser state persist), the PS epoch bumps, and every worker
-    /// re-pushes its unacknowledged gradients.
+    /// Crash-restart each PS shard the moment the first push of this
+    /// iteration arrives at it: the shard's in-flight aggregation state is
+    /// wiped (parameters and optimiser state persist), its epoch bumps,
+    /// and every worker re-pushes that shard's unacknowledged gradients.
     pub ps_restart_at_iter: Option<u64>,
     /// Fault schedule, sharing the simulator's [`FaultPlan`] type. Times
-    /// are real-time offsets from run start; node 0 is the PS, node `1+w`
-    /// is worker `w`. An empty plan leaves every fault path dormant.
+    /// are real-time offsets from run start; node `s < ps_shards` is PS
+    /// shard `s`, node `ps_shards + w` is worker `w`. An empty plan leaves
+    /// every fault path dormant.
     pub fault_plan: FaultPlan,
-    /// Ack-timeout/backoff policy for push slices whose
-    /// [`ToWorker::PushAck`] never arrives (only consulted when the plan
-    /// is non-empty).
+    /// Ack-timeout/backoff policy for push slices whose ack never arrives
+    /// (only consulted when the plan is non-empty).
     pub retry: RetryPolicy,
 }
 
@@ -122,6 +160,7 @@ impl ThreadedConfig {
     pub fn small(workers: usize, scheduler: SchedulerKind) -> Self {
         ThreadedConfig {
             workers,
+            ps_shards: 1,
             widths: vec![8, 24, 4],
             samples: 256,
             noise: 0.8,
@@ -145,7 +184,7 @@ impl ThreadedConfig {
 pub struct ThreadedResult {
     /// Mean worker loss per iteration.
     pub losses: Vec<f32>,
-    /// Final parameters, one vec per tensor (PS copy).
+    /// Final parameters, one vec per tensor (PS copy, global tensor order).
     pub final_params: Vec<Vec<f32>>,
     /// Training-set accuracy of the final model.
     pub accuracy: f64,
@@ -158,11 +197,23 @@ pub struct ThreadedResult {
     /// [`ThreadedConfig::check_invariants`] is off).
     pub events_checked: u64,
     /// `RetryAttempt` events in the run's event log — gradients re-pushed
-    /// after an injected PS restart or a lost-message ack timeout.
+    /// after an injected shard restart or a lost-message ack timeout.
     pub retries: u64,
     /// Push messages eaten by `MsgLoss` windows (they paid the link but
-    /// never reached the PS).
+    /// never reached a shard).
     pub messages_lost: u64,
+    /// Wire buffers served by a fresh heap allocation, summed over every
+    /// worker arena and shard pull cache. Flat in the iteration count when
+    /// the zero-copy recycling works (the steady-state hot path allocates
+    /// nothing); see [`ThreadedResult::arena_recycles`].
+    pub arena_allocs: u64,
+    /// Wire buffers served from recycled storage. Scales with iterations
+    /// in steady state.
+    pub arena_recycles: u64,
+    /// [`ToWorker::PushAcks`] batches flushed by all shards (each batch
+    /// acknowledges every slice accepted from one worker since the last
+    /// flush).
+    pub ack_batches: u64,
 }
 
 /// One scheduled link fault window, in nanoseconds since run start.
@@ -197,13 +248,14 @@ impl RateLimiter {
         }
     }
 
-    /// Link fault windows relevant to worker `w`: its own node (`1 + w`)
-    /// plus the PS node 0, whose link every worker shares.
-    fn windows_for(plan: &FaultPlan, w: usize) -> Vec<LinkWindow> {
+    /// Link fault windows relevant to worker `w` in a `shards`-shard
+    /// topology: its own node (`shards + w`) plus every PS-shard node
+    /// `< shards`, whose links all of the worker's transfers traverse.
+    fn windows_for(plan: &FaultPlan, w: usize, shards: usize) -> Vec<LinkWindow> {
         plan.faults
             .iter()
             .filter_map(|f| match *f {
-                FaultSpec::LinkDown { node, at, dur } if node == 0 || node == 1 + w => {
+                FaultSpec::LinkDown { node, at, dur } if node < shards || node == shards + w => {
                     Some(LinkWindow {
                         start_ns: at.as_nanos(),
                         end_ns: (at + dur).as_nanos(),
@@ -215,7 +267,7 @@ impl RateLimiter {
                     at,
                     factor,
                     dur,
-                } if node == 0 || node == 1 + w => Some(LinkWindow {
+                } if node < shards || node == shards + w => Some(LinkWindow {
                     start_ns: at.as_nanos(),
                     end_ns: (at + dur).as_nanos(),
                     factor: Some(factor),
@@ -270,60 +322,85 @@ fn to_std(d: SimDuration) -> StdDuration {
     StdDuration::from_nanos(d.as_nanos())
 }
 
-type TimedEvents = Arc<Mutex<Vec<(SimTime, TraceEvent)>>>;
+/// One trace event with its global causal ticket and wall-clock timestamp.
+type TimedEvent = (u64, SimTime, TraceEvent);
 
-/// Shared typed-event log. Threads append under one mutex, and the clock is
-/// read *inside* the lock, so append order is a total order consistent with
-/// causality and timestamps are nondecreasing up to same-instant ties.
+/// Factory for per-thread trace buffers sharing one ticket counter.
 #[derive(Clone)]
 struct EventLog {
-    inner: Option<TimedEvents>,
+    seq: Option<Arc<AtomicU64>>,
     epoch: Instant,
 }
 
 impl EventLog {
     fn new(enabled: bool, epoch: Instant) -> Self {
         EventLog {
-            inner: enabled.then(|| Arc::new(Mutex::new(Vec::new()))),
+            seq: enabled.then(|| Arc::new(AtomicU64::new(0))),
             epoch,
         }
     }
 
-    fn emit(&self, ev: TraceEvent) {
-        if let Some(log) = &self.inner {
-            let mut v = log.lock().expect("event log poisoned");
-            v.push((now_since(self.epoch), ev));
+    fn thread_log(&self) -> ThreadLog {
+        ThreadLog {
+            seq: self.seq.clone(),
+            epoch: self.epoch,
+            events: Vec::new(),
         }
-    }
-
-    /// Drain the log, replay it through the invariant checker, and return
-    /// `(events_checked, retries)`. Same-instant ties are broken by append
-    /// order (each timestamp is bumped to strictly exceed its predecessor),
-    /// which the mutex made causally consistent.
-    fn check(self, workers: usize) -> (u64, u64) {
-        let Some(log) = self.inner else { return (0, 0) };
-        let events = std::mem::take(&mut *log.lock().expect("event log poisoned"));
-        let mut checker = InvariantChecker::new(workers, true).with_shards(1);
-        let mut last = SimTime::ZERO;
-        let mut retries = 0u64;
-        for (t, ev) in &events {
-            let at = if *t <= last {
-                last + SimDuration::from_nanos(1)
-            } else {
-                *t
-            };
-            last = at;
-            if matches!(ev, TraceEvent::RetryAttempt { .. }) {
-                retries += 1;
-            }
-            checker.on_event(at, ev);
-        }
-        checker.finish();
-        (checker.events_seen(), retries)
     }
 }
 
-/// One push slice awaiting its [`ToWorker::PushAck`].
+/// A thread-private trace buffer. `emit` takes a ticket from the shared
+/// counter (a relaxed fetch-add: RMWs on one atomic are totally ordered
+/// consistently with the happens-before edges the channels create) and
+/// appends locally — no lock, no contention. Buffers are merged and
+/// ticket-sorted at join.
+struct ThreadLog {
+    seq: Option<Arc<AtomicU64>>,
+    epoch: Instant,
+    events: Vec<TimedEvent>,
+}
+
+impl ThreadLog {
+    #[inline]
+    fn emit(&mut self, ev: TraceEvent) {
+        let Some(seq) = &self.seq else { return };
+        let ticket = seq.fetch_add(1, Ordering::Relaxed);
+        self.events.push((ticket, now_since(self.epoch), ev));
+    }
+
+    fn into_events(self) -> Vec<TimedEvent> {
+        self.events
+    }
+}
+
+/// Merge per-thread buffers into ticket order, replay through the invariant
+/// checker, and return `(events_checked, retries)`. Ticket order is the
+/// causal total order; a timestamp that reads behind its ticket
+/// predecessor (two threads racing between ticket draw and clock read —
+/// only possible for causally unrelated events) is bumped to stay
+/// nondecreasing.
+fn check_events(mut events: Vec<TimedEvent>, workers: usize, owner: &[usize]) -> (u64, u64) {
+    events.sort_unstable_by_key(|&(ticket, _, _)| ticket);
+    let mut checker = InvariantChecker::new(workers, true).with_shard_map(owner.to_vec());
+    let mut last = SimTime::ZERO;
+    let mut retries = 0u64;
+    for (_, t, ev) in &events {
+        let at = if *t <= last {
+            last + SimDuration::from_nanos(1)
+        } else {
+            *t
+        };
+        last = at;
+        if matches!(ev, TraceEvent::RetryAttempt { .. }) {
+            retries += 1;
+        }
+        checker.on_event(at, ev);
+    }
+    checker.finish();
+    (checker.events_seen(), retries)
+}
+
+/// One push slice awaiting its ack.
 struct Unacked {
     iter: u64,
     grad: usize,
@@ -428,7 +505,8 @@ impl WorkerFaults {
 
     /// Sleep out any `WorkerStall` window covering this instant (chained:
     /// sleeping into an overlapping later window extends the stall).
-    fn stall_if_scheduled(&self, w: usize, start: Instant, log: &EventLog) {
+    /// `node` is this worker's trace node id (`shards + w`).
+    fn stall_if_scheduled(&self, node: usize, start: Instant, log: &mut ThreadLog) {
         let mut stalled = false;
         loop {
             let now_ns = start.elapsed().as_nanos() as u64;
@@ -445,7 +523,7 @@ impl WorkerFaults {
                 stalled = true;
                 log.emit(TraceEvent::FaultStart {
                     kind: FaultKind::WorkerStall,
-                    node: 1 + w,
+                    node,
                 });
             }
             std::thread::sleep(StdDuration::from_nanos(end_ns - now_ns));
@@ -453,39 +531,63 @@ impl WorkerFaults {
         if stalled {
             log.emit(TraceEvent::FaultEnd {
                 kind: FaultKind::WorkerStall,
-                node: 1 + w,
+                node,
             });
         }
     }
 }
 
+/// What a worker thread hands back at join.
+type WorkerOut = (Vec<f32>, u64, u64, Vec<TimedEvent>, u64, u64);
+/// What a shard thread hands back at join.
+type ShardOut = (Vec<Vec<f32>>, Vec<TimedEvent>, u64, u64, u64);
+
 /// Run BSP data-parallel training per `cfg` and return the outcome.
 ///
 /// Panics if `global_batch` is not a multiple of `workers` (unequal shards
 /// would break the shard-mean ≡ batch-mean identity the PS relies on), or
-/// if the fault plan references nodes outside the 1-shard/`workers`
+/// if the fault plan references nodes outside the `ps_shards`/`workers`
 /// topology.
 pub fn run_threaded_training(cfg: &ThreadedConfig) -> ThreadedResult {
     assert!(cfg.workers >= 1);
+    assert!(cfg.ps_shards >= 1, "need at least one PS shard");
     assert!(
         cfg.global_batch % cfg.workers == 0,
         "global batch {} not divisible by {} workers",
         cfg.global_batch,
         cfg.workers
     );
-    cfg.fault_plan.validate(cfg.workers, 1);
     let features = *cfg.widths.first().expect("empty widths");
     let classes = *cfg.widths.last().expect("empty widths");
     let start = Instant::now();
 
-    let dataset = Dataset::blobs(cfg.samples, features, classes, cfg.noise, cfg.seed);
+    let dataset = Arc::new(Dataset::blobs(
+        cfg.samples,
+        features,
+        classes,
+        cfg.noise,
+        cfg.seed,
+    ));
     let template = Mlp::new(&cfg.widths, cfg.seed ^ 0xABCD);
-    let tensor_elems: Vec<usize> = template.tensor_sizes();
-    let sizes_bytes: Vec<u64> = tensor_elems.iter().map(|&n| n as u64 * 4).collect();
+    let tensor_elems: Arc<Vec<usize>> = Arc::new(template.tensor_sizes());
+    let sizes_bytes: Arc<Vec<u64>> = Arc::new(tensor_elems.iter().map(|&n| n as u64 * 4).collect());
     let n_tensors = tensor_elems.len();
+    let map = Arc::new(ShardMap::balanced(&sizes_bytes, cfg.ps_shards));
+    let shards = map.shards();
+    cfg.fault_plan.validate(cfg.workers, shards);
+    // One shared config per run: worker and shard threads borrow through
+    // the Arc instead of deep-cloning scheduler/plan state per thread.
+    let cfg = Arc::new(cfg.clone());
 
-    // Channels: one shared worker→PS channel, one PS→worker each.
-    let (to_ps, ps_rx) = unbounded::<ToPs>();
+    // Channels: one worker→shard channel per shard, one shard→worker
+    // channel per worker (every shard holds a sender clone).
+    let mut shard_txs: Vec<Sender<ToPs>> = Vec::new();
+    let mut shard_rxs: Vec<Option<Receiver<ToPs>>> = Vec::new();
+    for _ in 0..shards {
+        let (tx, rx) = unbounded::<ToPs>();
+        shard_txs.push(tx);
+        shard_rxs.push(Some(rx));
+    }
     let mut worker_txs: Vec<Sender<ToWorker>> = Vec::new();
     let mut worker_rxs: Vec<Option<Receiver<ToWorker>>> = Vec::new();
     for _ in 0..cfg.workers {
@@ -496,25 +598,46 @@ pub fn run_threaded_training(cfg: &ThreadedConfig) -> ThreadedResult {
 
     let log = EventLog::new(cfg.check_invariants, start);
 
-    // ---- PS thread -------------------------------------------------------
-    let ps_cfg = cfg.clone();
-    let ps_sizes = tensor_elems.clone();
-    let ps_init: Vec<Vec<f32>> = template.param_slices().iter().map(|p| p.to_vec()).collect();
-    let ps_log = log.clone();
-    let ps_handle = std::thread::spawn(move || {
-        ps_thread(ps_cfg, ps_sizes, ps_init, ps_rx, worker_txs, start, ps_log)
-    });
+    // ---- PS shard threads ------------------------------------------------
+    let mut shard_handles = Vec::new();
+    for (s, rx_slot) in shard_rxs.iter_mut().enumerate() {
+        let init: Vec<Vec<f32>> = map
+            .range(s)
+            .map(|g| template.param_slices()[g].to_vec())
+            .collect();
+        let cfg = Arc::clone(&cfg);
+        let tensor_elems = Arc::clone(&tensor_elems);
+        let range = map.range(s);
+        let rx = rx_slot.take().unwrap();
+        let worker_txs = worker_txs.clone();
+        let tlog = log.thread_log();
+        shard_handles.push(std::thread::spawn(move || {
+            shard_thread(
+                s,
+                cfg,
+                range,
+                tensor_elems,
+                init,
+                rx,
+                worker_txs,
+                start,
+                tlog,
+            )
+        }));
+    }
+    drop(worker_txs); // shard threads hold the live sender clones
 
     // ---- worker threads ---------------------------------------------------
     let mut handles = Vec::new();
     for (w, rx_slot) in worker_rxs.iter_mut().enumerate() {
-        let cfg = cfg.clone();
-        let dataset = dataset.clone();
+        let cfg = Arc::clone(&cfg);
+        let dataset = Arc::clone(&dataset);
+        let tensor_elems = Arc::clone(&tensor_elems);
+        let sizes_bytes = Arc::clone(&sizes_bytes);
+        let map = Arc::clone(&map);
         let rx = rx_slot.take().unwrap();
-        let tx = to_ps.clone();
-        let sizes_bytes = sizes_bytes.clone();
-        let tensor_elems = tensor_elems.clone();
-        let log = log.clone();
+        let txs = shard_txs.clone();
+        let tlog = log.thread_log();
         handles.push(std::thread::spawn(move || {
             worker_thread(
                 w,
@@ -522,27 +645,44 @@ pub fn run_threaded_training(cfg: &ThreadedConfig) -> ThreadedResult {
                 dataset,
                 tensor_elems,
                 sizes_bytes,
-                tx,
+                map,
+                txs,
                 rx,
                 start,
-                log,
+                tlog,
             )
         }));
     }
-    drop(to_ps); // PS sees disconnect once every worker is done
+    drop(shard_txs); // shards see disconnect once every worker is done
 
     let mut losses_acc = vec![0.0f32; cfg.iterations as usize];
     let mut bytes_pushed = 0u64;
     let mut messages_lost = 0u64;
+    let mut arena_allocs = 0u64;
+    let mut arena_recycles = 0u64;
+    let mut ack_batches = 0u64;
+    let mut events: Vec<TimedEvent> = Vec::new();
     for h in handles {
-        let (losses, bytes, lost) = h.join().expect("worker panicked");
+        let (losses, bytes, lost, ev, allocs, recycles) = h.join().expect("worker panicked");
         for (acc, l) in losses_acc.iter_mut().zip(losses) {
             *acc += l / cfg.workers as f32;
         }
         bytes_pushed += bytes;
         messages_lost += lost;
+        arena_allocs += allocs;
+        arena_recycles += recycles;
+        events.extend(ev);
     }
-    let final_params = ps_handle.join().expect("ps panicked");
+    let mut final_params: Vec<Vec<f32>> = Vec::with_capacity(n_tensors);
+    for h in shard_handles {
+        let (params, ev, allocs, recycles, batches) = h.join().expect("shard panicked");
+        final_params.extend(params);
+        arena_allocs += allocs;
+        arena_recycles += recycles;
+        ack_batches += batches;
+        events.extend(ev);
+    }
+    debug_assert_eq!(n_tensors, final_params.len());
 
     // Evaluate the final model on the training set.
     let mut model = Mlp::new(&cfg.widths, cfg.seed ^ 0xABCD);
@@ -551,9 +691,12 @@ pub fn run_threaded_training(cfg: &ThreadedConfig) -> ThreadedResult {
     }
     let (x, labels) = dataset.batch(0, dataset.len());
     let accuracy = model.accuracy(&x, &labels);
-    debug_assert_eq!(n_tensors, final_params.len());
 
-    let (events_checked, retries) = log.check(cfg.workers);
+    let (events_checked, retries) = if cfg.check_invariants {
+        check_events(events, cfg.workers, map.owner_table())
+    } else {
+        (0, 0)
+    };
 
     ThreadedResult {
         losses: losses_acc,
@@ -564,111 +707,224 @@ pub fn run_threaded_training(cfg: &ThreadedConfig) -> ThreadedResult {
         events_checked,
         retries,
         messages_lost,
+        arena_allocs,
+        arena_recycles,
+        ack_batches,
     }
 }
 
-/// Per-`(iter, grad)` aggregation state on the PS.
-struct Agg {
-    per_worker: Vec<Vec<f32>>,
-    received_elems: Vec<usize>,
-    /// Slice offsets already accepted per worker — a retransmitted slice
-    /// whose original survived (the ack raced the timeout) is acked again
-    /// and skipped, never double-aggregated.
-    seen_offsets: Vec<HashSet<usize>>,
-    complete: usize,
+/// Per-worker staging for one gradient's in-flight pushes on a shard:
+/// zero-copy wire slices, accumulated only at the barrier.
+struct WorkerRecv {
+    /// `(offset_elems, payload)` per accepted slice. The payloads alias
+    /// the sender's arena — no copy is made until the barrier folds them
+    /// into the accumulator.
+    slices: Vec<(usize, Bytes)>,
+    received_elems: usize,
 }
 
-/// The parameter-server thread: aggregation barriers, SGD, pull service.
-fn ps_thread(
-    cfg: ThreadedConfig,
-    tensor_elems: Vec<usize>,
+/// Persistent per-gradient aggregation slot. BSP admits at most one open
+/// barrier per gradient at a time, so one slot per tensor (reused across
+/// iterations) replaces the old per-`(iter, grad)` hash map.
+struct GradAgg {
+    iter: u64,
+    active: bool,
+    complete: usize,
+    recv: Vec<WorkerRecv>,
+}
+
+/// Per-gradient pull-reply cache: parameters are encoded once per update
+/// and every pull (any worker, any slice) is served as a shared window of
+/// that one buffer. `spare` is the reclaimed storage awaiting re-encode.
+struct PullCache {
+    wire: Option<Bytes>,
+    spare: Option<BytesMut>,
+}
+
+const ACK_FLUSH_CAP: usize = 64;
+
+fn flush_acks(
+    pending: &mut [Vec<Ack>],
+    pending_total: &mut usize,
+    batches: &mut u64,
+    worker_txs: &[Sender<ToWorker>],
+) {
+    if *pending_total == 0 {
+        return;
+    }
+    for (w, acks) in pending.iter_mut().enumerate() {
+        if acks.is_empty() {
+            continue;
+        }
+        *batches += 1;
+        // A worker that already exited only misses acks it no longer needs.
+        let _ = worker_txs[w].send(ToWorker::PushAcks {
+            acks: std::mem::take(acks),
+        });
+    }
+    *pending_total = 0;
+}
+
+/// Injected crash-restart of one shard: the thread loses its aggregation
+/// RAM (params/optimiser live in the durable store and survive), stays
+/// down for `downtime`, comes back with a new epoch, and tells every
+/// worker to re-push this shard's unacknowledged gradients.
+fn crash_restart(
+    s: usize,
+    cur_epoch: &mut u64,
+    slots: &mut [GradAgg],
+    downtime: StdDuration,
+    tlog: &mut ThreadLog,
+    worker_txs: &[Sender<ToWorker>],
+) {
+    *cur_epoch += 1;
+    tlog.emit(TraceEvent::FaultStart {
+        kind: FaultKind::ShardCrash,
+        node: s,
+    });
+    for slot in slots.iter_mut() {
+        slot.active = false;
+        slot.complete = 0;
+        for r in &mut slot.recv {
+            r.slices.clear(); // drops the staged arena references
+            r.received_elems = 0;
+        }
+    }
+    if !downtime.is_zero() {
+        std::thread::sleep(downtime);
+    }
+    tlog.emit(TraceEvent::FaultEnd {
+        kind: FaultKind::ShardCrash,
+        node: s,
+    });
+    tlog.emit(TraceEvent::EpochAdvance {
+        shard: s,
+        epoch: *cur_epoch,
+    });
+    for tx in worker_txs {
+        tx.send(ToWorker::ShardRestarted {
+            shard: s,
+            epoch: *cur_epoch,
+        })
+        .expect("worker hung up at restart");
+    }
+}
+
+/// One parameter-server shard: aggregation barriers for its tensor range,
+/// optimiser steps, batched acks, cached pull service.
+#[allow(clippy::too_many_arguments)]
+fn shard_thread(
+    s: usize,
+    cfg: Arc<ThreadedConfig>,
+    range: Range<usize>,
+    tensor_elems: Arc<Vec<usize>>,
     mut params: Vec<Vec<f32>>,
     rx: Receiver<ToPs>,
     worker_txs: Vec<Sender<ToWorker>>,
     start: Instant,
-    log: EventLog,
-) -> Vec<Vec<f32>> {
-    let n = tensor_elems.len();
+    mut tlog: ThreadLog,
+) -> ShardOut {
+    let local_sizes: Vec<usize> = range.clone().map(|g| tensor_elems[g]).collect();
+    let n_local = local_sizes.len();
+    debug_assert_eq!(params.len(), n_local);
     let mut opt = match cfg.optimizer {
-        PsOptimizer::Sgd { momentum } => OptState::Sgd(Sgd::new(cfg.lr, momentum, &tensor_elems)),
-        PsOptimizer::Adam => OptState::Adam(Adam::new(cfg.lr, &tensor_elems)),
+        PsOptimizer::Sgd { momentum } => OptState::Sgd(Sgd::new(cfg.lr, momentum, &local_sizes)),
+        PsOptimizer::Adam => OptState::Adam(Adam::new(cfg.lr, &local_sizes)),
     };
-    let mut agg: HashMap<(u64, usize), Agg> = HashMap::new();
-    // Barriers already completed — a duplicate slice arriving after its
-    // barrier must be acked and dropped, not re-aggregated (the update was
-    // applied; re-opening the entry would corrupt the parameters).
-    let mut done: HashSet<(u64, usize)> = HashSet::new();
+    let mut slots: Vec<GradAgg> = (0..n_local)
+        .map(|_| GradAgg {
+            iter: 0,
+            active: false,
+            complete: 0,
+            recv: (0..cfg.workers)
+                .map(|_| WorkerRecv {
+                    slices: Vec::new(),
+                    received_elems: 0,
+                })
+                .collect(),
+        })
+        .collect();
+    // Last completed barrier per local gradient — a duplicate slice
+    // arriving after its barrier must be acked and dropped, not
+    // re-aggregated (the update was applied; re-opening the slot would
+    // corrupt the parameters). Survives crashes, exactly like the applied
+    // updates themselves.
+    let mut done_iter: Vec<Option<u64>> = vec![None; n_local];
+    // The persistent accumulator: gradients sum in worker order into this
+    // one buffer, sized for the largest local tensor.
+    let mut acc_buf = vec![0.0f32; local_sizes.iter().copied().max().unwrap_or(0)];
+    let mut pull: Vec<PullCache> = (0..n_local)
+        .map(|_| PullCache {
+            wire: None,
+            spare: None,
+        })
+        .collect();
+    let mut pool_allocs = 0u64;
+    let mut pool_recycles = 0u64;
+    let mut pending: Vec<Vec<Ack>> = vec![Vec::new(); cfg.workers];
+    let mut pending_total = 0usize;
+    let mut ack_batches = 0u64;
     let mut cur_epoch = 0u64;
     let mut restart_pending = cfg.ps_restart_at_iter;
 
-    // Time-triggered crash schedule from the fault plan (node 0 is the only
-    // shard in this runtime), earliest first.
+    // Time-triggered crash schedule for THIS shard, earliest first.
     let mut crashes: Vec<(u64, StdDuration)> = cfg
         .fault_plan
         .faults
         .iter()
         .filter_map(|f| match *f {
             FaultSpec::ShardCrash {
-                at, restart_after, ..
-            } => Some((at.as_nanos(), to_std(restart_after))),
+                shard,
+                at,
+                restart_after,
+            } if shard == s => Some((at.as_nanos(), to_std(restart_after))),
             _ => None,
         })
         .collect();
     crashes.sort_unstable();
     let mut next_crash = 0usize;
 
-    let crash_restart = |cur_epoch: &mut u64,
-                         agg: &mut HashMap<(u64, usize), Agg>,
-                         downtime: StdDuration,
-                         log: &EventLog,
-                         worker_txs: &[Sender<ToWorker>]| {
-        // Injected crash-restart: the process loses its aggregation RAM
-        // (params/optimiser live in the durable store and survive), stays
-        // down for `downtime`, comes back with a new epoch, and tells every
-        // worker to re-push anything unacknowledged.
-        *cur_epoch += 1;
-        log.emit(TraceEvent::FaultStart {
-            kind: FaultKind::ShardCrash,
-            node: 0,
-        });
-        agg.clear();
-        if !downtime.is_zero() {
-            std::thread::sleep(downtime);
-        }
-        log.emit(TraceEvent::FaultEnd {
-            kind: FaultKind::ShardCrash,
-            node: 0,
-        });
-        log.emit(TraceEvent::EpochAdvance {
-            shard: 0,
-            epoch: *cur_epoch,
-        });
-        for tx in worker_txs {
-            tx.send(ToWorker::ShardRestarted { epoch: *cur_epoch })
-                .expect("worker hung up at restart");
-        }
-    };
-
-    loop {
+    'serve: loop {
+        // Drain the inbox without blocking; acks flush the moment it runs
+        // dry (one batch per worker per drain), and only then do we block.
         // Poll (instead of block) only while a scheduled crash is still
         // pending, so an idle channel cannot postpone it.
-        let msg = if next_crash < crashes.len() {
-            match rx.recv_timeout(StdDuration::from_millis(1)) {
-                Ok(m) => Some(m),
-                Err(RecvTimeoutError::Timeout) => None,
-                Err(RecvTimeoutError::Disconnected) => break,
+        let msg = match rx.try_recv() {
+            Ok(m) => Some(m),
+            Err(TryRecvError::Empty) => {
+                flush_acks(
+                    &mut pending,
+                    &mut pending_total,
+                    &mut ack_batches,
+                    &worker_txs,
+                );
+                if next_crash < crashes.len() {
+                    match rx.recv_timeout(StdDuration::from_millis(1)) {
+                        Ok(m) => Some(m),
+                        Err(RecvTimeoutError::Timeout) => None,
+                        Err(RecvTimeoutError::Disconnected) => break 'serve,
+                    }
+                } else {
+                    match rx.recv() {
+                        Ok(m) => Some(m),
+                        Err(_) => break 'serve,
+                    }
+                }
             }
-        } else {
-            match rx.recv() {
-                Ok(m) => Some(m),
-                Err(_) => break,
-            }
+            Err(TryRecvError::Disconnected) => break 'serve,
         };
         if next_crash < crashes.len() && start.elapsed().as_nanos() as u64 >= crashes[next_crash].0
         {
             let downtime = crashes[next_crash].1;
             next_crash += 1;
-            crash_restart(&mut cur_epoch, &mut agg, downtime, &log, &worker_txs);
+            crash_restart(
+                s,
+                &mut cur_epoch,
+                &mut slots,
+                downtime,
+                &mut tlog,
+                &worker_txs,
+            );
         }
         let Some(msg) = msg else { continue };
         match msg {
@@ -685,10 +941,11 @@ fn ps_thread(
                     // The triggering push dies with the old incarnation.
                     restart_pending = None;
                     crash_restart(
+                        s,
                         &mut cur_epoch,
-                        &mut agg,
+                        &mut slots,
                         StdDuration::ZERO,
-                        &log,
+                        &mut tlog,
                         &worker_txs,
                     );
                     continue;
@@ -697,59 +954,82 @@ fn ps_thread(
                     // A pre-crash push that raced the restart broadcast.
                     continue;
                 }
+                let l = grad - range.start;
+                let size = tensor_elems[grad];
                 let len_elems = data.len() / 4;
-                let ack = ToWorker::PushAck {
+                let ack = Ack {
                     iter,
                     grad,
                     offset_elems,
                     len_elems,
                     epoch,
                 };
-                if done.contains(&(iter, grad)) {
+                if done_iter[l].is_some_and(|d| d >= iter) {
                     // Late duplicate of a completed barrier: re-ack only.
-                    worker_txs[worker].send(ack).expect("worker hung up at ack");
+                    pending[worker].push(ack);
+                    pending_total += 1;
                     continue;
                 }
-                let entry = agg.entry((iter, grad)).or_insert_with(|| Agg {
-                    per_worker: vec![vec![0.0; tensor_elems[grad]]; cfg.workers],
-                    received_elems: vec![0; cfg.workers],
-                    seen_offsets: vec![HashSet::new(); cfg.workers],
-                    complete: 0,
-                });
-                if !entry.seen_offsets[worker].insert(offset_elems) {
+                let slot = &mut slots[l];
+                if !slot.active {
+                    slot.active = true;
+                    slot.iter = iter;
+                    slot.complete = 0;
+                    debug_assert!(slot.recv.iter().all(|r| r.slices.is_empty()));
+                }
+                assert_eq!(
+                    slot.iter, iter,
+                    "push for tensor {grad} skipped the BSP barrier"
+                );
+                let recv = &mut slot.recv[worker];
+                if recv.slices.iter().any(|&(o, _)| o == offset_elems) {
                     // Duplicate slice (a retransmission raced the ack).
-                    worker_txs[worker].send(ack).expect("worker hung up at ack");
+                    pending[worker].push(ack);
+                    pending_total += 1;
                     continue;
                 }
-                let values = decode_f32(&data);
-                entry.per_worker[worker][offset_elems..offset_elems + values.len()]
-                    .copy_from_slice(&values);
-                entry.received_elems[worker] += values.len();
+                recv.received_elems += len_elems;
                 assert!(
-                    entry.received_elems[worker] <= tensor_elems[grad],
+                    recv.received_elems <= size,
                     "worker {worker} over-pushed tensor {grad}"
                 );
-                worker_txs[worker].send(ack).expect("worker hung up at ack");
-                if entry.received_elems[worker] == tensor_elems[grad] {
-                    entry.complete += 1;
-                    log.emit(TraceEvent::PushEnd { worker, iter, grad });
-                    if entry.complete == cfg.workers {
-                        // BSP barrier reached: average in fixed worker
-                        // order (determinism), step, notify.
-                        let agg_state = agg.remove(&(iter, grad)).unwrap();
-                        done.insert((iter, grad));
-                        let mut mean = vec![0.0f32; tensor_elems[grad]];
-                        for wbuf in &agg_state.per_worker {
-                            for (m, &v) in mean.iter_mut().zip(wbuf) {
-                                *m += v;
+                // Zero-copy staging: the wire slice itself is the staged
+                // gradient; nothing is decoded until the barrier.
+                recv.slices.push((offset_elems, data));
+                pending[worker].push(ack);
+                pending_total += 1;
+                if recv.received_elems == size {
+                    slot.complete += 1;
+                    tlog.emit(TraceEvent::PushEnd { worker, iter, grad });
+                    if slot.complete == cfg.workers {
+                        // BSP barrier reached: fold the staged wire slices
+                        // into the accumulator in fixed worker order
+                        // (bit-identical to the single-shard and
+                        // single-process sums), step, notify.
+                        let acc = &mut acc_buf[..size];
+                        acc.fill(0.0);
+                        for r in &mut slot.recv {
+                            for (off, bytes) in r.slices.drain(..) {
+                                let n = bytes.len() / 4;
+                                accumulate_f32_le(&bytes, &mut acc[off..off + n]);
                             }
+                            r.received_elems = 0;
                         }
                         let inv = 1.0 / cfg.workers as f32;
-                        for m in &mut mean {
+                        for m in acc.iter_mut() {
                             *m *= inv;
                         }
-                        opt.step(grad, &mut params[grad], &mean);
-                        log.emit(TraceEvent::Barrier { iter, grad });
+                        opt.step(l, &mut params[l], acc);
+                        slot.active = false;
+                        done_iter[l] = Some(iter);
+                        // The cached pull encoding is stale; reclaim its
+                        // storage for the re-encode.
+                        if let Some(b) = pull[l].wire.take() {
+                            if let Ok(m) = b.try_into_mut() {
+                                pull[l].spare = Some(m);
+                            }
+                        }
+                        tlog.emit(TraceEvent::Barrier { iter, grad });
                         for tx in &worker_txs {
                             // A worker that already exited is a bug — every
                             // worker needs every update.
@@ -768,19 +1048,59 @@ fn ps_thread(
                 offset_elems,
                 len_elems,
             } => {
-                let slice = &params[grad][offset_elems..offset_elems + len_elems];
+                let l = grad - range.start;
+                if pull[l].wire.is_none() {
+                    // First pull since the last update: encode the whole
+                    // tensor once into (recycled) storage; every further
+                    // pull of it is a zero-copy window.
+                    let mut buf = match pull[l].spare.take() {
+                        Some(mut m) => {
+                            m.clear();
+                            pool_recycles += 1;
+                            m
+                        }
+                        None => {
+                            pool_allocs += 1;
+                            BytesMut::with_capacity(tensor_elems[grad] * 4)
+                        }
+                    };
+                    encode_f32_into(&params[l], &mut buf);
+                    pull[l].wire = Some(buf.freeze());
+                }
+                let wire = pull[l].wire.as_ref().unwrap();
+                let data = wire.slice(offset_elems * 4..(offset_elems + len_elems) * 4);
                 worker_txs[worker]
                     .send(ToWorker::PullData {
                         grad,
                         offset_elems,
-                        data: encode_f32(slice),
+                        data,
                     })
                     .expect("worker hung up mid-pull");
             }
         }
+        if pending_total >= ACK_FLUSH_CAP {
+            flush_acks(
+                &mut pending,
+                &mut pending_total,
+                &mut ack_batches,
+                &worker_txs,
+            );
+        }
     }
-    debug_assert_eq!(params.len(), n);
-    params
+    // Workers are gone; remaining acks are moot but flushed for the count.
+    flush_acks(
+        &mut pending,
+        &mut pending_total,
+        &mut ack_batches,
+        &worker_txs,
+    );
+    (
+        params,
+        tlog.into_events(),
+        pool_allocs,
+        pool_recycles,
+        ack_batches,
+    )
 }
 
 /// Borrowed context threaded through [`drive`].
@@ -788,16 +1108,20 @@ struct DriveCtx<'a> {
     w: usize,
     iter: u64,
     epoch: Instant,
-    grads: &'a [Vec<f32>],
-    tx: &'a Sender<ToPs>,
-    log: &'a EventLog,
-    /// Current PS incarnation; updated mid-iteration when a
+    /// This iteration's gradient arena; push payloads are windows into it.
+    arena: &'a Bytes,
+    /// Byte offset of each gradient tensor within the arena.
+    grad_off: &'a [usize],
+    txs: &'a [Sender<ToPs>],
+    map: &'a ShardMap,
+    /// Current incarnation per shard; updated mid-iteration when a
     /// [`ToWorker::ShardRestarted`] arrives.
-    ps_epoch: &'a Cell<u64>,
+    ps_epochs: &'a [Cell<u64>],
 }
 
 /// Send one push slice: pay the link, doom-draw against the loss windows,
 /// transmit (unless doomed), and register the slice in the ack ledger.
+/// The payload is a zero-copy window of the iteration arena.
 fn send_push_slice(
     ctx: &DriveCtx<'_>,
     faults: &mut WorkerFaults,
@@ -810,20 +1134,22 @@ fn send_push_slice(
     let bytes = (len_elems * 4) as u64;
     limiter.acquire(bytes);
     *bytes_pushed += bytes;
-    let epoch = ctx.ps_epoch.get();
+    let shard = ctx.map.shard_of(grad);
+    let epoch = ctx.ps_epochs[shard].get();
     if faults.doomed(ctx.epoch) {
         faults.messages_lost += 1;
     } else {
-        ctx.tx
+        let lo = ctx.grad_off[grad] + offset_elems * 4;
+        ctx.txs[shard]
             .send(ToPs::Push {
                 worker: ctx.w,
                 iter: ctx.iter,
                 grad,
                 offset_elems,
-                data: encode_f32(&ctx.grads[grad][offset_elems..offset_elems + len_elems]),
+                data: ctx.arena.slice(lo..lo + len_elems * 4),
                 epoch,
             })
-            .expect("ps hung up");
+            .expect("ps shard hung up");
     }
     faults.track(ctx.iter, grad, offset_elems, len_elems, epoch);
 }
@@ -841,6 +1167,7 @@ fn drive(
     limiter: &mut RateLimiter,
     bytes_pushed: &mut u64,
     faults: &mut WorkerFaults,
+    tlog: &mut ThreadLog,
 ) {
     while inflight_pull.is_none() {
         let Some(task) = sched.next_task(now_since(ctx.epoch)) else {
@@ -853,7 +1180,7 @@ fn drive(
                     let off = push_sent[g];
                     push_sent[g] += elems;
                     if off == 0 {
-                        ctx.log.emit(TraceEvent::PushStart {
+                        tlog.emit(TraceEvent::PushStart {
                             worker: ctx.w,
                             iter: ctx.iter,
                             grad: g,
@@ -868,20 +1195,20 @@ fn drive(
                 for &(g, b) in &task.pieces {
                     let elems = (b / 4) as usize;
                     if pull_recv[g] == 0 {
-                        ctx.log.emit(TraceEvent::PullStart {
+                        tlog.emit(TraceEvent::PullStart {
                             worker: ctx.w,
                             iter: ctx.iter,
                             grad: g,
                         });
                     }
-                    ctx.tx
+                    ctx.txs[ctx.map.shard_of(g)]
                         .send(ToPs::PullReq {
                             worker: ctx.w,
                             grad: g,
                             offset_elems: pull_recv[g],
                             len_elems: elems,
                         })
-                        .expect("ps hung up");
+                        .expect("ps shard hung up");
                     pull_recv[g] += elems;
                     awaiting += 1;
                 }
@@ -894,13 +1221,15 @@ fn drive(
 /// Retransmit every tracked slice whose ack deadline has passed, one
 /// [`TraceEvent::RetryAttempt`] per affected gradient per sweep (slices of
 /// one gradient coalesce, as the simulator's message retries do). The next
-/// deadline stretches by the policy's exponential backoff.
+/// deadline stretches by the policy's exponential backoff. Payloads are
+/// re-sliced from the iteration arena — retransmission copies nothing.
 fn resend_expired(
     ctx: &DriveCtx<'_>,
     faults: &mut WorkerFaults,
     attempts: &mut [u32],
     limiter: &mut RateLimiter,
     bytes_pushed: &mut u64,
+    tlog: &mut ThreadLog,
 ) {
     let now = Instant::now();
     let due: Vec<usize> = (0..faults.unacked.len())
@@ -918,19 +1247,20 @@ fn resend_expired(
     }
     for &g in &grads_hit {
         attempts[g] += 1;
-        ctx.log.emit(TraceEvent::RetryAttempt {
+        tlog.emit(TraceEvent::RetryAttempt {
             worker: ctx.w,
             iter: ctx.iter,
             grad: g,
             attempt: attempts[g],
         });
-        ctx.log.emit(TraceEvent::PushStart {
+        tlog.emit(TraceEvent::PushStart {
             worker: ctx.w,
             iter: ctx.iter,
             grad: g,
         });
         let backoff = to_std(faults.retry.delay(attempts[g]));
         let timeout = to_std(faults.retry.timeout);
+        let shard = ctx.map.shard_of(g);
         for &i in &due {
             if faults.unacked[i].grad != g {
                 continue;
@@ -939,20 +1269,21 @@ fn resend_expired(
             let bytes = (len * 4) as u64;
             limiter.acquire(bytes);
             *bytes_pushed += bytes;
-            let epoch = ctx.ps_epoch.get();
+            let epoch = ctx.ps_epochs[shard].get();
             if faults.doomed(ctx.epoch) {
                 faults.messages_lost += 1;
             } else {
-                ctx.tx
+                let lo = ctx.grad_off[g] + off * 4;
+                ctx.txs[shard]
                     .send(ToPs::Push {
                         worker: ctx.w,
                         iter: ctx.iter,
                         grad: g,
                         offset_elems: off,
-                        data: encode_f32(&ctx.grads[g][off..off + len]),
+                        data: ctx.arena.slice(lo..lo + len * 4),
                         epoch,
                     })
-                    .expect("ps hung up mid-retry");
+                    .expect("ps shard hung up mid-retry");
             }
             let u = &mut faults.unacked[i];
             u.epoch = epoch;
@@ -963,41 +1294,69 @@ fn resend_expired(
 
 /// One worker: compute shard gradients, release them backward-first to the
 /// scheduler, move bytes as the scheduler dictates, pull updates, repeat.
+/// All per-iteration scratch (arena, counters, flags) lives outside the
+/// iteration loop and is reset, not reallocated.
 #[allow(clippy::too_many_arguments)]
 fn worker_thread(
     w: usize,
-    cfg: ThreadedConfig,
-    dataset: Dataset,
-    tensor_elems: Vec<usize>,
-    sizes_bytes: Vec<u64>,
-    tx: Sender<ToPs>,
+    cfg: Arc<ThreadedConfig>,
+    dataset: Arc<Dataset>,
+    tensor_elems: Arc<Vec<usize>>,
+    sizes_bytes: Arc<Vec<u64>>,
+    map: Arc<ShardMap>,
+    txs: Vec<Sender<ToPs>>,
     rx: Receiver<ToWorker>,
     epoch: Instant,
-    log: EventLog,
-) -> (Vec<f32>, u64, u64) {
+    mut tlog: ThreadLog,
+) -> WorkerOut {
     let n = tensor_elems.len();
+    let shards = map.shards();
+    let node = shards + w; // this worker's trace/fault node id
     let mut model = Mlp::new(&cfg.widths, cfg.seed ^ 0xABCD);
-    let mut sched: Box<dyn CommScheduler> = cfg.scheduler.build_from_sizes(sizes_bytes.clone());
+    let mut sched: Box<dyn CommScheduler> =
+        cfg.scheduler.build_from_sizes(sizes_bytes.as_ref().clone());
     let mut limiter = RateLimiter::new(
         cfg.link_bps,
         epoch,
-        RateLimiter::windows_for(&cfg.fault_plan, w),
+        RateLimiter::windows_for(&cfg.fault_plan, w, shards),
     );
     let mut faults = WorkerFaults::new(w, &cfg.fault_plan, cfg.retry);
     let mut losses = Vec::with_capacity(cfg.iterations as usize);
     let mut bytes_pushed = 0u64;
-    let ps_epoch = Cell::new(0u64);
+    let ps_epochs: Vec<Cell<u64>> = (0..shards).map(|_| Cell::new(0)).collect();
+
+    // Reusable per-iteration scratch: reset each iteration, never
+    // reallocated.
+    let mut push_sent = vec![0usize; n]; // elements already pushed
+    let mut pull_recv = vec![0usize; n];
+    let mut pulled = vec![false; n];
+    let mut param_ready_seen = vec![false; n];
+    let mut attempts = vec![0u32; n];
+    let mut grad_off = vec![0usize; n]; // byte offset of each tensor in the arena
+    let arena_bytes: usize = tensor_elems.iter().map(|&e| e * 4).sum();
+    let mut pool = ArenaPool::new();
+    let mut arena: Option<Bytes> = None;
 
     let per_worker = cfg.global_batch / cfg.workers;
     for iter in 0..cfg.iterations {
         let t_begin = now_since(epoch);
-        log.emit(TraceEvent::IterBegin { worker: w, iter });
+        tlog.emit(TraceEvent::IterBegin { worker: w, iter });
         sched.iteration_begin(t_begin, iter);
         if faults.active {
-            faults.stall_if_scheduled(w, epoch, &log);
+            faults.stall_if_scheduled(node, epoch, &mut tlog);
             // Any straggler entries are long-acked by the BSP barrier that
             // let the previous iteration finish.
             faults.unacked.clear();
+        }
+        push_sent.fill(0);
+        pull_recv.fill(0);
+        pulled.fill(false);
+        param_ready_seen.fill(false);
+        attempts.fill(0);
+        // The previous iteration's barriers released every staged slice of
+        // the old arena; recycle its storage for this iteration.
+        if let Some(prev) = arena.take() {
+            pool.recycle(prev);
         }
 
         // This iteration's shard: a rotating window over the dataset.
@@ -1008,29 +1367,31 @@ fn worker_thread(
         let loss = model.forward_backward(&x, &labels);
         losses.push(loss);
 
-        // Snapshot gradients; release to the scheduler in backward order.
-        let grads: Vec<Vec<f32>> = model.grad_slices().iter().map(|g| g.to_vec()).collect();
-        let mut push_sent = vec![0usize; n]; // elements already pushed
-        let mut pull_recv = vec![0usize; n];
-        let mut pulled = vec![false; n];
-        let mut pull_buf: Vec<Vec<f32>> = tensor_elems.iter().map(|&e| vec![0.0; e]).collect();
-        let mut inflight_pull: Option<(prophet_core::TransferTask, usize)> = None;
-
-        let mut param_ready_seen = vec![false; n];
-        let mut attempts = vec![0u32; n];
+        // Serialise all gradients into one arena; every push payload below
+        // is a zero-copy window into it.
+        let mut buf = pool.checkout(arena_bytes);
+        let mut off = 0usize;
+        for (g, gs) in model.grad_slices().iter().enumerate() {
+            grad_off[g] = off;
+            encode_f32_into(gs, &mut buf);
+            off += gs.len() * 4;
+        }
+        let arena_ref: &Bytes = arena.insert(buf.freeze());
 
         let ctx = DriveCtx {
             w,
             iter,
             epoch,
-            grads: &grads,
-            tx: &tx,
-            log: &log,
-            ps_epoch: &ps_epoch,
+            arena: arena_ref,
+            grad_off: &grad_off,
+            txs: &txs,
+            map: &map,
+            ps_epochs: &ps_epochs,
         };
 
+        let mut inflight_pull: Option<(prophet_core::TransferTask, usize)> = None;
         for g in (0..n).rev() {
-            log.emit(TraceEvent::GradReady {
+            tlog.emit(TraceEvent::GradReady {
                 worker: w,
                 iter,
                 grad: g,
@@ -1045,13 +1406,14 @@ fn worker_thread(
                 &mut limiter,
                 &mut bytes_pushed,
                 &mut faults,
+                &mut tlog,
             );
         }
 
         // Communication loop: receive PS messages until every tensor has
         // been pulled and applied. With live fault machinery the receive
-        // polls, so ack-timeout retransmissions fire even when the PS has
-        // gone quiet (the very situation a lost message creates).
+        // polls, so ack-timeout retransmissions fire even when the shards
+        // have gone quiet (the very situation a lost message creates).
         while !pulled.iter().all(|&p| p) {
             let msg = if faults.active {
                 match rx.recv_timeout(StdDuration::from_millis(2)) {
@@ -1065,7 +1427,7 @@ fn worker_thread(
             match msg {
                 None => {}
                 Some(ToWorker::ParamReady { grad, epoch: pe }) => {
-                    log.emit(TraceEvent::ParamReady {
+                    tlog.emit(TraceEvent::ParamReady {
                         worker: w,
                         grad,
                         epoch: pe,
@@ -1076,7 +1438,7 @@ fn worker_thread(
                     // message in the channel).
                     faults.unacked.retain(|u| u.grad != grad);
                     if attempts[grad] > 0 {
-                        log.emit(TraceEvent::Recovered {
+                        tlog.emit(TraceEvent::Recovered {
                             worker: w,
                             iter,
                             grad,
@@ -1086,24 +1448,20 @@ fn worker_thread(
                     }
                     sched.param_ready(now_since(epoch), grad);
                 }
-                Some(ToWorker::PushAck {
-                    iter: ai,
-                    grad,
-                    offset_elems,
-                    len_elems,
-                    epoch: ae,
-                }) => {
-                    faults.ack(ai, grad, offset_elems, len_elems, ae);
+                Some(ToWorker::PushAcks { acks }) => {
+                    for a in &acks {
+                        faults.ack(a.iter, a.grad, a.offset_elems, a.len_elems, a.epoch);
+                    }
                 }
                 Some(ToWorker::PullData {
                     grad,
                     offset_elems,
                     data,
                 }) => {
-                    let values = decode_f32(&data);
-                    limiter.acquire((values.len() * 4) as u64);
-                    pull_buf[grad][offset_elems..offset_elems + values.len()]
-                        .copy_from_slice(&values);
+                    limiter.acquire(data.len() as u64);
+                    // Wire bytes land straight in the model's parameter
+                    // storage — no staging buffer.
+                    model.set_param_slice_le(grad, offset_elems, &data);
                     let (task, awaiting) = inflight_pull.take().expect("pull data without request");
                     if awaiting > 1 {
                         inflight_pull = Some((task, awaiting - 1));
@@ -1113,43 +1471,43 @@ fn worker_thread(
                         for &(g, _) in &task.pieces {
                             if pull_recv[g] == tensor_elems[g] && !pulled[g] {
                                 pulled[g] = true;
-                                log.emit(TraceEvent::PullEnd {
+                                tlog.emit(TraceEvent::PullEnd {
                                     worker: w,
                                     iter,
                                     grad: g,
                                 });
-                                model.set_param(g, &pull_buf[g]);
                             }
                         }
                     }
                 }
-                Some(ToWorker::ShardRestarted { epoch: e }) => {
-                    // The PS lost its aggregation state. Re-push every
-                    // gradient we started pushing that was never
-                    // barrier-acknowledged, addressed to the new
-                    // incarnation. The scheduler is NOT consulted — it
-                    // already accounted for these bytes; this is
-                    // transport-level recovery.
-                    ps_epoch.set(e);
-                    log.emit(TraceEvent::EpochAck {
+                Some(ToWorker::ShardRestarted { shard, epoch: e }) => {
+                    // One shard lost its aggregation state. Re-push every
+                    // gradient IT owns that we started pushing but never
+                    // saw barrier-acknowledged, addressed to the new
+                    // incarnation. Other shards' gradients are untouched.
+                    // The scheduler is NOT consulted — it already accounted
+                    // for these bytes; this is transport-level recovery.
+                    ps_epochs[shard].set(e);
+                    tlog.emit(TraceEvent::EpochAck {
                         worker: w,
+                        shard,
                         epoch: e,
                     });
                     // Slices addressed to the dead incarnation will never
                     // be acked; the whole-prefix re-push replaces them.
-                    faults.unacked.clear();
-                    for g in 0..n {
+                    faults.unacked.retain(|u| map.shard_of(u.grad) != shard);
+                    for g in map.range(shard) {
                         if push_sent[g] == 0 || param_ready_seen[g] {
                             continue;
                         }
                         attempts[g] += 1;
-                        log.emit(TraceEvent::RetryAttempt {
+                        tlog.emit(TraceEvent::RetryAttempt {
                             worker: w,
                             iter,
                             grad: g,
                             attempt: attempts[g],
                         });
-                        log.emit(TraceEvent::PushStart {
+                        tlog.emit(TraceEvent::PushStart {
                             worker: w,
                             iter,
                             grad: g,
@@ -1173,6 +1531,7 @@ fn worker_thread(
                     &mut attempts,
                     &mut limiter,
                     &mut bytes_pushed,
+                    &mut tlog,
                 );
             }
             drive(
@@ -1184,13 +1543,22 @@ fn worker_thread(
                 &mut limiter,
                 &mut bytes_pushed,
                 &mut faults,
+                &mut tlog,
             );
         }
         let t_end = now_since(epoch);
-        log.emit(TraceEvent::IterEnd { worker: w, iter });
+        tlog.emit(TraceEvent::IterEnd { worker: w, iter });
         sched.iteration_end(t_end, iter, t_end.saturating_since(t_begin));
     }
-    (losses, bytes_pushed, faults.messages_lost)
+    let lost = faults.messages_lost;
+    (
+        losses,
+        bytes_pushed,
+        lost,
+        tlog.into_events(),
+        pool.allocated,
+        pool.recycled,
+    )
 }
 
 #[cfg(test)]
@@ -1253,19 +1621,41 @@ mod tests {
         let at = SimTime::ZERO + Duration::from_millis(10);
         let plan = FaultPlan::new(vec![
             FaultSpec::LinkDown {
-                node: 0, // PS: hits every worker
+                node: 0, // PS shard 0: hits every worker
                 at,
                 dur: Duration::from_millis(5),
             },
             FaultSpec::LinkDegrade {
-                node: 2, // worker 1 only
+                node: 2, // worker 1 (1-shard topology)
                 at,
                 factor: 0.5,
                 dur: Duration::from_millis(5),
             },
         ]);
-        assert_eq!(RateLimiter::windows_for(&plan, 0).len(), 1);
-        assert_eq!(RateLimiter::windows_for(&plan, 1).len(), 2);
+        assert_eq!(RateLimiter::windows_for(&plan, 0, 1).len(), 1);
+        assert_eq!(RateLimiter::windows_for(&plan, 1, 1).len(), 2);
+    }
+
+    #[test]
+    fn windows_for_respects_shard_count() {
+        let at = SimTime::ZERO + Duration::from_millis(10);
+        // In a 2-shard topology node 1 is PS shard 1 (shared by everyone)
+        // and node 2 is worker 0, not worker 1.
+        let plan = FaultPlan::new(vec![
+            FaultSpec::LinkDown {
+                node: 1,
+                at,
+                dur: Duration::from_millis(5),
+            },
+            FaultSpec::LinkDegrade {
+                node: 2,
+                at,
+                factor: 0.5,
+                dur: Duration::from_millis(5),
+            },
+        ]);
+        assert_eq!(RateLimiter::windows_for(&plan, 0, 2).len(), 2);
+        assert_eq!(RateLimiter::windows_for(&plan, 1, 2).len(), 1);
     }
 
     #[test]
@@ -1299,5 +1689,33 @@ mod tests {
         assert!(!f.doomed(start));
         f.track(0, 0, 0, 16, 0);
         assert!(f.unacked.is_empty(), "inactive faults must not track");
+    }
+
+    #[test]
+    fn thread_logs_merge_in_ticket_order() {
+        let epoch = Instant::now();
+        let log = EventLog::new(true, epoch);
+        let mut a = log.thread_log();
+        let mut b = log.thread_log();
+        a.emit(TraceEvent::IterBegin { worker: 0, iter: 0 });
+        b.emit(TraceEvent::IterBegin { worker: 1, iter: 0 });
+        a.emit(TraceEvent::IterEnd { worker: 0, iter: 0 });
+        let mut merged = a.into_events();
+        merged.extend(b.into_events());
+        merged.sort_unstable_by_key(|&(t, _, _)| t);
+        let tickets: Vec<u64> = merged.iter().map(|&(t, _, _)| t).collect();
+        assert_eq!(tickets, vec![0, 1, 2]);
+        assert!(matches!(
+            merged[1].2,
+            TraceEvent::IterBegin { worker: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let log = EventLog::new(false, Instant::now());
+        let mut t = log.thread_log();
+        t.emit(TraceEvent::IterBegin { worker: 0, iter: 0 });
+        assert!(t.into_events().is_empty());
     }
 }

@@ -346,12 +346,15 @@ pub enum TraceEvent {
         /// The new epoch, strictly greater than the shard's previous one.
         epoch: u64,
     },
-    /// A worker processed the shard-restart notice and adopted `epoch`
-    /// (threaded runtime). Must move the worker's epoch strictly forward,
-    /// and never past the newest announced epoch.
+    /// A worker processed shard `shard`'s restart notice and adopted
+    /// `epoch` for that shard (threaded runtime). Must move the worker's
+    /// per-shard epoch strictly forward, and never past the newest epoch
+    /// that shard announced.
     EpochAck {
         /// Worker index.
         worker: usize,
+        /// The restarted shard whose new incarnation is being adopted.
+        shard: usize,
         /// The epoch the worker switched to.
         epoch: u64,
     },
@@ -419,17 +422,22 @@ const RING: usize = 24;
 ///   bytes were discarded), and no BSP barrier may fire for a gradient
 ///   whose PS shard is down;
 /// * epoch protocol (threaded runtime) — shard epochs advance strictly,
-///   a worker's `EpochAck` moves its epoch strictly forward and never past
-///   the newest announced epoch, and every `ParamReady` stamp equals the
-///   receiving worker's current epoch (stale deliveries from before a
+///   a worker's `EpochAck` moves its per-shard epoch strictly forward and
+///   never past the newest epoch that shard announced, and every
+///   `ParamReady` stamp equals the receiving worker's current epoch for
+///   the shard owning the gradient (stale deliveries from before a
 ///   crash, or deliveries racing past the restart notice, both fail).
 #[derive(Debug, Default)]
 pub struct InvariantChecker {
     workers: usize,
     bsp: bool,
-    /// Number of PS shards (gradient `g` lives on shard `g % shards`);
-    /// `None` disables the shard-down barrier check.
+    /// Number of PS shards (gradient `g` lives on shard `g % shards`
+    /// unless [`InvariantChecker::with_shard_map`] supplied an explicit
+    /// table); `None` disables the shard-down barrier check.
     shards: Option<usize>,
+    /// Explicit gradient → shard table (the threaded runtime's contiguous
+    /// size-balanced partition); overrides the modulo rule.
+    shard_map: Option<Vec<usize>>,
     last_at: Option<SimTime>,
     events_seen: u64,
     ring: VecDeque<String>,
@@ -450,10 +458,8 @@ pub struct InvariantChecker {
     down_shards: HashSet<usize>,
     /// Per-shard aggregation epoch (threaded runtime; absent = epoch 0).
     shard_epoch: HashMap<usize, u64>,
-    /// Per-worker acked epoch (threaded runtime; starts at 0).
-    worker_epoch: Vec<u64>,
-    /// Newest epoch any shard has announced.
-    max_epoch: u64,
+    /// Per-`(worker, shard)` acked epoch (threaded runtime; absent = 0).
+    worker_epoch: HashMap<(usize, usize), u64>,
 }
 
 impl InvariantChecker {
@@ -464,7 +470,6 @@ impl InvariantChecker {
             workers,
             bsp,
             worker_iter: vec![None; workers],
-            worker_epoch: vec![0; workers],
             ..Default::default()
         }
     }
@@ -474,6 +479,29 @@ impl InvariantChecker {
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = Some(shards);
         self
+    }
+
+    /// Supply the explicit gradient → shard table the runtime actually
+    /// used (the threaded runtime's contiguous size-balanced partition),
+    /// replacing the `g % shards` default of [`with_shards`].
+    ///
+    /// [`with_shards`]: InvariantChecker::with_shards
+    pub fn with_shard_map(mut self, owner: Vec<usize>) -> Self {
+        let shards = owner.iter().copied().max().map_or(1, |m| m + 1);
+        self.shards = Some(shards);
+        self.shard_map = Some(owner);
+        self
+    }
+
+    /// The shard owning gradient `grad` under the configured mapping.
+    fn shard_of(&self, grad: usize) -> usize {
+        match (&self.shard_map, self.shards) {
+            (Some(map), _) => map.get(grad).copied().unwrap_or_else(|| {
+                panic!("gradient {grad} outside the {}-entry shard map", map.len())
+            }),
+            (None, Some(shards)) => grad % shards,
+            (None, None) => 0,
+        }
     }
 
     /// Number of events observed so far (lets tests assert the checker was
@@ -632,11 +660,11 @@ impl TraceSink for InvariantChecker {
                         self.workers
                     ));
                 }
-                if let Some(shards) = self.shards {
-                    if self.down_shards.contains(&(grad % shards)) {
+                if self.shards.is_some() {
+                    let shard = self.shard_of(grad);
+                    if self.down_shards.contains(&shard) {
                         self.fail(format!(
-                            "barrier for (iter {iter}, grad {grad}) while shard {} is down",
-                            grad % shards
+                            "barrier for (iter {iter}, grad {grad}) while shard {shard} is down"
                         ));
                     }
                 }
@@ -852,33 +880,46 @@ impl TraceSink for InvariantChecker {
                     ));
                 }
                 self.shard_epoch.insert(shard, epoch);
-                self.max_epoch = self.max_epoch.max(epoch);
             }
-            TraceEvent::EpochAck { worker, epoch } => {
-                let prev = self.worker_epoch[worker];
+            TraceEvent::EpochAck {
+                worker,
+                shard,
+                epoch,
+            } => {
+                let prev = self
+                    .worker_epoch
+                    .get(&(worker, shard))
+                    .copied()
+                    .unwrap_or(0);
                 if epoch <= prev {
                     self.fail(format!(
-                        "worker {worker} acked epoch {epoch}, not past {prev}"
+                        "worker {worker} acked shard {shard} epoch {epoch}, not past {prev}"
                     ));
                 }
-                if epoch > self.max_epoch {
+                let announced = self.shard_epoch.get(&shard).copied().unwrap_or(0);
+                if epoch > announced {
                     self.fail(format!(
-                        "worker {worker} acked epoch {epoch}, never announced (max {})",
-                        self.max_epoch
+                        "worker {worker} acked shard {shard} epoch {epoch}, never announced \
+                         (newest {announced})"
                     ));
                 }
-                self.worker_epoch[worker] = epoch;
+                self.worker_epoch.insert((worker, shard), epoch);
             }
             TraceEvent::ParamReady {
                 worker,
                 grad,
                 epoch,
             } => {
-                let cur = self.worker_epoch[worker];
+                let shard = self.shard_of(grad);
+                let cur = self
+                    .worker_epoch
+                    .get(&(worker, shard))
+                    .copied()
+                    .unwrap_or(0);
                 if epoch != cur {
                     self.fail(format!(
                         "param-ready for gradient {grad} stamped epoch {epoch}, \
-                         worker {worker} is in epoch {cur}"
+                         worker {worker} is in epoch {cur} for shard {shard}"
                     ));
                 }
             }
@@ -1934,6 +1975,7 @@ mod tests {
                     at(3),
                     EpochAck {
                         worker: 0,
+                        shard: 0,
                         epoch: 1,
                     },
                 ),
@@ -1941,6 +1983,7 @@ mod tests {
                     at(3),
                     EpochAck {
                         worker: 1,
+                        shard: 0,
                         epoch: 1,
                     },
                 ),
@@ -1967,6 +2010,7 @@ mod tests {
             at(1),
             &EpochAck {
                 worker: 0,
+                shard: 0,
                 epoch: 1,
             },
         );
@@ -1997,6 +2041,7 @@ mod tests {
             at(0),
             &TraceEvent::EpochAck {
                 worker: 0,
+                shard: 0,
                 epoch: 1,
             },
         );
@@ -2014,6 +2059,74 @@ mod tests {
             &TraceEvent::ParamReady {
                 worker: 0,
                 grad: 0,
+                epoch: 1,
+            },
+        );
+    }
+
+    #[test]
+    fn epochs_are_tracked_per_shard() {
+        // Shard 1 restarting must not disturb deliveries from shard 0:
+        // with the explicit map, gradient 0 (shard 0) stays on epoch 0
+        // while gradient 1 (shard 1) moves to epoch 1.
+        let mut c = InvariantChecker::new(1, true).with_shard_map(vec![0, 1]);
+        use TraceEvent::*;
+        c.on_event(at(0), &EpochAdvance { shard: 1, epoch: 1 });
+        c.on_event(
+            at(1),
+            &EpochAck {
+                worker: 0,
+                shard: 1,
+                epoch: 1,
+            },
+        );
+        c.on_event(
+            at(2),
+            &ParamReady {
+                worker: 0,
+                grad: 0,
+                epoch: 0,
+            },
+        );
+        c.on_event(
+            at(3),
+            &ParamReady {
+                worker: 0,
+                grad: 1,
+                epoch: 1,
+            },
+        );
+        c.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "in epoch 0 for shard 1")]
+    fn shard_map_routes_param_ready_to_owning_shard() {
+        // Gradient 1 belongs to shard 1 under the map; an epoch-1 stamp
+        // is from the future because the worker never acked shard 1.
+        let mut c = InvariantChecker::new(1, true).with_shard_map(vec![0, 1]);
+        c.on_event(at(0), &TraceEvent::EpochAdvance { shard: 1, epoch: 1 });
+        c.on_event(
+            at(1),
+            &TraceEvent::ParamReady {
+                worker: 0,
+                grad: 1,
+                epoch: 1,
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "acked shard 1 epoch 1, never announced")]
+    fn ack_checks_the_announcing_shard() {
+        // Shard 0 announced epoch 1; acking *shard 1* at epoch 1 is bogus.
+        let mut c = InvariantChecker::new(1, true).with_shards(2);
+        c.on_event(at(0), &TraceEvent::EpochAdvance { shard: 0, epoch: 1 });
+        c.on_event(
+            at(1),
+            &TraceEvent::EpochAck {
+                worker: 0,
+                shard: 1,
                 epoch: 1,
             },
         );

@@ -35,6 +35,7 @@ if [[ "$tier" == "all" || "$tier" == "debug" ]]; then
     # harnesses and exercises both engines without touching BENCH_*.json.
     cargo bench --offline -q -p prophet-bench --bench maxmin_scale -- --test > /dev/null
     cargo bench --offline -q -p prophet-bench --bench sim_scale -- --test > /dev/null
+    cargo bench --offline -q -p prophet-bench --bench threaded -- --test > /dev/null
 fi
 
 if [[ "$tier" == "all" || "$tier" == "release" ]]; then

@@ -1,0 +1,250 @@
+//! The sharded threaded runtime's load-bearing guarantee: the shard count
+//! is a pure deployment knob. For every shard count and under every fault
+//! kind, the computed model is **bit-identical** to the fault-free
+//! single-shard run — and the zero-copy buffer pool really does stop
+//! allocating after warm-up.
+
+use prophet::core::SchedulerKind;
+use prophet::minidnn::Mlp;
+use prophet::net::RetryPolicy;
+use prophet::ps::threaded::{run_threaded_training, ThreadedConfig};
+use prophet::sim::{Duration, FaultPlan, FaultSpec, SimTime};
+
+/// Shard counts the matrix sweeps. The small model has 4 tensors, so 4
+/// shards is the one-tensor-per-shard extreme.
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn base_cfg(seed: u64, shards: usize) -> ThreadedConfig {
+    let mut cfg = ThreadedConfig::small(3, SchedulerKind::Fifo);
+    cfg.ps_shards = shards;
+    cfg.seed = seed;
+    cfg.global_batch = 48;
+    cfg.iterations = 10;
+    cfg
+}
+
+/// The oracle every cell is held to: same config, one shard, no faults.
+fn fault_free_single_shard(seed: u64) -> Vec<Vec<f32>> {
+    run_threaded_training(&base_cfg(seed, 1)).final_params
+}
+
+fn fast_retry() -> RetryPolicy {
+    RetryPolicy {
+        base: Duration::from_millis(2),
+        cap: Duration::from_millis(10),
+        timeout: Duration::from_millis(40),
+    }
+}
+
+#[test]
+fn shard_count_never_changes_the_computation() {
+    // Fault-free first: sharding only re-homes tensors; aggregation stays
+    // in fixed worker order per tensor, and per-shard optimisers keep
+    // per-tensor state, so every shard count must agree bitwise — for
+    // every scheduling strategy.
+    for kind in SchedulerKind::paper_lineup(100e6) {
+        let label = kind.label();
+        let mut oracle: Option<Vec<Vec<f32>>> = None;
+        for shards in SHARD_COUNTS {
+            let mut cfg = base_cfg(7, shards);
+            cfg.scheduler = kind.clone();
+            let r = run_threaded_training(&cfg);
+            assert!(r.events_checked > 0, "{label}/{shards}: checker not wired");
+            match &oracle {
+                None => oracle = Some(r.final_params),
+                Some(o) => assert_eq!(
+                    &r.final_params, o,
+                    "{label}: {shards} shards diverged from single-shard"
+                ),
+            }
+        }
+    }
+}
+
+/// The five fault kinds, each parameterised by the topology it must be
+/// injected into (node ids shift with the shard count: node `s < shards`
+/// is PS shard `s`, node `shards + w` is worker `w`).
+fn plan_for(kind: &str, shards: usize) -> FaultPlan {
+    let spec = match kind {
+        // Crash the *last* shard so multi-shard runs exercise a non-zero
+        // shard id end to end (epoch broadcast, targeted re-push).
+        "shard_crash" => FaultSpec::ShardCrash {
+            shard: shards - 1,
+            at: SimTime::ZERO + Duration::from_millis(10),
+            restart_after: Duration::from_millis(15),
+        },
+        // Window opens at t=0 so the first iteration is guaranteed to hit
+        // it (no vacuous pass on a fast run).
+        "worker_stall" => FaultSpec::WorkerStall {
+            worker: 0,
+            at: SimTime::ZERO,
+            dur: Duration::from_millis(30),
+        },
+        "msg_loss" => FaultSpec::MsgLoss {
+            rate: 0.3,
+            at: SimTime::ZERO,
+            dur: Duration::from_secs(60),
+        },
+        // Node 0 is PS shard 0 in every topology: the degrade/outage hits
+        // every worker's transfers.
+        "link_degrade" => FaultSpec::LinkDegrade {
+            node: 0,
+            at: SimTime::ZERO,
+            factor: 0.3,
+            dur: Duration::from_millis(40),
+        },
+        "link_down" => FaultSpec::LinkDown {
+            node: 0,
+            at: SimTime::ZERO,
+            dur: Duration::from_millis(15),
+        },
+        other => panic!("unknown fault kind {other}"),
+    };
+    FaultPlan::new(vec![spec])
+}
+
+#[test]
+fn every_fault_kind_is_bit_transparent_at_every_shard_count() {
+    // The stress matrix: {fault kind} x {shard count} x {seed}, every cell
+    // compared bitwise against the fault-free single-shard oracle for its
+    // seed. Faults may cost wall clock; they may never change the model.
+    for seed in [7u64, 1234] {
+        let oracle = fault_free_single_shard(seed);
+        for kind in [
+            "shard_crash",
+            "worker_stall",
+            "msg_loss",
+            "link_degrade",
+            "link_down",
+        ] {
+            for shards in SHARD_COUNTS {
+                let mut cfg = base_cfg(seed, shards);
+                cfg.retry = fast_retry();
+                cfg.fault_plan = plan_for(kind, shards);
+                match kind {
+                    // The timed crash needs a slow enough wire that the
+                    // run is still in flight at t=10 ms.
+                    "shard_crash" => cfg.link_bps = Some(5e5),
+                    "link_degrade" => cfg.link_bps = Some(2e6),
+                    _ => {}
+                }
+                let r = run_threaded_training(&cfg);
+                assert!(
+                    r.events_checked > 0,
+                    "{kind}/{shards} shards/seed {seed}: checker not wired"
+                );
+                match kind {
+                    "shard_crash" => assert!(
+                        r.wall >= std::time::Duration::from_millis(25),
+                        "{kind}/{shards}: 15 ms downtime missing from wall {:?}",
+                        r.wall
+                    ),
+                    "worker_stall" => assert!(
+                        r.wall >= std::time::Duration::from_millis(30),
+                        "{kind}/{shards}: stall missing from wall {:?}",
+                        r.wall
+                    ),
+                    "msg_loss" => {
+                        assert!(r.messages_lost > 0, "{kind}/{shards}: nothing dropped");
+                        assert!(r.retries > 0, "{kind}/{shards}: losses never retried");
+                    }
+                    "link_down" => assert!(
+                        r.wall >= std::time::Duration::from_millis(15),
+                        "{kind}/{shards}: outage missing from wall {:?}",
+                        r.wall
+                    ),
+                    _ => {}
+                }
+                assert_eq!(
+                    r.final_params, oracle,
+                    "{kind}/{shards} shards/seed {seed}: fault changed the computed model"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn steady_state_push_path_allocates_nothing_after_warmup() {
+    // The zero-copy contract, asserted through the pool counters: every
+    // worker allocates exactly ONE arena for the whole run, every shard
+    // allocates exactly one pull-cache buffer per owned tensor, and every
+    // later iteration is served entirely from recycled storage. Doubling
+    // the iteration count must leave the allocation count untouched.
+    let n_tensors = Mlp::new(&ThreadedConfig::small(1, SchedulerKind::Fifo).widths, 0)
+        .tensor_sizes()
+        .len();
+    for shards in [1usize, 2] {
+        let mut cfg = ThreadedConfig::small(4, SchedulerKind::Fifo);
+        cfg.ps_shards = shards;
+        cfg.iterations = 30;
+        let r = run_threaded_training(&cfg);
+        let fixed = cfg.workers as u64 + n_tensors as u64;
+        assert_eq!(
+            r.arena_allocs, fixed,
+            "{shards} shards: allocations are not flat in the iteration count"
+        );
+        assert_eq!(
+            r.arena_recycles,
+            (cfg.iterations - 1) * fixed,
+            "{shards} shards: steady-state iterations not fully served from the pool"
+        );
+
+        let mut longer = cfg.clone();
+        longer.iterations = 60;
+        let r2 = run_threaded_training(&longer);
+        assert_eq!(
+            r2.arena_allocs, fixed,
+            "{shards} shards: more iterations allocated more arenas"
+        );
+    }
+}
+
+#[test]
+fn acks_are_batched_not_per_slice() {
+    // Many small P3 partitions produce many push slices per iteration;
+    // inbox-drain batching must acknowledge them in far fewer messages.
+    // (Only runs with live fault machinery track acks, so inject a
+    // zero-rate loss window to arm it without dropping anything.)
+    let mut cfg = ThreadedConfig::small(
+        2,
+        SchedulerKind::P3 {
+            partition_bytes: 1 << 8,
+        },
+    );
+    cfg.iterations = 10;
+    cfg.fault_plan = FaultPlan::new(vec![FaultSpec::MsgLoss {
+        rate: 0.0,
+        at: SimTime::ZERO,
+        dur: Duration::from_secs(60),
+    }]);
+    let r = run_threaded_training(&cfg);
+    assert_eq!(r.messages_lost, 0, "a zero-rate window dropped messages");
+    // Every accepted slice is acked; slices ≈ ceil(tensor/64 elems) per
+    // tensor per worker per iteration — far more than the flush count.
+    let slices_lower_bound = cfg.iterations * cfg.workers as u64 * 4;
+    assert!(
+        r.ack_batches > 0,
+        "armed fault machinery produced no ack batches"
+    );
+    assert!(
+        r.ack_batches < slices_lower_bound,
+        "acks are not batched: {} batches for ≥{} slices",
+        r.ack_batches,
+        slices_lower_bound
+    );
+}
+
+#[test]
+fn sharded_runs_are_deterministic() {
+    for shards in SHARD_COUNTS {
+        let cfg = base_cfg(42, shards);
+        let a = run_threaded_training(&cfg);
+        let b = run_threaded_training(&cfg);
+        assert_eq!(
+            a.final_params, b.final_params,
+            "{shards} shards: nondeterministic params"
+        );
+        assert_eq!(a.losses, b.losses, "{shards} shards: loss traces differ");
+    }
+}

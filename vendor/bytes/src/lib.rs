@@ -1,41 +1,87 @@
 //! Offline stand-in for the `bytes` crate.
 //!
-//! Implements the subset the PS wire protocol uses: an immutable,
-//! cheaply-cloneable [`Bytes`] (shared `Arc<[u8]>`), a growable
-//! [`BytesMut`] builder, and the [`BufMut`] little-endian put methods.
+//! Implements the subset the PS wire protocol and its buffer pool use: an
+//! immutable, cheaply-cloneable [`Bytes`] (a shared `Arc<Vec<u8>>` plus an
+//! offset/length window), zero-copy [`Bytes::slice`] sub-views, uniqueness
+//! reclaim via [`Bytes::try_into_mut`] (the real crate's API for recycling
+//! a buffer nobody else holds), a growable [`BytesMut`] builder, and the
+//! [`BufMut`] little-endian put methods.
 
-use std::ops::Deref;
+use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
-/// Immutable shared byte buffer. Clones share the allocation.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub struct Bytes(Arc<[u8]>);
+/// Immutable shared byte buffer. Clones and [`Bytes::slice`] sub-views
+/// share the allocation.
+#[derive(Debug, Clone)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    off: usize,
+    len: usize,
+}
 
 impl Bytes {
     /// An empty buffer.
     pub fn new() -> Self {
-        Bytes(Arc::from(&[][..]))
+        Bytes::from(Vec::new())
     }
 
     /// Wrap a static slice (copied here; the real crate borrows, but the
     /// observable behaviour is identical for readers).
     pub fn from_static(slice: &'static [u8]) -> Self {
-        Bytes(Arc::from(slice))
+        Bytes::from(slice.to_vec())
     }
 
     /// Copy from a slice.
     pub fn copy_from_slice(slice: &[u8]) -> Self {
-        Bytes(Arc::from(slice))
+        Bytes::from(slice.to_vec())
     }
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.len
     }
 
     /// True when empty.
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.len == 0
+    }
+
+    /// A zero-copy sub-view of `range` (indices relative to this view).
+    /// The returned `Bytes` shares the allocation. Panics when the range
+    /// is out of bounds or decreasing, like the real crate.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(lo <= hi, "slice range reversed: {lo}..{hi}");
+        assert!(
+            hi <= self.len,
+            "slice {lo}..{hi} out of bounds ({})",
+            self.len
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            off: self.off + lo,
+            len: hi - lo,
+        }
+    }
+
+    /// Reclaim the underlying storage for reuse when this handle is the
+    /// only one left (no clones or sub-views outstanding): the buffer
+    /// pool's recycle path. Returns the storage as a [`BytesMut`] without
+    /// copying, or `Err(self)` unchanged when the allocation is shared.
+    pub fn try_into_mut(self) -> Result<BytesMut, Bytes> {
+        match Arc::try_unwrap(self.data) {
+            Ok(v) => Ok(BytesMut(v)),
+            Err(data) => Err(Bytes { data, ..self }),
+        }
     }
 }
 
@@ -49,19 +95,38 @@ impl Deref for Bytes {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        &self.0
+        &self.data[self.off..self.off + self.len]
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.0
+        self
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        **self == **other
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        (**self).hash(state)
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes(Arc::from(v.into_boxed_slice()))
+        let len = v.len();
+        Bytes {
+            data: Arc::new(v),
+            off: 0,
+            len,
+        }
     }
 }
 
@@ -88,6 +153,16 @@ impl BytesMut {
     /// True when empty.
     pub fn is_empty(&self) -> bool {
         self.0.is_empty()
+    }
+
+    /// Drop the contents, keeping the allocation (the recycle path).
+    pub fn clear(&mut self) {
+        self.0.clear();
+    }
+
+    /// Reserve room for `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.0.reserve(additional);
     }
 
     /// Convert into an immutable [`Bytes`].
@@ -175,5 +250,47 @@ mod tests {
     fn from_static_reads_back() {
         let s = Bytes::from_static(&[9, 8]);
         assert_eq!(s.chunks_exact(2).count(), 1);
+    }
+
+    #[test]
+    fn slice_is_a_zero_copy_window() {
+        let b = Bytes::from(vec![0, 1, 2, 3, 4, 5]);
+        let s = b.slice(2..5);
+        assert_eq!(&*s, &[2, 3, 4]);
+        let ss = s.slice(1..);
+        assert_eq!(&*ss, &[3, 4]);
+        assert_eq!(s.slice(..0).len(), 0);
+        // Equality and hashing see contents, not the window bookkeeping.
+        assert_eq!(ss, Bytes::from(vec![3, 4]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_rejects_out_of_range() {
+        Bytes::from(vec![1, 2]).slice(0..3);
+    }
+
+    #[test]
+    fn try_into_mut_reclaims_only_unique_buffers() {
+        let b = Bytes::from(vec![1, 2, 3]);
+        let clone = b.clone();
+        let b = b
+            .try_into_mut()
+            .expect_err("shared buffer must not reclaim");
+        drop(clone);
+        let mut m = b.try_into_mut().expect("unique buffer must reclaim");
+        assert_eq!(&*m, &[1, 2, 3]);
+        m.clear();
+        m.put_u8(9);
+        assert_eq!(&*m.freeze(), &[9]);
+    }
+
+    #[test]
+    fn outstanding_slice_blocks_reclaim() {
+        let b = Bytes::from(vec![1, 2, 3, 4]);
+        let window = b.slice(1..3);
+        assert!(b.try_into_mut().is_err(), "slice still references storage");
+        assert_eq!(&*window, &[2, 3]);
+        assert!(window.try_into_mut().is_ok(), "last handle reclaims");
     }
 }
