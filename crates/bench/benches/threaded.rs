@@ -57,6 +57,7 @@ fn vgg_cfg(workers: usize, shards: usize) -> ThreadedConfig {
         link_bps: None,
         check_invariants: false,
         ps_restart_at_iter: None,
+        checkpoint_period: 4,
         fault_plan: Default::default(),
         retry: prophet::net::RetryPolicy::paper_default(),
     }

@@ -11,6 +11,10 @@
 //! repro ext_chaos <seed> [budget]
 //!                       # chaos search at any scale: <budget> generated
 //!                       # fault plans per scheduler vs the oracles
+//! repro ext_elastic <seed> [budget]
+//!                       # elastic churn sweep at any scale: <budget>
+//!                       # permanent-fault plans per scheduler vs the
+//!                       # deterministic recovery contract
 //! ```
 //!
 //! CSV outputs land in `results/` at the workspace root (override with
@@ -193,6 +197,39 @@ fn main() {
                 path.display()
             ),
             Err(e) => eprintln!("[repro] ext_chaos: could not write CSV: {e}"),
+        }
+        return;
+    }
+
+    // `repro ext_elastic <seed> [budget]` — the parameterized churn sweep.
+    // A bare `repro ext_elastic` falls through to the registry's small
+    // fixed-seed entry.
+    if args[0] == "ext_elastic" && args.len() > 1 {
+        let parse = |i: usize, name: &str, default: u64| -> u64 {
+            args.get(i).map_or(default, |s| {
+                s.parse().unwrap_or_else(|_| {
+                    eprintln!("bad {name} `{s}` — usage: repro ext_elastic <seed> [budget]");
+                    std::process::exit(1);
+                })
+            })
+        };
+        let seed = parse(1, "seed", 42);
+        let budget = parse(2, "budget", 200) as usize;
+        if let Some(extra) = args.get(3) {
+            eprintln!("unexpected argument `{extra}` — usage: repro ext_elastic <seed> [budget]");
+            std::process::exit(1);
+        }
+        eprintln!("[repro] elastic churn sweep: seed {seed}, {budget} plans per scheduler ...");
+        let t0 = std::time::Instant::now();
+        let output = prophet_bench::experiments::elastic::run_elastic(seed, budget);
+        println!("{}", output.to_markdown());
+        match output.write_csv(&results_dir()) {
+            Ok(path) => eprintln!(
+                "[repro] ext_elastic done in {:.1?} → {}",
+                t0.elapsed(),
+                path.display()
+            ),
+            Err(e) => eprintln!("[repro] ext_elastic: could not write CSV: {e}"),
         }
         return;
     }

@@ -2,6 +2,7 @@
 
 pub mod chaos;
 pub mod effectiveness;
+pub mod elastic;
 pub mod extensions;
 pub mod faults;
 pub mod motivation;

@@ -34,6 +34,7 @@ fn lite_cfg(workers: usize, shards: usize) -> ThreadedConfig {
         link_bps: None,
         check_invariants: false,
         ps_restart_at_iter: None,
+        checkpoint_period: 4,
         fault_plan: Default::default(),
         retry: prophet::net::RetryPolicy::paper_default(),
     }

@@ -151,6 +151,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
             chaos::ext_chaos,
         ),
         (
+            "ext_elastic",
+            "[extension] elastic membership: permanent churn vs the deterministic recovery contract",
+            elastic::ext_elastic,
+        ),
+        (
             "ext_scale",
             "[extension] scaling frontier: 64-1024 workers, iteration time + simulator wall-clock",
             scale::ext_scale,

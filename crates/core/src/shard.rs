@@ -1,32 +1,43 @@
-//! Tensor → PS-shard placement: the contiguous, size-balanced partition
-//! the sharded threaded runtime serves gradients from.
+//! Tensor → PS-shard placement: the size-balanced partition the sharded
+//! threaded runtime serves gradients from, now re-balanceable live when
+//! membership changes.
 //!
-//! Contiguity matters for two reasons. Priority order is preserved —
-//! gradient ids are forward (priority) order, so each shard owns one
-//! priority band and a scheduler's per-tensor ordering maps onto shards
-//! without interleaving. And the partition is describable by `shards + 1`
-//! cut points, so a worker routes a push with one binary-search-free table
-//! lookup.
-//!
+//! A freshly [`ShardMap::balanced`] map is **contiguous**: gradient ids are
+//! forward (priority) order, so each shard owns one priority band and a
+//! scheduler's per-tensor ordering maps onto shards without interleaving.
 //! The balance guarantee is the classic one for contiguous partitions:
 //! no contiguous partition can beat `LB = max(total/shards, max_size)`,
-//! and the greedy cut rule here never exceeds `2 × LB` (each chunk closes
+//! and the greedy cut rule never exceeds `2 × LB` (each chunk closes
 //! strictly before it exceeds `LB` unless a single oversized tensor
-//! forces it, and a forced chunk is a single tensor of size ≤ LB + its
-//! predecessors < LB). The partition property tests pin this bound for
-//! arbitrary size vectors.
+//! forces it, and a forced chunk is a single tensor).
+//!
+//! Permanent membership churn breaks contiguity on purpose:
+//! [`ShardMap::rebalance_evict`] re-homes a dead shard's tensors onto the
+//! least-loaded survivors (largest-first), and [`ShardMap::rebalance_admit`]
+//! folds a new or revived shard in with a full greedy re-balance. Both keep
+//! the cover invariant (every tensor owned by exactly one *alive* shard) and
+//! the `2 × LB` balance bound over the alive set — LB only grows as shards
+//! die, and each greedy placement lands on a minimum-load shard, so
+//! `max_load ≤ avg + max_size ≤ 2 × LB` holds inductively across arbitrary
+//! evict/admit sequences. The partition property tests pin both invariants
+//! for arbitrary size vectors and churn sequences.
 
-/// A contiguous, size-balanced assignment of gradient tensors to PS
-/// shards. Built once per run from the model's tensor sizes; lookups are
-/// a table index.
+/// A size-balanced assignment of gradient tensors to PS shards. Built once
+/// per run from the model's tensor sizes; lookups are a table index;
+/// re-balanced in place when a shard permanently fails or a new one is
+/// admitted.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardMap {
-    /// `owner[g]` = shard holding gradient `g`.
+    /// `owner[g]` = shard holding gradient `g`. Always an alive shard.
     owner: Vec<usize>,
-    /// `cuts[s]..cuts[s+1]` = the gradient range of shard `s`.
-    cuts: Vec<usize>,
+    /// `members[s]` = sorted gradient ids shard `s` owns (empty when dead).
+    members: Vec<Vec<usize>>,
     /// Total parameter bytes (or elements — the unit of `sizes`) per shard.
     loads: Vec<u64>,
+    /// Per-tensor sizes, retained so re-balancing keeps the load accounts.
+    sizes: Vec<u64>,
+    /// `dead[s]` — shard `s` has been evicted and owns nothing.
+    dead: Vec<bool>,
 }
 
 impl ShardMap {
@@ -69,15 +80,24 @@ impl ShardMap {
         loads.push(acc);
 
         let mut owner = vec![0usize; sizes.len()];
+        let mut members = Vec::with_capacity(loads.len());
         for s in 0..loads.len() {
             for o in &mut owner[cuts[s]..cuts[s + 1]] {
                 *o = s;
             }
+            members.push((cuts[s]..cuts[s + 1]).collect());
         }
-        ShardMap { owner, cuts, loads }
+        let dead = vec![false; loads.len()];
+        ShardMap {
+            owner,
+            members,
+            loads,
+            sizes: sizes.to_vec(),
+            dead,
+        }
     }
 
-    /// Number of shards actually used (≤ the requested count).
+    /// Number of shard slots, dead ones included (≤ the requested count).
     pub fn shards(&self) -> usize {
         self.loads.len()
     }
@@ -87,19 +107,29 @@ impl ShardMap {
         self.owner.len()
     }
 
-    /// The shard owning gradient `g`.
+    /// The shard owning gradient `g` (always alive).
     pub fn shard_of(&self, g: usize) -> usize {
         self.owner[g]
     }
 
-    /// The contiguous gradient range shard `s` owns.
-    pub fn range(&self, s: usize) -> std::ops::Range<usize> {
-        self.cuts[s]..self.cuts[s + 1]
+    /// The sorted gradient ids shard `s` owns (empty when dead).
+    pub fn members(&self, s: usize) -> &[usize] {
+        &self.members[s]
     }
 
     /// Total load (in the unit of the input sizes) on shard `s`.
     pub fn load(&self, s: usize) -> u64 {
         self.loads[s]
+    }
+
+    /// True once shard `s` has been evicted by [`Self::rebalance_evict`].
+    pub fn is_dead(&self, s: usize) -> bool {
+        self.dead[s]
+    }
+
+    /// The alive shard ids, ascending.
+    pub fn alive(&self) -> Vec<usize> {
+        (0..self.shards()).filter(|&s| !self.dead[s]).collect()
     }
 
     /// The full `owner` table, `tensors()` long — the shape the invariant
@@ -108,7 +138,91 @@ impl ShardMap {
         &self.owner
     }
 
-    /// The balance lower bound no contiguous partition can beat:
+    /// Permanently evict shard `dead`, re-homing each of its tensors onto
+    /// the currently least-loaded surviving shard, largest tensor first
+    /// (ties broken toward the lower tensor id / lower shard id, so the
+    /// result is a pure function of the map). Returns the re-homed tensor
+    /// ids with their new owners, in placement order — the recovery path
+    /// restores exactly these.
+    ///
+    /// Panics when `dead` is already dead or is the last alive shard.
+    pub fn rebalance_evict(&mut self, dead: usize) -> Vec<(usize, usize)> {
+        assert!(!self.dead[dead], "shard {dead} evicted twice");
+        self.dead[dead] = true;
+        assert!(
+            self.dead.iter().any(|d| !d),
+            "no surviving shard to re-home to"
+        );
+        let mut orphans = std::mem::take(&mut self.members[dead]);
+        self.loads[dead] = 0;
+        // Largest-first, ties toward the lower id.
+        orphans.sort_by_key(|&g| (std::cmp::Reverse(self.sizes[g]), g));
+        let mut moved = Vec::with_capacity(orphans.len());
+        for g in orphans {
+            let to = self.least_loaded_alive();
+            self.place(g, to);
+            moved.push((g, to));
+        }
+        moved
+    }
+
+    /// Admit shard `s` — either revive a dead slot (`s < shards()`) or
+    /// append a brand-new slot (`s == shards()`) — and re-balance the whole
+    /// partition greedily: every tensor re-assigned largest-first to the
+    /// least-loaded alive shard. Returns the tensors that changed owner as
+    /// `(tensor, old_owner, new_owner)` in placement order.
+    pub fn rebalance_admit(&mut self, s: usize) -> Vec<(usize, usize, usize)> {
+        if s == self.shards() {
+            self.members.push(Vec::new());
+            self.loads.push(0);
+            self.dead.push(false);
+        } else {
+            assert!(self.dead[s], "admitting shard {s} which is already alive");
+            self.dead[s] = false;
+        }
+        let old_owner = self.owner.clone();
+        for m in &mut self.members {
+            m.clear();
+        }
+        self.loads.iter_mut().for_each(|l| *l = 0);
+        // Greedy LPT over all tensors: largest first, ties toward lower id.
+        let mut order: Vec<usize> = (0..self.tensors()).collect();
+        order.sort_by_key(|&g| (std::cmp::Reverse(self.sizes[g]), g));
+        let mut moved = Vec::new();
+        for g in order {
+            let to = self.least_loaded_alive();
+            self.place(g, to);
+            if old_owner[g] != to {
+                moved.push((g, old_owner[g], to));
+            }
+        }
+        for m in &mut self.members {
+            m.sort_unstable();
+        }
+        moved
+    }
+
+    fn least_loaded_alive(&self) -> usize {
+        (0..self.shards())
+            .filter(|&s| !self.dead[s])
+            .min_by_key(|&s| (self.loads[s], s))
+            .expect("no alive shard")
+    }
+
+    fn place(&mut self, g: usize, to: usize) {
+        self.owner[g] = to;
+        self.loads[to] += self.sizes[g];
+        // Keep members sorted: evict places into already-sorted vectors one
+        // at a time; admit bulk-sorts afterwards, so a plain push is fine
+        // there too.
+        let m = &mut self.members[to];
+        match m.binary_search(&g) {
+            Ok(_) => panic!("tensor {g} placed twice on shard {to}"),
+            Err(at) => m.insert(at, g),
+        }
+    }
+
+    /// The balance lower bound no partition can beat:
     /// `max(ceil(total / shards), max_size)`.
     pub fn balance_lower_bound(sizes: &[u64], shards: usize) -> u64 {
         let shards = shards.min(sizes.len()).max(1) as u64;
@@ -122,29 +236,65 @@ impl ShardMap {
 mod tests {
     use super::*;
 
-    fn check_cover_and_balance(sizes: &[u64], shards: usize) -> ShardMap {
-        let map = ShardMap::balanced(sizes, shards);
-        // Every tensor exactly once, contiguously, in order.
-        let mut seen = 0usize;
-        for s in 0..map.shards() {
-            let r = map.range(s);
-            assert_eq!(r.start, seen, "gap or overlap before shard {s}");
-            assert!(!r.is_empty(), "shard {s} owns no tensors");
-            for g in r.clone() {
-                assert_eq!(map.shard_of(g), s);
+    /// Cover + balance over the *alive* shards: every tensor owned by
+    /// exactly one alive shard, owner table and members agree, and no alive
+    /// shard's load exceeds twice the lower bound for the alive count.
+    fn check_invariants(map: &ShardMap, sizes: &[u64]) {
+        let alive = map.alive();
+        assert!(!alive.is_empty());
+        let mut owned = vec![false; sizes.len()];
+        for &s in &alive {
+            let mut load = 0u64;
+            let mut prev: Option<usize> = None;
+            for &g in map.members(s) {
+                assert!(prev.is_none_or(|p| p < g), "members of {s} unsorted");
+                prev = Some(g);
+                assert!(!owned[g], "tensor {g} owned twice");
+                owned[g] = true;
+                assert_eq!(map.shard_of(g), s, "owner table disagrees on {g}");
+                load += sizes[g];
             }
-            seen = r.end;
+            assert_eq!(map.load(s), load, "load account of {s} drifted");
         }
-        assert_eq!(seen, sizes.len(), "tensors dropped off the tail");
-        // Loads within 2x of the contiguous balance lower bound.
-        let lb = ShardMap::balance_lower_bound(sizes, shards);
         for s in 0..map.shards() {
+            if map.is_dead(s) {
+                assert!(map.members(s).is_empty(), "dead shard {s} owns tensors");
+                assert_eq!(map.load(s), 0);
+            }
+        }
+        assert!(owned.iter().all(|&o| o), "tensors dropped: {owned:?}");
+        let lb = ShardMap::balance_lower_bound(sizes, alive.len());
+        for &s in &alive {
             assert!(
                 map.load(s) <= 2 * lb,
-                "shard {s} load {} exceeds 2x lower bound {lb} (sizes {sizes:?}, {shards} shards)",
-                map.load(s)
+                "shard {s} load {} exceeds 2x lower bound {lb} ({} alive, sizes {sizes:?})",
+                map.load(s),
+                alive.len()
             );
         }
+    }
+
+    fn check_cover_and_balance(sizes: &[u64], shards: usize) -> ShardMap {
+        let map = ShardMap::balanced(sizes, shards);
+        // A fresh map is additionally contiguous, in order.
+        let mut seen = 0usize;
+        for s in 0..map.shards() {
+            let m = map.members(s);
+            assert_eq!(
+                m.first().copied(),
+                Some(seen),
+                "gap or overlap before shard {s}"
+            );
+            assert!(!m.is_empty(), "shard {s} owns no tensors");
+            assert_eq!(
+                m,
+                (m[0]..m[0] + m.len()).collect::<Vec<_>>(),
+                "shard {s} not contiguous"
+            );
+            seen = m[m.len() - 1] + 1;
+        }
+        assert_eq!(seen, sizes.len(), "tensors dropped off the tail");
+        check_invariants(&map, sizes);
         map
     }
 
@@ -154,7 +304,7 @@ mod tests {
         assert_eq!(map.shards(), 4);
         for s in 0..4 {
             assert_eq!(map.load(s), 12);
-            assert_eq!(map.range(s).len(), 3);
+            assert_eq!(map.members(s).len(), 3);
         }
     }
 
@@ -162,7 +312,7 @@ mod tests {
     fn single_shard_owns_everything() {
         let map = check_cover_and_balance(&[7, 3, 9], 1);
         assert_eq!(map.shards(), 1);
-        assert_eq!(map.range(0), 0..3);
+        assert_eq!(map.members(0), &[0, 1, 2]);
         assert_eq!(map.load(0), 19);
     }
 
@@ -179,7 +329,7 @@ mod tests {
         let sizes = [1000, 4, 4, 4, 4, 4, 4];
         let map = check_cover_and_balance(&sizes, 4);
         assert_eq!(map.shards(), 4);
-        assert_eq!(map.range(0), 0..1, "the giant owns a shard alone");
+        assert_eq!(map.members(0), &[0], "the giant owns a shard alone");
     }
 
     #[test]
@@ -191,6 +341,72 @@ mod tests {
     #[should_panic(expected = "empty model")]
     fn empty_model_rejected() {
         ShardMap::balanced(&[], 2);
+    }
+
+    #[test]
+    fn evict_rehomes_every_orphan_to_survivors() {
+        let sizes = [10, 10, 10, 10, 10, 10];
+        let mut map = ShardMap::balanced(&sizes, 3);
+        let orphans: Vec<usize> = map.members(1).to_vec();
+        let moved = map.rebalance_evict(1);
+        assert!(map.is_dead(1));
+        assert_eq!(
+            moved.iter().map(|&(g, _)| g).collect::<Vec<_>>().len(),
+            orphans.len()
+        );
+        for &(g, to) in &moved {
+            assert!(orphans.contains(&g));
+            assert_ne!(to, 1);
+            assert_eq!(map.shard_of(g), to);
+        }
+        check_invariants(&map, &sizes);
+    }
+
+    #[test]
+    fn evict_is_deterministic() {
+        let sizes = [100, 7, 7, 7, 50, 3, 3, 90, 1];
+        let mut a = ShardMap::balanced(&sizes, 4);
+        let mut b = ShardMap::balanced(&sizes, 4);
+        assert_eq!(a.rebalance_evict(2), b.rebalance_evict(2));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "no surviving shard")]
+    fn evicting_the_last_shard_is_rejected() {
+        let mut map = ShardMap::balanced(&[5, 5], 1);
+        map.rebalance_evict(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "evicted twice")]
+    fn double_evict_is_rejected() {
+        let mut map = ShardMap::balanced(&[5, 5, 5], 3);
+        map.rebalance_evict(0);
+        map.rebalance_evict(0);
+    }
+
+    #[test]
+    fn admit_revives_a_dead_slot_and_rebalances() {
+        let sizes = [10, 10, 10, 10, 10, 10];
+        let mut map = ShardMap::balanced(&sizes, 3);
+        map.rebalance_evict(0);
+        check_invariants(&map, &sizes);
+        let moved = map.rebalance_admit(0);
+        assert!(!map.is_dead(0));
+        assert!(!moved.is_empty(), "revived shard got nothing");
+        assert!(!map.members(0).is_empty());
+        check_invariants(&map, &sizes);
+    }
+
+    #[test]
+    fn admit_appends_a_new_slot() {
+        let sizes = [9, 9, 9, 9];
+        let mut map = ShardMap::balanced(&sizes, 2);
+        let n = map.shards();
+        map.rebalance_admit(n);
+        assert_eq!(map.shards(), n + 1);
+        check_invariants(&map, &sizes);
     }
 
     mod props {
@@ -227,6 +443,34 @@ mod tests {
                     sizes.insert(at, g);
                 }
                 check_cover_and_balance(&sizes, shards);
+            }
+
+            /// Arbitrary evict/admit churn sequences preserve cover and the
+            /// 2x-balance bound over the alive set at every step.
+            #[test]
+            fn churn_sequences_cover_and_balance(
+                sizes in prop::collection::vec(0u64..100_000, 4..48),
+                shards in 2usize..8,
+                // Each step: even = evict, odd = admit; `step / 2` picks the
+                // target among the eligible shards.
+                churn in prop::collection::vec(0u16..512, 1..12),
+            ) {
+                let mut map = ShardMap::balanced(&sizes, shards);
+                for step in churn {
+                    let pick = (step / 2) as usize;
+                    if step % 2 == 0 {
+                        let alive = map.alive();
+                        if alive.len() < 2 { continue; }
+                        map.rebalance_evict(alive[pick % alive.len()]);
+                    } else {
+                        let dead: Vec<usize> = (0..map.shards())
+                            .filter(|&s| map.is_dead(s))
+                            .collect();
+                        if dead.is_empty() { continue; }
+                        map.rebalance_admit(dead[pick % dead.len()]);
+                    }
+                    check_invariants(&map, &sizes);
+                }
             }
         }
     }

@@ -47,6 +47,20 @@ impl RetryPolicy {
         Duration::from_nanos(ns.min(self.cap.as_nanos()))
     }
 
+    /// Backoff before retry `attempt`, fail-fast aware: when the message's
+    /// peer is **permanently** failed there is no outage to outwait, so the
+    /// delay collapses to zero and the message can be re-routed to a
+    /// surviving node immediately. Backing off against a node that is never
+    /// coming back burns the whole capped-exponential schedule (seconds of
+    /// simulated stall per message) for nothing — the hazard the elastic
+    /// regression test pins.
+    pub fn delay_to(&self, attempt: u32, peer_dead: bool) -> Duration {
+        if peer_dead {
+            return Duration::ZERO;
+        }
+        self.delay(attempt)
+    }
+
     /// Raise `timeout` so the worst-case whole-message transfer the caller
     /// can configure still completes before the ack deadline.
     ///
@@ -101,6 +115,17 @@ mod tests {
         assert_eq!(p.delay(3), Duration::from_millis(40));
         assert_eq!(p.delay(4), Duration::from_millis(75));
         assert_eq!(p.delay(5), Duration::from_millis(75));
+    }
+
+    #[test]
+    fn dead_peer_collapses_backoff_to_zero() {
+        let p = RetryPolicy::paper_default();
+        for attempt in [1, 3, 7, 20] {
+            assert!(p.delay_to(attempt, false) > Duration::ZERO);
+            assert_eq!(p.delay_to(attempt, true), Duration::ZERO);
+        }
+        // Attempt 0 (the original send) is free either way.
+        assert_eq!(p.delay_to(0, false), Duration::ZERO);
     }
 
     #[test]

@@ -180,10 +180,131 @@ pub fn check_plan(
     }
 }
 
+/// Judge one *churn* (permanent-fault) chaos run.
+///
+/// Permanent plans change what the byte ledger and the degraded-mode clock
+/// even mean, so this oracle replaces [`check_plan`]'s ledger and
+/// stuck-degraded checks rather than layering on top of them:
+///
+/// - **ledger** — skipped. Lost work at shard death, checkpoint restores,
+///   and joiner bootstraps all move wire bytes in ways the transient
+///   sandwich (`extra = wasted + replayed`) cannot reconcile.
+/// - **stuck-degraded** — skipped. A membership epoch taints estimates at
+///   an *iteration* boundary, not inside a wall-clock fault window, so the
+///   "last window + grace" clock has nothing to anchor to. Prophet is
+///   legitimately degraded right up to the end of a short run that churns
+///   near its tail.
+///
+/// In their place it checks:
+///
+/// 1. **safety** — the run must not panic (invariant violations surface
+///    here, exactly as in [`check_plan`]).
+/// 2. **liveness** — every surviving worker finishes the full iteration
+///    count within `budget.liveness_multiple` of the fault-free golden.
+/// 3. **accounting** — the elastic counters must be internally consistent:
+///    one epoch per membership change, and a failed shard implies a
+///    non-trivial recovery (bytes restored, recovery time measured).
+/// 4. **deterministic recovery** — the recovery contract from the issue:
+///    replaying the identical plan must reproduce the run bit-for-bit
+///    (duration, per-iteration times, elastic counters). Pass the second
+///    run of the same configuration as `rerun`.
+pub fn check_churn_plan(
+    golden: &RunResult,
+    outcome: &Result<RunResult, String>,
+    rerun: &Result<RunResult, String>,
+    budget: &OracleBudget,
+) -> PlanVerdict {
+    let mut violations = Vec::new();
+    let r = match outcome {
+        Err(msg) => {
+            return PlanVerdict {
+                violations: vec![format!("safety: run panicked: {msg}")],
+                slowdown: f64::INFINITY,
+            }
+        }
+        Ok(r) => r,
+    };
+
+    let slowdown = r.duration.as_nanos() as f64 / (golden.duration.as_nanos().max(1)) as f64;
+    if slowdown > budget.liveness_multiple {
+        violations.push(format!(
+            "liveness: churn run took {slowdown:.2}x the fault-free duration \
+             (budget {:.2}x)",
+            budget.liveness_multiple
+        ));
+    }
+    if r.iterations != golden.iterations {
+        violations.push(format!(
+            "liveness: completed {} iterations, golden completed {}",
+            r.iterations, golden.iterations
+        ));
+    }
+
+    let e = &r.elastic;
+    if e.epochs != e.evicted_workers + e.joined_workers + e.failed_shards {
+        violations.push(format!(
+            "accounting: {} epochs != {} evictions + {} joins + {} shard deaths",
+            e.epochs, e.evicted_workers, e.joined_workers, e.failed_shards
+        ));
+    }
+    if e.failed_shards > 0 {
+        if e.restore_bytes == 0 {
+            violations.push(format!(
+                "accounting: {} shard deaths restored zero bytes",
+                e.failed_shards
+            ));
+        }
+        if e.recovery_ns == 0 {
+            violations.push(format!(
+                "accounting: {} shard deaths with zero measured recovery time",
+                e.failed_shards
+            ));
+        }
+    }
+    if e.epochs > 0 && e.replans == 0 {
+        violations.push(format!(
+            "accounting: {} membership epochs forced zero re-plans",
+            e.epochs
+        ));
+    }
+    if e.joined_workers > 0 && e.bootstrap_bytes == 0 {
+        violations.push(format!(
+            "accounting: {} joins moved zero bootstrap bytes",
+            e.joined_workers
+        ));
+    }
+
+    match rerun {
+        Err(msg) => violations.push(format!("recovery-contract: replay panicked: {msg}")),
+        Ok(r2) => {
+            if r2.duration != r.duration {
+                violations.push(format!(
+                    "recovery-contract: replay duration {:?} != {:?}",
+                    r2.duration, r.duration
+                ));
+            }
+            if r2.iter_times != r.iter_times {
+                violations.push("recovery-contract: replay iteration times diverged".to_string());
+            }
+            if r2.elastic != r.elastic {
+                violations.push(format!(
+                    "recovery-contract: replay elastic counters diverged: {:?} != {:?}",
+                    r2.elastic, r.elastic
+                ));
+            }
+        }
+    }
+
+    PlanVerdict {
+        violations,
+        slowdown,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sim::FaultStats;
+    use crate::sim::{ElasticStats, FaultStats};
     use prophet_core::SchedulerKind;
     use prophet_dnn::TrainingJob;
     use prophet_sim::{FaultSpec, TraceRecorder};
@@ -285,7 +406,90 @@ mod tests {
             degraded_transitions,
             grad_spans: vec![],
             fault_stats: FaultStats::default(),
+            shard_spans: vec![],
+            elastic: ElasticStats::default(),
         }
+    }
+
+    fn churn() -> FaultPlan {
+        FaultPlan::new(vec![
+            FaultSpec::WorkerFail {
+                worker: 1,
+                at_iter: 3,
+            },
+            FaultSpec::WorkerJoin {
+                worker: 2,
+                at_iter: 2,
+            },
+            FaultSpec::ShardFail {
+                shard: 1,
+                at_iter: 2,
+            },
+        ])
+    }
+
+    #[test]
+    fn clean_churn_plan_passes_every_oracle() {
+        let mut base = cell(SchedulerKind::Fifo);
+        base.ps_shards = 2;
+        let golden = run_cluster(&base, 6);
+        let mut churned = base.clone();
+        churned.fault_plan = churn();
+        let outcome = run_sim_checked(&churned, 6);
+        let rerun = run_sim_checked(&churned, 6);
+        let verdict = check_churn_plan(&golden, &outcome, &rerun, &OracleBudget::paper_default());
+        assert!(verdict.ok(), "violations: {:?}", verdict.violations);
+        assert!(verdict.slowdown.is_finite());
+    }
+
+    #[test]
+    fn churn_oracle_catches_nondeterministic_replay() {
+        let mut base = cell(SchedulerKind::Fifo);
+        base.ps_shards = 2;
+        let golden = run_cluster(&base, 6);
+        let mut churned = base.clone();
+        churned.fault_plan = churn();
+        let outcome = run_sim_checked(&churned, 6);
+        // A replay from a *different* seed is a stand-in for a
+        // nondeterministic recovery path: timings diverge.
+        let mut other = churned.clone();
+        other.seed ^= 0xDEAD;
+        let rerun = run_sim_checked(&other, 6);
+        let verdict = check_churn_plan(&golden, &outcome, &rerun, &OracleBudget::paper_default());
+        assert!(
+            verdict
+                .violations
+                .iter()
+                .any(|v| v.contains("recovery-contract")),
+            "{:?}",
+            verdict.violations
+        );
+    }
+
+    #[test]
+    fn churn_oracle_catches_inconsistent_accounting() {
+        let budget = OracleBudget {
+            liveness_multiple: 1e9,
+            ..OracleBudget::paper_default()
+        };
+        let golden = synthetic(1_000, vec![]);
+        let mut broken = synthetic(1_000, vec![]);
+        broken.elastic.failed_shards = 1;
+        broken.elastic.epochs = 1;
+        broken.elastic.replans = 2;
+        // A shard died but nothing was restored and no recovery time was
+        // measured: two accounting violations.
+        let verdict = check_churn_plan(&golden, &Ok(broken.clone()), &Ok(broken), &budget);
+        assert_eq!(
+            verdict
+                .violations
+                .iter()
+                .filter(|v| v.contains("accounting"))
+                .count(),
+            2,
+            "{:?}",
+            verdict.violations
+        );
     }
 
     #[test]

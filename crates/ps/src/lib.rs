@@ -23,6 +23,6 @@ pub mod chaos;
 pub mod sim;
 pub mod threaded;
 
-pub use chaos::{check_plan, run_sim_checked, OracleBudget, PlanVerdict};
-pub use sim::{run_cluster, ClusterConfig, GradTransferLog, RunResult, SyncMode};
+pub use chaos::{check_churn_plan, check_plan, run_sim_checked, OracleBudget, PlanVerdict};
+pub use sim::{run_cluster, ClusterConfig, ElasticStats, GradTransferLog, RunResult, SyncMode};
 pub use threaded::{run_threaded_training, PsOptimizer, ThreadedConfig, ThreadedResult};

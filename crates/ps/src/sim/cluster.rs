@@ -11,14 +11,14 @@
 //! config produce identical results (asserted by the integration tests).
 
 use super::config::{ClusterConfig, SyncMode};
-use super::metrics::{FaultStats, GradTransferLog, RunResult};
+use super::metrics::{ElasticStats, FaultStats, GradTransferLog, RunResult};
 use prophet_core::{CommScheduler, Dir, TransferTask, Transport};
 use prophet_net::{
     BandwidthMonitor, FlowEnd, KilledFlow, NetEvent, Network, NodeId, NodeSpec, Topology,
 };
 use prophet_sim::{
-    Duration, EventQueue, FaultKind, FaultSpec, InvariantChecker, RateSeries, SimTime,
-    SpanCollector, TimeWeighted, TraceEvent, TraceRecorder, TraceSink, Xoshiro256StarStar,
+    rehome_modular, Duration, EventQueue, FaultKind, FaultSpec, InvariantChecker, RateSeries,
+    SimTime, SpanCollector, TimeWeighted, TraceEvent, TraceRecorder, TraceSink, Xoshiro256StarStar,
 };
 use std::collections::{HashMap, HashSet, VecDeque};
 
@@ -197,6 +197,46 @@ struct Cluster {
     needs_stamp: HashSet<(usize, usize, Dir)>,
     fault_stats: FaultStats,
 
+    // Elastic-membership state (permanent faults). Inert when the plan has
+    // no permanent events: `permanent` is false, every membership check is
+    // skipped, and the owner table is the classic `g % ps_shards` mapping.
+    /// Any `WorkerFail`/`ShardFail`/`WorkerJoin` in the plan.
+    permanent: bool,
+    /// Gradient → owning shard. Starts as `g % ps_shards`; `ShardFail`
+    /// re-homes the dead shard's tensors onto survivors.
+    owner: Vec<usize>,
+    /// Iteration each worker permanently fails at (it completes iterations
+    /// `active_from..fail_at`), `None` for workers that never fail.
+    fail_at: Vec<Option<u64>>,
+    /// First iteration each worker participates in: 0 for the initial
+    /// membership, the join iteration for `WorkerJoin` slots.
+    active_from: Vec<u64>,
+    /// Joiner slots whose admission has fired.
+    joined: Vec<bool>,
+    /// Workers whose eviction has fired.
+    evicted: Vec<bool>,
+    /// Shards that failed permanently.
+    shard_dead: Vec<bool>,
+    /// Adopting shards replaying a dead shard's checkpoint + ledger may
+    /// not start new transfers before this instant.
+    shard_blocked_until: Vec<SimTime>,
+    /// Cluster-wide membership epoch (bumped once per permanent event).
+    membership_epoch: u64,
+    /// Checkpointing armed (plan contains a `ShardFail`). Unarmed runs do
+    /// zero checkpoint work, keeping them bit-identical to pre-elastic
+    /// builds.
+    ckpt_armed: bool,
+    /// Bytes of each shard's last snapshot (implicit iteration-0
+    /// checkpoint = the shard's owned parameters).
+    checkpoint_bytes: Vec<u64>,
+    /// Bytes appended to each shard's post-checkpoint byte ledger (one
+    /// owned-tensor entry per closed barrier).
+    ledger_bytes: Vec<u64>,
+    /// Barriers closed per iteration, to detect iteration completion for
+    /// the checkpoint cadence.
+    barrier_counts: HashMap<u64, usize>,
+    elastic: ElasticStats,
+
     // Typed event stream sinks (the cross-stack trace/invariant layer).
     checker: Option<InvariantChecker>,
     span_sink: Option<SpanCollector>,
@@ -237,25 +277,33 @@ impl Cluster {
         // is empty or adaptation is off).
         cfg.retry = cfg.effective_retry();
         let shards = cfg.ps_shards;
+        // `WorkerJoin` slots are provisioned up front (dense ids above the
+        // initial membership) but stay silent until their admission fires.
+        let joiners = cfg.fault_plan.joined_workers();
+        let total_workers = cfg.workers + joiners;
         let mut topo = Topology::new();
         for _ in 0..shards {
             topo.add_node(NodeSpec::symmetric(cfg.ps_bps));
         }
-        for w in 0..cfg.workers {
+        for w in 0..total_workers {
             topo.add_node(NodeSpec::symmetric(cfg.worker_bandwidth(w)));
         }
         let mut net = Network::new(topo, cfg.tcp);
         net.set_full_resolve(cfg.net_full_resolve);
         let checker = cfg.check_invariants.then(|| {
-            InvariantChecker::new(cfg.workers, cfg.sync == SyncMode::Bsp).with_shards(shards)
+            InvariantChecker::new(cfg.workers, cfg.sync == SyncMode::Bsp)
+                .with_shards(shards)
+                .with_joiners(joiners)
         });
-        let span_sink = cfg.typed_trace.then(SpanCollector::new);
+        let span_sink = cfg
+            .typed_trace
+            .then(|| SpanCollector::new().with_shards(shards));
         if checker.is_some() || span_sink.is_some() {
             net.record_events(true);
         }
         let master = Xoshiro256StarStar::new(cfg.seed);
         let n = cfg.job.num_gradients();
-        let workers: Vec<WorkerRt> = (0..cfg.workers)
+        let workers: Vec<WorkerRt> = (0..total_workers)
             .map(|w| WorkerRt {
                 node: NodeId(shards + w),
                 sched: cfg.scheduler.build(&cfg.job),
@@ -290,7 +338,7 @@ impl Cluster {
             TraceRecorder::disabled()
         };
         let sample_window = cfg.sample_window;
-        let nodes = shards + cfg.workers;
+        let nodes = shards + total_workers;
         let node_base_bps: Vec<f64> = (0..nodes)
             .map(|n| {
                 if n < shards {
@@ -303,8 +351,40 @@ impl Cluster {
         // Fault-local randomness (MsgLoss Bernoulli draws) comes from its
         // own substream so adding faults never perturbs compute jitter.
         let fault_rng = master.substream(u64::MAX ^ cfg.fault_plan.seed);
-        let stall_until = vec![SimTime::ZERO; cfg.workers];
+        let stall_until = vec![SimTime::ZERO; total_workers];
+        let permanent = cfg.fault_plan.has_permanent();
+        let owner: Vec<usize> = (0..n).map(|g| g % shards).collect();
+        let fail_at: Vec<Option<u64>> = (0..total_workers)
+            .map(|w| cfg.fault_plan.worker_fail_at(w))
+            .collect();
+        let active_from: Vec<u64> = (0..total_workers)
+            .map(|w| cfg.fault_plan.worker_join_at(w).unwrap_or(0))
+            .collect();
+        let ckpt_armed = cfg.fault_plan.has_shard_fail();
+        // The initial parameters are an implicit iteration-0 checkpoint:
+        // a shard failing before the first periodic snapshot restores the
+        // full owned state plus the ledger accrued since time zero.
+        let mut checkpoint_bytes = vec![0u64; shards];
+        if ckpt_armed {
+            for (g, &o) in owner.iter().enumerate() {
+                checkpoint_bytes[o] += sizes[g];
+            }
+        }
         Cluster {
+            permanent,
+            owner,
+            fail_at,
+            active_from,
+            joined: vec![false; total_workers],
+            evicted: vec![false; total_workers],
+            shard_dead: vec![false; shards],
+            shard_blocked_until: vec![SimTime::ZERO; shards],
+            membership_epoch: 0,
+            ckpt_armed,
+            checkpoint_bytes,
+            ledger_bytes: vec![0; shards],
+            barrier_counts: HashMap::new(),
+            elastic: ElasticStats::default(),
             node_down: vec![false; nodes],
             node_degrade: vec![1.0; nodes],
             node_base_bps,
@@ -349,11 +429,45 @@ impl Cluster {
     }
 
     fn shard_of(&self, grad: usize) -> NodeId {
-        NodeId(grad % self.cfg.ps_shards)
+        NodeId(self.owner[grad])
     }
 
     fn num_grads(&self) -> usize {
         self.sizes.len()
+    }
+
+    // ---- elastic membership ---------------------------------------------
+
+    /// Does worker `w` participate in the barrier of `iter`? A worker is a
+    /// member of exactly the iterations `active_from..fail_at`.
+    fn member_at(&self, w: usize, iter: u64) -> bool {
+        self.active_from[w] <= iter && self.fail_at[w].is_none_or(|k| iter < k)
+    }
+
+    /// BSP barrier size for `iter` under the plan's membership schedule.
+    fn expected_workers(&self, iter: u64) -> usize {
+        (0..self.workers.len())
+            .filter(|&w| self.member_at(w, iter))
+            .count()
+    }
+
+    /// Is worker `w` currently a live participant (admitted, not evicted)?
+    fn participating(&self, w: usize) -> bool {
+        !self.evicted[w] && (self.active_from[w] == 0 || self.joined[w])
+    }
+
+    /// Has worker `w` nothing left to contribute? Evicted workers are done
+    /// at their fail iteration; a joiner whose admission has not fired yet
+    /// blocks nobody (if the run ends before its join iteration is ever
+    /// begun, it simply never existed).
+    fn worker_done(&self, w: usize) -> bool {
+        if self.evicted[w] {
+            return true;
+        }
+        if self.active_from[w] > 0 && !self.joined[w] {
+            return true;
+        }
+        self.workers[w].iters_done >= self.total_iters
     }
 
     // ---- typed event stream ---------------------------------------------
@@ -430,6 +544,11 @@ impl Cluster {
 
     fn run(mut self) -> RunResult {
         for w in 0..self.workers.len() {
+            // Joiner slots have no iteration zero: their first IterBegin is
+            // scheduled by their admission.
+            if self.active_from[w] > 0 {
+                continue;
+            }
             self.queue.schedule(SimTime::ZERO, Ev::IterBegin { w });
         }
         self.queue
@@ -442,6 +561,12 @@ impl Cluster {
         }
         if self.has_faults() {
             for (idx, f) in self.cfg.fault_plan.faults.clone().iter().enumerate() {
+                // Permanent specs are iteration-triggered (at the BSP
+                // boundary they name), never window-scheduled: their
+                // `at()`/`until()` are both time zero by construction.
+                if f.is_permanent() {
+                    continue;
+                }
                 self.queue.schedule(f.at(), Ev::FaultBegin { idx });
                 self.queue.schedule(f.until(), Ev::FaultFinish { idx });
             }
@@ -531,15 +656,20 @@ impl Cluster {
     }
 
     fn finished(&self) -> bool {
-        self.workers
-            .iter()
-            .all(|w| w.iters_done >= self.total_iters)
+        (0..self.workers.len()).all(|w| self.worker_done(w))
     }
 
     // ---- event handlers -------------------------------------------------
 
     fn on_iter_begin(&mut self, now: SimTime, w: usize) {
         let iter = self.workers[w].iters_done;
+        // Permanent shard failures and admissions fire when the *first*
+        // worker begins their iteration — an instant at which every
+        // barrier of the previous iteration has closed, so no aggregation
+        // state is in flight on the failing shard.
+        if self.permanent {
+            self.fire_boundary_events(now, iter);
+        }
         {
             let wk = &mut self.workers[w];
             wk.iter = iter;
@@ -686,7 +816,13 @@ impl Cluster {
                     .collect();
                 self.transfer_logs.push(logs);
             }
-            if self.workers[w].iters_done < self.total_iters {
+            let done_now = self.workers[w].iters_done;
+            if self.permanent && self.fail_at[w] == Some(done_now) {
+                // This was the worker's last iteration: it leaves at the
+                // boundary (no in-flight state — its transfers all
+                // completed for the forward pass to have run).
+                self.evict_worker(now, w);
+            } else if done_now < self.total_iters {
                 let next = now + self.cfg.job.gpu.iter_overhead;
                 self.queue.schedule(next, Ev::IterBegin { w });
             }
@@ -743,7 +879,7 @@ impl Cluster {
     /// Reconfigure every NIC to `bps` (the PS shards included, so the
     /// whole fabric shifts together, like an EC2 bandwidth-tier change).
     fn on_bandwidth_change(&mut self, now: SimTime, bps: f64) {
-        let nodes = self.cfg.ps_shards + self.cfg.workers;
+        let nodes = self.cfg.ps_shards + self.workers.len();
         for n in 0..nodes {
             // Any active degradation multiplies the new base capacity
             // (×1.0 fault-free, which is bit-identical to the plain value).
@@ -758,6 +894,11 @@ impl Cluster {
 
     fn on_monitor_tick(&mut self, now: SimTime) {
         for w in 0..self.workers.len() {
+            // Evicted workers and not-yet-admitted joiners have no
+            // scheduler to feed (and nothing to measure).
+            if self.permanent && !self.participating(w) {
+                continue;
+            }
             // Aggregate achieved uplink rate since the last tick: bytes
             // delivered over wire-busy time. Prophet sizes its blocks so
             // transfers *complete* within generation windows, which needs
@@ -976,6 +1117,15 @@ impl Cluster {
                 if self.node_down[wnode] || self.node_down[key.1] {
                     return; // endpoint down; kicked again on restore
                 }
+                // An adopting shard replaying a dead shard's checkpoint +
+                // ledger serves nothing until the restore completes. The
+                // kick is self-rescheduling (idempotent: a duplicate kick
+                // finds the lane active or empty and does nothing).
+                let sb = self.shard_blocked_until[key.1];
+                if now < sb {
+                    self.queue.schedule(sb, Ev::LaneKick { key });
+                    return;
+                }
             }
             let Some(msg) = lane.queue.pop_front() else {
                 return;
@@ -1170,6 +1320,11 @@ impl Cluster {
 
     fn on_push_bytes(&mut self, now: SimTime, w: usize, iter: u64, g: usize, b: u64) {
         let nworkers = self.workers.len();
+        let expected = if self.permanent {
+            self.expected_workers(iter)
+        } else {
+            nworkers
+        };
         let entry = self.agg.entry((iter, g)).or_insert_with(|| AggState {
             per_worker_bytes: vec![0; nworkers],
             workers_done: 0,
@@ -1181,7 +1336,7 @@ impl Cluster {
         );
         if entry.per_worker_bytes[w] == self.sizes[g] {
             entry.workers_done += 1;
-            let all_arrived = entry.workers_done == nworkers;
+            let all_arrived = entry.workers_done == expected;
             if w == 0 {
                 self.workers[0].push_end[g] = now;
             }
@@ -1217,22 +1372,41 @@ impl Cluster {
                     self.pump(now, w);
                 }
                 SyncMode::Bsp => {
-                    if all_arrived {
-                        // BSP barrier for (iter, g) reached: parameters
-                        // updated, everyone may pull.
-                        self.agg.remove(&(iter, g));
-                        self.emit(now, TraceEvent::Barrier { iter, grad: g });
-                        for w2 in 0..nworkers {
-                            debug_assert_eq!(
-                                self.workers[w2].iter, iter,
-                                "update completed while worker {w2} is in another iteration"
-                            );
-                            self.workers[w2].sched.param_ready(now, g);
-                            self.pump(now, w2);
-                        }
+                    // A barrier the survivors satisfied may still be waiting
+                    // on an eviction: worker j with `fail_at[j] <= iter` is
+                    // excluded from `expected_workers(iter)`, but its
+                    // MembershipChange only fires once j *finishes* iteration
+                    // `fail_at[j] - 1` — and a stall on j can push that past
+                    // the survivors' sprint ahead. Completing now would emit
+                    // Barrier before the eviction epoch, which the checker
+                    // (rightly) rejects. Defer; `evict_worker`'s sweep closes
+                    // it the instant the epoch opens.
+                    if all_arrived && !(self.permanent && self.pending_worker_fail(iter)) {
+                        self.complete_barrier(now, iter, g);
                     }
                 }
             }
+        }
+    }
+
+    /// BSP barrier for `(iter, g)` reached: parameters updated, every
+    /// member of the iteration may pull.
+    fn complete_barrier(&mut self, now: SimTime, iter: u64, g: usize) {
+        self.agg.remove(&(iter, g));
+        self.emit(now, TraceEvent::Barrier { iter, grad: g });
+        if self.ckpt_armed {
+            self.note_barrier_closed(now, iter, g);
+        }
+        for w2 in 0..self.workers.len() {
+            if self.permanent && !self.member_at(w2, iter) {
+                continue;
+            }
+            debug_assert_eq!(
+                self.workers[w2].iter, iter,
+                "update completed while worker {w2} is in another iteration"
+            );
+            self.workers[w2].sched.param_ready(now, g);
+            self.pump(now, w2);
         }
     }
 
@@ -1310,8 +1484,10 @@ impl Cluster {
         match *spec {
             FaultSpec::LinkDown { node, .. } | FaultSpec::LinkDegrade { node, .. } => node,
             FaultSpec::MsgLoss { .. } => usize::MAX,
-            FaultSpec::ShardCrash { shard, .. } => shard,
-            FaultSpec::WorkerStall { worker, .. } => self.cfg.ps_shards + worker,
+            FaultSpec::ShardCrash { shard, .. } | FaultSpec::ShardFail { shard, .. } => shard,
+            FaultSpec::WorkerStall { worker, .. }
+            | FaultSpec::WorkerFail { worker, .. }
+            | FaultSpec::WorkerJoin { worker, .. } => self.cfg.ps_shards + worker,
         }
     }
 
@@ -1398,6 +1574,11 @@ impl Cluster {
                 // A shorter overlapping stall must not cut a longer one off.
                 self.stall_until[worker] = self.stall_until[worker].max(spec.until());
             }
+            FaultSpec::WorkerFail { .. }
+            | FaultSpec::ShardFail { .. }
+            | FaultSpec::WorkerJoin { .. } => {
+                unreachable!("permanent faults are iteration-triggered, never window-scheduled")
+            }
         }
     }
 
@@ -1416,7 +1597,10 @@ impl Cluster {
         let last = *count == 0;
         match spec {
             FaultSpec::LinkDown { node, .. } | FaultSpec::ShardCrash { shard: node, .. } => {
-                let up = !self.any_down_window(now, node);
+                // A transient window closing must never resurrect a node a
+                // permanent `ShardFail` already killed for good.
+                let perma_dead = node < self.cfg.ps_shards && self.shard_dead[node];
+                let up = !self.any_down_window(now, node) && !perma_dead;
                 if up {
                     self.node_down[node] = false;
                     self.cold_restart_lanes(node);
@@ -1473,6 +1657,11 @@ impl Cluster {
                         },
                     );
                 }
+            }
+            FaultSpec::WorkerFail { .. }
+            | FaultSpec::ShardFail { .. }
+            | FaultSpec::WorkerJoin { .. } => {
+                unreachable!("permanent faults are iteration-triggered, never window-scheduled")
             }
         }
     }
@@ -1679,6 +1868,318 @@ impl Cluster {
         }
     }
 
+    // ---- elastic membership machinery ------------------------------------
+
+    /// Fire every not-yet-fired permanent boundary event with
+    /// `at_iter <= iter`: shard failures first, then admissions, each in
+    /// node-id order — a fixed order, so runs are deterministic.
+    fn fire_boundary_events(&mut self, now: SimTime, iter: u64) {
+        for s in 0..self.cfg.ps_shards {
+            if self.shard_dead[s] {
+                continue;
+            }
+            if let Some(k) = self.cfg.fault_plan.shard_fail_at(s) {
+                if k <= iter {
+                    self.fail_shard(now, s, k);
+                }
+            }
+        }
+        for w in 0..self.workers.len() {
+            if self.joined[w] || self.active_from[w] == 0 {
+                continue;
+            }
+            if self.active_from[w] <= iter {
+                self.admit_worker(now, w);
+            }
+        }
+    }
+
+    /// Open a membership epoch: emit the change and force every surviving
+    /// scheduler to re-plan against the new membership. The taint makes
+    /// the next failure-free monitor period the first with an honest
+    /// estimate, so Prophet's staleness detector routes the gap through
+    /// its degraded mode (the paper's §4.2 stale-profile story).
+    fn open_epoch(&mut self, now: SimTime, kind: FaultKind, node: usize, iter: u64) {
+        self.membership_epoch += 1;
+        self.elastic.epochs += 1;
+        self.emit(
+            now,
+            TraceEvent::MembershipChange {
+                epoch: self.membership_epoch,
+                kind,
+                node,
+                iter,
+            },
+        );
+        for w2 in 0..self.workers.len() {
+            if !self.participating(w2) {
+                continue;
+            }
+            self.workers[w2].failures_since_tick += 1;
+            self.elastic.replans += 1;
+        }
+    }
+
+    /// Worker `w` leaves for good at the boundary of its fail iteration.
+    /// Boundary semantics mean no in-flight state: its final iteration's
+    /// transfers all completed for the forward pass to have finished.
+    fn evict_worker(&mut self, now: SimTime, w: usize) {
+        let at_iter = self.fail_at[w].expect("eviction without a fail spec");
+        self.evicted[w] = true;
+        self.elastic.evicted_workers += 1;
+        self.open_epoch(now, FaultKind::WorkerFail, w, at_iter);
+        // Barriers the departed worker was the last missing member of
+        // close right now — everyone surviving already pushed.
+        self.sweep_barriers(now);
+    }
+
+    /// Is some worker with `fail_at <= iter` still awaiting eviction? While
+    /// one is, no iteration-`iter` barrier may close: the Barrier event must
+    /// trail that worker's WorkerFail epoch in the trace.
+    fn pending_worker_fail(&self, iter: u64) -> bool {
+        (0..self.workers.len())
+            .any(|w| self.fail_at[w].is_some_and(|k| k <= iter) && !self.evicted[w])
+    }
+
+    /// Close every open barrier the shrunken membership already satisfies,
+    /// in deterministic key order — skipping iterations still gated on a
+    /// not-yet-fired eviction.
+    fn sweep_barriers(&mut self, now: SimTime) {
+        let mut ready: Vec<(u64, usize)> = self
+            .agg
+            .iter()
+            .filter(|(&(iter, _), st)| {
+                st.workers_done == self.expected_workers(iter) && !self.pending_worker_fail(iter)
+            })
+            .map(|(&k, _)| k)
+            .collect();
+        ready.sort_unstable();
+        for (iter, g) in ready {
+            self.complete_barrier(now, iter, g);
+        }
+    }
+
+    /// Worker `j` joins at the boundary of iteration `k`: it bootstraps by
+    /// pulling the full model (modelled as a provisioning delay at the
+    /// joiner's NIC rate, off the training fabric), then runs iterations
+    /// `k..` as a full barrier member.
+    fn admit_worker(&mut self, now: SimTime, j: usize) {
+        let k = self.active_from[j];
+        self.joined[j] = true;
+        {
+            let wk = &mut self.workers[j];
+            wk.iters_done = k;
+            wk.iter = k;
+        }
+        self.elastic.joined_workers += 1;
+        self.open_epoch(now, FaultKind::WorkerJoin, j, k);
+        let model: u64 = self.sizes.iter().sum();
+        self.elastic.bootstrap_bytes += model;
+        let delay = Duration::from_secs_f64(model as f64 / self.cfg.worker_bandwidth(j));
+        self.queue.schedule(now + delay, Ev::IterBegin { w: j });
+    }
+
+    /// Shard `s` dies for good at the boundary of iteration `at_iter`: its
+    /// tensors re-home to survivors, which rebuild the adopted state from
+    /// the last checkpoint plus the post-checkpoint byte ledger before
+    /// serving anything new.
+    fn fail_shard(&mut self, now: SimTime, s: usize, at_iter: u64) {
+        self.shard_dead[s] = true;
+        self.node_down[s] = true;
+        self.elastic.failed_shards += 1;
+        self.open_epoch(now, FaultKind::ShardFail, s, at_iter);
+        // The boundary trigger guarantees no open aggregation state on the
+        // dead shard: every barrier of the previous iteration closed before
+        // any worker could begin this one. Anything else is a bug worth
+        // dying loudly over (the alternative is a silent hang).
+        assert!(
+            !self.agg.keys().any(|&(_, g)| self.owner[g] == s),
+            "open aggregation state on permanently failed shard {s}"
+        );
+        // Kill whatever is still on the wire touching the dead shard
+        // (stragglers' previous-iteration pulls, pending replays). The
+        // partial deliveries are work lost to the failure.
+        let kills = self.net.kill_flows_touching(now, NodeId(s));
+        self.forward_net_events_up_to(now);
+        for kf in &kills {
+            self.fault_stats.flows_killed += 1;
+            self.fault_stats.wasted_bytes += kf.delivered;
+            self.elastic.lost_work_bytes += kf.delivered as u64;
+            let key = self.flow_key(kf);
+            let lane = self.lanes.get_mut(&key).expect("lane exists");
+            lane.active = false;
+            lane.last_end = now;
+        }
+        // Re-home the dead shard's tensors (the modular rule over
+        // survivors — a pure function of permanent membership, so the
+        // threaded runtime derives the identical placement).
+        let dead: Vec<usize> = (0..self.cfg.ps_shards)
+            .filter(|&x| self.shard_dead[x])
+            .collect();
+        let from = self.owner.clone();
+        rehome_modular(&mut self.owner, self.cfg.ps_shards, &dead, s);
+        let mut adopters: Vec<usize> = Vec::new();
+        for (g, &prev) in from.iter().enumerate() {
+            if prev == self.owner[g] {
+                continue;
+            }
+            self.emit(
+                now,
+                TraceEvent::Rehome {
+                    grad: g,
+                    from: prev,
+                    to: self.owner[g],
+                },
+            );
+            if !adopters.contains(&self.owner[g]) {
+                adopters.push(self.owner[g]);
+            }
+        }
+        // Restore cost: checkpoint + ledger bytes read back at the PS NIC
+        // rate; the adopters serve nothing new until it completes.
+        let restore = self.checkpoint_bytes[s] + self.ledger_bytes[s];
+        self.checkpoint_bytes[s] = 0;
+        self.ledger_bytes[s] = 0;
+        self.elastic.restore_bytes += restore;
+        let delay = Duration::from_secs_f64(restore as f64 / self.cfg.ps_bps);
+        self.elastic.recovery_ns += delay.as_nanos();
+        let until = now + delay;
+        for &a in &adopters {
+            if until > self.shard_blocked_until[a] {
+                self.shard_blocked_until[a] = until;
+            }
+        }
+        // Re-route every message parked on a lane to the dead shard onto
+        // its gradient's new owner — fail-fast, zero backoff: there is no
+        // outage to outwait.
+        let mut keys: Vec<(usize, usize, Dir)> = self
+            .lanes
+            .keys()
+            .filter(|&&(_, sh, _)| sh == s)
+            .copied()
+            .collect();
+        keys.sort_by_key(|&(w2, _, d)| (w2, matches!(d, Dir::Pull) as u8));
+        for key in keys {
+            let lane = self.lanes.get_mut(&key).expect("lane exists");
+            let mut msgs: Vec<QueuedMsg> = lane.current.take().into_iter().collect();
+            msgs.extend(lane.queue.drain(..));
+            for msg in msgs {
+                self.reroute_message(now, key, msg);
+            }
+        }
+        self.forward_net_events_up_to(now);
+    }
+
+    /// Re-queue a message bound for a dead shard onto its pieces' new
+    /// owners under fresh tags. The episode counts as a retry (stamps
+    /// voided, scheduler told) but the backoff is the fail-fast zero of
+    /// [`prophet_net::RetryPolicy::delay_to`]: backing off against a peer
+    /// that is never coming back would burn the whole capped-exponential
+    /// schedule per message for nothing.
+    fn reroute_message(&mut self, now: SimTime, key: (usize, usize, Dir), mut msg: QueuedMsg) {
+        let (w, _, dir) = key;
+        self.flow_task.remove(&msg.tag);
+        self.fault_stats.retried_bytes += msg.bytes;
+        self.workers[w].failures_since_tick += 1;
+        let (iter, task) = {
+            let t = self.tasks.get(&msg.task_id).expect("unknown task");
+            (t.iter, t.task.clone())
+        };
+        self.workers[w].sched.transfer_failed(now, &task);
+        for &(g, _) in &msg.pieces.clone() {
+            self.note_retry(now, w, iter, g, dir);
+        }
+        msg.attempt += 1;
+        msg.doomed = false;
+        debug_assert_eq!(
+            self.cfg.retry.delay_to(msg.attempt, true),
+            Duration::ZERO,
+            "fail-fast re-route must not back off"
+        );
+        // Split the payload by the pieces' adopters (the modular re-home
+        // maps one dead shard onto one survivor, but stay general). One
+        // message becomes `groups.len()`, so the owning task's outstanding
+        // subflow count grows by the difference.
+        type Group = (usize, u64, Vec<(usize, u64)>);
+        let mut groups: Vec<Group> = Vec::new();
+        for &(g, b) in &msg.pieces {
+            let a = self.owner[g];
+            match groups.iter_mut().find(|(s2, _, _)| *s2 == a) {
+                Some((_, bytes, pieces)) => {
+                    *bytes += b;
+                    pieces.push((g, b));
+                }
+                None => groups.push((a, b, vec![(g, b)])),
+            }
+        }
+        self.tasks
+            .get_mut(&msg.task_id)
+            .expect("unknown task")
+            .subflows_remaining += groups.len() - 1;
+        let wnode = self.workers[w].node;
+        let attempt = msg.attempt;
+        let task_id = msg.task_id;
+        for (a, bytes, pieces) in groups {
+            let tag = self.next_flow_tag;
+            self.next_flow_tag += 1;
+            self.flow_task.insert(tag, task_id);
+            let (src, dst) = match dir {
+                Dir::Push => (wnode, NodeId(a)),
+                Dir::Pull => (NodeId(a), wnode),
+            };
+            let newkey = (w, a, dir);
+            self.lanes
+                .entry(newkey)
+                .or_insert_with(Lane::new)
+                .queue
+                .push_back(QueuedMsg {
+                    tag,
+                    bytes,
+                    src,
+                    dst,
+                    task_id,
+                    pieces,
+                    attempt,
+                    doomed: false,
+                });
+            self.kick_lane(now, newkey);
+        }
+    }
+
+    /// Checkpoint bookkeeping for one closed barrier: the tensor's bytes
+    /// append to its owning shard's post-checkpoint ledger, and the last
+    /// barrier of a period-aligned iteration triggers a snapshot.
+    fn note_barrier_closed(&mut self, now: SimTime, iter: u64, g: usize) {
+        let s = self.owner[g];
+        self.ledger_bytes[s] += self.sizes[g];
+        let done = self.barrier_counts.entry(iter).or_insert(0);
+        *done += 1;
+        if *done == self.num_grads() {
+            self.barrier_counts.remove(&iter);
+            if (iter + 1) % self.cfg.checkpoint_period == 0 {
+                self.take_checkpoint(now, iter);
+            }
+        }
+    }
+
+    /// Snapshot every surviving shard's parameter state as of `iter` and
+    /// reset its ledger.
+    fn take_checkpoint(&mut self, now: SimTime, iter: u64) {
+        let mut owned = vec![0u64; self.cfg.ps_shards];
+        for (g, &o) in self.owner.iter().enumerate() {
+            owned[o] += self.sizes[g];
+        }
+        for (s, &bytes) in owned.iter().enumerate() {
+            if self.shard_dead[s] {
+                continue;
+            }
+            self.checkpoint_bytes[s] = bytes;
+            self.ledger_bytes[s] = 0;
+            self.elastic.checkpoints += 1;
+            self.emit(now, TraceEvent::Checkpoint { shard: s, iter });
+        }
+    }
+
     // ---- results ---------------------------------------------------------
 
     fn finish(mut self) -> RunResult {
@@ -1716,10 +2217,10 @@ impl Cluster {
         } else {
             post_warmup_net.iter().sum::<f64>() / post_warmup_net.len() as f64
         };
-        let grad_spans = self
+        let (grad_spans, shard_spans) = self
             .span_sink
             .take()
-            .map(SpanCollector::into_spans)
+            .map(SpanCollector::into_parts)
             .unwrap_or_default();
         // Every retry episode must have closed with a delivery; a leftover
         // entry means a gradient was dropped on the floor.
@@ -1729,7 +2230,7 @@ impl Cluster {
             self.retry_counts
         );
         let mut fault_stats = self.fault_stats.clone();
-        fault_stats.wire_bytes = (0..self.cfg.ps_shards + self.cfg.workers)
+        fault_stats.wire_bytes = (0..self.cfg.ps_shards + self.workers.len())
             .map(|n| self.net.tx_bytes(NodeId(n)))
             .sum();
         // Close the degraded-mode log with the end-of-run state so short
@@ -1763,6 +2264,8 @@ impl Cluster {
             degraded_transitions: self.degraded_transitions,
             grad_spans,
             fault_stats,
+            shard_spans,
+            elastic: self.elastic,
         }
     }
 }
@@ -2232,6 +2735,202 @@ mod tests {
             r.fault_stats.recoveries > 0 && r.fault_stats.recoveries <= r.fault_stats.retries,
             "{:?}",
             r.fault_stats
+        );
+    }
+
+    // ---- elastic membership ------------------------------------------------
+
+    #[test]
+    fn worker_fail_evicts_at_the_boundary_and_survivors_finish() {
+        let mut cfg = base(SchedulerKind::Fifo);
+        cfg.workers = 3;
+        cfg.fault_plan = FaultPlan::new(vec![FaultSpec::WorkerFail {
+            worker: 2,
+            at_iter: 3,
+        }]);
+        let r = run_cluster(&cfg, 6);
+        assert_eq!(r.iter_times.len(), 6, "worker 0 must finish all iterations");
+        assert_eq!(r.elastic.evicted_workers, 1);
+        assert_eq!(r.elastic.epochs, 1);
+        assert!(r.elastic.replans >= 2, "{:?}", r.elastic);
+        // Checkpoints stay unarmed without a ShardFail in the plan.
+        assert_eq!(r.elastic.checkpoints, 0);
+    }
+
+    #[test]
+    fn barrier_defers_until_a_stalled_workers_eviction_fires() {
+        // The race the `pending_worker_fail` gate closes: worker 2 leaves at
+        // iteration 3, but a compute stall delays its *final* forward pass —
+        // the event that fires the eviction — while the survivors sprint
+        // ahead and satisfy the shrunken iteration-3 barriers first. Closing
+        // those barriers before the WorkerFail epoch opens would put Barrier
+        // ahead of MembershipChange in the trace, which the invariant
+        // checker rejects (arrived != live). With the gate, the barriers
+        // defer to `evict_worker`'s sweep and the run completes clean.
+        let mut cfg = base(SchedulerKind::Fifo);
+        cfg.workers = 3;
+        cfg.check_invariants = true;
+        cfg.fault_plan = FaultPlan::new(vec![
+            FaultSpec::WorkerFail {
+                worker: 2,
+                at_iter: 3,
+            },
+            // The window sits over worker 2's final iteration (iterations
+            // are ~192 ms apart in this cell): its iteration-2 pushes are
+            // already on the wire, so the survivors' iteration-3 barriers
+            // fill while the eviction trigger is still stalled. Without
+            // the gate this panics the checker ("barrier for iter 3 after
+            // 2/3 pushes").
+            FaultSpec::WorkerStall {
+                worker: 2,
+                at: SimTime::ZERO + Duration::from_millis(480),
+                dur: Duration::from_secs(1),
+            },
+        ]);
+        let r = run_cluster(&cfg, 6);
+        assert_eq!(r.iter_times.len(), 6);
+        assert_eq!(r.elastic.evicted_workers, 1);
+    }
+
+    #[test]
+    fn worker_join_admits_at_its_iteration_and_finishes() {
+        let mut cfg = base(SchedulerKind::Fifo);
+        cfg.fault_plan = FaultPlan::new(vec![FaultSpec::WorkerJoin {
+            worker: 2,
+            at_iter: 2,
+        }]);
+        let r = run_cluster(&cfg, 5);
+        assert_eq!(r.iter_times.len(), 5);
+        assert_eq!(r.elastic.joined_workers, 1);
+        let model: u64 = cfg.job.sizes().iter().sum();
+        assert_eq!(r.elastic.bootstrap_bytes, model);
+    }
+
+    #[test]
+    fn shard_fail_rehomes_restores_and_finishes() {
+        let mut cfg = base(SchedulerKind::Fifo);
+        cfg.ps_shards = 2;
+        cfg.fault_plan = FaultPlan::new(vec![FaultSpec::ShardFail {
+            shard: 1,
+            at_iter: 2,
+        }]);
+        let r = run_cluster(&cfg, 6);
+        assert_eq!(r.iter_times.len(), 6);
+        assert_eq!(r.elastic.failed_shards, 1);
+        assert!(
+            r.elastic.restore_bytes > 0 && r.elastic.recovery_ns > 0,
+            "{:?}",
+            r.elastic
+        );
+        // Period 4 with the failure at iter 2: the surviving shard still
+        // snapshots at iterations 3 (now owning everything).
+        assert!(r.elastic.checkpoints >= 1, "{:?}", r.elastic);
+    }
+
+    #[test]
+    fn shard_fail_reroutes_fail_fast_without_burning_the_backoff_schedule() {
+        // The hazard delay_to() closes: re-routed messages backing off
+        // against the dead shard would stall seconds per message. With
+        // fail-fast the churn run must stay within a modest factor of the
+        // fault-free run — far under a single 5 s ack timeout.
+        let clean = run_cluster(
+            &{
+                let mut c = base(SchedulerKind::Fifo);
+                c.ps_shards = 2;
+                c
+            },
+            6,
+        );
+        let mut cfg = base(SchedulerKind::Fifo);
+        cfg.ps_shards = 2;
+        cfg.fault_plan = FaultPlan::new(vec![FaultSpec::ShardFail {
+            shard: 1,
+            at_iter: 2,
+        }]);
+        let r = run_cluster(&cfg, 6);
+        let slowdown = r.duration.saturating_since(clean.duration);
+        assert!(
+            slowdown < cfg.retry.timeout,
+            "recovery cost {:?} at least one full ack timeout — fail-fast broken",
+            slowdown
+        );
+    }
+
+    #[test]
+    fn churn_combo_holds_across_the_scheduler_lineup() {
+        for kind in SchedulerKind::paper_lineup(1.25e9) {
+            let label = kind.label();
+            let mut cfg =
+                ClusterConfig::paper_cell(3, 10.0, TrainingJob::paper_setup("resnet18", 16), kind);
+            cfg.ps_shards = 2;
+            cfg.fault_plan = FaultPlan::new(vec![
+                FaultSpec::WorkerFail {
+                    worker: 1,
+                    at_iter: 4,
+                },
+                FaultSpec::ShardFail {
+                    shard: 0,
+                    at_iter: 2,
+                },
+                FaultSpec::WorkerJoin {
+                    worker: 3,
+                    at_iter: 3,
+                },
+            ]);
+            let r = run_cluster(&cfg, 6);
+            assert_eq!(r.iter_times.len(), 6, "{label}");
+            assert_eq!(r.elastic.epochs, 3, "{label}: {:?}", r.elastic);
+            assert_eq!(
+                (
+                    r.elastic.evicted_workers,
+                    r.elastic.failed_shards,
+                    r.elastic.joined_workers
+                ),
+                (1, 1, 1),
+                "{label}"
+            );
+        }
+    }
+
+    #[test]
+    fn permanent_plans_are_deterministic() {
+        let mut cfg = base(SchedulerKind::Fifo);
+        cfg.workers = 3;
+        cfg.ps_shards = 2;
+        cfg.fault_plan = FaultPlan::new(vec![
+            FaultSpec::ShardFail {
+                shard: 1,
+                at_iter: 2,
+            },
+            FaultSpec::WorkerFail {
+                worker: 2,
+                at_iter: 3,
+            },
+        ]);
+        let a = run_cluster(&cfg, 5);
+        let b = run_cluster(&cfg, 5);
+        assert_eq!(a.duration, b.duration);
+        assert_eq!(a.iter_times, b.iter_times);
+        assert_eq!(a.elastic, b.elastic);
+    }
+
+    #[test]
+    fn elastic_runs_emit_shard_spans_and_membership_trace() {
+        let mut cfg = base(SchedulerKind::Fifo);
+        cfg.ps_shards = 2;
+        cfg.typed_trace = true;
+        cfg.fault_plan = FaultPlan::new(vec![FaultSpec::ShardFail {
+            shard: 0,
+            at_iter: 2,
+        }]);
+        let r = run_cluster(&cfg, 4);
+        assert!(!r.shard_spans.is_empty());
+        // After the failure every span must sit on the surviving shard.
+        let fail_iter_spans: Vec<_> = r.shard_spans.iter().filter(|s| s.iter >= 2).collect();
+        assert!(!fail_iter_spans.is_empty());
+        assert!(
+            fail_iter_spans.iter().all(|s| s.shard == 1),
+            "spans on the dead shard after its failure"
         );
     }
 }

@@ -107,6 +107,13 @@ pub struct ClusterConfig {
     /// and rates must be bit-identical. Default off (incremental); only
     /// the golden-equality suite turns it on.
     pub net_full_resolve: bool,
+    /// Shard-checkpoint cadence in iterations: each shard snapshots its
+    /// parameter state every `checkpoint_period` completed iterations
+    /// (the initial parameters are an implicit iteration-0 checkpoint).
+    /// Checkpoints are only armed when the fault plan contains a
+    /// `ShardFail` — an unarmed run does zero checkpoint work, keeping
+    /// empty-plan runs bit-identical to pre-elastic builds.
+    pub checkpoint_period: u64,
 }
 
 impl ClusterConfig {
@@ -143,6 +150,7 @@ impl ClusterConfig {
             retry: RetryPolicy::paper_default(),
             adapt_retry_timeout: true,
             net_full_resolve: false,
+            checkpoint_period: 4,
         }
     }
 
@@ -209,6 +217,7 @@ impl ClusterConfig {
             self.fault_plan.is_empty() || self.sync == SyncMode::Bsp,
             "fault injection requires BSP synchronisation"
         );
+        assert!(self.checkpoint_period >= 1, "checkpoint period must be ≥ 1");
     }
 
     /// Compute-speed multiplier of worker `w` (1.0 unless overridden).

@@ -1,6 +1,6 @@
 //! What a cluster run reports — the raw material of every figure.
 
-use prophet_sim::{Duration, GradSpan, SimTime, TraceRecorder};
+use prophet_sim::{Duration, GradSpan, ShardSpan, SimTime, TraceRecorder};
 
 /// Per-gradient transfer timing for one worker/iteration (Fig. 11's rows).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -61,6 +61,35 @@ pub struct FaultStats {
     pub wire_bytes: f64,
 }
 
+/// Counters the elastic-membership layer accumulates during a run. All
+/// zero when the fault plan has no permanent events.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ElasticStats {
+    /// Membership epochs opened (evictions + shard failures + joins).
+    pub epochs: u64,
+    /// Workers permanently evicted.
+    pub evicted_workers: u64,
+    /// Workers admitted mid-run.
+    pub joined_workers: u64,
+    /// PS shards permanently failed (state re-homed to survivors).
+    pub failed_shards: u64,
+    /// Checkpoint snapshots taken across all shards.
+    pub checkpoints: u64,
+    /// Bytes read back from checkpoint + ledger to restore failed shards.
+    pub restore_bytes: u64,
+    /// Simulated time from each shard failure to its state being served
+    /// again by the adopting shards, summed over failures.
+    pub recovery_ns: u64,
+    /// Scheduler re-plans forced by membership epochs (one per live
+    /// worker per epoch).
+    pub replans: u64,
+    /// Bytes spent bootstrapping joiners (full model pull on admission).
+    pub bootstrap_bytes: u64,
+    /// Work thrown away at shard failures: partial delivered bytes of
+    /// in-flight transfers killed when their shard died for good.
+    pub lost_work_bytes: u64,
+}
+
 /// The outcome of [`crate::sim::run_cluster`].
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -109,6 +138,12 @@ pub struct RunResult {
     pub grad_spans: Vec<GradSpan>,
     /// Fault-injection counters; all zero for a fault-free run.
     pub fault_stats: FaultStats,
+    /// Per-shard PS queueing spans (first push arrival → barrier), when
+    /// [`crate::sim::ClusterConfig::typed_trace`] asked for them.
+    pub shard_spans: Vec<ShardSpan>,
+    /// Elastic-membership counters; all zero when the plan has no
+    /// permanent events.
+    pub elastic: ElasticStats,
 }
 
 impl RunResult {
@@ -186,6 +221,8 @@ mod tests {
             degraded_transitions: vec![],
             grad_spans: vec![],
             fault_stats: FaultStats::default(),
+            shard_spans: vec![],
+            elastic: ElasticStats::default(),
         }
     }
 

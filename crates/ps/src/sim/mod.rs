@@ -13,4 +13,4 @@ mod metrics;
 
 pub use cluster::run_cluster;
 pub use config::{ClusterConfig, SyncMode};
-pub use metrics::{FaultStats, GradTransferLog, RunResult};
+pub use metrics::{ElasticStats, FaultStats, GradTransferLog, RunResult};

@@ -21,6 +21,7 @@
 //! 2. **determinism** — two runs with the same seed are bitwise identical,
 //!    despite real threads (the BSP barrier serialises all races).
 
+mod checkpoint;
 mod pool;
 mod runtime;
 pub mod wire;

@@ -62,21 +62,21 @@
 //! ticket at join reproduces exactly the causal total order the old
 //! single-mutex log produced — with zero lock traffic on the hot path.
 
+use super::checkpoint::{DurableStore, OptState};
 use super::pool::ArenaPool;
 use super::wire::{accumulate_f32_le, encode_f32_into, Ack, ToPs, ToWorker};
 use bytes::{Bytes, BytesMut};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use prophet_core::{CommScheduler, Dir, SchedulerKind, ShardMap};
-use prophet_minidnn::{Adam, Dataset, Mlp, Sgd};
+use prophet_minidnn::{Dataset, Mlp};
 use prophet_net::RetryPolicy;
 use prophet_sim::{
     Duration as SimDuration, FaultKind, FaultPlan, FaultSpec, InvariantChecker, SimTime,
     TraceEvent, TraceSink, Xoshiro256StarStar,
 };
 use std::cell::Cell;
-use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration as StdDuration, Instant};
 
 /// Which optimiser the PS runs (each shard owns the optimiser state for
@@ -90,20 +90,6 @@ pub enum PsOptimizer {
     },
     /// Adam with canonical β/ε defaults.
     Adam,
-}
-
-enum OptState {
-    Sgd(Sgd),
-    Adam(Adam),
-}
-
-impl OptState {
-    fn step(&mut self, id: usize, params: &mut [f32], grad: &[f32]) {
-        match self {
-            OptState::Sgd(o) => o.step(id, params, grad),
-            OptState::Adam(o) => o.step(id, params, grad),
-        }
-    }
 }
 
 /// Configuration of a threaded training run.
@@ -153,6 +139,11 @@ pub struct ThreadedConfig {
     /// Ack-timeout/backoff policy for push slices whose ack never arrives
     /// (only consulted when the plan is non-empty).
     pub retry: RetryPolicy,
+    /// Checkpoint cadence in iterations: each shard snapshots its tensors
+    /// into the durable store after iterations `period-1, 2·period-1, …`.
+    /// Only consulted when the fault plan kills a shard permanently (the
+    /// store stays dormant otherwise — see [`FaultPlan::has_shard_fail`]).
+    pub checkpoint_period: u64,
 }
 
 impl ThreadedConfig {
@@ -175,6 +166,7 @@ impl ThreadedConfig {
             ps_restart_at_iter: None,
             fault_plan: FaultPlan::empty(),
             retry: RetryPolicy::paper_default(),
+            checkpoint_period: 4,
         }
     }
 }
@@ -214,6 +206,13 @@ pub struct ThreadedResult {
     /// acknowledges every slice accepted from one worker since the last
     /// flush).
     pub ack_batches: u64,
+    /// Membership epochs opened during the run (evictions + permanent
+    /// shard failures + admissions). Zero when the plan has no permanent
+    /// events.
+    pub membership_epochs: u64,
+    /// Bytes read back from the durable store (snapshot + ledger replay)
+    /// to re-home tensors off permanently failed shards.
+    pub restore_bytes: u64,
 }
 
 /// One scheduled link fault window, in nanoseconds since run start.
@@ -379,9 +378,16 @@ impl ThreadLog {
 /// predecessor (two threads racing between ticket draw and clock read —
 /// only possible for causally unrelated events) is bumped to stay
 /// nondecreasing.
-fn check_events(mut events: Vec<TimedEvent>, workers: usize, owner: &[usize]) -> (u64, u64) {
+fn check_events(
+    mut events: Vec<TimedEvent>,
+    workers: usize,
+    joiners: usize,
+    owner: &[usize],
+) -> (u64, u64) {
     events.sort_unstable_by_key(|&(ticket, _, _)| ticket);
-    let mut checker = InvariantChecker::new(workers, true).with_shard_map(owner.to_vec());
+    let mut checker = InvariantChecker::new(workers, true)
+        .with_joiners(joiners)
+        .with_shard_map(owner.to_vec());
     let mut last = SimTime::ZERO;
     let mut retries = 0u64;
     for (_, t, ev) in &events {
@@ -398,6 +404,175 @@ fn check_events(mut events: Vec<TimedEvent>, workers: usize, owner: &[usize]) ->
     }
     checker.finish();
     (checker.events_seen(), retries)
+}
+
+// ---------------------------------------------------------------------------
+// Elastic membership
+// ---------------------------------------------------------------------------
+
+/// The cluster-wide membership epoch counter. Every permanent change —
+/// eviction, shard death, admission — opens the next epoch by calling
+/// [`MembershipClock::open`], which increments the counter and emits the
+/// [`TraceEvent::MembershipChange`] *while holding the lock*, so the trace
+/// tickets of membership changes are drawn in epoch order and the checker's
+/// "epochs advance exactly +1" rule holds no matter which threads race.
+struct MembershipClock {
+    epoch: Mutex<u64>,
+}
+
+impl MembershipClock {
+    fn new() -> Self {
+        MembershipClock {
+            epoch: Mutex::new(0),
+        }
+    }
+
+    /// Open the next membership epoch for a permanent change at `node`
+    /// effective from iteration `iter`, and emit its trace event.
+    fn open(&self, tlog: &mut ThreadLog, kind: FaultKind, node: usize, iter: u64) {
+        let mut e = self.epoch.lock().unwrap();
+        *e += 1;
+        tlog.emit(TraceEvent::MembershipChange {
+            epoch: *e,
+            kind,
+            node,
+            iter,
+        });
+    }
+
+    fn epochs_opened(&self) -> u64 {
+        *self.epoch.lock().unwrap()
+    }
+}
+
+/// The run's membership timetable, derived once from the fault plan and
+/// shared read-only by every thread. Permanent events are
+/// iteration-indexed, so which workers participate in iteration `i` and
+/// which shard owns tensor `g` at iteration `i` are pure functions of the
+/// plan — this is the deterministic recovery contract: two runs under the
+/// same plan walk the identical membership timetable.
+///
+/// Events scheduled at `at_iter >= iterations` never take effect (the run
+/// ends first) and are dropped here, matching the simulator, which fires
+/// boundary events only when the boundary is actually crossed.
+struct Membership {
+    /// Any permanent event in the plan? When false every accessor reduces
+    /// to the static fault-free answer and no elastic state is allocated.
+    elastic: bool,
+    /// Initial workers (`cfg.workers`).
+    initial_workers: usize,
+    /// Initial workers + joiner slots (dense ids from `initial_workers`).
+    total_workers: usize,
+    /// Live member ids per iteration, ascending (empty when not elastic).
+    members_at: Vec<Vec<usize>>,
+    /// `(first_iter, owner_table)` ascending — one extra entry per distinct
+    /// shard-death boundary. Deaths sharing a boundary are folded into one
+    /// entry so a tensor re-homes in a single hop from its pre-boundary
+    /// owner to a surviving shard.
+    owner_epochs: Vec<(u64, Vec<usize>)>,
+    /// `(worker, fail_iter)` for evictions that take effect mid-run. A
+    /// barrier for iteration `>= fail_iter` may not close until the
+    /// worker's [`ToPs::Leave`] arrived (the eviction epoch is open).
+    fails: Vec<(usize, u64)>,
+}
+
+impl Membership {
+    fn build(plan: &FaultPlan, workers: usize, iterations: u64, map: &ShardMap) -> Self {
+        let elastic = plan.has_permanent();
+        let total_workers = workers + plan.joined_workers();
+        let mut owner_epochs = vec![(0u64, map.owner_table().to_vec())];
+        if elastic {
+            // Fold same-boundary deaths into one epoch entry: shards dying
+            // together are evicted in id order (deterministic), but the
+            // published table is the post-group one, so every re-home is a
+            // single hop onto a shard that survives the boundary.
+            let mut deaths: Vec<(u64, usize)> = plan
+                .faults
+                .iter()
+                .filter_map(|f| match *f {
+                    FaultSpec::ShardFail { shard, at_iter } if at_iter < iterations => {
+                        Some((at_iter, shard))
+                    }
+                    _ => None,
+                })
+                .collect();
+            deaths.sort_unstable();
+            let mut work = map.clone();
+            let mut i = 0;
+            while i < deaths.len() {
+                let boundary = deaths[i].0;
+                while i < deaths.len() && deaths[i].0 == boundary {
+                    work.rebalance_evict(deaths[i].1);
+                    i += 1;
+                }
+                owner_epochs.push((boundary, work.owner_table().to_vec()));
+            }
+        }
+        let members_at = if elastic {
+            (0..iterations)
+                .map(|i| {
+                    (0..total_workers)
+                        .filter(|&w| {
+                            let from = if w < workers {
+                                0
+                            } else {
+                                plan.worker_join_at(w).expect("joiner without a join spec")
+                            };
+                            let until = if w < workers {
+                                plan.worker_fail_at(w).unwrap_or(u64::MAX)
+                            } else {
+                                u64::MAX
+                            };
+                            from <= i && i < until
+                        })
+                        .collect()
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let fails = (0..workers)
+            .filter_map(|w| {
+                plan.worker_fail_at(w)
+                    .filter(|&k| k < iterations)
+                    .map(|k| (w, k))
+            })
+            .collect();
+        Membership {
+            elastic,
+            initial_workers: workers,
+            total_workers,
+            members_at,
+            owner_epochs,
+            fails,
+        }
+    }
+
+    /// Tensor owner table in force during iteration `iter`.
+    fn owner_at(&self, iter: u64) -> &[usize] {
+        let mut cur = &self.owner_epochs[0].1;
+        for (k, table) in &self.owner_epochs {
+            if *k <= iter {
+                cur = table;
+            } else {
+                break;
+            }
+        }
+        cur
+    }
+
+    /// Number of workers whose pushes iteration `iter`'s barriers await.
+    fn expected_count(&self, iter: u64) -> usize {
+        if !self.elastic {
+            return self.initial_workers;
+        }
+        self.members_at[iter as usize].len()
+    }
+
+    /// The live member ids of iteration `iter` (elastic runs only).
+    fn members(&self, iter: u64) -> &[usize] {
+        &self.members_at[iter as usize]
+    }
 }
 
 /// One push slice awaiting its ack.
@@ -538,9 +713,30 @@ impl WorkerFaults {
 }
 
 /// What a worker thread hands back at join.
-type WorkerOut = (Vec<f32>, u64, u64, Vec<TimedEvent>, u64, u64);
+struct WorkerOut {
+    /// Per-iteration losses for iterations `from..from + losses.len()`.
+    losses: Vec<f32>,
+    /// First iteration this worker participated in (0 unless a joiner).
+    from: u64,
+    bytes_pushed: u64,
+    messages_lost: u64,
+    events: Vec<TimedEvent>,
+    arena_allocs: u64,
+    arena_recycles: u64,
+}
+
 /// What a shard thread hands back at join.
-type ShardOut = (Vec<Vec<f32>>, Vec<TimedEvent>, u64, u64, u64);
+struct ShardOut {
+    /// `(tensor id, final parameters)` for every tensor this shard owns in
+    /// the final membership epoch — adopted tensors included, tensors it
+    /// lost to its own death excluded.
+    params: Vec<(usize, Vec<f32>)>,
+    events: Vec<TimedEvent>,
+    pull_allocs: u64,
+    pull_recycles: u64,
+    ack_batches: u64,
+    restore_bytes: u64,
+}
 
 /// Run BSP data-parallel training per `cfg` and return the outcome.
 ///
@@ -551,6 +747,7 @@ type ShardOut = (Vec<Vec<f32>>, Vec<TimedEvent>, u64, u64, u64);
 pub fn run_threaded_training(cfg: &ThreadedConfig) -> ThreadedResult {
     assert!(cfg.workers >= 1);
     assert!(cfg.ps_shards >= 1, "need at least one PS shard");
+    assert!(cfg.checkpoint_period >= 1, "checkpoint period must be >= 1");
     assert!(
         cfg.global_batch % cfg.workers == 0,
         "global batch {} not divisible by {} workers",
@@ -579,8 +776,30 @@ pub fn run_threaded_training(cfg: &ThreadedConfig) -> ThreadedResult {
     // the Arc instead of deep-cloning scheduler/plan state per thread.
     let cfg = Arc::new(cfg.clone());
 
+    // The membership timetable: who participates in which iteration and
+    // who owns which tensor when — a pure function of the fault plan.
+    let mem = Arc::new(Membership::build(
+        &cfg.fault_plan,
+        cfg.workers,
+        cfg.iterations,
+        &map,
+    ));
+    let clock = Arc::new(MembershipClock::new());
+    // Arm the durable store only when some shard actually dies mid-run;
+    // otherwise every checkpoint/ledger call is a dormant no-op.
+    let armed = mem.owner_epochs.len() > 1;
+    // The durable store's initial snapshot is only materialised when a
+    // shard death actually arms it.
+    let store_init: Vec<Vec<f32>> = if armed {
+        template.param_slices().iter().map(|s| s.to_vec()).collect()
+    } else {
+        Vec::new()
+    };
+    let store = Arc::new(DurableStore::new(armed, &store_init, cfg.optimizer, cfg.lr));
+
     // Channels: one worker→shard channel per shard, one shard→worker
-    // channel per worker (every shard holds a sender clone).
+    // channel per worker (every shard holds a sender clone; joiners get a
+    // channel like everyone else).
     let mut shard_txs: Vec<Sender<ToPs>> = Vec::new();
     let mut shard_rxs: Vec<Option<Receiver<ToPs>>> = Vec::new();
     for _ in 0..shards {
@@ -590,7 +809,7 @@ pub fn run_threaded_training(cfg: &ThreadedConfig) -> ThreadedResult {
     }
     let mut worker_txs: Vec<Sender<ToWorker>> = Vec::new();
     let mut worker_rxs: Vec<Option<Receiver<ToWorker>>> = Vec::new();
-    for _ in 0..cfg.workers {
+    for _ in 0..mem.total_workers {
         let (tx, rx) = unbounded::<ToWorker>();
         worker_txs.push(tx);
         worker_rxs.push(Some(rx));
@@ -601,28 +820,62 @@ pub fn run_threaded_training(cfg: &ThreadedConfig) -> ThreadedResult {
     // ---- PS shard threads ------------------------------------------------
     let mut shard_handles = Vec::new();
     for (s, rx_slot) in shard_rxs.iter_mut().enumerate() {
-        let init: Vec<Vec<f32>> = map
-            .range(s)
-            .map(|g| template.param_slices()[g].to_vec())
-            .collect();
+        // Everything this shard will EVER own: initial members plus
+        // tensors adopted at later membership epochs. Adopted slots start
+        // empty and materialise from the durable store on first touch.
+        let mut ever = Vec::new();
+        let mut owned_from = Vec::new();
+        let mut adopted_from = Vec::new();
+        let mut init: Vec<Vec<f32>> = Vec::new();
+        for g in 0..n_tensors {
+            for (idx, (k, table)) in mem.owner_epochs.iter().enumerate() {
+                if table[g] == s {
+                    ever.push(g);
+                    owned_from.push(*k);
+                    adopted_from.push(if idx == 0 {
+                        usize::MAX
+                    } else {
+                        mem.owner_epochs[idx - 1].1[g]
+                    });
+                    init.push(if idx == 0 {
+                        template.param_slices()[g].to_vec()
+                    } else {
+                        Vec::new()
+                    });
+                    break;
+                }
+            }
+        }
+        let die_at = cfg
+            .fault_plan
+            .shard_fail_at(s)
+            .filter(|&k| k < cfg.iterations);
         let cfg = Arc::clone(&cfg);
+        let mem = Arc::clone(&mem);
+        let clock = Arc::clone(&clock);
+        let store = Arc::clone(&store);
         let tensor_elems = Arc::clone(&tensor_elems);
-        let range = map.range(s);
         let rx = rx_slot.take().unwrap();
         let worker_txs = worker_txs.clone();
         let tlog = log.thread_log();
         shard_handles.push(std::thread::spawn(move || {
-            shard_thread(
+            ShardRt::new(
                 s,
                 cfg,
-                range,
+                mem,
+                clock,
+                store,
+                ever,
+                owned_from,
+                adopted_from,
+                die_at,
                 tensor_elems,
                 init,
-                rx,
                 worker_txs,
                 start,
                 tlog,
             )
+            .run(rx)
         }));
     }
     drop(worker_txs); // shard threads hold the live sender clones
@@ -634,7 +887,8 @@ pub fn run_threaded_training(cfg: &ThreadedConfig) -> ThreadedResult {
         let dataset = Arc::clone(&dataset);
         let tensor_elems = Arc::clone(&tensor_elems);
         let sizes_bytes = Arc::clone(&sizes_bytes);
-        let map = Arc::clone(&map);
+        let mem = Arc::clone(&mem);
+        let clock = Arc::clone(&clock);
         let rx = rx_slot.take().unwrap();
         let txs = shard_txs.clone();
         let tlog = log.thread_log();
@@ -645,7 +899,8 @@ pub fn run_threaded_training(cfg: &ThreadedConfig) -> ThreadedResult {
                 dataset,
                 tensor_elems,
                 sizes_bytes,
-                map,
+                mem,
+                clock,
                 txs,
                 rx,
                 start,
@@ -661,28 +916,36 @@ pub fn run_threaded_training(cfg: &ThreadedConfig) -> ThreadedResult {
     let mut arena_allocs = 0u64;
     let mut arena_recycles = 0u64;
     let mut ack_batches = 0u64;
+    let mut restore_bytes = 0u64;
     let mut events: Vec<TimedEvent> = Vec::new();
     for h in handles {
-        let (losses, bytes, lost, ev, allocs, recycles) = h.join().expect("worker panicked");
-        for (acc, l) in losses_acc.iter_mut().zip(losses) {
-            *acc += l / cfg.workers as f32;
+        let out = h.join().expect("worker panicked");
+        for (j, l) in out.losses.iter().enumerate() {
+            let i = out.from + j as u64;
+            losses_acc[i as usize] += l / mem.expected_count(i) as f32;
         }
-        bytes_pushed += bytes;
-        messages_lost += lost;
-        arena_allocs += allocs;
-        arena_recycles += recycles;
-        events.extend(ev);
+        bytes_pushed += out.bytes_pushed;
+        messages_lost += out.messages_lost;
+        arena_allocs += out.arena_allocs;
+        arena_recycles += out.arena_recycles;
+        events.extend(out.events);
     }
-    let mut final_params: Vec<Vec<f32>> = Vec::with_capacity(n_tensors);
+    let mut final_params: Vec<Vec<f32>> = vec![Vec::new(); n_tensors];
     for h in shard_handles {
-        let (params, ev, allocs, recycles, batches) = h.join().expect("shard panicked");
-        final_params.extend(params);
-        arena_allocs += allocs;
-        arena_recycles += recycles;
-        ack_batches += batches;
-        events.extend(ev);
+        let out = h.join().expect("shard panicked");
+        for (g, p) in out.params {
+            debug_assert!(final_params[g].is_empty(), "tensor {g} returned twice");
+            final_params[g] = p;
+        }
+        arena_allocs += out.pull_allocs;
+        arena_recycles += out.pull_recycles;
+        ack_batches += out.ack_batches;
+        restore_bytes += out.restore_bytes;
+        events.extend(out.events);
     }
-    debug_assert_eq!(n_tensors, final_params.len());
+    for (g, p) in final_params.iter().enumerate() {
+        assert!(!p.is_empty(), "no shard owned tensor {g} at the end");
+    }
 
     // Evaluate the final model on the training set.
     let mut model = Mlp::new(&cfg.widths, cfg.seed ^ 0xABCD);
@@ -693,7 +956,12 @@ pub fn run_threaded_training(cfg: &ThreadedConfig) -> ThreadedResult {
     let accuracy = model.accuracy(&x, &labels);
 
     let (events_checked, retries) = if cfg.check_invariants {
-        check_events(events, cfg.workers, map.owner_table())
+        check_events(
+            events,
+            cfg.workers,
+            cfg.fault_plan.joined_workers(),
+            map.owner_table(),
+        )
     } else {
         (0, 0)
     };
@@ -710,6 +978,8 @@ pub fn run_threaded_training(cfg: &ThreadedConfig) -> ThreadedResult {
         arena_allocs,
         arena_recycles,
         ack_batches,
+        membership_epochs: clock.epochs_opened(),
+        restore_bytes,
     }
 }
 
@@ -765,342 +1035,633 @@ fn flush_acks(
     *pending_total = 0;
 }
 
-/// Injected crash-restart of one shard: the thread loses its aggregation
-/// RAM (params/optimiser live in the durable store and survive), stays
-/// down for `downtime`, comes back with a new epoch, and tells every
-/// worker to re-push this shard's unacknowledged gradients.
-fn crash_restart(
-    s: usize,
-    cur_epoch: &mut u64,
-    slots: &mut [GradAgg],
-    downtime: StdDuration,
-    tlog: &mut ThreadLog,
-    worker_txs: &[Sender<ToWorker>],
-) {
-    *cur_epoch += 1;
-    tlog.emit(TraceEvent::FaultStart {
-        kind: FaultKind::ShardCrash,
-        node: s,
-    });
-    for slot in slots.iter_mut() {
-        slot.active = false;
-        slot.complete = 0;
-        for r in &mut slot.recv {
-            r.slices.clear(); // drops the staged arena references
-            r.received_elems = 0;
-        }
-    }
-    if !downtime.is_zero() {
-        std::thread::sleep(downtime);
-    }
-    tlog.emit(TraceEvent::FaultEnd {
-        kind: FaultKind::ShardCrash,
-        node: s,
-    });
-    tlog.emit(TraceEvent::EpochAdvance {
-        shard: s,
-        epoch: *cur_epoch,
-    });
-    for tx in worker_txs {
-        tx.send(ToWorker::ShardRestarted {
-            shard: s,
-            epoch: *cur_epoch,
-        })
-        .expect("worker hung up at restart");
-    }
+/// A pull request waiting for its tensor to reach `min_done` (a joiner's
+/// bootstrap pull racing the barriers it depends on).
+#[derive(Clone, Copy)]
+struct DeferredPull {
+    worker: usize,
+    grad: usize,
+    offset_elems: usize,
+    len_elems: usize,
+    min_done: u64,
 }
 
-/// One parameter-server shard: aggregation barriers for its tensor range,
-/// optimiser steps, batched acks, cached pull service.
-#[allow(clippy::too_many_arguments)]
-fn shard_thread(
+/// One parameter-server shard: aggregation barriers for its member tensors,
+/// optimiser steps, batched acks, cached pull service — plus the elastic
+/// lifecycle (permanent death, tensor adoption from the durable store,
+/// membership-aware barriers).
+///
+/// Barriers finish through a **sweep** after every message rather than
+/// inline in the push handler: a barrier whose arrivals are complete may
+/// still be gated on a departing worker's [`ToPs::Leave`] notice (the
+/// barrier's trace event must follow the eviction epoch), so completion has
+/// to be re-examined on events other than pushes.
+struct ShardRt {
     s: usize,
     cfg: Arc<ThreadedConfig>,
-    range: Range<usize>,
+    mem: Arc<Membership>,
+    clock: Arc<MembershipClock>,
+    store: Arc<DurableStore>,
     tensor_elems: Arc<Vec<usize>>,
-    mut params: Vec<Vec<f32>>,
-    rx: Receiver<ToPs>,
+    /// Sorted global ids of every tensor this shard ever owns (initial
+    /// members + adoptions).
+    ever: Vec<usize>,
+    /// First iteration each local tensor is owned from (0 for initial).
+    owned_from: Vec<u64>,
+    /// For adopted locals, the dead shard the tensor re-homed off
+    /// (`usize::MAX` for initial members).
+    adopted_from: Vec<usize>,
+    /// The iteration this shard permanently dies at, when the plan kills
+    /// it before the run ends.
+    die_at: Option<u64>,
+    dead: bool,
+    /// Per-worker eviction notices received.
+    left: Vec<bool>,
+    /// Parameters per local tensor; adopted slots are empty until restored.
+    params: Vec<Vec<f32>>,
+    /// Per-tensor optimiser state; `None` until an adopted slot restores.
+    opts: Vec<Option<OptState>>,
+    restored: Vec<bool>,
+    /// Last completed barrier per local gradient — a duplicate slice
+    /// arriving after its barrier must be acked and dropped, not
+    /// re-aggregated. Survives crashes, like the applied updates.
+    done_iter: Vec<Option<u64>>,
+    slots: Vec<GradAgg>,
+    /// The persistent accumulator: gradients sum in worker order into this
+    /// one buffer, sized for the largest local tensor.
+    acc_buf: Vec<f32>,
+    pull: Vec<PullCache>,
+    deferred: Vec<DeferredPull>,
+    pending: Vec<Vec<Ack>>,
+    pending_total: usize,
+    ack_batches: u64,
+    pull_allocs: u64,
+    pull_recycles: u64,
+    restore_bytes: u64,
+    cur_epoch: u64,
+    restart_pending: Option<u64>,
+    /// `(iter, barriers closed at iter)` — BSP admits pushes for `iter+1`
+    /// only after every `iter` barrier closed, so one pair tracks
+    /// iteration completion.
+    iter_done: (u64, usize),
     worker_txs: Vec<Sender<ToWorker>>,
     start: Instant,
-    mut tlog: ThreadLog,
-) -> ShardOut {
-    let local_sizes: Vec<usize> = range.clone().map(|g| tensor_elems[g]).collect();
-    let n_local = local_sizes.len();
-    debug_assert_eq!(params.len(), n_local);
-    let mut opt = match cfg.optimizer {
-        PsOptimizer::Sgd { momentum } => OptState::Sgd(Sgd::new(cfg.lr, momentum, &local_sizes)),
-        PsOptimizer::Adam => OptState::Adam(Adam::new(cfg.lr, &local_sizes)),
-    };
-    let mut slots: Vec<GradAgg> = (0..n_local)
-        .map(|_| GradAgg {
-            iter: 0,
-            active: false,
-            complete: 0,
-            recv: (0..cfg.workers)
-                .map(|_| WorkerRecv {
-                    slices: Vec::new(),
-                    received_elems: 0,
+    tlog: ThreadLog,
+}
+
+impl ShardRt {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        s: usize,
+        cfg: Arc<ThreadedConfig>,
+        mem: Arc<Membership>,
+        clock: Arc<MembershipClock>,
+        store: Arc<DurableStore>,
+        ever: Vec<usize>,
+        owned_from: Vec<u64>,
+        adopted_from: Vec<usize>,
+        die_at: Option<u64>,
+        tensor_elems: Arc<Vec<usize>>,
+        params: Vec<Vec<f32>>,
+        worker_txs: Vec<Sender<ToWorker>>,
+        start: Instant,
+        tlog: ThreadLog,
+    ) -> Self {
+        let n_local = ever.len();
+        debug_assert_eq!(params.len(), n_local);
+        let opts: Vec<Option<OptState>> = ever
+            .iter()
+            .zip(&owned_from)
+            .map(|(&g, &from)| {
+                (from == 0).then(|| OptState::fresh(cfg.optimizer, cfg.lr, tensor_elems[g]))
+            })
+            .collect();
+        let restored: Vec<bool> = owned_from.iter().map(|&from| from == 0).collect();
+        let slots: Vec<GradAgg> = (0..n_local)
+            .map(|_| GradAgg {
+                iter: 0,
+                active: false,
+                complete: 0,
+                recv: (0..mem.total_workers)
+                    .map(|_| WorkerRecv {
+                        slices: Vec::new(),
+                        received_elems: 0,
+                    })
+                    .collect(),
+            })
+            .collect();
+        let acc_buf = vec![0.0f32; ever.iter().map(|&g| tensor_elems[g]).max().unwrap_or(0)];
+        let pull = (0..n_local)
+            .map(|_| PullCache {
+                wire: None,
+                spare: None,
+            })
+            .collect();
+        let restart_pending = cfg.ps_restart_at_iter;
+        ShardRt {
+            s,
+            pending: vec![Vec::new(); mem.total_workers],
+            left: vec![false; mem.total_workers],
+            cfg,
+            mem,
+            clock,
+            store,
+            tensor_elems,
+            ever,
+            owned_from,
+            adopted_from,
+            die_at,
+            dead: false,
+            params,
+            opts,
+            restored,
+            done_iter: vec![None; n_local],
+            slots,
+            acc_buf,
+            pull,
+            deferred: Vec::new(),
+            pending_total: 0,
+            ack_batches: 0,
+            pull_allocs: 0,
+            pull_recycles: 0,
+            restore_bytes: 0,
+            cur_epoch: 0,
+            restart_pending,
+            iter_done: (0, 0),
+            worker_txs,
+            start,
+            tlog,
+        }
+    }
+
+    /// Local slot index of an ever-owned tensor (`ever` is sorted).
+    fn local(&self, g: usize) -> usize {
+        self.ever
+            .binary_search(&g)
+            .unwrap_or_else(|_| panic!("tensor {g} never owned by shard {}", self.s))
+    }
+
+    /// Number of locals owned during iteration `iter` — the barrier count
+    /// that closes the iteration on this shard.
+    fn owned_count_at(&self, iter: u64) -> usize {
+        self.owned_from.iter().filter(|&&from| from <= iter).count()
+    }
+
+    /// May a barrier for `iter` close? Every worker evicted at or before
+    /// `iter` must have delivered its [`ToPs::Leave`] first, so the
+    /// barrier's trace event lands after the eviction epoch.
+    fn leave_ok(&self, iter: u64) -> bool {
+        self.mem
+            .fails
+            .iter()
+            .all(|&(w, k)| k > iter || self.left[w])
+    }
+
+    /// Materialise an adopted tensor from the durable store: bit-exact
+    /// snapshot + ledger replay, then announce the re-home.
+    fn ensure_restored(&mut self, l: usize) {
+        if self.restored[l] {
+            return;
+        }
+        let g = self.ever[l];
+        let (p, o, last, bytes) = self.store.restore(g);
+        self.params[l] = p;
+        self.opts[l] = Some(o);
+        self.done_iter[l] = last;
+        self.restored[l] = true;
+        self.restore_bytes += bytes;
+        self.tlog.emit(TraceEvent::Rehome {
+            grad: g,
+            from: self.adopted_from[l],
+            to: self.s,
+        });
+        self.drain_deferred();
+    }
+
+    /// Injected crash-restart: the shard loses its aggregation RAM
+    /// (parameters/optimiser state persist, like the durable store), stays
+    /// down for `downtime`, comes back with a new epoch, and tells every
+    /// worker to re-push its unacknowledged gradients.
+    fn crash_restart(&mut self, downtime: StdDuration) {
+        self.cur_epoch += 1;
+        self.tlog.emit(TraceEvent::FaultStart {
+            kind: FaultKind::ShardCrash,
+            node: self.s,
+        });
+        for slot in self.slots.iter_mut() {
+            slot.active = false;
+            slot.complete = 0;
+            for r in &mut slot.recv {
+                r.slices.clear(); // drops the staged arena references
+                r.received_elems = 0;
+            }
+        }
+        if !downtime.is_zero() {
+            std::thread::sleep(downtime);
+        }
+        self.tlog.emit(TraceEvent::FaultEnd {
+            kind: FaultKind::ShardCrash,
+            node: self.s,
+        });
+        self.tlog.emit(TraceEvent::EpochAdvance {
+            shard: self.s,
+            epoch: self.cur_epoch,
+        });
+        for tx in &self.worker_txs {
+            // A worker that already left the membership (or finished) is
+            // entitled to be gone.
+            let _ = tx.send(ToWorker::ShardRestarted {
+                shard: self.s,
+                epoch: self.cur_epoch,
+            });
+        }
+    }
+
+    fn on_push(
+        &mut self,
+        worker: usize,
+        iter: u64,
+        grad: usize,
+        offset_elems: usize,
+        data: Bytes,
+        epoch: u64,
+    ) {
+        if self.restart_pending.is_some_and(|k| iter >= k) {
+            // Legacy iteration-triggered restart: instant comeback. The
+            // triggering push dies with the old incarnation.
+            self.restart_pending = None;
+            self.crash_restart(StdDuration::ZERO);
+            return;
+        }
+        if epoch != self.cur_epoch {
+            // A pre-crash push that raced the restart broadcast.
+            return;
+        }
+        let l = self.local(grad);
+        let size = self.tensor_elems[grad];
+        let len_elems = data.len() / 4;
+        let ack = Ack {
+            iter,
+            grad,
+            offset_elems,
+            len_elems,
+            epoch,
+        };
+        if self.done_iter[l].is_some_and(|d| d >= iter) {
+            // Late duplicate of a completed barrier: re-ack only.
+            self.pending[worker].push(ack);
+            self.pending_total += 1;
+            return;
+        }
+        // Every pre-death barrier closed before the death epoch opened, so
+        // any non-duplicate push reaching a dead shard was mis-routed.
+        assert!(
+            !self.dead,
+            "push for (iter {iter}, grad {grad}) reached shard {} after its death",
+            self.s
+        );
+        self.ensure_restored(l);
+        let slot = &mut self.slots[l];
+        if !slot.active {
+            slot.active = true;
+            slot.iter = iter;
+            slot.complete = 0;
+            debug_assert!(slot.recv.iter().all(|r| r.slices.is_empty()));
+        }
+        assert_eq!(
+            slot.iter, iter,
+            "push for tensor {grad} skipped the BSP barrier"
+        );
+        let recv = &mut slot.recv[worker];
+        if recv.slices.iter().any(|&(o, _)| o == offset_elems) {
+            // Duplicate slice (a retransmission raced the ack).
+            self.pending[worker].push(ack);
+            self.pending_total += 1;
+            return;
+        }
+        recv.received_elems += len_elems;
+        assert!(
+            recv.received_elems <= size,
+            "worker {worker} over-pushed tensor {grad}"
+        );
+        // Zero-copy staging: the wire slice itself is the staged gradient;
+        // nothing is decoded until the barrier.
+        recv.slices.push((offset_elems, data));
+        self.pending[worker].push(ack);
+        self.pending_total += 1;
+        if recv.received_elems == size {
+            slot.complete += 1;
+            self.tlog.emit(TraceEvent::PushEnd { worker, iter, grad });
+        }
+    }
+
+    /// Close every completable barrier, in local-tensor order. Completion
+    /// is re-examined after *every* message because pushes are not the
+    /// only enabler: a [`ToPs::Leave`] can unblock a fully-arrived barrier.
+    fn sweep(&mut self) {
+        for l in 0..self.ever.len() {
+            if !self.slots[l].active {
+                continue;
+            }
+            let iter = self.slots[l].iter;
+            if self.slots[l].complete == self.mem.expected_count(iter) && self.leave_ok(iter) {
+                self.finish_barrier(l);
+            }
+        }
+    }
+
+    /// The BSP barrier for local tensor `l` is complete: fold the staged
+    /// wire slices in fixed worker order (bit-identical to the
+    /// single-shard and single-process sums), step the optimiser, record
+    /// the update in the durable ledger, run the iteration-close
+    /// bookkeeping (checkpoint cadence, this shard's own death), and
+    /// notify the iteration's members.
+    fn finish_barrier(&mut self, l: usize) {
+        let g = self.ever[l];
+        let size = self.tensor_elems[g];
+        let iter = self.slots[l].iter;
+        {
+            let slot = &mut self.slots[l];
+            let acc = &mut self.acc_buf[..size];
+            acc.fill(0.0);
+            for r in &mut slot.recv {
+                for (off, bytes) in r.slices.drain(..) {
+                    let n = bytes.len() / 4;
+                    accumulate_f32_le(&bytes, &mut acc[off..off + n]);
+                }
+                r.received_elems = 0;
+            }
+            slot.active = false;
+            slot.complete = 0;
+        }
+        let inv = 1.0 / self.mem.expected_count(iter) as f32;
+        let acc = &mut self.acc_buf[..size];
+        for m in acc.iter_mut() {
+            *m *= inv;
+        }
+        let opt = self.opts[l].as_mut().expect("barrier on unrestored tensor");
+        opt.step(&mut self.params[l], acc);
+        self.store.note_update(g, iter, acc);
+        self.done_iter[l] = Some(iter);
+        // The cached pull encoding is stale; reclaim its storage.
+        if let Some(b) = self.pull[l].wire.take() {
+            if let Ok(m) = b.try_into_mut() {
+                self.pull[l].spare = Some(m);
+            }
+        }
+        self.tlog.emit(TraceEvent::Barrier { iter, grad: g });
+        let checkpoint_due = self.store.armed() && (iter + 1) % self.cfg.checkpoint_period == 0;
+        if checkpoint_due {
+            self.store
+                .checkpoint(g, iter, &self.params[l], self.opts[l].as_ref().unwrap());
+        }
+        // Iteration-close bookkeeping.
+        if self.iter_done.0 == iter {
+            self.iter_done.1 += 1;
+        } else {
+            self.iter_done = (iter, 1);
+        }
+        if self.iter_done.1 == self.owned_count_at(iter) {
+            if checkpoint_due {
+                self.tlog.emit(TraceEvent::Checkpoint {
+                    shard: self.s,
+                    iter,
+                });
+            }
+            if self.die_at == Some(iter + 1) {
+                // This was the shard's last iteration. Open the death
+                // epoch BEFORE broadcasting the final ParamReady: no
+                // worker can start iteration `iter + 1` without that
+                // delivery, so every adopter-side event — re-homes,
+                // adopted barriers — is causally (hence ticket-) after
+                // the MembershipChange.
+                self.clock
+                    .open(&mut self.tlog, FaultKind::ShardFail, self.s, iter + 1);
+                self.dead = true;
+            }
+        }
+        if self.mem.elastic {
+            for &w in self.mem.members(iter) {
+                // An iteration member cannot exit before receiving every
+                // one of its ParamReady deliveries.
+                self.worker_txs[w]
+                    .send(ToWorker::ParamReady {
+                        grad: g,
+                        epoch: self.cur_epoch,
+                    })
+                    .expect("member hung up before barrier");
+            }
+        } else {
+            for tx in &self.worker_txs {
+                // A worker that already exited is a bug — every worker
+                // needs every update.
+                tx.send(ToWorker::ParamReady {
+                    grad: g,
+                    epoch: self.cur_epoch,
                 })
-                .collect(),
-        })
-        .collect();
-    // Last completed barrier per local gradient — a duplicate slice
-    // arriving after its barrier must be acked and dropped, not
-    // re-aggregated (the update was applied; re-opening the slot would
-    // corrupt the parameters). Survives crashes, exactly like the applied
-    // updates themselves.
-    let mut done_iter: Vec<Option<u64>> = vec![None; n_local];
-    // The persistent accumulator: gradients sum in worker order into this
-    // one buffer, sized for the largest local tensor.
-    let mut acc_buf = vec![0.0f32; local_sizes.iter().copied().max().unwrap_or(0)];
-    let mut pull: Vec<PullCache> = (0..n_local)
-        .map(|_| PullCache {
-            wire: None,
-            spare: None,
-        })
-        .collect();
-    let mut pool_allocs = 0u64;
-    let mut pool_recycles = 0u64;
-    let mut pending: Vec<Vec<Ack>> = vec![Vec::new(); cfg.workers];
-    let mut pending_total = 0usize;
-    let mut ack_batches = 0u64;
-    let mut cur_epoch = 0u64;
-    let mut restart_pending = cfg.ps_restart_at_iter;
+                .expect("worker hung up before barrier");
+            }
+        }
+        self.drain_deferred();
+    }
 
-    // Time-triggered crash schedule for THIS shard, earliest first.
-    let mut crashes: Vec<(u64, StdDuration)> = cfg
-        .fault_plan
-        .faults
-        .iter()
-        .filter_map(|f| match *f {
-            FaultSpec::ShardCrash {
-                shard,
-                at,
-                restart_after,
-            } if shard == s => Some((at.as_nanos(), to_std(restart_after))),
-            _ => None,
-        })
-        .collect();
-    crashes.sort_unstable();
-    let mut next_crash = 0usize;
-
-    'serve: loop {
-        // Drain the inbox without blocking; acks flush the moment it runs
-        // dry (one batch per worker per drain), and only then do we block.
-        // Poll (instead of block) only while a scheduled crash is still
-        // pending, so an idle channel cannot postpone it.
-        let msg = match rx.try_recv() {
-            Ok(m) => Some(m),
-            Err(TryRecvError::Empty) => {
-                flush_acks(
-                    &mut pending,
-                    &mut pending_total,
-                    &mut ack_batches,
-                    &worker_txs,
-                );
-                if next_crash < crashes.len() {
-                    match rx.recv_timeout(StdDuration::from_millis(1)) {
-                        Ok(m) => Some(m),
-                        Err(RecvTimeoutError::Timeout) => None,
-                        Err(RecvTimeoutError::Disconnected) => break 'serve,
-                    }
+    fn on_pull(
+        &mut self,
+        worker: usize,
+        grad: usize,
+        offset_elems: usize,
+        len_elems: usize,
+        min_done: Option<u64>,
+    ) {
+        let l = self.local(grad);
+        match min_done {
+            // An ordinary pull is causally behind the ParamReady that made
+            // the tensor current — serve immediately.
+            None => self.serve_pull(worker, grad, offset_elems, len_elems),
+            Some(m) => {
+                if self.restored[l] && self.done_iter[l].is_some_and(|d| d >= m) {
+                    self.serve_pull(worker, grad, offset_elems, len_elems);
                 } else {
-                    match rx.recv() {
-                        Ok(m) => Some(m),
-                        Err(_) => break 'serve,
-                    }
+                    self.deferred.push(DeferredPull {
+                        worker,
+                        grad,
+                        offset_elems,
+                        len_elems,
+                        min_done: m,
+                    });
                 }
             }
-            Err(TryRecvError::Disconnected) => break 'serve,
-        };
-        if next_crash < crashes.len() && start.elapsed().as_nanos() as u64 >= crashes[next_crash].0
-        {
-            let downtime = crashes[next_crash].1;
-            next_crash += 1;
-            crash_restart(
-                s,
-                &mut cur_epoch,
-                &mut slots,
-                downtime,
-                &mut tlog,
-                &worker_txs,
-            );
         }
-        let Some(msg) = msg else { continue };
-        match msg {
-            ToPs::Push {
-                worker,
-                iter,
+    }
+
+    /// Serve any deferred pull whose tensor has caught up.
+    fn drain_deferred(&mut self) {
+        let mut i = 0;
+        while i < self.deferred.len() {
+            let d = self.deferred[i];
+            let l = self.local(d.grad);
+            if self.restored[l] && self.done_iter[l].is_some_and(|x| x >= d.min_done) {
+                self.deferred.remove(i);
+                self.serve_pull(d.worker, d.grad, d.offset_elems, d.len_elems);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn serve_pull(&mut self, worker: usize, grad: usize, offset_elems: usize, len_elems: usize) {
+        let l = self.local(grad);
+        debug_assert!(self.restored[l], "serving an unrestored tensor");
+        if self.pull[l].wire.is_none() {
+            // First pull since the last update: encode the whole tensor
+            // once into (recycled) storage; every further pull of it is a
+            // zero-copy window.
+            let mut buf = match self.pull[l].spare.take() {
+                Some(mut m) => {
+                    m.clear();
+                    self.pull_recycles += 1;
+                    m
+                }
+                None => {
+                    self.pull_allocs += 1;
+                    BytesMut::with_capacity(self.tensor_elems[grad] * 4)
+                }
+            };
+            encode_f32_into(&self.params[l], &mut buf);
+            self.pull[l].wire = Some(buf.freeze());
+        }
+        let wire = self.pull[l].wire.as_ref().unwrap();
+        let data = wire.slice(offset_elems * 4..(offset_elems + len_elems) * 4);
+        self.worker_txs[worker]
+            .send(ToWorker::PullData {
                 grad,
                 offset_elems,
                 data,
-                epoch,
-            } => {
-                if restart_pending.is_some_and(|k| iter >= k) {
-                    // Legacy iteration-triggered restart: instant comeback.
-                    // The triggering push dies with the old incarnation.
-                    restart_pending = None;
-                    crash_restart(
-                        s,
-                        &mut cur_epoch,
-                        &mut slots,
-                        StdDuration::ZERO,
-                        &mut tlog,
-                        &worker_txs,
+            })
+            .expect("worker hung up mid-pull");
+    }
+
+    /// The serve loop: drain the inbox, apply each message, sweep for
+    /// completable barriers, flush acks at the cap or when idle.
+    fn run(mut self, rx: Receiver<ToPs>) -> ShardOut {
+        // Time-triggered crash schedule for THIS shard, earliest first.
+        let mut crashes: Vec<(u64, StdDuration)> = self
+            .cfg
+            .fault_plan
+            .faults
+            .iter()
+            .filter_map(|f| match *f {
+                FaultSpec::ShardCrash {
+                    shard,
+                    at,
+                    restart_after,
+                } if shard == self.s => Some((at.as_nanos(), to_std(restart_after))),
+                _ => None,
+            })
+            .collect();
+        crashes.sort_unstable();
+        let mut next_crash = 0usize;
+
+        'serve: loop {
+            // Drain the inbox without blocking; acks flush the moment it
+            // runs dry (one batch per worker per drain), and only then do
+            // we block. Poll (instead of block) only while a scheduled
+            // crash is still pending, so an idle channel cannot postpone
+            // it.
+            let msg = match rx.try_recv() {
+                Ok(m) => Some(m),
+                Err(TryRecvError::Empty) => {
+                    flush_acks(
+                        &mut self.pending,
+                        &mut self.pending_total,
+                        &mut self.ack_batches,
+                        &self.worker_txs,
                     );
-                    continue;
-                }
-                if epoch != cur_epoch {
-                    // A pre-crash push that raced the restart broadcast.
-                    continue;
-                }
-                let l = grad - range.start;
-                let size = tensor_elems[grad];
-                let len_elems = data.len() / 4;
-                let ack = Ack {
-                    iter,
-                    grad,
-                    offset_elems,
-                    len_elems,
-                    epoch,
-                };
-                if done_iter[l].is_some_and(|d| d >= iter) {
-                    // Late duplicate of a completed barrier: re-ack only.
-                    pending[worker].push(ack);
-                    pending_total += 1;
-                    continue;
-                }
-                let slot = &mut slots[l];
-                if !slot.active {
-                    slot.active = true;
-                    slot.iter = iter;
-                    slot.complete = 0;
-                    debug_assert!(slot.recv.iter().all(|r| r.slices.is_empty()));
-                }
-                assert_eq!(
-                    slot.iter, iter,
-                    "push for tensor {grad} skipped the BSP barrier"
-                );
-                let recv = &mut slot.recv[worker];
-                if recv.slices.iter().any(|&(o, _)| o == offset_elems) {
-                    // Duplicate slice (a retransmission raced the ack).
-                    pending[worker].push(ack);
-                    pending_total += 1;
-                    continue;
-                }
-                recv.received_elems += len_elems;
-                assert!(
-                    recv.received_elems <= size,
-                    "worker {worker} over-pushed tensor {grad}"
-                );
-                // Zero-copy staging: the wire slice itself is the staged
-                // gradient; nothing is decoded until the barrier.
-                recv.slices.push((offset_elems, data));
-                pending[worker].push(ack);
-                pending_total += 1;
-                if recv.received_elems == size {
-                    slot.complete += 1;
-                    tlog.emit(TraceEvent::PushEnd { worker, iter, grad });
-                    if slot.complete == cfg.workers {
-                        // BSP barrier reached: fold the staged wire slices
-                        // into the accumulator in fixed worker order
-                        // (bit-identical to the single-shard and
-                        // single-process sums), step, notify.
-                        let acc = &mut acc_buf[..size];
-                        acc.fill(0.0);
-                        for r in &mut slot.recv {
-                            for (off, bytes) in r.slices.drain(..) {
-                                let n = bytes.len() / 4;
-                                accumulate_f32_le(&bytes, &mut acc[off..off + n]);
-                            }
-                            r.received_elems = 0;
+                    if next_crash < crashes.len() {
+                        match rx.recv_timeout(StdDuration::from_millis(1)) {
+                            Ok(m) => Some(m),
+                            Err(RecvTimeoutError::Timeout) => None,
+                            Err(RecvTimeoutError::Disconnected) => break 'serve,
                         }
-                        let inv = 1.0 / cfg.workers as f32;
-                        for m in acc.iter_mut() {
-                            *m *= inv;
-                        }
-                        opt.step(l, &mut params[l], acc);
-                        slot.active = false;
-                        done_iter[l] = Some(iter);
-                        // The cached pull encoding is stale; reclaim its
-                        // storage for the re-encode.
-                        if let Some(b) = pull[l].wire.take() {
-                            if let Ok(m) = b.try_into_mut() {
-                                pull[l].spare = Some(m);
-                            }
-                        }
-                        tlog.emit(TraceEvent::Barrier { iter, grad });
-                        for tx in &worker_txs {
-                            // A worker that already exited is a bug — every
-                            // worker needs every update.
-                            tx.send(ToWorker::ParamReady {
-                                grad,
-                                epoch: cur_epoch,
-                            })
-                            .expect("worker hung up before barrier");
+                    } else {
+                        match rx.recv() {
+                            Ok(m) => Some(m),
+                            Err(_) => break 'serve,
                         }
                     }
                 }
+                Err(TryRecvError::Disconnected) => break 'serve,
+            };
+            if next_crash < crashes.len()
+                && self.start.elapsed().as_nanos() as u64 >= crashes[next_crash].0
+            {
+                let downtime = crashes[next_crash].1;
+                next_crash += 1;
+                self.crash_restart(downtime);
             }
-            ToPs::PullReq {
-                worker,
-                grad,
-                offset_elems,
-                len_elems,
-            } => {
-                let l = grad - range.start;
-                if pull[l].wire.is_none() {
-                    // First pull since the last update: encode the whole
-                    // tensor once into (recycled) storage; every further
-                    // pull of it is a zero-copy window.
-                    let mut buf = match pull[l].spare.take() {
-                        Some(mut m) => {
-                            m.clear();
-                            pool_recycles += 1;
-                            m
-                        }
-                        None => {
-                            pool_allocs += 1;
-                            BytesMut::with_capacity(tensor_elems[grad] * 4)
-                        }
-                    };
-                    encode_f32_into(&params[l], &mut buf);
-                    pull[l].wire = Some(buf.freeze());
-                }
-                let wire = pull[l].wire.as_ref().unwrap();
-                let data = wire.slice(offset_elems * 4..(offset_elems + len_elems) * 4);
-                worker_txs[worker]
-                    .send(ToWorker::PullData {
-                        grad,
-                        offset_elems,
-                        data,
-                    })
-                    .expect("worker hung up mid-pull");
+            let Some(msg) = msg else { continue };
+            match msg {
+                ToPs::Push {
+                    worker,
+                    iter,
+                    grad,
+                    offset_elems,
+                    data,
+                    epoch,
+                } => self.on_push(worker, iter, grad, offset_elems, data, epoch),
+                ToPs::PullReq {
+                    worker,
+                    grad,
+                    offset_elems,
+                    len_elems,
+                    min_done,
+                } => self.on_pull(worker, grad, offset_elems, len_elems, min_done),
+                ToPs::Leave { worker } => self.left[worker] = true,
+            }
+            self.sweep();
+            if self.pending_total >= ACK_FLUSH_CAP {
+                flush_acks(
+                    &mut self.pending,
+                    &mut self.pending_total,
+                    &mut self.ack_batches,
+                    &self.worker_txs,
+                );
             }
         }
-        if pending_total >= ACK_FLUSH_CAP {
-            flush_acks(
-                &mut pending,
-                &mut pending_total,
-                &mut ack_batches,
-                &worker_txs,
-            );
+        // Workers are gone; remaining acks are moot but flushed for the
+        // count.
+        flush_acks(
+            &mut self.pending,
+            &mut self.pending_total,
+            &mut self.ack_batches,
+            &self.worker_txs,
+        );
+        assert!(
+            self.deferred.is_empty(),
+            "shard {} exited with {} unserved deferred pull(s)",
+            self.s,
+            self.deferred.len()
+        );
+        // Hand back exactly the tensors this shard owns in the final
+        // membership epoch: adopted ones included, lost ones excluded.
+        let final_owner = self.mem.owner_epochs.last().unwrap().1.clone();
+        let mut out_params = Vec::new();
+        for l in 0..self.ever.len() {
+            let g = self.ever[l];
+            if final_owner[g] == self.s {
+                debug_assert!(self.restored[l], "final owner never restored tensor {g}");
+                out_params.push((g, std::mem::take(&mut self.params[l])));
+            }
+        }
+        ShardOut {
+            params: out_params,
+            events: self.tlog.into_events(),
+            pull_allocs: self.pull_allocs,
+            pull_recycles: self.pull_recycles,
+            ack_batches: self.ack_batches,
+            restore_bytes: self.restore_bytes,
         }
     }
-    // Workers are gone; remaining acks are moot but flushed for the count.
-    flush_acks(
-        &mut pending,
-        &mut pending_total,
-        &mut ack_batches,
-        &worker_txs,
-    );
-    (
-        params,
-        tlog.into_events(),
-        pool_allocs,
-        pool_recycles,
-        ack_batches,
-    )
 }
 
 /// Borrowed context threaded through [`drive`].
@@ -1113,7 +1674,9 @@ struct DriveCtx<'a> {
     /// Byte offset of each gradient tensor within the arena.
     grad_off: &'a [usize],
     txs: &'a [Sender<ToPs>],
-    map: &'a ShardMap,
+    /// Tensor → shard owner table in force for this iteration (membership
+    /// epochs re-home tensors between iterations, never within one).
+    owner: &'a [usize],
     /// Current incarnation per shard; updated mid-iteration when a
     /// [`ToWorker::ShardRestarted`] arrives.
     ps_epochs: &'a [Cell<u64>],
@@ -1134,7 +1697,7 @@ fn send_push_slice(
     let bytes = (len_elems * 4) as u64;
     limiter.acquire(bytes);
     *bytes_pushed += bytes;
-    let shard = ctx.map.shard_of(grad);
+    let shard = ctx.owner[grad];
     let epoch = ctx.ps_epochs[shard].get();
     if faults.doomed(ctx.epoch) {
         faults.messages_lost += 1;
@@ -1201,12 +1764,13 @@ fn drive(
                             grad: g,
                         });
                     }
-                    ctx.txs[ctx.map.shard_of(g)]
+                    ctx.txs[ctx.owner[g]]
                         .send(ToPs::PullReq {
                             worker: ctx.w,
                             grad: g,
                             offset_elems: pull_recv[g],
                             len_elems: elems,
+                            min_done: None,
                         })
                         .expect("ps shard hung up");
                     pull_recv[g] += elems;
@@ -1260,7 +1824,7 @@ fn resend_expired(
         });
         let backoff = to_std(faults.retry.delay(attempts[g]));
         let timeout = to_std(faults.retry.timeout);
-        let shard = ctx.map.shard_of(g);
+        let shard = ctx.owner[g];
         for &i in &due {
             if faults.unacked[i].grad != g {
                 continue;
@@ -1296,6 +1860,12 @@ fn resend_expired(
 /// scheduler, move bytes as the scheduler dictates, pull updates, repeat.
 /// All per-iteration scratch (arena, counters, flags) lives outside the
 /// iteration loop and is reset, not reallocated.
+///
+/// Elastic lifecycle: a worker the plan evicts runs `[0, fail_at)`, opens
+/// its eviction epoch, broadcasts [`ToPs::Leave`] and exits; a joiner stays
+/// silent until it has bootstrapped the end-of-`join_at - 1` model via
+/// `min_done` pulls, opens its join epoch, then runs `[join_at,
+/// iterations)` like any member.
 #[allow(clippy::too_many_arguments)]
 fn worker_thread(
     w: usize,
@@ -1303,15 +1873,49 @@ fn worker_thread(
     dataset: Arc<Dataset>,
     tensor_elems: Arc<Vec<usize>>,
     sizes_bytes: Arc<Vec<u64>>,
-    map: Arc<ShardMap>,
+    mem: Arc<Membership>,
+    clock: Arc<MembershipClock>,
     txs: Vec<Sender<ToPs>>,
     rx: Receiver<ToWorker>,
     epoch: Instant,
     mut tlog: ThreadLog,
 ) -> WorkerOut {
     let n = tensor_elems.len();
-    let shards = map.shards();
+    let shards = txs.len();
     let node = shards + w; // this worker's trace/fault node id
+    let is_joiner = w >= cfg.workers;
+    let my_from = if is_joiner {
+        cfg.fault_plan
+            .worker_join_at(w)
+            .expect("joiner without a WorkerJoin spec")
+    } else {
+        0
+    };
+    let my_until = if is_joiner {
+        cfg.iterations
+    } else {
+        cfg.fault_plan
+            .worker_fail_at(w)
+            .map_or(cfg.iterations, |k| k.min(cfg.iterations))
+    };
+    if my_from >= my_until {
+        // A joiner scheduled past the horizon: never admitted, forever
+        // silent (its announced epoch simply never opens).
+        return WorkerOut {
+            losses: Vec::new(),
+            from: my_from,
+            bytes_pushed: 0,
+            messages_lost: 0,
+            events: tlog.into_events(),
+            arena_allocs: 0,
+            arena_recycles: 0,
+        };
+    }
+    let evicted = !is_joiner
+        && cfg
+            .fault_plan
+            .worker_fail_at(w)
+            .is_some_and(|k| k < cfg.iterations);
     let mut model = Mlp::new(&cfg.widths, cfg.seed ^ 0xABCD);
     let mut sched: Box<dyn CommScheduler> =
         cfg.scheduler.build_from_sizes(sizes_bytes.as_ref().clone());
@@ -1321,9 +1925,64 @@ fn worker_thread(
         RateLimiter::windows_for(&cfg.fault_plan, w, shards),
     );
     let mut faults = WorkerFaults::new(w, &cfg.fault_plan, cfg.retry);
-    let mut losses = Vec::with_capacity(cfg.iterations as usize);
+    let mut losses = Vec::with_capacity((my_until - my_from) as usize);
     let mut bytes_pushed = 0u64;
     let ps_epochs: Vec<Cell<u64>> = (0..shards).map(|_| Cell::new(0)).collect();
+
+    if is_joiner {
+        // Bootstrap: fetch the end-of-`my_from - 1` model, one deferred
+        // whole-tensor pull per tensor, routed by the owner table in force
+        // at admission. The shards reply only once each tensor reflects
+        // every update through `my_from - 1`, so completing this loop
+        // proves every pre-admission barrier closed — which is exactly
+        // what lets the join epoch open *after* them in ticket order.
+        // Nothing here is traced: a worker outside the membership is
+        // silent by contract.
+        let owner = mem.owner_at(my_from);
+        for g in 0..n {
+            txs[owner[g]]
+                .send(ToPs::PullReq {
+                    worker: w,
+                    grad: g,
+                    offset_elems: 0,
+                    len_elems: tensor_elems[g],
+                    min_done: Some(my_from - 1),
+                })
+                .expect("ps shard hung up at bootstrap");
+        }
+        let mut deferred_acks: Vec<(usize, u64)> = Vec::new();
+        let mut got = 0usize;
+        while got < n {
+            match rx.recv().expect("ps hung up during bootstrap") {
+                ToWorker::PullData {
+                    grad,
+                    offset_elems,
+                    data,
+                } => {
+                    limiter.acquire(data.len() as u64);
+                    model.set_param_slice_le(grad, offset_elems, &data);
+                    got += 1;
+                }
+                ToWorker::ShardRestarted { shard, epoch: e } => {
+                    // Observe the new incarnation silently; announce the
+                    // ack once admitted (below).
+                    ps_epochs[shard].set(e);
+                    deferred_acks.push((shard, e));
+                }
+                // Pre-admission ParamReady/ack batches concern barriers
+                // this worker is not part of.
+                _ => {}
+            }
+        }
+        clock.open(&mut tlog, FaultKind::WorkerJoin, w, my_from);
+        for (shard, e) in deferred_acks {
+            tlog.emit(TraceEvent::EpochAck {
+                worker: w,
+                shard,
+                epoch: e,
+            });
+        }
+    }
 
     // Reusable per-iteration scratch: reset each iteration, never
     // reallocated.
@@ -1337,8 +1996,12 @@ fn worker_thread(
     let mut pool = ArenaPool::new();
     let mut arena: Option<Bytes> = None;
 
+    // Data windows use the *initial* worker count and this worker's
+    // absolute id: each worker's stream of batches is a pure function of
+    // (w, iter), unchanged by who else is in the membership.
     let per_worker = cfg.global_batch / cfg.workers;
-    for iter in 0..cfg.iterations {
+    for iter in my_from..my_until {
+        let owner = mem.owner_at(iter);
         let t_begin = now_since(epoch);
         tlog.emit(TraceEvent::IterBegin { worker: w, iter });
         sched.iteration_begin(t_begin, iter);
@@ -1385,7 +2048,7 @@ fn worker_thread(
             arena: arena_ref,
             grad_off: &grad_off,
             txs: &txs,
-            map: &map,
+            owner,
             ps_epochs: &ps_epochs,
         };
 
@@ -1495,9 +2158,9 @@ fn worker_thread(
                     });
                     // Slices addressed to the dead incarnation will never
                     // be acked; the whole-prefix re-push replaces them.
-                    faults.unacked.retain(|u| map.shard_of(u.grad) != shard);
-                    for g in map.range(shard) {
-                        if push_sent[g] == 0 || param_ready_seen[g] {
+                    faults.unacked.retain(|u| owner[u.grad] != shard);
+                    for g in 0..n {
+                        if owner[g] != shard || push_sent[g] == 0 || param_ready_seen[g] {
                             continue;
                         }
                         attempts[g] += 1;
@@ -1550,15 +2213,27 @@ fn worker_thread(
         tlog.emit(TraceEvent::IterEnd { worker: w, iter });
         sched.iteration_end(t_end, iter, t_end.saturating_since(t_begin));
     }
-    let lost = faults.messages_lost;
-    (
+    if evicted {
+        // This worker's last iteration is behind it: open the eviction
+        // epoch, then tell every shard — barriers for iterations beyond
+        // `my_until - 1` are gated on these Leave notices, which is what
+        // orders them after the MembershipChange.
+        clock.open(&mut tlog, FaultKind::WorkerFail, w, my_until);
+        for tx in &txs {
+            // A shard may already have exited if every surviving worker
+            // finished first.
+            let _ = tx.send(ToPs::Leave { worker: w });
+        }
+    }
+    WorkerOut {
         losses,
+        from: my_from,
         bytes_pushed,
-        lost,
-        tlog.into_events(),
-        pool.allocated,
-        pool.recycled,
-    )
+        messages_lost: faults.messages_lost,
+        events: tlog.into_events(),
+        arena_allocs: pool.allocated,
+        arena_recycles: pool.recycled,
+    }
 }
 
 #[cfg(test)]

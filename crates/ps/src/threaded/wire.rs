@@ -85,6 +85,22 @@ pub enum ToPs {
         offset_elems: usize,
         /// Number of elements requested.
         len_elems: usize,
+        /// `Some(k)`: serve only once the tensor reflects every update
+        /// through iteration `k` (the shard defers the reply until then).
+        /// Joiner bootstrap pulls use this to receive exactly the
+        /// end-of-iteration-`k` model; ordinary pulls pass `None` — they
+        /// are causally behind the [`ToWorker::ParamReady`] that made the
+        /// tensor current.
+        min_done: Option<u64>,
+    },
+    /// Worker `worker` has permanently left the cluster (its eviction
+    /// epoch is open). Shards may not close a BSP barrier for an
+    /// iteration the worker is excluded from until its leave notice
+    /// arrives — that is what keeps the barrier's trace event causally
+    /// after the eviction's membership change.
+    Leave {
+        /// The departing worker.
+        worker: usize,
     },
 }
 

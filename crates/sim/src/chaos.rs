@@ -25,23 +25,36 @@ use crate::rng::Xoshiro256StarStar;
 use crate::time::{Duration, SimTime};
 use std::fmt::Write as _;
 
-/// A bitmask over the five [`FaultKind`]s, selecting which classes a
+/// A bitmask over the eight [`FaultKind`]s, selecting which classes a
 /// [`ChaosGen`] may sample.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KindMask(u8);
 
-/// Canonical kind order; bit `i` of a [`KindMask`] is `ORDER[i]`.
-const ORDER: [FaultKind; 5] = [
+/// Canonical kind order; bit `i` of a [`KindMask`] is `ORDER[i]`. The five
+/// transient kinds keep their historical bits (0..5) so every pre-churn
+/// profile — and the seed-pinned plan-stream goldens — are unchanged; the
+/// permanent membership kinds occupy bits 5..8.
+const ORDER: [FaultKind; 8] = [
     FaultKind::LinkDown,
     FaultKind::LinkDegrade,
     FaultKind::MsgLoss,
     FaultKind::ShardCrash,
     FaultKind::WorkerStall,
+    FaultKind::WorkerFail,
+    FaultKind::ShardFail,
+    FaultKind::WorkerJoin,
 ];
 
 impl KindMask {
-    /// Every fault class enabled.
+    /// Every *transient* fault class enabled (the historical full mask —
+    /// kept as `ALL` so seed-pinned plan streams from pre-churn profiles
+    /// replay unchanged; membership churn is opt-in via
+    /// [`KindMask::PERMANENT`] / [`KindMask::EVERYTHING`]).
     pub const ALL: KindMask = KindMask(0b1_1111);
+    /// The permanent membership kinds (`WorkerFail`/`ShardFail`/`WorkerJoin`).
+    pub const PERMANENT: KindMask = KindMask(0b1110_0000);
+    /// Transient and permanent kinds together: the churn-profile mask.
+    pub const EVERYTHING: KindMask = KindMask(0b1111_1111);
     /// No fault class enabled (useful as a builder origin).
     pub const NONE: KindMask = KindMask(0);
 
@@ -99,10 +112,18 @@ pub struct ChaosProfile {
     pub workers: usize,
     /// PS shard count of the target cluster (for index validity).
     pub ps_shards: usize,
+    /// BSP iteration horizon of the target run. Permanent membership events
+    /// are iteration-indexed, so their `at_iter` is derived from the drawn
+    /// start time mapped onto `1..iters`. Below 2, permanent kinds are
+    /// silently ineligible (there is no iteration boundary to change
+    /// membership at), which is why the transient-only [`Self::for_cluster`]
+    /// profile leaves this at zero.
+    pub iters: u64,
 }
 
 impl ChaosProfile {
-    /// A profile matching a cluster shape, all kinds enabled, unit intensity.
+    /// A profile matching a cluster shape, all transient kinds enabled, unit
+    /// intensity. Byte-identical plan streams to the pre-churn generator.
     pub fn for_cluster(workers: usize, ps_shards: usize, horizon: Duration) -> Self {
         ChaosProfile {
             intensity: 1.0,
@@ -110,6 +131,20 @@ impl ChaosProfile {
             horizon,
             workers,
             ps_shards,
+            iters: 0,
+        }
+    }
+
+    /// The membership-churn profile: every kind enabled, transient *and*
+    /// permanent, against a run of `iters` BSP iterations.
+    pub fn churn(workers: usize, ps_shards: usize, horizon: Duration, iters: u64) -> Self {
+        ChaosProfile {
+            intensity: 1.0,
+            kinds: KindMask::EVERYTHING,
+            horizon,
+            workers,
+            ps_shards,
+            iters,
         }
     }
 }
@@ -145,17 +180,36 @@ impl ChaosGen {
     /// `[0, horizon)`; windows may overlap, and the same shard may crash
     /// repeatedly. Intensity `<= 0` or an empty kinds mask short-circuits to
     /// [`FaultPlan::empty`] without consuming RNG state.
+    ///
+    /// Permanent membership kinds additionally honor the survivor
+    /// constraints from [`FaultPlan::validate`]: at most `workers - 1`
+    /// distinct `WorkerFail`s, at most `ps_shards - 1` distinct
+    /// `ShardFail`s, and joiner ids assigned densely from `workers`. A draw
+    /// that would violate a constraint keeps its consumed RNG state (so the
+    /// stream stays a pure function of the seed) but contributes no spec.
     pub fn next_plan(&mut self, profile: &ChaosProfile) -> FaultPlan {
         if profile.intensity <= 0.0 || profile.kinds.is_empty() {
             return FaultPlan::empty();
         }
-        let kinds = profile.kinds.kinds();
+        let kinds: Vec<FaultKind> = profile
+            .kinds
+            .kinds()
+            .into_iter()
+            .filter(|k| !k.is_permanent() || profile.iters >= 2)
+            .collect();
+        if kinds.is_empty() {
+            return FaultPlan::empty();
+        }
         let horizon_ns = profile.horizon.as_nanos().max(1);
         // 1..=ceil(4·intensity) faults, uniform: intensity 1.0 averages 2.5.
         let max_faults = (4.0 * profile.intensity).ceil().max(1.0) as u64;
         let n = 1 + self.rng.next_below(max_faults);
         let mut faults = Vec::with_capacity(n as usize);
         let mut prev_at: Option<SimTime> = None;
+        // Survivor bookkeeping for the permanent kinds.
+        let mut failed_workers: Vec<usize> = Vec::new();
+        let mut failed_shards: Vec<usize> = Vec::new();
+        let mut joins: usize = 0;
         for _ in 0..n {
             let at = match prev_at {
                 // A burst piles onto the previous window (±10% of horizon).
@@ -171,6 +225,11 @@ impl ChaosGen {
             let dur =
                 Duration::from_nanos((self.rng.uniform(0.02, 0.30) * horizon_ns as f64) as u64 + 1);
             let kind = kinds[self.rng.next_below(kinds.len() as u64) as usize];
+            // Permanent kinds are iteration-indexed: the drawn start time
+            // maps onto a boundary in `1..iters` (clamped — bursts may chain
+            // past the horizon).
+            let at_iter = 1 + at.as_nanos().min(horizon_ns - 1) * profile.iters.saturating_sub(1)
+                / horizon_ns;
             faults.push(match kind {
                 FaultKind::LinkDown => FaultSpec::LinkDown {
                     node: self
@@ -204,6 +263,33 @@ impl ChaosGen {
                     at,
                     dur,
                 },
+                FaultKind::WorkerFail => {
+                    let worker = self.rng.next_below(profile.workers as u64) as usize;
+                    if failed_workers.contains(&worker)
+                        || failed_workers.len() + 1 >= profile.workers
+                    {
+                        continue; // duplicate or would leave no survivor
+                    }
+                    failed_workers.push(worker);
+                    FaultSpec::WorkerFail { worker, at_iter }
+                }
+                FaultKind::ShardFail => {
+                    let shard = self.rng.next_below(profile.ps_shards as u64) as usize;
+                    if failed_shards.contains(&shard)
+                        || failed_shards.len() + 1 >= profile.ps_shards
+                    {
+                        continue; // duplicate or would leave no survivor
+                    }
+                    failed_shards.push(shard);
+                    FaultSpec::ShardFail { shard, at_iter }
+                }
+                FaultKind::WorkerJoin => {
+                    // Joiner ids are assigned densely from `workers` in plan
+                    // order, as `FaultPlan::validate` requires.
+                    let worker = profile.workers + joins;
+                    joins += 1;
+                    FaultSpec::WorkerJoin { worker, at_iter }
+                }
             });
         }
         let plan = FaultPlan {
@@ -237,6 +323,18 @@ where
     if !still_fails(&cur) {
         return cur;
     }
+    // The dense-joiner-id base is the smallest joiner id in the *original*
+    // plan (= the cluster's worker count, since generated plans are dense);
+    // it must be fixed up front — once the lowest joiner is dropped, the
+    // minimum over survivors would drift upward.
+    let join_base = cur
+        .faults
+        .iter()
+        .filter_map(|f| match f {
+            FaultSpec::WorkerJoin { worker, .. } => Some(*worker),
+            _ => None,
+        })
+        .min();
     loop {
         let mut progressed = false;
         // Pass 1: drop one spec at a time (scan right-to-left so removal
@@ -249,6 +347,9 @@ where
             }
             let mut cand = cur.clone();
             cand.faults.remove(i);
+            if let Some(base) = join_base {
+                renumber_joins(&mut cand.faults, base);
+            }
             if still_fails(&cand) {
                 cur = cand;
                 progressed = true;
@@ -282,7 +383,22 @@ where
     }
 }
 
+/// Re-assign `WorkerJoin` ids densely from `base` in plan order after a drop,
+/// keeping the shrunk candidate inside [`FaultPlan::validate`]'s
+/// dense-joiner-id rule.
+fn renumber_joins(faults: &mut [FaultSpec], base: usize) {
+    let mut next = base;
+    for f in faults.iter_mut() {
+        if let FaultSpec::WorkerJoin { worker, .. } = f {
+            *worker = next;
+            next += 1;
+        }
+    }
+}
+
 /// The spec with its window halved, or `None` once it reaches the 1 ms floor.
+/// Permanent membership events have no window: only pass 1 (dropping) can
+/// shrink them.
 fn halve_window(spec: &FaultSpec) -> Option<FaultSpec> {
     const FLOOR: Duration = Duration::from_millis(1);
     let halved = |d: Duration| (d / 2 >= FLOOR).then_some(d / 2);
@@ -322,6 +438,11 @@ fn halve_window(spec: &FaultSpec) -> Option<FaultSpec> {
             at,
             dur: halved(dur)?,
         },
+        FaultSpec::WorkerFail { .. }
+        | FaultSpec::ShardFail { .. }
+        | FaultSpec::WorkerJoin { .. } => {
+            return None;
+        }
     })
 }
 
@@ -399,6 +520,15 @@ pub fn plan_to_rust(plan: &FaultPlan) -> String {
                 at.as_nanos(),
                 dur.as_nanos()
             ),
+            FaultSpec::WorkerFail { worker, at_iter } => {
+                format!("FaultSpec::WorkerFail {{ worker: {worker}, at_iter: {at_iter} }}")
+            }
+            FaultSpec::ShardFail { shard, at_iter } => {
+                format!("FaultSpec::ShardFail {{ shard: {shard}, at_iter: {at_iter} }}")
+            }
+            FaultSpec::WorkerJoin { worker, at_iter } => {
+                format!("FaultSpec::WorkerJoin {{ worker: {worker}, at_iter: {at_iter} }}")
+            }
         };
         let _ = writeln!(out, "        {line},");
     }
@@ -600,5 +730,138 @@ mod tests {
         assert!(m.contains(FaultKind::ShardCrash));
         assert!(!m.contains(FaultKind::MsgLoss));
         assert_eq!(m.kinds(), vec![FaultKind::LinkDown, FaultKind::ShardCrash]);
+    }
+
+    #[test]
+    fn permanent_masks_partition_the_kinds() {
+        assert_eq!(KindMask::PERMANENT.kinds().len(), 3);
+        assert!(KindMask::PERMANENT.kinds().iter().all(|k| k.is_permanent()));
+        assert_eq!(KindMask::EVERYTHING.kinds().len(), 8);
+        // ALL and PERMANENT are disjoint and union to EVERYTHING.
+        for k in KindMask::ALL.kinds() {
+            assert!(!KindMask::PERMANENT.contains(k));
+            assert!(KindMask::EVERYTHING.contains(k));
+        }
+        for k in KindMask::PERMANENT.kinds() {
+            assert!(!KindMask::ALL.contains(k));
+            assert!(KindMask::EVERYTHING.contains(k));
+        }
+    }
+
+    #[test]
+    fn churn_profile_covers_permanent_kinds_within_constraints() {
+        let p = ChaosProfile::churn(4, 2, Duration::from_millis(500), 12);
+        let mut gen = ChaosGen::new(21);
+        let mut seen: HashSet<FaultKind> = HashSet::new();
+        for _ in 0..300 {
+            let plan = gen.next_plan(&p);
+            plan.validate(p.workers, p.ps_shards);
+            for f in &plan.faults {
+                seen.insert(f.kind());
+                if let Some(k) = f.at_iter() {
+                    assert!(
+                        k >= 1 && k < p.iters,
+                        "at_iter {k} outside 1..{}: {f:?}",
+                        p.iters
+                    );
+                }
+            }
+        }
+        assert_eq!(seen.len(), 8, "kinds never sampled: {seen:?}");
+    }
+
+    #[test]
+    fn churn_with_tiny_iteration_horizon_degrades_to_transient_only() {
+        // With fewer than 2 iterations there is no boundary to change
+        // membership at, so permanent kinds are ineligible...
+        let mut p = ChaosProfile::churn(4, 2, Duration::from_millis(500), 1);
+        let mut gen = ChaosGen::new(3);
+        for _ in 0..50 {
+            for f in &gen.next_plan(&p).faults {
+                assert!(!f.is_permanent(), "permanent spec at iters=1: {f:?}");
+            }
+        }
+        // ...and a permanent-only mask becomes fully inert (no RNG draws).
+        p.kinds = KindMask::PERMANENT;
+        let before = gen.clone();
+        assert_eq!(gen.next_plan(&p), FaultPlan::empty());
+        p.iters = 12;
+        let mut fresh = before;
+        assert_eq!(gen.next_plan(&p), fresh.next_plan(&p));
+    }
+
+    #[test]
+    fn churn_stream_is_unchanged_for_transient_profiles() {
+        // The churn extension must not perturb pre-churn plan streams: the
+        // seed-42 golden (asserted in `golden_first_plan_for_seed_42`) plus
+        // this cross-check that `for_cluster` ignores the new machinery.
+        let transient = profile();
+        let mut a = ChaosGen::new(42);
+        let plan = a.next_plan(&transient);
+        assert!(plan.faults.iter().all(|f| !f.is_permanent()));
+        assert!(!plan.has_permanent());
+    }
+
+    #[test]
+    fn shrink_renumbers_joiners_after_a_drop() {
+        let plan = FaultPlan::new(vec![
+            FaultSpec::WorkerJoin {
+                worker: 4,
+                at_iter: 2,
+            },
+            FaultSpec::ShardCrash {
+                shard: 0,
+                at: SimTime::from_nanos(2_000_000),
+                restart_after: Duration::from_millis(80),
+            },
+            FaultSpec::WorkerJoin {
+                worker: 5,
+                at_iter: 6,
+            },
+        ]);
+        plan.validate(4, 1);
+        // Failure reproduces iff the *second* join (at_iter 6) survives: the
+        // shrinker drops the first join and the crash, and must renumber the
+        // survivor's id back down to 4 to stay dense.
+        let small = shrink(&plan, |p| {
+            p.faults
+                .iter()
+                .any(|f| matches!(f, FaultSpec::WorkerJoin { at_iter: 6, .. }))
+        });
+        small.validate(4, 1);
+        assert_eq!(small.faults.len(), 1);
+        assert!(
+            matches!(
+                small.faults[0],
+                FaultSpec::WorkerJoin {
+                    worker: 4,
+                    at_iter: 6
+                }
+            ),
+            "joiner not renumbered: {small:?}"
+        );
+    }
+
+    #[test]
+    fn plan_to_rust_renders_permanent_specs() {
+        let plan = FaultPlan::new(vec![
+            FaultSpec::WorkerFail {
+                worker: 1,
+                at_iter: 3,
+            },
+            FaultSpec::ShardFail {
+                shard: 0,
+                at_iter: 5,
+            },
+            FaultSpec::WorkerJoin {
+                worker: 4,
+                at_iter: 2,
+            },
+        ]);
+        let src = plan_to_rust(&plan);
+        assert!(src.contains("FaultSpec::WorkerFail { worker: 1, at_iter: 3 }"));
+        assert!(src.contains("FaultSpec::ShardFail { shard: 0, at_iter: 5 }"));
+        assert!(src.contains("FaultSpec::WorkerJoin { worker: 4, at_iter: 2 }"));
+        assert_eq!(src.lines().count(), 5 + plan.faults.len());
     }
 }

@@ -15,6 +15,21 @@
 //! ([`FaultSpec::LinkDown`], [`FaultSpec::LinkDegrade`],
 //! [`FaultSpec::MsgLoss`]), server loss ([`FaultSpec::ShardCrash`]) and
 //! compute loss ([`FaultSpec::WorkerStall`]).
+//!
+//! # Permanent membership events
+//!
+//! The five classes above are *transient*: every window closes and the
+//! original topology comes back. [`FaultSpec::WorkerFail`],
+//! [`FaultSpec::ShardFail`] and [`FaultSpec::WorkerJoin`] are *permanent*
+//! membership events. They are indexed by **BSP iteration**, not simulated
+//! time: membership is a control-plane decision a BSP cluster can only take
+//! at an iteration boundary, and pinning the boundary makes the recovery
+//! contract exact — a worker that fails "at iteration k" contributes to
+//! every barrier of iterations `0..k` and to nothing afterwards, in the
+//! simulator and the threaded runtime alike. Accordingly
+//! [`FaultSpec::at`]/[`FaultSpec::until`] return [`SimTime::ZERO`] for
+//! permanent specs (they have no wall-clock window); use
+//! [`FaultSpec::at_iter`] / [`FaultSpec::is_permanent`] instead.
 
 use crate::time::{Duration, SimTime};
 
@@ -35,6 +50,23 @@ pub enum FaultKind {
     ShardCrash,
     /// A worker's compute makes no progress.
     WorkerStall,
+    /// A worker leaves the cluster permanently at an iteration boundary.
+    WorkerFail,
+    /// A PS shard dies permanently; its tensors re-home to survivors.
+    ShardFail,
+    /// A new worker joins the cluster at an iteration boundary.
+    WorkerJoin,
+}
+
+impl FaultKind {
+    /// True for the permanent membership kinds (`WorkerFail`, `ShardFail`,
+    /// `WorkerJoin`), which have no closing window.
+    pub fn is_permanent(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::WorkerFail | FaultKind::ShardFail | FaultKind::WorkerJoin
+        )
+    }
 }
 
 /// One scheduled fault. All times are absolute simulated instants
@@ -95,6 +127,41 @@ pub enum FaultSpec {
         /// How long the stall lasts.
         dur: Duration,
     },
+    /// Worker `worker` fails **permanently** at the boundary of iteration
+    /// `at_iter`: it completes every iteration `< at_iter` (all of its
+    /// pushes reach their barriers, all of its pulls land) and then leaves.
+    /// The BSP barrier shrinks to the survivors from `at_iter` on. An
+    /// `at_iter` beyond the run's iteration count never fires.
+    WorkerFail {
+        /// Worker index in `0..workers` (initial members only — a joined
+        /// worker never fails; see [`FaultPlan::validate`]).
+        worker: usize,
+        /// First iteration the worker does NOT participate in (`>= 1`).
+        at_iter: u64,
+    },
+    /// PS shard `shard` dies **permanently** at the boundary of iteration
+    /// `at_iter`: every barrier of iterations `< at_iter` it owned has been
+    /// applied; its tensors re-home to the surviving shards, which restore
+    /// the lost state from the latest checkpoint plus a byte-ledger replay
+    /// of the post-checkpoint updates. In-flight pulls against the dead
+    /// shard are torn down and fail fast to the new owners.
+    ShardFail {
+        /// Shard index in `0..ps_shards` (at least one shard must survive).
+        shard: usize,
+        /// First iteration the shard does NOT serve (`>= 1`).
+        at_iter: u64,
+    },
+    /// Worker `worker` joins the cluster at the boundary of iteration
+    /// `at_iter`: it bootstraps the full model (one whole-model pull of the
+    /// end-of-`at_iter - 1` parameters) and participates in every barrier
+    /// from `at_iter` on.
+    WorkerJoin {
+        /// New worker id, `>= workers` (joiners extend the initial
+        /// topology; ids are assigned densely from `workers` upward).
+        worker: usize,
+        /// First iteration the worker participates in.
+        at_iter: u64,
+    },
 }
 
 impl FaultSpec {
@@ -106,10 +173,31 @@ impl FaultSpec {
             FaultSpec::MsgLoss { .. } => FaultKind::MsgLoss,
             FaultSpec::ShardCrash { .. } => FaultKind::ShardCrash,
             FaultSpec::WorkerStall { .. } => FaultKind::WorkerStall,
+            FaultSpec::WorkerFail { .. } => FaultKind::WorkerFail,
+            FaultSpec::ShardFail { .. } => FaultKind::ShardFail,
+            FaultSpec::WorkerJoin { .. } => FaultKind::WorkerJoin,
         }
     }
 
-    /// When the fault begins.
+    /// True for the permanent membership specs (iteration-indexed, no
+    /// wall-clock window).
+    pub fn is_permanent(&self) -> bool {
+        self.kind().is_permanent()
+    }
+
+    /// The iteration boundary a permanent spec fires at; `None` for the
+    /// transient window kinds.
+    pub fn at_iter(&self) -> Option<u64> {
+        match *self {
+            FaultSpec::WorkerFail { at_iter, .. }
+            | FaultSpec::ShardFail { at_iter, .. }
+            | FaultSpec::WorkerJoin { at_iter, .. } => Some(at_iter),
+            _ => None,
+        }
+    }
+
+    /// When the fault begins ([`SimTime::ZERO`] for permanent specs, which
+    /// are iteration-indexed — see [`FaultSpec::at_iter`]).
     pub fn at(&self) -> SimTime {
         match *self {
             FaultSpec::LinkDown { at, .. }
@@ -117,10 +205,14 @@ impl FaultSpec {
             | FaultSpec::MsgLoss { at, .. }
             | FaultSpec::ShardCrash { at, .. }
             | FaultSpec::WorkerStall { at, .. } => at,
+            FaultSpec::WorkerFail { .. }
+            | FaultSpec::ShardFail { .. }
+            | FaultSpec::WorkerJoin { .. } => SimTime::ZERO,
         }
     }
 
-    /// When the fault ends (start plus duration, saturating).
+    /// When the fault ends (start plus duration, saturating;
+    /// [`SimTime::ZERO`] for permanent specs — they never end).
     pub fn until(&self) -> SimTime {
         match *self {
             FaultSpec::LinkDown { at, dur, .. }
@@ -130,6 +222,9 @@ impl FaultSpec {
             FaultSpec::ShardCrash {
                 at, restart_after, ..
             } => at + restart_after,
+            FaultSpec::WorkerFail { .. }
+            | FaultSpec::ShardFail { .. }
+            | FaultSpec::WorkerJoin { .. } => SimTime::ZERO,
         }
     }
 }
@@ -167,10 +262,63 @@ impl FaultPlan {
         self.faults.is_empty()
     }
 
+    /// True when the plan contains any permanent membership event
+    /// (`WorkerFail` / `ShardFail` / `WorkerJoin`). Runtimes arm their
+    /// elastic-membership machinery only when this holds.
+    pub fn has_permanent(&self) -> bool {
+        self.faults.iter().any(|f| f.is_permanent())
+    }
+
+    /// True when the plan kills a shard permanently — this is what arms the
+    /// checkpoint/ledger subsystem (snapshots are pointless bookkeeping
+    /// when nothing can ever need restoring).
+    pub fn has_shard_fail(&self) -> bool {
+        self.faults
+            .iter()
+            .any(|f| matches!(f, FaultSpec::ShardFail { .. }))
+    }
+
+    /// Number of `WorkerJoin` specs: the topology a runtime must provision
+    /// is `workers + joined_workers()` worker slots.
+    pub fn joined_workers(&self) -> usize {
+        self.faults
+            .iter()
+            .filter(|f| matches!(f, FaultSpec::WorkerJoin { .. }))
+            .count()
+    }
+
+    /// The iteration worker `w` permanently fails at, if any.
+    pub fn worker_fail_at(&self, w: usize) -> Option<u64> {
+        self.faults.iter().find_map(|f| match *f {
+            FaultSpec::WorkerFail { worker, at_iter } if worker == w => Some(at_iter),
+            _ => None,
+        })
+    }
+
+    /// The iteration shard `s` permanently fails at, if any.
+    pub fn shard_fail_at(&self, s: usize) -> Option<u64> {
+        self.faults.iter().find_map(|f| match *f {
+            FaultSpec::ShardFail { shard, at_iter } if shard == s => Some(at_iter),
+            _ => None,
+        })
+    }
+
+    /// The iteration worker `w` joins at, if `w` is a joiner.
+    pub fn worker_join_at(&self, w: usize) -> Option<u64> {
+        self.faults.iter().find_map(|f| match *f {
+            FaultSpec::WorkerJoin { worker, at_iter } if worker == w => Some(at_iter),
+            _ => None,
+        })
+    }
+
     /// Panic if any fault is internally inconsistent or refers to a node
-    /// outside the given cluster shape. Called from config validation.
+    /// outside the given cluster shape (`workers` counts the *initial*
+    /// members; joiners extend it). Called from config validation.
     pub fn validate(&self, workers: usize, ps_shards: usize) {
         let nodes = workers + ps_shards;
+        let mut failed_workers = Vec::new();
+        let mut failed_shards = Vec::new();
+        let mut joiners = Vec::new();
         for f in &self.faults {
             match *f {
                 FaultSpec::LinkDown { node, .. } | FaultSpec::LinkDegrade { node, .. } => {
@@ -188,6 +336,30 @@ impl FaultPlan {
                 FaultSpec::WorkerStall { worker, .. } => {
                     assert!(worker < workers, "fault references missing worker {worker}");
                 }
+                FaultSpec::WorkerFail { worker, at_iter } => {
+                    assert!(worker < workers, "fault fails missing worker {worker}");
+                    assert!(at_iter >= 1, "WorkerFail at_iter must be >= 1");
+                    assert!(
+                        !failed_workers.contains(&worker),
+                        "worker {worker} fails twice"
+                    );
+                    failed_workers.push(worker);
+                }
+                FaultSpec::ShardFail { shard, at_iter } => {
+                    assert!(shard < ps_shards, "fault fails missing shard {shard}");
+                    assert!(at_iter >= 1, "ShardFail at_iter must be >= 1");
+                    assert!(!failed_shards.contains(&shard), "shard {shard} fails twice");
+                    failed_shards.push(shard);
+                }
+                FaultSpec::WorkerJoin { worker, at_iter } => {
+                    assert!(
+                        worker >= workers,
+                        "joiner id {worker} collides with an initial worker"
+                    );
+                    assert!(at_iter >= 1, "WorkerJoin at_iter must be >= 1");
+                    assert!(!joiners.contains(&worker), "worker {worker} joins twice");
+                    joiners.push(worker);
+                }
             }
             if let FaultSpec::LinkDegrade { factor, .. } = *f {
                 assert!(
@@ -196,12 +368,47 @@ impl FaultPlan {
                 );
             }
         }
+        assert!(
+            failed_workers.len() < workers,
+            "every worker fails — no survivor to finish the run"
+        );
+        assert!(
+            failed_shards.len() < ps_shards,
+            "every shard fails — nothing left to re-home tensors to"
+        );
+        // Joiner ids must be dense from `workers` so runtimes can size the
+        // topology as `workers + joined_workers()`.
+        joiners.sort_unstable();
+        for (i, &w) in joiners.iter().enumerate() {
+            assert_eq!(w, workers + i, "joiner ids must be dense from {workers}");
+        }
     }
 }
 
 impl Default for FaultPlan {
     fn default() -> Self {
         FaultPlan::empty()
+    }
+}
+
+/// The canonical modular re-home rule the simulator (and its trace
+/// consumers) apply when shard `dead` permanently fails: every gradient
+/// owned by `dead` moves to `alive[g % alive.len()]`, where `alive` is the
+/// ascending list of shards in `0..total_shards` minus `evicted`. One
+/// shared function so the engine, the invariant checker and the span
+/// collector can never disagree about post-eviction ownership.
+///
+/// (`evicted` must already contain `dead`.) The threaded runtime instead
+/// re-balances its `ShardMap` by load; its checker learns ownership from
+/// the map, not from this rule.
+pub fn rehome_modular(owner: &mut [usize], total_shards: usize, evicted: &[usize], dead: usize) {
+    debug_assert!(evicted.contains(&dead));
+    let alive: Vec<usize> = (0..total_shards).filter(|s| !evicted.contains(s)).collect();
+    assert!(!alive.is_empty(), "no surviving shard to re-home to");
+    for (g, o) in owner.iter_mut().enumerate() {
+        if *o == dead {
+            *o = alive[g % alive.len()];
+        }
     }
 }
 
@@ -269,6 +476,115 @@ mod tests {
             restart_after: Duration::from_millis(1),
         }])
         .validate(2, 1);
+    }
+
+    #[test]
+    fn permanent_specs_are_iteration_indexed() {
+        let f = FaultSpec::WorkerFail {
+            worker: 1,
+            at_iter: 3,
+        };
+        assert_eq!(f.kind(), FaultKind::WorkerFail);
+        assert!(f.is_permanent());
+        assert_eq!(f.at_iter(), Some(3));
+        assert_eq!(f.at(), SimTime::ZERO);
+        assert_eq!(f.until(), SimTime::ZERO);
+        let t = FaultSpec::MsgLoss {
+            rate: 0.1,
+            at: SimTime::ZERO,
+            dur: Duration::from_secs(1),
+        };
+        assert!(!t.is_permanent());
+        assert_eq!(t.at_iter(), None);
+    }
+
+    #[test]
+    fn plan_permanent_helpers() {
+        let plan = FaultPlan::new(vec![
+            FaultSpec::WorkerFail {
+                worker: 0,
+                at_iter: 2,
+            },
+            FaultSpec::ShardFail {
+                shard: 1,
+                at_iter: 3,
+            },
+            FaultSpec::WorkerJoin {
+                worker: 3,
+                at_iter: 4,
+            },
+        ]);
+        plan.validate(3, 2);
+        assert!(plan.has_permanent());
+        assert!(plan.has_shard_fail());
+        assert_eq!(plan.joined_workers(), 1);
+        assert_eq!(plan.worker_fail_at(0), Some(2));
+        assert_eq!(plan.worker_fail_at(1), None);
+        assert_eq!(plan.shard_fail_at(1), Some(3));
+        assert_eq!(plan.worker_join_at(3), Some(4));
+        assert!(!FaultPlan::empty().has_permanent());
+    }
+
+    #[test]
+    #[should_panic(expected = "no survivor")]
+    fn validate_rejects_total_worker_loss() {
+        FaultPlan::new(vec![
+            FaultSpec::WorkerFail {
+                worker: 0,
+                at_iter: 1,
+            },
+            FaultSpec::WorkerFail {
+                worker: 1,
+                at_iter: 2,
+            },
+        ])
+        .validate(2, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing left to re-home")]
+    fn validate_rejects_total_shard_loss() {
+        FaultPlan::new(vec![FaultSpec::ShardFail {
+            shard: 0,
+            at_iter: 1,
+        }])
+        .validate(2, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "collides with an initial worker")]
+    fn validate_rejects_joiner_id_collision() {
+        FaultPlan::new(vec![FaultSpec::WorkerJoin {
+            worker: 1,
+            at_iter: 1,
+        }])
+        .validate(2, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn validate_rejects_sparse_joiner_ids() {
+        FaultPlan::new(vec![FaultSpec::WorkerJoin {
+            worker: 4,
+            at_iter: 1,
+        }])
+        .validate(2, 1);
+    }
+
+    #[test]
+    fn rehome_modular_spreads_over_survivors() {
+        // 8 gradients over 3 shards (g % 3); shard 1 dies.
+        let mut owner: Vec<usize> = (0..8).map(|g| g % 3).collect();
+        rehome_modular(&mut owner, 3, &[1], 1);
+        for (g, &o) in owner.iter().enumerate() {
+            assert_ne!(o, 1, "gradient {g} still on the dead shard");
+            if g % 3 != 1 {
+                assert_eq!(o, g % 3, "gradient {g} moved off a live shard");
+            } else {
+                // Survivors are [0, 2]; the modular rule picks g % 2.
+                assert_eq!(o, [0, 2][g % 2]);
+            }
+        }
     }
 
     #[test]

@@ -47,12 +47,12 @@ pub mod time;
 pub mod trace;
 
 pub use chaos::{plan_to_rust, shrink, ChaosGen, ChaosProfile, KindMask};
-pub use fault::{FaultKind, FaultPlan, FaultSpec};
+pub use fault::{rehome_modular, FaultKind, FaultPlan, FaultSpec};
 pub use queue::EventQueue;
 pub use rng::{SplitMix64, Xoshiro256StarStar};
 pub use stats::{Histogram, OnlineStats, RateSeries, TimeWeighted};
 pub use time::{Duration, SimTime};
 pub use trace::{
-    grad_spans_to_ascii_gantt, spans_to_csv, GradSpan, InvariantChecker, Span, SpanCollector,
-    SpanKind, TraceEvent, TraceRecorder, TraceSink,
+    grad_spans_to_ascii_gantt, shard_spans_to_csv, spans_to_csv, GradSpan, InvariantChecker,
+    ShardSpan, Span, SpanCollector, SpanKind, TraceEvent, TraceRecorder, TraceSink,
 };

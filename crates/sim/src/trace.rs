@@ -371,6 +371,41 @@ pub enum TraceEvent {
         /// PS epoch the aggregation completed under.
         epoch: u64,
     },
+    /// A permanent membership change took effect: a worker was evicted
+    /// (`WorkerFail`), a shard failed for good (`ShardFail`), or a new
+    /// worker was admitted (`WorkerJoin`). `epoch` is the cluster-wide
+    /// membership epoch the change opens — strictly one past the previous.
+    MembershipChange {
+        /// Membership epoch after the change (first change is epoch 1).
+        epoch: u64,
+        /// Which permanent fault class drove the change.
+        kind: FaultKind,
+        /// Worker index (`WorkerFail`/`WorkerJoin`) or shard index
+        /// (`ShardFail`).
+        node: usize,
+        /// Iteration boundary at which the change takes effect.
+        iter: u64,
+    },
+    /// Shard `shard` snapshotted its parameter state covering everything
+    /// up to and including iteration `iter`. Checkpoint iterations must be
+    /// strictly monotone per shard, and dead shards cannot checkpoint.
+    Checkpoint {
+        /// Shard index.
+        shard: usize,
+        /// Last iteration the snapshot covers.
+        iter: u64,
+    },
+    /// Tensor `grad` was re-homed off permanently failed shard `from`
+    /// onto surviving shard `to`. Emitted once per moved tensor, before
+    /// any barrier that relies on the new placement.
+    Rehome {
+        /// Gradient id.
+        grad: usize,
+        /// The failed shard that owned the tensor.
+        from: usize,
+        /// The surviving shard adopting it.
+        to: usize,
+    },
 }
 
 /// A consumer of the typed event stream. Sinks are driven strictly in
@@ -426,7 +461,14 @@ const RING: usize = 24;
 ///   never past the newest epoch that shard announced, and every
 ///   `ParamReady` stamp equals the receiving worker's current epoch for
 ///   the shard owning the gradient (stale deliveries from before a
-///   crash, or deliveries racing past the restart notice, both fail).
+///   crash, or deliveries racing past the restart notice, both fail);
+/// * elastic membership — membership epochs advance by exactly one, an
+///   evicted worker is silent after its eviction, a joiner is silent
+///   before its admission (and its first iteration is its join
+///   iteration), barriers expect exactly the live membership's pushes,
+///   no barrier fires for a gradient homed on a permanently failed
+///   shard, re-homes move tensors off dead shards onto live ones, and
+///   per-shard checkpoint iterations are strictly monotone.
 #[derive(Debug, Default)]
 pub struct InvariantChecker {
     workers: usize,
@@ -460,6 +502,24 @@ pub struct InvariantChecker {
     shard_epoch: HashMap<usize, u64>,
     /// Per-`(worker, shard)` acked epoch (threaded runtime; absent = 0).
     worker_epoch: HashMap<(usize, usize), u64>,
+    /// Live-membership flag per worker: initial workers start true,
+    /// joiners start false, eviction clears it.
+    active: Vec<bool>,
+    /// Joiners announced via [`InvariantChecker::with_joiners`] that have
+    /// not been admitted yet — must be silent until then.
+    pending_join: HashSet<usize>,
+    /// Admission iteration of each admitted joiner.
+    join_iter: HashMap<usize, u64>,
+    /// Permanently evicted workers — must be silent after eviction.
+    evicted: HashSet<usize>,
+    /// Permanently failed shards.
+    dead_shards: HashSet<usize>,
+    /// Gradient → shard overrides accumulated from `Rehome` events.
+    rehomed: HashMap<usize, usize>,
+    /// Cluster-wide membership epoch (0 before any change).
+    membership_epoch: u64,
+    /// Per-shard latest checkpoint iteration.
+    checkpoints: HashMap<usize, u64>,
 }
 
 impl InvariantChecker {
@@ -470,8 +530,22 @@ impl InvariantChecker {
             workers,
             bsp,
             worker_iter: vec![None; workers],
+            active: vec![true; workers],
             ..Default::default()
         }
+    }
+
+    /// Announce `joiners` additional workers (ids `workers..workers +
+    /// joiners`) that will be admitted mid-run via
+    /// [`TraceEvent::MembershipChange`]. They must stay silent until then.
+    pub fn with_joiners(mut self, joiners: usize) -> Self {
+        for w in self.workers..self.workers + joiners {
+            self.pending_join.insert(w);
+            self.worker_iter.push(None);
+            self.active.push(false);
+        }
+        self.workers += joiners;
+        self
     }
 
     /// Tell the checker the PS shard count so it can refuse barriers for
@@ -493,8 +567,12 @@ impl InvariantChecker {
         self
     }
 
-    /// The shard owning gradient `grad` under the configured mapping.
+    /// The shard owning gradient `grad` under the configured mapping,
+    /// after any re-homes.
     fn shard_of(&self, grad: usize) -> usize {
+        if let Some(&s) = self.rehomed.get(&grad) {
+            return s;
+        }
         match (&self.shard_map, self.shards) {
             (Some(map), _) => map.get(grad).copied().unwrap_or_else(|| {
                 panic!("gradient {grad} outside the {}-entry shard map", map.len())
@@ -536,6 +614,24 @@ impl InvariantChecker {
     fn cell(&mut self, worker: usize, iter: u64, grad: usize) -> &mut GradTimes {
         self.grads.entry((worker, iter, grad)).or_default()
     }
+
+    /// An evicted worker must be silent after its eviction epoch; an
+    /// announced joiner must be silent before its admission.
+    fn check_live(&self, worker: usize, ev: &TraceEvent) {
+        if self.evicted.contains(&worker) {
+            self.fail(format!(
+                "evicted worker {worker} emitted {ev:?} after its eviction epoch"
+            ));
+        }
+        if self.pending_join.contains(&worker) {
+            self.fail(format!("worker {worker} emitted {ev:?} before joining"));
+        }
+    }
+
+    /// Number of workers currently in the live membership.
+    fn live_workers(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
+    }
 }
 
 impl TraceSink for InvariantChecker {
@@ -560,11 +656,32 @@ impl TraceSink for InvariantChecker {
         }
         self.last_at = Some(at);
 
+        #[rustfmt::skip]
+        let acting_worker = match *ev {
+            TraceEvent::IterBegin { worker, .. }
+            | TraceEvent::IterEnd { worker, .. }
+            | TraceEvent::GradReady { worker, .. }
+            | TraceEvent::PushStart { worker, .. }
+            | TraceEvent::PushEnd { worker, .. }
+            | TraceEvent::PullStart { worker, .. }
+            | TraceEvent::PullEnd { worker, .. }
+            | TraceEvent::FwdStart { worker, .. }
+            | TraceEvent::FwdEnd { worker, .. }
+            | TraceEvent::RetryAttempt { worker, .. }
+            | TraceEvent::Recovered { worker, .. }
+            | TraceEvent::EpochAck { worker, .. }
+            | TraceEvent::ParamReady { worker, .. } => Some(worker),
+            _ => None,
+        };
+        if let Some(w) = acting_worker {
+            self.check_live(w, ev);
+        }
+
         match *ev {
             TraceEvent::IterBegin { worker, iter } => {
                 let prev = self.worker_iter[worker];
                 let ok = match prev {
-                    None => iter == 0,
+                    None => iter == 0 || self.join_iter.get(&worker) == Some(&iter),
                     Some(p) => iter == p + 1,
                 };
                 if !ok {
@@ -654,10 +771,10 @@ impl TraceSink for InvariantChecker {
                     self.fail(format!("duplicate barrier for (iter {iter}, grad {grad})"));
                 }
                 let arrived = self.push_arrivals.get(&(iter, grad)).copied().unwrap_or(0);
-                if arrived != self.workers {
+                let expected = self.live_workers();
+                if arrived != expected {
                     self.fail(format!(
-                        "barrier for (iter {iter}, grad {grad}) after {arrived}/{} pushes",
-                        self.workers
+                        "barrier for (iter {iter}, grad {grad}) after {arrived}/{expected} pushes"
                     ));
                 }
                 if self.shards.is_some() {
@@ -667,8 +784,16 @@ impl TraceSink for InvariantChecker {
                             "barrier for (iter {iter}, grad {grad}) while shard {shard} is down"
                         ));
                     }
+                    if self.dead_shards.contains(&shard) {
+                        self.fail(format!(
+                            "barrier for (iter {iter}, grad {grad}) on permanently failed shard {shard}"
+                        ));
+                    }
                 }
                 for (w, wi) in self.worker_iter.iter().enumerate() {
+                    if !self.active[w] {
+                        continue;
+                    }
                     if *wi != Some(iter) {
                         self.fail(format!(
                             "barrier for iter {iter} while worker {w} is in {wi:?}"
@@ -923,6 +1048,88 @@ impl TraceSink for InvariantChecker {
                     ));
                 }
             }
+            TraceEvent::MembershipChange {
+                epoch,
+                kind,
+                node,
+                iter: _,
+            } => {
+                if !kind.is_permanent() {
+                    self.fail(format!(
+                        "membership change driven by transient fault {kind:?}"
+                    ));
+                }
+                if epoch != self.membership_epoch + 1 {
+                    self.fail(format!(
+                        "membership epoch {epoch} after epoch {} — epochs must advance by one",
+                        self.membership_epoch
+                    ));
+                }
+                self.membership_epoch = epoch;
+                match kind {
+                    FaultKind::WorkerFail => {
+                        if node >= self.active.len() || !self.active[node] {
+                            self.fail(format!("eviction of worker {node}, which is not live"));
+                        }
+                        self.active[node] = false;
+                        self.evicted.insert(node);
+                    }
+                    FaultKind::ShardFail => {
+                        if !self.dead_shards.insert(node) {
+                            self.fail(format!("shard {node} permanently failed twice"));
+                        }
+                    }
+                    FaultKind::WorkerJoin => {
+                        if !self.pending_join.remove(&node) {
+                            self.fail(format!(
+                                "worker {node} joined without being announced as a joiner"
+                            ));
+                        }
+                        self.active[node] = true;
+                        if let TraceEvent::MembershipChange { iter, .. } = *ev {
+                            self.join_iter.insert(node, iter);
+                        }
+                    }
+                    _ => unreachable!("is_permanent covers exactly these kinds"),
+                }
+            }
+            TraceEvent::Checkpoint { shard, iter } => {
+                if self.dead_shards.contains(&shard) {
+                    self.fail(format!("checkpoint from permanently failed shard {shard}"));
+                }
+                if let Some(&prev) = self.checkpoints.get(&shard) {
+                    if iter <= prev {
+                        self.fail(format!(
+                            "shard {shard} checkpointed iter {iter} after iter {prev} — \
+                             checkpoint iterations must be strictly monotone"
+                        ));
+                    }
+                }
+                self.checkpoints.insert(shard, iter);
+            }
+            TraceEvent::Rehome { grad, from, to } => {
+                let cur = self.shard_of(grad);
+                if cur != from {
+                    self.fail(format!(
+                        "re-home of gradient {grad} from shard {from}, but it lives on {cur}"
+                    ));
+                }
+                if !self.dead_shards.contains(&from) {
+                    self.fail(format!(
+                        "re-home of gradient {grad} off shard {from}, which is still alive"
+                    ));
+                }
+                // A transiently-down adopter is fine — the restore simply
+                // waits out the outage — so only permanent death disqualifies
+                // a target: re-homing is a pure function of permanent
+                // membership (the deterministic recovery contract).
+                if self.dead_shards.contains(&to) {
+                    self.fail(format!(
+                        "gradient {grad} re-homed to shard {to}, which is permanently dead"
+                    ));
+                }
+                self.rehomed.insert(grad, to);
+            }
         }
     }
 }
@@ -977,12 +1184,42 @@ pub struct GradSpan {
     pub end: SimTime,
 }
 
+/// One PS-side queueing interval: first push arrival of `(iter, grad)` at
+/// the owning shard → the BSP barrier. This is the shard's aggregation
+/// dwell — how long pushes sat queued at the PS before the update applied
+/// — the per-shard view the ROADMAP's trace gap called for.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardSpan {
+    /// Shard owning the gradient when its barrier fired.
+    pub shard: usize,
+    /// Iteration number.
+    pub iter: u64,
+    /// Gradient id.
+    pub grad: usize,
+    /// First worker push fully arrived at the shard.
+    pub start: SimTime,
+    /// Barrier instant (aggregation applied).
+    pub end: SimTime,
+}
+
 /// Folds the typed event stream into [`GradSpan`]s — one span stream per
-/// `(worker, gradient, iteration)` — for the trace exporter.
+/// `(worker, gradient, iteration)` — for the trace exporter, plus
+/// per-shard PS queueing [`ShardSpan`]s when a gradient → shard mapping
+/// was supplied ([`SpanCollector::with_shards`] or
+/// [`SpanCollector::with_owner_table`]).
 #[derive(Debug, Default)]
 pub struct SpanCollector {
     grads: HashMap<(usize, u64, usize), GradTimes>,
     barriers: HashMap<(u64, usize), SimTime>,
+    /// Modulo shard count (`g % shards`), unless an owner table is set.
+    shards: Option<usize>,
+    /// Explicit gradient → shard table, overriding the modulo rule.
+    owner: Option<Vec<usize>>,
+    /// Gradient → shard overrides accumulated from `Rehome` events.
+    rehomed: HashMap<usize, usize>,
+    /// `(iter, grad)` → first push arrival at the PS.
+    first_arrival: HashMap<(u64, usize), SimTime>,
+    shard_spans: Vec<ShardSpan>,
 }
 
 impl SpanCollector {
@@ -991,10 +1228,43 @@ impl SpanCollector {
         Self::default()
     }
 
+    /// Enable per-shard spans under the `g % shards` placement rule.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards);
+        self
+    }
+
+    /// Enable per-shard spans under an explicit gradient → shard table
+    /// (the threaded runtime's size-balanced partition).
+    pub fn with_owner_table(mut self, owner: Vec<usize>) -> Self {
+        self.owner = Some(owner);
+        self
+    }
+
+    /// The shard owning `grad`, after re-homes; `None` when no mapping
+    /// was configured (shard spans disabled).
+    fn shard_of(&self, grad: usize) -> Option<usize> {
+        if let Some(&s) = self.rehomed.get(&grad) {
+            return Some(s);
+        }
+        if let Some(owner) = &self.owner {
+            return owner.get(grad).copied();
+        }
+        self.shards.map(|n| grad % n)
+    }
+
     /// Assemble the spans observed so far, ordered by
     /// `(worker, iter, grad, kind)`. Intervals whose endpoints were never
     /// both observed are skipped.
     pub fn into_spans(self) -> Vec<GradSpan> {
+        self.into_parts().0
+    }
+
+    /// Like [`SpanCollector::into_spans`], also returning the per-shard
+    /// queueing spans ordered by `(shard, iter, grad)`.
+    pub fn into_parts(mut self) -> (Vec<GradSpan>, Vec<ShardSpan>) {
+        self.shard_spans.sort_by_key(|s| (s.shard, s.iter, s.grad));
+        let shard_spans = std::mem::take(&mut self.shard_spans);
         let mut out = Vec::new();
         for (&(worker, iter, grad), t) in &self.grads {
             let mut push = |kind, start: Option<SimTime>, end: Option<SimTime>| {
@@ -1017,7 +1287,7 @@ impl SpanCollector {
             push(SpanKind::Compute, t.fwd_start, t.fwd_end);
         }
         out.sort_by_key(|s| (s.worker, s.iter, s.grad, s.kind));
-        out
+        (out, shard_spans)
     }
 }
 
@@ -1036,6 +1306,7 @@ impl TraceSink for SpanCollector {
                 set(worker, iter, grad, |c| &mut c.push_start)
             }
             TraceEvent::PushEnd { worker, iter, grad } => {
+                self.first_arrival.entry((iter, grad)).or_insert(at);
                 set(worker, iter, grad, |c| &mut c.push_end)
             }
             TraceEvent::PullStart { worker, iter, grad } => {
@@ -1052,6 +1323,20 @@ impl TraceSink for SpanCollector {
             }
             TraceEvent::Barrier { iter, grad } => {
                 self.barriers.insert((iter, grad), at);
+                if let Some(shard) = self.shard_of(grad) {
+                    if let Some(&start) = self.first_arrival.get(&(iter, grad)) {
+                        self.shard_spans.push(ShardSpan {
+                            shard,
+                            iter,
+                            grad,
+                            start,
+                            end: at,
+                        });
+                    }
+                }
+            }
+            TraceEvent::Rehome { grad, to, .. } => {
+                self.rehomed.insert(grad, to);
             }
             _ => {}
         }
@@ -1123,6 +1408,25 @@ pub fn grad_spans_to_ascii_gantt(spans: &[GradSpan], width: usize) -> String {
         "{:name_w$}  legend: .=queue-wait #=push ==aggregate <=pull F=compute",
         ""
     );
+    out
+}
+
+/// Render per-shard queueing spans as CSV:
+/// `shard,iter,grad,start_ms,end_ms,dwell_ms`.
+pub fn shard_spans_to_csv(spans: &[ShardSpan]) -> String {
+    let mut out = String::from("shard,iter,grad,start_ms,end_ms,dwell_ms\n");
+    for s in spans {
+        let _ = writeln!(
+            out,
+            "{},{},{},{:.6},{:.6},{:.6}",
+            s.shard,
+            s.iter,
+            s.grad,
+            s.start.as_millis_f64(),
+            s.end.as_millis_f64(),
+            s.end.saturating_since(s.start).as_secs_f64() * 1e3
+        );
+    }
     out
 }
 
@@ -2176,5 +2480,317 @@ mod tests {
     #[test]
     fn grad_gantt_empty() {
         assert_eq!(grad_spans_to_ascii_gantt(&[], 10), "(no spans)\n");
+    }
+
+    // ---- elastic membership ---------------------------------------------
+
+    #[test]
+    fn checker_accepts_membership_lifecycle() {
+        // Evict worker 0 at iter 1, fail shard 0 with a re-home, admit a
+        // joiner: epochs advance by one and every rule stays satisfied.
+        let mut c = InvariantChecker::new(2, true)
+            .with_shards(2)
+            .with_joiners(1);
+        use TraceEvent::*;
+        feed(
+            &mut c,
+            &[
+                (
+                    at(0),
+                    MembershipChange {
+                        epoch: 1,
+                        kind: FaultKind::WorkerFail,
+                        node: 0,
+                        iter: 1,
+                    },
+                ),
+                (
+                    at(1),
+                    MembershipChange {
+                        epoch: 2,
+                        kind: FaultKind::ShardFail,
+                        node: 0,
+                        iter: 1,
+                    },
+                ),
+                (
+                    at(1),
+                    Rehome {
+                        grad: 0,
+                        from: 0,
+                        to: 1,
+                    },
+                ),
+                (
+                    at(2),
+                    MembershipChange {
+                        epoch: 3,
+                        kind: FaultKind::WorkerJoin,
+                        node: 2,
+                        iter: 1,
+                    },
+                ),
+                (at(3), Checkpoint { shard: 1, iter: 1 }),
+                (at(4), Checkpoint { shard: 1, iter: 3 }),
+                // The joiner's first iteration is its join iteration.
+                (at(5), IterBegin { worker: 2, iter: 1 }),
+            ],
+        );
+        c.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "epochs must advance by one")]
+    fn checker_rejects_skipped_membership_epoch() {
+        let mut c = InvariantChecker::new(2, true);
+        c.on_event(
+            at(0),
+            &TraceEvent::MembershipChange {
+                epoch: 2,
+                kind: FaultKind::WorkerFail,
+                node: 0,
+                iter: 1,
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "evicted worker 1 emitted")]
+    fn checker_rejects_evicted_worker_activity() {
+        let mut c = InvariantChecker::new(2, true);
+        use TraceEvent::*;
+        c.on_event(at(0), &IterBegin { worker: 0, iter: 0 });
+        c.on_event(at(0), &IterBegin { worker: 1, iter: 0 });
+        c.on_event(
+            at(1),
+            &MembershipChange {
+                epoch: 1,
+                kind: FaultKind::WorkerFail,
+                node: 1,
+                iter: 1,
+            },
+        );
+        c.on_event(
+            at(2),
+            &GradReady {
+                worker: 1,
+                iter: 1,
+                grad: 0,
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "before joining")]
+    fn checker_rejects_pending_joiner_activity() {
+        let mut c = InvariantChecker::new(1, true).with_joiners(1);
+        c.on_event(at(0), &TraceEvent::IterBegin { worker: 1, iter: 0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpoint iterations must be strictly monotone")]
+    fn checker_rejects_nonmonotone_checkpoint() {
+        let mut c = InvariantChecker::new(1, true).with_shards(1);
+        c.on_event(at(0), &TraceEvent::Checkpoint { shard: 0, iter: 2 });
+        c.on_event(at(1), &TraceEvent::Checkpoint { shard: 0, iter: 2 });
+    }
+
+    #[test]
+    #[should_panic(expected = "on permanently failed shard 0")]
+    fn checker_rejects_barrier_on_failed_shard() {
+        let mut c = InvariantChecker::new(1, true).with_shards(1);
+        use TraceEvent::*;
+        feed(
+            &mut c,
+            &[
+                (at(0), IterBegin { worker: 0, iter: 0 }),
+                (
+                    at(1),
+                    GradReady {
+                        worker: 0,
+                        iter: 0,
+                        grad: 0,
+                    },
+                ),
+                (
+                    at(2),
+                    PushStart {
+                        worker: 0,
+                        iter: 0,
+                        grad: 0,
+                    },
+                ),
+                (
+                    at(4),
+                    PushEnd {
+                        worker: 0,
+                        iter: 0,
+                        grad: 0,
+                    },
+                ),
+                (
+                    at(5),
+                    MembershipChange {
+                        epoch: 1,
+                        kind: FaultKind::ShardFail,
+                        node: 0,
+                        iter: 1,
+                    },
+                ),
+                // No re-home happened: the barrier still targets shard 0.
+                (at(6), Barrier { iter: 0, grad: 0 }),
+            ],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "which is still alive")]
+    fn checker_rejects_rehome_off_live_shard() {
+        let mut c = InvariantChecker::new(1, true).with_shards(2);
+        c.on_event(
+            at(0),
+            &TraceEvent::Rehome {
+                grad: 0,
+                from: 0,
+                to: 1,
+            },
+        );
+    }
+
+    #[test]
+    fn barrier_counts_only_live_membership_after_eviction() {
+        // Two workers; worker 1 evicted at iter 1. The iter-1 barrier
+        // fires off worker 0's push alone.
+        let mut c = InvariantChecker::new(2, true).with_shards(1);
+        use TraceEvent::*;
+        let full_iter = |iter: u64, workers: &[usize]| {
+            let mut evs = Vec::new();
+            let base = at(iter * 100);
+            for &w in workers {
+                evs.push((base, IterBegin { worker: w, iter }));
+            }
+            let phase = |evs: &mut Vec<(SimTime, TraceEvent)>,
+                         ms: u64,
+                         mk: &dyn Fn(usize) -> TraceEvent| {
+                for &w in workers {
+                    evs.push((base + Duration::from_millis(ms), mk(w)));
+                }
+            };
+            phase(&mut evs, 1, &|w| GradReady {
+                worker: w,
+                iter,
+                grad: 0,
+            });
+            phase(&mut evs, 2, &|w| PushStart {
+                worker: w,
+                iter,
+                grad: 0,
+            });
+            phase(&mut evs, 4, &|w| PushEnd {
+                worker: w,
+                iter,
+                grad: 0,
+            });
+            evs.push((base + Duration::from_millis(5), Barrier { iter, grad: 0 }));
+            phase(&mut evs, 6, &|w| PullStart {
+                worker: w,
+                iter,
+                grad: 0,
+            });
+            phase(&mut evs, 8, &|w| PullEnd {
+                worker: w,
+                iter,
+                grad: 0,
+            });
+            phase(&mut evs, 9, &|w| FwdStart {
+                worker: w,
+                iter,
+                grad: 0,
+            });
+            phase(&mut evs, 10, &|w| FwdEnd {
+                worker: w,
+                iter,
+                grad: 0,
+            });
+            phase(&mut evs, 10, &|w| IterEnd { worker: w, iter });
+            evs
+        };
+        feed(&mut c, &full_iter(0, &[0, 1]));
+        c.on_event(
+            at(50),
+            &TraceEvent::MembershipChange {
+                epoch: 1,
+                kind: FaultKind::WorkerFail,
+                node: 1,
+                iter: 1,
+            },
+        );
+        feed(&mut c, &full_iter(1, &[0]));
+        c.finish();
+    }
+
+    #[test]
+    fn span_collector_emits_shard_spans() {
+        let mut sc = SpanCollector::new().with_shards(1);
+        for (t, ev) in lifecycle() {
+            sc.on_event(t, &ev);
+        }
+        let (grad_spans, shard_spans) = sc.into_parts();
+        assert_eq!(grad_spans.len(), 5);
+        assert_eq!(
+            shard_spans,
+            vec![ShardSpan {
+                shard: 0,
+                iter: 0,
+                grad: 0,
+                start: at(5),
+                end: at(5),
+            }]
+        );
+    }
+
+    #[test]
+    fn shard_spans_follow_rehomes() {
+        let mut sc = SpanCollector::new().with_owner_table(vec![0]);
+        use TraceEvent::*;
+        sc.on_event(
+            at(0),
+            &Rehome {
+                grad: 0,
+                from: 0,
+                to: 1,
+            },
+        );
+        sc.on_event(
+            at(1),
+            &PushEnd {
+                worker: 0,
+                iter: 0,
+                grad: 0,
+            },
+        );
+        sc.on_event(at(2), &Barrier { iter: 0, grad: 0 });
+        let (_, shard_spans) = sc.into_parts();
+        assert_eq!(shard_spans.len(), 1);
+        assert_eq!(shard_spans[0].shard, 1);
+    }
+
+    #[test]
+    fn shard_spans_csv_shape() {
+        let spans = vec![ShardSpan {
+            shard: 1,
+            iter: 2,
+            grad: 30,
+            start: at(4),
+            end: at(9),
+        }];
+        let csv = shard_spans_to_csv(&spans);
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "shard,iter,grad,start_ms,end_ms,dwell_ms"
+        );
+        assert_eq!(lines.next().unwrap(), "1,2,30,4.000000,9.000000,5.000000");
+        assert!(lines.next().is_none());
     }
 }

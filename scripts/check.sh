@@ -30,6 +30,10 @@ if [[ "$tier" == "all" || "$tier" == "debug" ]]; then
     PROPHET_RESULTS_DIR="$(mktemp -d)" \
         cargo run --offline -q -p prophet-bench --bin repro -- ext_chaos 42 2 > /dev/null
 
+    echo "==> elastic churn smoke (seed 42, 2 plans per strategy)"
+    PROPHET_RESULTS_DIR="$(mktemp -d)" \
+        cargo run --offline -q -p prophet-bench --bin repro -- ext_elastic 42 2 > /dev/null
+
     echo "==> bench smoke (criterion --test mode, no artifacts)"
     # Single-sample pass over the first scale point: compiles the bench
     # harnesses and exercises both engines without touching BENCH_*.json.
@@ -53,6 +57,10 @@ if [[ "$tier" == "all" || "$tier" == "release" ]]; then
     echo "==> chaos sweep (seed 42, 50 plans per strategy)"
     PROPHET_RESULTS_DIR="$(mktemp -d)" \
         cargo run --offline --release -q -p prophet-bench --bin repro -- ext_chaos 42 50 > /dev/null
+
+    echo "==> elastic churn sweep (seed 42, 50 plans per strategy)"
+    PROPHET_RESULTS_DIR="$(mktemp -d)" \
+        cargo run --offline --release -q -p prophet-bench --bin repro -- ext_elastic 42 50 > /dev/null
 fi
 
 echo "==> OK ($tier)"

@@ -220,18 +220,23 @@ fn acks_are_batched_not_per_slice() {
     }]);
     let r = run_threaded_training(&cfg);
     assert_eq!(r.messages_lost, 0, "a zero-rate window dropped messages");
-    // Every accepted slice is acked; slices ≈ ceil(tensor/64 elems) per
-    // tensor per worker per iteration — far more than the flush count.
-    let slices_lower_bound = cfg.iterations * cfg.workers as u64 * 4;
+    // Every accepted slice is acked, so per-slice acking would produce
+    // exactly one batch per slice: ceil(tensor_bytes / 256) summed over
+    // the 4 tensors of the [8, 24, 4] model is 3 + 1 + 2 + 1 = 7 slices
+    // per worker per iteration. Batch sizes depend on how many messages
+    // pile up in the inbox between drains — under CPU contention drains
+    // come smaller and more often — so the only load-independent claim
+    // is strictly fewer batches than slices.
+    let slices = cfg.iterations * cfg.workers as u64 * 7;
     assert!(
         r.ack_batches > 0,
         "armed fault machinery produced no ack batches"
     );
     assert!(
-        r.ack_batches < slices_lower_bound,
-        "acks are not batched: {} batches for ≥{} slices",
+        r.ack_batches < slices,
+        "acks are not batched: {} batches for {} slices",
         r.ack_batches,
-        slices_lower_bound
+        slices
     );
 }
 
