@@ -58,6 +58,7 @@ fn vgg_cfg(workers: usize, shards: usize) -> ThreadedConfig {
         check_invariants: false,
         ps_restart_at_iter: None,
         checkpoint_period: 4,
+        checkpoint_retention: 2,
         fault_plan: Default::default(),
         retry: prophet::net::RetryPolicy::paper_default(),
     }

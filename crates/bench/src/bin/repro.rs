@@ -15,6 +15,10 @@
 //!                       # elastic churn sweep at any scale: <budget>
 //!                       # permanent-fault plans per scheduler vs the
 //!                       # deterministic recovery contract
+//! repro ext_integrity <seed> [budget]
+//!                       # corruption sweep at any scale: <budget> silent-
+//!                       # corruption plans per scheduler vs the integrity
+//!                       # contract, plus threaded bit-identity legs
 //! ```
 //!
 //! CSV outputs land in `results/` at the workspace root (override with
@@ -150,6 +154,70 @@ fn run_trace(args: &[String]) {
     }
 }
 
+/// The `ext_*` sweeps that also accept `<seed> [budget]` positionals: one
+/// table drives usage text, the progress banner, and dispatch, so adding a
+/// sweep is one row here (plus its registry entry for the bare-id form).
+struct ExtSweep {
+    id: &'static str,
+    banner: &'static str,
+    run: fn(u64, usize) -> prophet_bench::ExperimentOutput,
+}
+
+const EXT_SWEEPS: &[ExtSweep] = &[
+    ExtSweep {
+        id: "ext_chaos",
+        banner: "chaos search",
+        run: prophet_bench::experiments::chaos::run_chaos,
+    },
+    ExtSweep {
+        id: "ext_elastic",
+        banner: "elastic churn sweep",
+        run: prophet_bench::experiments::elastic::run_elastic,
+    },
+    ExtSweep {
+        id: "ext_integrity",
+        banner: "corruption sweep",
+        run: prophet_bench::experiments::integrity::run_integrity,
+    },
+];
+
+/// `repro <ext_id> <seed> [budget]` — strict positional parsing: malformed
+/// numbers or trailing arguments exit non-zero with this sweep's usage
+/// line rather than silently running the wrong configuration.
+fn run_ext_sweep(sweep: &ExtSweep, args: &[String]) {
+    let usage = format!("usage: repro {} <seed> [budget]", sweep.id);
+    let parse = |i: usize, name: &str, default: u64| -> u64 {
+        args.get(i).map_or(default, |s| {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("bad {name} `{s}` — {usage}");
+                std::process::exit(1);
+            })
+        })
+    };
+    let seed = parse(0, "seed", 42);
+    let budget = parse(1, "budget", 200) as usize;
+    if let Some(extra) = args.get(2) {
+        eprintln!("unexpected argument `{extra}` — {usage}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "[repro] {}: seed {seed}, {budget} plans per scheduler ...",
+        sweep.banner
+    );
+    let t0 = std::time::Instant::now();
+    let output = (sweep.run)(seed, budget);
+    println!("{}", output.to_markdown());
+    match output.write_csv(&results_dir()) {
+        Ok(path) => eprintln!(
+            "[repro] {} done in {:.1?} → {}",
+            sweep.id,
+            t0.elapsed(),
+            path.display()
+        ),
+        Err(e) => eprintln!("[repro] {}: could not write CSV: {e}", sweep.id),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let reg = registry();
@@ -160,6 +228,9 @@ fn main() {
             println!("  {id:<16} {desc}");
         }
         println!("\nusage: repro all | repro <id> [<id> ...] | repro trace <sched> [gbps] [batch] [seed]");
+        for sweep in EXT_SWEEPS {
+            println!("       repro {} <seed> [budget]", sweep.id);
+        }
         return;
     }
 
@@ -168,70 +239,13 @@ fn main() {
         return;
     }
 
-    // `repro ext_chaos <seed> [budget]` — the parameterized search. A bare
-    // `repro ext_chaos` (no numeric args) falls through to the registry's
-    // small fixed-seed entry.
-    if args[0] == "ext_chaos" && args.len() > 1 {
-        let parse = |i: usize, name: &str, default: u64| -> u64 {
-            args.get(i).map_or(default, |s| {
-                s.parse().unwrap_or_else(|_| {
-                    eprintln!("bad {name} `{s}` — usage: repro ext_chaos <seed> [budget]");
-                    std::process::exit(1);
-                })
-            })
-        };
-        let seed = parse(1, "seed", 42);
-        let budget = parse(2, "budget", 200) as usize;
-        if let Some(extra) = args.get(3) {
-            eprintln!("unexpected argument `{extra}` — usage: repro ext_chaos <seed> [budget]");
-            std::process::exit(1);
+    // The parameterized `ext_*` sweeps. A bare `repro ext_chaos` (no
+    // numeric args) falls through to the registry's small fixed-seed entry.
+    if args.len() > 1 {
+        if let Some(sweep) = EXT_SWEEPS.iter().find(|s| s.id == args[0]) {
+            run_ext_sweep(sweep, &args[1..]);
+            return;
         }
-        eprintln!("[repro] chaos search: seed {seed}, {budget} plans per scheduler ...");
-        let t0 = std::time::Instant::now();
-        let output = prophet_bench::experiments::chaos::run_chaos(seed, budget);
-        println!("{}", output.to_markdown());
-        match output.write_csv(&results_dir()) {
-            Ok(path) => eprintln!(
-                "[repro] ext_chaos done in {:.1?} → {}",
-                t0.elapsed(),
-                path.display()
-            ),
-            Err(e) => eprintln!("[repro] ext_chaos: could not write CSV: {e}"),
-        }
-        return;
-    }
-
-    // `repro ext_elastic <seed> [budget]` — the parameterized churn sweep.
-    // A bare `repro ext_elastic` falls through to the registry's small
-    // fixed-seed entry.
-    if args[0] == "ext_elastic" && args.len() > 1 {
-        let parse = |i: usize, name: &str, default: u64| -> u64 {
-            args.get(i).map_or(default, |s| {
-                s.parse().unwrap_or_else(|_| {
-                    eprintln!("bad {name} `{s}` — usage: repro ext_elastic <seed> [budget]");
-                    std::process::exit(1);
-                })
-            })
-        };
-        let seed = parse(1, "seed", 42);
-        let budget = parse(2, "budget", 200) as usize;
-        if let Some(extra) = args.get(3) {
-            eprintln!("unexpected argument `{extra}` — usage: repro ext_elastic <seed> [budget]");
-            std::process::exit(1);
-        }
-        eprintln!("[repro] elastic churn sweep: seed {seed}, {budget} plans per scheduler ...");
-        let t0 = std::time::Instant::now();
-        let output = prophet_bench::experiments::elastic::run_elastic(seed, budget);
-        println!("{}", output.to_markdown());
-        match output.write_csv(&results_dir()) {
-            Ok(path) => eprintln!(
-                "[repro] ext_elastic done in {:.1?} → {}",
-                t0.elapsed(),
-                path.display()
-            ),
-            Err(e) => eprintln!("[repro] ext_elastic: could not write CSV: {e}"),
-        }
-        return;
     }
 
     let selected: Vec<&(&str, &str, prophet_bench::Runner)> = if args[0] == "all" {
@@ -248,6 +262,9 @@ fn main() {
                     eprintln!(
                         "usage: repro all | repro <id> [<id> ...] | repro trace <sched> [gbps] [batch] [seed]"
                     );
+                    for sweep in EXT_SWEEPS {
+                        eprintln!("       repro {} <seed> [budget]", sweep.id);
+                    }
                     std::process::exit(1);
                 }
             }

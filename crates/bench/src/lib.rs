@@ -156,6 +156,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
             elastic::ext_elastic,
         ),
         (
+            "ext_integrity",
+            "[extension] data integrity: silent corruption vs checksummed frames + verified restores",
+            integrity::ext_integrity,
+        ),
+        (
             "ext_scale",
             "[extension] scaling frontier: 64-1024 workers, iteration time + simulator wall-clock",
             scale::ext_scale,

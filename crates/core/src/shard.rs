@@ -445,6 +445,45 @@ mod tests {
                 check_cover_and_balance(&sizes, shards);
             }
 
+            /// Repeated evict+join cycles — a shard dies and (the same or a
+            /// brand-new) shard joins right after, over and over — preserve
+            /// cover and the 2x-balance bound at *both* half-steps of every
+            /// cycle, and the whole trajectory is a pure function of the
+            /// picks: replaying it on a second map lands on an identical
+            /// partition. This is the membership pattern the elastic
+            /// runtime's corruption recovery leans on (fail, restore from a
+            /// verified checkpoint, rejoin).
+            #[test]
+            fn evict_join_cycles_cover_and_balance(
+                sizes in prop::collection::vec(0u64..100_000, 4..48),
+                shards in 2usize..8,
+                // One entry per cycle: the high bits pick which alive shard
+                // dies; the low bit picks whether the joiner revives that
+                // slot or appends a fresh one.
+                cycles in prop::collection::vec(0u16..1024, 1..16),
+            ) {
+                let mut map = ShardMap::balanced(&sizes, shards);
+                let mut replay = map.clone();
+                for step in cycles {
+                    let (pick, fresh_slot) = (step >> 1, step & 1 == 1);
+                    let alive = map.alive();
+                    if alive.len() < 2 { continue; }
+                    let victim = alive[pick as usize % alive.len()];
+                    let moved = map.rebalance_evict(victim);
+                    check_invariants(&map, &sizes);
+                    let joiner = if fresh_slot { map.shards() } else { victim };
+                    let rehomed = map.rebalance_admit(joiner);
+                    check_invariants(&map, &sizes);
+                    prop_assert!(
+                        !map.members(joiner).is_empty(),
+                        "joiner {joiner} got no tensors after the cycle"
+                    );
+                    prop_assert_eq!(moved, replay.rebalance_evict(victim));
+                    prop_assert_eq!(rehomed, replay.rebalance_admit(joiner));
+                    prop_assert_eq!(&map, &replay, "cycle diverged between replays");
+                }
+            }
+
             /// Arbitrary evict/admit churn sequences preserve cover and the
             /// 2x-balance bound over the alive set at every step.
             #[test]

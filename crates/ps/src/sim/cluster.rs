@@ -76,6 +76,27 @@ struct QueuedMsg {
     attempt: u32,
     /// Marked lost by `MsgLoss`: completes on the wire, delivery discarded.
     doomed: bool,
+    /// Marked corrupted by `PayloadCorrupt`: completes on the wire, fails
+    /// the receiver's integrity check, and is retransmitted via the NACK
+    /// path (modelled as the same fail-and-requeue machinery as a loss,
+    /// but detected — and counted — at delivery).
+    corrupted: bool,
+}
+
+/// One retained snapshot generation of a shard's durable state, in the
+/// simulator's byte-cost model. The live (newest) generation's `seg_bytes`
+/// grows one owned-tensor ledger entry per closed barrier until the next
+/// checkpoint opens a fresh generation.
+#[derive(Debug, Clone, Copy)]
+struct SimGen {
+    /// Snapshot bytes (the shard's owned parameters at write time).
+    snap_bytes: u64,
+    /// Ledger-segment bytes appended after this snapshot and before the
+    /// next one.
+    seg_bytes: u64,
+    /// Written corrupt under a `CheckpointCorrupt` spec; detected only
+    /// when a restore verifies the generation.
+    corrupt: bool,
 }
 
 /// A transmission lane: one persistent connection per `(worker, shard,
@@ -183,6 +204,10 @@ struct Cluster {
     stall_until: Vec<SimTime>,
     loss_rate: f64,
     loss_until: SimTime,
+    /// Effective `PayloadCorrupt` rate / window end, mirroring the
+    /// `loss_rate`/`loss_until` pair.
+    corrupt_rate: f64,
+    corrupt_until: SimTime,
     /// Active windows per `(kind, trace node)`. Chaos plans overlap windows
     /// of the same kind on the same node (bursts, repeated crashes); the
     /// trace contract is one `FaultStart`/`FaultEnd` pair per episode, so
@@ -226,12 +251,15 @@ struct Cluster {
     /// zero checkpoint work, keeping them bit-identical to pre-elastic
     /// builds.
     ckpt_armed: bool,
-    /// Bytes of each shard's last snapshot (implicit iteration-0
-    /// checkpoint = the shard's owned parameters).
-    checkpoint_bytes: Vec<u64>,
-    /// Bytes appended to each shard's post-checkpoint byte ledger (one
-    /// owned-tensor entry per closed barrier).
-    ledger_bytes: Vec<u64>,
+    /// Per-shard retained snapshot generations, oldest → newest. The first
+    /// entry starts as the implicit iteration-0 checkpoint (the shard's
+    /// owned parameters); `take_checkpoint` pushes new generations and
+    /// garbage-collects beyond `cfg.checkpoint_retention`, never dropping
+    /// the only intact one.
+    ckpt_gens: Vec<Vec<SimGen>>,
+    /// Shards whose scheduled `CheckpointCorrupt` has already damaged a
+    /// generation (the spec corrupts exactly one snapshot write).
+    ckpt_corrupt_done: Vec<bool>,
     /// Barriers closed per iteration, to detect iteration completion for
     /// the checkpoint cadence.
     barrier_counts: HashMap<u64, usize>,
@@ -364,10 +392,18 @@ impl Cluster {
         // The initial parameters are an implicit iteration-0 checkpoint:
         // a shard failing before the first periodic snapshot restores the
         // full owned state plus the ledger accrued since time zero.
-        let mut checkpoint_bytes = vec![0u64; shards];
+        let mut ckpt_gens: Vec<Vec<SimGen>> = vec![Vec::new(); shards];
         if ckpt_armed {
+            let mut owned = vec![0u64; shards];
             for (g, &o) in owner.iter().enumerate() {
-                checkpoint_bytes[o] += sizes[g];
+                owned[o] += sizes[g];
+            }
+            for (s, gens) in ckpt_gens.iter_mut().enumerate() {
+                gens.push(SimGen {
+                    snap_bytes: owned[s],
+                    seg_bytes: 0,
+                    corrupt: false,
+                });
             }
         }
         Cluster {
@@ -381,8 +417,8 @@ impl Cluster {
             shard_blocked_until: vec![SimTime::ZERO; shards],
             membership_epoch: 0,
             ckpt_armed,
-            checkpoint_bytes,
-            ledger_bytes: vec![0; shards],
+            ckpt_gens,
+            ckpt_corrupt_done: vec![false; shards],
             barrier_counts: HashMap::new(),
             elastic: ElasticStats::default(),
             node_down: vec![false; nodes],
@@ -391,6 +427,8 @@ impl Cluster {
             stall_until,
             loss_rate: 0.0,
             loss_until: SimTime::ZERO,
+            corrupt_rate: 0.0,
+            corrupt_until: SimTime::ZERO,
             fault_active: HashMap::new(),
             fault_rng,
             retry_counts: HashMap::new(),
@@ -561,10 +599,11 @@ impl Cluster {
         }
         if self.has_faults() {
             for (idx, f) in self.cfg.fault_plan.faults.clone().iter().enumerate() {
-                // Permanent specs are iteration-triggered (at the BSP
-                // boundary they name), never window-scheduled: their
-                // `at()`/`until()` are both time zero by construction.
-                if f.is_permanent() {
+                // Iteration-indexed specs (the permanent membership trio
+                // plus `CheckpointCorrupt`) fire at the BSP boundary they
+                // name, never as timer windows: their `at()`/`until()` are
+                // both time zero by construction.
+                if !f.is_windowed() {
                     continue;
                 }
                 self.queue.schedule(f.at(), Ev::FaultBegin { idx });
@@ -1090,6 +1129,7 @@ impl Cluster {
                     pieces,
                     attempt: 0,
                     doomed: false,
+                    corrupted: false,
                 });
             self.kick_lane(now, key);
         }
@@ -1147,6 +1187,20 @@ impl Cluster {
             {
                 msg.doomed = true;
                 self.fault_stats.messages_lost += 1;
+            }
+            // During a corruption window every surviving (re)send is
+            // bit-flipped/truncated in flight with the plan's probability:
+            // the bytes cross the wire, the receiver's CRC check rejects
+            // the frame, and the NACK forces a full retransmit. Drawn
+            // *after* (and only for messages that escaped) the loss draw so
+            // plans without `PayloadCorrupt` leave the fault RNG stream —
+            // and therefore every existing exact-ns golden — untouched.
+            if !msg.doomed
+                && now < self.corrupt_until
+                && self.corrupt_rate > 0.0
+                && self.fault_rng.next_f64() < self.corrupt_rate
+            {
+                msg.corrupted = true;
             }
             // Re-stamp pieces whose start a failed attempt voided.
             if msg.attempt > 0 {
@@ -1233,6 +1287,25 @@ impl Cluster {
                 // The bytes crossed the wire but the loss window ate the
                 // message: deliver nothing and retry the send.
                 self.fault_stats.wasted_bytes += m.bytes as f64;
+                self.fail_message(end.finished, key, m);
+                return;
+            }
+            if m.corrupted {
+                // The bytes crossed the wire but arrived damaged: the
+                // receiver's CRC verify rejects the frame at delivery time,
+                // NACKs, and the sender retransmits from its still-clean
+                // buffer — cost-wise identical to a lost message plus an
+                // attributable detection event.
+                self.fault_stats.wasted_bytes += m.bytes as f64;
+                self.fault_stats.frames_corrupted += 1;
+                self.emit(
+                    end.finished,
+                    TraceEvent::FrameCorrupt {
+                        node: m.dst.0,
+                        bytes: m.bytes,
+                        data: true,
+                    },
+                );
                 self.fail_message(end.finished, key, m);
                 return;
             }
@@ -1479,12 +1552,15 @@ impl Cluster {
     }
 
     /// The node a spec's trace events are attributed to (`usize::MAX` for
-    /// the global `MsgLoss`; stalls use the worker's topology node).
+    /// the global `MsgLoss`/`PayloadCorrupt`; stalls use the worker's
+    /// topology node).
     fn fault_trace_node(&self, spec: &FaultSpec) -> usize {
         match *spec {
             FaultSpec::LinkDown { node, .. } | FaultSpec::LinkDegrade { node, .. } => node,
-            FaultSpec::MsgLoss { .. } => usize::MAX,
-            FaultSpec::ShardCrash { shard, .. } | FaultSpec::ShardFail { shard, .. } => shard,
+            FaultSpec::MsgLoss { .. } | FaultSpec::PayloadCorrupt { .. } => usize::MAX,
+            FaultSpec::ShardCrash { shard, .. }
+            | FaultSpec::ShardFail { shard, .. }
+            | FaultSpec::CheckpointCorrupt { shard, .. } => shard,
             FaultSpec::WorkerStall { worker, .. }
             | FaultSpec::WorkerFail { worker, .. }
             | FaultSpec::WorkerJoin { worker, .. } => self.cfg.ps_shards + worker,
@@ -1535,6 +1611,21 @@ impl Cluster {
             })
     }
 
+    /// Effective corruption `(rate, until)` over active `PayloadCorrupt`
+    /// windows, mirroring [`Cluster::active_loss`].
+    fn active_corrupt(&self, now: SimTime) -> (f64, SimTime) {
+        self.cfg
+            .fault_plan
+            .faults
+            .iter()
+            .fold((0.0f64, SimTime::ZERO), |(rate, until), f| match *f {
+                FaultSpec::PayloadCorrupt { rate: r, .. } if window_active(f, now) => {
+                    (rate.max(r), until.max(f.until()))
+                }
+                _ => (rate, until),
+            })
+    }
+
     fn on_fault_begin(&mut self, now: SimTime, idx: usize) {
         let spec = self.cfg.fault_plan.faults[idx];
         let key = (spec.kind(), self.fault_trace_node(&spec));
@@ -1574,10 +1665,15 @@ impl Cluster {
                 // A shorter overlapping stall must not cut a longer one off.
                 self.stall_until[worker] = self.stall_until[worker].max(spec.until());
             }
+            FaultSpec::PayloadCorrupt { rate, .. } => {
+                self.corrupt_rate = self.corrupt_rate.max(rate);
+                self.corrupt_until = self.corrupt_until.max(spec.until());
+            }
             FaultSpec::WorkerFail { .. }
             | FaultSpec::ShardFail { .. }
-            | FaultSpec::WorkerJoin { .. } => {
-                unreachable!("permanent faults are iteration-triggered, never window-scheduled")
+            | FaultSpec::WorkerJoin { .. }
+            | FaultSpec::CheckpointCorrupt { .. } => {
+                unreachable!("iteration-indexed faults are never window-scheduled")
             }
         }
     }
@@ -1658,10 +1754,25 @@ impl Cluster {
                     );
                 }
             }
+            FaultSpec::PayloadCorrupt { .. } => {
+                let (rate, until) = self.active_corrupt(now);
+                self.corrupt_rate = rate;
+                self.corrupt_until = until;
+                if last {
+                    self.emit(
+                        now,
+                        TraceEvent::FaultEnd {
+                            kind: key.0,
+                            node: key.1,
+                        },
+                    );
+                }
+            }
             FaultSpec::WorkerFail { .. }
             | FaultSpec::ShardFail { .. }
-            | FaultSpec::WorkerJoin { .. } => {
-                unreachable!("permanent faults are iteration-triggered, never window-scheduled")
+            | FaultSpec::WorkerJoin { .. }
+            | FaultSpec::CheckpointCorrupt { .. } => {
+                unreachable!("iteration-indexed faults are never window-scheduled")
             }
         }
     }
@@ -1754,6 +1865,7 @@ impl Cluster {
         msg.tag = tag;
         msg.attempt += 1;
         msg.doomed = false;
+        msg.corrupted = false;
         self.fault_stats.retried_bytes += msg.bytes;
         self.workers[w].failures_since_tick += 1;
         let (iter, task) = {
@@ -1862,6 +1974,7 @@ impl Cluster {
                         pieces: vec![(g, b)],
                         attempt: 1,
                         doomed: false,
+                        corrupted: false,
                     });
                 // No kick — the shard is down; restart kicks the lanes.
             }
@@ -2035,11 +2148,36 @@ impl Cluster {
                 adopters.push(self.owner[g]);
             }
         }
-        // Restore cost: checkpoint + ledger bytes read back at the PS NIC
-        // rate; the adopters serve nothing new until it completes.
-        let restore = self.checkpoint_bytes[s] + self.ledger_bytes[s];
-        self.checkpoint_bytes[s] = 0;
-        self.ledger_bytes[s] = 0;
+        // Restore cost: walk the dead shard's generations newest-first,
+        // paying for every snapshot read until the checksum verifies, then
+        // replay every ledger segment from the intact generation forward —
+        // all read back at the PS NIC rate; the adopters serve nothing new
+        // until it completes. With no corruption the walk stops at the
+        // newest generation and the cost collapses to the classic
+        // `snapshot + ledger`, which is what keeps the exact-ns fault
+        // goldens byte-for-byte unchanged.
+        let gens = std::mem::take(&mut self.ckpt_gens[s]);
+        let mut restore = 0u64;
+        let mut depth = 0u64;
+        let mut intact = None;
+        for (i, g) in gens.iter().enumerate().rev() {
+            restore += g.snap_bytes;
+            if g.corrupt {
+                depth += 1;
+            } else {
+                intact = Some(i);
+                break;
+            }
+        }
+        let intact = intact.expect("no intact checkpoint generation for failed shard");
+        for g in &gens[intact..] {
+            restore += g.seg_bytes;
+        }
+        if depth > 0 {
+            self.elastic.restore_fallbacks += 1;
+            self.elastic.fallback_depth += depth;
+            self.emit(now, TraceEvent::RestoreFallback { shard: s, depth });
+        }
         self.elastic.restore_bytes += restore;
         let delay = Duration::from_secs_f64(restore as f64 / self.cfg.ps_bps);
         self.elastic.recovery_ns += delay.as_nanos();
@@ -2091,6 +2229,7 @@ impl Cluster {
         }
         msg.attempt += 1;
         msg.doomed = false;
+        msg.corrupted = false;
         debug_assert_eq!(
             self.cfg.retry.delay_to(msg.attempt, true),
             Duration::ZERO,
@@ -2141,6 +2280,7 @@ impl Cluster {
                     pieces,
                     attempt,
                     doomed: false,
+                    corrupted: false,
                 });
             self.kick_lane(now, newkey);
         }
@@ -2151,7 +2291,9 @@ impl Cluster {
     /// barrier of a period-aligned iteration triggers a snapshot.
     fn note_barrier_closed(&mut self, now: SimTime, iter: u64, g: usize) {
         let s = self.owner[g];
-        self.ledger_bytes[s] += self.sizes[g];
+        if let Some(gen) = self.ckpt_gens[s].last_mut() {
+            gen.seg_bytes += self.sizes[g];
+        }
         let done = self.barrier_counts.entry(iter).or_insert(0);
         *done += 1;
         if *done == self.num_grads() {
@@ -2173,8 +2315,49 @@ impl Cluster {
             if self.shard_dead[s] {
                 continue;
             }
-            self.checkpoint_bytes[s] = bytes;
-            self.ledger_bytes[s] = 0;
+            // `CheckpointCorrupt { shard, at_iter }` poisons the first
+            // snapshot written at or after that iteration boundary — the
+            // snapshot covering through `iter` is written at boundary
+            // `iter + 1` — and only that one (one-shot), so the newest
+            // *older* generation stays intact for the fallback walk.
+            let corrupt = !self.ckpt_corrupt_done[s]
+                && self
+                    .cfg
+                    .fault_plan
+                    .checkpoint_corrupt_at(s)
+                    .is_some_and(|k| iter + 1 >= k);
+            if corrupt {
+                self.ckpt_corrupt_done[s] = true;
+                self.elastic.corrupt_snapshots += 1;
+            }
+            self.ckpt_gens[s].push(SimGen {
+                snap_bytes: bytes,
+                seg_bytes: 0,
+                corrupt,
+            });
+            // Retention GC, mirroring `DurableStore`'s scrub rule: collect
+            // oldest-first while more than one intact generation remains,
+            // then corrupted generations (a removed corrupt generation's
+            // ledger segment merges into its older neighbour, which still
+            // needs those entries for replay), and never collect the only
+            // intact one — a corrupted newest snapshot must always leave a
+            // verified fallback target behind.
+            let keep = self.cfg.checkpoint_retention.max(1);
+            let gens = &mut self.ckpt_gens[s];
+            while gens.len() > keep {
+                let intact = gens.iter().filter(|g| !g.corrupt).count();
+                if intact > 1 {
+                    gens.remove(0);
+                } else if let Some(i) = gens.iter().position(|g| g.corrupt) {
+                    let seg = gens[i].seg_bytes;
+                    gens.remove(i);
+                    if i > 0 {
+                        gens[i - 1].seg_bytes += seg;
+                    }
+                } else {
+                    break;
+                }
+            }
             self.elastic.checkpoints += 1;
             self.emit(now, TraceEvent::Checkpoint { shard: s, iter });
         }

@@ -114,6 +114,12 @@ pub struct ClusterConfig {
     /// `ShardFail` — an unarmed run does zero checkpoint work, keeping
     /// empty-plan runs bit-identical to pre-elastic builds.
     pub checkpoint_period: u64,
+    /// Verified checkpoint generations to retain per shard (the durable
+    /// store's GC horizon). A `CheckpointCorrupt` fault can poison the
+    /// newest snapshot, so restores fall back to older generations; GC
+    /// keeps the last `checkpoint_retention` of them — never collecting
+    /// the only intact one — and collects the rest. Must be ≥ 1.
+    pub checkpoint_retention: usize,
 }
 
 impl ClusterConfig {
@@ -151,6 +157,7 @@ impl ClusterConfig {
             adapt_retry_timeout: true,
             net_full_resolve: false,
             checkpoint_period: 4,
+            checkpoint_retention: 2,
         }
     }
 
@@ -218,6 +225,10 @@ impl ClusterConfig {
             "fault injection requires BSP synchronisation"
         );
         assert!(self.checkpoint_period >= 1, "checkpoint period must be ≥ 1");
+        assert!(
+            self.checkpoint_retention >= 1,
+            "checkpoint retention must be ≥ 1"
+        );
     }
 
     /// Compute-speed multiplier of worker `w` (1.0 unless overridden).

@@ -59,6 +59,10 @@ pub struct FaultStats {
     /// Total bytes transmitted across all nodes, including waste — compare
     /// with a fault-free run to see the retransmission overhead.
     pub wire_bytes: f64,
+    /// Frames delivered corrupted and rejected by the receiver's CRC
+    /// verify (`PayloadCorrupt`); each one also shows up as a retry and as
+    /// wasted bytes.
+    pub frames_corrupted: u64,
 }
 
 /// Counters the elastic-membership layer accumulates during a run. All
@@ -88,6 +92,14 @@ pub struct ElasticStats {
     /// Work thrown away at shard failures: partial delivered bytes of
     /// in-flight transfers killed when their shard died for good.
     pub lost_work_bytes: u64,
+    /// Checkpoint snapshots written corrupted (`CheckpointCorrupt`).
+    pub corrupt_snapshots: u64,
+    /// Restores that had to fall back past a corrupted newest snapshot to
+    /// an older intact generation.
+    pub restore_fallbacks: u64,
+    /// Total generations skipped across all fallback restores (a depth-2
+    /// fallback read two corrupted snapshots before the intact one).
+    pub fallback_depth: u64,
 }
 
 /// The outcome of [`crate::sim::run_cluster`].

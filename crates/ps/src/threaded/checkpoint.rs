@@ -3,14 +3,24 @@
 //! The threaded PS treats parameters and optimiser state as shard-thread
 //! RAM; surviving a *permanent* shard death therefore needs state that
 //! outlives the thread. [`DurableStore`] models the paper repro's durable
-//! tier: per-tensor **epoch-stamped snapshots** plus a **byte ledger** of
-//! every mean gradient applied since the last snapshot. Restoring a tensor
-//! is `clone(snapshot) + replay(ledger)` — the replay performs the exact
-//! same `f32` optimiser steps the dead shard performed live, in the same
-//! order, so the adopted state is **bit-identical** to the state the shard
-//! would have held had it never died. That identity is what makes the
-//! deterministic recovery contract (chaos oracle 4) hold on the threaded
-//! runtime, and it is pinned by the property test below.
+//! tier: per-tensor **epoch-stamped snapshot generations** plus a **byte
+//! ledger** of every mean gradient applied since the oldest retained
+//! snapshot. Restoring a tensor is `clone(newest intact snapshot) +
+//! replay(ledger)` — the replay performs the exact same `f32` optimiser
+//! steps the dead shard performed live, in the same order, so the adopted
+//! state is **bit-identical** to the state the shard would have held had it
+//! never died. That identity is what makes the deterministic recovery
+//! contract (chaos oracle 4) hold on the threaded runtime, and it is pinned
+//! by the property test below.
+//!
+//! Everything durable is **verified**: each snapshot generation stores a
+//! CRC32 of its parameters and each ledger entry stores a CRC32 of its
+//! gradient, both recomputed before the bytes are trusted. A
+//! `CheckpointCorrupt` fault silently flips a bit in the newest snapshot;
+//! [`DurableStore::restore`] detects the damage (recomputed CRC disagrees)
+//! and *falls back* to the next-older generation, paying a longer ledger
+//! replay instead of serving poison. GC (bounded by the `retention` knob)
+//! scrubs generations the same way and never collects the only intact one.
 //!
 //! The store is dormant (`armed = false`, zero allocation, zero locking on
 //! the hot path) unless the fault plan actually kills a shard — mirroring
@@ -18,6 +28,7 @@
 //! `FaultPlan::has_shard_fail`.
 
 use super::runtime::PsOptimizer;
+use super::wire::crc32;
 use prophet_minidnn::{Adam, Sgd};
 use std::sync::Mutex;
 
@@ -51,17 +62,68 @@ impl OptState {
     }
 }
 
-/// One tensor's durable state: the last snapshot and the ledger of mean
-/// gradients applied since.
-struct TensorCkpt {
+/// CRC32 over a parameter vector's canonical little-endian encoding —
+/// the integrity stamp snapshots and ledger entries carry. Goes through a
+/// fixed stack block so the byte conversion vectorises.
+pub(crate) fn params_crc(values: &[f32]) -> u32 {
+    const BLOCK: usize = 512;
+    let mut crc = crc32::begin();
+    let mut buf = [0u8; BLOCK * 4];
+    for chunk in values.chunks(BLOCK) {
+        for (b, v) in buf.chunks_exact_mut(4).zip(chunk) {
+            b.copy_from_slice(&v.to_le_bytes());
+        }
+        crc = crc32::update(crc, &buf[..chunk.len() * 4]);
+    }
+    crc32::finish(crc)
+}
+
+/// One snapshot generation of a tensor: the durable bytes, the iteration
+/// they cover through, and the checksum they were written under.
+struct Generation {
     params: Vec<f32>,
     opt: OptState,
     /// Iteration the snapshot covers through (`None` = the initial,
     /// pre-iteration-0 model).
     upto: Option<u64>,
-    /// `(iter, mean gradient)` entries applied after the snapshot, in
-    /// application order.
-    ledger: Vec<(u64, Vec<f32>)>,
+    /// CRC32 of `params` at write time; a recomputed mismatch at restore
+    /// or GC time means the generation is corrupted and must be skipped.
+    crc: u32,
+}
+
+impl Generation {
+    /// Scrub: do the stored bytes still match the checksum they were
+    /// written under?
+    fn intact(&self) -> bool {
+        params_crc(&self.params) == self.crc
+    }
+}
+
+/// One tensor's durable state: retained snapshot generations, oldest
+/// first, and the ledger of mean gradients applied since the oldest one.
+struct TensorCkpt {
+    gens: Vec<Generation>,
+    /// `(iter, mean gradient, crc)` entries in application order. Entries
+    /// at iterations a retained generation already covers are truncated;
+    /// what remains is exactly the replay tail for the *oldest* retained
+    /// generation (newer generations replay a suffix of it).
+    ledger: Vec<(u64, Vec<f32>, u32)>,
+}
+
+/// What [`DurableStore::restore`] hands back, plus its cost accounting.
+pub(crate) struct Restored {
+    /// The rebuilt parameter vector, bit-identical to the live one.
+    pub params: Vec<f32>,
+    /// The rebuilt optimiser state.
+    pub opt: OptState,
+    /// Last iteration the rebuilt state reflects (`None` = initial model).
+    pub upto: Option<u64>,
+    /// Bytes read back: every snapshot examined (intact or not) plus every
+    /// ledger entry replayed — the recovery cost.
+    pub bytes: u64,
+    /// Corrupted generations skipped before the intact one was found; 0 on
+    /// the happy path, ≥ 1 when the newest snapshot failed its verify.
+    pub depth: u64,
 }
 
 /// The durable tier shards checkpoint into and adopters restore from.
@@ -72,21 +134,34 @@ struct TensorCkpt {
 /// store that recorded nothing is a bug worth dying loudly over.
 pub(crate) struct DurableStore {
     armed: bool,
+    /// Verified generations to retain per tensor (GC horizon), ≥ 1.
+    retention: usize,
     slots: Vec<Mutex<TensorCkpt>>,
 }
 
 impl DurableStore {
     /// A store seeded with the initial model (the implicit iteration-0
     /// checkpoint every run starts from). `init` is the full model in
-    /// global tensor order; dormant stores record nothing.
-    pub(crate) fn new(armed: bool, init: &[Vec<f32>], opt_cfg: PsOptimizer, lr: f32) -> Self {
+    /// global tensor order; dormant stores record nothing. `retention`
+    /// bounds how many generations GC keeps per tensor.
+    pub(crate) fn new(
+        armed: bool,
+        init: &[Vec<f32>],
+        opt_cfg: PsOptimizer,
+        lr: f32,
+        retention: usize,
+    ) -> Self {
+        assert!(retention >= 1, "checkpoint retention must be ≥ 1");
         let slots = if armed {
             init.iter()
                 .map(|p| {
                     Mutex::new(TensorCkpt {
-                        params: p.clone(),
-                        opt: OptState::fresh(opt_cfg, lr, p.len()),
-                        upto: None,
+                        gens: vec![Generation {
+                            params: p.clone(),
+                            opt: OptState::fresh(opt_cfg, lr, p.len()),
+                            upto: None,
+                            crc: params_crc(p),
+                        }],
                         ledger: Vec::new(),
                     })
                 })
@@ -94,7 +169,11 @@ impl DurableStore {
         } else {
             Vec::new()
         };
-        DurableStore { armed, slots }
+        DurableStore {
+            armed,
+            retention,
+            slots,
+        }
     }
 
     /// Whether the checkpoint machinery is live.
@@ -111,41 +190,111 @@ impl DurableStore {
         }
         let mut slot = self.slots[g].lock().unwrap();
         debug_assert!(
-            slot.ledger.last().is_none_or(|&(i, _)| i < iter),
+            slot.ledger.last().is_none_or(|&(i, _, _)| i < iter),
             "ledger for tensor {g} out of order"
         );
-        slot.ledger.push((iter, mean.to_vec()));
+        slot.ledger.push((iter, mean.to_vec(), params_crc(mean)));
     }
 
-    /// Snapshot tensor `g` as of (the end of) `iter`, truncating its ledger.
+    /// Snapshot tensor `g` as of (the end of) `iter`.
+    #[cfg(test)]
     pub(crate) fn checkpoint(&self, g: usize, iter: u64, params: &[f32], opt: &OptState) {
+        self.checkpoint_with(g, iter, params, opt, false);
+    }
+
+    /// [`DurableStore::checkpoint`] with a fault hook: when `poison` is
+    /// set, one bit of the *stored* copy is flipped after its checksum was
+    /// computed — the silent-corruption model of `CheckpointCorrupt`. The
+    /// live tensor is untouched; only the durable generation is damaged,
+    /// and only a verified restore can tell.
+    ///
+    /// After the push, GC trims the tensor back to `retention` generations:
+    /// oldest-first while more than one intact generation remains, then
+    /// corrupted generations, and it stops rather than collect the last
+    /// intact one. The ledger is truncated to the replay tail of the
+    /// oldest retained generation.
+    pub(crate) fn checkpoint_with(
+        &self,
+        g: usize,
+        iter: u64,
+        params: &[f32],
+        opt: &OptState,
+        poison: bool,
+    ) {
         if !self.armed {
             return;
         }
         let mut slot = self.slots[g].lock().unwrap();
-        slot.params.clear();
-        slot.params.extend_from_slice(params);
-        slot.opt = opt.clone();
-        slot.upto = Some(iter);
-        slot.ledger.clear();
+        let crc = params_crc(params);
+        let mut stored = params.to_vec();
+        if poison && !stored.is_empty() {
+            stored[0] = f32::from_bits(stored[0].to_bits() ^ 1);
+        }
+        slot.gens.push(Generation {
+            params: stored,
+            opt: opt.clone(),
+            upto: Some(iter),
+            crc,
+        });
+        while slot.gens.len() > self.retention {
+            let intact = slot.gens.iter().filter(|g| g.intact()).count();
+            if intact > 1 {
+                slot.gens.remove(0);
+            } else if let Some(i) = slot.gens.iter().position(|g| !g.intact()) {
+                slot.gens.remove(i);
+            } else {
+                break;
+            }
+        }
+        if let Some(upto) = slot.gens[0].upto {
+            slot.ledger.retain(|&(i, _, _)| i > upto);
+        }
     }
 
-    /// Rebuild tensor `g`'s state: clone the snapshot, replay the ledger.
-    /// Returns `(params, optimiser, last covered iteration)` along with the
-    /// bytes read back (snapshot + ledger — the recovery cost).
-    pub(crate) fn restore(&self, g: usize) -> (Vec<f32>, OptState, Option<u64>, u64) {
+    /// Rebuild tensor `g`'s state: walk the generations newest-first,
+    /// verifying each snapshot against its checksum and skipping corrupted
+    /// ones (every skipped snapshot is still paid for in bytes — it was
+    /// read before it could be rejected), then clone the newest intact
+    /// generation and replay the ledger entries past it, verifying each
+    /// entry's checksum as it is applied.
+    pub(crate) fn restore(&self, g: usize) -> Restored {
         assert!(self.armed, "restore from a dormant store");
         let slot = self.slots[g].lock().unwrap();
-        let mut params = slot.params.clone();
-        let mut opt = slot.opt.clone();
-        let mut last = slot.upto;
-        let mut bytes = (params.len() * 4) as u64;
-        for (iter, mean) in &slot.ledger {
+        let mut bytes = 0u64;
+        let mut depth = 0u64;
+        let mut chosen = None;
+        for (i, gen) in slot.gens.iter().enumerate().rev() {
+            bytes += (gen.params.len() * 4) as u64;
+            if gen.intact() {
+                chosen = Some(i);
+                break;
+            }
+            depth += 1;
+        }
+        let gen = &slot.gens[chosen.expect("no intact checkpoint generation")];
+        let mut params = gen.params.clone();
+        let mut opt = gen.opt.clone();
+        let mut last = gen.upto;
+        for (iter, mean, crc) in &slot.ledger {
+            if gen.upto.is_some_and(|u| *iter <= u) {
+                continue;
+            }
+            assert_eq!(
+                params_crc(mean),
+                *crc,
+                "corrupt ledger entry for tensor {g} at iteration {iter}"
+            );
             opt.step(&mut params, mean);
             last = Some(*iter);
             bytes += (mean.len() * 4) as u64;
         }
-        (params, opt, last, bytes)
+        Restored {
+            params,
+            opt,
+            upto: last,
+            bytes,
+            depth,
+        }
     }
 }
 
@@ -161,7 +310,7 @@ mod tests {
     /// that identical params alone would hide).
     fn roundtrip(opt_cfg: PsOptimizer, elems: usize, grads: &[Vec<f32>], ckpt_after: usize) {
         let init = vec![vec![0.25f32; elems]];
-        let store = DurableStore::new(true, &init, opt_cfg, 0.1);
+        let store = DurableStore::new(true, &init, opt_cfg, 0.1, 2);
         let mut live_p = init[0].clone();
         let mut live_o = OptState::fresh(opt_cfg, 0.1, elems);
         for (i, g) in grads.iter().enumerate() {
@@ -171,12 +320,14 @@ mod tests {
                 store.checkpoint(0, i as u64, &live_p, &live_o);
             }
         }
-        let (mut rp, mut ro, last, bytes) = store.restore(0);
-        assert!(bytes > 0);
+        let r = store.restore(0);
+        let (mut rp, mut ro) = (r.params, r.opt);
+        assert!(r.bytes > 0);
+        assert_eq!(r.depth, 0);
         if grads.is_empty() {
-            assert_eq!(last, None);
+            assert_eq!(r.upto, None);
         } else {
-            assert_eq!(last, Some(grads.len() as u64 - 1));
+            assert_eq!(r.upto, Some(grads.len() as u64 - 1));
         }
         assert_eq!(
             rp.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
@@ -228,6 +379,7 @@ mod tests {
             &[vec![1.0f32; 4]],
             PsOptimizer::Sgd { momentum: 0.0 },
             0.1,
+            2,
         );
         assert!(!store.armed());
         assert!(store.slots.is_empty());
@@ -243,13 +395,14 @@ mod tests {
             &[vec![1.0f32; 4]],
             PsOptimizer::Sgd { momentum: 0.0 },
             0.1,
+            2,
         );
         let _ = store.restore(0);
     }
 
     #[test]
     fn checkpoint_truncates_the_ledger() {
-        let store = DurableStore::new(true, &[vec![0.0f32; 2]], PsOptimizer::Adam, 0.05);
+        let store = DurableStore::new(true, &[vec![0.0f32; 2]], PsOptimizer::Adam, 0.05, 2);
         let mut p = vec![0.0f32; 2];
         let mut o = OptState::fresh(PsOptimizer::Adam, 0.05, 2);
         for i in 0..4u64 {
@@ -258,10 +411,81 @@ mod tests {
             store.note_update(0, i, &g);
         }
         store.checkpoint(0, 3, &p, &o);
-        // Post-checkpoint restore replays nothing: bytes = snapshot only.
-        let (rp, _, last, bytes) = store.restore(0);
-        assert_eq!(last, Some(3));
-        assert_eq!(bytes, 8);
-        assert_eq!(rp, p);
+        // Post-checkpoint restore replays nothing: bytes = newest snapshot.
+        let r = store.restore(0);
+        assert_eq!(r.upto, Some(3));
+        assert_eq!(r.bytes, 8);
+        assert_eq!(r.depth, 0);
+        assert_eq!(r.params, p);
+    }
+
+    /// A poisoned newest snapshot must be detected and skipped: the
+    /// restore pays for reading it, reports the fallback depth, and still
+    /// reproduces the live state bit-exactly from the older generation
+    /// plus a longer ledger replay.
+    #[test]
+    fn restore_falls_back_past_a_corrupted_snapshot() {
+        let elems = 3;
+        let store = DurableStore::new(true, &[vec![0.5f32; elems]], PsOptimizer::Adam, 0.1, 3);
+        let mut p = vec![0.5f32; elems];
+        let mut o = OptState::fresh(PsOptimizer::Adam, 0.1, elems);
+        for i in 0..6u64 {
+            let g = vec![0.25f32 * (i as f32 + 1.0); elems];
+            o.step(&mut p, &g);
+            store.note_update(0, i, &g);
+            if i == 1 {
+                store.checkpoint(0, i, &p, &o);
+            }
+            if i == 4 {
+                store.checkpoint_with(0, i, &p, &o, true); // poisoned
+            }
+        }
+        let r = store.restore(0);
+        assert_eq!(r.depth, 1, "must have skipped the poisoned newest gen");
+        assert_eq!(r.upto, Some(5));
+        // Cost: poisoned snapshot read + intact snapshot read + replay of
+        // iterations 2..=5 (4 entries).
+        assert_eq!(r.bytes, (elems * 4 * 2 + elems * 4 * 4) as u64);
+        assert_eq!(
+            r.params.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            p.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "fallback restore diverged from live state"
+        );
+    }
+
+    /// With retention 1 and every new snapshot poisoned, GC must collect
+    /// the poisoned newcomers — never the lone intact generation — and a
+    /// later clean checkpoint finally displaces it.
+    #[test]
+    fn gc_never_collects_the_only_intact_generation() {
+        let store = DurableStore::new(true, &[vec![1.0f32; 2]], PsOptimizer::Adam, 0.1, 1);
+        let mut p = vec![1.0f32; 2];
+        let mut o = OptState::fresh(PsOptimizer::Adam, 0.1, 2);
+        for i in 0..4u64 {
+            let g = vec![0.5f32; 2];
+            o.step(&mut p, &g);
+            store.note_update(0, i, &g);
+            store.checkpoint_with(0, i, &p, &o, true); // always poisoned
+        }
+        {
+            let slot = store.slots[0].lock().unwrap();
+            assert_eq!(slot.gens.len(), 1, "retention 1 must hold");
+            assert!(slot.gens[0].intact(), "GC collected the intact gen");
+            assert_eq!(slot.gens[0].upto, None, "the initial gen must survive");
+            assert_eq!(slot.ledger.len(), 4, "full replay tail must survive");
+        }
+        // Recovery is still bit-exact from the initial gen + full replay.
+        let r = store.restore(0);
+        assert_eq!(r.depth, 0, "poisoned gens were GC'd, not walked");
+        assert_eq!(
+            r.params.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            p.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        );
+        // A clean checkpoint finally displaces the initial generation.
+        store.checkpoint(0, 3, &p, &o);
+        let slot = store.slots[0].lock().unwrap();
+        assert_eq!(slot.gens.len(), 1);
+        assert_eq!(slot.gens[0].upto, Some(3));
+        assert!(slot.ledger.is_empty(), "ledger truncated to the new gen");
     }
 }

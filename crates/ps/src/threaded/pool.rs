@@ -81,6 +81,15 @@ impl ArenaPool {
             }
         }
     }
+
+    /// Checkout pre-filled with a copy of `src` — the corruption
+    /// injector's scratch: it tampers a pooled *copy* of a payload so the
+    /// clean arena slice stays untouched for a bit-exact retransmit.
+    pub fn checkout_from(&mut self, src: &[u8]) -> BytesMut {
+        let mut m = self.checkout(src.len());
+        m.extend_from_slice(src);
+        m
+    }
 }
 
 #[cfg(test)]

@@ -64,7 +64,9 @@
 
 use super::checkpoint::{DurableStore, OptState};
 use super::pool::ArenaPool;
-use super::wire::{accumulate_f32_le, encode_f32_into, Ack, ToPs, ToWorker};
+use super::wire::{
+    accumulate_f32_le, acks_checksum, encode_f32_into, Ack, FrameHeader, ToPs, ToWorker,
+};
 use bytes::{Bytes, BytesMut};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use prophet_core::{CommScheduler, Dir, SchedulerKind, ShardMap};
@@ -144,6 +146,12 @@ pub struct ThreadedConfig {
     /// Only consulted when the fault plan kills a shard permanently (the
     /// store stays dormant otherwise — see [`FaultPlan::has_shard_fail`]).
     pub checkpoint_period: u64,
+    /// Verified snapshot generations the durable store retains per tensor
+    /// (its GC horizon). A `CheckpointCorrupt` fault can poison the newest
+    /// generation, so restores fall back to older ones; GC keeps the last
+    /// `checkpoint_retention` — never collecting the only intact one — and
+    /// collects the rest. Must be ≥ 1.
+    pub checkpoint_retention: usize,
 }
 
 impl ThreadedConfig {
@@ -167,6 +175,7 @@ impl ThreadedConfig {
             fault_plan: FaultPlan::empty(),
             retry: RetryPolicy::paper_default(),
             checkpoint_period: 4,
+            checkpoint_retention: 2,
         }
     }
 }
@@ -213,6 +222,20 @@ pub struct ThreadedResult {
     /// Bytes read back from the durable store (snapshot + ledger replay)
     /// to re-home tensors off permanently failed shards.
     pub restore_bytes: u64,
+    /// Frames rejected by a receiver's verify: CRC/length mismatches on
+    /// push, pull, and ack frames, summed across workers and shards
+    /// (`PayloadCorrupt` detections).
+    pub corrupt_frames_detected: u64,
+    /// Push slices quarantined by the shards' NaN/Inf gradient guard (the
+    /// payload passed its CRC but carried non-finite values).
+    pub nan_quarantined: u64,
+    /// Payload bytes retransmitted in response to [`ToWorker::PushNack`]
+    /// (targeted per-slice retransmits, re-sliced from the clean arena).
+    pub nack_retransmit_bytes: u64,
+    /// Restores that fell back past ≥ 1 corrupted snapshot generation.
+    pub restore_fallbacks: u64,
+    /// Total corrupted generations skipped across all fallback restores.
+    pub fallback_depth: u64,
 }
 
 /// One scheduled link fault window, in nanoseconds since run start.
@@ -712,6 +735,135 @@ impl WorkerFaults {
     }
 }
 
+/// Styles of in-flight damage the corruption injector inflicts.
+#[derive(Clone, Copy)]
+enum Tamper {
+    /// Flip one bit of one payload byte — caught by the CRC verify.
+    BitFlip,
+    /// Drop the last four bytes — caught by the length check.
+    Truncate,
+    /// Overwrite one `f32` with NaN and re-frame over the tampered bytes:
+    /// models corruption *before* checksumming (bad DMA, bad host RAM),
+    /// which only the shard's NaN/Inf gradient guard can catch.
+    NanPoison,
+}
+
+/// Per-node view of the plan's `PayloadCorrupt` windows. Draws whether an
+/// outgoing data frame is damaged in flight and applies the damage to a
+/// pooled *copy*, leaving the clean source bytes untouched — a NACKed
+/// slice retransmits bit-exactly from the original arena window.
+///
+/// Like the loss doom draws, corruption draws come from a dedicated
+/// substream of the plan seed (tagged by topology node), so adding a
+/// corruption window never perturbs any other random stream.
+struct CorruptInjector {
+    /// `(start_ns, end_ns, rate)` corruption windows.
+    windows: Vec<(u64, u64, f64)>,
+    rng: Xoshiro256StarStar,
+}
+
+impl CorruptInjector {
+    fn new(plan: &FaultPlan, node: u64) -> Self {
+        let windows = plan
+            .faults
+            .iter()
+            .filter_map(|f| match *f {
+                FaultSpec::PayloadCorrupt { rate, at, dur } => {
+                    Some((at.as_nanos(), (at + dur).as_nanos(), rate))
+                }
+                _ => None,
+            })
+            .collect();
+        CorruptInjector {
+            windows,
+            rng: Xoshiro256StarStar::new(plan.seed ^ 0xB17F_11B5).substream(node),
+        }
+    }
+
+    /// Bernoulli corruption draw for a data frame sent now, and the style
+    /// of damage if drawn. `nan_ok` admits [`Tamper::NanPoison`]: NaN
+    /// poisoning models a gradient-value hazard, so only push payloads
+    /// draw it — pulls and acks damage the frame, never the semantics.
+    fn draw(&mut self, start: Instant, nan_ok: bool) -> Option<Tamper> {
+        if self.windows.is_empty() {
+            return None;
+        }
+        let now_ns = start.elapsed().as_nanos() as u64;
+        let rate = self
+            .windows
+            .iter()
+            .filter(|&&(s, e, _)| s <= now_ns && now_ns < e)
+            .map(|&(_, _, r)| r)
+            .fold(0.0_f64, f64::max);
+        if rate <= 0.0 || self.rng.next_f64() >= rate {
+            return None;
+        }
+        let styles: &[Tamper] = if nan_ok {
+            &[Tamper::BitFlip, Tamper::Truncate, Tamper::NanPoison]
+        } else {
+            &[Tamper::BitFlip, Tamper::Truncate]
+        };
+        Some(styles[(self.rng.next_u64() % styles.len() as u64) as usize])
+    }
+
+    /// Damage a pooled copy of `clean` per `style`, returning the wire
+    /// bytes to send and the frame header the receiver will verify them
+    /// against. For flips and truncation the header describes the clean
+    /// payload (in-flight damage: the receiver's verify fails); for NaN
+    /// poison it is recomputed over the tampered bytes (pre-checksum
+    /// damage: the CRC passes and only the NaN guard can object).
+    fn tamper(
+        &mut self,
+        style: Tamper,
+        clean: &Bytes,
+        pool: &mut ArenaPool,
+    ) -> (Bytes, FrameHeader) {
+        let frame = FrameHeader::for_payload(clean);
+        let mut copy = pool.checkout_from(clean);
+        if copy.is_empty() {
+            return (copy.freeze(), frame);
+        }
+        match style {
+            Tamper::BitFlip => {
+                let i = (self.rng.next_u64() % copy.len() as u64) as usize;
+                let bit = self.rng.next_u64() % 8;
+                copy[i] ^= 1u8 << bit;
+                (copy.freeze(), frame)
+            }
+            Tamper::Truncate => {
+                let keep = copy.len().saturating_sub(4);
+                copy.truncate(keep);
+                (copy.freeze(), frame)
+            }
+            Tamper::NanPoison => {
+                let slot = (self.rng.next_u64() % (copy.len() / 4) as u64) as usize * 4;
+                copy[slot..slot + 4].copy_from_slice(&f32::NAN.to_le_bytes());
+                let frame = FrameHeader::for_payload(&copy);
+                (copy.freeze(), frame)
+            }
+        }
+    }
+}
+
+/// Frame one outgoing data payload: draw against the corruption windows,
+/// tamper a pooled copy if drawn, and return `(wire bytes, header)`. The
+/// clean source `Bytes` stays pristine for any later retransmission.
+fn frame_payload(
+    corrupt: &mut CorruptInjector,
+    pool: &mut ArenaPool,
+    start: Instant,
+    nan_ok: bool,
+    clean: Bytes,
+) -> (Bytes, FrameHeader) {
+    match corrupt.draw(start, nan_ok) {
+        Some(style) => corrupt.tamper(style, &clean, pool),
+        None => {
+            let frame = FrameHeader::for_payload(&clean);
+            (clean, frame)
+        }
+    }
+}
+
 /// What a worker thread hands back at join.
 struct WorkerOut {
     /// Per-iteration losses for iterations `from..from + losses.len()`.
@@ -723,6 +875,11 @@ struct WorkerOut {
     events: Vec<TimedEvent>,
     arena_allocs: u64,
     arena_recycles: u64,
+    /// Frames this worker rejected: corrupt pull payloads + corrupt ack
+    /// batches.
+    corrupt_frames: u64,
+    /// Bytes retransmitted in response to shard NACKs.
+    nack_bytes: u64,
 }
 
 /// What a shard thread hands back at join.
@@ -736,6 +893,14 @@ struct ShardOut {
     pull_recycles: u64,
     ack_batches: u64,
     restore_bytes: u64,
+    /// Push frames this shard rejected at the CRC/length verify.
+    corrupt_frames: u64,
+    /// Push frames this shard quarantined at the NaN/Inf guard.
+    nan_quarantined: u64,
+    /// Restores that fell back past a corrupted newest generation.
+    restore_fallbacks: u64,
+    /// Corrupted generations skipped across those fallbacks.
+    fallback_depth: u64,
 }
 
 /// Run BSP data-parallel training per `cfg` and return the outcome.
@@ -748,6 +913,10 @@ pub fn run_threaded_training(cfg: &ThreadedConfig) -> ThreadedResult {
     assert!(cfg.workers >= 1);
     assert!(cfg.ps_shards >= 1, "need at least one PS shard");
     assert!(cfg.checkpoint_period >= 1, "checkpoint period must be >= 1");
+    assert!(
+        cfg.checkpoint_retention >= 1,
+        "checkpoint retention must be >= 1"
+    );
     assert!(
         cfg.global_batch % cfg.workers == 0,
         "global batch {} not divisible by {} workers",
@@ -795,7 +964,13 @@ pub fn run_threaded_training(cfg: &ThreadedConfig) -> ThreadedResult {
     } else {
         Vec::new()
     };
-    let store = Arc::new(DurableStore::new(armed, &store_init, cfg.optimizer, cfg.lr));
+    let store = Arc::new(DurableStore::new(
+        armed,
+        &store_init,
+        cfg.optimizer,
+        cfg.lr,
+        cfg.checkpoint_retention,
+    ));
 
     // Channels: one worker→shard channel per shard, one shard→worker
     // channel per worker (every shard holds a sender clone; joiners get a
@@ -917,6 +1092,11 @@ pub fn run_threaded_training(cfg: &ThreadedConfig) -> ThreadedResult {
     let mut arena_recycles = 0u64;
     let mut ack_batches = 0u64;
     let mut restore_bytes = 0u64;
+    let mut corrupt_frames_detected = 0u64;
+    let mut nan_quarantined = 0u64;
+    let mut nack_retransmit_bytes = 0u64;
+    let mut restore_fallbacks = 0u64;
+    let mut fallback_depth = 0u64;
     let mut events: Vec<TimedEvent> = Vec::new();
     for h in handles {
         let out = h.join().expect("worker panicked");
@@ -928,6 +1108,8 @@ pub fn run_threaded_training(cfg: &ThreadedConfig) -> ThreadedResult {
         messages_lost += out.messages_lost;
         arena_allocs += out.arena_allocs;
         arena_recycles += out.arena_recycles;
+        corrupt_frames_detected += out.corrupt_frames;
+        nack_retransmit_bytes += out.nack_bytes;
         events.extend(out.events);
     }
     let mut final_params: Vec<Vec<f32>> = vec![Vec::new(); n_tensors];
@@ -941,6 +1123,10 @@ pub fn run_threaded_training(cfg: &ThreadedConfig) -> ThreadedResult {
         arena_recycles += out.pull_recycles;
         ack_batches += out.ack_batches;
         restore_bytes += out.restore_bytes;
+        corrupt_frames_detected += out.corrupt_frames;
+        nan_quarantined += out.nan_quarantined;
+        restore_fallbacks += out.restore_fallbacks;
+        fallback_depth += out.fallback_depth;
         events.extend(out.events);
     }
     for (g, p) in final_params.iter().enumerate() {
@@ -980,6 +1166,11 @@ pub fn run_threaded_training(cfg: &ThreadedConfig) -> ThreadedResult {
         ack_batches,
         membership_epochs: clock.epochs_opened(),
         restore_bytes,
+        corrupt_frames_detected,
+        nan_quarantined,
+        nack_retransmit_bytes,
+        restore_fallbacks,
+        fallback_depth,
     }
 }
 
@@ -1009,31 +1200,13 @@ struct GradAgg {
 struct PullCache {
     wire: Option<Bytes>,
     spare: Option<BytesMut>,
+    /// The last served window's `(offset_elems, len_elems)` frame header:
+    /// in steady state every worker pulls the same whole-tensor window, so
+    /// the reply checksum is computed once per update, not once per pull.
+    frame: Option<(usize, usize, FrameHeader)>,
 }
 
 const ACK_FLUSH_CAP: usize = 64;
-
-fn flush_acks(
-    pending: &mut [Vec<Ack>],
-    pending_total: &mut usize,
-    batches: &mut u64,
-    worker_txs: &[Sender<ToWorker>],
-) {
-    if *pending_total == 0 {
-        return;
-    }
-    for (w, acks) in pending.iter_mut().enumerate() {
-        if acks.is_empty() {
-            continue;
-        }
-        *batches += 1;
-        // A worker that already exited only misses acks it no longer needs.
-        let _ = worker_txs[w].send(ToWorker::PushAcks {
-            acks: std::mem::take(acks),
-        });
-    }
-    *pending_total = 0;
-}
 
 /// A pull request waiting for its tensor to reach `min_done` (a joiner's
 /// bootstrap pull racing the barriers it depends on).
@@ -1098,6 +1271,25 @@ struct ShardRt {
     pull_allocs: u64,
     pull_recycles: u64,
     restore_bytes: u64,
+    /// This shard's corruption injector (node id `s`): damages outgoing
+    /// pull replies and ack batches per the plan's `PayloadCorrupt`
+    /// windows.
+    corrupt: CorruptInjector,
+    /// Scratch pool for tampered payload copies (the cached pull encoding
+    /// must stay clean for the retransmission to serve from).
+    tamper_pool: ArenaPool,
+    corrupt_frames: u64,
+    nan_quarantined: u64,
+    /// NaN/Inf gradient guard, armed only under a corruption plan — a
+    /// legitimately diverging model must not loop forever in quarantine.
+    nan_guard: bool,
+    /// First iteration boundary whose snapshot write this shard corrupts
+    /// (`CheckpointCorrupt`), if the plan schedules one.
+    ckpt_corrupt_at: Option<u64>,
+    /// The one-shot corruption already happened.
+    ckpt_corrupt_done: bool,
+    restore_fallbacks: u64,
+    fallback_depth: u64,
     cur_epoch: u64,
     restart_pending: Option<u64>,
     /// `(iter, barriers closed at iter)` — BSP admits pushes for `iter+1`
@@ -1155,13 +1347,26 @@ impl ShardRt {
             .map(|_| PullCache {
                 wire: None,
                 spare: None,
+                frame: None,
             })
             .collect();
         let restart_pending = cfg.ps_restart_at_iter;
+        let corrupt = CorruptInjector::new(&cfg.fault_plan, s as u64);
+        let nan_guard = cfg.fault_plan.has_corruption();
+        let ckpt_corrupt_at = cfg.fault_plan.checkpoint_corrupt_at(s);
         ShardRt {
             s,
             pending: vec![Vec::new(); mem.total_workers],
             left: vec![false; mem.total_workers],
+            corrupt,
+            tamper_pool: ArenaPool::new(),
+            corrupt_frames: 0,
+            nan_quarantined: 0,
+            nan_guard,
+            ckpt_corrupt_at,
+            ckpt_corrupt_done: false,
+            restore_fallbacks: 0,
+            fallback_depth: 0,
             cfg,
             mem,
             clock,
@@ -1224,12 +1429,23 @@ impl ShardRt {
             return;
         }
         let g = self.ever[l];
-        let (p, o, last, bytes) = self.store.restore(g);
-        self.params[l] = p;
-        self.opts[l] = Some(o);
-        self.done_iter[l] = last;
+        let r = self.store.restore(g);
+        self.params[l] = r.params;
+        self.opts[l] = Some(r.opt);
+        self.done_iter[l] = r.upto;
         self.restored[l] = true;
-        self.restore_bytes += bytes;
+        self.restore_bytes += r.bytes;
+        if r.depth > 0 {
+            // The newest snapshot generation(s) failed verification; we
+            // fell back to an older intact one and replayed a longer
+            // ledger suffix.
+            self.restore_fallbacks += 1;
+            self.fallback_depth += r.depth;
+            self.tlog.emit(TraceEvent::RestoreFallback {
+                shard: self.adopted_from[l],
+                depth: r.depth,
+            });
+        }
         self.tlog.emit(TraceEvent::Rehome {
             grad: g,
             from: self.adopted_from[l],
@@ -1277,6 +1493,7 @@ impl ShardRt {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn on_push(
         &mut self,
         worker: usize,
@@ -1285,6 +1502,7 @@ impl ShardRt {
         offset_elems: usize,
         data: Bytes,
         epoch: u64,
+        frame: FrameHeader,
     ) {
         if self.restart_pending.is_some_and(|k| iter >= k) {
             // Legacy iteration-triggered restart: instant comeback. The
@@ -1299,7 +1517,11 @@ impl ShardRt {
         }
         let l = self.local(grad);
         let size = self.tensor_elems[grad];
-        let len_elems = data.len() / 4;
+        // Identify the slice by what the sender SAID it sent (the header),
+        // not by what arrived: a truncated payload must ack/nack the
+        // ledger entry the sender is tracking, or the retry path can never
+        // match it up.
+        let len_elems = frame.len as usize / 4;
         let ack = Ack {
             iter,
             grad,
@@ -1308,7 +1530,9 @@ impl ShardRt {
             epoch,
         };
         if self.done_iter[l].is_some_and(|d| d >= iter) {
-            // Late duplicate of a completed barrier: re-ack only.
+            // Late duplicate of a completed barrier: re-ack only, without
+            // verifying — the barrier already folded an intact copy, so a
+            // nack here could trigger a retry into a closed iteration.
             self.pending[worker].push(ack);
             self.pending_total += 1;
             return;
@@ -1320,6 +1544,33 @@ impl ShardRt {
             "push for (iter {iter}, grad {grad}) reached shard {} after its death",
             self.s
         );
+        if !frame.verify(&data) {
+            // Checksum or length mismatch: the payload was damaged in
+            // flight. Nack the slice; the worker retransmits from its
+            // clean arena. Nothing corrupt is ever staged.
+            self.corrupt_frames += 1;
+            self.tlog.emit(TraceEvent::FrameCorrupt {
+                node: self.s,
+                bytes: frame.len as u64,
+                data: true,
+            });
+            let _ = self.worker_txs[worker].send(ToWorker::PushNack { nack: ack });
+            return;
+        }
+        if self.nan_guard
+            && data
+                .chunks_exact(4)
+                .any(|c| !f32::from_le_bytes(c.try_into().unwrap()).is_finite())
+        {
+            // The frame checksummed clean but carries non-finite values:
+            // memory corruption upstream of checksumming. Quarantine the
+            // push and recover through the same nack/retransmit path.
+            self.nan_quarantined += 1;
+            self.tlog
+                .emit(TraceEvent::GradQuarantined { worker, iter, grad });
+            let _ = self.worker_txs[worker].send(ToWorker::PushNack { nack: ack });
+            return;
+        }
         self.ensure_restored(l);
         let slot = &mut self.slots[l];
         if !slot.active {
@@ -1404,6 +1655,7 @@ impl ShardRt {
         self.store.note_update(g, iter, acc);
         self.done_iter[l] = Some(iter);
         // The cached pull encoding is stale; reclaim its storage.
+        self.pull[l].frame = None;
         if let Some(b) = self.pull[l].wire.take() {
             if let Ok(m) = b.try_into_mut() {
                 self.pull[l].spare = Some(m);
@@ -1412,8 +1664,18 @@ impl ShardRt {
         self.tlog.emit(TraceEvent::Barrier { iter, grad: g });
         let checkpoint_due = self.store.armed() && (iter + 1) % self.cfg.checkpoint_period == 0;
         if checkpoint_due {
-            self.store
-                .checkpoint(g, iter, &self.params[l], self.opts[l].as_ref().unwrap());
+            // A scheduled CheckpointCorrupt poisons every snapshot written
+            // in the first cadence round at-or-after its iteration (the
+            // whole generation is damaged, matching the sim's model).
+            let poison =
+                !self.ckpt_corrupt_done && self.ckpt_corrupt_at.is_some_and(|k| iter + 1 >= k);
+            self.store.checkpoint_with(
+                g,
+                iter,
+                &self.params[l],
+                self.opts[l].as_ref().unwrap(),
+                poison,
+            );
         }
         // Iteration-close bookkeeping.
         if self.iter_done.0 == iter {
@@ -1423,6 +1685,11 @@ impl ShardRt {
         }
         if self.iter_done.1 == self.owned_count_at(iter) {
             if checkpoint_due {
+                if !self.ckpt_corrupt_done && self.ckpt_corrupt_at.is_some_and(|k| iter + 1 >= k) {
+                    // The corruption fired for every tensor of this
+                    // cadence round; it is one-shot.
+                    self.ckpt_corrupt_done = true;
+                }
                 self.tlog.emit(TraceEvent::Checkpoint {
                     shard: self.s,
                     iter,
@@ -1530,15 +1797,62 @@ impl ShardRt {
             encode_f32_into(&self.params[l], &mut buf);
             self.pull[l].wire = Some(buf.freeze());
         }
-        let wire = self.pull[l].wire.as_ref().unwrap();
-        let data = wire.slice(offset_elems * 4..(offset_elems + len_elems) * 4);
+        let clean = {
+            let wire = self.pull[l].wire.as_ref().unwrap();
+            wire.slice(offset_elems * 4..(offset_elems + len_elems) * 4)
+        };
+        // Pull replies can be bit-flipped or truncated in flight but never
+        // NaN-poisoned: parameters travel checksummed, so memory-corrupt
+        // values would be caught as a frame mismatch anyway and the guard
+        // lives on the push path.
+        let (data, frame) = match self.corrupt.draw(self.start, false) {
+            Some(style) => self.corrupt.tamper(style, &clean, &mut self.tamper_pool),
+            None => {
+                let frame = match self.pull[l].frame {
+                    Some((o, n, f)) if (o, n) == (offset_elems, len_elems) => f,
+                    _ => {
+                        let f = FrameHeader::for_payload(&clean);
+                        self.pull[l].frame = Some((offset_elems, len_elems, f));
+                        f
+                    }
+                };
+                (clean, frame)
+            }
+        };
         self.worker_txs[worker]
             .send(ToWorker::PullData {
                 grad,
                 offset_elems,
                 data,
+                frame,
             })
             .expect("worker hung up mid-pull");
+    }
+
+    /// Flush the coalesced ack batches, one [`ToWorker::PushAcks`] per
+    /// worker with pending acks, each carrying a batch checksum. The
+    /// corruption injector may damage the checksum in flight; the worker
+    /// detects the mismatch and extends its retry deadlines instead of
+    /// trusting the batch.
+    fn flush_acks(&mut self) {
+        if self.pending_total == 0 {
+            return;
+        }
+        for w in 0..self.pending.len() {
+            if self.pending[w].is_empty() {
+                continue;
+            }
+            self.ack_batches += 1;
+            let acks = std::mem::take(&mut self.pending[w]);
+            let mut crc = acks_checksum(&acks);
+            if self.corrupt.draw(self.start, false).is_some() {
+                crc ^= 0xA5A5_A5A5;
+            }
+            // A worker that already exited only misses acks it no longer
+            // needs.
+            let _ = self.worker_txs[w].send(ToWorker::PushAcks { acks, crc });
+        }
+        self.pending_total = 0;
     }
 
     /// The serve loop: drain the inbox, apply each message, sweep for
@@ -1571,12 +1885,7 @@ impl ShardRt {
             let msg = match rx.try_recv() {
                 Ok(m) => Some(m),
                 Err(TryRecvError::Empty) => {
-                    flush_acks(
-                        &mut self.pending,
-                        &mut self.pending_total,
-                        &mut self.ack_batches,
-                        &self.worker_txs,
-                    );
+                    self.flush_acks();
                     if next_crash < crashes.len() {
                         match rx.recv_timeout(StdDuration::from_millis(1)) {
                             Ok(m) => Some(m),
@@ -1608,7 +1917,8 @@ impl ShardRt {
                     offset_elems,
                     data,
                     epoch,
-                } => self.on_push(worker, iter, grad, offset_elems, data, epoch),
+                    frame,
+                } => self.on_push(worker, iter, grad, offset_elems, data, epoch, frame),
                 ToPs::PullReq {
                     worker,
                     grad,
@@ -1620,22 +1930,12 @@ impl ShardRt {
             }
             self.sweep();
             if self.pending_total >= ACK_FLUSH_CAP {
-                flush_acks(
-                    &mut self.pending,
-                    &mut self.pending_total,
-                    &mut self.ack_batches,
-                    &self.worker_txs,
-                );
+                self.flush_acks();
             }
         }
         // Workers are gone; remaining acks are moot but flushed for the
         // count.
-        flush_acks(
-            &mut self.pending,
-            &mut self.pending_total,
-            &mut self.ack_batches,
-            &self.worker_txs,
-        );
+        self.flush_acks();
         assert!(
             self.deferred.is_empty(),
             "shard {} exited with {} unserved deferred pull(s)",
@@ -1660,6 +1960,10 @@ impl ShardRt {
             pull_recycles: self.pull_recycles,
             ack_batches: self.ack_batches,
             restore_bytes: self.restore_bytes,
+            corrupt_frames: self.corrupt_frames,
+            nan_quarantined: self.nan_quarantined,
+            restore_fallbacks: self.restore_fallbacks,
+            fallback_depth: self.fallback_depth,
         }
     }
 }
@@ -1685,9 +1989,12 @@ struct DriveCtx<'a> {
 /// Send one push slice: pay the link, doom-draw against the loss windows,
 /// transmit (unless doomed), and register the slice in the ack ledger.
 /// The payload is a zero-copy window of the iteration arena.
+#[allow(clippy::too_many_arguments)]
 fn send_push_slice(
     ctx: &DriveCtx<'_>,
     faults: &mut WorkerFaults,
+    corrupt: &mut CorruptInjector,
+    pool: &mut ArenaPool,
     limiter: &mut RateLimiter,
     bytes_pushed: &mut u64,
     grad: usize,
@@ -1703,14 +2010,17 @@ fn send_push_slice(
         faults.messages_lost += 1;
     } else {
         let lo = ctx.grad_off[grad] + offset_elems * 4;
+        let clean = ctx.arena.slice(lo..lo + len_elems * 4);
+        let (data, frame) = frame_payload(corrupt, pool, ctx.epoch, true, clean);
         ctx.txs[shard]
             .send(ToPs::Push {
                 worker: ctx.w,
                 iter: ctx.iter,
                 grad,
                 offset_elems,
-                data: ctx.arena.slice(lo..lo + len_elems * 4),
+                data,
                 epoch,
+                frame,
             })
             .expect("ps shard hung up");
     }
@@ -1730,6 +2040,8 @@ fn drive(
     limiter: &mut RateLimiter,
     bytes_pushed: &mut u64,
     faults: &mut WorkerFaults,
+    corrupt: &mut CorruptInjector,
+    pool: &mut ArenaPool,
     tlog: &mut ThreadLog,
 ) {
     while inflight_pull.is_none() {
@@ -1749,7 +2061,17 @@ fn drive(
                             grad: g,
                         });
                     }
-                    send_push_slice(ctx, faults, limiter, bytes_pushed, g, off, elems);
+                    send_push_slice(
+                        ctx,
+                        faults,
+                        corrupt,
+                        pool,
+                        limiter,
+                        bytes_pushed,
+                        g,
+                        off,
+                        elems,
+                    );
                 }
                 sched.task_done(now_since(ctx.epoch), &task);
             }
@@ -1787,9 +2109,12 @@ fn drive(
 /// one gradient coalesce, as the simulator's message retries do). The next
 /// deadline stretches by the policy's exponential backoff. Payloads are
 /// re-sliced from the iteration arena — retransmission copies nothing.
+#[allow(clippy::too_many_arguments)]
 fn resend_expired(
     ctx: &DriveCtx<'_>,
     faults: &mut WorkerFaults,
+    corrupt: &mut CorruptInjector,
+    pool: &mut ArenaPool,
     attempts: &mut [u32],
     limiter: &mut RateLimiter,
     bytes_pushed: &mut u64,
@@ -1838,14 +2163,17 @@ fn resend_expired(
                 faults.messages_lost += 1;
             } else {
                 let lo = ctx.grad_off[g] + off * 4;
+                let clean = ctx.arena.slice(lo..lo + len * 4);
+                let (data, frame) = frame_payload(corrupt, pool, ctx.epoch, true, clean);
                 ctx.txs[shard]
                     .send(ToPs::Push {
                         worker: ctx.w,
                         iter: ctx.iter,
                         grad: g,
                         offset_elems: off,
-                        data: ctx.arena.slice(lo..lo + len * 4),
+                        data,
                         epoch,
+                        frame,
                     })
                     .expect("ps shard hung up mid-retry");
             }
@@ -1909,6 +2237,8 @@ fn worker_thread(
             events: tlog.into_events(),
             arena_allocs: 0,
             arena_recycles: 0,
+            corrupt_frames: 0,
+            nack_bytes: 0,
         };
     }
     let evicted = !is_joiner
@@ -1925,8 +2255,11 @@ fn worker_thread(
         RateLimiter::windows_for(&cfg.fault_plan, w, shards),
     );
     let mut faults = WorkerFaults::new(w, &cfg.fault_plan, cfg.retry);
+    let mut corrupt = CorruptInjector::new(&cfg.fault_plan, node as u64);
     let mut losses = Vec::with_capacity((my_until - my_from) as usize);
     let mut bytes_pushed = 0u64;
+    let mut corrupt_frames = 0u64;
+    let mut nack_bytes = 0u64;
     let ps_epochs: Vec<Cell<u64>> = (0..shards).map(|_| Cell::new(0)).collect();
 
     if is_joiner {
@@ -1956,11 +2289,28 @@ fn worker_thread(
             match rx.recv().expect("ps hung up during bootstrap") {
                 ToWorker::PullData {
                     grad,
-                    offset_elems,
+                    offset_elems: _,
                     data,
+                    frame,
                 } => {
                     limiter.acquire(data.len() as u64);
-                    model.set_param_slice_le(grad, offset_elems, &data);
+                    if !frame.verify(&data) {
+                        // Damaged bootstrap reply: re-request the whole
+                        // tensor. Counted but not traced — a worker
+                        // outside the membership is silent by contract.
+                        corrupt_frames += 1;
+                        txs[owner[grad]]
+                            .send(ToPs::PullReq {
+                                worker: w,
+                                grad,
+                                offset_elems: 0,
+                                len_elems: tensor_elems[grad],
+                                min_done: Some(my_from - 1),
+                            })
+                            .expect("ps shard hung up at bootstrap");
+                        continue;
+                    }
+                    model.set_param_slice_le(grad, 0, &data);
                     got += 1;
                 }
                 ToWorker::ShardRestarted { shard, epoch: e } => {
@@ -2069,6 +2419,8 @@ fn worker_thread(
                 &mut limiter,
                 &mut bytes_pushed,
                 &mut faults,
+                &mut corrupt,
+                &mut pool,
                 &mut tlog,
             );
         }
@@ -2111,17 +2463,114 @@ fn worker_thread(
                     }
                     sched.param_ready(now_since(epoch), grad);
                 }
-                Some(ToWorker::PushAcks { acks }) => {
-                    for a in &acks {
-                        faults.ack(a.iter, a.grad, a.offset_elems, a.len_elems, a.epoch);
+                Some(ToWorker::PushAcks { acks, crc }) => {
+                    if acks_checksum(&acks) != crc {
+                        // The batch checksum fails: any ack in it may be
+                        // forged, so trust none. The slices it covered are
+                        // either already folded (the barrier's ParamReady
+                        // supersedes them) or will retransmit on timeout —
+                        // extend the deadlines so the timeout path, not a
+                        // blind immediate resend, drives recovery.
+                        corrupt_frames += 1;
+                        tlog.emit(TraceEvent::FrameCorrupt {
+                            node,
+                            bytes: (acks.len() * 40) as u64,
+                            data: false,
+                        });
+                        let now = Instant::now();
+                        let timeout = to_std(faults.retry.timeout);
+                        for u in &mut faults.unacked {
+                            u.deadline = u.deadline.max(now + timeout);
+                        }
+                    } else {
+                        for a in &acks {
+                            faults.ack(a.iter, a.grad, a.offset_elems, a.len_elems, a.epoch);
+                        }
+                    }
+                }
+                Some(ToWorker::PushNack { nack }) => {
+                    // The shard detected a damaged or quarantined push
+                    // slice. Retransmit it from the clean arena — unless
+                    // the nack is stale (previous iteration, or the
+                    // barrier already closed over an intact duplicate) or
+                    // the slice is no longer tracked.
+                    let tracked = faults.unacked.iter().position(|u| {
+                        u.iter == nack.iter
+                            && u.grad == nack.grad
+                            && u.offset_elems == nack.offset_elems
+                            && u.len_elems == nack.len_elems
+                    });
+                    if nack.iter == iter && !param_ready_seen[nack.grad] {
+                        if let Some(i) = tracked {
+                            faults.unacked.swap_remove(i);
+                            let g = nack.grad;
+                            attempts[g] += 1;
+                            tlog.emit(TraceEvent::RetryAttempt {
+                                worker: w,
+                                iter,
+                                grad: g,
+                                attempt: attempts[g],
+                            });
+                            tlog.emit(TraceEvent::PushStart {
+                                worker: w,
+                                iter,
+                                grad: g,
+                            });
+                            nack_bytes += (nack.len_elems * 4) as u64;
+                            send_push_slice(
+                                &ctx,
+                                &mut faults,
+                                &mut corrupt,
+                                &mut pool,
+                                &mut limiter,
+                                &mut bytes_pushed,
+                                g,
+                                nack.offset_elems,
+                                nack.len_elems,
+                            );
+                        }
                     }
                 }
                 Some(ToWorker::PullData {
                     grad,
                     offset_elems,
                     data,
+                    frame,
                 }) => {
                     limiter.acquire(data.len() as u64);
+                    if !frame.verify(&data) {
+                        // Damaged parameter slice: nothing lands in the
+                        // model. Re-request exactly this window; the
+                        // shard's cached encoding serves it bit-exactly.
+                        corrupt_frames += 1;
+                        tlog.emit(TraceEvent::FrameCorrupt {
+                            node,
+                            bytes: frame.len as u64,
+                            data: true,
+                        });
+                        attempts[grad] += 1;
+                        tlog.emit(TraceEvent::RetryAttempt {
+                            worker: w,
+                            iter,
+                            grad,
+                            attempt: attempts[grad],
+                        });
+                        tlog.emit(TraceEvent::PullStart {
+                            worker: w,
+                            iter,
+                            grad,
+                        });
+                        txs[owner[grad]]
+                            .send(ToPs::PullReq {
+                                worker: w,
+                                grad,
+                                offset_elems,
+                                len_elems: frame.len as usize / 4,
+                                min_done: None,
+                            })
+                            .expect("ps shard hung up mid-pull-retry");
+                        continue;
+                    }
                     // Wire bytes land straight in the model's parameter
                     // storage — no staging buffer.
                     model.set_param_slice_le(grad, offset_elems, &data);
@@ -2178,6 +2627,8 @@ fn worker_thread(
                         send_push_slice(
                             &ctx,
                             &mut faults,
+                            &mut corrupt,
+                            &mut pool,
                             &mut limiter,
                             &mut bytes_pushed,
                             g,
@@ -2191,6 +2642,8 @@ fn worker_thread(
                 resend_expired(
                     &ctx,
                     &mut faults,
+                    &mut corrupt,
+                    &mut pool,
                     &mut attempts,
                     &mut limiter,
                     &mut bytes_pushed,
@@ -2206,6 +2659,8 @@ fn worker_thread(
                 &mut limiter,
                 &mut bytes_pushed,
                 &mut faults,
+                &mut corrupt,
+                &mut pool,
                 &mut tlog,
             );
         }
@@ -2233,6 +2688,8 @@ fn worker_thread(
         events: tlog.into_events(),
         arena_allocs: pool.allocated,
         arena_recycles: pool.recycled,
+        corrupt_frames,
+        nack_bytes,
     }
 }
 

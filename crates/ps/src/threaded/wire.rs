@@ -1,7 +1,296 @@
 //! The wire protocol between workers and the PS: `f32` tensors (and slices
-//! of them) serialised little-endian into [`bytes::Bytes`].
+//! of them) serialised little-endian into [`bytes::Bytes`], each payload
+//! framed by a [`FrameHeader`] (length + CRC32) the receiver verifies
+//! before a single byte can reach an accumulator or a parameter buffer.
 
 use bytes::{BufMut, Bytes, BytesMut};
+
+/// CRC-32C (Castagnoli, reflected polynomial `0x82F63B78`) — the checksum
+/// every data frame carries. The polynomial is Castagnoli rather than
+/// IEEE because x86's `crc32` instruction hardwires it: on SSE4.2 hosts
+/// the hot path folds 8 bytes per cycle across four interleaved streams
+/// (the instruction is 3-cycle latency / 1-cycle throughput, so a single
+/// dependent chain runs at a third of the port limit), with lane states
+/// merged through a compile-time "advance by LANE zero bytes" operator
+/// table. Elsewhere it falls back to slicing-by-8 over compile-time
+/// tables — bit-identical output, so goldens never depend on the host.
+/// Keeping verify-on-receive at the port limit is what lets checksumming
+/// stay on unconditionally (the steady-state throughput bound in
+/// EXPERIMENTS.md is measured with it on).
+pub mod crc32 {
+    const POLY: u32 = 0x82F6_3B78;
+
+    const TABLES: [[u32; 256]; 8] = {
+        let mut t = [[0u32; 256]; 8];
+        let mut i = 0;
+        while i < 256 {
+            let mut crc = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ POLY
+                } else {
+                    crc >> 1
+                };
+                k += 1;
+            }
+            t[0][i] = crc;
+            i += 1;
+        }
+        let mut j = 1;
+        while j < 8 {
+            let mut i = 0;
+            while i < 256 {
+                let prev = t[j - 1][i];
+                t[j][i] = (prev >> 8) ^ t[0][(prev & 0xFF) as usize];
+                i += 1;
+            }
+            j += 1;
+        }
+        t
+    };
+
+    /// Bytes per lane in the interleaved hardware kernel. The register
+    /// update is affine in the state — `S(i, d) = L^|d|(i) ^ S(0, d)` —
+    /// so lanes 2..n run from state 0 and merge with [`shift_lane`],
+    /// the precomputed linear operator `L^LANE` (advance by `LANE` zero
+    /// bytes).
+    const LANE: usize = 2048;
+
+    /// `L^LANE` as four 256-entry tables: apply with one lookup per
+    /// state byte. Built by squaring the one-zero-byte operator matrix
+    /// `log2(LANE)` times (zlib's `crc32_combine` construction, fixed
+    /// length, evaluated at compile time).
+    const SHIFT: [[u32; 256]; 4] = {
+        // One zero byte: r -> (r >> 8) ^ T0[r & 0xFF], as a GF(2) matrix
+        // (column i = image of the i-th unit vector).
+        let mut m = [0u32; 32];
+        let mut i = 0;
+        while i < 32 {
+            let r = 1u32 << i;
+            m[i] = (r >> 8) ^ TABLES[0][(r & 0xFF) as usize];
+            i += 1;
+        }
+        // Square log2(LANE) times: m := m ∘ m.
+        let mut sq = 0;
+        let mut lane = LANE;
+        while lane > 1 {
+            sq += 1;
+            lane >>= 1;
+        }
+        let mut s = 0;
+        while s < sq {
+            let mut next = [0u32; 32];
+            let mut i = 0;
+            while i < 32 {
+                // next[i] = m applied to m[i].
+                let mut v = m[i];
+                let mut acc = 0u32;
+                let mut bit = 0;
+                while v != 0 {
+                    if v & 1 != 0 {
+                        acc ^= m[bit];
+                    }
+                    v >>= 1;
+                    bit += 1;
+                }
+                next[i] = acc;
+                i += 1;
+            }
+            m = next;
+            s += 1;
+        }
+        // Expand the matrix into per-byte lookup tables.
+        let mut t = [[0u32; 256]; 4];
+        let mut j = 0;
+        while j < 4 {
+            let mut b = 0;
+            while b < 256 {
+                let mut v = (b as u32) << (8 * j);
+                let mut acc = 0u32;
+                let mut bit = 0;
+                while v != 0 {
+                    if v & 1 != 0 {
+                        acc ^= m[bit];
+                    }
+                    v >>= 1;
+                    bit += 1;
+                }
+                t[j][b] = acc;
+                b += 1;
+            }
+            j += 1;
+        }
+        t
+    };
+
+    /// Advance a register state across `LANE` zero bytes.
+    #[inline]
+    fn shift_lane(crc: u32) -> u32 {
+        SHIFT[0][(crc & 0xFF) as usize]
+            ^ SHIFT[1][((crc >> 8) & 0xFF) as usize]
+            ^ SHIFT[2][((crc >> 16) & 0xFF) as usize]
+            ^ SHIFT[3][(crc >> 24) as usize]
+    }
+
+    fn update_sw(mut crc: u32, bytes: &[u8]) -> u32 {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            crc ^= u32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+            let hi = u32::from_le_bytes([c[4], c[5], c[6], c[7]]);
+            crc = TABLES[7][(crc & 0xFF) as usize]
+                ^ TABLES[6][((crc >> 8) & 0xFF) as usize]
+                ^ TABLES[5][((crc >> 16) & 0xFF) as usize]
+                ^ TABLES[4][(crc >> 24) as usize]
+                ^ TABLES[3][(hi & 0xFF) as usize]
+                ^ TABLES[2][((hi >> 8) & 0xFF) as usize]
+                ^ TABLES[1][((hi >> 16) & 0xFF) as usize]
+                ^ TABLES[0][(hi >> 24) as usize];
+        }
+        for &b in chunks.remainder() {
+            crc = (crc >> 8) ^ TABLES[0][((crc ^ b as u32) & 0xFF) as usize];
+        }
+        crc
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    mod hw {
+        use super::{shift_lane, LANE};
+        use std::arch::x86_64::{_mm_crc32_u64, _mm_crc32_u8};
+
+        #[inline]
+        pub fn available() -> bool {
+            // Caches in an atomic after the first probe.
+            std::arch::is_x86_feature_detected!("sse4.2")
+        }
+
+        #[inline]
+        unsafe fn word(bytes: &[u8], i: usize) -> u64 {
+            u64::from_le_bytes(bytes[i * 8..i * 8 + 8].try_into().unwrap())
+        }
+
+        /// Single dependent chain — small buffers and tails.
+        #[target_feature(enable = "sse4.2")]
+        pub unsafe fn update1(crc: u32, bytes: &[u8]) -> u32 {
+            let mut c = crc as u64;
+            let words = bytes.len() / 8;
+            for i in 0..words {
+                c = _mm_crc32_u64(c, word(bytes, i));
+            }
+            let mut crc = c as u32;
+            for &b in &bytes[words * 8..] {
+                crc = _mm_crc32_u8(crc, b);
+            }
+            crc
+        }
+
+        /// Four interleaved chains over rounds of `4 × LANE` bytes —
+        /// saturates the crc32 port — then the tail single-chain.
+        #[target_feature(enable = "sse4.2")]
+        pub unsafe fn update4(mut crc: u32, mut bytes: &[u8]) -> u32 {
+            while bytes.len() >= 4 * LANE {
+                let (l0, rest) = bytes.split_at(LANE);
+                let (l1, rest) = rest.split_at(LANE);
+                let (l2, l3full) = rest.split_at(LANE);
+                let (mut a, mut b, mut c, mut d) = (crc as u64, 0u64, 0u64, 0u64);
+                for i in 0..LANE / 8 {
+                    a = _mm_crc32_u64(a, word(l0, i));
+                    b = _mm_crc32_u64(b, word(l1, i));
+                    c = _mm_crc32_u64(c, word(l2, i));
+                    d = _mm_crc32_u64(d, word(l3full, i));
+                }
+                let ab = shift_lane(a as u32) ^ b as u32;
+                let abc = shift_lane(ab) ^ c as u32;
+                crc = shift_lane(abc) ^ d as u32;
+                bytes = &bytes[4 * LANE..];
+            }
+            update1(crc, bytes)
+        }
+    }
+
+    /// Fresh streaming state (feed it to [`update`], close with [`finish`]).
+    pub fn begin() -> u32 {
+        !0
+    }
+
+    /// Fold `bytes` into a streaming state from [`begin`].
+    pub fn update(crc: u32, bytes: &[u8]) -> u32 {
+        #[cfg(target_arch = "x86_64")]
+        if hw::available() {
+            return unsafe {
+                if bytes.len() >= 4 * LANE {
+                    hw::update4(crc, bytes)
+                } else {
+                    hw::update1(crc, bytes)
+                }
+            };
+        }
+        update_sw(crc, bytes)
+    }
+
+    /// Close a streaming state into the final checksum.
+    pub fn finish(crc: u32) -> u32 {
+        !crc
+    }
+
+    /// One-shot checksum of `bytes`.
+    pub fn checksum(bytes: &[u8]) -> u32 {
+        finish(update(begin(), bytes))
+    }
+
+    /// The table-based fallback as a one-shot — test hook pinning the
+    /// hardware and software paths to identical output.
+    #[cfg(test)]
+    pub fn checksum_sw(bytes: &[u8]) -> u32 {
+        finish(update_sw(begin(), bytes))
+    }
+}
+
+/// Length + checksum framing for one data payload. The header describes the
+/// payload *as sent*: a receiver whose bytes fail [`FrameHeader::verify`]
+/// saw in-flight corruption (bit flip or truncation) and must discard the
+/// frame unread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Payload length in bytes at send time.
+    pub len: u32,
+    /// CRC32 of the payload at send time.
+    pub crc: u32,
+}
+
+impl FrameHeader {
+    /// Frame a payload for sending.
+    pub fn for_payload(payload: &[u8]) -> Self {
+        FrameHeader {
+            len: payload.len() as u32,
+            crc: crc32::checksum(payload),
+        }
+    }
+
+    /// Does `payload` still match the frame it was sent under?
+    pub fn verify(&self, payload: &[u8]) -> bool {
+        payload.len() as u32 == self.len && crc32::checksum(payload) == self.crc
+    }
+}
+
+/// Checksum of an ack batch: a CRC32 over the canonical little-endian fold
+/// of every ack's fields, allocation-free. A batch whose checksum fails at
+/// the worker is dropped whole — its slices stay in the sender's ack
+/// ledger until the barrier's `ParamReady` (or a timeout resend) clears
+/// them.
+pub fn acks_checksum(acks: &[Ack]) -> u32 {
+    let mut crc = crc32::begin();
+    for a in acks {
+        let mut buf = [0u8; 40];
+        buf[0..8].copy_from_slice(&a.iter.to_le_bytes());
+        buf[8..16].copy_from_slice(&(a.grad as u64).to_le_bytes());
+        buf[16..24].copy_from_slice(&(a.offset_elems as u64).to_le_bytes());
+        buf[24..32].copy_from_slice(&(a.len_elems as u64).to_le_bytes());
+        buf[32..40].copy_from_slice(&a.epoch.to_le_bytes());
+        crc = crc32::update(crc, &buf);
+    }
+    crc32::finish(crc)
+}
 
 /// Serialise an `f32` slice (little-endian, like the real BytePS payloads).
 pub fn encode_f32(values: &[f32]) -> Bytes {
@@ -70,6 +359,11 @@ pub enum ToPs {
         offset_elems: usize,
         /// The payload.
         data: Bytes,
+        /// Length + CRC32 framing computed by the sender over the
+        /// *intended* payload. The shard verifies it before aggregating;
+        /// a mismatch means in-flight corruption and earns the sender a
+        /// [`ToWorker::PushNack`] instead of an ack.
+        frame: FrameHeader,
         /// PS incarnation this push is addressed to. A push carrying a
         /// stale epoch raced a crash-restart and is discarded — the
         /// sender re-pushes after [`ToWorker::ShardRestarted`].
@@ -127,6 +421,19 @@ pub enum ToWorker {
     PushAcks {
         /// The acknowledged slices, in acceptance order.
         acks: Vec<Ack>,
+        /// [`acks_checksum`] over the batch. A worker that computes a
+        /// different value drops the whole batch: the acknowledged slices
+        /// were delivered, so the barrier's `ParamReady` (or, at worst,
+        /// the timeout resend sweep) supersedes the lost control frame.
+        crc: u32,
+    },
+    /// A push slice arrived corrupted (frame verify failed) or carried a
+    /// non-finite gradient value (NaN/Inf guard): the shard quarantined it
+    /// without touching the accumulator. The sender must retransmit the
+    /// named slice from its clean arena copy.
+    PushNack {
+        /// Identity of the rejected slice, same shape as an ack.
+        nack: Ack,
     },
     /// Reply to a [`ToPs::PullReq`].
     PullData {
@@ -136,6 +443,10 @@ pub enum ToWorker {
         offset_elems: usize,
         /// The payload.
         data: Bytes,
+        /// Length + CRC32 framing over the intended payload. A worker
+        /// whose verify fails discards the frame and re-requests the
+        /// slice — corrupted bytes never reach the parameter buffer.
+        frame: FrameHeader,
     },
     /// A PS shard crash-restarted: its aggregation state for in-flight
     /// barriers was lost (parameters and optimiser state persist). On
@@ -225,5 +536,69 @@ mod tests {
     #[should_panic(expected = "payload/accumulator mismatch")]
     fn accumulate_rejects_length_mismatch() {
         accumulate_f32_le(&encode_f32(&[1.0]), &mut [0.0, 0.0]);
+    }
+
+    #[test]
+    fn crc32_matches_the_reference_vector() {
+        // The canonical CRC-32C (Castagnoli) check value.
+        assert_eq!(crc32::checksum(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32::checksum(b""), 0);
+    }
+
+    #[test]
+    fn crc32_hardware_and_software_paths_agree() {
+        // Buffer lengths straddling every kernel boundary: sub-word tails,
+        // the single-chain range, one interleaved round, several rounds
+        // plus a ragged tail. Goldens must not depend on the host CPU.
+        let data: Vec<u8> = (0..64 * 1024u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
+        for len in [0, 1, 7, 8, 9, 63, 2048, 8192, 8193, 40000, 65536] {
+            assert_eq!(
+                crc32::checksum(&data[..len]),
+                crc32::checksum_sw(&data[..len]),
+                "dispatched and table paths disagree at len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn crc32_streaming_equals_one_shot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        for split in [0, 1, 7, 8, 9, 500, 999, 1000] {
+            let mut crc = crc32::begin();
+            crc = crc32::update(crc, &data[..split]);
+            crc = crc32::update(crc, &data[split..]);
+            assert_eq!(crc32::finish(crc), crc32::checksum(&data));
+        }
+    }
+
+    #[test]
+    fn frame_verify_catches_flips_and_truncation() {
+        let payload = encode_f32(&[1.0, -2.5, 3.75]);
+        let frame = FrameHeader::for_payload(&payload);
+        assert!(frame.verify(&payload));
+
+        let mut flipped = payload.to_vec();
+        flipped[5] ^= 0x10;
+        assert!(!frame.verify(&flipped));
+
+        assert!(!frame.verify(&payload[..payload.len() - 4]));
+    }
+
+    #[test]
+    fn ack_batch_checksum_is_order_and_field_sensitive() {
+        let a = Ack {
+            iter: 3,
+            grad: 7,
+            offset_elems: 0,
+            len_elems: 128,
+            epoch: 1,
+        };
+        let b = Ack { grad: 8, ..a };
+        assert_eq!(acks_checksum(&[a, b]), acks_checksum(&[a, b]));
+        assert_ne!(acks_checksum(&[a, b]), acks_checksum(&[b, a]));
+        assert_ne!(acks_checksum(&[a]), acks_checksum(&[b]));
+        assert_ne!(acks_checksum(&[]), acks_checksum(&[a]));
     }
 }

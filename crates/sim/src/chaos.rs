@@ -25,16 +25,17 @@ use crate::rng::Xoshiro256StarStar;
 use crate::time::{Duration, SimTime};
 use std::fmt::Write as _;
 
-/// A bitmask over the eight [`FaultKind`]s, selecting which classes a
+/// A bitmask over the ten [`FaultKind`]s, selecting which classes a
 /// [`ChaosGen`] may sample.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct KindMask(u8);
+pub struct KindMask(u16);
 
 /// Canonical kind order; bit `i` of a [`KindMask`] is `ORDER[i]`. The five
 /// transient kinds keep their historical bits (0..5) so every pre-churn
 /// profile — and the seed-pinned plan-stream goldens — are unchanged; the
-/// permanent membership kinds occupy bits 5..8.
-const ORDER: [FaultKind; 8] = [
+/// permanent membership kinds occupy bits 5..8 and the silent-corruption
+/// kinds bits 8..10.
+const ORDER: [FaultKind; 10] = [
     FaultKind::LinkDown,
     FaultKind::LinkDegrade,
     FaultKind::MsgLoss,
@@ -43,6 +44,8 @@ const ORDER: [FaultKind; 8] = [
     FaultKind::WorkerFail,
     FaultKind::ShardFail,
     FaultKind::WorkerJoin,
+    FaultKind::PayloadCorrupt,
+    FaultKind::CheckpointCorrupt,
 ];
 
 impl KindMask {
@@ -53,12 +56,18 @@ impl KindMask {
     pub const ALL: KindMask = KindMask(0b1_1111);
     /// The permanent membership kinds (`WorkerFail`/`ShardFail`/`WorkerJoin`).
     pub const PERMANENT: KindMask = KindMask(0b1110_0000);
-    /// Transient and permanent kinds together: the churn-profile mask.
+    /// Transient and permanent kinds together: the churn-profile mask
+    /// (kept at its historical eight kinds so churn plan streams replay
+    /// unchanged; silent corruption is opt-in via [`KindMask::CORRUPTION`]).
     pub const EVERYTHING: KindMask = KindMask(0b1111_1111);
+    /// The silent-corruption mask: both corruption kinds plus `ShardFail`,
+    /// so sampled plans exercise the verified-restore fallback path (a
+    /// corrupted snapshot only matters once somebody restores from it).
+    pub const CORRUPTION: KindMask = KindMask(0b11_0100_0000);
     /// No fault class enabled (useful as a builder origin).
     pub const NONE: KindMask = KindMask(0);
 
-    fn bit(kind: FaultKind) -> u8 {
+    fn bit(kind: FaultKind) -> u16 {
         1 << ORDER.iter().position(|&k| k == kind).unwrap()
     }
 
@@ -147,6 +156,20 @@ impl ChaosProfile {
             iters,
         }
     }
+
+    /// The silent-corruption profile: payload and checkpoint corruption
+    /// plus permanent shard failure (so corrupted snapshots actually get
+    /// restored from), against a run of `iters` BSP iterations.
+    pub fn corruption(workers: usize, ps_shards: usize, horizon: Duration, iters: u64) -> Self {
+        ChaosProfile {
+            intensity: 1.0,
+            kinds: KindMask::CORRUPTION,
+            horizon,
+            workers,
+            ps_shards,
+            iters,
+        }
+    }
 }
 
 /// Probability that a sampled fault *bursts*: it reuses the previous fault's
@@ -195,7 +218,12 @@ impl ChaosGen {
             .kinds
             .kinds()
             .into_iter()
-            .filter(|k| !k.is_permanent() || profile.iters >= 2)
+            .filter(|&k| {
+                // Iteration-indexed kinds (the permanent trio plus
+                // CheckpointCorrupt) need at least one boundary to fire at.
+                let iteration_indexed = k.is_permanent() || k == FaultKind::CheckpointCorrupt;
+                !iteration_indexed || profile.iters >= 2
+            })
             .collect();
         if kinds.is_empty() {
             return FaultPlan::empty();
@@ -209,6 +237,7 @@ impl ChaosGen {
         // Survivor bookkeeping for the permanent kinds.
         let mut failed_workers: Vec<usize> = Vec::new();
         let mut failed_shards: Vec<usize> = Vec::new();
+        let mut corrupt_ckpts: Vec<usize> = Vec::new();
         let mut joins: usize = 0;
         for _ in 0..n {
             let at = match prev_at {
@@ -289,6 +318,19 @@ impl ChaosGen {
                     let worker = profile.workers + joins;
                     joins += 1;
                     FaultSpec::WorkerJoin { worker, at_iter }
+                }
+                FaultKind::PayloadCorrupt => FaultSpec::PayloadCorrupt {
+                    rate: self.rng.uniform(0.02, 0.30),
+                    at,
+                    dur,
+                },
+                FaultKind::CheckpointCorrupt => {
+                    let shard = self.rng.next_below(profile.ps_shards as u64) as usize;
+                    if corrupt_ckpts.contains(&shard) {
+                        continue; // a shard's snapshot is corrupted at most once
+                    }
+                    corrupt_ckpts.push(shard);
+                    FaultSpec::CheckpointCorrupt { shard, at_iter }
                 }
             });
         }
@@ -438,9 +480,15 @@ fn halve_window(spec: &FaultSpec) -> Option<FaultSpec> {
             at,
             dur: halved(dur)?,
         },
+        FaultSpec::PayloadCorrupt { rate, at, dur } => FaultSpec::PayloadCorrupt {
+            rate,
+            at,
+            dur: halved(dur)?,
+        },
         FaultSpec::WorkerFail { .. }
         | FaultSpec::ShardFail { .. }
-        | FaultSpec::WorkerJoin { .. } => {
+        | FaultSpec::WorkerJoin { .. }
+        | FaultSpec::CheckpointCorrupt { .. } => {
             return None;
         }
     })
@@ -466,6 +514,13 @@ fn weaken(spec: &FaultSpec) -> Option<FaultSpec> {
             at,
             dur,
         }),
+        FaultSpec::PayloadCorrupt { rate, at, dur } if rate > 0.01 => {
+            Some(FaultSpec::PayloadCorrupt {
+                rate: rate / 2.0,
+                at,
+                dur,
+            })
+        }
         _ => None,
     }
 }
@@ -528,6 +583,15 @@ pub fn plan_to_rust(plan: &FaultPlan) -> String {
             }
             FaultSpec::WorkerJoin { worker, at_iter } => {
                 format!("FaultSpec::WorkerJoin {{ worker: {worker}, at_iter: {at_iter} }}")
+            }
+            FaultSpec::PayloadCorrupt { rate, at, dur } => format!(
+                "FaultSpec::PayloadCorrupt {{ rate: {rate:?}, at: SimTime::from_nanos({}), \
+                 dur: Duration::from_nanos({}) }}",
+                at.as_nanos(),
+                dur.as_nanos()
+            ),
+            FaultSpec::CheckpointCorrupt { shard, at_iter } => {
+                format!("FaultSpec::CheckpointCorrupt {{ shard: {shard}, at_iter: {at_iter} }}")
             }
         };
         let _ = writeln!(out, "        {line},");
@@ -800,6 +864,89 @@ mod tests {
         let plan = a.next_plan(&transient);
         assert!(plan.faults.iter().all(|f| !f.is_permanent()));
         assert!(!plan.has_permanent());
+    }
+
+    #[test]
+    fn corruption_profile_covers_its_kinds_within_constraints() {
+        let p = ChaosProfile::corruption(4, 3, Duration::from_millis(500), 12);
+        let mut gen = ChaosGen::new(17);
+        let mut seen: HashSet<FaultKind> = HashSet::new();
+        for _ in 0..300 {
+            let plan = gen.next_plan(&p);
+            plan.validate(p.workers, p.ps_shards);
+            for f in &plan.faults {
+                seen.insert(f.kind());
+                if let FaultSpec::PayloadCorrupt { rate, .. } = *f {
+                    assert!((0.02..=0.30).contains(&rate), "rate out of range: {f:?}");
+                }
+            }
+        }
+        assert_eq!(
+            seen,
+            HashSet::from([
+                FaultKind::PayloadCorrupt,
+                FaultKind::CheckpointCorrupt,
+                FaultKind::ShardFail,
+            ]),
+            "corruption profile sampled the wrong kinds"
+        );
+    }
+
+    #[test]
+    fn corruption_mask_is_disjoint_from_the_legacy_masks() {
+        // The corruption kinds sit above bit 7, so every pre-corruption
+        // mask value (and therefore every seed-pinned plan stream) is
+        // untouched.
+        assert_eq!(KindMask::CORRUPTION.kinds().len(), 3);
+        assert!(!KindMask::ALL.contains(FaultKind::PayloadCorrupt));
+        assert!(!KindMask::EVERYTHING.contains(FaultKind::PayloadCorrupt));
+        assert!(!KindMask::EVERYTHING.contains(FaultKind::CheckpointCorrupt));
+        assert!(KindMask::CORRUPTION.contains(FaultKind::ShardFail));
+        let round = KindMask::of(&KindMask::CORRUPTION.kinds());
+        assert_eq!(round, KindMask::CORRUPTION);
+    }
+
+    #[test]
+    fn corruption_with_tiny_iteration_horizon_skips_checkpoint_corruption() {
+        // Below 2 iterations the iteration-indexed kinds (ShardFail and
+        // CheckpointCorrupt) have no boundary to fire at; only the windowed
+        // PayloadCorrupt remains eligible.
+        let p = ChaosProfile::corruption(4, 3, Duration::from_millis(500), 1);
+        let mut gen = ChaosGen::new(5);
+        for _ in 0..50 {
+            for f in &gen.next_plan(&p).faults {
+                assert_eq!(f.kind(), FaultKind::PayloadCorrupt, "ineligible: {f:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn shrink_weakens_and_narrows_payload_corruption() {
+        let plan = FaultPlan::new(vec![
+            FaultSpec::PayloadCorrupt {
+                rate: 0.3,
+                at: SimTime::ZERO,
+                dur: Duration::from_millis(64),
+            },
+            FaultSpec::CheckpointCorrupt {
+                shard: 0,
+                at_iter: 4,
+            },
+        ]);
+        let small = shrink(&plan, |p| {
+            p.faults
+                .iter()
+                .any(|f| f.kind() == FaultKind::PayloadCorrupt)
+        });
+        assert_eq!(small.faults.len(), 1);
+        let FaultSpec::PayloadCorrupt { rate, dur, .. } = small.faults[0] else {
+            panic!("kind changed: {small:?}");
+        };
+        assert!(dur < Duration::from_millis(3), "window not narrowed: {dur}");
+        assert!(rate <= 0.01 + 1e-9, "rate not weakened: {rate}");
+        let src = plan_to_rust(&plan);
+        assert!(src.contains("FaultSpec::PayloadCorrupt { rate: 0.3"));
+        assert!(src.contains("FaultSpec::CheckpointCorrupt { shard: 0, at_iter: 4 }"));
     }
 
     #[test]

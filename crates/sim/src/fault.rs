@@ -13,8 +13,12 @@
 //! The taxonomy mirrors the failure classes that break Prophet's
 //! predictability assumption (PAPER.md §3–4): transport loss
 //! ([`FaultSpec::LinkDown`], [`FaultSpec::LinkDegrade`],
-//! [`FaultSpec::MsgLoss`]), server loss ([`FaultSpec::ShardCrash`]) and
-//! compute loss ([`FaultSpec::WorkerStall`]).
+//! [`FaultSpec::MsgLoss`]), server loss ([`FaultSpec::ShardCrash`]),
+//! compute loss ([`FaultSpec::WorkerStall`]) and *silent* data loss
+//! ([`FaultSpec::PayloadCorrupt`], [`FaultSpec::CheckpointCorrupt`]) —
+//! corruption that no channel or process monitor ever reports, which only
+//! end-to-end integrity checks (CRC-framed wire messages, verified
+//! checkpoint generations) can surface.
 //!
 //! # Permanent membership events
 //!
@@ -56,6 +60,12 @@ pub enum FaultKind {
     ShardFail,
     /// A new worker joins the cluster at an iteration boundary.
     WorkerJoin,
+    /// In-flight frames (push, pull, ack) are silently corrupted — bit
+    /// flips, truncation, or NaN-poisoned payloads — within a window.
+    PayloadCorrupt,
+    /// One snapshot generation a shard writes is silently corrupted; the
+    /// damage goes unnoticed until a restore verifies it.
+    CheckpointCorrupt,
 }
 
 impl FaultKind {
@@ -162,6 +172,37 @@ pub enum FaultSpec {
         /// First iteration the worker participates in.
         at_iter: u64,
     },
+    /// During the window each in-flight frame (push, pull, or ack) is
+    /// silently corrupted with probability `rate` — a bit flip, a
+    /// truncation, or a NaN-poisoned payload, drawn from the plan's fault
+    /// RNG. The receiver's integrity checks (CRC32 + length framing + the
+    /// NaN/Inf gradient guard) must detect every corruption and recover via
+    /// NACK-driven targeted retransmission, so the final model stays
+    /// bit-identical to a fault-free run.
+    PayloadCorrupt {
+        /// Per-frame corruption probability in `[0, 1]`.
+        rate: f64,
+        /// When the corrupting window opens.
+        at: SimTime,
+        /// How long the corrupting window lasts.
+        dur: Duration,
+    },
+    /// The first snapshot generation shard `shard` writes at or after
+    /// iteration boundary `at_iter` is silently corrupted. Nothing happens
+    /// at write time — the damage surfaces only if the shard later dies
+    /// permanently and a restore verifies the generation, at which point
+    /// recovery must fall back to the newest *intact* generation and replay
+    /// a longer byte ledger. Inert if the shard never checkpoints after
+    /// `at_iter` or never needs restoring. Iteration-indexed like the
+    /// permanent kinds but **not** a membership event: it neither arms the
+    /// elastic machinery nor opens a wall-clock window.
+    CheckpointCorrupt {
+        /// Shard index in `0..ps_shards` whose snapshot is damaged.
+        shard: usize,
+        /// First iteration boundary whose snapshot write is corrupted
+        /// (`>= 1`).
+        at_iter: u64,
+    },
 }
 
 impl FaultSpec {
@@ -176,6 +217,8 @@ impl FaultSpec {
             FaultSpec::WorkerFail { .. } => FaultKind::WorkerFail,
             FaultSpec::ShardFail { .. } => FaultKind::ShardFail,
             FaultSpec::WorkerJoin { .. } => FaultKind::WorkerJoin,
+            FaultSpec::PayloadCorrupt { .. } => FaultKind::PayloadCorrupt,
+            FaultSpec::CheckpointCorrupt { .. } => FaultKind::CheckpointCorrupt,
         }
     }
 
@@ -185,15 +228,25 @@ impl FaultSpec {
         self.kind().is_permanent()
     }
 
-    /// The iteration boundary a permanent spec fires at; `None` for the
+    /// The iteration boundary an iteration-indexed spec fires at (the
+    /// permanent membership kinds plus `CheckpointCorrupt`); `None` for the
     /// transient window kinds.
     pub fn at_iter(&self) -> Option<u64> {
         match *self {
             FaultSpec::WorkerFail { at_iter, .. }
             | FaultSpec::ShardFail { at_iter, .. }
-            | FaultSpec::WorkerJoin { at_iter, .. } => Some(at_iter),
+            | FaultSpec::WorkerJoin { at_iter, .. }
+            | FaultSpec::CheckpointCorrupt { at_iter, .. } => Some(at_iter),
             _ => None,
         }
+    }
+
+    /// True for the wall-clock-windowed kinds, which runtimes schedule as
+    /// `FaultBegin`/`FaultFinish` timer pairs. Iteration-indexed specs
+    /// (`at_iter()` is `Some`) fire at BSP boundaries instead and must
+    /// never be window-scheduled.
+    pub fn is_windowed(&self) -> bool {
+        self.at_iter().is_none()
     }
 
     /// When the fault begins ([`SimTime::ZERO`] for permanent specs, which
@@ -204,10 +257,12 @@ impl FaultSpec {
             | FaultSpec::LinkDegrade { at, .. }
             | FaultSpec::MsgLoss { at, .. }
             | FaultSpec::ShardCrash { at, .. }
-            | FaultSpec::WorkerStall { at, .. } => at,
+            | FaultSpec::WorkerStall { at, .. }
+            | FaultSpec::PayloadCorrupt { at, .. } => at,
             FaultSpec::WorkerFail { .. }
             | FaultSpec::ShardFail { .. }
-            | FaultSpec::WorkerJoin { .. } => SimTime::ZERO,
+            | FaultSpec::WorkerJoin { .. }
+            | FaultSpec::CheckpointCorrupt { .. } => SimTime::ZERO,
         }
     }
 
@@ -218,13 +273,15 @@ impl FaultSpec {
             FaultSpec::LinkDown { at, dur, .. }
             | FaultSpec::LinkDegrade { at, dur, .. }
             | FaultSpec::MsgLoss { at, dur, .. }
-            | FaultSpec::WorkerStall { at, dur, .. } => at + dur,
+            | FaultSpec::WorkerStall { at, dur, .. }
+            | FaultSpec::PayloadCorrupt { at, dur, .. } => at + dur,
             FaultSpec::ShardCrash {
                 at, restart_after, ..
             } => at + restart_after,
             FaultSpec::WorkerFail { .. }
             | FaultSpec::ShardFail { .. }
-            | FaultSpec::WorkerJoin { .. } => SimTime::ZERO,
+            | FaultSpec::WorkerJoin { .. }
+            | FaultSpec::CheckpointCorrupt { .. } => SimTime::ZERO,
         }
     }
 }
@@ -311,6 +368,28 @@ impl FaultPlan {
         })
     }
 
+    /// True when the plan injects silent corruption (`PayloadCorrupt` or
+    /// `CheckpointCorrupt`). Runtimes use this to arm detection-only paths
+    /// that must stay dormant otherwise (e.g. the NaN/Inf gradient guard,
+    /// which would livelock on a *legitimately* diverging model).
+    pub fn has_corruption(&self) -> bool {
+        self.faults.iter().any(|f| {
+            matches!(
+                f,
+                FaultSpec::PayloadCorrupt { .. } | FaultSpec::CheckpointCorrupt { .. }
+            )
+        })
+    }
+
+    /// The iteration boundary at (or after) which shard `s`'s next snapshot
+    /// write is corrupted, if the plan schedules one.
+    pub fn checkpoint_corrupt_at(&self, s: usize) -> Option<u64> {
+        self.faults.iter().find_map(|f| match *f {
+            FaultSpec::CheckpointCorrupt { shard, at_iter } if shard == s => Some(at_iter),
+            _ => None,
+        })
+    }
+
     /// Panic if any fault is internally inconsistent or refers to a node
     /// outside the given cluster shape (`workers` counts the *initial*
     /// members; joiners extend it). Called from config validation.
@@ -319,6 +398,7 @@ impl FaultPlan {
         let mut failed_workers = Vec::new();
         let mut failed_shards = Vec::new();
         let mut joiners = Vec::new();
+        let mut corrupt_ckpts = Vec::new();
         for f in &self.faults {
             match *f {
                 FaultSpec::LinkDown { node, .. } | FaultSpec::LinkDegrade { node, .. } => {
@@ -359,6 +439,21 @@ impl FaultPlan {
                     assert!(at_iter >= 1, "WorkerJoin at_iter must be >= 1");
                     assert!(!joiners.contains(&worker), "worker {worker} joins twice");
                     joiners.push(worker);
+                }
+                FaultSpec::PayloadCorrupt { rate, .. } => {
+                    assert!(
+                        (0.0..=1.0).contains(&rate),
+                        "payload corruption rate {rate} outside [0, 1]"
+                    );
+                }
+                FaultSpec::CheckpointCorrupt { shard, at_iter } => {
+                    assert!(shard < ps_shards, "fault corrupts missing shard {shard}");
+                    assert!(at_iter >= 1, "CheckpointCorrupt at_iter must be >= 1");
+                    assert!(
+                        !corrupt_ckpts.contains(&shard),
+                        "shard {shard}'s checkpoint corrupted twice"
+                    );
+                    corrupt_ckpts.push(shard);
                 }
             }
             if let FaultSpec::LinkDegrade { factor, .. } = *f {
@@ -523,6 +618,64 @@ mod tests {
         assert_eq!(plan.shard_fail_at(1), Some(3));
         assert_eq!(plan.worker_join_at(3), Some(4));
         assert!(!FaultPlan::empty().has_permanent());
+    }
+
+    #[test]
+    fn corruption_specs_and_helpers() {
+        let plan = FaultPlan::new(vec![
+            FaultSpec::PayloadCorrupt {
+                rate: 0.2,
+                at: SimTime::from_secs_f64(0.5),
+                dur: Duration::from_secs(1),
+            },
+            FaultSpec::CheckpointCorrupt {
+                shard: 1,
+                at_iter: 3,
+            },
+        ]);
+        plan.validate(2, 2);
+        assert!(plan.has_corruption());
+        // Corruption is not a membership event: it must not arm the
+        // elastic machinery or the checkpoint subsystem by itself.
+        assert!(!plan.has_permanent());
+        assert!(!plan.has_shard_fail());
+        let pc = plan.faults[0];
+        assert_eq!(pc.kind(), FaultKind::PayloadCorrupt);
+        assert!(pc.is_windowed());
+        assert!(!pc.is_permanent());
+        assert_eq!(pc.at(), SimTime::from_secs_f64(0.5));
+        assert_eq!(pc.until(), SimTime::from_secs_f64(1.5));
+        let cc = plan.faults[1];
+        assert_eq!(cc.kind(), FaultKind::CheckpointCorrupt);
+        assert!(!cc.is_windowed());
+        assert!(!cc.is_permanent());
+        assert_eq!(cc.at_iter(), Some(3));
+        assert_eq!(cc.at(), SimTime::ZERO);
+        assert_eq!(cc.until(), SimTime::ZERO);
+        assert_eq!(plan.checkpoint_corrupt_at(1), Some(3));
+        assert_eq!(plan.checkpoint_corrupt_at(0), None);
+        assert!(!FaultPlan::empty().has_corruption());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn validate_rejects_bad_corruption_rate() {
+        FaultPlan::new(vec![FaultSpec::PayloadCorrupt {
+            rate: 1.5,
+            at: SimTime::ZERO,
+            dur: Duration::from_millis(1),
+        }])
+        .validate(2, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupts missing shard")]
+    fn validate_rejects_corrupting_missing_shard() {
+        FaultPlan::new(vec![FaultSpec::CheckpointCorrupt {
+            shard: 2,
+            at_iter: 1,
+        }])
+        .validate(2, 2);
     }
 
     #[test]

@@ -406,6 +406,40 @@ pub enum TraceEvent {
         /// The surviving shard adopting it.
         to: usize,
     },
+    /// A receiver's integrity check (CRC32 + length framing) rejected a
+    /// corrupted frame and discarded it. Data frames must be recovered by
+    /// retransmission; control frames (ack batches) may instead be
+    /// superseded by the barrier notification.
+    FrameCorrupt {
+        /// Topology node that detected the corruption (the receiver).
+        node: usize,
+        /// Frame payload bytes discarded.
+        bytes: u64,
+        /// True when the frame carried gradient/parameter payload (push or
+        /// pull), whose loss *requires* a retransmission; false for
+        /// control frames such as ack batches.
+        data: bool,
+    },
+    /// The NaN/Inf gradient guard quarantined a poisoned push that passed
+    /// its checksum (valid CRC over garbage numbers). The offending slice
+    /// never reaches the accumulator; recovery retransmits a clean copy.
+    GradQuarantined {
+        /// Worker whose push carried the poisoned payload.
+        worker: usize,
+        /// Iteration number.
+        iter: u64,
+        /// Gradient id.
+        grad: usize,
+    },
+    /// A restore walked past `depth` corrupted snapshot generation(s) of
+    /// permanently failed shard `shard` before finding an intact one, then
+    /// replayed the correspondingly longer byte ledger.
+    RestoreFallback {
+        /// The permanently failed shard whose durable state fell back.
+        shard: usize,
+        /// Generations skipped (newest-first) to reach an intact snapshot.
+        depth: u64,
+    },
 }
 
 /// A consumer of the typed event stream. Sinks are driven strictly in
@@ -468,7 +502,13 @@ const RING: usize = 24;
 ///   iteration), barriers expect exactly the live membership's pushes,
 ///   no barrier fires for a gradient homed on a permanently failed
 ///   shard, re-homes move tensors off dead shards onto live ones, and
-///   per-shard checkpoint iterations are strictly monotone.
+///   per-shard checkpoint iterations are strictly monotone;
+/// * frame integrity — corrupt-frame detections carry a real payload,
+///   NaN quarantines name a push the sender actually made, and every
+///   corrupted *data* frame is matched by at least one retransmission by
+///   the end of the run;
+/// * verified restore — a restore fallback names a permanently failed
+///   shard and skips at least one generation (depth 0 is not a fallback).
 #[derive(Debug, Default)]
 pub struct InvariantChecker {
     workers: usize,
@@ -520,6 +560,11 @@ pub struct InvariantChecker {
     membership_epoch: u64,
     /// Per-shard latest checkpoint iteration.
     checkpoints: HashMap<usize, u64>,
+    /// Corrupted *data* frames detected (push/pull payloads and NaN
+    /// quarantines) — each one obligates a retransmission somewhere.
+    corrupt_data_frames: u64,
+    /// Retry events observed (any kind).
+    retry_events: u64,
 }
 
 impl InvariantChecker {
@@ -588,7 +633,10 @@ impl InvariantChecker {
         self.events_seen
     }
 
-    /// End-of-run check: every flow that started must have ended.
+    /// End-of-run check: every flow that started must have ended, and every
+    /// corrupted data frame must have driven at least one retransmission
+    /// (the frame-integrity rule — detection without recovery means a
+    /// gradient silently vanished).
     pub fn finish(&self) {
         if !self.open_flows.is_empty() {
             let mut tags: Vec<&u64> = self.open_flows.keys().collect();
@@ -596,6 +644,13 @@ impl InvariantChecker {
             self.fail(format!(
                 "{} flow(s) never completed: tags {tags:?}",
                 self.open_flows.len()
+            ));
+        }
+        if self.corrupt_data_frames > 0 && self.retry_events == 0 {
+            self.fail(format!(
+                "{} corrupted data frame(s) detected but no retransmission ever \
+                 happened — the dropped payloads were never recovered",
+                self.corrupt_data_frames
             ));
         }
     }
@@ -931,6 +986,7 @@ impl TraceSink for InvariantChecker {
                 grad,
                 attempt,
             } => {
+                self.retry_events += 1;
                 let seen = self
                     .retries
                     .get(&(worker, iter, grad))
@@ -1129,6 +1185,52 @@ impl TraceSink for InvariantChecker {
                     ));
                 }
                 self.rehomed.insert(grad, to);
+            }
+            TraceEvent::FrameCorrupt { node, bytes, data } => {
+                if bytes == 0 {
+                    self.fail(format!(
+                        "zero-byte corrupt frame reported at node {node} — detection \
+                         without a payload is meaningless"
+                    ));
+                }
+                if data {
+                    self.corrupt_data_frames += 1;
+                }
+            }
+            TraceEvent::GradQuarantined { worker, iter, grad } => {
+                // A quarantine is a data-frame detection: the poisoned push
+                // passed its CRC but must still be retransmitted.
+                self.corrupt_data_frames += 1;
+                // The quarantined push belongs to an iteration the sender is
+                // (or was) actually in — a quarantine for an iteration the
+                // worker never reached means the guard fabricated it.
+                if let Some(wi) = self.worker_iter.get(worker).copied().flatten() {
+                    if iter > wi {
+                        self.fail(format!(
+                            "quarantine of gradient {grad} at iter {iter}, but worker \
+                             {worker} has only reached iter {wi}"
+                        ));
+                    }
+                } else {
+                    self.fail(format!(
+                        "quarantine of gradient {grad} from worker {worker}, which \
+                         never began an iteration"
+                    ));
+                }
+            }
+            TraceEvent::RestoreFallback { shard, depth } => {
+                if depth == 0 {
+                    self.fail(format!(
+                        "restore fallback of depth 0 for shard {shard} — the newest \
+                         generation was intact, nothing fell back"
+                    ));
+                }
+                if !self.dead_shards.contains(&shard) {
+                    self.fail(format!(
+                        "restore fallback for shard {shard}, which never permanently \
+                         failed"
+                    ));
+                }
             }
         }
     }

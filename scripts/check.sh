@@ -34,6 +34,10 @@ if [[ "$tier" == "all" || "$tier" == "debug" ]]; then
     PROPHET_RESULTS_DIR="$(mktemp -d)" \
         cargo run --offline -q -p prophet-bench --bin repro -- ext_elastic 42 2 > /dev/null
 
+    echo "==> integrity corruption smoke (seed 42, 2 plans per strategy)"
+    PROPHET_RESULTS_DIR="$(mktemp -d)" \
+        cargo run --offline -q -p prophet-bench --bin repro -- ext_integrity 42 2 > /dev/null
+
     echo "==> bench smoke (criterion --test mode, no artifacts)"
     # Single-sample pass over the first scale point: compiles the bench
     # harnesses and exercises both engines without touching BENCH_*.json.
@@ -61,6 +65,10 @@ if [[ "$tier" == "all" || "$tier" == "release" ]]; then
     echo "==> elastic churn sweep (seed 42, 50 plans per strategy)"
     PROPHET_RESULTS_DIR="$(mktemp -d)" \
         cargo run --offline --release -q -p prophet-bench --bin repro -- ext_elastic 42 50 > /dev/null
+
+    echo "==> integrity corruption sweep (seed 42, 50 plans per strategy)"
+    PROPHET_RESULTS_DIR="$(mktemp -d)" \
+        cargo run --offline --release -q -p prophet-bench --bin repro -- ext_integrity 42 50 > /dev/null
 fi
 
 echo "==> OK ($tier)"

@@ -165,6 +165,17 @@ impl BytesMut {
         self.0.reserve(additional);
     }
 
+    /// Append a copy of `src`.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.0.extend_from_slice(src);
+    }
+
+    /// Shorten to `len` bytes, keeping the allocation. No-op when already
+    /// shorter.
+    pub fn truncate(&mut self, len: usize) {
+        self.0.truncate(len);
+    }
+
     /// Convert into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.0)
@@ -176,6 +187,12 @@ impl Deref for BytesMut {
 
     fn deref(&self) -> &[u8] {
         &self.0
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.0
     }
 }
 
