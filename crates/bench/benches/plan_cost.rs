@@ -1,0 +1,160 @@
+//! Host-time cost of the *planning* half of a scheduler, isolated from the
+//! simulator that usually drives it.
+//!
+//! `BENCH_sim_scale.json` reports whole-cluster simulation wall clock
+//! (prophet-oracle far above FIFO at 1024 workers), which conflates two
+//! very different costs: the scheduler's own planning work (slicing the
+//! gradient stream into blocks, ordering pushes/pulls) and the simulator's
+//! machinery (event queue, flow re-allocation) multiplied by the message
+//! count the strategy generates. This bench measures only the former:
+//! per worker count, instantiate one scheduler per worker exactly as the
+//! cluster does, drive each through one full planning cycle
+//! (`iteration_begin` → backward-order `gradient_ready` → push drain →
+//! `param_ready` → pull drain → `iteration_end`) against a synthetic
+//! clock, and report host nanoseconds — total and per worker.
+//!
+//! Writes `BENCH_plan_cost.json` at the repo root (skipped under
+//! `-- --test`, which also trims the grid to its first point).
+
+use criterion::{criterion_group, criterion_main, stats_to_json, Criterion};
+use prophet::core::{CommScheduler, Dir, ProphetConfig, SchedulerKind};
+use prophet::dnn::TrainingJob;
+use prophet::sim::SimTime;
+use std::time::Instant;
+
+const SCALES: &[usize] = &[64, 256, 512, 1024];
+
+/// Synthetic clock steps (sim nanoseconds): gap between gradient releases,
+/// per-poll advance while the strategy paces itself, and the wire time a
+/// task is considered to occupy before `task_done`.
+const RELEASE_STEP: u64 = 1_000;
+const POLL_STEP: u64 = 100_000;
+const WIRE_STEP: u64 = 50_000;
+
+/// Safety valve for strategies that pace far into the future: after this
+/// many consecutive idle polls the drain gives up (the task counter in the
+/// artifact makes any truncation visible).
+const MAX_IDLE_POLLS: u64 = 10_000;
+
+/// Drive one scheduler through a full planning cycle. Returns the number
+/// of tasks it emitted.
+fn one_cycle(sched: &mut Box<dyn CommScheduler>, sizes: &[u64]) -> u64 {
+    let n = sizes.len();
+    let mut now = 0u64;
+    let mut pushed = vec![0u64; n];
+    let mut pulled = vec![0u64; n];
+    let mut tasks = 0u64;
+    let mut drain =
+        |sched: &mut Box<dyn CommScheduler>, now: &mut u64, done: &mut [u64], dir: Dir| {
+            let mut idle = 0u64;
+            while done.iter().zip(sizes).any(|(d, s)| d < s) {
+                *now += POLL_STEP;
+                match sched.next_task(SimTime(*now)) {
+                    Some(t) => {
+                        idle = 0;
+                        tasks += 1;
+                        for &(g, b) in &t.pieces {
+                            if t.dir == dir {
+                                done[g] += b;
+                            }
+                        }
+                        *now += WIRE_STEP;
+                        sched.task_done(SimTime(*now), &t);
+                    }
+                    None => {
+                        idle += 1;
+                        if idle > MAX_IDLE_POLLS {
+                            break;
+                        }
+                    }
+                }
+            }
+        };
+    sched.iteration_begin(SimTime(now), 0);
+    // Backward pass releases gradients last-layer-first.
+    for g in (0..n).rev() {
+        now += RELEASE_STEP;
+        sched.gradient_ready(SimTime(now), g);
+    }
+    drain(sched, &mut now, &mut pushed, Dir::Push);
+    for g in 0..n {
+        now += RELEASE_STEP;
+        sched.param_ready(SimTime(now), g);
+    }
+    drain(sched, &mut now, &mut pulled, Dir::Pull);
+    sched.iteration_end(SimTime(now), 0, prophet::sim::Duration(now));
+    tasks
+}
+
+/// Build `workers` schedulers of `kind` (as the cluster does — one per
+/// worker) and run one planning cycle on each. Returns (host ns total,
+/// tasks emitted total). Construction is included deliberately: for the
+/// oracle it is where the profile is adopted and the block plan built.
+fn planning_pass(kind: &SchedulerKind, job: &TrainingJob, workers: usize) -> (u64, u64) {
+    let t0 = Instant::now();
+    let mut tasks = 0u64;
+    let sizes = job.sizes();
+    for _ in 0..workers {
+        let mut sched = kind.build(job);
+        tasks += one_cycle(&mut sched, &sizes);
+    }
+    (t0.elapsed().as_nanos() as u64, tasks)
+}
+
+fn bench_plan_cost(c: &mut Criterion) {
+    let quick = c.is_quick();
+    let scales = if quick { &SCALES[..1] } else { SCALES };
+    let job = TrainingJob::paper_setup("resnet18", 16);
+
+    let mut derived: Vec<(&str, f64)> = Vec::new();
+    let mut g = c.benchmark_group("plan_cycle");
+    g.sample_size(if quick { 1 } else { 3 });
+    for &w in scales {
+        for kind in [
+            SchedulerKind::Fifo,
+            SchedulerKind::ProphetOracle(ProphetConfig::paper_default(1.25e9)),
+        ] {
+            let label = kind.label().to_string();
+            let mut samples: Vec<(u64, u64)> = Vec::new();
+            g.bench_function(&format!("{label}_{w}"), |b| {
+                b.iter(|| {
+                    let s = planning_pass(&kind, &job, w);
+                    samples.push(s);
+                    s.0
+                })
+            });
+            samples.sort();
+            let (ns, tasks) = samples[samples.len() / 2];
+            println!(
+                "  {label} x{w}: {:.2} ms total, {:.1} us/worker, {:.1} tasks/worker",
+                ns as f64 / 1e6,
+                ns as f64 / 1e3 / w as f64,
+                tasks as f64 / w as f64
+            );
+            if !quick {
+                for (key, v) in [
+                    ("host_ns_total", ns as f64),
+                    ("host_ns_per_worker", ns as f64 / w as f64),
+                    ("tasks_per_worker", tasks as f64 / w as f64),
+                ] {
+                    derived.push((
+                        Box::leak(format!("plan_{label}_{w}_{key}").into_boxed_str()) as &str,
+                        v,
+                    ));
+                }
+            }
+        }
+    }
+    g.finish();
+
+    if quick {
+        return;
+    }
+    let json = stats_to_json(c.stats(), &derived);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_plan_cost.json");
+    std::fs::write(path, json).expect("write BENCH_plan_cost.json");
+    println!("wrote {path}");
+}
+
+criterion_group!(plan_cost, bench_plan_cost);
+criterion_main!(plan_cost);

@@ -1,0 +1,151 @@
+//! One-shot component timer for the threaded-PS hot path on the current
+//! host: times each constituent of a steady-state iteration in isolation
+//! (model step, arena encode, barrier fold, pull apply) so the gap
+//! between the component floor and the measured wall clock is visible.
+//!
+//! A second mode, `phase_probe cell <shards> [workers] [iters]`, runs one
+//! full VGG-class training cell and reports wall clock plus the process's
+//! voluntary/involuntary context-switch deltas (summed over
+//! `/proc/self/task/*/status`), so scheduler churn can be compared across
+//! shard counts directly.
+//!
+//! Diagnostics only — no artifact; run with `cargo run --release --bin
+//! phase_probe`.
+
+use prophet::minidnn::Mlp;
+use prophet::minidnn::Tensor;
+use prophet::ps::threaded::wire;
+use std::time::Instant;
+
+/// System-wide context-switch count (`ctxt` in `/proc/stat`). Per-task
+/// counters die with the joined worker threads, so on an otherwise idle
+/// box the machine-wide delta is the usable proxy.
+fn ctx_switches() -> u64 {
+    std::fs::read_to_string("/proc/stat")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find_map(|l| l.strip_prefix("ctxt ").and_then(|v| v.trim().parse().ok()))
+        })
+        .unwrap_or(0)
+}
+
+fn run_cell(shards: usize, workers: usize, iters: u64) {
+    use prophet::core::SchedulerKind;
+    use prophet::ps::threaded::{run_threaded_training, PsOptimizer, ThreadedConfig};
+    let cfg = ThreadedConfig {
+        workers,
+        ps_shards: shards,
+        widths: vec![512, 2048, 2048, 512, 10],
+        samples: 64,
+        noise: 0.8,
+        seed: 77,
+        global_batch: workers,
+        iterations: iters,
+        lr: 0.05,
+        optimizer: PsOptimizer::Sgd { momentum: 0.9 },
+        scheduler: SchedulerKind::Fifo,
+        link_bps: None,
+        check_invariants: false,
+        ps_restart_at_iter: None,
+        checkpoint_period: 4,
+        checkpoint_retention: 2,
+        fault_plan: Default::default(),
+        retry: prophet::net::RetryPolicy::paper_default(),
+        agg_threads: 0,
+    };
+    let c0 = ctx_switches();
+    let t0 = Instant::now();
+    let out = run_threaded_training(&cfg);
+    let wall = t0.elapsed().as_secs_f64();
+    let c1 = ctx_switches();
+    println!(
+        "cell {workers}w_{shards}s x{iters}: {:.3} iters/sec  wall {:.2}s  \
+         ctx-switches (machine-wide): {}  ({:.0}/iter)  final loss {:.4}",
+        iters as f64 / wall,
+        wall,
+        c1 - c0,
+        (c1 - c0) as f64 / iters as f64,
+        out.losses.last().copied().unwrap_or(f32::NAN),
+    );
+}
+
+fn time<R>(label: &str, reps: u32, mut f: impl FnMut() -> R) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(f());
+    }
+    let ms = t0.elapsed().as_secs_f64() * 1e3 / reps as f64;
+    println!("  {label:<34} {ms:>9.2} ms");
+    ms
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("cell") {
+        let shards = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
+        let workers = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(8);
+        let iters = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(40);
+        run_cell(shards, workers, iters);
+        return;
+    }
+    let widths = [512usize, 2048, 2048, 512, 10];
+    let mut model = Mlp::new(&widths, 7);
+    let x = Tensor::from_vec(1, widths[0], vec![0.3; widths[0]]);
+    let labels = [3usize];
+    let n: usize = model.tensor_sizes().iter().sum();
+    println!("model: {n} params ({:.1} MB)", n as f64 * 4.0 / 1e6);
+
+    let fb = time("forward_backward (1 sample)", 10, || {
+        model.zero_grads();
+        model.forward_backward(&x, &labels)
+    });
+    let zg = time("zero_grads alone", 10, || model.zero_grads());
+
+    let grads: Vec<f32> = (0..n).map(|i| (i as f32).sin()).collect();
+    let mut buf = bytes::BytesMut::with_capacity(n * 4);
+    let enc = time("encode_f32_into_crc (whole model)", 10, || {
+        buf.clear();
+        wire::encode_f32_into_crc(&grads, &mut buf)
+    });
+
+    let wire_bytes = {
+        buf.clear();
+        wire::encode_f32_into_crc(&grads, &mut buf);
+        buf.clone().freeze()
+    };
+    let mut acc = vec![0.0f32; n];
+    let fold1 = time("fused_crc_accumulate (1 payload)", 10, || {
+        wire::crc32::finish(wire::fused_crc_accumulate(
+            wire::crc32::begin(),
+            &wire_bytes,
+            &mut acc,
+        ))
+    });
+
+    let mut params = vec![0.0f32; n];
+    let apply = time("fused_crc_apply (whole model)", 10, || {
+        wire::crc32::finish(wire::fused_crc_apply(
+            wire::crc32::begin(),
+            &wire_bytes,
+            &mut params,
+        ))
+    });
+
+    let verify = time("verify alone (crc32::update)", 10, || {
+        wire::crc32::finish(wire::crc32::update(wire::crc32::begin(), &wire_bytes))
+    });
+
+    let workers = 8.0;
+    println!("\nper-iteration floor at 8 workers (ms):");
+    println!("  compute   {:.1}", fb * workers);
+    println!("  encode    {:.1}", enc * workers);
+    println!("  fold      {:.1}", fold1 * workers);
+    println!("  apply     {:.1}", apply * workers);
+    println!(
+        "  (zero_grads {:.1}, verify-alone would be {:.1})",
+        zg * workers,
+        verify * workers
+    );
+    println!("  sum: {:.1}", (fb + enc + fold1 + apply) * workers);
+}

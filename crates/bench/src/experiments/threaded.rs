@@ -38,6 +38,7 @@ fn lite_cfg(workers: usize, shards: usize) -> ThreadedConfig {
         checkpoint_retention: 2,
         fault_plan: Default::default(),
         retry: prophet::net::RetryPolicy::paper_default(),
+        agg_threads: 0,
     }
 }
 

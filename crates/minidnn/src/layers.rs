@@ -78,8 +78,7 @@ impl Layer for Dense {
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         assert_eq!(grad_out.rows, self.cached_x.rows, "stale forward cache");
         // dw += xᵀ · dy ; db += Σrows dy ; dx = dy · wᵀ.
-        let dw = self.cached_x.t_matmul(grad_out);
-        self.dw.axpy(1.0, &dw);
+        self.cached_x.t_matmul_acc(grad_out, &mut self.dw);
         let db = grad_out.sum_rows();
         self.db.axpy(1.0, &db);
         grad_out.matmul_t(&self.w)

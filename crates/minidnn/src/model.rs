@@ -102,6 +102,24 @@ impl Mlp {
         panic!("parameter tensor {id} out of range");
     }
 
+    /// Mutable view of parameter tensor `id` — the fused pull-apply path
+    /// of the threaded PS runtime decodes wire bytes and streams their
+    /// CRC in one traversal, writing straight into this slice.
+    pub fn param_slice_mut(&mut self, id: usize) -> &mut [f32] {
+        let mut idx = 0;
+        let mut loc = None;
+        for (li, layer) in self.layers.iter().enumerate() {
+            let k = layer.params().len();
+            if id < idx + k {
+                loc = Some((li, id - idx));
+                break;
+            }
+            idx += k;
+        }
+        let (li, pi) = loc.unwrap_or_else(|| panic!("parameter tensor {id} out of range"));
+        self.layers[li].params_mut().into_iter().nth(pi).unwrap()
+    }
+
     /// Overwrite a slice of parameter tensor `id` from a little-endian
     /// `f32` byte payload, starting at element `offset_elems` — the
     /// zero-staging pull path of the threaded PS runtime (wire bytes land

@@ -97,8 +97,22 @@ impl Tensor {
 
     /// `selfᵀ · other` (used for weight gradients: `xᵀ · dy`).
     pub fn t_matmul(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
         let mut out = Tensor::zeros(self.cols, other.cols);
+        self.t_matmul_acc(other, &mut out);
+        out
+    }
+
+    /// `out += selfᵀ · other`, accumulating in place.
+    ///
+    /// Element-by-element this adds the products in the same order
+    /// `t_matmul` forms them, so accumulating into a zeroed gradient
+    /// buffer is bit-identical to building the product in a temporary
+    /// and adding it — minus the temporary's multi-megabyte allocation,
+    /// zero-fill, and extra read/write pass.
+    pub fn t_matmul_acc(&self, other: &Tensor, out: &mut Tensor) {
+        assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
+        assert_eq!(out.rows, self.cols);
+        assert_eq!(out.cols, other.cols);
         let n = other.cols;
         for r in 0..self.rows {
             let a_row = self.row(r);
@@ -113,7 +127,6 @@ impl Tensor {
                 }
             }
         }
-        out
     }
 
     /// `self · otherᵀ` (used for input gradients: `dy · wᵀ`).
@@ -123,15 +136,40 @@ impl Tensor {
         for i in 0..self.rows {
             let a_row = self.row(i);
             for j in 0..other.rows {
-                let b_row = other.row(j);
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                *out.at_mut(i, j) = acc;
+                *out.at_mut(i, j) = Self::dot(a_row, other.row(j));
             }
         }
         out
+    }
+
+    /// Inner product with eight independent partial sums.
+    ///
+    /// A single running `acc += a * b` chains every addition through the
+    /// FPU's add latency, capping the loop at one element per ~4 cycles
+    /// and blocking vectorisation. Eight lanes break the chain (the
+    /// compiler turns the lane loop into one SIMD multiply-add per 8
+    /// elements) and are reduced in a fixed order, so the result is
+    /// deterministic — the same for every run, worker, and shard count,
+    /// which is all the bit-transparency suites require.
+    #[inline]
+    fn dot(a: &[f32], b: &[f32]) -> f32 {
+        const LANES: usize = 8;
+        let mut acc = [0.0f32; LANES];
+        let chunks = a.len() / LANES * LANES;
+        for (ca, cb) in a[..chunks]
+            .chunks_exact(LANES)
+            .zip(b[..chunks].chunks_exact(LANES))
+        {
+            for l in 0..LANES {
+                acc[l] += ca[l] * cb[l];
+            }
+        }
+        let mut s =
+            ((acc[0] + acc[4]) + (acc[2] + acc[6])) + ((acc[1] + acc[5]) + (acc[3] + acc[7]));
+        for (&x, &y) in a[chunks..].iter().zip(&b[chunks..]) {
+            s += x * y;
+        }
+        s
     }
 
     /// Elementwise `self += alpha * other`.

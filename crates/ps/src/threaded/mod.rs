@@ -22,8 +22,11 @@
 //!    despite real threads (the BSP barrier serialises all races).
 
 mod checkpoint;
+mod fold;
 mod pool;
 mod runtime;
 pub mod wire;
 
-pub use runtime::{run_threaded_training, PsOptimizer, ThreadedConfig, ThreadedResult};
+pub use runtime::{
+    run_threaded_training, PsOptimizer, ShardPhases, ThreadedConfig, ThreadedResult, WorkerPhases,
+};

@@ -63,9 +63,11 @@
 //! single-mutex log produced — with zero lock traffic on the hot path.
 
 use super::checkpoint::{DurableStore, OptState};
+use super::fold;
 use super::pool::ArenaPool;
 use super::wire::{
-    accumulate_f32_le, acks_checksum, encode_f32_into, Ack, FrameHeader, ToPs, ToWorker,
+    accumulate_f32_le, acks_checksum, crc32, encode_f32_into_crc, fused_crc_accumulate,
+    fused_crc_apply, Ack, FrameHeader, ToPs, ToWorker,
 };
 use bytes::{Bytes, BytesMut};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
@@ -78,7 +80,7 @@ use prophet_sim::{
 };
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration as StdDuration, Instant};
 
 /// Which optimiser the PS runs (each shard owns the optimiser state for
@@ -152,6 +154,12 @@ pub struct ThreadedConfig {
     /// `checkpoint_retention` — never collecting the only intact one — and
     /// collects the rest. Must be ≥ 1.
     pub checkpoint_retention: usize,
+    /// Accumulator chunks the deferred barrier fold may split a large
+    /// tensor across (each chunk folds all workers in fixed order, so the
+    /// result stays bit-identical at any setting — see [`super::fold`]).
+    /// `0` = auto (host parallelism, capped; resolves to sequential on a
+    /// single-core box), `1` = always sequential, `n` = force `n` chunks.
+    pub agg_threads: usize,
 }
 
 impl ThreadedConfig {
@@ -176,6 +184,7 @@ impl ThreadedConfig {
             retry: RetryPolicy::paper_default(),
             checkpoint_period: 4,
             checkpoint_retention: 2,
+            agg_threads: 0,
         }
     }
 }
@@ -236,6 +245,57 @@ pub struct ThreadedResult {
     pub restore_fallbacks: u64,
     /// Total corrupted generations skipped across all fallback restores.
     pub fallback_depth: u64,
+    /// Per-shard hot-path attribution, indexed by shard id. Always
+    /// collected: the spans are a handful of monotonic-clock reads per
+    /// message against iterations that move megabytes.
+    pub shard_phases: Vec<ShardPhases>,
+    /// Worker-side attribution, summed across all worker threads.
+    pub worker_phases: WorkerPhases,
+}
+
+/// Where one PS shard's serve loop spent its time, in nanoseconds summed
+/// over the run. The spans partition the loop body (plus `idle_ns` for
+/// blocked receives), so regressions show up as a shifted profile rather
+/// than a bare wall-clock delta — every perf claim in DESIGN.md §15 is
+/// backed by these counters as emitted into `BENCH_threaded.json`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardPhases {
+    /// Receive-time frame verify + NaN/Inf guard on push payloads (zero
+    /// when verification is deferred to the barrier fold).
+    pub verify_ns: u64,
+    /// Barrier fold: staged wire slices → accumulator, including the
+    /// deferred CRC check and the mean scaling.
+    pub accumulate_ns: u64,
+    /// Optimiser step + durable-ledger note per barrier.
+    pub optimizer_ns: u64,
+    /// Pull-reply encode + frame checksum.
+    pub encode_ns: u64,
+    /// Ack-batch assembly and flush.
+    pub ack_ns: u64,
+    /// Barrier-completion scans (the per-message sweep this PR retires;
+    /// kept attributed so a regression is visible).
+    pub sweep_ns: u64,
+    /// Blocked in `recv` with an empty inbox, or waiting for the
+    /// cache-residency gate before a large fold or encode.
+    pub idle_ns: u64,
+    /// Barriers closed.
+    pub barriers: u64,
+    /// Messages served.
+    pub msgs: u64,
+}
+
+/// Where the worker threads spent their time, summed across workers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkerPhases {
+    /// Forward/backward compute (incl. batch assembly).
+    pub compute_ns: u64,
+    /// Gradient serialisation into the push arena.
+    pub encode_ns: u64,
+    /// Pull-reply verify + apply into parameter storage.
+    pub apply_ns: u64,
+    /// Blocked in `recv` waiting on PS messages, or waiting for the
+    /// cache-residency gate before compute or a large apply.
+    pub wait_ns: u64,
 }
 
 /// One scheduled link fault window, in nanoseconds since run start.
@@ -300,6 +360,11 @@ impl RateLimiter {
     }
 
     fn acquire(&mut self, bytes: u64) {
+        // An unlimited link with no fault windows has nothing to meter;
+        // this is every send on the fault-free unthrottled hot path.
+        if self.bps.is_none() && self.windows.is_empty() {
+            return;
+        }
         // Freeze through any active outage window, even on an unlimited
         // link (an outage is absolute).
         loop {
@@ -848,17 +913,20 @@ impl CorruptInjector {
 /// Frame one outgoing data payload: draw against the corruption windows,
 /// tamper a pooled copy if drawn, and return `(wire bytes, header)`. The
 /// clean source `Bytes` stays pristine for any later retransmission.
+/// `cached` is the payload's already-known frame header (computed while
+/// the bytes were encoded); when present, the clean path re-reads nothing.
 fn frame_payload(
     corrupt: &mut CorruptInjector,
     pool: &mut ArenaPool,
     start: Instant,
     nan_ok: bool,
     clean: Bytes,
+    cached: Option<FrameHeader>,
 ) -> (Bytes, FrameHeader) {
     match corrupt.draw(start, nan_ok) {
         Some(style) => corrupt.tamper(style, &clean, pool),
         None => {
-            let frame = FrameHeader::for_payload(&clean);
+            let frame = cached.unwrap_or_else(|| FrameHeader::for_payload(&clean));
             (clean, frame)
         }
     }
@@ -880,6 +948,7 @@ struct WorkerOut {
     corrupt_frames: u64,
     /// Bytes retransmitted in response to shard NACKs.
     nack_bytes: u64,
+    phases: WorkerPhases,
 }
 
 /// What a shard thread hands back at join.
@@ -901,6 +970,7 @@ struct ShardOut {
     restore_fallbacks: u64,
     /// Corrupted generations skipped across those fallbacks.
     fallback_depth: u64,
+    phases: ShardPhases,
 }
 
 /// Run BSP data-parallel training per `cfg` and return the outcome.
@@ -992,6 +1062,14 @@ pub fn run_threaded_training(cfg: &ThreadedConfig) -> ThreadedResult {
 
     let log = EventLog::new(cfg.check_invariants, start);
 
+    // One gate shared by every worker AND every shard: compute sections,
+    // barrier folds, and pull encodes are all multi-megabyte walks, and on
+    // an oversubscribed host any two of them time-slicing against each
+    // other thrash the same cache.
+    let gate = Arc::new(ComputeGate::new(
+        std::thread::available_parallelism().map_or(1, |p| p.get()),
+    ));
+
     // ---- PS shard threads ------------------------------------------------
     let mut shard_handles = Vec::new();
     for (s, rx_slot) in shard_rxs.iter_mut().enumerate() {
@@ -1033,6 +1111,7 @@ pub fn run_threaded_training(cfg: &ThreadedConfig) -> ThreadedResult {
         let rx = rx_slot.take().unwrap();
         let worker_txs = worker_txs.clone();
         let tlog = log.thread_log();
+        let gate = Arc::clone(&gate);
         shard_handles.push(std::thread::spawn(move || {
             ShardRt::new(
                 s,
@@ -1047,6 +1126,7 @@ pub fn run_threaded_training(cfg: &ThreadedConfig) -> ThreadedResult {
                 tensor_elems,
                 init,
                 worker_txs,
+                gate,
                 start,
                 tlog,
             )
@@ -1064,6 +1144,7 @@ pub fn run_threaded_training(cfg: &ThreadedConfig) -> ThreadedResult {
         let sizes_bytes = Arc::clone(&sizes_bytes);
         let mem = Arc::clone(&mem);
         let clock = Arc::clone(&clock);
+        let gate = Arc::clone(&gate);
         let rx = rx_slot.take().unwrap();
         let txs = shard_txs.clone();
         let tlog = log.thread_log();
@@ -1076,6 +1157,7 @@ pub fn run_threaded_training(cfg: &ThreadedConfig) -> ThreadedResult {
                 sizes_bytes,
                 mem,
                 clock,
+                gate,
                 txs,
                 rx,
                 start,
@@ -1097,6 +1179,8 @@ pub fn run_threaded_training(cfg: &ThreadedConfig) -> ThreadedResult {
     let mut nack_retransmit_bytes = 0u64;
     let mut restore_fallbacks = 0u64;
     let mut fallback_depth = 0u64;
+    let mut shard_phases: Vec<ShardPhases> = Vec::new();
+    let mut worker_phases = WorkerPhases::default();
     let mut events: Vec<TimedEvent> = Vec::new();
     for h in handles {
         let out = h.join().expect("worker panicked");
@@ -1110,6 +1194,10 @@ pub fn run_threaded_training(cfg: &ThreadedConfig) -> ThreadedResult {
         arena_recycles += out.arena_recycles;
         corrupt_frames_detected += out.corrupt_frames;
         nack_retransmit_bytes += out.nack_bytes;
+        worker_phases.compute_ns += out.phases.compute_ns;
+        worker_phases.encode_ns += out.phases.encode_ns;
+        worker_phases.apply_ns += out.phases.apply_ns;
+        worker_phases.wait_ns += out.phases.wait_ns;
         events.extend(out.events);
     }
     let mut final_params: Vec<Vec<f32>> = vec![Vec::new(); n_tensors];
@@ -1127,6 +1215,7 @@ pub fn run_threaded_training(cfg: &ThreadedConfig) -> ThreadedResult {
         nan_quarantined += out.nan_quarantined;
         restore_fallbacks += out.restore_fallbacks;
         fallback_depth += out.fallback_depth;
+        shard_phases.push(out.phases);
         events.extend(out.events);
     }
     for (g, p) in final_params.iter().enumerate() {
@@ -1171,16 +1260,20 @@ pub fn run_threaded_training(cfg: &ThreadedConfig) -> ThreadedResult {
         nack_retransmit_bytes,
         restore_fallbacks,
         fallback_depth,
+        shard_phases,
+        worker_phases,
     }
 }
 
 /// Per-worker staging for one gradient's in-flight pushes on a shard:
 /// zero-copy wire slices, accumulated only at the barrier.
 struct WorkerRecv {
-    /// `(offset_elems, payload)` per accepted slice. The payloads alias
-    /// the sender's arena — no copy is made until the barrier folds them
-    /// into the accumulator.
-    slices: Vec<(usize, Bytes)>,
+    /// `(offset_elems, payload, frame crc)` per accepted slice. The
+    /// payloads alias the sender's arena — no copy is made until the
+    /// barrier folds them into the accumulator. The CRC rides along so the
+    /// deferred-verify fold can check integrity in the same traversal that
+    /// accumulates.
+    slices: Vec<(usize, Bytes, u32)>,
     received_elems: usize,
 }
 
@@ -1224,11 +1317,11 @@ struct DeferredPull {
 /// lifecycle (permanent death, tensor adoption from the durable store,
 /// membership-aware barriers).
 ///
-/// Barriers finish through a **sweep** after every message rather than
-/// inline in the push handler: a barrier whose arrivals are complete may
-/// still be gated on a departing worker's [`ToPs::Leave`] notice (the
-/// barrier's trace event must follow the eviction epoch), so completion has
-/// to be re-examined on events other than pushes.
+/// Barriers finish **inline** in the push handler the moment the last
+/// slice lands. The only other completion enabler is a departing worker's
+/// [`ToPs::Leave`] notice (a fully-arrived barrier may be gated on it so
+/// its trace event follows the eviction epoch), so the full completion
+/// sweep runs only when a `Leave` arrives — not after every message.
 struct ShardRt {
     s: usize,
     cfg: Arc<ThreadedConfig>,
@@ -1283,6 +1376,20 @@ struct ShardRt {
     /// NaN/Inf gradient guard, armed only under a corruption plan — a
     /// legitimately diverging model must not loop forever in quarantine.
     nan_guard: bool,
+    /// Verify push frames at receive time (armed only under a corruption
+    /// plan, where a damaged frame must NACK before the barrier). Without
+    /// corruption windows nothing between the sender's arena and this
+    /// shard can damage a payload, so the CRC check rides the barrier
+    /// fold's traversal instead of costing its own pass — and a mismatch
+    /// there is genuine memory corruption, reported by panic.
+    eager_verify: bool,
+    /// Queue and flush push acks (armed only when the plan is non-empty:
+    /// workers consult acks only when their fault machinery is live, so an
+    /// empty plan makes every ack pure overhead).
+    acks_enabled: bool,
+    /// Resolved accumulator chunk count for the deferred barrier fold
+    /// (from [`ThreadedConfig::agg_threads`]; 1 = sequential).
+    agg_chunks: usize,
     /// First iteration boundary whose snapshot write this shard corrupts
     /// (`CheckpointCorrupt`), if the plan schedules one.
     ckpt_corrupt_at: Option<u64>,
@@ -1297,8 +1404,13 @@ struct ShardRt {
     /// iteration completion.
     iter_done: (u64, usize),
     worker_txs: Vec<Sender<ToWorker>>,
+    /// Shared with the workers: barrier folds and pull encodes walk the
+    /// same multi-megabyte scale as a compute section and take the same
+    /// cache-residency token.
+    gate: Arc<ComputeGate>,
     start: Instant,
     tlog: ThreadLog,
+    phases: ShardPhases,
 }
 
 impl ShardRt {
@@ -1316,6 +1428,7 @@ impl ShardRt {
         tensor_elems: Arc<Vec<usize>>,
         params: Vec<Vec<f32>>,
         worker_txs: Vec<Sender<ToWorker>>,
+        gate: Arc<ComputeGate>,
         start: Instant,
         tlog: ThreadLog,
     ) -> Self {
@@ -1353,6 +1466,15 @@ impl ShardRt {
         let restart_pending = cfg.ps_restart_at_iter;
         let corrupt = CorruptInjector::new(&cfg.fault_plan, s as u64);
         let nan_guard = cfg.fault_plan.has_corruption();
+        let eager_verify = cfg.fault_plan.has_corruption();
+        let acks_enabled = !cfg.fault_plan.is_empty();
+        let agg_chunks = match cfg.agg_threads {
+            0 => std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+                .min(4),
+            n => n,
+        };
         let ckpt_corrupt_at = cfg.fault_plan.checkpoint_corrupt_at(s);
         ShardRt {
             s,
@@ -1363,6 +1485,9 @@ impl ShardRt {
             corrupt_frames: 0,
             nan_quarantined: 0,
             nan_guard,
+            eager_verify,
+            acks_enabled,
+            agg_chunks,
             ckpt_corrupt_at,
             ckpt_corrupt_done: false,
             restore_fallbacks: 0,
@@ -1394,8 +1519,10 @@ impl ShardRt {
             restart_pending,
             iter_done: (0, 0),
             worker_txs,
+            gate,
             start,
             tlog,
+            phases: ShardPhases::default(),
         }
     }
 
@@ -1493,6 +1620,16 @@ impl ShardRt {
         }
     }
 
+    /// Queue a push ack for the next batch flush — a no-op when the plan
+    /// is empty (no worker consults acks, so none are produced).
+    fn queue_ack(&mut self, worker: usize, ack: Ack) {
+        if !self.acks_enabled {
+            return;
+        }
+        self.pending[worker].push(ack);
+        self.pending_total += 1;
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn on_push(
         &mut self,
@@ -1533,8 +1670,7 @@ impl ShardRt {
             // Late duplicate of a completed barrier: re-ack only, without
             // verifying — the barrier already folded an intact copy, so a
             // nack here could trigger a retry into a closed iteration.
-            self.pending[worker].push(ack);
-            self.pending_total += 1;
+            self.queue_ack(worker, ack);
             return;
         }
         // Every pre-death barrier closed before the death epoch opened, so
@@ -1544,33 +1680,51 @@ impl ShardRt {
             "push for (iter {iter}, grad {grad}) reached shard {} after its death",
             self.s
         );
-        if !frame.verify(&data) {
-            // Checksum or length mismatch: the payload was damaged in
-            // flight. Nack the slice; the worker retransmits from its
-            // clean arena. Nothing corrupt is ever staged.
-            self.corrupt_frames += 1;
-            self.tlog.emit(TraceEvent::FrameCorrupt {
-                node: self.s,
-                bytes: frame.len as u64,
-                data: true,
-            });
-            let _ = self.worker_txs[worker].send(ToWorker::PushNack { nack: ack });
-            return;
+        let t_verify = Instant::now();
+        if self.eager_verify {
+            if !frame.verify(&data) {
+                // Checksum or length mismatch: the payload was damaged in
+                // flight. Nack the slice; the worker retransmits from its
+                // clean arena. Nothing corrupt is ever staged.
+                self.phases.verify_ns += t_verify.elapsed().as_nanos() as u64;
+                self.corrupt_frames += 1;
+                self.tlog.emit(TraceEvent::FrameCorrupt {
+                    node: self.s,
+                    bytes: frame.len as u64,
+                    data: true,
+                });
+                let _ = self.worker_txs[worker].send(ToWorker::PushNack { nack: ack });
+                return;
+            }
+            if self.nan_guard
+                && data
+                    .chunks_exact(4)
+                    .any(|c| !f32::from_le_bytes(c.try_into().unwrap()).is_finite())
+            {
+                // The frame checksummed clean but carries non-finite
+                // values: memory corruption upstream of checksumming.
+                // Quarantine the push and recover through the same
+                // nack/retransmit path.
+                self.phases.verify_ns += t_verify.elapsed().as_nanos() as u64;
+                self.nan_quarantined += 1;
+                self.tlog
+                    .emit(TraceEvent::GradQuarantined { worker, iter, grad });
+                let _ = self.worker_txs[worker].send(ToWorker::PushNack { nack: ack });
+                return;
+            }
+        } else {
+            // Deferred verify: admission is O(1) — the payload is not
+            // read here at all. The CRC check rides the barrier fold's
+            // single traversal; no fault kind in a corruption-free plan
+            // can damage bytes in flight, so a length mismatch here would
+            // be a runtime bug, not an injected fault.
+            assert_eq!(
+                data.len(),
+                frame.len as usize,
+                "push payload length disagrees with its frame without a corruption plan"
+            );
         }
-        if self.nan_guard
-            && data
-                .chunks_exact(4)
-                .any(|c| !f32::from_le_bytes(c.try_into().unwrap()).is_finite())
-        {
-            // The frame checksummed clean but carries non-finite values:
-            // memory corruption upstream of checksumming. Quarantine the
-            // push and recover through the same nack/retransmit path.
-            self.nan_quarantined += 1;
-            self.tlog
-                .emit(TraceEvent::GradQuarantined { worker, iter, grad });
-            let _ = self.worker_txs[worker].send(ToWorker::PushNack { nack: ack });
-            return;
-        }
+        self.phases.verify_ns += t_verify.elapsed().as_nanos() as u64;
         self.ensure_restored(l);
         let slot = &mut self.slots[l];
         if !slot.active {
@@ -1584,10 +1738,9 @@ impl ShardRt {
             "push for tensor {grad} skipped the BSP barrier"
         );
         let recv = &mut slot.recv[worker];
-        if recv.slices.iter().any(|&(o, _)| o == offset_elems) {
+        if recv.slices.iter().any(|&(o, _, _)| o == offset_elems) {
             // Duplicate slice (a retransmission raced the ack).
-            self.pending[worker].push(ack);
-            self.pending_total += 1;
+            self.queue_ack(worker, ack);
             return;
         }
         recv.received_elems += len_elems;
@@ -1597,18 +1750,26 @@ impl ShardRt {
         );
         // Zero-copy staging: the wire slice itself is the staged gradient;
         // nothing is decoded until the barrier.
-        recv.slices.push((offset_elems, data));
-        self.pending[worker].push(ack);
-        self.pending_total += 1;
-        if recv.received_elems == size {
-            slot.complete += 1;
+        recv.slices.push((offset_elems, data, frame.crc));
+        let filled = recv.received_elems == size;
+        self.queue_ack(worker, ack);
+        if filled {
+            self.slots[l].complete += 1;
             self.tlog.emit(TraceEvent::PushEnd { worker, iter, grad });
+            // Inline completion: this push is the only event that can
+            // complete this barrier (the other enabler, a Leave notice,
+            // triggers its own sweep), so check here instead of scanning
+            // every slot after every message.
+            if self.slots[l].complete == self.mem.expected_count(iter) && self.leave_ok(iter) {
+                self.finish_barrier(l);
+            }
         }
     }
 
-    /// Close every completable barrier, in local-tensor order. Completion
-    /// is re-examined after *every* message because pushes are not the
-    /// only enabler: a [`ToPs::Leave`] can unblock a fully-arrived barrier.
+    /// Close every completable barrier, in local-tensor order. Pushes
+    /// complete their barrier inline; this full scan runs only when a
+    /// [`ToPs::Leave`] arrives, since an eviction notice can unblock any
+    /// number of fully-arrived barriers at once.
     fn sweep(&mut self) {
         for l in 0..self.ever.len() {
             if !self.slots[l].active {
@@ -1631,16 +1792,80 @@ impl ShardRt {
         let g = self.ever[l];
         let size = self.tensor_elems[g];
         let iter = self.slots[l].iter;
+        // Fold + optimiser + pull re-encode + checkpoint under the
+        // cache-residency gate: the section walks every staged payload
+        // plus the accumulator and parameters, and interleaving it with
+        // another thread's compute or fold re-fetches all of it from
+        // DRAM. Released before the ParamReady broadcast — the rare cold
+        // pull in `drain_deferred` takes its own token inside
+        // `serve_pull` (the gate is not reentrant). The wait lands in
+        // `idle_ns`, keeping the fold span pure work.
+        let gated = size * 4 >= GATE_MIN_BYTES;
+        if gated {
+            let t_gate = Instant::now();
+            self.gate.acquire();
+            self.phases.idle_ns += t_gate.elapsed().as_nanos() as u64;
+        }
+        let t_acc = Instant::now();
         {
             let slot = &mut self.slots[l];
             let acc = &mut self.acc_buf[..size];
             acc.fill(0.0);
-            for r in &mut slot.recv {
-                for (off, bytes) in r.slices.drain(..) {
-                    let n = bytes.len() / 4;
-                    accumulate_f32_le(&bytes, &mut acc[off..off + n]);
+            if self.eager_verify {
+                // Already verified at receive: plain fold in fixed worker
+                // order.
+                for r in &mut slot.recv {
+                    for (off, bytes, _) in r.slices.drain(..) {
+                        let n = bytes.len() / 4;
+                        accumulate_f32_le(&bytes, &mut acc[off..off + n]);
+                    }
+                    r.received_elems = 0;
                 }
-                r.received_elems = 0;
+            } else if slot.recv.iter().all(|r| {
+                r.slices.is_empty()
+                    || (r.slices.len() == 1
+                        && r.slices[0].0 == 0
+                        && r.slices[0].1.len() == size * 4)
+            }) {
+                // Deferred verify, whole-tensor payloads (schedulers that
+                // don't slice): block-major fused fold — one traversal per
+                // payload does both CRC and accumulate, with the
+                // accumulator block cache-hot across all worker streams.
+                let payloads: Vec<fold::WorkerPayload<'_>> = slot
+                    .recv
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| !r.slices.is_empty())
+                    .map(|(w, r)| fold::WorkerPayload {
+                        bytes: &r.slices[0].1,
+                        crc: r.slices[0].2,
+                        worker: w,
+                    })
+                    .collect();
+                fold::fold_whole_deferred(&payloads, acc, self.agg_chunks);
+                for r in &mut slot.recv {
+                    r.slices.clear();
+                    r.received_elems = 0;
+                }
+            } else {
+                // Deferred verify, sliced payloads: per-slice fused fold —
+                // still one traversal per slice, same worker order.
+                for (w, r) in slot.recv.iter_mut().enumerate() {
+                    for (off, bytes, crc) in r.slices.drain(..) {
+                        let n = bytes.len() / 4;
+                        let got = crc32::finish(fused_crc_accumulate(
+                            crc32::begin(),
+                            &bytes,
+                            &mut acc[off..off + n],
+                        ));
+                        assert_eq!(
+                            got, crc,
+                            "deferred barrier fold: slice from worker {w} fails its frame \
+                             CRC with no corruption plan armed — genuine memory corruption"
+                        );
+                    }
+                    r.received_elems = 0;
+                }
             }
             slot.active = false;
             slot.complete = 0;
@@ -1650,17 +1875,28 @@ impl ShardRt {
         for m in acc.iter_mut() {
             *m *= inv;
         }
+        let t_opt = Instant::now();
+        self.phases.accumulate_ns += t_opt.duration_since(t_acc).as_nanos() as u64;
         let opt = self.opts[l].as_mut().expect("barrier on unrestored tensor");
         opt.step(&mut self.params[l], acc);
         self.store.note_update(g, iter, acc);
+        self.phases.optimizer_ns += t_opt.elapsed().as_nanos() as u64;
+        self.phases.barriers += 1;
         self.done_iter[l] = Some(iter);
-        // The cached pull encoding is stale; reclaim its storage.
+        // The cached pull encoding is stale; reclaim its storage and
+        // re-encode right here, while the optimiser step just wrote the
+        // parameters and they are still cache-hot (every worker pulls
+        // every update, so the encode is never wasted; deferring it to
+        // the first PullReq would re-fetch the tensor from DRAM after
+        // the intervening folds evicted it). Runs inside this barrier's
+        // gated section.
         self.pull[l].frame = None;
         if let Some(b) = self.pull[l].wire.take() {
             if let Ok(m) = b.try_into_mut() {
                 self.pull[l].spare = Some(m);
             }
         }
+        self.encode_pull_cache(l);
         self.tlog.emit(TraceEvent::Barrier { iter, grad: g });
         let checkpoint_due = self.store.armed() && (iter + 1) % self.cfg.checkpoint_period == 0;
         if checkpoint_due {
@@ -1706,6 +1942,9 @@ impl ShardRt {
                     .open(&mut self.tlog, FaultKind::ShardFail, self.s, iter + 1);
                 self.dead = true;
             }
+        }
+        if gated {
+            self.gate.release();
         }
         if self.mem.elastic {
             for &w in self.mem.members(iter) {
@@ -1776,27 +2015,63 @@ impl ShardRt {
         }
     }
 
+    /// Encode local tensor `l`'s parameters into the cached whole-tensor
+    /// pull frame: recycled storage when the previous encoding's windows
+    /// have all been dropped, streamed CRC so the reply frame needs no
+    /// second read. Every further pull until the next update is a
+    /// zero-copy window of this buffer. Callers hold the cache-residency
+    /// gate when the tensor is large; the encode time books to
+    /// `encode_ns`.
+    fn encode_pull_cache(&mut self, l: usize) {
+        let g = self.ever[l];
+        let t_fill = Instant::now();
+        let mut buf = match self.pull[l].spare.take() {
+            Some(mut m) => {
+                m.clear();
+                self.pull_recycles += 1;
+                m
+            }
+            None => {
+                self.pull_allocs += 1;
+                BytesMut::with_capacity(self.tensor_elems[g] * 4)
+            }
+        };
+        let crc = encode_f32_into_crc(&self.params[l], &mut buf);
+        self.phases.encode_ns += t_fill.elapsed().as_nanos() as u64;
+        let wire = buf.freeze();
+        self.pull[l].frame = Some((
+            0,
+            self.tensor_elems[g],
+            FrameHeader {
+                len: wire.len() as u32,
+                crc,
+            },
+        ));
+        self.pull[l].wire = Some(wire);
+    }
+
     fn serve_pull(&mut self, worker: usize, grad: usize, offset_elems: usize, len_elems: usize) {
         let l = self.local(grad);
         debug_assert!(self.restored[l], "serving an unrestored tensor");
         if self.pull[l].wire.is_none() {
-            // First pull since the last update: encode the whole tensor
-            // once into (recycled) storage; every further pull of it is a
-            // zero-copy window.
-            let mut buf = match self.pull[l].spare.take() {
-                Some(mut m) => {
-                    m.clear();
-                    self.pull_recycles += 1;
-                    m
-                }
-                None => {
-                    self.pull_allocs += 1;
-                    BytesMut::with_capacity(self.tensor_elems[grad] * 4)
-                }
-            };
-            encode_f32_into(&self.params[l], &mut buf);
-            self.pull[l].wire = Some(buf.freeze());
+            // Cold pull — bootstrap, or a tensor adopted/restored since
+            // its last local barrier (steady-state pulls hit the cache
+            // refreshed by `finish_barrier`). A large encode walks the
+            // full parameter vector, so it runs under the cache-residency
+            // gate (the wait lands in `idle_ns`, keeping the encode span
+            // pure work).
+            let gated = self.tensor_elems[grad] * 4 >= GATE_MIN_BYTES;
+            if gated {
+                let t_gate = Instant::now();
+                self.gate.acquire();
+                self.phases.idle_ns += t_gate.elapsed().as_nanos() as u64;
+            }
+            self.encode_pull_cache(l);
+            if gated {
+                self.gate.release();
+            }
         }
+        let t_encode = Instant::now();
         let clean = {
             let wire = self.pull[l].wire.as_ref().unwrap();
             wire.slice(offset_elems * 4..(offset_elems + len_elems) * 4)
@@ -1819,6 +2094,7 @@ impl ShardRt {
                 (clean, frame)
             }
         };
+        self.phases.encode_ns += t_encode.elapsed().as_nanos() as u64;
         self.worker_txs[worker]
             .send(ToWorker::PullData {
                 grad,
@@ -1838,6 +2114,7 @@ impl ShardRt {
         if self.pending_total == 0 {
             return;
         }
+        let t_ack = Instant::now();
         for w in 0..self.pending.len() {
             if self.pending[w].is_empty() {
                 continue;
@@ -1853,10 +2130,12 @@ impl ShardRt {
             let _ = self.worker_txs[w].send(ToWorker::PushAcks { acks, crc });
         }
         self.pending_total = 0;
+        self.phases.ack_ns += t_ack.elapsed().as_nanos() as u64;
     }
 
-    /// The serve loop: drain the inbox, apply each message, sweep for
-    /// completable barriers, flush acks at the cap or when idle.
+    /// The serve loop: drain the inbox, apply each message (barriers
+    /// complete inline in the push handler), flush acks at the cap or
+    /// when idle.
     fn run(mut self, rx: Receiver<ToPs>) -> ShardOut {
         // Time-triggered crash schedule for THIS shard, earliest first.
         let mut crashes: Vec<(u64, StdDuration)> = self
@@ -1886,18 +2165,33 @@ impl ShardRt {
                 Ok(m) => Some(m),
                 Err(TryRecvError::Empty) => {
                     self.flush_acks();
-                    if next_crash < crashes.len() {
-                        match rx.recv_timeout(StdDuration::from_millis(1)) {
+                    let t_idle = Instant::now();
+                    let got = if next_crash < crashes.len() {
+                        // Block no longer than the next scheduled crash —
+                        // an idle channel must not postpone it.
+                        let now_ns = self.start.elapsed().as_nanos() as u64;
+                        let wait = StdDuration::from_nanos(
+                            crashes[next_crash].0.saturating_sub(now_ns).max(1),
+                        );
+                        match rx.recv_timeout(wait) {
                             Ok(m) => Some(m),
                             Err(RecvTimeoutError::Timeout) => None,
-                            Err(RecvTimeoutError::Disconnected) => break 'serve,
+                            Err(RecvTimeoutError::Disconnected) => {
+                                self.phases.idle_ns += t_idle.elapsed().as_nanos() as u64;
+                                break 'serve;
+                            }
                         }
                     } else {
                         match rx.recv() {
                             Ok(m) => Some(m),
-                            Err(_) => break 'serve,
+                            Err(_) => {
+                                self.phases.idle_ns += t_idle.elapsed().as_nanos() as u64;
+                                break 'serve;
+                            }
                         }
-                    }
+                    };
+                    self.phases.idle_ns += t_idle.elapsed().as_nanos() as u64;
+                    got
                 }
                 Err(TryRecvError::Disconnected) => break 'serve,
             };
@@ -1909,6 +2203,7 @@ impl ShardRt {
                 self.crash_restart(downtime);
             }
             let Some(msg) = msg else { continue };
+            self.phases.msgs += 1;
             match msg {
                 ToPs::Push {
                     worker,
@@ -1926,9 +2221,17 @@ impl ShardRt {
                     len_elems,
                     min_done,
                 } => self.on_pull(worker, grad, offset_elems, len_elems, min_done),
-                ToPs::Leave { worker } => self.left[worker] = true,
+                ToPs::Leave { worker } => {
+                    self.left[worker] = true;
+                    // A Leave can unblock fully-arrived barriers gated on
+                    // the eviction epoch — the one completion enabler the
+                    // inline push-path check cannot see, and the only
+                    // event that still pays for a full sweep.
+                    let t_sweep = Instant::now();
+                    self.sweep();
+                    self.phases.sweep_ns += t_sweep.elapsed().as_nanos() as u64;
+                }
             }
-            self.sweep();
             if self.pending_total >= ACK_FLUSH_CAP {
                 self.flush_acks();
             }
@@ -1964,6 +2267,7 @@ impl ShardRt {
             nan_quarantined: self.nan_quarantined,
             restore_fallbacks: self.restore_fallbacks,
             fallback_depth: self.fallback_depth,
+            phases: self.phases,
         }
     }
 }
@@ -1977,6 +2281,12 @@ struct DriveCtx<'a> {
     arena: &'a Bytes,
     /// Byte offset of each gradient tensor within the arena.
     grad_off: &'a [usize],
+    /// Whole-tensor payload CRC of each tensor in the arena, streamed
+    /// during the encode pass — a whole-tensor push (the common case)
+    /// frames without re-reading its payload.
+    grad_crc: &'a [u32],
+    /// Tensor sizes in elements (to recognise whole-tensor slices).
+    tensor_elems: &'a [usize],
     txs: &'a [Sender<ToPs>],
     /// Tensor → shard owner table in force for this iteration (membership
     /// epochs re-home tensors between iterations, never within one).
@@ -2011,7 +2321,12 @@ fn send_push_slice(
     } else {
         let lo = ctx.grad_off[grad] + offset_elems * 4;
         let clean = ctx.arena.slice(lo..lo + len_elems * 4);
-        let (data, frame) = frame_payload(corrupt, pool, ctx.epoch, true, clean);
+        let cached =
+            (offset_elems == 0 && len_elems == ctx.tensor_elems[grad]).then(|| FrameHeader {
+                len: (len_elems * 4) as u32,
+                crc: ctx.grad_crc[grad],
+            });
+        let (data, frame) = frame_payload(corrupt, pool, ctx.epoch, true, clean, cached);
         ctx.txs[shard]
             .send(ToPs::Push {
                 worker: ctx.w,
@@ -2164,7 +2479,11 @@ fn resend_expired(
             } else {
                 let lo = ctx.grad_off[g] + off * 4;
                 let clean = ctx.arena.slice(lo..lo + len * 4);
-                let (data, frame) = frame_payload(corrupt, pool, ctx.epoch, true, clean);
+                let cached = (off == 0 && len == ctx.tensor_elems[g]).then(|| FrameHeader {
+                    len: (len * 4) as u32,
+                    crc: ctx.grad_crc[g],
+                });
+                let (data, frame) = frame_payload(corrupt, pool, ctx.epoch, true, clean, cached);
                 ctx.txs[shard]
                     .send(ToPs::Push {
                         worker: ctx.w,
@@ -2181,6 +2500,58 @@ fn resend_expired(
             u.epoch = epoch;
             u.deadline = now + timeout + backoff;
         }
+    }
+}
+
+/// A counting semaphore bounding how many large memory traversals run
+/// simultaneously across the whole runtime: worker compute + encode
+/// sections, shard barrier folds (+ optimiser + checkpoint), shard pull
+/// encodes, and worker pull applies. Permits equal the host's available
+/// parallelism, so on a machine with at least one core per thread the
+/// gate never blocks. On an oversubscribed host it stops the OS from
+/// time-slicing several multi-megabyte walks against each other: each
+/// section's working set (weights, gradients, arena, accumulator) spans
+/// megabytes, and round-robin preemption forces a full re-fetch of that
+/// set from DRAM every slice. Admitting only as many walks as there are
+/// cores keeps each one cache-resident to completion — the BSP barrier
+/// serialises iteration progress anyway, so ordering the walks costs no
+/// parallelism the hardware actually has.
+///
+/// Deadlock-freedom: a permit is only ever held across straight-line
+/// memory work — never across a channel receive, and never while trying
+/// to take a lock that another permit-holder could be blocked on (the
+/// durable store's lock is taken either under the gate or by lock-only
+/// sections that don't wait on the gate). Every holder therefore runs to
+/// release without depending on another thread's progress.
+struct ComputeGate {
+    permits: Mutex<usize>,
+    cv: Condvar,
+}
+
+/// Traversals below this size skip the gate: a few-KiB bias apply fits in
+/// L1 whatever else runs, and the acquire/wake round-trip would cost more
+/// than the walk itself.
+const GATE_MIN_BYTES: usize = 1 << 20;
+
+impl ComputeGate {
+    fn new(permits: usize) -> Self {
+        ComputeGate {
+            permits: Mutex::new(permits.max(1)),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self) {
+        let mut p = self.permits.lock().unwrap();
+        while *p == 0 {
+            p = self.cv.wait(p).unwrap();
+        }
+        *p -= 1;
+    }
+
+    fn release(&self) {
+        *self.permits.lock().unwrap() += 1;
+        self.cv.notify_one();
     }
 }
 
@@ -2203,6 +2574,7 @@ fn worker_thread(
     sizes_bytes: Arc<Vec<u64>>,
     mem: Arc<Membership>,
     clock: Arc<MembershipClock>,
+    gate: Arc<ComputeGate>,
     txs: Vec<Sender<ToPs>>,
     rx: Receiver<ToWorker>,
     epoch: Instant,
@@ -2239,6 +2611,7 @@ fn worker_thread(
             arena_recycles: 0,
             corrupt_frames: 0,
             nack_bytes: 0,
+            phases: WorkerPhases::default(),
         };
     }
     let evicted = !is_joiner
@@ -2260,6 +2633,7 @@ fn worker_thread(
     let mut bytes_pushed = 0u64;
     let mut corrupt_frames = 0u64;
     let mut nack_bytes = 0u64;
+    let mut phases = WorkerPhases::default();
     let ps_epochs: Vec<Cell<u64>> = (0..shards).map(|_| Cell::new(0)).collect();
 
     if is_joiner {
@@ -2342,9 +2716,18 @@ fn worker_thread(
     let mut param_ready_seen = vec![false; n];
     let mut attempts = vec![0u32; n];
     let mut grad_off = vec![0usize; n]; // byte offset of each tensor in the arena
+    let mut grad_crc = vec![0u32; n]; // whole-tensor payload CRC per tensor
     let arena_bytes: usize = tensor_elems.iter().map(|&e| e * 4).sum();
     let mut pool = ArenaPool::new();
+    // Tampered in-flight copies come from their own pool so the arena
+    // pool's counters stay an exact function of the fault-free data path
+    // (mirrors the shard-side `tamper_pool`; dormant without corruption).
+    let mut tamper_pool = ArenaPool::new();
     let mut arena: Option<Bytes> = None;
+    // Verify pull replies at receive only under a corruption plan; without
+    // one the frame CRC is checked inside the fused decode-into-parameters
+    // pass instead of costing its own traversal.
+    let eager_pull = cfg.fault_plan.has_corruption();
 
     // Data windows use the *initial* worker count and this worker's
     // absolute id: each worker's stream of batches is a pure function of
@@ -2375,6 +2758,13 @@ fn worker_thread(
         // This iteration's shard: a rotating window over the dataset.
         let lo = ((iter as usize * cfg.global_batch) + w * per_worker) % dataset.len();
         let hi = (lo + per_worker).min(dataset.len());
+        // Run compute + encode under the parallelism gate: time spent
+        // waiting for a permit is contention, not compute, so it lands in
+        // the wait span.
+        let t_gate = Instant::now();
+        gate.acquire();
+        let t_compute = Instant::now();
+        phases.wait_ns += t_compute.duration_since(t_gate).as_nanos() as u64;
         let (x, labels) = dataset.batch(lo, hi.max(lo + 1));
         model.zero_grads();
         let loss = model.forward_backward(&x, &labels);
@@ -2382,14 +2772,21 @@ fn worker_thread(
 
         // Serialise all gradients into one arena; every push payload below
         // is a zero-copy window into it.
+        let t_encode = Instant::now();
+        phases.compute_ns += t_encode.duration_since(t_compute).as_nanos() as u64;
         let mut buf = pool.checkout(arena_bytes);
         let mut off = 0usize;
         for (g, gs) in model.grad_slices().iter().enumerate() {
             grad_off[g] = off;
-            encode_f32_into(gs, &mut buf);
+            // Stream the frame checksum while the bytes are still hot in
+            // the encode pass — whole-tensor pushes then frame without a
+            // second read of the payload.
+            grad_crc[g] = encode_f32_into_crc(gs, &mut buf);
             off += gs.len() * 4;
         }
         let arena_ref: &Bytes = arena.insert(buf.freeze());
+        gate.release();
+        phases.encode_ns += t_encode.elapsed().as_nanos() as u64;
 
         let ctx = DriveCtx {
             w,
@@ -2397,6 +2794,8 @@ fn worker_thread(
             epoch,
             arena: arena_ref,
             grad_off: &grad_off,
+            grad_crc: &grad_crc,
+            tensor_elems: tensor_elems.as_slice(),
             txs: &txs,
             owner,
             ps_epochs: &ps_epochs,
@@ -2420,18 +2819,29 @@ fn worker_thread(
                 &mut bytes_pushed,
                 &mut faults,
                 &mut corrupt,
-                &mut pool,
+                &mut tamper_pool,
                 &mut tlog,
             );
         }
 
         // Communication loop: receive PS messages until every tensor has
         // been pulled and applied. With live fault machinery the receive
-        // polls, so ack-timeout retransmissions fire even when the shards
-        // have gone quiet (the very situation a lost message creates).
+        // waits only until the earliest ack deadline, so retransmissions
+        // fire even when the shards have gone quiet (the very situation a
+        // lost message creates) — but without a fixed-period poll burning
+        // wakeups when nothing is due. With no tracked slices every event
+        // that can unblock this loop arrives as a message, so the receive
+        // blocks outright.
         while !pulled.iter().all(|&p| p) {
+            let t_wait = Instant::now();
             let msg = if faults.active {
-                match rx.recv_timeout(StdDuration::from_millis(2)) {
+                let wait = match faults.unacked.iter().map(|u| u.deadline).min() {
+                    Some(d) => d
+                        .saturating_duration_since(Instant::now())
+                        .max(StdDuration::from_micros(50)),
+                    None => StdDuration::from_millis(20),
+                };
+                match rx.recv_timeout(wait) {
                     Ok(m) => Some(m),
                     Err(RecvTimeoutError::Timeout) => None,
                     Err(RecvTimeoutError::Disconnected) => panic!("ps hung up mid-iteration"),
@@ -2439,6 +2849,7 @@ fn worker_thread(
             } else {
                 Some(rx.recv().expect("ps hung up mid-iteration"))
             };
+            phases.wait_ns += t_wait.elapsed().as_nanos() as u64;
             match msg {
                 None => {}
                 Some(ToWorker::ParamReady { grad, epoch: pe }) => {
@@ -2521,7 +2932,7 @@ fn worker_thread(
                                 &ctx,
                                 &mut faults,
                                 &mut corrupt,
-                                &mut pool,
+                                &mut tamper_pool,
                                 &mut limiter,
                                 &mut bytes_pushed,
                                 g,
@@ -2538,7 +2949,8 @@ fn worker_thread(
                     frame,
                 }) => {
                     limiter.acquire(data.len() as u64);
-                    if !frame.verify(&data) {
+                    let t_apply = Instant::now();
+                    if eager_pull && !frame.verify(&data) {
                         // Damaged parameter slice: nothing lands in the
                         // model. Re-request exactly this window; the
                         // shard's cached encoding serves it bit-exactly.
@@ -2569,11 +2981,41 @@ fn worker_thread(
                                 min_done: None,
                             })
                             .expect("ps shard hung up mid-pull-retry");
+                        phases.apply_ns += t_apply.elapsed().as_nanos() as u64;
                         continue;
                     }
-                    // Wire bytes land straight in the model's parameter
-                    // storage — no staging buffer.
-                    model.set_param_slice_le(grad, offset_elems, &data);
+                    // A large apply walks the payload plus the parameter
+                    // slice — gate it like any other big traversal. The
+                    // wait lands in `wait_ns`, keeping the apply span
+                    // pure work.
+                    let gated = data.len() >= GATE_MIN_BYTES;
+                    if gated {
+                        let t_gate = Instant::now();
+                        gate.acquire();
+                        phases.wait_ns += t_gate.elapsed().as_nanos() as u64;
+                    }
+                    let t_apply = Instant::now();
+                    if eager_pull {
+                        // Wire bytes land straight in the model's parameter
+                        // storage — no staging buffer.
+                        model.set_param_slice_le(grad, offset_elems, &data);
+                    } else {
+                        // No corruption plan: the receive-time verify above
+                        // is skipped; decode into the parameter slice and
+                        // stream the frame CRC in the same pass instead.
+                        let dst = &mut model.param_slice_mut(grad)
+                            [offset_elems..offset_elems + data.len() / 4];
+                        let got = crc32::finish(fused_crc_apply(crc32::begin(), &data, dst));
+                        assert_eq!(
+                            got, frame.crc,
+                            "pull reply fails its frame CRC with no corruption plan armed \
+                             — genuine memory corruption"
+                        );
+                    }
+                    if gated {
+                        gate.release();
+                    }
+                    phases.apply_ns += t_apply.elapsed().as_nanos() as u64;
                     let (task, awaiting) = inflight_pull.take().expect("pull data without request");
                     if awaiting > 1 {
                         inflight_pull = Some((task, awaiting - 1));
@@ -2628,7 +3070,7 @@ fn worker_thread(
                             &ctx,
                             &mut faults,
                             &mut corrupt,
-                            &mut pool,
+                            &mut tamper_pool,
                             &mut limiter,
                             &mut bytes_pushed,
                             g,
@@ -2643,7 +3085,7 @@ fn worker_thread(
                     &ctx,
                     &mut faults,
                     &mut corrupt,
-                    &mut pool,
+                    &mut tamper_pool,
                     &mut attempts,
                     &mut limiter,
                     &mut bytes_pushed,
@@ -2660,7 +3102,7 @@ fn worker_thread(
                 &mut bytes_pushed,
                 &mut faults,
                 &mut corrupt,
-                &mut pool,
+                &mut tamper_pool,
                 &mut tlog,
             );
         }
@@ -2690,6 +3132,7 @@ fn worker_thread(
         arena_recycles: pool.recycled,
         corrupt_frames,
         nack_bytes,
+        phases,
     }
 }
 

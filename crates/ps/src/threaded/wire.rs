@@ -233,6 +233,57 @@ pub mod crc32 {
         !crc
     }
 
+    /// XOR-accumulate the matrix columns selected by `v`'s set bits.
+    #[inline]
+    fn mat_apply(m: &[u32; 32], mut v: u32) -> u32 {
+        let mut acc = 0u32;
+        let mut bit = 0;
+        while v != 0 {
+            if v & 1 != 0 {
+                acc ^= m[bit];
+            }
+            v >>= 1;
+            bit += 1;
+        }
+        acc
+    }
+
+    /// Advance a streaming state across `len` zero bytes — the runtime
+    /// analogue of the compile-time `SHIFT` operator, for arbitrary
+    /// lengths (zlib's `crc32_combine` construction: square the
+    /// one-zero-byte matrix along the binary expansion of `len`).
+    ///
+    /// The register update is affine in the state, so states computed
+    /// independently over adjacent chunks combine exactly:
+    /// `update(s, ab) == shift(update(s, a), b.len()) ^ update(0, b)`.
+    /// This is what lets the parallel barrier fold checksum disjoint
+    /// accumulator ranges on separate threads and still produce the
+    /// sequential whole-payload CRC bit-for-bit.
+    pub fn shift(crc: u32, len: usize) -> u32 {
+        // One zero byte as a GF(2) matrix (column i = image of bit i).
+        let mut m = [0u32; 32];
+        for (i, col) in m.iter_mut().enumerate() {
+            let r = 1u32 << i;
+            *col = (r >> 8) ^ TABLES[0][(r & 0xFF) as usize];
+        }
+        let mut v = crc;
+        let mut n = len;
+        while n != 0 {
+            if n & 1 != 0 {
+                v = mat_apply(&m, v);
+            }
+            n >>= 1;
+            if n != 0 {
+                let mut sq = [0u32; 32];
+                for (i, col) in sq.iter_mut().enumerate() {
+                    *col = mat_apply(&m, m[i]);
+                }
+                m = sq;
+            }
+        }
+        v
+    }
+
     /// One-shot checksum of `bytes`.
     pub fn checksum(bytes: &[u8]) -> u32 {
         finish(update(begin(), bytes))
@@ -244,6 +295,74 @@ pub mod crc32 {
     pub fn checksum_sw(bytes: &[u8]) -> u32 {
         finish(update_sw(begin(), bytes))
     }
+}
+
+/// Block size of the fused CRC+decode passes: `4 × LANE` bytes, so every
+/// full block feeds the 4-way interleaved SSE4.2 kernel exactly one round
+/// (and the software fallback one slicing-by-8 sweep) while the block —
+/// L1-resident from the checksum read — is decoded and folded before the
+/// next one is touched. One memory traversal instead of two.
+const FUSE_BLOCK: usize = 8192;
+
+/// Fold a little-endian `f32` payload into `acc` elementwise
+/// (`acc[i] += payload[i]`) while streaming the same bytes through a
+/// CRC32C state, returning the advanced state.
+///
+/// Block-interleaved, not element-interleaved: each [`FUSE_BLOCK`] chunk
+/// is checksummed with the full-width kernel and then folded while still
+/// cache-hot, so the arithmetic is bit-identical to [`accumulate_f32_le`]
+/// and the CRC bit-identical to a straight [`crc32::update`] over the
+/// whole payload. Used by the barrier fold when verification is deferred
+/// (no corruption windows armed): the push payload is traversed **once**,
+/// where the eager path reads it twice (verify at receive, fold at
+/// barrier).
+///
+/// Panics when the byte length is not `4 * acc.len()`.
+pub fn fused_crc_accumulate(mut crc: u32, bytes: &[u8], acc: &mut [f32]) -> u32 {
+    assert_eq!(bytes.len(), acc.len() * 4, "payload/accumulator mismatch");
+    for (bc, ac) in bytes.chunks(FUSE_BLOCK).zip(acc.chunks_mut(FUSE_BLOCK / 4)) {
+        crc = crc32::update(crc, bc);
+        for (a, c) in ac.iter_mut().zip(bc.chunks_exact(4)) {
+            *a += f32::from_le_bytes(c.try_into().unwrap());
+        }
+    }
+    crc
+}
+
+/// The overwriting sibling of [`fused_crc_accumulate`]: decode the payload
+/// into `dst` (`dst[i] = payload[i]`) while streaming it through the CRC
+/// state. Workers use it to verify-and-apply pull replies in one pass when
+/// no corruption windows are armed.
+///
+/// Panics when the byte length is not `4 * dst.len()`.
+pub fn fused_crc_apply(mut crc: u32, bytes: &[u8], dst: &mut [f32]) -> u32 {
+    assert_eq!(bytes.len(), dst.len() * 4, "payload/destination mismatch");
+    for (bc, dc) in bytes.chunks(FUSE_BLOCK).zip(dst.chunks_mut(FUSE_BLOCK / 4)) {
+        crc = crc32::update(crc, bc);
+        for (d, c) in dc.iter_mut().zip(bc.chunks_exact(4)) {
+            *d = f32::from_le_bytes(c.try_into().unwrap());
+        }
+    }
+    crc
+}
+
+/// Verify a frame and fold its payload into `acc` only on success — the
+/// composition the *eager* path is contractually held to: a corrupt frame
+/// is rejected before a single accumulator byte is written.
+///
+/// This contract is exactly why full fusion is impossible under armed
+/// corruption: the whole-frame checksum is not known until the last
+/// payload byte has been read, by which point a fused loop would already
+/// have written most of the accumulator. Clean-plan runs therefore defer
+/// the CRC into the barrier fold ([`fused_crc_accumulate`], where a
+/// mismatch is a panic — genuine memory corruption, not an injected
+/// fault), while corruption-armed runs pay the second traversal here.
+pub fn verify_accumulate(bytes: &[u8], frame: &FrameHeader, acc: &mut [f32]) -> bool {
+    if !frame.verify(bytes) {
+        return false;
+    }
+    accumulate_f32_le(bytes, acc);
+    true
 }
 
 /// Length + checksum framing for one data payload. The header describes the
@@ -318,6 +437,27 @@ pub fn encode_f32_into(values: &[f32], buf: &mut BytesMut) {
         }
         buf.put_slice(&tmp[..chunk.len() * 4]);
     }
+}
+
+/// [`encode_f32_into`] that also returns the finished CRC32C of the bytes
+/// it appended, checksummed from the stack block while it is L1-hot —
+/// senders that frame the whole tensor get the header checksum for free
+/// instead of re-reading the encoded buffer. The block is `FUSE_BLOCK`
+/// bytes so each full block is one interleaved hardware round.
+pub fn encode_f32_into_crc(values: &[f32], buf: &mut BytesMut) -> u32 {
+    const BLOCK: usize = FUSE_BLOCK / 4;
+    buf.reserve(values.len() * 4);
+    let mut crc = crc32::begin();
+    let mut tmp = [0u8; BLOCK * 4];
+    for chunk in values.chunks(BLOCK) {
+        for (t, v) in tmp.chunks_exact_mut(4).zip(chunk) {
+            t.copy_from_slice(&v.to_le_bytes());
+        }
+        let n = chunk.len() * 4;
+        crc = crc32::update(crc, &tmp[..n]);
+        buf.put_slice(&tmp[..n]);
+    }
+    crc32::finish(crc)
 }
 
 /// Decode a little-endian `f32` payload directly into `acc`, adding
@@ -584,6 +724,201 @@ mod tests {
         assert!(!frame.verify(&flipped));
 
         assert!(!frame.verify(&payload[..payload.len() - 4]));
+    }
+
+    #[test]
+    fn crc32_shift_matches_streaming_over_zeros() {
+        // shift(s, n) must equal feeding n literal zero bytes.
+        let zeros = vec![0u8; 5000];
+        for n in [0usize, 1, 7, 8, 63, 2048, 2049, 4096, 5000] {
+            let s = crc32::update(crc32::begin(), b"seed material");
+            assert_eq!(
+                crc32::shift(s, n),
+                crc32::update(s, &zeros[..n]),
+                "shift disagrees with zero-feed at n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn crc32_shift_combines_split_chunks() {
+        // The affine-combine identity the parallel fold relies on:
+        // update(s, ab) == shift(update(s, a), |b|) ^ update(0, b).
+        let data: Vec<u8> = (0..40_000u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 11) as u8)
+            .collect();
+        for split in [0usize, 1, 9, 4096, 8192, 20_000, 39_999, 40_000] {
+            let (a, b) = data.split_at(split);
+            let whole = crc32::update(crc32::begin(), &data);
+            let combined =
+                crc32::shift(crc32::update(crc32::begin(), a), b.len()) ^ crc32::update(0, b);
+            assert_eq!(whole, combined, "combine identity broke at split {split}");
+        }
+    }
+
+    #[test]
+    fn fused_accumulate_matches_separate_passes() {
+        let values: Vec<f32> = (0..10_000).map(|i| (i as f32).sin()).collect();
+        let wire = encode_f32(&values);
+        let mut fused_acc = vec![0.5f32; values.len()];
+        let mut ref_acc = fused_acc.clone();
+        let fused_crc = crc32::finish(fused_crc_accumulate(crc32::begin(), &wire, &mut fused_acc));
+        accumulate_f32_le(&wire, &mut ref_acc);
+        assert_eq!(fused_crc, crc32::checksum(&wire));
+        for (f, r) in fused_acc.iter().zip(&ref_acc) {
+            assert_eq!(f.to_bits(), r.to_bits());
+        }
+    }
+
+    #[test]
+    fn fused_apply_matches_decode() {
+        let values: Vec<f32> = (0..3000).map(|i| (i as f32) * -0.25).collect();
+        let wire = encode_f32(&values);
+        let mut dst = vec![99.0f32; values.len()];
+        let crc = crc32::finish(fused_crc_apply(crc32::begin(), &wire, &mut dst));
+        assert_eq!(crc, crc32::checksum(&wire));
+        for (d, v) in dst.iter().zip(&values) {
+            assert_eq!(d.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn encode_with_crc_matches_plain_encode() {
+        let values: Vec<f32> = (0..5000).map(|i| (i as f32).cos() * 3.0).collect();
+        let mut plain = bytes::BytesMut::new();
+        encode_f32_into(&values, &mut plain);
+        let mut with_crc = bytes::BytesMut::new();
+        let crc = encode_f32_into_crc(&values, &mut with_crc);
+        assert_eq!(plain, with_crc);
+        assert_eq!(crc, crc32::checksum(&plain));
+    }
+
+    #[test]
+    fn verify_accumulate_rejects_before_writing() {
+        let wire = encode_f32(&[1.0, 2.0, 3.0]);
+        let frame = FrameHeader::for_payload(&wire);
+        let mut damaged = wire.to_vec();
+        damaged[2] ^= 0x40;
+        let mut acc = [7.0f32; 3];
+        assert!(!verify_accumulate(&damaged, &frame, &mut acc));
+        assert_eq!(acc, [7.0; 3], "corrupt frame touched the accumulator");
+        assert!(verify_accumulate(&wire, &frame, &mut acc));
+        assert_eq!(acc, [8.0, 9.0, 10.0]);
+    }
+
+    mod fused_props {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Fused CRC+accumulate ≡ (separate verify pass, separate
+            /// accumulate pass) at random lengths, including sub-block
+            /// tails and multi-block payloads straddling `FUSE_BLOCK`.
+            #[test]
+            fn fused_equals_separate(
+                values in prop::collection::vec(-1e6f32..1e6f32, 0..5000),
+                init in -100.0f32..100.0,
+                offset_blocks in 0usize..3,
+            ) {
+                // Pad to straddle block boundaries at varying phases.
+                let mut padded = vec![0.125f32; offset_blocks * (FUSE_BLOCK / 4) / 3];
+                padded.extend_from_slice(&values);
+                let wire = encode_f32(&padded);
+                let mut fused = vec![init; padded.len()];
+                let mut reference = fused.clone();
+                let crc = crc32::finish(
+                    fused_crc_accumulate(crc32::begin(), &wire, &mut fused),
+                );
+                accumulate_f32_le(&wire, &mut reference);
+                prop_assert_eq!(crc, crc32::checksum(&wire));
+                for (f, r) in fused.iter().zip(&reference) {
+                    prop_assert_eq!(f.to_bits(), r.to_bits());
+                }
+            }
+
+            /// The fused pass's CRC agrees with the table-based software
+            /// path — goldens stay host-independent even when the fold
+            /// dispatches to the SSE4.2 kernel.
+            #[test]
+            fn fused_crc_agrees_with_software_path(
+                // Raw bit patterns: every f32, NaNs and infinities
+                // included — the CRC sees bytes, not numbers.
+                values in prop::collection::vec(
+                    (0u32..=u32::MAX).prop_map(f32::from_bits),
+                    0..4000,
+                ),
+            ) {
+                let wire = encode_f32(&values);
+                let mut acc = vec![0.0f32; values.len()];
+                let crc = crc32::finish(
+                    fused_crc_accumulate(crc32::begin(), &wire, &mut acc),
+                );
+                prop_assert_eq!(crc, crc32::checksum_sw(&wire));
+                let mut dst = vec![0.0f32; values.len()];
+                let crc2 = crc32::finish(
+                    fused_crc_apply(crc32::begin(), &wire, &mut dst),
+                );
+                prop_assert_eq!(crc2, crc32::checksum_sw(&wire));
+            }
+
+            /// A corrupt frame must be rejected before any accumulator
+            /// byte is written — the guarded composition keeps the
+            /// accumulator bit-identical to its pre-call state for every
+            /// flip position.
+            #[test]
+            fn corrupt_frames_never_touch_the_accumulator(
+                values in prop::collection::vec(-1e3f32..1e3f32, 1..500),
+                flip_byte in 0usize..2000,
+                flip_bit in 0u8..8,
+            ) {
+                let wire = encode_f32(&values);
+                let frame = FrameHeader::for_payload(&wire);
+                let mut damaged = wire.to_vec();
+                let pos = flip_byte % damaged.len();
+                damaged[pos] ^= 1 << flip_bit;
+                let before: Vec<f32> = (0..values.len())
+                    .map(|i| i as f32 * 0.5 - 7.0)
+                    .collect();
+                let mut acc = before.clone();
+                prop_assert!(!verify_accumulate(&damaged, &frame, &mut acc));
+                for (a, b) in acc.iter().zip(&before) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+
+            /// Truncated payloads are rejected by length before the CRC
+            /// is even consulted; the accumulator slice stays untouched.
+            #[test]
+            fn truncated_frames_rejected(
+                values in prop::collection::vec(-1e3f32..1e3f32, 2..300),
+                cut in 1usize..100,
+            ) {
+                let wire = encode_f32(&values);
+                let frame = FrameHeader::for_payload(&wire);
+                let cut = cut.min(wire.len() - 1);
+                let truncated = &wire[..wire.len() - cut];
+                let mut acc = vec![0.0f32; values.len()];
+                prop_assert!(!verify_accumulate(truncated, &frame, &mut acc));
+                prop_assert!(acc.iter().all(|&a| a == 0.0));
+            }
+
+            /// Runtime shift ≡ compile-time combine for arbitrary splits:
+            /// checksum a split payload chunkwise and recombine.
+            #[test]
+            fn shift_combines_arbitrary_splits(
+                data in prop::collection::vec(0u8..=255, 0..20_000),
+                split_num in 0usize..1000,
+            ) {
+                let split = if data.is_empty() { 0 } else { split_num % (data.len() + 1) };
+                let (a, b) = data.split_at(split);
+                let whole = crc32::checksum(&data);
+                let combined = crc32::finish(
+                    crc32::shift(crc32::update(crc32::begin(), a), b.len())
+                        ^ crc32::update(0, b),
+                );
+                prop_assert_eq!(whole, combined);
+            }
+        }
     }
 
     #[test]

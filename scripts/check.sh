@@ -44,6 +44,10 @@ if [[ "$tier" == "all" || "$tier" == "debug" ]]; then
     cargo bench --offline -q -p prophet-bench --bench maxmin_scale -- --test > /dev/null
     cargo bench --offline -q -p prophet-bench --bench sim_scale -- --test > /dev/null
     cargo bench --offline -q -p prophet-bench --bench threaded -- --test > /dev/null
+    cargo bench --offline -q -p prophet-bench --bench plan_cost -- --test > /dev/null
+
+    echo "==> perf gate (pinned floors over BENCH_threaded.json)"
+    ./scripts/perf_gate.sh
 fi
 
 if [[ "$tier" == "all" || "$tier" == "release" ]]; then

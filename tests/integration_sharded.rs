@@ -174,7 +174,7 @@ fn steady_state_push_path_allocates_nothing_after_warmup() {
     let n_tensors = Mlp::new(&ThreadedConfig::small(1, SchedulerKind::Fifo).widths, 0)
         .tensor_sizes()
         .len();
-    for shards in [1usize, 2] {
+    for shards in SHARD_COUNTS {
         let mut cfg = ThreadedConfig::small(4, SchedulerKind::Fifo);
         cfg.ps_shards = shards;
         cfg.iterations = 30;
@@ -237,6 +237,96 @@ fn acks_are_batched_not_per_slice() {
         "acks are not batched: {} batches for {} slices",
         r.ack_batches,
         slices
+    );
+}
+
+#[test]
+fn armed_ack_path_stays_zero_alloc_in_steady_state() {
+    // Arming the fault machinery (zero-rate loss window: acks tracked,
+    // nothing actually dropped) turns on the ack-batch path and the
+    // retry bookkeeping. Neither may cost arena allocations: acks ride
+    // their own message type and retransmissions — never triggered here —
+    // would re-slice the existing arena. The exact-counter contract of
+    // the fault-free run must hold unchanged.
+    let n_tensors = Mlp::new(&ThreadedConfig::small(1, SchedulerKind::Fifo).widths, 0)
+        .tensor_sizes()
+        .len();
+    for shards in SHARD_COUNTS {
+        let mut cfg = ThreadedConfig::small(4, SchedulerKind::Fifo);
+        cfg.ps_shards = shards;
+        cfg.iterations = 20;
+        cfg.fault_plan = FaultPlan::new(vec![FaultSpec::MsgLoss {
+            rate: 0.0,
+            at: SimTime::ZERO,
+            dur: Duration::from_secs(60),
+        }]);
+        let r = run_threaded_training(&cfg);
+        assert_eq!(r.messages_lost, 0, "zero-rate window dropped messages");
+        assert!(r.ack_batches > 0, "{shards} shards: ack path never armed");
+        let fixed = cfg.workers as u64 + n_tensors as u64;
+        assert_eq!(
+            r.arena_allocs, fixed,
+            "{shards} shards: armed ack path allocated beyond warm-up"
+        );
+        assert_eq!(
+            r.arena_recycles,
+            (cfg.iterations - 1) * fixed,
+            "{shards} shards: armed steady state not fully pool-served"
+        );
+    }
+}
+
+#[test]
+fn nack_retransmits_come_from_pooled_copies() {
+    // Under an aggressive corruption window every tampered frame is a
+    // *pooled copy* of the clean payload (the clean arena slice stays
+    // untouched for the bit-exact retransmit), and every NACK-driven
+    // retransmission is a fresh zero-copy slice of that same arena. The
+    // arena counters must therefore stay the exact warm-up constant of a
+    // fault-free run: corruption may never leak allocations into the
+    // wire-buffer pool, no matter how many frames it damages.
+    let n_tensors = Mlp::new(&ThreadedConfig::small(1, SchedulerKind::Fifo).widths, 0)
+        .tensor_sizes()
+        .len();
+    let mut cfg = ThreadedConfig::small(3, SchedulerKind::Fifo);
+    cfg.ps_shards = 2;
+    cfg.iterations = 12;
+    cfg.global_batch = 48;
+    cfg.retry = fast_retry();
+    cfg.fault_plan = FaultPlan::new(vec![FaultSpec::PayloadCorrupt {
+        rate: 0.05,
+        at: SimTime::ZERO,
+        dur: Duration::from_secs(60),
+    }]);
+    let r = run_threaded_training(&cfg);
+    assert!(
+        r.corrupt_frames_detected > 0,
+        "corruption window never damaged a frame — the assertion is vacuous"
+    );
+    let fixed = cfg.workers as u64 + n_tensors as u64;
+    assert_eq!(
+        r.arena_allocs, fixed,
+        "corruption recovery allocated wire buffers outside the warm-up set"
+    );
+    // Recovery must also not starve the recycler: every steady-state
+    // iteration still round-trips each arena through the pool.
+    assert_eq!(
+        r.arena_recycles,
+        (cfg.iterations - 1) * fixed,
+        "corruption recovery broke steady-state pool recycling"
+    );
+    // And the computation itself stays bit-transparent (the matrix test
+    // covers this broadly; repeating it here ties it to the exact-alloc
+    // claim on the same run shape).
+    let clean = {
+        let mut c = cfg.clone();
+        c.fault_plan = FaultPlan::default();
+        c.retry = RetryPolicy::paper_default();
+        run_threaded_training(&c)
+    };
+    assert_eq!(
+        r.final_params, clean.final_params,
+        "corruption recovery changed the computed model"
     );
 }
 
